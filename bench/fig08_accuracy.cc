@@ -1,0 +1,94 @@
+// Figure 8: classification accuracy (F1, positive class = LOW/outlier)
+// against exact-KDE ground truth at p = 0.01, for dimensionalities 2, 4,
+// and 7/8 of the tmy3, home, and shuttle datasets. The paper reports tKDC
+// and sklearn (~= nocut here) near-perfect everywhere, while the binned
+// "ks" baseline collapses at d = 4 (F1 0.2-0.8).
+
+#include <iostream>
+#include <vector>
+
+#include "baselines/binned_kde.h"
+#include "baselines/nocut.h"
+#include "common/stats.h"
+#include "harness/table.h"
+#include "harness/workload.h"
+#include "kde/bandwidth.h"
+#include "kde/naive_kde.h"
+#include "tkdc/classifier.h"
+
+namespace {
+
+using namespace tkdc;
+
+double EvaluateF1(DensityClassifier& algo, const Dataset& data,
+                  const std::vector<double>& exact_densities,
+                  double exact_threshold) {
+  std::vector<bool> actual, predicted;
+  for (size_t i = 0; i < data.size(); ++i) {
+    actual.push_back(exact_densities[i] < exact_threshold);
+    predicted.push_back(algo.ClassifyTraining(data.Row(i)) ==
+                        Classification::kLow);
+  }
+  return F1Score(actual, predicted);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  std::cout << "Figure 8: F1 vs exact-KDE ground truth (p = 0.01, positive "
+               "class = LOW)\n\n";
+
+  struct Panel {
+    DatasetId id;
+    size_t dims;
+  };
+  const std::vector<Panel> panels{
+      {DatasetId::kTmy3, 2},    {DatasetId::kHome, 2},
+      {DatasetId::kShuttle, 2}, {DatasetId::kTmy3, 4},
+      {DatasetId::kHome, 4},    {DatasetId::kShuttle, 4},
+      {DatasetId::kTmy3, 8},    {DatasetId::kHome, 7},
+      {DatasetId::kShuttle, 7},
+  };
+  const size_t n = static_cast<size_t>(12'000 * args.scale);
+
+  TablePrinter table({"dims", "dataset", "tkdc", "nocut(sklearn)",
+                      "binned(ks)"});
+  for (const Panel& panel : panels) {
+    const Dataset data = MakeDataset(panel.id, n, panel.dims, args.seed);
+    // Exact ground truth: O(n^2) naive KDE.
+    Kernel kernel(KernelType::kGaussian,
+                  SelectBandwidths(BandwidthRule::kScott, data, 1.0));
+    NaiveKde naive(data, std::move(kernel));
+    const std::vector<double> densities = naive.AllTrainingDensities();
+    const double exact_threshold = Quantile(densities, 0.01);
+
+    TkdcClassifier tkdc_algo;
+    tkdc_algo.Train(data);
+    const double tkdc_f1 =
+        EvaluateF1(tkdc_algo, data, densities, exact_threshold);
+
+    NocutClassifier nocut_algo;
+    nocut_algo.Train(data);
+    const double nocut_f1 =
+        EvaluateF1(nocut_algo, data, densities, exact_threshold);
+
+    std::string binned_cell = "n/a (d>4)";
+    if (panel.dims <= 4) {
+      BinnedKdeClassifier binned_algo;
+      binned_algo.Train(data);
+      binned_cell = FormatFixed(
+          EvaluateF1(binned_algo, data, densities, exact_threshold), 3);
+    }
+    table.AddRow({std::to_string(panel.dims),
+                  GetDatasetSpec(panel.id).name, FormatFixed(tkdc_f1, 3),
+                  FormatFixed(nocut_f1, 3), binned_cell});
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\n";
+  table.Print(std::cout);
+  std::cout << "\nPaper (Figure 8): tkdc 0.995-1.0 at every d; sklearn "
+               "0.92-0.99; ks 0.96-0.99 at d=2\nbut 0.22-0.78 at d=4 and "
+               "unsupported beyond.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 9: query throughput (training excluded) versus dataset size on
+// the 2-d gauss dataset. The paper shows tKDC decaying like O(n^-1/2)
+// (often better) while simple / sklearn / rkde decay like O(n^-1), so the
+// gap widens without bound as n grows.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "baselines/nocut.h"
+#include "baselines/rkde.h"
+#include "baselines/simple_kde.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+#include "harness/workload.h"
+#include "tkdc/classifier.h"
+
+int main(int argc, char** argv) {
+  using namespace tkdc;
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  std::cout << "Figure 9: query throughput vs n (gauss, d=2, training "
+               "excluded)\n\n";
+
+  // Default sweep spans 10x; pass --scale=3 (or more) for the deeper
+  // paper-style sweep. nocut's training pass dominates wall time above
+  // ~100k rows because it must epsilon-resolve every training density.
+  const std::vector<size_t> sizes{10'000, 30'000, 100'000};
+  TablePrinter table({"n", "tkdc q/s", "nocut q/s", "rkde q/s",
+                      "simple q/s", "tkdc/simple", "ref n^-1/2 (tkdc)",
+                      "ref n^-1 (simple)"});
+  double tkdc_base = 0.0, simple_base = 0.0;
+  double base_n = 0.0;
+  for (size_t raw_n : sizes) {
+    const size_t n = static_cast<size_t>(raw_n * args.scale);
+    Workload workload;
+    workload.id = DatasetId::kGauss;
+    workload.n = n;
+    workload.seed = args.seed;
+    const Dataset data = workload.Make();
+
+    RunOptions options;
+    options.budget_seconds = args.budget_seconds;
+    options.max_queries = 20'000;
+
+    TkdcClassifier tkdc_algo;
+    const RunResult tkdc_result = RunClassifier(tkdc_algo, data, options);
+    NocutClassifier nocut_algo;
+    const RunResult nocut_result = RunClassifier(nocut_algo, data, options);
+    RkdeClassifier rkde_algo;
+    const RunResult rkde_result = RunClassifier(rkde_algo, data, options);
+    SimpleKdeClassifier simple_algo;
+    const RunResult simple_result =
+        RunClassifier(simple_algo, data, options);
+
+    if (tkdc_base == 0.0) {
+      tkdc_base = tkdc_result.query_throughput;
+      simple_base = simple_result.query_throughput;
+      base_n = static_cast<double>(n);
+    }
+    const double ratio = static_cast<double>(n) / base_n;
+    table.AddRow({FormatSi(static_cast<double>(n)),
+                  FormatSi(tkdc_result.query_throughput),
+                  FormatSi(nocut_result.query_throughput),
+                  FormatSi(rkde_result.query_throughput),
+                  FormatSi(simple_result.query_throughput),
+                  FormatFixed(tkdc_result.query_throughput /
+                                  simple_result.query_throughput,
+                              1),
+                  FormatSi(tkdc_base / std::sqrt(ratio)),
+                  FormatSi(simple_base / ratio)});
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\n";
+  table.Print(std::cout);
+  std::cout << "\nPaper (Figure 9): tkdc tracks (or beats) the n^-1/2 "
+               "reference; simple/sklearn/rkde track n^-1,\nso the tkdc "
+               "advantage grows with n (reaching ~10^5x at n = 100M).\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 10: query throughput versus dataset size on the 27-dimensional
+// hep dataset. The paper's point: tKDC's O(n^(d-1)/d) bound is weak at
+// d = 27 (n^26/27 is nearly linear), yet measured scaling still clearly
+// beats the O(n) algorithms and the gap widens with n.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "baselines/rkde.h"
+#include "baselines/simple_kde.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+#include "harness/workload.h"
+#include "tkdc/classifier.h"
+
+int main(int argc, char** argv) {
+  using namespace tkdc;
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  std::cout << "Figure 10: query throughput vs n (hep, d=27, training "
+               "excluded)\n\n";
+
+  const std::vector<size_t> sizes{3'000, 6'000, 12'000};
+  TablePrinter table({"n", "tkdc q/s", "rkde q/s", "simple q/s",
+                      "tkdc/simple", "ref n^-26/27 (tkdc)",
+                      "ref n^-1 (simple)"});
+  double tkdc_base = 0.0, simple_base = 0.0, base_n = 0.0;
+  for (size_t raw_n : sizes) {
+    const size_t n = static_cast<size_t>(raw_n * args.scale);
+    Workload workload;
+    workload.id = DatasetId::kHep;
+    workload.n = n;
+    workload.seed = args.seed;
+    const Dataset data = workload.Make();
+
+    RunOptions options;
+    options.budget_seconds = args.budget_seconds;
+    options.max_queries = 10'000;
+
+    TkdcClassifier tkdc_algo;
+    const RunResult tkdc_result = RunClassifier(tkdc_algo, data, options);
+    RkdeClassifier rkde_algo;
+    const RunResult rkde_result = RunClassifier(rkde_algo, data, options);
+    SimpleKdeClassifier simple_algo;
+    const RunResult simple_result =
+        RunClassifier(simple_algo, data, options);
+
+    if (tkdc_base == 0.0) {
+      tkdc_base = tkdc_result.query_throughput;
+      simple_base = simple_result.query_throughput;
+      base_n = static_cast<double>(n);
+    }
+    const double ratio = static_cast<double>(n) / base_n;
+    table.AddRow({FormatSi(static_cast<double>(n)),
+                  FormatSi(tkdc_result.query_throughput),
+                  FormatSi(rkde_result.query_throughput),
+                  FormatSi(simple_result.query_throughput),
+                  FormatFixed(tkdc_result.query_throughput /
+                                  simple_result.query_throughput,
+                              1),
+                  FormatSi(tkdc_base / std::pow(ratio, 26.0 / 27.0)),
+                  FormatSi(simple_base / ratio)});
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\n";
+  table.Print(std::cout);
+  std::cout << "\nPaper (Figure 10): in 27 dimensions the asymptotic edge "
+               "is smaller but tkdc still outperforms\nits conservative "
+               "n^-26/27 bound and pulls further ahead of O(n) algorithms "
+               "as n grows.\n";
+  return 0;
+}

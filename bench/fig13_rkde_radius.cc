@@ -1,0 +1,60 @@
+// Figure 13: the rkde baseline's throughput as a function of its radius
+// cutoff (in bandwidth multiples) on tmy3 (d = 4), against the tKDC line.
+// The paper: even unreliably small radii (r <= 1.2, where density error is
+// on the order of the threshold itself) leave rkde orders of magnitude
+// slower than tKDC.
+
+#include <iostream>
+#include <vector>
+
+#include "baselines/rkde.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+#include "harness/workload.h"
+#include "tkdc/classifier.h"
+
+int main(int argc, char** argv) {
+  using namespace tkdc;
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  std::cout << "Figure 13: rkde radius sweep (tmy3 d=4, training "
+               "amortized)\n\n";
+
+  Workload workload;
+  workload.id = DatasetId::kTmy3;
+  workload.n = static_cast<size_t>(100'000 * args.scale);
+  workload.dims = 4;
+  workload.seed = args.seed;
+  const Dataset data = workload.Make();
+  std::cout << "dataset: " << workload.Label() << "\n\n";
+
+  RunOptions options;
+  options.budget_seconds = args.budget_seconds;
+  options.max_queries = 10'000;
+
+  TkdcClassifier tkdc_algo;
+  const RunResult tkdc_result = RunClassifier(tkdc_algo, data, options);
+
+  TablePrinter table({"radius (bandwidths)", "rkde q/s", "tkdc q/s",
+                      "tkdc speedup"});
+  const std::vector<double> radii{0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0};
+  for (double radius : radii) {
+    RkdeOptions rkde_options;
+    rkde_options.radius_bandwidths = radius;
+    rkde_options.base.seed = args.seed;
+    RkdeClassifier rkde_algo(rkde_options);
+    const RunResult rkde_result = RunClassifier(rkde_algo, data, options);
+    table.AddRow({FormatFixed(radius, 1),
+                  FormatSi(rkde_result.amortized_throughput),
+                  FormatSi(tkdc_result.amortized_throughput),
+                  FormatFixed(tkdc_result.amortized_throughput /
+                                  rkde_result.amortized_throughput,
+                              1)});
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\n";
+  table.Print(std::cout);
+  std::cout << "\nPaper (Figure 13): rkde throughput rises as the radius "
+               "shrinks but never approaches tkdc\nwhile preserving any "
+               "accuracy (r <= 1.2 gives errors on the order of t).\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 14: mnist-style dimension sweep. The paper PCA-reduces MNIST to
+// d dimensions (scaling the bandwidth 3x to dodge underflow) and shows
+// tKDC competitive but with shrinking gains for d > 100 at this small n.
+//
+// Our mnist proxy generates at 256 native dimensions (a laptop-tractable
+// Jacobi eigensolve; the decaying spectrum is what the sweep exercises —
+// see DESIGN.md) and projects to each d with our PCA.
+
+#include <iostream>
+#include <vector>
+
+#include "baselines/nocut.h"
+#include "baselines/rkde.h"
+#include "baselines/simple_kde.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+#include "harness/workload.h"
+#include "linalg/pca.h"
+#include "tkdc/classifier.h"
+
+int main(int argc, char** argv) {
+  using namespace tkdc;
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  std::cout << "Figure 14: throughput vs PCA dimension (mnist proxy, "
+               "bandwidth x3, training amortized)\n\n";
+
+  const size_t n = static_cast<size_t>(4'000 * args.scale);
+  const size_t native_dims = 256;
+  const Dataset raw =
+      MakeDataset(DatasetId::kMnist, n, native_dims, args.seed);
+  std::cout << "fitting PCA on " << n << " x " << native_dims
+            << " (variance in top 16 components: ";
+  Pca pca(raw);
+  std::cout << FormatFixed(100.0 * pca.ExplainedVarianceRatio(16), 1)
+            << "%)\n\n";
+
+  const std::vector<size_t> dims{1, 2, 4, 8, 16, 32, 64, 128, 256};
+  TablePrinter table({"d", "tkdc q/s", "nocut q/s", "rkde q/s",
+                      "simple q/s"});
+  for (size_t d : dims) {
+    const Dataset data = pca.Transform(raw, d);
+
+    RunOptions options;
+    options.budget_seconds = args.budget_seconds;
+    options.max_queries = 5'000;
+
+    TkdcConfig config;
+    config.bandwidth_scale = 3.0;  // The paper's underflow mitigation.
+    config.seed = args.seed;
+    TkdcClassifier tkdc_algo(config);
+    const RunResult tkdc_result = RunClassifier(tkdc_algo, data, options);
+
+    NocutClassifier nocut_algo(config);
+    const RunResult nocut_result = RunClassifier(nocut_algo, data, options);
+
+    RkdeOptions rkde_options;
+    rkde_options.base = config;
+    RkdeClassifier rkde_algo(rkde_options);
+    const RunResult rkde_result = RunClassifier(rkde_algo, data, options);
+
+    SimpleKdeOptions simple_options;
+    simple_options.bandwidth_scale = 3.0;
+    simple_options.seed = args.seed;
+    SimpleKdeClassifier simple_algo(simple_options);
+    const RunResult simple_result =
+        RunClassifier(simple_algo, data, options);
+
+    table.AddRow({std::to_string(d),
+                  FormatSi(tkdc_result.amortized_throughput),
+                  FormatSi(nocut_result.amortized_throughput),
+                  FormatSi(rkde_result.amortized_throughput),
+                  FormatSi(simple_result.amortized_throughput)});
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\n";
+  table.Print(std::cout);
+  std::cout << "\nPaper (Figure 14): tkdc leads for d <= ~64, the gap "
+               "narrows past d ~ 100 at this small n,\nbut tkdc never "
+               "falls below the naive scan.\n";
+  return 0;
+}

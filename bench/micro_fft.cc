@@ -1,0 +1,62 @@
+// Microbenchmarks: FFT and the convolution paths of the binned baseline.
+
+#include <benchmark/benchmark.h>
+
+#include <complex>
+
+#include "common/rng.h"
+#include "fft/convolution.h"
+#include "fft/fft.h"
+
+namespace tkdc {
+namespace {
+
+void BM_Fft1d(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<std::complex<double>> data(n);
+  for (auto& v : data) v = {rng.NextGaussian(), rng.NextGaussian()};
+  for (auto _ : state) {
+    auto copy = data;
+    Fft(copy, false);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Fft1d)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_Fft2d(benchmark::State& state) {
+  const size_t side = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<std::complex<double>> data(side * side);
+  for (auto& v : data) v = {rng.NextGaussian(), 0.0};
+  const std::vector<size_t> shape{side, side};
+  for (auto _ : state) {
+    auto copy = data;
+    FftNd(copy, shape, false);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * side * side);
+}
+BENCHMARK(BM_Fft2d)->Arg(64)->Arg(256);
+
+void BM_ConvolveDirectVsFft(benchmark::State& state) {
+  const bool use_fft = state.range(0) != 0;
+  const size_t side = 128, k = 17;
+  Rng rng(3);
+  std::vector<double> data(side * side), kernel(k * k);
+  for (auto& v : data) v = rng.NextGaussian();
+  for (auto& v : kernel) v = rng.NextGaussian();
+  const std::vector<size_t> shape{side, side};
+  const std::vector<size_t> kshape{k, k};
+  for (auto _ : state) {
+    auto out = use_fft ? FftConvolveSame(data, shape, kernel, kshape)
+                       : DirectConvolveSame(data, shape, kernel, kshape);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(use_fft ? "fft" : "direct");
+}
+BENCHMARK(BM_ConvolveDirectVsFft)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace tkdc

@@ -1,0 +1,85 @@
+// Microbenchmarks: k-d tree construction, range queries, and the
+// BoundDensity traversal at the heart of tKDC.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "index/kdtree.h"
+#include "kde/bandwidth.h"
+#include "tkdc/density_bounds.h"
+
+namespace tkdc {
+namespace {
+
+void BM_KdTreeBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  const Dataset data = SampleStandardGaussian(n, 4, rng);
+  for (auto _ : state) {
+    KdTree tree(data, KdTreeOptions());
+    benchmark::DoNotOptimize(tree.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KdTreeBuild)->Arg(10'000)->Arg(100'000);
+
+void BM_KdTreeBuildSplitRule(benchmark::State& state) {
+  const size_t n = 50'000;
+  Rng rng(2);
+  const Dataset data = SampleStandardGaussian(n, 4, rng);
+  KdTreeOptions options;
+  options.split_rule = static_cast<SplitRule>(state.range(0));
+  for (auto _ : state) {
+    KdTree tree(data, options);
+    benchmark::DoNotOptimize(tree.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KdTreeBuildSplitRule)
+    ->Arg(static_cast<int>(SplitRule::kMedian))
+    ->Arg(static_cast<int>(SplitRule::kMidpoint))
+    ->Arg(static_cast<int>(SplitRule::kTrimmedMidpoint));
+
+void BM_RangeQuery(benchmark::State& state) {
+  const size_t n = 100'000;
+  Rng rng(3);
+  const Dataset data = SampleStandardGaussian(n, 2, rng);
+  KdTree tree(data, KdTreeOptions());
+  const std::vector<double> inv_bw{10.0, 10.0};  // h = 0.1.
+  const double radius_sq =
+      static_cast<double>(state.range(0)) * static_cast<double>(state.range(0));
+  std::vector<size_t> hits;
+  size_t i = 0;
+  for (auto _ : state) {
+    hits.clear();
+    tree.CollectWithinScaledRadius(data.Row(i), inv_bw, radius_sq, &hits);
+    benchmark::DoNotOptimize(hits.size());
+    i = (i + 997) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RangeQuery)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_BoundDensityQuery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  const Dataset data = SampleStandardGaussian(n, 2, rng);
+  static TkdcConfig config;
+  Kernel kernel(config.kernel,
+                SelectBandwidths(config.bandwidth_rule, data, 1.0));
+  KdTree tree(data, KdTreeOptions());
+  DensityBoundEvaluator evaluator(&tree, &kernel, &config);
+  // A plausible 1%-quantile threshold for 2-d standard normal KDE.
+  const double t = 3e-4;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.BoundDensity(data.Row(i), t, t));
+    i = (i + 997) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BoundDensityQuery)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+}  // namespace
+}  // namespace tkdc

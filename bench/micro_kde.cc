@@ -1,0 +1,55 @@
+// Microbenchmarks backing the Section 1 claim: naive per-query KDE cost is
+// O(n) (quadratic total), while a trained tKDC classification is sublinear
+// in n.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "kde/bandwidth.h"
+#include "kde/naive_kde.h"
+#include "tkdc/classifier.h"
+
+namespace tkdc {
+namespace {
+
+void BM_NaiveKdeDensity(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  const Dataset data = SampleStandardGaussian(n, 2, rng);
+  Kernel kernel(KernelType::kGaussian,
+                SelectBandwidths(BandwidthRule::kScott, data, 1.0));
+  NaiveKde kde(data, std::move(kernel));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kde.Density(data.Row(i)));
+    i = (i + 997) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NaiveKdeDensity)->Arg(10'000)->Arg(40'000)->Arg(160'000);
+
+void BM_TkdcClassify(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  const Dataset data = SampleStandardGaussian(n, 2, rng);
+  static std::unique_ptr<TkdcClassifier> classifier;
+  static size_t trained_n = 0;
+  if (trained_n != n) {
+    classifier = std::make_unique<TkdcClassifier>();
+    classifier->Train(data);
+    trained_n = n;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier->ClassifyTraining(data.Row(i)));
+    i = (i + 997) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TkdcClassify)->Arg(10'000)->Arg(40'000)->Arg(160'000);
+
+}  // namespace
+}  // namespace tkdc

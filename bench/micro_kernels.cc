@@ -1,0 +1,69 @@
+// Microbenchmarks: kernel evaluation and bandwidth selection.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "kde/bandwidth.h"
+#include "kde/kernel.h"
+
+namespace tkdc {
+namespace {
+
+void BM_GaussianKernelEvaluate(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  Kernel kernel(KernelType::kGaussian, std::vector<double>(d, 0.5));
+  Rng rng(1);
+  std::vector<double> a(d), b(d);
+  for (size_t j = 0; j < d; ++j) {
+    a[j] = rng.NextGaussian();
+    b[j] = rng.NextGaussian();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.Evaluate(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GaussianKernelEvaluate)->Arg(2)->Arg(8)->Arg(27)->Arg(128);
+
+void BM_EpanechnikovKernelEvaluate(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  Kernel kernel(KernelType::kEpanechnikov, std::vector<double>(d, 0.5));
+  Rng rng(2);
+  std::vector<double> a(d), b(d);
+  for (size_t j = 0; j < d; ++j) {
+    a[j] = 0.1 * rng.NextGaussian();
+    b[j] = 0.1 * rng.NextGaussian();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.Evaluate(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EpanechnikovKernelEvaluate)->Arg(2)->Arg(27);
+
+void BM_ScaledSquaredDistance(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  Kernel kernel(KernelType::kGaussian, std::vector<double>(d, 1.0));
+  std::vector<double> a(d, 0.25), b(d, -0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.ScaledSquaredDistance(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScaledSquaredDistance)->Arg(2)->Arg(27)->Arg(128);
+
+void BM_BandwidthSelection(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  const Dataset data = SampleStandardGaussian(n, 8, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SelectBandwidths(BandwidthRule::kScott, data, 1.0));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BandwidthSelection)->Arg(10'000)->Arg(100'000);
+
+}  // namespace
+}  // namespace tkdc

@@ -1,0 +1,238 @@
+#include "baselines/binned_kde.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "fft/convolution.h"
+#include "fft/fft.h"
+
+namespace tkdc {
+namespace {
+
+size_t DefaultGridSize(size_t dims) {
+  switch (dims) {
+    case 1:
+      return 512;
+    case 2:
+      return 256;
+    case 3:
+      return 64;
+    default:
+      return 16;
+  }
+}
+
+size_t TotalSize(const std::vector<size_t>& shape) {
+  size_t total = 1;
+  for (size_t extent : shape) total *= extent;
+  return total;
+}
+
+}  // namespace
+
+BinnedKdeClassifier::BinnedKdeClassifier(BinnedKdeOptions options)
+    : options_(options) {
+  TKDC_CHECK(options_.p > 0.0 && options_.p < 1.0);
+  TKDC_CHECK(options_.truncation_radius > 0.0);
+}
+
+void BinnedKdeClassifier::Train(const Dataset& data) {
+  TKDC_CHECK(data.size() >= 2);
+  dims_ = data.dims();
+  TKDC_CHECK_MSG(dims_ <= 4, "binned KDE supports at most 4 dimensions");
+  kernel_ = std::make_unique<Kernel>(
+      options_.kernel, SelectBandwidths(options_.bandwidth_rule, data,
+                                        options_.bandwidth_scale));
+
+  // Grid geometry: data bounding box padded by the truncation radius so
+  // boundary densities are not clipped.
+  const size_t grid_nodes = options_.grid_size_override > 0
+                                ? NextPowerOfTwo(options_.grid_size_override)
+                                : DefaultGridSize(dims_);
+  shape_.assign(dims_, grid_nodes);
+  grid_lo_.assign(dims_, 0.0);
+  grid_step_.assign(dims_, 0.0);
+  std::vector<double> lo(dims_, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(dims_, -std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.Row(i);
+    for (size_t j = 0; j < dims_; ++j) {
+      lo[j] = std::min(lo[j], row[j]);
+      hi[j] = std::max(hi[j], row[j]);
+    }
+  }
+  for (size_t j = 0; j < dims_; ++j) {
+    const double pad =
+        options_.truncation_radius * kernel_->bandwidths()[j];
+    grid_lo_[j] = lo[j] - pad;
+    const double span = (hi[j] + pad) - grid_lo_[j];
+    grid_step_[j] =
+        span > 0.0 ? span / static_cast<double>(shape_[j] - 1) : 1.0;
+  }
+
+  // Linear binning: each point spreads its unit mass multilinearly over the
+  // 2^d surrounding grid nodes (Wand 1994).
+  const size_t total = TotalSize(shape_);
+  std::vector<double> counts(total, 0.0);
+  std::vector<size_t> strides(dims_);
+  size_t stride = 1;
+  for (size_t j = dims_; j-- > 0;) {
+    strides[j] = stride;
+    stride *= shape_[j];
+  }
+  std::vector<size_t> base_index(dims_);
+  std::vector<double> frac(dims_);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.Row(i);
+    for (size_t j = 0; j < dims_; ++j) {
+      double pos = (row[j] - grid_lo_[j]) / grid_step_[j];
+      pos = std::clamp(pos, 0.0, static_cast<double>(shape_[j] - 1) - 1e-9);
+      base_index[j] = static_cast<size_t>(pos);
+      frac[j] = pos - static_cast<double>(base_index[j]);
+    }
+    for (size_t corner = 0; corner < (size_t{1} << dims_); ++corner) {
+      double weight = 1.0;
+      size_t offset = 0;
+      for (size_t j = 0; j < dims_; ++j) {
+        const bool upper = (corner >> j) & 1;
+        weight *= upper ? frac[j] : 1.0 - frac[j];
+        offset += (base_index[j] + (upper ? 1 : 0)) * strides[j];
+      }
+      counts[offset] += weight;
+    }
+  }
+
+  // Kernel taps: the kernel evaluated at grid-offset vectors out to the
+  // truncation radius along each axis.
+  std::vector<size_t> tap_shape(dims_);
+  std::vector<long> tap_half(dims_);
+  for (size_t j = 0; j < dims_; ++j) {
+    const double radius =
+        options_.truncation_radius * kernel_->bandwidths()[j];
+    long half = static_cast<long>(std::ceil(radius / grid_step_[j]));
+    half = std::min<long>(half, static_cast<long>(shape_[j]) - 1);
+    tap_half[j] = half;
+    tap_shape[j] = static_cast<size_t>(2 * half + 1);
+  }
+  std::vector<double> taps(TotalSize(tap_shape));
+  std::vector<size_t> tap_index(dims_, 0);
+  size_t flat = 0;
+  for (;;) {
+    double z = 0.0;
+    for (size_t j = 0; j < dims_; ++j) {
+      const double delta = (static_cast<double>(tap_index[j]) -
+                            static_cast<double>(tap_half[j])) *
+                           grid_step_[j] / kernel_->bandwidths()[j];
+      z += delta * delta;
+    }
+    taps[flat++] = kernel_->EvaluateScaled(z);
+    ++kernel_evaluations_;
+    size_t axis = dims_;
+    while (axis-- > 0) {
+      if (++tap_index[axis] < tap_shape[axis]) break;
+      tap_index[axis] = 0;
+    }
+    if (flat == taps.size()) break;
+  }
+
+  // Convolve: FFT when the direct cost dominates.
+  const double direct_cost = static_cast<double>(total) *
+                             static_cast<double>(TotalSize(tap_shape));
+  used_fft_ = direct_cost > 4e7;
+  density_grid_ = used_fft_
+                      ? FftConvolveSame(counts, shape_, taps, tap_shape)
+                      : DirectConvolveSame(counts, shape_, taps, tap_shape);
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+  for (double& v : density_grid_) {
+    v = std::max(0.0, v * inv_n);  // FFT round-off can dip below zero.
+  }
+
+  // Threshold quantile from interpolated training densities.
+  self_contribution_ = kernel_->MaxValue() * inv_n;
+  const double self = self_contribution_;
+  const size_t n = data.size();
+  std::vector<size_t> rows;
+  if (options_.threshold_sample == 0 || options_.threshold_sample >= n) {
+    rows.resize(n);
+    for (size_t i = 0; i < n; ++i) rows[i] = i;
+  } else {
+    Rng rng(options_.seed * 0x9e3779b97f4a7c15ULL + 29);
+    rows = rng.SampleWithoutReplacement(n, options_.threshold_sample);
+  }
+  std::vector<double> densities;
+  densities.reserve(rows.size());
+  for (size_t row : rows) {
+    densities.push_back(Interpolate(data.Row(row)) - self);
+  }
+  threshold_ = Quantile(std::move(densities), options_.p);
+}
+
+double BinnedKdeClassifier::Interpolate(std::span<const double> x) const {
+  TKDC_DCHECK(x.size() == dims_);
+  std::vector<size_t> strides(dims_);
+  size_t stride = 1;
+  for (size_t j = dims_; j-- > 0;) {
+    strides[j] = stride;
+    stride *= shape_[j];
+  }
+  size_t base = 0;
+  double frac[4] = {0, 0, 0, 0};
+  std::vector<size_t> idx(dims_);
+  for (size_t j = 0; j < dims_; ++j) {
+    const double pos = (x[j] - grid_lo_[j]) / grid_step_[j];
+    if (pos < 0.0 || pos > static_cast<double>(shape_[j] - 1)) {
+      return 0.0;  // Outside the grid: beyond every training point + pad.
+    }
+    const double clamped =
+        std::min(pos, static_cast<double>(shape_[j] - 1) - 1e-9);
+    idx[j] = static_cast<size_t>(clamped);
+    frac[j] = clamped - static_cast<double>(idx[j]);
+    base += idx[j] * strides[j];
+  }
+  double value = 0.0;
+  for (size_t corner = 0; corner < (size_t{1} << dims_); ++corner) {
+    double weight = 1.0;
+    size_t offset = base;
+    for (size_t j = 0; j < dims_; ++j) {
+      const bool upper = (corner >> j) & 1;
+      weight *= upper ? frac[j] : 1.0 - frac[j];
+      if (upper) offset += strides[j];
+    }
+    value += weight * density_grid_[offset];
+  }
+  return value;
+}
+
+Classification BinnedKdeClassifier::Classify(std::span<const double> x) {
+  TKDC_CHECK_MSG(kernel_ != nullptr, "Classify called before Train");
+  return Interpolate(x) > threshold_ ? Classification::kHigh
+                                     : Classification::kLow;
+}
+
+Classification BinnedKdeClassifier::ClassifyTraining(
+    std::span<const double> x) {
+  TKDC_CHECK_MSG(kernel_ != nullptr, "ClassifyTraining called before Train");
+  return Interpolate(x) - self_contribution_ > threshold_
+             ? Classification::kHigh
+             : Classification::kLow;
+}
+
+double BinnedKdeClassifier::EstimateDensity(std::span<const double> x) {
+  TKDC_CHECK_MSG(kernel_ != nullptr, "EstimateDensity called before Train");
+  return Interpolate(x);
+}
+
+double BinnedKdeClassifier::threshold() const {
+  TKDC_CHECK_MSG(kernel_ != nullptr, "threshold read before Train");
+  return threshold_;
+}
+
+uint64_t BinnedKdeClassifier::kernel_evaluations() const {
+  return kernel_evaluations_;
+}
+
+}  // namespace tkdc

@@ -1,0 +1,95 @@
+#include "baselines/knn.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace tkdc {
+
+KnnClassifier::KnnClassifier(KnnOptions options) : options_(options) {
+  TKDC_CHECK(options_.p > 0.0 && options_.p < 1.0);
+  TKDC_CHECK(options_.k >= 1);
+}
+
+void KnnClassifier::Train(const Dataset& data) {
+  TKDC_CHECK(data.size() >= 2);
+  KdTreeOptions tree_options;
+  tree_options.leaf_size = options_.leaf_size;
+  tree_ = std::make_unique<KdTree>(data, tree_options);
+  unit_scale_.assign(data.dims(), 1.0);
+  const double d = static_cast<double>(data.dims());
+  // log V_d = (d/2) log(pi) - log Gamma(d/2 + 1).
+  log_ball_volume_ =
+      0.5 * d * std::log(std::numbers::pi) - std::lgamma(0.5 * d + 1.0);
+
+  const size_t n = data.size();
+  std::vector<size_t> rows;
+  if (options_.threshold_sample == 0 || options_.threshold_sample >= n) {
+    rows.resize(n);
+    for (size_t i = 0; i < n; ++i) rows[i] = i;
+  } else {
+    Rng rng(options_.seed * 0x9e3779b97f4a7c15ULL + 31);
+    rows = rng.SampleWithoutReplacement(n, options_.threshold_sample);
+  }
+  std::vector<double> densities;
+  densities.reserve(rows.size());
+  for (size_t row : rows) {
+    densities.push_back(Density(data.Row(row), /*training=*/true));
+  }
+  threshold_ = Quantile(std::move(densities), options_.p);
+}
+
+double KnnClassifier::KthNeighborDistance(std::span<const double> x,
+                                          bool training) {
+  TKDC_CHECK_MSG(tree_ != nullptr, "query before Train");
+  // Training points find themselves at distance 0; ask for one more
+  // neighbor and drop the self-match.
+  const size_t k = options_.k + (training ? 1 : 0);
+  distance_computations_ +=
+      tree_->KNearestScaled(x, unit_scale_, k, &neighbor_buffer_);
+  TKDC_CHECK(!neighbor_buffer_.empty());
+  return std::sqrt(neighbor_buffer_.back().first);
+}
+
+double KnnClassifier::Density(std::span<const double> x, bool training) {
+  const double radius = KthNeighborDistance(x, training);
+  const double d = static_cast<double>(tree_->dims());
+  if (radius <= 0.0) {
+    // k-fold duplicate points: report a huge density.
+    return std::numeric_limits<double>::max();
+  }
+  // f = k / (n * V_d * r^d), computed in log space to survive high d.
+  const double log_density =
+      std::log(static_cast<double>(options_.k)) -
+      std::log(static_cast<double>(tree_->size())) - log_ball_volume_ -
+      d * std::log(radius);
+  return std::exp(log_density);
+}
+
+Classification KnnClassifier::Classify(std::span<const double> x) {
+  return Density(x, /*training=*/false) > threshold_ ? Classification::kHigh
+                                                     : Classification::kLow;
+}
+
+Classification KnnClassifier::ClassifyTraining(std::span<const double> x) {
+  return Density(x, /*training=*/true) > threshold_ ? Classification::kHigh
+                                                    : Classification::kLow;
+}
+
+double KnnClassifier::EstimateDensity(std::span<const double> x) {
+  return Density(x, /*training=*/false);
+}
+
+double KnnClassifier::threshold() const {
+  TKDC_CHECK_MSG(tree_ != nullptr, "threshold read before Train");
+  return threshold_;
+}
+
+uint64_t KnnClassifier::kernel_evaluations() const {
+  return distance_computations_;
+}
+
+}  // namespace tkdc

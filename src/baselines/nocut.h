@@ -1,0 +1,35 @@
+#ifndef TKDC_BASELINES_NOCUT_H_
+#define TKDC_BASELINES_NOCUT_H_
+
+#include <string>
+
+#include "tkdc/classifier.h"
+
+namespace tkdc {
+
+/// The paper's "nocut" baseline (Table 2): the tKDC machinery with the
+/// threshold pruning rule and the grid cache disabled, leaving only the
+/// Gray & Moore tolerance rule — i.e. a k-d tree KDE approximator in the
+/// style of scikit-learn's implementation. One order of magnitude slower
+/// than full tKDC on the paper's workloads, because it must resolve every
+/// density to within eps * t instead of merely deciding which side of the
+/// threshold it falls on.
+class NocutClassifier : public TkdcClassifier {
+ public:
+  explicit NocutClassifier(TkdcConfig config = TkdcConfig())
+      : TkdcClassifier(DisableCuts(std::move(config))) {}
+
+  std::string name() const override { return "nocut"; }
+
+ private:
+  static TkdcConfig DisableCuts(TkdcConfig config) {
+    config.use_threshold_rule = false;
+    config.use_grid = false;
+    config.use_tolerance_rule = true;
+    return config;
+  }
+};
+
+}  // namespace tkdc
+
+#endif  // TKDC_BASELINES_NOCUT_H_

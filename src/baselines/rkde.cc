@@ -1,0 +1,109 @@
+#include "baselines/rkde.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "kde/bandwidth.h"
+#include "tkdc/threshold.h"
+
+namespace tkdc {
+
+RkdeClassifier::RkdeClassifier(RkdeOptions options)
+    : options_(std::move(options)) {
+  options_.base.Validate();
+}
+
+void RkdeClassifier::Train(const Dataset& data) {
+  TKDC_CHECK(data.size() >= 2);
+  const TkdcConfig& config = options_.base;
+  kernel_ = std::make_unique<Kernel>(
+      config.kernel, SelectBandwidths(config.bandwidth_rule, data,
+                                      config.bandwidth_scale));
+  KdTreeOptions tree_options;
+  tree_options.leaf_size = config.leaf_size;
+  tree_options.split_rule = config.split_rule;
+  tree_options.axis_rule = config.axis_rule;
+  tree_ = std::make_unique<KdTree>(data, tree_options);
+  self_contribution_ = kernel_->MaxValue() / static_cast<double>(data.size());
+
+  if (options_.radius_bandwidths > 0.0) {
+    radius_sq_ = options_.radius_bandwidths * options_.radius_bandwidths;
+  } else {
+    // Auto radius: the same bootstrap as tKDC yields a lower bound t_lo on
+    // the threshold; excluding all points beyond radius r changes the
+    // density by at most K(r), so K(r) <= eps * t_lo guarantees error
+    // below the Problem 1 tolerance.
+    ThresholdEstimator estimator(&config);
+    const ThresholdBootstrapResult bootstrap =
+        estimator.Bootstrap(data, *tree_, *kernel_);
+    kernel_evaluations_ += bootstrap.stats.kernel_evaluations;
+    const double target = config.epsilon * bootstrap.lower;
+    radius_sq_ = kernel_->ScaledSquaredDistanceForValue(target);
+    // Guard against a degenerate bootstrap (t_lo == 0): fall back to a wide
+    // but finite radius.
+    const double max_radius_sq = 64.0;  // 8 bandwidths.
+    if (!(radius_sq_ < max_radius_sq)) radius_sq_ = max_radius_sq;
+  }
+
+  // Threshold from (a sample of) training densities, computed the same way
+  // queries will be answered.
+  const size_t n = data.size();
+  std::vector<size_t> rows;
+  if (options_.threshold_sample == 0 || options_.threshold_sample >= n) {
+    rows.resize(n);
+    for (size_t i = 0; i < n; ++i) rows[i] = i;
+  } else {
+    Rng rng(config.seed * 0x9e3779b97f4a7c15ULL + 13);
+    rows = rng.SampleWithoutReplacement(n, options_.threshold_sample);
+  }
+  std::vector<double> densities;
+  densities.reserve(rows.size());
+  for (size_t row : rows) {
+    densities.push_back(RadialDensity(data.Row(row)) - self_contribution_);
+  }
+  threshold_ = Quantile(std::move(densities), config.p);
+}
+
+double RkdeClassifier::RadialDensity(std::span<const double> x) {
+  neighbor_buffer_.clear();
+  kernel_evaluations_ += tree_->CollectWithinScaledRadius(
+      x, kernel_->inverse_bandwidths(), radius_sq_, &neighbor_buffer_);
+  double sum = 0.0;
+  for (size_t idx : neighbor_buffer_) {
+    sum += kernel_->EvaluateScaled(
+        kernel_->ScaledSquaredDistance(x, tree_->Point(idx)));
+  }
+  kernel_evaluations_ += neighbor_buffer_.size();
+  return sum / static_cast<double>(tree_->size());
+}
+
+Classification RkdeClassifier::Classify(std::span<const double> x) {
+  TKDC_CHECK_MSG(tree_ != nullptr, "Classify called before Train");
+  return RadialDensity(x) > threshold_ ? Classification::kHigh
+                                       : Classification::kLow;
+}
+
+Classification RkdeClassifier::ClassifyTraining(std::span<const double> x) {
+  TKDC_CHECK_MSG(tree_ != nullptr, "ClassifyTraining called before Train");
+  return RadialDensity(x) - self_contribution_ > threshold_
+             ? Classification::kHigh
+             : Classification::kLow;
+}
+
+double RkdeClassifier::EstimateDensity(std::span<const double> x) {
+  TKDC_CHECK_MSG(tree_ != nullptr, "EstimateDensity called before Train");
+  return RadialDensity(x);
+}
+
+double RkdeClassifier::threshold() const {
+  TKDC_CHECK_MSG(tree_ != nullptr, "threshold read before Train");
+  return threshold_;
+}
+
+uint64_t RkdeClassifier::kernel_evaluations() const {
+  return kernel_evaluations_;
+}
+
+}  // namespace tkdc

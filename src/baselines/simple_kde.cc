@@ -1,0 +1,68 @@
+#include "baselines/simple_kde.h"
+
+#include "common/macros.h"
+#include "common/stats.h"
+#include "kde/kernel.h"
+
+namespace tkdc {
+
+SimpleKdeClassifier::SimpleKdeClassifier(SimpleKdeOptions options)
+    : options_(options) {
+  TKDC_CHECK(options_.p > 0.0 && options_.p < 1.0);
+  TKDC_CHECK(options_.bandwidth_scale > 0.0);
+}
+
+void SimpleKdeClassifier::Train(const Dataset& data) {
+  TKDC_CHECK(data.size() >= 2);
+  Kernel kernel(options_.kernel,
+                SelectBandwidths(options_.bandwidth_rule, data,
+                                 options_.bandwidth_scale));
+  kde_ = std::make_unique<NaiveKde>(data, std::move(kernel));
+
+  // Threshold t(p): quantile of self-corrected training densities, over the
+  // full set or a subsample (Eq. 1).
+  const size_t n = data.size();
+  std::vector<size_t> rows;
+  if (options_.threshold_sample == 0 || options_.threshold_sample >= n) {
+    rows.resize(n);
+    for (size_t i = 0; i < n; ++i) rows[i] = i;
+  } else {
+    Rng rng(options_.seed * 0x9e3779b97f4a7c15ULL + 7);
+    rows = rng.SampleWithoutReplacement(n, options_.threshold_sample);
+  }
+  std::vector<double> densities;
+  densities.reserve(rows.size());
+  for (size_t row : rows) densities.push_back(kde_->TrainingDensity(row));
+  threshold_ = Quantile(std::move(densities), options_.p);
+}
+
+Classification SimpleKdeClassifier::Classify(std::span<const double> x) {
+  TKDC_CHECK_MSG(kde_ != nullptr, "Classify called before Train");
+  return kde_->Density(x) > threshold_ ? Classification::kHigh
+                                       : Classification::kLow;
+}
+
+Classification SimpleKdeClassifier::ClassifyTraining(
+    std::span<const double> x) {
+  TKDC_CHECK_MSG(kde_ != nullptr, "ClassifyTraining called before Train");
+  const double self =
+      kde_->kernel().MaxValue() / static_cast<double>(kde_->size());
+  return kde_->Density(x) - self > threshold_ ? Classification::kHigh
+                                              : Classification::kLow;
+}
+
+double SimpleKdeClassifier::EstimateDensity(std::span<const double> x) {
+  TKDC_CHECK_MSG(kde_ != nullptr, "EstimateDensity called before Train");
+  return kde_->Density(x);
+}
+
+double SimpleKdeClassifier::threshold() const {
+  TKDC_CHECK_MSG(kde_ != nullptr, "threshold read before Train");
+  return threshold_;
+}
+
+uint64_t SimpleKdeClassifier::kernel_evaluations() const {
+  return kde_ == nullptr ? 0 : kde_->kernel_evaluations();
+}
+
+}  // namespace tkdc

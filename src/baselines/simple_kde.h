@@ -1,0 +1,54 @@
+#ifndef TKDC_BASELINES_SIMPLE_KDE_H_
+#define TKDC_BASELINES_SIMPLE_KDE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "kde/bandwidth.h"
+#include "kde/density_classifier.h"
+#include "kde/naive_kde.h"
+
+namespace tkdc {
+
+/// Options for the naive baseline.
+struct SimpleKdeOptions {
+  double p = 0.01;
+  double bandwidth_scale = 1.0;
+  KernelType kernel = KernelType::kGaussian;
+  BandwidthRule bandwidth_rule = BandwidthRule::kScott;
+  /// Training points whose densities fix the threshold quantile. Computing
+  /// all n is Theta(n^2); a sample of this size estimates the same
+  /// quantile. Set to 0 to use every training point (exact, quadratic).
+  size_t threshold_sample = 2000;
+  uint64_t seed = 0;
+};
+
+/// The paper's "simple" algorithm: exact KDE by a full scan per query
+/// (Table 2). Its per-query cost is O(n) kernel evaluations — the quadratic
+/// total cost tKDC is built to avoid.
+class SimpleKdeClassifier : public DensityClassifier {
+ public:
+  explicit SimpleKdeClassifier(SimpleKdeOptions options = SimpleKdeOptions());
+
+  std::string name() const override { return "simple"; }
+  void Train(const Dataset& data) override;
+  Classification Classify(std::span<const double> x) override;
+  Classification ClassifyTraining(std::span<const double> x) override;
+  double EstimateDensity(std::span<const double> x) override;
+  double threshold() const override;
+  uint64_t kernel_evaluations() const override;
+
+  const NaiveKde& kde() const { return *kde_; }
+
+ private:
+  SimpleKdeOptions options_;
+  std::unique_ptr<NaiveKde> kde_;
+  double threshold_ = 0.0;
+};
+
+}  // namespace tkdc
+
+#endif  // TKDC_BASELINES_SIMPLE_KDE_H_

@@ -1,0 +1,298 @@
+#include "cli/cli.h"
+
+#include <cstdlib>
+#include <map>
+#include <optional>
+
+#include "common/timer.h"
+#include "data/csv.h"
+#include "data/datasets.h"
+#include "tkdc/classifier.h"
+#include "tkdc/model_io.h"
+
+namespace tkdc {
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: tkdc_cli <train|classify|info|generate> [options]\n"
+    "  train     --input X.csv --model M.tkdc [--p F] [--epsilon F] [--b F]\n"
+    "            [--kernel gaussian|epanechnikov|uniform|biweight]\n"
+    "            [--split trimmed|median|midpoint] [--no-grid] [--seed N]\n"
+    "            [--header] [--no-densities]\n"
+    "  classify  --model M.tkdc --input Q.csv --output R.csv [--header]\n"
+    "            [--training] [--density]\n"
+    "  info      --model M.tkdc\n"
+    "  generate  --dataset NAME --n N --output X.csv [--dims D] [--seed N]\n";
+
+// Parsed command line: --key value pairs plus boolean --flag switches.
+struct ParsedArgs {
+  std::map<std::string, std::string> values;
+  std::map<std::string, bool> flags;
+
+  std::optional<std::string> Value(const std::string& key) const {
+    const auto it = values.find(key);
+    if (it == values.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool Flag(const std::string& key) const {
+    const auto it = flags.find(key);
+    return it != flags.end() && it->second;
+  }
+};
+
+const char* const kBooleanFlags[] = {"--header", "--training", "--density",
+                                     "--no-grid", "--no-densities"};
+
+bool IsBooleanFlag(const std::string& arg) {
+  for (const char* flag : kBooleanFlags) {
+    if (arg == flag) return true;
+  }
+  return false;
+}
+
+// Parses `args` after the subcommand. Returns false on malformed input.
+bool ParseArgs(const std::vector<std::string>& args, size_t start,
+               ParsedArgs* parsed, std::ostream& err) {
+  for (size_t i = start; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      err << "unexpected argument: " << arg << "\n";
+      return false;
+    }
+    if (IsBooleanFlag(arg)) {
+      parsed->flags[arg] = true;
+      continue;
+    }
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      parsed->values[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      err << "missing value for " << arg << "\n";
+      return false;
+    }
+    parsed->values[arg] = args[++i];
+  }
+  return true;
+}
+
+bool RequireValues(const ParsedArgs& parsed,
+                   const std::vector<std::string>& keys, std::ostream& err) {
+  for (const std::string& key : keys) {
+    if (!parsed.Value(key).has_value()) {
+      err << "missing required option " << key << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+int CmdTrain(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
+  if (!RequireValues(parsed, {"--input", "--model"}, err)) return 2;
+  TkdcConfig config;
+  if (const auto p = parsed.Value("--p")) config.p = std::atof(p->c_str());
+  if (const auto eps = parsed.Value("--epsilon")) {
+    config.epsilon = std::atof(eps->c_str());
+  }
+  if (const auto b = parsed.Value("--b")) {
+    config.bandwidth_scale = std::atof(b->c_str());
+  }
+  if (const auto kernel = parsed.Value("--kernel")) {
+    if (*kernel == "gaussian") {
+      config.kernel = KernelType::kGaussian;
+    } else if (*kernel == "epanechnikov") {
+      config.kernel = KernelType::kEpanechnikov;
+    } else if (*kernel == "uniform") {
+      config.kernel = KernelType::kUniform;
+    } else if (*kernel == "biweight") {
+      config.kernel = KernelType::kBiweight;
+    } else {
+      err << "unknown kernel: " << *kernel << "\n";
+      return 2;
+    }
+  }
+  if (const auto split = parsed.Value("--split")) {
+    const auto rule = SplitRuleFromName(*split);
+    if (!rule.has_value()) {
+      err << "unknown split rule: " << *split << "\n";
+      return 2;
+    }
+    config.split_rule = *rule;
+  }
+  if (parsed.Flag("--no-grid")) config.use_grid = false;
+  if (const auto seed = parsed.Value("--seed")) {
+    config.seed = static_cast<uint64_t>(std::atoll(seed->c_str()));
+  }
+
+  std::string error;
+  const auto table =
+      ReadCsv(*parsed.Value("--input"), parsed.Flag("--header"), &error);
+  if (!table.has_value()) {
+    err << error << "\n";
+    return 1;
+  }
+  if (table->data.size() < 2) {
+    err << "need at least 2 training rows\n";
+    return 1;
+  }
+  out << "training on " << table->data.size() << " x " << table->data.dims()
+      << " points...\n";
+  WallTimer timer;
+  TkdcClassifier classifier(config);
+  classifier.Train(table->data);
+  out << "trained in " << timer.ElapsedSeconds()
+      << "s; threshold t(p=" << config.p << ") = " << classifier.threshold()
+      << "\n";
+  if (!SaveModel(*parsed.Value("--model"), classifier, table->data,
+                 !parsed.Flag("--no-densities"), &error)) {
+    err << error << "\n";
+    return 1;
+  }
+  out << "model written to " << *parsed.Value("--model") << "\n";
+  return 0;
+}
+
+int CmdClassify(const ParsedArgs& parsed, std::ostream& out,
+                std::ostream& err) {
+  if (!RequireValues(parsed, {"--model", "--input", "--output"}, err)) {
+    return 2;
+  }
+  std::string error;
+  auto classifier = LoadModel(*parsed.Value("--model"), &error);
+  if (classifier == nullptr) {
+    err << error << "\n";
+    return 1;
+  }
+  const auto table =
+      ReadCsv(*parsed.Value("--input"), parsed.Flag("--header"), &error);
+  if (!table.has_value()) {
+    err << error << "\n";
+    return 1;
+  }
+  if (table->data.dims() != classifier->tree().dims()) {
+    err << "query dimensionality " << table->data.dims()
+        << " does not match model dimensionality "
+        << classifier->tree().dims() << "\n";
+    return 1;
+  }
+  const bool training = parsed.Flag("--training");
+  const bool with_density = parsed.Flag("--density");
+  Dataset results(with_density ? 2 : 1);
+  results.Reserve(table->data.size());
+  size_t high = 0;
+  for (size_t i = 0; i < table->data.size(); ++i) {
+    const auto row = table->data.Row(i);
+    const Classification label = training
+                                     ? classifier->ClassifyTraining(row)
+                                     : classifier->Classify(row);
+    if (label == Classification::kHigh) ++high;
+    std::vector<double> result_row{
+        label == Classification::kHigh ? 1.0 : 0.0};
+    if (with_density) {
+      result_row.push_back(classifier->EstimateDensity(row));
+    }
+    results.AppendRow(result_row);
+  }
+  std::vector<std::string> header{"high"};
+  if (with_density) header.push_back("density");
+  if (!WriteCsv(*parsed.Value("--output"), results, header, &error)) {
+    err << error << "\n";
+    return 1;
+  }
+  out << "classified " << table->data.size() << " points: " << high
+      << " HIGH, " << (table->data.size() - high) << " LOW\n"
+      << "results written to " << *parsed.Value("--output") << "\n";
+  return 0;
+}
+
+int CmdInfo(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
+  if (!RequireValues(parsed, {"--model"}, err)) return 2;
+  std::string error;
+  const auto classifier = LoadModel(*parsed.Value("--model"), &error);
+  if (classifier == nullptr) {
+    err << error << "\n";
+    return 1;
+  }
+  const TkdcConfig& config = classifier->config();
+  out << "tkdc model: " << *parsed.Value("--model") << "\n"
+      << "  training points: " << classifier->tree().size() << "\n"
+      << "  dimensions:      " << classifier->tree().dims() << "\n"
+      << "  p:               " << config.p << "\n"
+      << "  epsilon:         " << config.epsilon << "\n"
+      << "  threshold t(p):  " << classifier->threshold() << "\n"
+      << "  threshold bound: [" << classifier->threshold_lower() << ", "
+      << classifier->threshold_upper() << "]\n"
+      << "  optimizations:   " << config.OptimizationSummary() << "\n"
+      << "  cached Dx:       "
+      << (classifier->training_densities().empty() ? "no" : "yes") << "\n";
+  return 0;
+}
+
+int CmdGenerate(const ParsedArgs& parsed, std::ostream& out,
+                std::ostream& err) {
+  if (!RequireValues(parsed, {"--dataset", "--n", "--output"}, err)) return 2;
+  const auto id = DatasetIdFromName(*parsed.Value("--dataset"));
+  if (!id.has_value()) {
+    err << "unknown dataset: " << *parsed.Value("--dataset")
+        << " (available:";
+    for (const DatasetSpec& spec : AllDatasetSpecs()) {
+      err << " " << spec.name;
+    }
+    err << ")\n";
+    return 2;
+  }
+  const long long n = std::atoll(parsed.Value("--n")->c_str());
+  if (n < 1) {
+    err << "--n must be positive\n";
+    return 2;
+  }
+  uint64_t seed = 42;
+  if (const auto s = parsed.Value("--seed")) {
+    seed = static_cast<uint64_t>(std::atoll(s->c_str()));
+  }
+  size_t dims = GetDatasetSpec(*id).dims;
+  if (const auto d = parsed.Value("--dims")) {
+    const long long parsed_dims = std::atoll(d->c_str());
+    if (parsed_dims < 1) {
+      err << "--dims must be positive\n";
+      return 2;
+    }
+    dims = static_cast<size_t>(parsed_dims);
+  }
+  const Dataset data =
+      MakeDataset(*id, static_cast<size_t>(n), dims, seed);
+  std::string error;
+  if (!WriteCsv(*parsed.Value("--output"), data, {}, &error)) {
+    err << error << "\n";
+    return 1;
+  }
+  out << "wrote " << data.size() << " x " << data.dims() << " rows to "
+      << *parsed.Value("--output") << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  if (args.empty()) {
+    err << kUsage;
+    return 2;
+  }
+  ParsedArgs parsed;
+  if (!ParseArgs(args, 1, &parsed, err)) {
+    err << kUsage;
+    return 2;
+  }
+  const std::string& command = args[0];
+  if (command == "train") return CmdTrain(parsed, out, err);
+  if (command == "classify") return CmdClassify(parsed, out, err);
+  if (command == "info") return CmdInfo(parsed, out, err);
+  if (command == "generate") return CmdGenerate(parsed, out, err);
+  err << "unknown command: " << command << "\n" << kUsage;
+  return 2;
+}
+
+}  // namespace tkdc

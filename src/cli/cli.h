@@ -1,0 +1,29 @@
+#ifndef TKDC_CLI_CLI_H_
+#define TKDC_CLI_CLI_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tkdc {
+
+/// Entry point of the `tkdc_cli` command-line tool, factored into the
+/// library so the test suite can drive it directly. `args` excludes the
+/// program name. Normal output goes to `out`, diagnostics to `err`.
+/// Returns a process exit code (0 success, 1 runtime failure, 2 usage).
+///
+/// Subcommands:
+///   train     --input X.csv --model M.tkdc [--p F] [--epsilon F] [--b F]
+///             [--kernel gaussian|epanechnikov|uniform|biweight]
+///             [--split trimmed|median|midpoint] [--no-grid] [--seed N]
+///             [--header] [--no-densities]
+///   classify  --model M.tkdc --input Q.csv --output R.csv [--header]
+///             [--training] [--density]
+///   info      --model M.tkdc
+///   generate  --dataset NAME --n N --output X.csv [--dims D] [--seed N]
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace tkdc
+
+#endif  // TKDC_CLI_CLI_H_

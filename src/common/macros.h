@@ -1,0 +1,37 @@
+#ifndef TKDC_COMMON_MACROS_H_
+#define TKDC_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// CHECK-style invariant macros. A failed CHECK indicates a programmer error
+/// (broken invariant, misuse of an API); it prints the failing condition with
+/// its location and aborts. These are always on. DCHECK compiles away in
+/// NDEBUG builds and is meant for hot paths.
+#define TKDC_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", #cond, __FILE__,   \
+                   __LINE__);                                                \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define TKDC_CHECK_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed: %s (%s) at %s:%d\n", #cond, msg,   \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define TKDC_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define TKDC_DCHECK(cond) TKDC_CHECK(cond)
+#endif
+
+#endif  // TKDC_COMMON_MACROS_H_

@@ -1,0 +1,74 @@
+#include "common/order_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/special_math.h"
+
+namespace tkdc {
+namespace {
+
+int ClampRank(double r, int s) {
+  if (r < 1.0) return 1;
+  if (r > static_cast<double>(s)) return s;
+  return static_cast<int>(r);
+}
+
+}  // namespace
+
+double QuantileCiCoverage(int s, double p, int lower, int upper) {
+  TKDC_CHECK(s >= 1);
+  TKDC_CHECK(lower >= 1 && upper >= lower && upper <= s);
+  // Eq. 10: P(d_(l) <= d_(np) <= d_(u)) = sum_{i=l..u} C(s,i) p^i (1-p)^(s-i).
+  return BinomialIntervalProbability(s, p, lower, upper);
+}
+
+QuantileCi NormalApproxQuantileCi(int s, double p, double delta) {
+  TKDC_CHECK(s >= 1);
+  TKDC_CHECK(p > 0.0 && p < 1.0);
+  TKDC_CHECK(delta > 0.0 && delta < 1.0);
+  const double z = NormalQuantile(1.0 - delta / 2.0);
+  const double center = static_cast<double>(s) * p;
+  const double spread = z * std::sqrt(static_cast<double>(s) * p * (1.0 - p));
+  QuantileCi ci;
+  ci.lower = ClampRank(std::floor(center - spread), s);
+  ci.upper = ClampRank(std::ceil(center + spread), s);
+  ci.coverage = QuantileCiCoverage(s, p, ci.lower, ci.upper);
+  return ci;
+}
+
+QuantileCi ExactBinomialQuantileCi(int s, double p, double delta) {
+  TKDC_CHECK(s >= 1);
+  TKDC_CHECK(p > 0.0 && p < 1.0);
+  TKDC_CHECK(delta > 0.0 && delta < 1.0);
+  const double target = 1.0 - delta;
+  const int center = std::clamp(
+      static_cast<int>(std::round(static_cast<double>(s) * p)), 1, s);
+  int lower = center;
+  int upper = center;
+  double coverage = QuantileCiCoverage(s, p, lower, upper);
+  // Greedy symmetric expansion: grow the side that adds more coverage until
+  // the target is met or the interval spans the whole sample.
+  while (coverage < target && (lower > 1 || upper < s)) {
+    const double gain_low =
+        lower > 1 ? BinomialIntervalProbability(s, p, lower - 1, lower - 1)
+                  : -1.0;
+    const double gain_high =
+        upper < s ? BinomialIntervalProbability(s, p, upper + 1, upper + 1)
+                  : -1.0;
+    if (gain_low >= gain_high) {
+      --lower;
+    } else {
+      ++upper;
+    }
+    coverage = QuantileCiCoverage(s, p, lower, upper);
+  }
+  QuantileCi ci;
+  ci.lower = lower;
+  ci.upper = upper;
+  ci.coverage = coverage;
+  return ci;
+}
+
+}  // namespace tkdc

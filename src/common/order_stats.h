@@ -1,0 +1,44 @@
+#ifndef TKDC_COMMON_ORDER_STATS_H_
+#define TKDC_COMMON_ORDER_STATS_H_
+
+#include <cstddef>
+
+namespace tkdc {
+
+/// 1-based order-statistic ranks [lower, upper] of a size-`s` sample that
+/// bracket the population p-quantile with the requested confidence.
+struct QuantileCi {
+  /// 1-based rank of the lower bounding order statistic.
+  int lower = 0;
+  /// 1-based rank of the upper bounding order statistic.
+  int upper = 0;
+  /// Probability that the population quantile lies within
+  /// [sample(lower), sample(upper)].
+  double coverage = 0.0;
+};
+
+/// Normal-approximation confidence interval on sample order statistics for
+/// the p-quantile (the paper's Eq. 11):
+///
+///   l = s*p - z * sqrt(s*p*(1-p)),  u = s*p + z * sqrt(s*p*(1-p))
+///
+/// where z = NormalQuantile(1 - delta/2), matching the paper's worked
+/// example (s = 20000, delta = 0.01, p = 0.01 gives ranks 164 and 236).
+/// Ranks are clamped to [1, s]. Requires s >= 1, p in (0, 1),
+/// delta in (0, 1).
+QuantileCi NormalApproxQuantileCi(int s, double p, double delta);
+
+/// Exact binomial confidence interval (the paper's Eq. 10): the narrowest
+/// symmetric expansion around rank s*p whose binomial coverage
+/// sum_{i=l..u-1} C(s,i) p^i (1-p)^(s-i) reaches 1 - delta. Falls back to
+/// [1, s] when no interior interval achieves the coverage.
+QuantileCi ExactBinomialQuantileCi(int s, double p, double delta);
+
+/// Coverage probability P(X_(l) <= population p-quantile <= X_(u)) for
+/// 1-based ranks l <= u in a sample of size s, computed from the exact
+/// binomial tail exactly as the paper's Eq. 10: P(l <= Bin(s, p) <= u).
+double QuantileCiCoverage(int s, double p, int lower, int upper);
+
+}  // namespace tkdc
+
+#endif  // TKDC_COMMON_ORDER_STATS_H_

@@ -1,0 +1,152 @@
+#include "common/special_math.h"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "common/macros.h"
+
+namespace tkdc {
+
+double NormalCdf(double x) {
+  return 0.5 * std::erfc(-x / std::numbers::sqrt2);
+}
+
+double NormalPdf(double x) {
+  static const double kInvSqrt2Pi = 1.0 / std::sqrt(2.0 * std::numbers::pi);
+  return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+double NormalQuantile(double p) {
+  TKDC_CHECK(p > 0.0 && p < 1.0);
+  // Acklam's rational approximation (relative error < 1.15e-9), then one
+  // Halley refinement step using the exact CDF to reach ~1e-15.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  double x;
+  if (p < p_low) {
+    double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    double q = p - 0.5;
+    double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+          c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // Halley's method: x <- x - e / (pdf + e * x / 2) where e = Phi(x) - p.
+  double e = NormalCdf(x) - p;
+  double u = e * std::sqrt(2.0 * std::numbers::pi) * std::exp(0.5 * x * x);
+  x = x - u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+double ErfInv(double x) {
+  TKDC_CHECK(x > -1.0 && x < 1.0);
+  // erfinv(x) = Phi^-1((x+1)/2) / sqrt(2).
+  return NormalQuantile(0.5 * (x + 1.0)) / std::numbers::sqrt2;
+}
+
+double LogSumExp(double a, double b) {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  double m = a > b ? a : b;
+  return m + std::log(std::exp(a - m) + std::exp(b - m));
+}
+
+namespace {
+
+// Series expansion of P(a, x), valid for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double term = sum;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * 1e-16) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Continued fraction for Q(a, x) = 1 - P(a, x), valid for x >= a + 1.
+double GammaQContinuedFraction(double a, double x) {
+  const double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-16) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double RegularizedGammaP(double a, double x) {
+  TKDC_CHECK(a > 0.0 && x >= 0.0);
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double ChiSquareCdf(double x, double k) {
+  TKDC_CHECK(k > 0.0);
+  if (x <= 0.0) return 0.0;
+  return RegularizedGammaP(0.5 * k, 0.5 * x);
+}
+
+double BinomialCoefficient(int n, int k) {
+  TKDC_CHECK(n >= 0 && k >= 0 && k <= n);
+  return std::exp(std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+                  std::lgamma(n - k + 1.0));
+}
+
+double BinomialIntervalProbability(int s, double p, int l, int u) {
+  TKDC_CHECK(s >= 0);
+  TKDC_CHECK(p >= 0.0 && p <= 1.0);
+  if (l < 0) l = 0;
+  if (u > s) u = s;
+  if (l > u) return 0.0;
+  if (p == 0.0) return l == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return u == s ? 1.0 : 0.0;
+  const double log_p = std::log(p);
+  const double log_q = std::log1p(-p);
+  double total = -std::numeric_limits<double>::infinity();
+  for (int i = l; i <= u; ++i) {
+    double log_term = std::lgamma(s + 1.0) - std::lgamma(i + 1.0) -
+                      std::lgamma(s - i + 1.0) + i * log_p + (s - i) * log_q;
+    total = LogSumExp(total, log_term);
+  }
+  double result = std::exp(total);
+  return result > 1.0 ? 1.0 : result;
+}
+
+}  // namespace tkdc

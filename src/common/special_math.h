@@ -1,0 +1,43 @@
+#ifndef TKDC_COMMON_SPECIAL_MATH_H_
+#define TKDC_COMMON_SPECIAL_MATH_H_
+
+namespace tkdc {
+
+/// Standard normal cumulative distribution function Phi(x).
+double NormalCdf(double x);
+
+/// Standard normal probability density function phi(x).
+double NormalPdf(double x);
+
+/// Quantile function (inverse CDF) of the standard normal distribution:
+/// returns z such that Phi(z) = p, for p in (0, 1). This is the z_p constant
+/// used by the paper's order-statistic confidence bounds (Eq. 11).
+///
+/// Implementation: Acklam's rational approximation refined with one Halley
+/// step, giving ~1e-15 relative accuracy over (0, 1).
+double NormalQuantile(double p);
+
+/// Inverse error function: erfinv(erf(x)) == x for finite x.
+double ErfInv(double x);
+
+/// log(exp(a) + exp(b)) computed without overflow.
+double LogSumExp(double a, double b);
+
+/// Regularized lower incomplete gamma P(a, x) via series / continued
+/// fraction. Used by chi-square goodness-of-fit checks in the test suite.
+double RegularizedGammaP(double a, double x);
+
+/// Chi-square CDF with k degrees of freedom evaluated at x.
+double ChiSquareCdf(double x, double k);
+
+/// Binomial coefficient n choose k as a double (exact for small arguments,
+/// via lgamma otherwise).
+double BinomialCoefficient(int n, int k);
+
+/// Exact binomial tail: P(l <= Bin(s, p) <= u) = sum_{i=l..u} C(s,i) p^i
+/// (1-p)^(s-i), evaluated stably in log space. This is the paper's Eq. 10.
+double BinomialIntervalProbability(int s, double p, int l, int u);
+
+}  // namespace tkdc
+
+#endif  // TKDC_COMMON_SPECIAL_MATH_H_

@@ -1,0 +1,123 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace tkdc {
+
+double Mean(const std::vector<double>& values) {
+  TKDC_CHECK(!values.empty());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  TKDC_CHECK(values.size() >= 2);
+  const double mean = Mean(values);
+  double sum_sq = 0.0;
+  for (double v : values) {
+    const double delta = v - mean;
+    sum_sq += delta * delta;
+  }
+  return sum_sq / static_cast<double>(values.size() - 1);
+}
+
+double StdDev(const std::vector<double>& values) {
+  return std::sqrt(Variance(values));
+}
+
+size_t QuantileIndex(size_t n, double p) {
+  TKDC_CHECK(n > 0);
+  TKDC_CHECK(p >= 0.0 && p <= 1.0);
+  double idx = std::floor(static_cast<double>(n) * p);
+  if (idx < 0.0) idx = 0.0;
+  if (idx > static_cast<double>(n - 1)) idx = static_cast<double>(n - 1);
+  return static_cast<size_t>(idx);
+}
+
+double Quantile(std::vector<double> values, double p) {
+  TKDC_CHECK(!values.empty());
+  const size_t k = QuantileIndex(values.size(), p);
+  std::nth_element(values.begin(), values.begin() + k, values.end());
+  return values[k];
+}
+
+double QuantileSorted(const std::vector<double>& sorted, double p) {
+  TKDC_CHECK(!sorted.empty());
+  return sorted[QuantileIndex(sorted.size(), p)];
+}
+
+void ConfusionMatrix::Add(bool actual, bool predicted) {
+  if (actual && predicted) {
+    ++true_positives;
+  } else if (!actual && predicted) {
+    ++false_positives;
+  } else if (actual && !predicted) {
+    ++false_negatives;
+  } else {
+    ++true_negatives;
+  }
+}
+
+double ConfusionMatrix::Precision() const {
+  const size_t denom = true_positives + false_positives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionMatrix::Recall() const {
+  const size_t denom = true_positives + false_negatives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionMatrix::F1() const {
+  const double precision = Precision();
+  const double recall = Recall();
+  const double denom = precision + recall;
+  return denom == 0.0 ? 0.0 : 2.0 * precision * recall / denom;
+}
+
+double ConfusionMatrix::Accuracy() const {
+  const size_t total = Total();
+  return total == 0 ? 0.0
+                    : static_cast<double>(true_positives + true_negatives) /
+                          static_cast<double>(total);
+}
+
+size_t ConfusionMatrix::Total() const {
+  return true_positives + false_positives + true_negatives + false_negatives;
+}
+
+double F1Score(const std::vector<bool>& actual,
+               const std::vector<bool>& predicted) {
+  TKDC_CHECK(actual.size() == predicted.size());
+  ConfusionMatrix cm;
+  for (size_t i = 0; i < actual.size(); ++i) cm.Add(actual[i], predicted[i]);
+  return cm.F1();
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  TKDC_CHECK(x.size() == y.size());
+  TKDC_CHECK(x.size() >= 2);
+  const double mean_x = Mean(x);
+  const double mean_y = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace tkdc

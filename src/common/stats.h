@@ -1,0 +1,60 @@
+#ifndef TKDC_COMMON_STATS_H_
+#define TKDC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tkdc {
+
+/// Arithmetic mean of `values`. Requires a non-empty input.
+double Mean(const std::vector<double>& values);
+
+/// Unbiased sample variance (divides by n - 1). Requires n >= 2.
+double Variance(const std::vector<double>& values);
+
+/// Unbiased sample standard deviation. Requires n >= 2.
+double StdDev(const std::vector<double>& values);
+
+/// The paper's quantile function q_p(S): the floor(n*p)-th order statistic
+/// of `values` (clamped to a valid index), i.e. the (n*p)-th smallest
+/// element counting from 1. Does not interpolate, matching Section 2.3.
+/// Requires a non-empty input; `p` in [0, 1].
+double Quantile(std::vector<double> values, double p);
+
+/// Same as Quantile() but assumes `sorted` is already ascending.
+double QuantileSorted(const std::vector<double>& sorted, double p);
+
+/// Index of the (n*p) order statistic used by Quantile(): clamp(floor(n*p),
+/// 0, n-1) as a 0-based index.
+size_t QuantileIndex(size_t n, double p);
+
+/// Binary classification tallies and derived scores.
+struct ConfusionMatrix {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t true_negatives = 0;
+  size_t false_negatives = 0;
+
+  /// Adds one (actual, predicted) observation.
+  void Add(bool actual, bool predicted);
+
+  double Precision() const;
+  double Recall() const;
+  /// F1 = harmonic mean of precision and recall; 0 when undefined.
+  double F1() const;
+  double Accuracy() const;
+  size_t Total() const;
+};
+
+/// F1 score of `predicted` against `actual` where `true` is the positive
+/// class. The vectors must have equal length.
+double F1Score(const std::vector<bool>& actual,
+               const std::vector<bool>& predicted);
+
+/// Pearson correlation coefficient of two equal-length vectors (n >= 2).
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+}  // namespace tkdc
+
+#endif  // TKDC_COMMON_STATS_H_

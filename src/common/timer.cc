@@ -1,0 +1,21 @@
+#include "common/timer.h"
+
+namespace tkdc {
+
+WallTimer::WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+void WallTimer::Restart() { start_ = std::chrono::steady_clock::now(); }
+
+double WallTimer::ElapsedSeconds() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+double WallTimer::ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+double Throughput(uint64_t items, double elapsed_seconds) {
+  if (elapsed_seconds <= 0.0) return 0.0;
+  return static_cast<double>(items) / elapsed_seconds;
+}
+
+}  // namespace tkdc

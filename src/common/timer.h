@@ -1,0 +1,32 @@
+#ifndef TKDC_COMMON_TIMER_H_
+#define TKDC_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace tkdc {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer();
+
+  /// Restarts the stopwatch from zero.
+  void Restart();
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const;
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Items processed per second; returns 0 when elapsed time is 0.
+double Throughput(uint64_t items, double elapsed_seconds);
+
+}  // namespace tkdc
+
+#endif  // TKDC_COMMON_TIMER_H_

@@ -1,0 +1,135 @@
+#include "data/csv.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace tkdc {
+namespace {
+
+// Splits `line` on commas, trimming surrounding whitespace from each field.
+std::vector<std::string> SplitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    size_t comma = line.find(',', start);
+    std::string field = comma == std::string::npos
+                            ? line.substr(start)
+                            : line.substr(start, comma - start);
+    size_t first = field.find_first_not_of(" \t\r");
+    size_t last = field.find_last_not_of(" \t\r");
+    fields.push_back(first == std::string::npos
+                         ? std::string()
+                         : field.substr(first, last - first + 1));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return fields;
+}
+
+bool ParseDouble(const std::string& field, double* out) {
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+}  // namespace
+
+std::optional<CsvTable> ReadCsv(const std::string& path, bool has_header,
+                                std::string* error) {
+  TKDC_CHECK(error != nullptr);
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::string line;
+  std::vector<std::string> column_names;
+  size_t dims = 0;
+  size_t line_number = 0;
+  std::vector<double> values;
+  std::vector<double> row;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
+    std::vector<std::string> fields = SplitFields(line);
+    if (has_header && column_names.empty() && dims == 0) {
+      column_names = std::move(fields);
+      dims = column_names.size();
+      continue;
+    }
+    if (dims == 0) dims = fields.size();
+    if (fields.size() != dims) {
+      std::ostringstream msg;
+      msg << path << ":" << line_number << ": expected " << dims
+          << " fields, got " << fields.size();
+      *error = msg.str();
+      return std::nullopt;
+    }
+    row.clear();
+    for (const std::string& field : fields) {
+      double v = 0.0;
+      if (!ParseDouble(field, &v)) {
+        std::ostringstream msg;
+        msg << path << ":" << line_number << ": non-numeric field '" << field
+            << "'";
+        *error = msg.str();
+        return std::nullopt;
+      }
+      row.push_back(v);
+    }
+    values.insert(values.end(), row.begin(), row.end());
+  }
+  if (dims == 0) {
+    *error = path + ": empty file";
+    return std::nullopt;
+  }
+  CsvTable table{Dataset(dims, std::move(values)), std::move(column_names)};
+  return table;
+}
+
+bool WriteCsv(const std::string& path, const Dataset& data,
+              const std::vector<std::string>& column_names,
+              std::string* error) {
+  TKDC_CHECK(error != nullptr);
+  if (!column_names.empty() && column_names.size() != data.dims()) {
+    *error = "column_names size does not match data dims";
+    return false;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  if (!column_names.empty()) {
+    for (size_t j = 0; j < column_names.size(); ++j) {
+      if (j > 0) out << ',';
+      out << column_names[j];
+    }
+    out << '\n';
+  }
+  out.precision(17);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.Row(i);
+    for (size_t j = 0; j < row.size(); ++j) {
+      if (j > 0) out << ',';
+      out << row[j];
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) {
+    *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tkdc

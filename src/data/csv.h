@@ -1,0 +1,34 @@
+#ifndef TKDC_DATA_CSV_H_
+#define TKDC_DATA_CSV_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace tkdc {
+
+/// Result of a CSV load: the data plus optional header names.
+struct CsvTable {
+  Dataset data;
+  std::vector<std::string> column_names;
+};
+
+/// Reads a comma-separated file of doubles. If `has_header` the first line
+/// supplies column names. Blank lines are skipped. Returns std::nullopt and
+/// fills `*error` on malformed input (ragged rows, non-numeric cells) or
+/// missing file.
+std::optional<CsvTable> ReadCsv(const std::string& path, bool has_header,
+                                std::string* error);
+
+/// Writes `data` as CSV with 17 significant digits (round-trip exact). If
+/// `column_names` is non-empty it must have data.dims() entries and is
+/// written as a header line. Returns false and fills `*error` on I/O failure.
+bool WriteCsv(const std::string& path, const Dataset& data,
+              const std::vector<std::string>& column_names,
+              std::string* error);
+
+}  // namespace tkdc
+
+#endif  // TKDC_DATA_CSV_H_

@@ -1,0 +1,100 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace tkdc {
+
+Dataset::Dataset(size_t dims) : dims_(dims) { TKDC_CHECK(dims >= 1); }
+
+Dataset::Dataset(size_t dims, std::vector<double> values)
+    : dims_(dims), values_(std::move(values)) {
+  TKDC_CHECK(dims >= 1);
+  TKDC_CHECK(values_.size() % dims == 0);
+}
+
+void Dataset::AppendRow(std::span<const double> row) {
+  TKDC_CHECK(row.size() == dims_);
+  values_.insert(values_.end(), row.begin(), row.end());
+}
+
+void Dataset::Reserve(size_t rows) { values_.reserve(rows * dims_); }
+
+std::vector<double> Dataset::ColumnMeans() const {
+  TKDC_CHECK(!empty());
+  std::vector<double> means(dims_, 0.0);
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = values_.data() + i * dims_;
+    for (size_t j = 0; j < dims_; ++j) means[j] += row[j];
+  }
+  for (double& m : means) m /= static_cast<double>(n);
+  return means;
+}
+
+std::vector<double> Dataset::ColumnStdDevs() const {
+  TKDC_CHECK(size() >= 2);
+  const std::vector<double> means = ColumnMeans();
+  std::vector<double> sum_sq(dims_, 0.0);
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = values_.data() + i * dims_;
+    for (size_t j = 0; j < dims_; ++j) {
+      const double delta = row[j] - means[j];
+      sum_sq[j] += delta * delta;
+    }
+  }
+  std::vector<double> stds(dims_);
+  for (size_t j = 0; j < dims_; ++j) {
+    stds[j] = std::sqrt(sum_sq[j] / static_cast<double>(n - 1));
+  }
+  return stds;
+}
+
+Dataset Dataset::SelectRows(const std::vector<size_t>& indices) const {
+  Dataset out(dims_);
+  out.Reserve(indices.size());
+  for (size_t idx : indices) {
+    TKDC_CHECK(idx < size());
+    out.AppendRow(Row(idx));
+  }
+  return out;
+}
+
+Dataset Dataset::Head(size_t rows) const {
+  TKDC_CHECK(rows <= size());
+  return Dataset(dims_, std::vector<double>(values_.begin(),
+                                            values_.begin() + rows * dims_));
+}
+
+Dataset Dataset::TruncateDims(size_t keep_dims) const {
+  TKDC_CHECK(keep_dims >= 1 && keep_dims <= dims_);
+  if (keep_dims == dims_) return *this;
+  Dataset out(keep_dims);
+  out.Reserve(size());
+  for (size_t i = 0; i < size(); ++i) {
+    out.AppendRow(Row(i).first(keep_dims));
+  }
+  return out;
+}
+
+Dataset Dataset::Standardized() const {
+  TKDC_CHECK(size() >= 2);
+  const std::vector<double> means = ColumnMeans();
+  std::vector<double> stds = ColumnStdDevs();
+  for (double& s : stds) {
+    if (s == 0.0) s = 1.0;
+  }
+  Dataset out(dims_);
+  out.Reserve(size());
+  std::vector<double> row(dims_);
+  for (size_t i = 0; i < size(); ++i) {
+    const auto src = Row(i);
+    for (size_t j = 0; j < dims_; ++j) row[j] = (src[j] - means[j]) / stds[j];
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+}  // namespace tkdc

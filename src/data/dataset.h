@@ -1,0 +1,81 @@
+#ifndef TKDC_DATA_DATASET_H_
+#define TKDC_DATA_DATASET_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tkdc {
+
+/// In-memory, row-major collection of d-dimensional points. This is the data
+/// substrate every algorithm in the library trains on and queries against.
+/// Rows are contiguous, so Row(i) is a zero-copy span over `dims()` doubles.
+class Dataset {
+ public:
+  /// Creates an empty dataset of `dims`-dimensional points. `dims` >= 1.
+  explicit Dataset(size_t dims);
+
+  /// Creates a dataset by taking ownership of `values`, which must contain
+  /// rows * dims doubles in row-major order.
+  Dataset(size_t dims, std::vector<double> values);
+
+  Dataset(const Dataset&) = default;
+  Dataset& operator=(const Dataset&) = default;
+  Dataset(Dataset&&) = default;
+  Dataset& operator=(Dataset&&) = default;
+
+  size_t size() const { return values_.size() / dims_; }
+  size_t dims() const { return dims_; }
+  bool empty() const { return values_.empty(); }
+
+  /// Read-only view over row `i`.
+  std::span<const double> Row(size_t i) const {
+    return {values_.data() + i * dims_, dims_};
+  }
+
+  /// Mutable view over row `i`.
+  std::span<double> MutableRow(size_t i) {
+    return {values_.data() + i * dims_, dims_};
+  }
+
+  double At(size_t row, size_t col) const { return values_[row * dims_ + col]; }
+  double& At(size_t row, size_t col) { return values_[row * dims_ + col]; }
+
+  /// Appends one row. `row.size()` must equal dims().
+  void AppendRow(std::span<const double> row);
+
+  /// Reserves capacity for `rows` rows.
+  void Reserve(size_t rows);
+
+  /// Raw row-major storage.
+  const std::vector<double>& values() const { return values_; }
+
+  /// Per-column arithmetic means. Requires a non-empty dataset.
+  std::vector<double> ColumnMeans() const;
+
+  /// Per-column sample standard deviations (n - 1 denominator). Columns with
+  /// zero variance report 0. Requires size() >= 2.
+  std::vector<double> ColumnStdDevs() const;
+
+  /// New dataset containing the given rows, in order. Indices must be valid.
+  Dataset SelectRows(const std::vector<size_t>& indices) const;
+
+  /// New dataset with the first `rows` rows.
+  Dataset Head(size_t rows) const;
+
+  /// New dataset keeping only the first `keep_dims` coordinates of each row
+  /// (the paper's "first 64 features of sift" style dimension truncation).
+  Dataset TruncateDims(size_t keep_dims) const;
+
+  /// New dataset with each column shifted/scaled to zero mean, unit sample
+  /// standard deviation (columns with zero variance are only centered).
+  Dataset Standardized() const;
+
+ private:
+  size_t dims_;
+  std::vector<double> values_;
+};
+
+}  // namespace tkdc
+
+#endif  // TKDC_DATA_DATASET_H_

@@ -1,0 +1,234 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/macros.h"
+
+namespace tkdc {
+
+Mixture::Mixture(std::vector<MixtureComponent> components)
+    : components_(std::move(components)) {
+  TKDC_CHECK(!components_.empty());
+  dims_ = components_[0].mean.size();
+  TKDC_CHECK(dims_ >= 1);
+  double total = 0.0;
+  for (const MixtureComponent& c : components_) {
+    TKDC_CHECK(c.weight > 0.0);
+    TKDC_CHECK(c.mean.size() == dims_);
+    TKDC_CHECK(c.scales.size() == dims_);
+    for (double s : c.scales) TKDC_CHECK(s > 0.0);
+    total += c.weight;
+  }
+  double running = 0.0;
+  cumulative_weights_.reserve(components_.size());
+  for (const MixtureComponent& c : components_) {
+    running += c.weight / total;
+    cumulative_weights_.push_back(running);
+  }
+  cumulative_weights_.back() = 1.0;
+}
+
+Dataset Mixture::Sample(size_t n, Rng& rng) const {
+  Dataset out(dims_);
+  out.Reserve(n);
+  std::vector<double> point(dims_);
+  for (size_t i = 0; i < n; ++i) {
+    const double u = rng.NextDouble();
+    const size_t c_idx = static_cast<size_t>(
+        std::lower_bound(cumulative_weights_.begin(),
+                         cumulative_weights_.end(), u) -
+        cumulative_weights_.begin());
+    const MixtureComponent& c = components_[c_idx];
+    // For student-t-like tails, scale the whole Gaussian draw by
+    // sqrt(df / chi2_df): this is exactly the multivariate-t construction.
+    double tail_scale = 1.0;
+    if (c.student_t_df > 0.0) {
+      const int df = static_cast<int>(c.student_t_df);
+      double chi2 = 0.0;
+      for (int j = 0; j < df; ++j) {
+        const double g = rng.NextGaussian();
+        chi2 += g * g;
+      }
+      if (chi2 <= 1e-12) chi2 = 1e-12;
+      tail_scale = std::sqrt(c.student_t_df / chi2);
+    }
+    for (size_t j = 0; j < dims_; ++j) {
+      point[j] = c.mean[j] + c.scales[j] * tail_scale * rng.NextGaussian();
+    }
+    out.AppendRow(point);
+  }
+  return out;
+}
+
+double Mixture::Pdf(std::span<const double> x) const {
+  TKDC_CHECK(x.size() == dims_);
+  const double log_2pi = std::log(2.0 * std::numbers::pi);
+  double density = 0.0;
+  double prev_cum = 0.0;
+  for (size_t c_idx = 0; c_idx < components_.size(); ++c_idx) {
+    const MixtureComponent& c = components_[c_idx];
+    TKDC_CHECK_MSG(c.student_t_df == 0.0,
+                   "Pdf only supported for Gaussian components");
+    double log_density = 0.0;
+    for (size_t j = 0; j < dims_; ++j) {
+      const double z = (x[j] - c.mean[j]) / c.scales[j];
+      log_density += -0.5 * (z * z + log_2pi) - std::log(c.scales[j]);
+    }
+    const double weight = cumulative_weights_[c_idx] - prev_cum;
+    prev_cum = cumulative_weights_[c_idx];
+    density += weight * std::exp(log_density);
+  }
+  return density;
+}
+
+Dataset SampleStandardGaussian(size_t n, size_t dims, Rng& rng) {
+  TKDC_CHECK(dims >= 1);
+  Dataset out(dims);
+  out.Reserve(n);
+  std::vector<double> point(dims);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < dims; ++j) point[j] = rng.NextGaussian();
+    out.AppendRow(point);
+  }
+  return out;
+}
+
+Dataset SampleUniformBox(size_t n, size_t dims, double lo, double hi,
+                         Rng& rng) {
+  TKDC_CHECK(dims >= 1);
+  TKDC_CHECK(lo < hi);
+  Dataset out(dims);
+  out.Reserve(n);
+  std::vector<double> point(dims);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < dims; ++j) point[j] = rng.Uniform(lo, hi);
+    out.AppendRow(point);
+  }
+  return out;
+}
+
+Mixture RandomGaussianMixture(size_t dims, size_t k, double spread,
+                              double scale_lo, double scale_hi, Rng& rng) {
+  TKDC_CHECK(k >= 1);
+  TKDC_CHECK(scale_lo > 0.0 && scale_lo <= scale_hi);
+  std::vector<MixtureComponent> components;
+  components.reserve(k);
+  for (size_t c = 0; c < k; ++c) {
+    MixtureComponent comp;
+    comp.weight = 0.5 + rng.NextDouble();  // Mildly unequal cluster sizes.
+    comp.mean.resize(dims);
+    comp.scales.resize(dims);
+    for (size_t j = 0; j < dims; ++j) {
+      comp.mean[j] = rng.Uniform(-spread, spread);
+      comp.scales[j] = rng.Uniform(scale_lo, scale_hi);
+    }
+    components.push_back(std::move(comp));
+  }
+  return Mixture(std::move(components));
+}
+
+Dataset SampleLowRankMixture(size_t n, size_t dims, size_t latent_dims,
+                             size_t k, double noise, Rng& rng) {
+  TKDC_CHECK(latent_dims >= 1 && latent_dims <= dims);
+  TKDC_CHECK(noise >= 0.0);
+  const Mixture latent =
+      RandomGaussianMixture(latent_dims, k, /*spread=*/4.0,
+                            /*scale_lo=*/0.5, /*scale_hi=*/1.5, rng);
+  // Random linear map from latent space to observation space, entries
+  // N(0, 1/latent_dims) so output coordinates have comparable variance.
+  std::vector<double> projection(dims * latent_dims);
+  const double proj_scale = 1.0 / std::sqrt(static_cast<double>(latent_dims));
+  for (double& w : projection) w = proj_scale * rng.NextGaussian();
+
+  const Dataset latent_points = latent.Sample(n, rng);
+  Dataset out(dims);
+  out.Reserve(n);
+  std::vector<double> point(dims);
+  for (size_t i = 0; i < n; ++i) {
+    const auto z = latent_points.Row(i);
+    for (size_t j = 0; j < dims; ++j) {
+      double v = 0.0;
+      const double* w_row = projection.data() + j * latent_dims;
+      for (size_t l = 0; l < latent_dims; ++l) v += w_row[l] * z[l];
+      point[j] = v + noise * rng.NextGaussian();
+    }
+    out.AppendRow(point);
+  }
+  return out;
+}
+
+Dataset SampleFilamentClusters(size_t n, size_t dims, size_t num_modes,
+                               size_t informative_dims,
+                               double filament_fraction, Rng& rng) {
+  TKDC_CHECK(num_modes >= 2);
+  TKDC_CHECK(informative_dims >= 1 && informative_dims <= dims);
+  TKDC_CHECK(filament_fraction >= 0.0 && filament_fraction <= 1.0);
+  // Mode centers spread out in the informative subspace.
+  std::vector<std::vector<double>> centers(num_modes,
+                                           std::vector<double>(dims, 0.0));
+  for (size_t m = 0; m < num_modes; ++m) {
+    for (size_t j = 0; j < informative_dims; ++j) {
+      centers[m][j] = rng.Uniform(-8.0, 8.0);
+    }
+  }
+  Dataset out(dims);
+  out.Reserve(n);
+  std::vector<double> point(dims);
+  const double kModeScale = 1.0;
+  const double kFilamentScale = 0.15;
+  const double kNuisanceScale = 0.05;
+  for (size_t i = 0; i < n; ++i) {
+    const bool on_filament = rng.NextDouble() < filament_fraction;
+    if (on_filament) {
+      // Pick a random ordered pair of distinct modes and jitter a point
+      // along the connecting segment: this is the low-density filament
+      // structure of the shuttle dataset (Figure 1).
+      const size_t a = static_cast<size_t>(rng.NextBounded(num_modes));
+      size_t b = static_cast<size_t>(rng.NextBounded(num_modes - 1));
+      if (b >= a) ++b;
+      const double s = rng.NextDouble();
+      for (size_t j = 0; j < dims; ++j) {
+        const double base = centers[a][j] + s * (centers[b][j] - centers[a][j]);
+        const double jitter =
+            j < informative_dims ? kFilamentScale : kNuisanceScale;
+        point[j] = base + jitter * rng.NextGaussian();
+      }
+    } else {
+      const size_t m = static_cast<size_t>(rng.NextBounded(num_modes));
+      for (size_t j = 0; j < dims; ++j) {
+        const double scale =
+            j < informative_dims ? kModeScale : kNuisanceScale;
+        point[j] = centers[m][j] + scale * rng.NextGaussian();
+      }
+    }
+    out.AppendRow(point);
+  }
+  return out;
+}
+
+Dataset SampleDecayingSpectrumMixture(size_t n, size_t dims, size_t k,
+                                      double decay, Rng& rng) {
+  TKDC_CHECK(k >= 1);
+  TKDC_CHECK(decay >= 0.0);
+  std::vector<MixtureComponent> components;
+  components.reserve(k);
+  for (size_t c = 0; c < k; ++c) {
+    MixtureComponent comp;
+    comp.weight = 1.0;
+    comp.mean.resize(dims);
+    comp.scales.resize(dims);
+    for (size_t j = 0; j < dims; ++j) {
+      const double axis_scale =
+          1.0 / std::pow(1.0 + static_cast<double>(j), decay);
+      comp.mean[j] = 3.0 * axis_scale * rng.NextGaussian();
+      comp.scales[j] = axis_scale;
+    }
+    components.push_back(std::move(comp));
+  }
+  Mixture mixture(std::move(components));
+  return mixture.Sample(n, rng);
+}
+
+}  // namespace tkdc

@@ -1,0 +1,95 @@
+#ifndef TKDC_DATA_GENERATORS_H_
+#define TKDC_DATA_GENERATORS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace tkdc {
+
+/// One component of an axis-aligned mixture model. With `student_t_df == 0`
+/// the component is Gaussian; otherwise samples are multivariate
+/// student-t-like (a Gaussian scaled by an inverse-chi deviate), giving the
+/// heavy tails used by the hep-style proxy dataset.
+struct MixtureComponent {
+  /// Relative (unnormalized) mixing weight. Must be > 0.
+  double weight = 1.0;
+  /// Component mean; defines the dimensionality.
+  std::vector<double> mean;
+  /// Per-axis standard deviations; same length as `mean`, all > 0.
+  std::vector<double> scales;
+  /// Degrees of freedom for heavy tails. 0 means Gaussian.
+  double student_t_df = 0.0;
+};
+
+/// Axis-aligned mixture distribution: a weighted sum of MixtureComponents.
+/// Supports sampling and (for all-Gaussian mixtures) exact density
+/// evaluation, which the test suite uses as analytic ground truth.
+class Mixture {
+ public:
+  /// Builds a mixture; weights are normalized to sum to 1. All components
+  /// must share a dimensionality, and there must be at least one.
+  explicit Mixture(std::vector<MixtureComponent> components);
+
+  size_t dims() const { return dims_; }
+  const std::vector<MixtureComponent>& components() const {
+    return components_;
+  }
+
+  /// Draws `n` i.i.d. points.
+  Dataset Sample(size_t n, Rng& rng) const;
+
+  /// Exact probability density at `x`. Only valid when every component is
+  /// Gaussian (student_t_df == 0); CHECK-fails otherwise.
+  double Pdf(std::span<const double> x) const;
+
+ private:
+  size_t dims_;
+  std::vector<MixtureComponent> components_;
+  std::vector<double> cumulative_weights_;
+};
+
+/// n points from the standard multivariate normal in `dims` dimensions
+/// (the paper's `gauss` dataset).
+Dataset SampleStandardGaussian(size_t n, size_t dims, Rng& rng);
+
+/// n points uniform over the box [lo, hi]^dims.
+Dataset SampleUniformBox(size_t n, size_t dims, double lo, double hi,
+                         Rng& rng);
+
+/// A randomly-placed k-component Gaussian mixture in `dims` dimensions.
+/// Component means are uniform in [-spread, spread]^dims and per-axis scales
+/// uniform in [scale_lo, scale_hi]. Deterministic given `rng` state.
+Mixture RandomGaussianMixture(size_t dims, size_t k, double spread,
+                              double scale_lo, double scale_hi, Rng& rng);
+
+/// n points that concentrate near a `latent_dims`-dimensional linear
+/// subspace of R^dims: a k-component latent mixture pushed through a random
+/// linear map, plus isotropic observation noise. Proxy for image-descriptor
+/// datasets (sift, mnist) whose mass lies near a low-dimensional manifold.
+Dataset SampleLowRankMixture(size_t n, size_t dims, size_t latent_dims,
+                             size_t k, double noise, Rng& rng);
+
+/// n points forming a few dominant modes connected by low-density filaments
+/// (points jittered along the segments between mode centers). Proxy for the
+/// shuttle dataset of Figure 1, whose outliers live in inter-cluster
+/// filaments. `filament_fraction` in [0, 1] is the mass on the filaments;
+/// only the first `informative_dims` coordinates carry structure, the rest
+/// are small-noise.
+Dataset SampleFilamentClusters(size_t n, size_t dims, size_t num_modes,
+                               size_t informative_dims,
+                               double filament_fraction, Rng& rng);
+
+/// n points from a `dims`-dimensional mixture whose per-axis scales decay as
+/// 1 / (1 + j)^decay, mimicking the fast-falling PCA spectrum of image data
+/// (mnist proxy for the Figure 14 dimension sweep).
+Dataset SampleDecayingSpectrumMixture(size_t n, size_t dims, size_t k,
+                                      double decay, Rng& rng);
+
+}  // namespace tkdc
+
+#endif  // TKDC_DATA_GENERATORS_H_

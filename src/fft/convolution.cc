@@ -1,0 +1,163 @@
+#include "fft/convolution.h"
+
+#include <complex>
+
+#include "common/macros.h"
+#include "fft/fft.h"
+
+namespace tkdc {
+namespace {
+
+size_t TotalSize(const std::vector<size_t>& shape) {
+  size_t total = 1;
+  for (size_t extent : shape) total *= extent;
+  return total;
+}
+
+void CheckArgs(const std::vector<double>& data,
+               const std::vector<size_t>& shape,
+               const std::vector<double>& kernel,
+               const std::vector<size_t>& kernel_shape) {
+  TKDC_CHECK(!shape.empty());
+  TKDC_CHECK(shape.size() == kernel_shape.size());
+  TKDC_CHECK(data.size() == TotalSize(shape));
+  TKDC_CHECK(kernel.size() == TotalSize(kernel_shape));
+  for (size_t extent : kernel_shape) {
+    TKDC_CHECK_MSG(extent % 2 == 1, "kernel extents must be odd");
+  }
+}
+
+// Row-major strides for `shape`.
+std::vector<size_t> Strides(const std::vector<size_t>& shape) {
+  std::vector<size_t> strides(shape.size());
+  size_t stride = 1;
+  for (size_t axis = shape.size(); axis-- > 0;) {
+    strides[axis] = stride;
+    stride *= shape[axis];
+  }
+  return strides;
+}
+
+// Advances a multi-index through `shape` in row-major order. Returns false
+// after the last index.
+bool NextIndex(std::vector<size_t>& index, const std::vector<size_t>& shape) {
+  for (size_t axis = shape.size(); axis-- > 0;) {
+    if (++index[axis] < shape[axis]) return true;
+    index[axis] = 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<double> DirectConvolveSame(
+    const std::vector<double>& data, const std::vector<size_t>& shape,
+    const std::vector<double>& kernel,
+    const std::vector<size_t>& kernel_shape) {
+  CheckArgs(data, shape, kernel, kernel_shape);
+  const size_t d = shape.size();
+  const std::vector<size_t> data_strides = Strides(shape);
+  std::vector<double> out(data.size(), 0.0);
+  std::vector<long> half(d);
+  for (size_t a = 0; a < d; ++a) {
+    half[a] = static_cast<long>(kernel_shape[a] / 2);
+  }
+
+  std::vector<size_t> out_idx(d, 0);
+  do {
+    double acc = 0.0;
+    std::vector<size_t> k_idx(d, 0);
+    do {
+      bool in_bounds = true;
+      size_t src_offset = 0;
+      for (size_t a = 0; a < d; ++a) {
+        const long coord = static_cast<long>(out_idx[a]) +
+                           static_cast<long>(k_idx[a]) - half[a];
+        if (coord < 0 || coord >= static_cast<long>(shape[a])) {
+          in_bounds = false;
+          break;
+        }
+        src_offset += static_cast<size_t>(coord) * data_strides[a];
+      }
+      if (in_bounds) {
+        size_t k_offset = 0;
+        size_t k_stride = 1;
+        for (size_t a = d; a-- > 0;) {
+          // Flip the kernel, as linear convolution requires.
+          k_offset += (kernel_shape[a] - 1 - k_idx[a]) * k_stride;
+          k_stride *= kernel_shape[a];
+        }
+        acc += data[src_offset] * kernel[k_offset];
+      }
+    } while (NextIndex(k_idx, kernel_shape));
+    size_t out_offset = 0;
+    for (size_t a = 0; a < d; ++a) out_offset += out_idx[a] * data_strides[a];
+    out[out_offset] = acc;
+  } while (NextIndex(out_idx, shape));
+  return out;
+}
+
+std::vector<double> FftConvolveSame(const std::vector<double>& data,
+                                    const std::vector<size_t>& shape,
+                                    const std::vector<double>& kernel,
+                                    const std::vector<size_t>& kernel_shape) {
+  CheckArgs(data, shape, kernel, kernel_shape);
+  const size_t d = shape.size();
+
+  // Pad each axis to a power of two at least shape + kernel - 1 so circular
+  // convolution equals linear convolution.
+  std::vector<size_t> padded(d);
+  for (size_t a = 0; a < d; ++a) {
+    padded[a] = NextPowerOfTwo(shape[a] + kernel_shape[a] - 1);
+  }
+  const size_t padded_total = TotalSize(padded);
+  const std::vector<size_t> padded_strides = Strides(padded);
+  const std::vector<size_t> data_strides = Strides(shape);
+
+  std::vector<std::complex<double>> a_freq(padded_total, {0.0, 0.0});
+  std::vector<std::complex<double>> b_freq(padded_total, {0.0, 0.0});
+
+  // Embed data at the origin of the padded array.
+  std::vector<size_t> idx(d, 0);
+  do {
+    size_t src = 0, dst = 0;
+    for (size_t axis = 0; axis < d; ++axis) {
+      src += idx[axis] * data_strides[axis];
+      dst += idx[axis] * padded_strides[axis];
+    }
+    a_freq[dst] = data[src];
+  } while (NextIndex(idx, shape));
+
+  // Embed the kernel at the origin too.
+  const std::vector<size_t> kernel_strides = Strides(kernel_shape);
+  idx.assign(d, 0);
+  do {
+    size_t src = 0, dst = 0;
+    for (size_t axis = 0; axis < d; ++axis) {
+      src += idx[axis] * kernel_strides[axis];
+      dst += idx[axis] * padded_strides[axis];
+    }
+    b_freq[dst] = kernel[src];
+  } while (NextIndex(idx, kernel_shape));
+
+  FftNd(a_freq, padded, /*inverse=*/false);
+  FftNd(b_freq, padded, /*inverse=*/false);
+  for (size_t i = 0; i < padded_total; ++i) a_freq[i] *= b_freq[i];
+  FftNd(a_freq, padded, /*inverse=*/true);
+
+  // The "same" window starts at kernel_shape/2 along each axis of the full
+  // linear-convolution result.
+  std::vector<double> out(data.size(), 0.0);
+  idx.assign(d, 0);
+  do {
+    size_t src = 0, dst = 0;
+    for (size_t axis = 0; axis < d; ++axis) {
+      src += (idx[axis] + kernel_shape[axis] / 2) * padded_strides[axis];
+      dst += idx[axis] * data_strides[axis];
+    }
+    out[dst] = a_freq[src].real();
+  } while (NextIndex(idx, shape));
+  return out;
+}
+
+}  // namespace tkdc

@@ -1,0 +1,30 @@
+#ifndef TKDC_FFT_CONVOLUTION_H_
+#define TKDC_FFT_CONVOLUTION_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tkdc {
+
+/// Multi-dimensional "same" linear convolution of a real row-major array
+/// `data` of the given `shape` with a real kernel of odd extents
+/// `kernel_shape` (the kernel is centered). Returns an array of `shape`.
+///
+/// `DirectConvolveSame` is the O(|data| * |kernel|) reference;
+/// `FftConvolveSame` zero-pads each axis to a power of two covering
+/// shape + kernel - 1 and multiplies in the frequency domain. Both produce
+/// identical results up to round-off; the binned KDE baseline picks
+/// whichever is cheaper.
+std::vector<double> DirectConvolveSame(const std::vector<double>& data,
+                                       const std::vector<size_t>& shape,
+                                       const std::vector<double>& kernel,
+                                       const std::vector<size_t>& kernel_shape);
+
+std::vector<double> FftConvolveSame(const std::vector<double>& data,
+                                    const std::vector<size_t>& shape,
+                                    const std::vector<double>& kernel,
+                                    const std::vector<size_t>& kernel_shape);
+
+}  // namespace tkdc
+
+#endif  // TKDC_FFT_CONVOLUTION_H_

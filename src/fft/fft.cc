@@ -1,0 +1,96 @@
+#include "fft/fft.h"
+
+#include <numbers>
+
+#include "common/macros.h"
+
+namespace tkdc {
+
+bool IsPowerOfTwo(size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+size_t NextPowerOfTwo(size_t n) {
+  TKDC_CHECK(n >= 1);
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void Fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const size_t n = data.size();
+  TKDC_CHECK(IsPowerOfTwo(n));
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= inv_n;
+  }
+}
+
+void FftNd(std::vector<std::complex<double>>& data,
+           const std::vector<size_t>& shape, bool inverse) {
+  TKDC_CHECK(!shape.empty());
+  size_t total = 1;
+  for (size_t extent : shape) {
+    TKDC_CHECK(IsPowerOfTwo(extent));
+    total *= extent;
+  }
+  TKDC_CHECK(data.size() == total);
+
+  // Transform along each axis in turn: gather each 1-d line, FFT it,
+  // scatter it back. Strides are row-major.
+  std::vector<size_t> strides(shape.size());
+  size_t stride = 1;
+  for (size_t axis = shape.size(); axis-- > 0;) {
+    strides[axis] = stride;
+    stride *= shape[axis];
+  }
+
+  std::vector<std::complex<double>> line;
+  for (size_t axis = 0; axis < shape.size(); ++axis) {
+    const size_t extent = shape[axis];
+    const size_t axis_stride = strides[axis];
+    const size_t num_lines = total / extent;
+    line.resize(extent);
+    for (size_t l = 0; l < num_lines; ++l) {
+      // Map line index l to the base offset of this line: iterate all
+      // coordinates except `axis`.
+      size_t rem = l;
+      size_t base = 0;
+      for (size_t a = 0; a < shape.size(); ++a) {
+        if (a == axis) continue;
+        const size_t coord = rem % shape[a];
+        rem /= shape[a];
+        base += coord * strides[a];
+      }
+      for (size_t k = 0; k < extent; ++k) line[k] = data[base + k * axis_stride];
+      Fft(line, inverse);
+      for (size_t k = 0; k < extent; ++k) data[base + k * axis_stride] = line[k];
+    }
+  }
+}
+
+}  // namespace tkdc

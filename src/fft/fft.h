@@ -1,0 +1,29 @@
+#ifndef TKDC_FFT_FFT_H_
+#define TKDC_FFT_FFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace tkdc {
+
+/// True when n is a power of two (n >= 1).
+bool IsPowerOfTwo(size_t n);
+
+/// Smallest power of two >= n (n >= 1).
+size_t NextPowerOfTwo(size_t n);
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. `data.size()` must be a
+/// power of two. With `inverse`, computes the inverse transform including
+/// the 1/n normalization, so Fft(Fft(x), inverse) == x.
+void Fft(std::vector<std::complex<double>>& data, bool inverse);
+
+/// In-place multi-dimensional FFT over a row-major array of the given
+/// `shape` (all extents powers of two, product equal to data.size()).
+/// Applies the 1-d transform separably along every axis.
+void FftNd(std::vector<std::complex<double>>& data,
+           const std::vector<size_t>& shape, bool inverse);
+
+}  // namespace tkdc
+
+#endif  // TKDC_FFT_FFT_H_

@@ -1,0 +1,69 @@
+#include "harness/runner.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/timer.h"
+
+namespace tkdc {
+
+RunResult RunClassifier(DensityClassifier& classifier, const Dataset& data,
+                        const RunOptions& options) {
+  TKDC_CHECK(!data.empty());
+  RunResult result;
+  result.algorithm = classifier.name();
+  result.dataset_size = data.size();
+  result.dims = data.dims();
+
+  WallTimer timer;
+  classifier.Train(data);
+  result.train_seconds = timer.ElapsedSeconds();
+  result.threshold = classifier.threshold();
+  result.kernel_evals_train = classifier.kernel_evaluations();
+
+  const size_t n = data.size();
+  const size_t max_queries = std::min(options.max_queries, n);
+  constexpr size_t kMinQueries = 16;
+  // Stride so the measured prefix covers the whole dataset rather than one
+  // corner of space.
+  const size_t stride = std::max<size_t>(1, n / max_queries);
+
+  size_t high = 0;
+  size_t measured = 0;
+  timer.Restart();
+  for (size_t i = 0; measured < max_queries; i = (i + stride) % n) {
+    // Queries are the training points themselves (the outlier-detection
+    // workload of Section 4.1), so use the self-corrected classification.
+    if (classifier.ClassifyTraining(data.Row(i)) == Classification::kHigh) {
+      ++high;
+    }
+    ++measured;
+    if (measured >= kMinQueries &&
+        timer.ElapsedSeconds() > options.budget_seconds) {
+      break;
+    }
+  }
+  result.query_seconds = timer.ElapsedSeconds();
+  result.queries_measured = measured;
+  result.per_query_seconds =
+      result.query_seconds / static_cast<double>(measured);
+  result.kernel_evals_query =
+      classifier.kernel_evaluations() - result.kernel_evals_train;
+  result.kernel_evals_per_query =
+      static_cast<double>(result.kernel_evals_query) /
+      static_cast<double>(measured);
+  result.high_fraction =
+      static_cast<double>(high) / static_cast<double>(measured);
+
+  const double total_seconds =
+      result.train_seconds +
+      result.per_query_seconds * static_cast<double>(n);
+  result.amortized_throughput =
+      total_seconds > 0.0 ? static_cast<double>(n) / total_seconds : 0.0;
+  result.query_throughput = result.per_query_seconds > 0.0
+                                ? 1.0 / result.per_query_seconds
+                                : 0.0;
+  return result;
+}
+
+}  // namespace tkdc

@@ -1,0 +1,56 @@
+#ifndef TKDC_HARNESS_RUNNER_H_
+#define TKDC_HARNESS_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+#include "kde/density_classifier.h"
+
+namespace tkdc {
+
+/// Measurement of one (algorithm, workload) pair, replicating the paper's
+/// Section 4.1 methodology: queries are the training points themselves
+/// (the outlier-detection workload), training time is amortized across all
+/// n points, and slow algorithms are measured on a prefix of queries within
+/// a time budget and extrapolated.
+struct RunResult {
+  std::string algorithm;
+  size_t dataset_size = 0;
+  size_t dims = 0;
+  double train_seconds = 0.0;
+  size_t queries_measured = 0;
+  double query_seconds = 0.0;
+  /// Mean seconds per query.
+  double per_query_seconds = 0.0;
+  /// The paper's headline metric: n / (train + n * per_query) — effective
+  /// classification throughput including amortized training.
+  double amortized_throughput = 0.0;
+  /// Pure query throughput 1 / per_query (Figures 9 and 10 exclude
+  /// training time).
+  double query_throughput = 0.0;
+  uint64_t kernel_evals_train = 0;
+  uint64_t kernel_evals_query = 0;
+  double kernel_evals_per_query = 0.0;
+  double threshold = 0.0;
+  /// Fraction of measured queries classified HIGH.
+  double high_fraction = 0.0;
+};
+
+/// Measurement knobs.
+struct RunOptions {
+  /// Hard cap on measured queries (queries beyond it are extrapolated).
+  size_t max_queries = 20000;
+  /// Stop measuring queries once this much time is spent (min 16 queries
+  /// are always measured so the average is meaningful).
+  double budget_seconds = 3.0;
+};
+
+/// Trains `classifier` on `data`, then classifies query points drawn
+/// round-robin from the dataset under the measurement budget.
+RunResult RunClassifier(DensityClassifier& classifier, const Dataset& data,
+                        const RunOptions& options);
+
+}  // namespace tkdc
+
+#endif  // TKDC_HARNESS_RUNNER_H_

@@ -1,0 +1,62 @@
+#include "harness/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace tkdc {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  TKDC_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  TKDC_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << row[c];
+      for (size_t pad = row[c].size(); pad < widths[c]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) total += widths[c] + 2;
+  for (size_t i = 0; i + 2 < total; ++i) out << '-';
+  out << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatFixed(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string FormatCompact(double value) {
+  char buffer[64];
+  const double magnitude = std::fabs(value);
+  if (value != 0.0 && (magnitude < 1e-3 || magnitude >= 1e7)) {
+    std::snprintf(buffer, sizeof(buffer), "%.3e", value);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.4g", value);
+  }
+  return buffer;
+}
+
+}  // namespace tkdc

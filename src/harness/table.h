@@ -1,0 +1,35 @@
+#ifndef TKDC_HARNESS_TABLE_H_
+#define TKDC_HARNESS_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tkdc {
+
+/// Fixed-width text table for bench output: the rows/series the paper's
+/// figures plot, printed in a form that diffs cleanly across runs.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with a header rule.
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision decimal ("0.000123").
+std::string FormatFixed(double value, int precision);
+
+/// Compact scientific/decimal hybrid ("1.23e-04" below 1e-3).
+std::string FormatCompact(double value);
+
+}  // namespace tkdc
+
+#endif  // TKDC_HARNESS_TABLE_H_

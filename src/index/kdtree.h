@@ -1,0 +1,104 @@
+#ifndef TKDC_INDEX_KDTREE_H_
+#define TKDC_INDEX_KDTREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "index/bounding_box.h"
+#include "index/split_rule.h"
+
+namespace tkdc {
+
+/// Build-time options for the k-d tree.
+struct KdTreeOptions {
+  /// Maximum points in a leaf before splitting stops.
+  size_t leaf_size = 32;
+  /// Split-position rule; the paper's tKDC default is the trimmed midpoint.
+  SplitRule split_rule = SplitRule::kTrimmedMidpoint;
+  /// Split-axis rule; the paper cycles through dimensions per level.
+  SplitAxisRule axis_rule = SplitAxisRule::kCycle;
+};
+
+/// One node of the k-d tree. Nodes are stored in a flat vector; children are
+/// referenced by index (-1 marks a leaf). Every node knows its point range
+/// [begin, end) in the tree's reordered point array, its exact bounding box,
+/// and therefore its point count — the multi-resolution structure of paper
+/// Figure 3.
+struct KdNode {
+  BoundingBox box;
+  size_t begin = 0;
+  size_t end = 0;
+  int32_t left = -1;
+  int32_t right = -1;
+  uint8_t split_axis = 0;
+
+  bool is_leaf() const { return left < 0; }
+  size_t count() const { return end - begin; }
+};
+
+/// Static k-d tree over a dataset. Points are copied and reordered into a
+/// contiguous array so leaf scans are cache-friendly; OriginalIndex() maps
+/// back to dataset row ids.
+class KdTree {
+ public:
+  /// Builds the tree over `data` (non-empty). O(n log n).
+  KdTree(const Dataset& data, KdTreeOptions options);
+
+  size_t size() const { return size_; }
+  size_t dims() const { return dims_; }
+  const KdTreeOptions& options() const { return options_; }
+
+  size_t num_nodes() const { return nodes_.size(); }
+  const KdNode& node(size_t i) const { return nodes_[i]; }
+  static constexpr size_t kRoot = 0;
+  const KdNode& root() const { return nodes_[kRoot]; }
+
+  /// Coordinates of reordered point `i` (0 <= i < size()).
+  std::span<const double> Point(size_t i) const {
+    return {points_.data() + i * dims_, dims_};
+  }
+
+  /// Dataset row id of reordered point `i`.
+  size_t OriginalIndex(size_t i) const { return original_index_[i]; }
+
+  /// Appends to `out` the reordered indices of all points whose *scaled*
+  /// squared distance to `x` (per-axis division by bandwidths, i.e.
+  /// multiplication by `inv_bw`) is <= `radius_sq`. Used by the rkde
+  /// baseline's range queries. Returns the number of point-distance
+  /// computations performed (for cost accounting).
+  uint64_t CollectWithinScaledRadius(std::span<const double> x,
+                                     std::span<const double> inv_bw,
+                                     double radius_sq,
+                                     std::vector<size_t>* out) const;
+
+  /// Finds the `k` nearest points to `x` under the scaled metric (per-axis
+  /// multiplication by `inv_bw`). Fills `out` with (scaled squared
+  /// distance, reordered point index) pairs sorted ascending. Returns the
+  /// number of distance computations performed. k is clamped to size().
+  uint64_t KNearestScaled(std::span<const double> x,
+                          std::span<const double> inv_bw, size_t k,
+                          std::vector<std::pair<double, size_t>>* out) const;
+
+  /// Depth of the deepest leaf (root = depth 0). For diagnostics.
+  size_t MaxDepth() const;
+
+ private:
+  struct BuildFrame;
+
+  void Build(size_t node_index, size_t depth);
+
+  size_t dims_;
+  size_t size_;
+  KdTreeOptions options_;
+  std::vector<double> points_;          // Reordered, row-major.
+  std::vector<size_t> original_index_;  // Reordered -> dataset row.
+  std::vector<KdNode> nodes_;
+  std::vector<double> scratch_;  // Split-coordinate scratch buffer.
+};
+
+}  // namespace tkdc
+
+#endif  // TKDC_INDEX_KDTREE_H_

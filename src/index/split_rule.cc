@@ -1,0 +1,58 @@
+#include "index/split_rule.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace tkdc {
+
+std::optional<SplitRule> SplitRuleFromName(const std::string& name) {
+  if (name == "median") return SplitRule::kMedian;
+  if (name == "midpoint") return SplitRule::kMidpoint;
+  if (name == "trimmed") return SplitRule::kTrimmedMidpoint;
+  return std::nullopt;
+}
+
+std::string SplitRuleName(SplitRule rule) {
+  switch (rule) {
+    case SplitRule::kMedian:
+      return "median";
+    case SplitRule::kMidpoint:
+      return "midpoint";
+    case SplitRule::kTrimmedMidpoint:
+      return "trimmed";
+  }
+  return "unknown";
+}
+
+double ComputeSplitPosition(SplitRule rule, double* values, size_t size) {
+  TKDC_CHECK(size >= 2);
+  switch (rule) {
+    case SplitRule::kMedian: {
+      const size_t mid = size / 2;
+      std::nth_element(values, values + mid, values + size);
+      return values[mid];
+    }
+    case SplitRule::kMidpoint: {
+      const auto [lo, hi] = std::minmax_element(values, values + size);
+      return 0.5 * (*lo + *hi);
+    }
+    case SplitRule::kTrimmedMidpoint: {
+      // (x_(10) + x_(90)) / 2 with percentile ranks floor(size * p),
+      // clamped to valid indices.
+      size_t lo_idx = static_cast<size_t>(0.10 * static_cast<double>(size));
+      size_t hi_idx = static_cast<size_t>(0.90 * static_cast<double>(size));
+      if (hi_idx >= size) hi_idx = size - 1;
+      if (lo_idx > hi_idx) lo_idx = hi_idx;
+      std::nth_element(values, values + lo_idx, values + size);
+      const double lo = values[lo_idx];
+      std::nth_element(values + lo_idx, values + hi_idx, values + size);
+      const double hi = values[hi_idx];
+      return 0.5 * (lo + hi);
+    }
+  }
+  TKDC_CHECK_MSG(false, "unknown split rule");
+  return 0.0;  // Unreachable.
+}
+
+}  // namespace tkdc

@@ -1,0 +1,44 @@
+#ifndef TKDC_INDEX_SPLIT_RULE_H_
+#define TKDC_INDEX_SPLIT_RULE_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace tkdc {
+
+/// How a k-d tree node chooses the split position along its split axis.
+enum class SplitRule {
+  /// Median of the coordinates: balanced tree (the textbook rule).
+  kMedian,
+  /// Midpoint of the node's bounding box along the axis.
+  kMidpoint,
+  /// The paper's "equi-width" rule (Section 3.7): split at
+  /// (x_(10) + x_(90)) / 2, the midpoint of the 10th and 90th percentiles.
+  /// Resists outliers while producing tight boxes, which matters more than
+  /// balance because the Gaussian kernel decays exponentially.
+  kTrimmedMidpoint,
+};
+
+/// How a node chooses which axis to split.
+enum class SplitAxisRule {
+  /// Cycle through dimensions by tree level (the paper's default).
+  kCycle,
+  /// Split the widest extent of the node's bounding box (ablation option).
+  kWidestExtent,
+};
+
+/// Parses "median" / "midpoint" / "trimmed" into a SplitRule.
+std::optional<SplitRule> SplitRuleFromName(const std::string& name);
+
+/// Human-readable rule name.
+std::string SplitRuleName(SplitRule rule);
+
+/// Computes the split position for `values` (the coordinates of a node's
+/// points along the split axis; modified in place by partial sorting).
+/// Returns the coordinate to split at. `values_size` >= 2.
+double ComputeSplitPosition(SplitRule rule, double* values, size_t size);
+
+}  // namespace tkdc
+
+#endif  // TKDC_INDEX_SPLIT_RULE_H_

@@ -1,0 +1,39 @@
+#include "kde/bandwidth.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace tkdc {
+
+std::vector<double> SelectBandwidths(BandwidthRule rule, size_t n,
+                                     const std::vector<double>& sigmas,
+                                     double scale_factor) {
+  TKDC_CHECK(n >= 1);
+  TKDC_CHECK(!sigmas.empty());
+  TKDC_CHECK(scale_factor > 0.0);
+  const double d = static_cast<double>(sigmas.size());
+  const double n_factor =
+      std::pow(static_cast<double>(n), -1.0 / (d + 4.0));
+  double rule_factor = 1.0;
+  if (rule == BandwidthRule::kSilverman) {
+    rule_factor = std::pow(4.0 / (d + 2.0), 1.0 / (d + 4.0));
+  }
+  std::vector<double> bandwidths(sigmas.size());
+  for (size_t j = 0; j < sigmas.size(); ++j) {
+    TKDC_CHECK(sigmas[j] >= 0.0);
+    double h = scale_factor * rule_factor * n_factor * sigmas[j];
+    if (h <= 0.0) h = 1e-9;  // Zero-variance axis: tiny floor.
+    bandwidths[j] = h;
+  }
+  return bandwidths;
+}
+
+std::vector<double> SelectBandwidths(BandwidthRule rule, const Dataset& data,
+                                     double scale_factor) {
+  TKDC_CHECK(data.size() >= 2);
+  return SelectBandwidths(rule, data.size(), data.ColumnStdDevs(),
+                          scale_factor);
+}
+
+}  // namespace tkdc

@@ -1,0 +1,34 @@
+#ifndef TKDC_KDE_BANDWIDTH_H_
+#define TKDC_KDE_BANDWIDTH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace tkdc {
+
+/// Diagonal bandwidth selection rules.
+enum class BandwidthRule {
+  /// Scott's rule (paper Eq. 4): h_i = b * n^(-1/(d+4)) * sigma_i.
+  kScott,
+  /// Silverman's rule: h_i = b * (4/(d+2))^(1/(d+4)) * n^(-1/(d+4)) *
+  /// sigma_i. An extension; coincides with Scott for d = 2.
+  kSilverman,
+};
+
+/// Per-axis bandwidths from per-axis standard deviations `sigmas` for a
+/// training set of `n` points. `scale_factor` is the user factor b of
+/// Eq. 4. Axes with zero variance get a small floor bandwidth so the kernel
+/// stays well-defined.
+std::vector<double> SelectBandwidths(BandwidthRule rule, size_t n,
+                                     const std::vector<double>& sigmas,
+                                     double scale_factor);
+
+/// Convenience overload computing sigmas from `data`.
+std::vector<double> SelectBandwidths(BandwidthRule rule, const Dataset& data,
+                                     double scale_factor);
+
+}  // namespace tkdc
+
+#endif  // TKDC_KDE_BANDWIDTH_H_

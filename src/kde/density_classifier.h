@@ -1,0 +1,60 @@
+#ifndef TKDC_KDE_DENSITY_CLASSIFIER_H_
+#define TKDC_KDE_DENSITY_CLASSIFIER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace tkdc {
+
+/// Outcome of one density classification (paper Problem 1).
+enum class Classification {
+  kLow,   ///< f(x) below the threshold.
+  kHigh,  ///< f(x) above the threshold.
+};
+
+/// Common interface for every density-classification algorithm in the
+/// evaluation (tKDC and the simple / nocut / rkde / binned / knn
+/// baselines).
+///
+/// Usage: construct, Train() once on the training set (which also fixes the
+/// quantile threshold t(p)), then Classify() any number of query points.
+class DensityClassifier {
+ public:
+  virtual ~DensityClassifier() = default;
+
+  /// Algorithm name as used in the paper's plots ("tkdc", "simple", ...).
+  virtual std::string name() const = 0;
+
+  /// Trains on `data`: builds indexes and estimates the threshold t(p).
+  virtual void Train(const Dataset& data) = 0;
+
+  /// Classifies a query point against the trained threshold.
+  virtual Classification Classify(std::span<const double> x) = 0;
+
+  /// Classifies a point that belongs to the training set. The threshold
+  /// t(p) is a quantile of *self-corrected* densities f(x_i) - K_H(0)/n
+  /// (paper Eq. 1), so classifying a training point must subtract its own
+  /// kernel contribution too — otherwise, for small n or higher d, the
+  /// self-term K_H(0)/n alone can exceed t and mark every training point
+  /// HIGH. This is the entry point for the paper's outlier-detection
+  /// workload (scoring the dataset against itself); Classify() is for
+  /// fresh query points.
+  virtual Classification ClassifyTraining(std::span<const double> x) = 0;
+
+  /// Point estimate of the density at `x` (midpoint of bounds for bounded
+  /// algorithms). Used by the accuracy experiments.
+  virtual double EstimateDensity(std::span<const double> x) = 0;
+
+  /// The trained threshold estimate t~(p). Only valid after Train().
+  virtual double threshold() const = 0;
+
+  /// Cumulative kernel evaluations across Train() and Classify() calls.
+  virtual uint64_t kernel_evaluations() const = 0;
+};
+
+}  // namespace tkdc
+
+#endif  // TKDC_KDE_DENSITY_CLASSIFIER_H_

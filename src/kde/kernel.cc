@@ -1,0 +1,115 @@
+#include "kde/kernel.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/macros.h"
+
+namespace tkdc {
+
+Kernel::Kernel(KernelType type, std::vector<double> bandwidths)
+    : type_(type), bandwidths_(std::move(bandwidths)) {
+  TKDC_CHECK(!bandwidths_.empty());
+  inv_bandwidths_.resize(bandwidths_.size());
+  double log_bw_product = 0.0;
+  for (size_t j = 0; j < bandwidths_.size(); ++j) {
+    TKDC_CHECK(bandwidths_[j] > 0.0);
+    inv_bandwidths_[j] = 1.0 / bandwidths_[j];
+    log_bw_product += std::log(bandwidths_[j]);
+  }
+  const double d = static_cast<double>(bandwidths_.size());
+  switch (type_) {
+    case KernelType::kGaussian:
+      // 1 / ((2 pi)^(d/2) * prod h_j).
+      norm_ = std::exp(-0.5 * d * std::log(2.0 * std::numbers::pi) -
+                       log_bw_product);
+      break;
+    case KernelType::kEpanechnikov: {
+      // c_d = (d + 2) Gamma(d/2 + 1) / (2 pi^(d/2)): normalizes
+      // (1 - ||u||^2)+ over the unit ball.
+      const double log_cd = std::log(d + 2.0) + std::lgamma(0.5 * d + 1.0) -
+                            std::log(2.0) -
+                            0.5 * d * std::log(std::numbers::pi);
+      norm_ = std::exp(log_cd - log_bw_product);
+      break;
+    }
+    case KernelType::kUniform: {
+      // 1 / volume of the unit ball: Gamma(d/2 + 1) / pi^(d/2).
+      const double log_ud = std::lgamma(0.5 * d + 1.0) -
+                            0.5 * d * std::log(std::numbers::pi);
+      norm_ = std::exp(log_ud - log_bw_product);
+      break;
+    }
+    case KernelType::kBiweight: {
+      // b_d = Gamma(d/2 + 3) / (2 pi^(d/2)): normalizes (1 - ||u||^2)+^2.
+      const double log_bd = std::lgamma(0.5 * d + 3.0) - std::log(2.0) -
+                            0.5 * d * std::log(std::numbers::pi);
+      norm_ = std::exp(log_bd - log_bw_product);
+      break;
+    }
+  }
+}
+
+double Kernel::ScaledSquaredDistance(std::span<const double> a,
+                                     std::span<const double> b) const {
+  TKDC_DCHECK(a.size() == dims() && b.size() == dims());
+  double z = 0.0;
+  for (size_t j = 0; j < a.size(); ++j) {
+    const double u = (a[j] - b[j]) * inv_bandwidths_[j];
+    z += u * u;
+  }
+  return z;
+}
+
+double Kernel::EvaluateScaled(double z) const {
+  TKDC_DCHECK(z >= 0.0);
+  switch (type_) {
+    case KernelType::kGaussian:
+      return norm_ * std::exp(-0.5 * z);
+    case KernelType::kEpanechnikov:
+      return z >= 1.0 ? 0.0 : norm_ * (1.0 - z);
+    case KernelType::kUniform:
+      return z >= 1.0 ? 0.0 : norm_;
+    case KernelType::kBiweight:
+      return z >= 1.0 ? 0.0 : norm_ * (1.0 - z) * (1.0 - z);
+  }
+  return 0.0;  // Unreachable.
+}
+
+double Kernel::Evaluate(std::span<const double> a,
+                        std::span<const double> b) const {
+  return EvaluateScaled(ScaledSquaredDistance(a, b));
+}
+
+double Kernel::SupportScaledSquared() const {
+  switch (type_) {
+    case KernelType::kGaussian:
+      return std::numeric_limits<double>::infinity();
+    case KernelType::kEpanechnikov:
+    case KernelType::kUniform:
+    case KernelType::kBiweight:
+      return 1.0;
+  }
+  return 0.0;  // Unreachable.
+}
+
+double Kernel::ScaledSquaredDistanceForValue(double value) const {
+  if (value >= norm_) return 0.0;
+  switch (type_) {
+    case KernelType::kGaussian:
+      if (value <= 0.0) return std::numeric_limits<double>::infinity();
+      return -2.0 * std::log(value / norm_);
+    case KernelType::kEpanechnikov:
+      if (value <= 0.0) return 1.0;
+      return 1.0 - value / norm_;
+    case KernelType::kUniform:
+      // Discontinuous at the support edge; any z < 1 has value norm_.
+      return 1.0;
+    case KernelType::kBiweight:
+      if (value <= 0.0) return 1.0;
+      return 1.0 - std::sqrt(value / norm_);
+  }
+  return 0.0;  // Unreachable.
+}
+
+}  // namespace tkdc

@@ -1,0 +1,86 @@
+#ifndef TKDC_KDE_KERNEL_H_
+#define TKDC_KDE_KERNEL_H_
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace tkdc {
+
+/// Kernel families supported by the library. Both are radial profiles of
+/// the per-axis scaled distance, so the k-d tree bounds (which produce
+/// min/max scaled distances to a box) apply uniformly.
+enum class KernelType {
+  /// Gaussian product kernel with diagonal bandwidth (paper Eq. 2, the
+  /// default throughout the evaluation).
+  kGaussian,
+  /// Spherical Epanechnikov kernel, compactly supported: an extension the
+  /// paper's techniques apply to unchanged (finite support makes pruning
+  /// strictly easier).
+  kEpanechnikov,
+  /// Spherical uniform ("boxcar") kernel: constant inside the unit ball.
+  /// Degenerate smoothing, but the cheapest possible evaluation — density
+  /// classification with it reduces to range counting.
+  kUniform,
+  /// Spherical biweight (quartic) kernel (1 - z)^2 on the unit ball:
+  /// smoother than Epanechnikov while keeping compact support.
+  kBiweight,
+};
+
+/// A normalized multivariate kernel K_H with diagonal bandwidth
+/// H = diag(h_1^2, ..., h_d^2). Densities are functions of the scaled
+/// squared distance z = sum_j ((x_j - y_j) / h_j)^2:
+///
+///   Gaussian:      K(z) = exp(-z / 2) / ((2 pi)^(d/2) * prod h_j)
+///   Epanechnikov:  K(z) = c_d * max(0, 1 - z) / prod h_j
+///   Uniform:       K(z) = u_d * [z < 1] / prod h_j
+///   Biweight:      K(z) = b_d * max(0, 1 - z)^2 / prod h_j
+///
+/// with the constants chosen so each kernel integrates to one.
+class Kernel {
+ public:
+  /// Builds a kernel with the given per-axis bandwidths (all > 0).
+  Kernel(KernelType type, std::vector<double> bandwidths);
+
+  KernelType type() const { return type_; }
+  size_t dims() const { return bandwidths_.size(); }
+  const std::vector<double>& bandwidths() const { return bandwidths_; }
+  const std::vector<double>& inverse_bandwidths() const {
+    return inv_bandwidths_;
+  }
+
+  /// Scaled squared distance sum_j ((a_j - b_j) / h_j)^2.
+  double ScaledSquaredDistance(std::span<const double> a,
+                               std::span<const double> b) const;
+
+  /// Kernel value given a scaled squared distance z >= 0.
+  double EvaluateScaled(double z) const;
+
+  /// Kernel value K_H(a - b).
+  double Evaluate(std::span<const double> a, std::span<const double> b) const;
+
+  /// Maximum kernel value K_H(0) (the self-contribution of a training point
+  /// before the 1/n factor; paper Section 2.3's f_0 = K_H(0) / n).
+  double MaxValue() const { return EvaluateScaled(0.0); }
+
+  /// Scaled squared radius beyond which the kernel is exactly zero;
+  /// +infinity for the Gaussian.
+  double SupportScaledSquared() const;
+
+  /// Solves EvaluateScaled(z) == value for z; returns +infinity when the
+  /// kernel never falls to `value` (value <= 0 for Gaussian) and 0 when
+  /// `value` >= MaxValue(). Used by the rkde baseline to pick the smallest
+  /// radius with bounded truncation error.
+  double ScaledSquaredDistanceForValue(double value) const;
+
+ private:
+  KernelType type_;
+  std::vector<double> bandwidths_;
+  std::vector<double> inv_bandwidths_;
+  double norm_;  // Normalization constant = K_H(0) for both families.
+};
+
+}  // namespace tkdc
+
+#endif  // TKDC_KDE_KERNEL_H_

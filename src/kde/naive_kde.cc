@@ -1,0 +1,37 @@
+#include "kde/naive_kde.h"
+
+#include "common/macros.h"
+
+namespace tkdc {
+
+NaiveKde::NaiveKde(const Dataset& data, Kernel kernel)
+    : data_(data), kernel_(std::move(kernel)) {
+  TKDC_CHECK(!data_.empty());
+  TKDC_CHECK(kernel_.dims() == data_.dims());
+}
+
+double NaiveKde::Density(std::span<const double> x) const {
+  const size_t n = data_.size();
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += kernel_.Evaluate(x, data_.Row(i));
+  }
+  kernel_evaluations_ += n;
+  return sum / static_cast<double>(n);
+}
+
+double NaiveKde::TrainingDensity(size_t i) const {
+  TKDC_CHECK(i < data_.size());
+  return Density(data_.Row(i)) -
+         kernel_.MaxValue() / static_cast<double>(data_.size());
+}
+
+std::vector<double> NaiveKde::AllTrainingDensities() const {
+  std::vector<double> densities(data_.size());
+  for (size_t i = 0; i < data_.size(); ++i) {
+    densities[i] = TrainingDensity(i);
+  }
+  return densities;
+}
+
+}  // namespace tkdc

@@ -1,0 +1,48 @@
+#ifndef TKDC_KDE_NAIVE_KDE_H_
+#define TKDC_KDE_NAIVE_KDE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "kde/kernel.h"
+
+namespace tkdc {
+
+/// Exact kernel density estimator (paper Eq. 3): f(x) = (1/n) sum_i
+/// K_H(x - x_i), evaluated by a full scan over the training data. This is
+/// the paper's "simple" algorithm and the ground-truth oracle for the
+/// accuracy experiments (Figure 8).
+class NaiveKde {
+ public:
+  /// Trains on `data` with the given kernel. The kernel's dimensionality
+  /// must match; the data is copied so the estimator is self-contained.
+  NaiveKde(const Dataset& data, Kernel kernel);
+
+  const Kernel& kernel() const { return kernel_; }
+  size_t size() const { return data_.size(); }
+
+  /// Exact density at `x` (O(n) kernel evaluations).
+  double Density(std::span<const double> x) const;
+
+  /// Exact density of training point `i`, with the self-contribution
+  /// K_H(0)/n subtracted (paper Section 2.3).
+  double TrainingDensity(size_t i) const;
+
+  /// Densities of every training point, self-corrected. O(n^2); used for
+  /// ground truth on modest n.
+  std::vector<double> AllTrainingDensities() const;
+
+  /// Total kernel evaluations performed so far (mutable statistics counter).
+  uint64_t kernel_evaluations() const { return kernel_evaluations_; }
+
+ private:
+  Dataset data_;
+  Kernel kernel_;
+  mutable uint64_t kernel_evaluations_ = 0;
+};
+
+}  // namespace tkdc
+
+#endif  // TKDC_KDE_NAIVE_KDE_H_

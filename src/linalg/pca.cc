@@ -1,0 +1,52 @@
+#include "linalg/pca.h"
+
+#include "common/macros.h"
+#include "linalg/sym_eigen.h"
+
+namespace tkdc {
+
+Pca::Pca(const Dataset& data) {
+  TKDC_CHECK(data.size() >= 2);
+  means_ = data.ColumnMeans();
+  const SymmetricMatrix cov = Covariance(data);
+  EigenDecomposition eig = JacobiEigenDecomposition(cov);
+  eigenvalues_ = std::move(eig.eigenvalues);
+  components_ = std::move(eig.eigenvectors);
+}
+
+double Pca::ExplainedVarianceRatio(size_t k) const {
+  TKDC_CHECK(k >= 1 && k <= eigenvalues_.size());
+  double top = 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < eigenvalues_.size(); ++i) {
+    // Covariances of real data are PSD; clamp tiny negative round-off.
+    const double ev = eigenvalues_[i] > 0.0 ? eigenvalues_[i] : 0.0;
+    total += ev;
+    if (i < k) top += ev;
+  }
+  return total == 0.0 ? 0.0 : top / total;
+}
+
+Dataset Pca::Transform(const Dataset& data, size_t k) const {
+  const size_t d = input_dims();
+  TKDC_CHECK(data.dims() == d);
+  TKDC_CHECK(k >= 1 && k <= d);
+  Dataset out(k);
+  out.Reserve(data.size());
+  std::vector<double> centered(d);
+  std::vector<double> projected(k);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.Row(i);
+    for (size_t j = 0; j < d; ++j) centered[j] = row[j] - means_[j];
+    for (size_t c = 0; c < k; ++c) {
+      const double* comp = components_.data() + c * d;
+      double dot = 0.0;
+      for (size_t j = 0; j < d; ++j) dot += comp[j] * centered[j];
+      projected[c] = dot;
+    }
+    out.AppendRow(projected);
+  }
+  return out;
+}
+
+}  // namespace tkdc

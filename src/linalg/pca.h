@@ -1,0 +1,44 @@
+#ifndef TKDC_LINALG_PCA_H_
+#define TKDC_LINALG_PCA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace tkdc {
+
+/// Principal component analysis fitted on a dataset. Used by the
+/// mnist-style dimension-sweep experiments (paper Figure 14), which reduce
+/// 784-dimensional data to k dimensions before classifying.
+class Pca {
+ public:
+  /// Fits PCA on `data` (covariance eigen-decomposition via Jacobi).
+  /// Requires data.size() >= 2.
+  explicit Pca(const Dataset& data);
+
+  /// Input dimensionality.
+  size_t input_dims() const { return means_.size(); }
+
+  /// Eigenvalues of the covariance matrix, descending (the variance
+  /// explained by each component).
+  const std::vector<double>& explained_variance() const {
+    return eigenvalues_;
+  }
+
+  /// Fraction of total variance captured by the top `k` components.
+  double ExplainedVarianceRatio(size_t k) const;
+
+  /// Projects `data` (same input dims) onto the top `k` principal
+  /// components. Requires 1 <= k <= input_dims().
+  Dataset Transform(const Dataset& data, size_t k) const;
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> eigenvalues_;
+  std::vector<double> components_;  // Row-major, row k = k-th component.
+};
+
+}  // namespace tkdc
+
+#endif  // TKDC_LINALG_PCA_H_

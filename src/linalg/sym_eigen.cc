@@ -1,0 +1,117 @@
+#include "linalg/sym_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace tkdc {
+
+SymmetricMatrix::SymmetricMatrix(size_t n) : n_(n), values_(n * n, 0.0) {
+  TKDC_CHECK(n >= 1);
+}
+
+void SymmetricMatrix::Set(size_t i, size_t j, double value) {
+  TKDC_CHECK(i < n_ && j < n_);
+  values_[i * n_ + j] = value;
+  values_[j * n_ + i] = value;
+}
+
+SymmetricMatrix Covariance(const Dataset& data) {
+  TKDC_CHECK(data.size() >= 2);
+  const size_t d = data.dims();
+  const size_t n = data.size();
+  const std::vector<double> means = data.ColumnMeans();
+  SymmetricMatrix cov(d);
+  std::vector<double> acc(d * d, 0.0);
+  std::vector<double> centered(d);
+  for (size_t i = 0; i < n; ++i) {
+    const auto row = data.Row(i);
+    for (size_t j = 0; j < d; ++j) centered[j] = row[j] - means[j];
+    for (size_t a = 0; a < d; ++a) {
+      const double ca = centered[a];
+      for (size_t b = a; b < d; ++b) acc[a * d + b] += ca * centered[b];
+    }
+  }
+  const double denom = static_cast<double>(n - 1);
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = a; b < d; ++b) cov.Set(a, b, acc[a * d + b] / denom);
+  }
+  return cov;
+}
+
+EigenDecomposition JacobiEigenDecomposition(const SymmetricMatrix& matrix,
+                                            int max_sweeps) {
+  const size_t n = matrix.n();
+  std::vector<double> a = matrix.values();      // Working copy.
+  std::vector<double> v(n * n, 0.0);            // Accumulated rotations.
+  for (size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  auto off_diagonal_norm = [&]() {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) sum += a[i * n + j] * a[i * n + j];
+    }
+    return std::sqrt(sum);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() < 1e-14) break;
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        // Classic Jacobi rotation that annihilates a[p][q].
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t =
+            (theta >= 0.0 ? 1.0 : -1.0) /
+            (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v[k * n + p];
+          const double vkq = v[k * n + q];
+          v[k * n + p] = c * vkp - s * vkq;
+          v[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Extract and sort by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return a[x * n + x] > a[y * n + y];
+  });
+  EigenDecomposition result;
+  result.n = n;
+  result.eigenvalues.resize(n);
+  result.eigenvectors.resize(n * n);
+  for (size_t k = 0; k < n; ++k) {
+    const size_t src = order[k];
+    result.eigenvalues[k] = a[src * n + src];
+    // Column `src` of v is the eigenvector; store it as row k.
+    for (size_t i = 0; i < n; ++i) {
+      result.eigenvectors[k * n + i] = v[i * n + src];
+    }
+  }
+  return result;
+}
+
+}  // namespace tkdc

@@ -1,0 +1,52 @@
+#ifndef TKDC_LINALG_SYM_EIGEN_H_
+#define TKDC_LINALG_SYM_EIGEN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace tkdc {
+
+/// Dense symmetric matrix stored row-major (full storage for simplicity).
+class SymmetricMatrix {
+ public:
+  /// Creates an n x n zero matrix.
+  explicit SymmetricMatrix(size_t n);
+
+  size_t n() const { return n_; }
+  double At(size_t i, size_t j) const { return values_[i * n_ + j]; }
+
+  /// Sets both (i, j) and (j, i).
+  void Set(size_t i, size_t j, double value);
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  size_t n_;
+  std::vector<double> values_;
+};
+
+/// Sample covariance matrix of `data` (n - 1 denominator). Requires
+/// data.size() >= 2.
+SymmetricMatrix Covariance(const Dataset& data);
+
+/// Eigen-decomposition of a symmetric matrix.
+struct EigenDecomposition {
+  /// Eigenvalues in descending order.
+  std::vector<double> eigenvalues;
+  /// Row k of this row-major n x n matrix is the unit eigenvector for
+  /// eigenvalues[k].
+  std::vector<double> eigenvectors;
+  size_t n = 0;
+};
+
+/// Cyclic Jacobi rotation eigensolver for symmetric matrices. Converges to
+/// machine precision for the moderate sizes used here (d <= ~1000).
+/// `max_sweeps` bounds the number of full cyclic sweeps.
+EigenDecomposition JacobiEigenDecomposition(const SymmetricMatrix& matrix,
+                                            int max_sweeps = 100);
+
+}  // namespace tkdc
+
+#endif  // TKDC_LINALG_SYM_EIGEN_H_

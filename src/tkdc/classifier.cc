@@ -1,0 +1,203 @@
+#include "tkdc/classifier.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/macros.h"
+#include "common/stats.h"
+#include "kde/bandwidth.h"
+
+namespace tkdc {
+namespace {
+
+// Attempts to recompute the quantile with widened bounds when the detection
+// check of Section 3.6 fires (probability <= delta).
+constexpr int kMaxThresholdRetries = 5;
+
+}  // namespace
+
+TkdcClassifier::TkdcClassifier(TkdcConfig config)
+    : config_(std::move(config)) {
+  config_.Validate();
+}
+
+std::vector<double> TkdcClassifier::ComputeTrainingDensities(
+    const Dataset& data, double lo, double hi) {
+  std::vector<double> densities;
+  densities.reserve(data.size());
+  // lo/hi bound the *self-corrected* quantile t(p) (Eq. 1), while the
+  // traversal bounds *raw* densities; shift by K(0)/n to compare in the
+  // same space, but keep the tolerance target at eps * lo so corrected
+  // densities near the threshold are resolved to eps * t.
+  const double grid_cut = hi * (1.0 + config_.epsilon);
+  const double tolerance = config_.epsilon * lo;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const auto x = data.Row(i);
+    if (grid_ != nullptr) {
+      const double grid_bound =
+          grid_->DensityLowerBound(x) - self_contribution_;
+      if (grid_bound > grid_cut) {
+        // Certified above the band: the exact value is irrelevant to the
+        // p-quantile as long as it stays on the high side.
+        densities.push_back(grid_bound);
+        ++grid_prunes_;
+        continue;
+      }
+    }
+    const DensityBounds bounds = evaluator_->BoundDensity(
+        x, lo + self_contribution_, hi + self_contribution_, tolerance);
+    densities.push_back(bounds.Midpoint() - self_contribution_);
+  }
+  return densities;
+}
+
+void TkdcClassifier::Train(const Dataset& data) {
+  TKDC_CHECK_MSG(data.size() >= 2, "training set needs at least 2 points");
+  kernel_ = std::make_unique<Kernel>(
+      config_.kernel, SelectBandwidths(config_.bandwidth_rule, data,
+                                       config_.bandwidth_scale));
+  KdTreeOptions tree_options;
+  tree_options.leaf_size = config_.leaf_size;
+  tree_options.split_rule = config_.split_rule;
+  tree_options.axis_rule = config_.axis_rule;
+  tree_ = std::make_unique<KdTree>(data, tree_options);
+  evaluator_ =
+      std::make_unique<DensityBoundEvaluator>(tree_.get(), kernel_.get(),
+                                              &config_);
+  self_contribution_ =
+      kernel_->MaxValue() / static_cast<double>(data.size());
+
+  // Phase 1 (Algorithm 3): coarse probabilistic bounds on t(p).
+  ThresholdEstimator estimator(&config_);
+  bootstrap_result_ = estimator.Bootstrap(data, *tree_, *kernel_);
+  threshold_lower_ = bootstrap_result_.lower;
+  threshold_upper_ = bootstrap_result_.upper;
+
+  // Phase 2 (Section 3.7): grid cache over known-dense cells.
+  grid_.reset();
+  grid_prunes_ = 0;
+  if (config_.use_grid && data.dims() <= config_.grid_max_dims &&
+      data.dims() <= GridCache::kMaxDims) {
+    grid_ = std::make_unique<GridCache>(data, *kernel_);
+  }
+
+  // Phase 3 (Algorithm 1): density bounds for every training point, then
+  // the p-quantile of the corrected midpoints becomes t~(p).
+  evaluator_->ResetStats();
+  double lo = threshold_lower_;
+  double hi = threshold_upper_;
+  for (int attempt = 0;; ++attempt) {
+    training_densities_ = ComputeTrainingDensities(data, lo, hi);
+    threshold_ = Quantile(training_densities_, config_.p);
+    // Detection step of Section 3.6: with probability >= 1 - delta the
+    // quantile lands inside the bootstrap bounds. If it does not, the
+    // bounds were invalid; widen and recompute.
+    const bool valid = threshold_ >= lo * (1.0 - config_.epsilon) &&
+                       threshold_ <= hi * (1.0 + config_.epsilon);
+    if (valid || attempt >= kMaxThresholdRetries) break;
+    lo /= config_.h_backoff;
+    hi *= config_.h_backoff;
+    if (attempt + 1 == kMaxThresholdRetries) {
+      lo = 0.0;
+      hi = std::numeric_limits<double>::infinity();
+    }
+    threshold_lower_ = lo;
+    threshold_upper_ = hi;
+  }
+  training_stats_ = evaluator_->stats();
+  evaluator_->ResetStats();
+}
+
+Classification TkdcClassifier::Classify(std::span<const double> x) {
+  TKDC_CHECK_MSG(trained(), "Classify called before Train");
+  if (grid_ != nullptr && grid_->DensityLowerBound(x) > threshold_) {
+    ++grid_prunes_;
+    return Classification::kHigh;
+  }
+  const DensityBounds bounds =
+      evaluator_->BoundDensity(x, threshold_, threshold_);
+  return bounds.Midpoint() > threshold_ ? Classification::kHigh
+                                        : Classification::kLow;
+}
+
+Classification TkdcClassifier::ClassifyTraining(std::span<const double> x) {
+  TKDC_CHECK_MSG(trained(), "ClassifyTraining called before Train");
+  // Corrected comparison f(x) - K(0)/n > t is equivalent to comparing the
+  // raw density against the shifted threshold t + K(0)/n, so the pruning
+  // band simply shifts.
+  const double shifted = threshold_ + self_contribution_;
+  if (grid_ != nullptr && grid_->DensityLowerBound(x) > shifted) {
+    ++grid_prunes_;
+    return Classification::kHigh;
+  }
+  const DensityBounds bounds = evaluator_->BoundDensity(
+      x, shifted, shifted, config_.epsilon * threshold_);
+  return bounds.Midpoint() > shifted ? Classification::kHigh
+                                     : Classification::kLow;
+}
+
+double TkdcClassifier::EstimateDensity(std::span<const double> x) {
+  TKDC_CHECK_MSG(trained(), "EstimateDensity called before Train");
+  return evaluator_->BoundDensity(x, threshold_, threshold_).Midpoint();
+}
+
+double TkdcClassifier::threshold() const {
+  TKDC_CHECK_MSG(trained(), "threshold read before Train");
+  return threshold_;
+}
+
+uint64_t TkdcClassifier::kernel_evaluations() const {
+  uint64_t total = bootstrap_result_.stats.kernel_evaluations +
+                   training_stats_.kernel_evaluations;
+  if (evaluator_ != nullptr) total += evaluator_->stats().kernel_evaluations;
+  return total;
+}
+
+TraversalStats TkdcClassifier::traversal_stats() const {
+  TraversalStats stats = bootstrap_result_.stats;
+  stats.Add(training_stats_);
+  if (evaluator_ != nullptr) stats.Add(evaluator_->stats());
+  return stats;
+}
+
+void TkdcClassifier::Restore(const Dataset& data,
+                             const std::vector<double>& bandwidths,
+                             double threshold_lower, double threshold_upper,
+                             double threshold,
+                             std::vector<double> training_densities) {
+  TKDC_CHECK(data.size() >= 2);
+  TKDC_CHECK(bandwidths.size() == data.dims());
+  TKDC_CHECK(training_densities.empty() ||
+             training_densities.size() == data.size());
+  TKDC_CHECK(threshold_lower >= 0.0 && threshold_upper >= threshold_lower);
+  kernel_ = std::make_unique<Kernel>(config_.kernel, bandwidths);
+  KdTreeOptions tree_options;
+  tree_options.leaf_size = config_.leaf_size;
+  tree_options.split_rule = config_.split_rule;
+  tree_options.axis_rule = config_.axis_rule;
+  tree_ = std::make_unique<KdTree>(data, tree_options);
+  evaluator_ = std::make_unique<DensityBoundEvaluator>(tree_.get(),
+                                                       kernel_.get(),
+                                                       &config_);
+  self_contribution_ =
+      kernel_->MaxValue() / static_cast<double>(data.size());
+  grid_.reset();
+  grid_prunes_ = 0;
+  if (config_.use_grid && data.dims() <= config_.grid_max_dims &&
+      data.dims() <= GridCache::kMaxDims) {
+    grid_ = std::make_unique<GridCache>(data, *kernel_);
+  }
+  bootstrap_result_ = ThresholdBootstrapResult();
+  training_stats_ = TraversalStats();
+  threshold_lower_ = threshold_lower;
+  threshold_upper_ = threshold_upper;
+  threshold_ = threshold;
+  training_densities_ = std::move(training_densities);
+}
+
+DensityBounds TkdcClassifier::BoundDensityAt(std::span<const double> x) {
+  TKDC_CHECK_MSG(trained(), "BoundDensityAt called before Train");
+  return evaluator_->BoundDensity(x, threshold_lower_, threshold_upper_);
+}
+
+}  // namespace tkdc

@@ -1,0 +1,108 @@
+#ifndef TKDC_TKDC_CLASSIFIER_H_
+#define TKDC_TKDC_CLASSIFIER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "index/kdtree.h"
+#include "kde/density_classifier.h"
+#include "kde/kernel.h"
+#include "tkdc/config.h"
+#include "tkdc/density_bounds.h"
+#include "tkdc/grid_cache.h"
+#include "tkdc/threshold.h"
+
+namespace tkdc {
+
+/// Thresholded Kernel Density Classification — the paper's contribution
+/// (Algorithm 1). Train() builds the k-d tree, bootstraps threshold bounds
+/// (Algorithm 3), computes density bounds for every training point to fix
+/// the quantile threshold t~(p), and optionally builds the grid cache.
+/// Classify() then bounds a query's density just far enough to place it
+/// above or below t~(p).
+class TkdcClassifier : public DensityClassifier {
+ public:
+  explicit TkdcClassifier(TkdcConfig config = TkdcConfig());
+
+  std::string name() const override { return "tkdc"; }
+  void Train(const Dataset& data) override;
+  Classification Classify(std::span<const double> x) override;
+  Classification ClassifyTraining(std::span<const double> x) override;
+  double EstimateDensity(std::span<const double> x) override;
+  double threshold() const override;
+  uint64_t kernel_evaluations() const override;
+
+  const TkdcConfig& config() const { return config_; }
+  bool trained() const { return tree_ != nullptr; }
+
+  /// Probabilistic bounds on t(p) from the bootstrap.
+  double threshold_lower() const { return threshold_lower_; }
+  double threshold_upper() const { return threshold_upper_; }
+
+  /// Self-corrected density estimates of every training point (the Dx of
+  /// Algorithm 1), in training-row order.
+  const std::vector<double>& training_densities() const {
+    return training_densities_;
+  }
+
+  /// Bootstrap diagnostics.
+  const ThresholdBootstrapResult& bootstrap_result() const {
+    return bootstrap_result_;
+  }
+
+  /// Cumulative traversal work (training + queries, including bootstrap).
+  TraversalStats traversal_stats() const;
+
+  /// Queries answered by the grid cache without touching the tree.
+  uint64_t grid_prunes() const { return grid_prunes_; }
+
+  /// The trained kernel; only valid after Train().
+  const Kernel& kernel() const { return *kernel_; }
+
+  /// The trained index; only valid after Train().
+  const KdTree& tree() const { return *tree_; }
+
+  /// Raw density bounds for a query under the trained threshold band
+  /// (exposed for tests and diagnostics).
+  DensityBounds BoundDensityAt(std::span<const double> x);
+
+  /// Restores a previously trained state without re-running the bootstrap
+  /// or the training-density pass: rebuilds the index, grid, and evaluator
+  /// from `data` and installs the given kernel bandwidths and thresholds.
+  /// Used by model deserialization (tkdc/model_io.h). The vectors must be
+  /// consistent with `data` (bandwidths per dimension; densities per row,
+  /// or empty).
+  void Restore(const Dataset& data, const std::vector<double>& bandwidths,
+               double threshold_lower, double threshold_upper,
+               double threshold, std::vector<double> training_densities);
+
+ private:
+  // The dual-tree batch classifier reuses this classifier's evaluator,
+  // threshold, and self-contribution.
+  friend class DualTreeClassifier;
+
+  /// Computes Dx for all training rows under bounds [lo, hi].
+  std::vector<double> ComputeTrainingDensities(const Dataset& data, double lo,
+                                               double hi);
+
+  TkdcConfig config_;
+  std::unique_ptr<Kernel> kernel_;
+  std::unique_ptr<KdTree> tree_;
+  std::unique_ptr<GridCache> grid_;
+  std::unique_ptr<DensityBoundEvaluator> evaluator_;
+  ThresholdBootstrapResult bootstrap_result_;
+  std::vector<double> training_densities_;
+  double threshold_lower_ = 0.0;
+  double threshold_upper_ = 0.0;
+  double threshold_ = 0.0;
+  double self_contribution_ = 0.0;
+  uint64_t grid_prunes_ = 0;
+  TraversalStats training_stats_;
+};
+
+}  // namespace tkdc
+
+#endif  // TKDC_TKDC_CLASSIFIER_H_

@@ -1,0 +1,29 @@
+#include "tkdc/config.h"
+
+#include "common/macros.h"
+
+namespace tkdc {
+
+void TkdcConfig::Validate() const {
+  TKDC_CHECK_MSG(p > 0.0 && p < 1.0, "p must be in (0, 1)");
+  TKDC_CHECK_MSG(epsilon > 0.0, "epsilon must be positive");
+  TKDC_CHECK_MSG(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+  TKDC_CHECK_MSG(bandwidth_scale > 0.0, "bandwidth_scale must be positive");
+  TKDC_CHECK_MSG(leaf_size >= 1, "leaf_size must be >= 1");
+  TKDC_CHECK_MSG(r0 >= 2, "r0 must be >= 2");
+  TKDC_CHECK_MSG(s0 >= 2, "s0 must be >= 2");
+  TKDC_CHECK_MSG(h_backoff > 1.0, "h_backoff must be > 1");
+  TKDC_CHECK_MSG(h_buffer >= 1.0, "h_buffer must be >= 1");
+  TKDC_CHECK_MSG(h_growth > 1.0, "h_growth must be > 1");
+}
+
+std::string TkdcConfig::OptimizationSummary() const {
+  std::string summary;
+  summary += use_threshold_rule ? "+threshold" : "-threshold";
+  summary += use_tolerance_rule ? " +tolerance" : " -tolerance";
+  summary += use_grid ? " +grid" : " -grid";
+  summary += " split=" + SplitRuleName(split_rule);
+  return summary;
+}
+
+}  // namespace tkdc

@@ -1,0 +1,73 @@
+#ifndef TKDC_TKDC_CONFIG_H_
+#define TKDC_TKDC_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "index/split_rule.h"
+#include "kde/bandwidth.h"
+#include "kde/kernel.h"
+
+namespace tkdc {
+
+/// Full configuration for the tKDC classifier (paper Table 1 plus the
+/// optimization switches used by the factor/lesion analyses of Figures 12
+/// and 16). Defaults match the paper.
+struct TkdcConfig {
+  /// Classification rate p: the quantile defining the threshold t(p).
+  double p = 0.01;
+  /// Multiplicative error tolerance epsilon of Problem 1.
+  double epsilon = 0.01;
+  /// Failure probability delta of the threshold bootstrap.
+  double delta = 0.01;
+  /// Bandwidth scale factor b of Eq. 4.
+  double bandwidth_scale = 1.0;
+  /// Kernel family (paper default: Gaussian).
+  KernelType kernel = KernelType::kGaussian;
+  /// Bandwidth selection rule (paper default: Scott).
+  BandwidthRule bandwidth_rule = BandwidthRule::kScott;
+
+  // --- Optimization switches (Section 3.3, 3.7) ---
+  /// Threshold pruning rule (Eq. 9), the core contribution.
+  bool use_threshold_rule = true;
+  /// Tolerance pruning rule (Eq. 8), from Gray & Moore.
+  bool use_tolerance_rule = true;
+  /// Grid cache for obvious inliers; auto-disabled above
+  /// `grid_max_dims` dimensions.
+  bool use_grid = true;
+  /// The grid scales exponentially with dimension; the paper disables it
+  /// for d > 4.
+  size_t grid_max_dims = 4;
+  /// k-d tree split rule (paper default: trimmed midpoint "equi-width").
+  SplitRule split_rule = SplitRule::kTrimmedMidpoint;
+  /// k-d tree axis rule (paper default: cycle through dimensions).
+  SplitAxisRule axis_rule = SplitAxisRule::kCycle;
+  /// k-d tree leaf capacity.
+  size_t leaf_size = 32;
+
+  // --- Threshold bootstrap (Algorithm 3) ---
+  /// Initial training subsample size r0.
+  size_t r0 = 200;
+  /// Query sample size s0.
+  size_t s0 = 20000;
+  /// Multiplicative backoff when a bound proves invalid.
+  double h_backoff = 4.0;
+  /// Buffer factor applied to valid bounds before the next iteration.
+  double h_buffer = 1.5;
+  /// Training subsample growth rate per iteration.
+  double h_growth = 4.0;
+
+  /// Seed for the bootstrap's subsampling.
+  uint64_t seed = 0;
+
+  /// CHECK-fails with a message if any field is out of range.
+  void Validate() const;
+
+  /// One-line human-readable summary of the switch settings.
+  std::string OptimizationSummary() const;
+};
+
+}  // namespace tkdc
+
+#endif  // TKDC_TKDC_CONFIG_H_

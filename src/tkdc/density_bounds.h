@@ -1,0 +1,142 @@
+#ifndef TKDC_TKDC_DENSITY_BOUNDS_H_
+#define TKDC_TKDC_DENSITY_BOUNDS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "index/kdtree.h"
+#include "kde/kernel.h"
+#include "tkdc/config.h"
+
+namespace tkdc {
+
+/// Certified interval [lower, upper] containing the exact kernel density
+/// f(x) (up to floating-point round-off).
+struct DensityBounds {
+  double lower = 0.0;
+  double upper = 0.0;
+
+  double Midpoint() const { return 0.5 * (lower + upper); }
+  double Width() const { return upper - lower; }
+};
+
+/// Work counters for the traversal, matching the metrics reported in the
+/// paper's Figure 12 ("Kernel Evaluations / pt").
+struct TraversalStats {
+  /// Every kernel evaluation: two per node bound plus one per leaf point.
+  uint64_t kernel_evaluations = 0;
+  /// Nodes popped from the priority queue and expanded.
+  uint64_t nodes_expanded = 0;
+  /// Exact point contributions evaluated inside leaves.
+  uint64_t leaf_points_evaluated = 0;
+  /// BoundDensity invocations.
+  uint64_t queries = 0;
+
+  void Add(const TraversalStats& other);
+};
+
+/// The paper's Algorithm 2 (BoundDensity): iteratively refines upper and
+/// lower bounds on the kernel density of a query point by traversing a k-d
+/// tree with a priority queue, stopping as soon as a pruning rule fires:
+///
+///   Threshold rule (Eq. 9):  f_l > t_hi * (1 + eps)  or
+///                            f_u < t_lo * (1 - eps)
+///   Tolerance rule (Eq. 8):  f_u - f_l < eps * t_lo
+///
+/// The queue prioritizes nodes by their bound discrepancy
+/// count * (K(d_min) - K(d_max)), the paper's Section 3.4 heuristic.
+/// With both rules disabled the traversal exhausts the tree and the bounds
+/// collapse to the exact density.
+///
+/// The evaluator borrows the tree, kernel, and config; all three must
+/// outlive it.
+class DensityBoundEvaluator {
+ public:
+  DensityBoundEvaluator(const KdTree* tree, const Kernel* kernel,
+                        const TkdcConfig* config);
+
+  /// Bounds the density of `x` given current threshold bounds
+  /// [t_lo, t_hi]. Pass t_lo = 0 and t_hi = +infinity to disable the
+  /// threshold rule's effect regardless of configuration.
+  ///
+  /// `tolerance` is the absolute width target of the tolerance rule; when
+  /// negative it defaults to the paper's eps * t_lo. Classifying *training*
+  /// points passes shifted thresholds t + K(0)/n (to account for the
+  /// self-contribution) but keeps the tolerance at eps * t, so the
+  /// precision guarantee stays eps * t in self-corrected units even when
+  /// K(0)/n dominates t (small n and/or higher d).
+  DensityBounds BoundDensity(std::span<const double> x, double t_lo,
+                             double t_hi, double tolerance = -1.0);
+
+  /// BoundDensity seeded from an explicit reference-node `frontier` (a
+  /// disjoint cover of the training set, e.g. the frontier a dual-tree box
+  /// probe ended with) instead of the root. Equivalent result, but skips
+  /// re-descending through nodes the box probe already refined.
+  DensityBounds BoundDensityFromFrontier(std::span<const double> x,
+                                         double t_lo, double t_hi,
+                                         double tolerance,
+                                         const std::vector<uint32_t>& frontier);
+
+  /// Bounds the density of EVERY point inside `query_box` simultaneously:
+  /// the returned interval contains f(q) for all q in the box. This is the
+  /// dual-tree building block (paper Section 5 future work): a whole query
+  /// node can be classified at once when its box-level bounds clear the
+  /// threshold. Reference-tree leaves are treated as atomic (their box is
+  /// the finest granularity); callers fall back to per-point BoundDensity
+  /// when the box bounds stay undecided.
+  ///
+  /// `frontier` (in/out, may be null) carries the unexpanded reference
+  /// nodes between probes: a child query box starts from its parent's
+  /// frontier instead of re-descending from the root, which is what makes
+  /// the traversal "dual". On input an empty frontier means {root}.
+  ///
+  /// `max_expansions` caps node expansions per probe: a probe is only
+  /// worthwhile if it decides quickly, so the dual-tree driver uses a
+  /// small budget and splits the query node when the probe runs out.
+  /// Negative means unbounded.
+  DensityBounds BoundDensityForBox(const BoundingBox& query_box, double t_lo,
+                                   double t_hi, double tolerance = -1.0,
+                                   int64_t max_expansions = -1,
+                                   std::vector<uint32_t>* frontier = nullptr);
+
+  const TraversalStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = TraversalStats(); }
+
+ private:
+  struct QueueEntry {
+    double priority;  // count * (K(d_min) - K(d_max)).
+    uint32_t node;
+    double min_contribution;
+    double max_contribution;
+
+    bool operator<(const QueueEntry& other) const {
+      return priority < other.priority;
+    }
+  };
+
+  /// Computes the Eq. 6 contribution bounds of node `node_index` for
+  /// query x, counting two kernel evaluations.
+  QueueEntry MakeEntry(std::span<const double> x, uint32_t node_index);
+
+  /// Box-query variant: contribution bounds valid for every point of
+  /// `query_box`.
+  QueueEntry MakeBoxEntry(const BoundingBox& query_box, uint32_t node_index);
+
+  /// Shared refinement loop for point queries; `queue_`, `f_lo`, `f_hi`
+  /// must already be seeded with a disjoint cover of the training set.
+  DensityBounds RunPointTraversal(std::span<const double> x, double t_lo,
+                                  double t_hi, double tolerance, double f_lo,
+                                  double f_hi);
+
+  const KdTree* tree_;
+  const Kernel* kernel_;
+  const TkdcConfig* config_;
+  double inv_n_;
+  TraversalStats stats_;
+  std::vector<QueueEntry> queue_;  // Binary heap via std::push/pop_heap.
+};
+
+}  // namespace tkdc
+
+#endif  // TKDC_TKDC_DENSITY_BOUNDS_H_

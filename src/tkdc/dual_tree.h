@@ -1,0 +1,69 @@
+#ifndef TKDC_TKDC_DUAL_TREE_H_
+#define TKDC_TKDC_DUAL_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "kde/density_classifier.h"
+#include "tkdc/classifier.h"
+
+namespace tkdc {
+
+/// Statistics from one dual-tree batch classification.
+struct DualTreeStats {
+  /// Query points classified wholesale at an internal query-tree node.
+  uint64_t node_decided = 0;
+  /// Query points that fell back to per-point traversal at a leaf.
+  uint64_t point_decided = 0;
+  /// Query-tree nodes whose box bounds were evaluated.
+  uint64_t boxes_evaluated = 0;
+  TraversalStats traversal;
+};
+
+/// Dual-tree batch classification — the extension the paper names as
+/// future work (Section 5): index the *queries* with a second k-d tree and
+/// classify whole query nodes at once whenever the box-level density
+/// bounds (BoundDensityForBox) clear the threshold. Query points in dense
+/// or empty regions are decided thousands at a time; only query nodes
+/// straddling the threshold contour recurse down to per-point traversals.
+///
+/// Shares the trained TkdcClassifier's index, kernel, and threshold; the
+/// classifier must stay alive and trained for the lifetime of this object.
+class DualTreeClassifier {
+ public:
+  struct Options {
+    /// Leaf capacity of the query tree.
+    size_t query_leaf_size = 64;
+    /// Node-expansion budget per box probe. A probe that cannot decide
+    /// within the budget gives up and the query node splits; a small
+    /// constant keeps failed probes (common near the top of the query
+    /// tree, whose boxes straddle several density regimes) cheap.
+    int64_t probe_budget = 48;
+    /// Maximum reference-frontier size handed down to child probes; a
+    /// larger frontier is discarded and the child restarts from the root
+    /// (seeding a huge frontier costs more than re-descending).
+    size_t max_frontier = 96;
+  };
+
+  explicit DualTreeClassifier(TkdcClassifier* trained);
+  DualTreeClassifier(TkdcClassifier* trained, Options options);
+
+  /// Classifies every row of `queries` against the trained threshold.
+  /// With `training_points` the queries are treated as members of the
+  /// training set (self-corrected comparison, like ClassifyTraining).
+  std::vector<Classification> ClassifyBatch(const Dataset& queries,
+                                            bool training_points = false);
+
+  /// Statistics of the most recent ClassifyBatch call.
+  const DualTreeStats& stats() const { return stats_; }
+
+ private:
+  TkdcClassifier* classifier_;
+  Options options_;
+  DualTreeStats stats_;
+};
+
+}  // namespace tkdc
+
+#endif  // TKDC_TKDC_DUAL_TREE_H_

@@ -1,0 +1,46 @@
+#include "tkdc/grid_cache.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace tkdc {
+
+GridCache::GridCache(const Dataset& data, const Kernel& kernel)
+    : dims_(data.dims()) {
+  TKDC_CHECK(!data.empty());
+  TKDC_CHECK(kernel.dims() == dims_);
+  TKDC_CHECK_MSG(dims_ <= kMaxDims, "grid cache limited to 8 dimensions");
+  inv_widths_.resize(dims_);
+  for (size_t j = 0; j < dims_; ++j) {
+    inv_widths_[j] = 1.0 / kernel.bandwidths()[j];
+  }
+  // Cell widths equal bandwidths, so in kernel-scaled units the cell
+  // diagonal has squared length exactly d.
+  diag_kernel_value_ = kernel.EvaluateScaled(static_cast<double>(dims_));
+  inv_n_ = 1.0 / static_cast<double>(data.size());
+  counts_.reserve(data.size() / 4);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ++counts_[KeyFor(data.Row(i))];
+  }
+}
+
+GridCache::CellKey GridCache::KeyFor(std::span<const double> x) const {
+  TKDC_DCHECK(x.size() == dims_);
+  CellKey key{};
+  for (size_t j = 0; j < dims_; ++j) {
+    key[j] = static_cast<int64_t>(std::floor(x[j] * inv_widths_[j]));
+  }
+  return key;
+}
+
+uint32_t GridCache::CellCount(std::span<const double> x) const {
+  const auto it = counts_.find(KeyFor(x));
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double GridCache::DensityLowerBound(std::span<const double> x) const {
+  return static_cast<double>(CellCount(x)) * inv_n_ * diag_kernel_value_;
+}
+
+}  // namespace tkdc

@@ -1,0 +1,66 @@
+#ifndef TKDC_TKDC_GRID_CACHE_H_
+#define TKDC_TKDC_GRID_CACHE_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "data/dataset.h"
+#include "kde/kernel.h"
+
+namespace tkdc {
+
+/// Dense-region cache (paper Section 3.7): a d-dimensional hypergrid with
+/// cell widths equal to the kernel bandwidths. One pass over the training
+/// set counts points per cell; afterwards, any query whose own cell holds
+/// enough mass is certified above the threshold without touching the tree,
+/// because every point sharing the cell is at most one cell diagonal away:
+///
+///   f(x) >= G(x)/n * K_H(d_diag)
+///
+/// The grid scales exponentially with d and is only used for d <= 8 here
+/// (the paper disables it above 4; the config controls the actual cutoff).
+class GridCache {
+ public:
+  static constexpr size_t kMaxDims = 8;
+
+  /// Builds the cache over `data` with cell widths = kernel bandwidths.
+  /// Requires data.dims() <= kMaxDims.
+  GridCache(const Dataset& data, const Kernel& kernel);
+
+  /// Number of training points in the cell containing `x`.
+  uint32_t CellCount(std::span<const double> x) const;
+
+  /// Certified lower bound on the density at `x` from same-cell mass alone.
+  double DensityLowerBound(std::span<const double> x) const;
+
+  /// Number of distinct occupied cells (diagnostics).
+  size_t NumOccupiedCells() const { return counts_.size(); }
+
+ private:
+  using CellKey = std::array<int64_t, kMaxDims>;
+
+  struct CellKeyHash {
+    size_t operator()(const CellKey& key) const {
+      uint64_t h = 0x9e3779b97f4a7c15ULL;
+      for (int64_t coordinate : key) {
+        h ^= static_cast<uint64_t>(coordinate) + 0x9e3779b97f4a7c15ULL +
+             (h << 6) + (h >> 2);
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+
+  CellKey KeyFor(std::span<const double> x) const;
+
+  size_t dims_;
+  std::vector<double> inv_widths_;
+  double diag_kernel_value_;  // K_H(cell diagonal).
+  double inv_n_;
+  std::unordered_map<CellKey, uint32_t, CellKeyHash> counts_;
+};
+
+}  // namespace tkdc
+
+#endif  // TKDC_TKDC_GRID_CACHE_H_

@@ -1,0 +1,262 @@
+#include "tkdc/model_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace tkdc {
+namespace {
+
+constexpr char kMagic[4] = {'T', 'K', 'D', 'C'};
+
+// Streaming writer with a running FNV-1a checksum over the payload.
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  void Bytes(const void* data, size_t size) {
+    const unsigned char* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      checksum_ ^= bytes[i];
+      checksum_ *= 0x100000001b3ULL;
+    }
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(size));
+  }
+
+  void U8(uint8_t v) { Bytes(&v, sizeof(v)); }
+  void U32(uint32_t v) { Bytes(&v, sizeof(v)); }
+  void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
+  void F64(double v) { Bytes(&v, sizeof(v)); }
+  void DoubleVec(const std::vector<double>& v) {
+    U64(v.size());
+    if (!v.empty()) Bytes(v.data(), v.size() * sizeof(double));
+  }
+
+  uint64_t checksum() const { return checksum_; }
+
+ private:
+  std::ostream& out_;
+  uint64_t checksum_ = 0xcbf29ce484222325ULL;
+};
+
+// Streaming reader mirroring Writer; every method returns false on
+// truncation so corruption surfaces as a clean error.
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(in) {}
+
+  bool Bytes(void* data, size_t size) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+    if (!in_) return false;
+    const unsigned char* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      checksum_ ^= bytes[i];
+      checksum_ *= 0x100000001b3ULL;
+    }
+    return true;
+  }
+
+  bool U8(uint8_t* v) { return Bytes(v, sizeof(*v)); }
+  bool U32(uint32_t* v) { return Bytes(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Bytes(v, sizeof(*v)); }
+  bool F64(double* v) { return Bytes(v, sizeof(*v)); }
+  bool DoubleVec(std::vector<double>* v, uint64_t max_size) {
+    uint64_t size = 0;
+    if (!U64(&size)) return false;
+    if (size > max_size) return false;  // Corrupt size field.
+    v->resize(size);
+    if (size == 0) return true;
+    return Bytes(v->data(), size * sizeof(double));
+  }
+
+  uint64_t checksum() const { return checksum_; }
+
+ private:
+  std::istream& in_;
+  uint64_t checksum_ = 0xcbf29ce484222325ULL;
+};
+
+void WriteConfig(Writer& w, const TkdcConfig& config) {
+  w.F64(config.p);
+  w.F64(config.epsilon);
+  w.F64(config.delta);
+  w.F64(config.bandwidth_scale);
+  w.U32(static_cast<uint32_t>(config.kernel));
+  w.U32(static_cast<uint32_t>(config.bandwidth_rule));
+  w.U8(config.use_threshold_rule ? 1 : 0);
+  w.U8(config.use_tolerance_rule ? 1 : 0);
+  w.U8(config.use_grid ? 1 : 0);
+  w.U64(config.grid_max_dims);
+  w.U32(static_cast<uint32_t>(config.split_rule));
+  w.U32(static_cast<uint32_t>(config.axis_rule));
+  w.U64(config.leaf_size);
+  w.U64(config.r0);
+  w.U64(config.s0);
+  w.F64(config.h_backoff);
+  w.F64(config.h_buffer);
+  w.F64(config.h_growth);
+  w.U64(config.seed);
+}
+
+bool ReadConfig(Reader& r, TkdcConfig* config) {
+  uint32_t kernel = 0, bandwidth_rule = 0, split_rule = 0, axis_rule = 0;
+  uint8_t threshold_rule = 0, tolerance_rule = 0, grid = 0;
+  uint64_t grid_max_dims = 0, leaf_size = 0, r0 = 0, s0 = 0, seed = 0;
+  if (!r.F64(&config->p) || !r.F64(&config->epsilon) ||
+      !r.F64(&config->delta) || !r.F64(&config->bandwidth_scale) ||
+      !r.U32(&kernel) || !r.U32(&bandwidth_rule) || !r.U8(&threshold_rule) ||
+      !r.U8(&tolerance_rule) || !r.U8(&grid) || !r.U64(&grid_max_dims) ||
+      !r.U32(&split_rule) || !r.U32(&axis_rule) || !r.U64(&leaf_size) ||
+      !r.U64(&r0) || !r.U64(&s0) || !r.F64(&config->h_backoff) ||
+      !r.F64(&config->h_buffer) || !r.F64(&config->h_growth) ||
+      !r.U64(&seed)) {
+    return false;
+  }
+  if (kernel > 3 || bandwidth_rule > 1 || split_rule > 2 || axis_rule > 1) {
+    return false;
+  }
+  config->kernel = static_cast<KernelType>(kernel);
+  config->bandwidth_rule = static_cast<BandwidthRule>(bandwidth_rule);
+  config->use_threshold_rule = threshold_rule != 0;
+  config->use_tolerance_rule = tolerance_rule != 0;
+  config->use_grid = grid != 0;
+  config->grid_max_dims = grid_max_dims;
+  config->split_rule = static_cast<SplitRule>(split_rule);
+  config->axis_rule = static_cast<SplitAxisRule>(axis_rule);
+  config->leaf_size = leaf_size;
+  config->r0 = r0;
+  config->s0 = s0;
+  config->seed = seed;
+  return true;
+}
+
+}  // namespace
+
+bool SaveModel(const std::string& path, const TkdcClassifier& classifier,
+               const Dataset& training_data, bool include_densities,
+               std::string* error) {
+  TKDC_CHECK(error != nullptr);
+  if (!classifier.trained()) {
+    *error = "classifier is not trained";
+    return false;
+  }
+  if (classifier.tree().size() != training_data.size() ||
+      classifier.tree().dims() != training_data.dims()) {
+    *error = "training_data does not match the classifier's index";
+    return false;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out.write(kMagic, sizeof(kMagic));
+  const uint32_t version = kModelFormatVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+
+  Writer w(out);
+  WriteConfig(w, classifier.config());
+  w.U64(training_data.dims());
+  w.U64(training_data.size());
+  w.DoubleVec(classifier.kernel().bandwidths());
+  w.F64(classifier.threshold_lower());
+  w.F64(classifier.threshold_upper());
+  w.F64(classifier.threshold());
+  w.U8(include_densities ? 1 : 0);
+  if (include_densities) {
+    w.DoubleVec(classifier.training_densities());
+  }
+  w.DoubleVec(training_data.values());
+  const uint64_t checksum = w.checksum();
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  out.flush();
+  if (!out) {
+    *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<TkdcClassifier> LoadModel(const std::string& path,
+                                          std::string* error) {
+  TKDC_CHECK(error != nullptr);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open " + path;
+    return nullptr;
+  }
+  char magic[4] = {0, 0, 0, 0};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    *error = path + ": not a tkdc model file";
+    return nullptr;
+  }
+  uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || version != kModelFormatVersion) {
+    *error = path + ": unsupported model format version";
+    return nullptr;
+  }
+
+  Reader r(in);
+  TkdcConfig config;
+  if (!ReadConfig(r, &config)) {
+    *error = path + ": truncated or corrupt config block";
+    return nullptr;
+  }
+  uint64_t dims = 0, n = 0;
+  if (!r.U64(&dims) || !r.U64(&n) || dims == 0 || n < 2) {
+    *error = path + ": corrupt shape header";
+    return nullptr;
+  }
+  // Guard absurd sizes before allocating (corrupt headers).
+  constexpr uint64_t kMaxElements = uint64_t{1} << 34;
+  if (dims > kMaxElements || n > kMaxElements || dims * n > kMaxElements) {
+    *error = path + ": implausible model dimensions";
+    return nullptr;
+  }
+  std::vector<double> bandwidths;
+  double threshold_lower = 0, threshold_upper = 0, threshold = 0;
+  uint8_t has_densities = 0;
+  std::vector<double> densities;
+  std::vector<double> values;
+  if (!r.DoubleVec(&bandwidths, dims) || bandwidths.size() != dims ||
+      !r.F64(&threshold_lower) || !r.F64(&threshold_upper) ||
+      !r.F64(&threshold) || !r.U8(&has_densities)) {
+    *error = path + ": truncated model body";
+    return nullptr;
+  }
+  if (has_densities != 0 &&
+      (!r.DoubleVec(&densities, n) || densities.size() != n)) {
+    *error = path + ": truncated density block";
+    return nullptr;
+  }
+  if (!r.DoubleVec(&values, dims * n) || values.size() != dims * n) {
+    *error = path + ": truncated data block";
+    return nullptr;
+  }
+  uint64_t stored_checksum = 0;
+  in.read(reinterpret_cast<char*>(&stored_checksum),
+          sizeof(stored_checksum));
+  if (!in || stored_checksum != r.checksum()) {
+    *error = path + ": checksum mismatch (file corrupted)";
+    return nullptr;
+  }
+  for (double h : bandwidths) {
+    if (!(h > 0.0)) {
+      *error = path + ": invalid bandwidths";
+      return nullptr;
+    }
+  }
+
+  Dataset data(dims, std::move(values));
+  auto classifier = std::make_unique<TkdcClassifier>(config);
+  classifier->Restore(data, bandwidths, threshold_lower, threshold_upper,
+                      threshold, std::move(densities));
+  return classifier;
+}
+
+}  // namespace tkdc

@@ -1,0 +1,39 @@
+#ifndef TKDC_TKDC_MODEL_IO_H_
+#define TKDC_TKDC_MODEL_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "data/dataset.h"
+#include "tkdc/classifier.h"
+
+namespace tkdc {
+
+/// Persists a trained classifier to `path` in the tkdc binary model format
+/// (magic "TKDC", format version, config, bandwidths, thresholds, training
+/// data, and — optionally — the cached training densities). The training
+/// data rides along because the k-d tree and grid cache are rebuilt
+/// deterministically on load, which is both smaller and simpler than
+/// serializing the index structure.
+///
+/// `training_data` must be the dataset the classifier was trained on. Pass
+/// `include_densities` = false to drop the cached Dx vector (smaller file;
+/// training_densities() will be empty after load). Returns false and fills
+/// `*error` on failure.
+bool SaveModel(const std::string& path, const TkdcClassifier& classifier,
+               const Dataset& training_data, bool include_densities,
+               std::string* error);
+
+/// Loads a model saved by SaveModel. Returns nullptr and fills `*error` on
+/// malformed input (bad magic, unsupported version, truncation,
+/// inconsistent sizes). The returned classifier is fully trained: ready to
+/// Classify() without touching the bootstrap.
+std::unique_ptr<TkdcClassifier> LoadModel(const std::string& path,
+                                          std::string* error);
+
+/// Current model format version written by SaveModel.
+inline constexpr uint32_t kModelFormatVersion = 1;
+
+}  // namespace tkdc
+
+#endif  // TKDC_TKDC_MODEL_IO_H_

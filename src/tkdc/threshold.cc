@@ -1,0 +1,133 @@
+#include "tkdc/threshold.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "common/macros.h"
+#include "common/order_stats.h"
+#include "common/rng.h"
+#include "kde/bandwidth.h"
+
+namespace tkdc {
+namespace {
+
+// Gives up on a subsample level after this many consecutive backoffs and
+// falls back to unbounded (exact) density evaluation, which always yields
+// valid order statistics.
+constexpr size_t kMaxBackoffsPerLevel = 30;
+
+}  // namespace
+
+ThresholdEstimator::ThresholdEstimator(const TkdcConfig* config)
+    : config_(config) {
+  TKDC_CHECK(config != nullptr);
+}
+
+ThresholdBootstrapResult ThresholdEstimator::Bootstrap(
+    const Dataset& data, const KdTree& full_tree, const Kernel& full_kernel) {
+  const size_t n = data.size();
+  TKDC_CHECK(n >= 2);
+  TKDC_CHECK(full_tree.size() == n);
+  Rng rng(config_->seed * 0x2545f4914f6cdd1dULL + 1);
+
+  ThresholdBootstrapResult result;
+  double t_lo = 0.0;
+  double t_hi = std::numeric_limits<double>::infinity();
+  size_t r = std::min(config_->r0, n);
+  size_t backoffs_this_level = 0;
+
+  for (;;) {
+    // Training subsample X_r; the final level reuses the full index.
+    const bool full_level = r == n;
+    std::unique_ptr<Dataset> subsample;
+    std::unique_ptr<Kernel> sub_kernel;
+    std::unique_ptr<KdTree> sub_tree;
+    const Dataset* train = &data;
+    const Kernel* kernel = &full_kernel;
+    const KdTree* tree = &full_tree;
+    if (!full_level) {
+      subsample = std::make_unique<Dataset>(
+          data.SelectRows(rng.SampleWithoutReplacement(n, r)));
+      // Recalculate the bandwidth for the subsample size (Algorithm 3).
+      sub_kernel = std::make_unique<Kernel>(
+          config_->kernel, SelectBandwidths(config_->bandwidth_rule,
+                                            *subsample,
+                                            config_->bandwidth_scale));
+      KdTreeOptions tree_options;
+      tree_options.leaf_size = config_->leaf_size;
+      tree_options.split_rule = config_->split_rule;
+      tree_options.axis_rule = config_->axis_rule;
+      sub_tree = std::make_unique<KdTree>(*subsample, tree_options);
+      train = subsample.get();
+      kernel = sub_kernel.get();
+      tree = sub_tree.get();
+    }
+
+    // Query sample X_s drawn from X_r.
+    const size_t s = std::min(config_->s0, r);
+    const std::vector<size_t> query_rows = rng.SampleWithoutReplacement(r, s);
+    const double self_contribution =
+        kernel->MaxValue() / static_cast<double>(r);
+
+    DensityBoundEvaluator evaluator(tree, kernel, config_);
+    std::vector<double> densities;
+    densities.reserve(s);
+    // t_lo/t_hi live in self-corrected space; the traversal bounds raw
+    // densities, so shift by the subsample's self-contribution and keep
+    // the tolerance at eps * t_lo in corrected units.
+    const double tolerance = config_->epsilon * t_lo;
+    for (size_t row : query_rows) {
+      const DensityBounds bounds = evaluator.BoundDensity(
+          train->Row(row), t_lo + self_contribution,
+          t_hi + self_contribution, tolerance);
+      densities.push_back(bounds.Midpoint() - self_contribution);
+    }
+    result.stats.Add(evaluator.stats());
+    std::sort(densities.begin(), densities.end());
+    ++result.iterations;
+
+    const QuantileCi ci =
+        NormalApproxQuantileCi(static_cast<int>(s), config_->p,
+                               config_->delta);
+    const double d_lower = densities[ci.lower - 1];  // Ranks are 1-based.
+    const double d_upper = densities[ci.upper - 1];
+
+    // Validity check: the confidence ranks must land inside the threshold
+    // bounds the densities were computed under, otherwise the bounds were
+    // too tight and the near-threshold densities are unreliable. Rounds
+    // evaluated with the trivial bounds (0, inf) are exact and always valid.
+    const bool was_unbounded = t_lo == 0.0 && std::isinf(t_hi);
+    const bool upper_invalid = d_upper > t_hi;
+    const bool lower_invalid = d_lower < t_lo;
+    if (!was_unbounded && (upper_invalid || lower_invalid)) {
+      if (backoffs_this_level < kMaxBackoffsPerLevel) {
+        if (upper_invalid) t_hi *= config_->h_backoff;
+        if (lower_invalid) t_lo /= config_->h_backoff;
+      } else {
+        // Pathological level: retry once with unbounded (exact) evaluation.
+        t_lo = 0.0;
+        t_hi = std::numeric_limits<double>::infinity();
+      }
+      ++result.backoffs;
+      ++backoffs_this_level;
+      continue;  // Retry at the same r.
+    }
+
+    if (full_level) {
+      result.lower = std::max(0.0, d_lower);
+      result.upper = d_upper;
+      return result;
+    }
+
+    // Valid bound: buffer it and grow the subsample.
+    t_hi = d_upper * config_->h_buffer;
+    t_lo = std::max(0.0, d_lower / config_->h_buffer);
+    backoffs_this_level = 0;
+    const double grown = static_cast<double>(r) * config_->h_growth;
+    r = grown >= static_cast<double>(n) ? n : static_cast<size_t>(grown);
+  }
+}
+
+}  // namespace tkdc

@@ -1,0 +1,53 @@
+#ifndef TKDC_TKDC_THRESHOLD_H_
+#define TKDC_TKDC_THRESHOLD_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "index/kdtree.h"
+#include "kde/kernel.h"
+#include "tkdc/config.h"
+#include "tkdc/density_bounds.h"
+
+namespace tkdc {
+
+/// Output of the bootstrapped threshold bound (paper Algorithm 3).
+struct ThresholdBootstrapResult {
+  /// Probabilistic lower bound on t(p): with probability >= 1 - delta the
+  /// true quantile threshold is >= lower.
+  double lower = 0.0;
+  /// Probabilistic upper bound on t(p).
+  double upper = 0.0;
+  /// Bootstrap iterations executed (including retries after backoff).
+  size_t iterations = 0;
+  /// Times an invalid bound was detected and backed off.
+  size_t backoffs = 0;
+  /// Total traversal work across all iterations.
+  TraversalStats stats;
+};
+
+/// Bootstrapped estimation of coarse bounds on the quantile threshold t(p)
+/// (paper Section 3.5, Algorithm 3). Kernel density estimates are trained
+/// on geometrically growing subsamples X_r (r0, r0*h_growth, ..., n); each
+/// round bounds the densities of a query sample X_s under the previous
+/// round's threshold bounds, reads off order-statistic confidence ranks
+/// (Eq. 11), validates them, and either tightens the bounds (buffered by
+/// h_buffer) or backs off (by h_backoff) and retries at the same r.
+class ThresholdEstimator {
+ public:
+  explicit ThresholdEstimator(const TkdcConfig* config);
+
+  /// Runs the bootstrap over `data`. `full_tree` and `full_kernel` must be
+  /// the index and kernel over the complete `data`; the final iteration
+  /// (r = n) reuses them instead of rebuilding.
+  ThresholdBootstrapResult Bootstrap(const Dataset& data,
+                                     const KdTree& full_tree,
+                                     const Kernel& full_kernel);
+
+ private:
+  const TkdcConfig* config_;
+};
+
+}  // namespace tkdc
+
+#endif  // TKDC_TKDC_THRESHOLD_H_

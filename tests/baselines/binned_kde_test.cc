@@ -1,0 +1,150 @@
+#include "baselines/binned_kde.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "data/generators.h"
+#include "kde/naive_kde.h"
+
+namespace tkdc {
+namespace {
+
+TEST(BinnedKdeClassifierTest, NameAndTraining) {
+  Rng rng(1);
+  const Dataset data = SampleStandardGaussian(2000, 2, rng);
+  BinnedKdeClassifier classifier;
+  EXPECT_EQ(classifier.name(), "binned");
+  classifier.Train(data);
+  EXPECT_GT(classifier.threshold(), 0.0);
+  EXPECT_EQ(classifier.grid_shape().size(), 2u);
+  EXPECT_EQ(classifier.grid_shape()[0], 256u);
+}
+
+TEST(BinnedKdeClassifierTest, DensityCloseToExactIn1d) {
+  Rng rng(2);
+  const Dataset data = SampleStandardGaussian(5000, 1, rng);
+  BinnedKdeClassifier classifier;
+  classifier.Train(data);
+  Kernel kernel(KernelType::kGaussian,
+                SelectBandwidths(BandwidthRule::kScott, data, 1.0));
+  NaiveKde naive(data, kernel);
+  for (double x = -2.0; x <= 2.0; x += 0.4) {
+    const std::vector<double> q{x};
+    const double exact = naive.Density(q);
+    EXPECT_NEAR(classifier.EstimateDensity(q), exact, 0.05 * exact + 1e-4)
+        << "x=" << x;
+  }
+}
+
+TEST(BinnedKdeClassifierTest, DensityCloseToExactIn2d) {
+  Rng rng(3);
+  const Dataset data = SampleStandardGaussian(5000, 2, rng);
+  BinnedKdeClassifier classifier;
+  classifier.Train(data);
+  Kernel kernel(KernelType::kGaussian,
+                SelectBandwidths(BandwidthRule::kScott, data, 1.0));
+  NaiveKde naive(data, kernel);
+  const std::vector<double> q{0.3, -0.7};
+  const double exact = naive.Density(q);
+  EXPECT_NEAR(classifier.EstimateDensity(q), exact, 0.10 * exact);
+}
+
+TEST(BinnedKdeClassifierTest, CoarseGridDegradesIn4d) {
+  // The Figure 8 story: with 16 nodes per axis in 4-d the binned estimate
+  // is visibly biased relative to the exact KDE.
+  Rng rng(4);
+  const Dataset data = SampleStandardGaussian(3000, 4, rng);
+  BinnedKdeClassifier classifier;
+  classifier.Train(data);
+  Kernel kernel(KernelType::kGaussian,
+                SelectBandwidths(BandwidthRule::kScott, data, 1.0));
+  NaiveKde naive(data, kernel);
+  double max_rel_err = 0.0;
+  for (size_t i = 0; i < 50; ++i) {
+    const auto q = data.Row(i * 13);
+    const double exact = naive.Density(q);
+    if (exact <= 0.0) continue;
+    max_rel_err = std::max(
+        max_rel_err,
+        std::fabs(classifier.EstimateDensity(q) - exact) / exact);
+  }
+  EXPECT_GT(max_rel_err, 0.05);
+}
+
+TEST(BinnedKdeClassifierTest, QueriesOutsideGridAreZeroAndLow) {
+  Rng rng(5);
+  const Dataset data = SampleStandardGaussian(1000, 2, rng);
+  BinnedKdeClassifier classifier;
+  classifier.Train(data);
+  const std::vector<double> far{1000.0, 1000.0};
+  EXPECT_EQ(classifier.EstimateDensity(far), 0.0);
+  EXPECT_EQ(classifier.Classify(far), Classification::kLow);
+}
+
+TEST(BinnedKdeClassifierTest, GridDensityIntegratesToOne1d) {
+  Rng rng(6);
+  const Dataset data = SampleStandardGaussian(3000, 1, rng);
+  BinnedKdeClassifier classifier;
+  classifier.Train(data);
+  // Riemann sum of the interpolated density over a wide interval.
+  double integral = 0.0;
+  const double step = 0.01;
+  for (double x = -8.0; x <= 8.0; x += step) {
+    integral += classifier.EstimateDensity(std::vector<double>{x}) * step;
+  }
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(BinnedKdeClassifierTest, LowRateNearP) {
+  Rng rng(7);
+  const Dataset data = SampleStandardGaussian(4000, 2, rng);
+  BinnedKdeOptions options;
+  options.p = 0.05;
+  BinnedKdeClassifier classifier(options);
+  classifier.Train(data);
+  size_t low = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (classifier.ClassifyTraining(data.Row(i)) == Classification::kLow) {
+      ++low;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(low) / data.size(), 0.05, 0.03);
+}
+
+TEST(BinnedKdeClassifierTest, GridSizeOverrideRoundsToPowerOfTwo) {
+  Rng rng(8);
+  const Dataset data = SampleStandardGaussian(500, 2, rng);
+  BinnedKdeOptions options;
+  options.grid_size_override = 100;
+  BinnedKdeClassifier classifier(options);
+  classifier.Train(data);
+  EXPECT_EQ(classifier.grid_shape()[0], 128u);
+}
+
+TEST(BinnedKdeClassifierTest, ClassificationMatchesExactMostOfTheTime2d) {
+  Rng rng(9);
+  const Dataset data = SampleStandardGaussian(3000, 2, rng);
+  BinnedKdeClassifier binned;
+  binned.Train(data);
+  Kernel kernel(KernelType::kGaussian,
+                SelectBandwidths(BandwidthRule::kScott, data, 1.0));
+  NaiveKde naive(data, kernel);
+  std::vector<double> densities(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    densities[i] = naive.TrainingDensity(i);
+  }
+  const double exact_t = Quantile(densities, 0.01);
+  std::vector<bool> actual, predicted;
+  for (size_t i = 0; i < data.size(); i += 3) {
+    actual.push_back(densities[i] < exact_t);
+    predicted.push_back(binned.ClassifyTraining(data.Row(i)) ==
+                        Classification::kLow);
+  }
+  EXPECT_GT(F1Score(actual, predicted), 0.85);
+}
+
+}  // namespace
+}  // namespace tkdc

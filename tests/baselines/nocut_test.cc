@@ -1,0 +1,91 @@
+#include "baselines/nocut.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "kde/naive_kde.h"
+
+namespace tkdc {
+namespace {
+
+TEST(NocutClassifierTest, DisablesThresholdRuleAndGrid) {
+  TkdcConfig config;
+  config.use_threshold_rule = true;
+  config.use_grid = true;
+  NocutClassifier classifier(config);
+  EXPECT_EQ(classifier.name(), "nocut");
+  EXPECT_FALSE(classifier.config().use_threshold_rule);
+  EXPECT_FALSE(classifier.config().use_grid);
+  EXPECT_TRUE(classifier.config().use_tolerance_rule);
+}
+
+TEST(NocutClassifierTest, ClassifiesCorrectly) {
+  Rng rng(1);
+  const Dataset data = SampleStandardGaussian(2000, 2, rng);
+  NocutClassifier classifier;
+  classifier.Train(data);
+  EXPECT_EQ(classifier.Classify(std::vector<double>{0.0, 0.0}),
+            Classification::kHigh);
+  EXPECT_EQ(classifier.Classify(std::vector<double>{7.0, 7.0}),
+            Classification::kLow);
+}
+
+TEST(NocutClassifierTest, DensityEstimatesAreToleranceAccurate) {
+  // Without the threshold rule, every estimate must satisfy the tolerance
+  // rule: width < eps * t_lo, so midpoints are eps * t accurate everywhere.
+  Rng rng(2);
+  const Dataset data = SampleStandardGaussian(2000, 2, rng);
+  NocutClassifier classifier;
+  classifier.Train(data);
+  NaiveKde naive(data, classifier.kernel());
+  const double t = classifier.threshold();
+  Rng query_rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> q{query_rng.NextGaussian(), query_rng.NextGaussian()};
+    const double exact = naive.Density(q);
+    const double estimate = classifier.EstimateDensity(q);
+    EXPECT_NEAR(estimate, exact, 2.0 * classifier.config().epsilon * t);
+  }
+}
+
+TEST(NocutClassifierTest, AgreesWithTkdcOnClearPoints) {
+  Rng rng(4);
+  const Dataset data = SampleStandardGaussian(2000, 2, rng);
+  NocutClassifier nocut;
+  TkdcClassifier tkdc;
+  nocut.Train(data);
+  tkdc.Train(data);
+  Rng query_rng(5);
+  int disagreements = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> q{query_rng.Uniform(-4.0, 4.0),
+                          query_rng.Uniform(-4.0, 4.0)};
+    if (nocut.Classify(q) != tkdc.Classify(q)) ++disagreements;
+  }
+  // Disagreement is only possible inside the epsilon band; extremely rare.
+  EXPECT_LE(disagreements, 2);
+}
+
+TEST(NocutClassifierTest, DoesMoreWorkThanTkdc) {
+  // The whole point of the threshold rule: nocut touches far more kernels.
+  Rng rng(6);
+  const Dataset data = SampleStandardGaussian(4000, 2, rng);
+  NocutClassifier nocut;
+  TkdcClassifier tkdc;
+  nocut.Train(data);
+  tkdc.Train(data);
+  const uint64_t nocut_train = nocut.kernel_evaluations();
+  const uint64_t tkdc_train = tkdc.kernel_evaluations();
+  uint64_t nocut_before = nocut_train, tkdc_before = tkdc_train;
+  for (size_t i = 0; i < 200; ++i) {
+    nocut.Classify(data.Row(i));
+    tkdc.Classify(data.Row(i));
+  }
+  const uint64_t nocut_query = nocut.kernel_evaluations() - nocut_before;
+  const uint64_t tkdc_query = tkdc.kernel_evaluations() - tkdc_before;
+  EXPECT_GT(nocut_query, 2 * tkdc_query);
+}
+
+}  // namespace
+}  // namespace tkdc

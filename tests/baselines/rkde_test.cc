@@ -1,0 +1,115 @@
+#include "baselines/rkde.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "kde/naive_kde.h"
+#include "kde/bandwidth.h"
+
+namespace tkdc {
+namespace {
+
+TEST(RkdeClassifierTest, NameAndBasicClassification) {
+  Rng rng(1);
+  const Dataset data = SampleStandardGaussian(2000, 2, rng);
+  RkdeClassifier classifier;
+  EXPECT_EQ(classifier.name(), "rkde");
+  classifier.Train(data);
+  EXPECT_EQ(classifier.Classify(std::vector<double>{0.0, 0.0}),
+            Classification::kHigh);
+  EXPECT_EQ(classifier.Classify(std::vector<double>{9.0, 9.0}),
+            Classification::kLow);
+}
+
+TEST(RkdeClassifierTest, AutoRadiusBoundsTruncationError) {
+  Rng rng(2);
+  const Dataset data = SampleStandardGaussian(2000, 2, rng);
+  RkdeClassifier classifier;
+  classifier.Train(data);
+  // The radial density under-estimates the exact density by at most
+  // K(radius) (each excluded point contributes less than that, and the
+  // 1/n average cannot exceed the max single contribution).
+  Kernel kernel(KernelType::kGaussian,
+                SelectBandwidths(BandwidthRule::kScott, data, 1.0));
+  NaiveKde naive(data, kernel);
+  const double max_error =
+      kernel.EvaluateScaled(classifier.radius_scaled_squared());
+  Rng query_rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> q{query_rng.NextGaussian(), query_rng.NextGaussian()};
+    const double radial = classifier.EstimateDensity(q);
+    const double exact = naive.Density(q);
+    EXPECT_LE(radial, exact + 1e-12);
+    EXPECT_GE(radial, exact - max_error - 1e-12);
+  }
+}
+
+TEST(RkdeClassifierTest, ExplicitRadiusIsUsed) {
+  Rng rng(4);
+  const Dataset data = SampleStandardGaussian(500, 2, rng);
+  RkdeOptions options;
+  options.radius_bandwidths = 2.5;
+  RkdeClassifier classifier(options);
+  classifier.Train(data);
+  EXPECT_DOUBLE_EQ(classifier.radius_scaled_squared(), 6.25);
+}
+
+TEST(RkdeClassifierTest, LargerRadiusIsMoreAccurate) {
+  Rng rng(5);
+  const Dataset data = SampleStandardGaussian(2000, 2, rng);
+  Kernel kernel(KernelType::kGaussian,
+                SelectBandwidths(BandwidthRule::kScott, data, 1.0));
+  NaiveKde naive(data, kernel);
+  RkdeOptions small_options;
+  small_options.radius_bandwidths = 1.0;
+  RkdeOptions large_options;
+  large_options.radius_bandwidths = 5.0;
+  RkdeClassifier small_r(small_options), large_r(large_options);
+  small_r.Train(data);
+  large_r.Train(data);
+  const std::vector<double> q{0.5, 0.5};
+  const double exact = naive.Density(q);
+  const double small_err = std::fabs(small_r.EstimateDensity(q) - exact);
+  const double large_err = std::fabs(large_r.EstimateDensity(q) - exact);
+  EXPECT_LE(large_err, small_err + 1e-15);
+}
+
+TEST(RkdeClassifierTest, SmallerRadiusDoesLessWork) {
+  Rng rng(6);
+  const Dataset data = SampleStandardGaussian(3000, 2, rng);
+  RkdeOptions small_options;
+  small_options.radius_bandwidths = 0.5;
+  RkdeOptions large_options;
+  large_options.radius_bandwidths = 6.0;
+  RkdeClassifier small_r(small_options), large_r(large_options);
+  small_r.Train(data);
+  large_r.Train(data);
+  const uint64_t small_before = small_r.kernel_evaluations();
+  const uint64_t large_before = large_r.kernel_evaluations();
+  for (size_t i = 0; i < 100; ++i) {
+    small_r.Classify(data.Row(i));
+    large_r.Classify(data.Row(i));
+  }
+  EXPECT_LT(small_r.kernel_evaluations() - small_before,
+            large_r.kernel_evaluations() - large_before);
+}
+
+TEST(RkdeClassifierTest, LowRateNearP) {
+  Rng rng(7);
+  const Dataset data = SampleStandardGaussian(3000, 2, rng);
+  RkdeClassifier classifier;
+  classifier.Train(data);
+  size_t low = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (classifier.ClassifyTraining(data.Row(i)) == Classification::kLow) {
+      ++low;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(low) / data.size(), 0.01, 0.02);
+}
+
+}  // namespace
+}  // namespace tkdc

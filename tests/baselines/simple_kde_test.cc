@@ -1,0 +1,100 @@
+#include "baselines/simple_kde.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "data/generators.h"
+
+namespace tkdc {
+namespace {
+
+TEST(SimpleKdeClassifierTest, NameAndTraining) {
+  SimpleKdeClassifier classifier;
+  EXPECT_EQ(classifier.name(), "simple");
+  Rng rng(1);
+  classifier.Train(SampleStandardGaussian(500, 2, rng));
+  EXPECT_GT(classifier.threshold(), 0.0);
+}
+
+TEST(SimpleKdeClassifierTest, ExactThresholdWhenSampleDisabled) {
+  Rng rng(2);
+  const Dataset data = SampleStandardGaussian(400, 2, rng);
+  SimpleKdeOptions options;
+  options.threshold_sample = 0;  // Use all points.
+  SimpleKdeClassifier classifier(options);
+  classifier.Train(data);
+  // Recompute the exact threshold independently.
+  const NaiveKde& kde = classifier.kde();
+  std::vector<double> densities(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    densities[i] = kde.TrainingDensity(i);
+  }
+  EXPECT_DOUBLE_EQ(classifier.threshold(), Quantile(densities, options.p));
+}
+
+TEST(SimpleKdeClassifierTest, ClassifiesByExactDensity) {
+  Rng rng(3);
+  const Dataset data = SampleStandardGaussian(1000, 2, rng);
+  SimpleKdeClassifier classifier;
+  classifier.Train(data);
+  EXPECT_EQ(classifier.Classify(std::vector<double>{0.0, 0.0}),
+            Classification::kHigh);
+  EXPECT_EQ(classifier.Classify(std::vector<double>{8.0, -8.0}),
+            Classification::kLow);
+}
+
+TEST(SimpleKdeClassifierTest, SampledThresholdCloseToExact) {
+  Rng rng(4);
+  const Dataset data = SampleStandardGaussian(3000, 2, rng);
+  SimpleKdeOptions exact_options;
+  exact_options.threshold_sample = 0;
+  SimpleKdeOptions sampled_options;
+  sampled_options.threshold_sample = 1000;
+  SimpleKdeClassifier exact(exact_options), sampled(sampled_options);
+  exact.Train(data);
+  sampled.Train(data);
+  // The sample quantile concentrates around the population quantile.
+  EXPECT_NEAR(sampled.threshold(), exact.threshold(),
+              0.5 * exact.threshold());
+}
+
+TEST(SimpleKdeClassifierTest, LowRateMatchesP) {
+  Rng rng(5);
+  const Dataset data = SampleStandardGaussian(1500, 2, rng);
+  SimpleKdeOptions options;
+  options.p = 0.1;
+  options.threshold_sample = 0;
+  SimpleKdeClassifier classifier(options);
+  classifier.Train(data);
+  size_t low = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (classifier.ClassifyTraining(data.Row(i)) == Classification::kLow) {
+      ++low;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(low) / data.size(), 0.1, 0.05);
+}
+
+TEST(SimpleKdeClassifierTest, KernelEvalsScaleLinearly) {
+  Rng rng(6);
+  const Dataset data = SampleStandardGaussian(700, 2, rng);
+  SimpleKdeClassifier classifier;
+  classifier.Train(data);
+  const uint64_t after_train = classifier.kernel_evaluations();
+  classifier.Classify(std::vector<double>{1.0, 1.0});
+  EXPECT_EQ(classifier.kernel_evaluations() - after_train, 700u);
+}
+
+TEST(SimpleKdeClassifierTest, EstimateDensityIsExact) {
+  Rng rng(7);
+  const Dataset data = SampleStandardGaussian(300, 2, rng);
+  SimpleKdeClassifier classifier;
+  classifier.Train(data);
+  const std::vector<double> q{0.5, -0.25};
+  EXPECT_DOUBLE_EQ(classifier.EstimateDensity(q),
+                   classifier.kde().Density(q));
+}
+
+}  // namespace
+}  // namespace tkdc

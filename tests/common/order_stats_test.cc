@@ -1,0 +1,100 @@
+#include "common/order_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace tkdc {
+namespace {
+
+TEST(NormalApproxQuantileCiTest, ReproducesPaperExample) {
+  // Section 3.5: s = 20000, delta = 0.01, p = 0.01 -> ranks 164 and 236.
+  const QuantileCi ci = NormalApproxQuantileCi(20000, 0.01, 0.01);
+  EXPECT_EQ(ci.lower, 163);  // floor(200 - 2.576 * sqrt(198)) = 163.
+  EXPECT_EQ(ci.upper, 237);  // ceil(200 + 2.576 * sqrt(198)) = 237.
+  // (The paper rounds inward to 164/236; our floor/ceil is one rank more
+  // conservative on each side, so coverage can only be higher.)
+  EXPECT_GE(ci.coverage, 0.99);
+}
+
+TEST(NormalApproxQuantileCiTest, RanksClampToSampleSize) {
+  const QuantileCi ci = NormalApproxQuantileCi(50, 0.01, 0.01);
+  EXPECT_GE(ci.lower, 1);
+  EXPECT_LE(ci.upper, 50);
+  EXPECT_LE(ci.lower, ci.upper);
+}
+
+TEST(NormalApproxQuantileCiTest, TighterDeltaWidensInterval) {
+  const QuantileCi loose = NormalApproxQuantileCi(10000, 0.05, 0.1);
+  const QuantileCi tight = NormalApproxQuantileCi(10000, 0.05, 0.001);
+  EXPECT_GE(tight.upper - tight.lower, loose.upper - loose.lower);
+}
+
+TEST(ExactBinomialQuantileCiTest, ReachesRequestedCoverage) {
+  for (double p : {0.01, 0.1, 0.5}) {
+    for (double delta : {0.1, 0.01}) {
+      const QuantileCi ci = ExactBinomialQuantileCi(2000, p, delta);
+      EXPECT_GE(ci.coverage, 1.0 - delta)
+          << "p=" << p << " delta=" << delta;
+    }
+  }
+}
+
+TEST(ExactBinomialQuantileCiTest, NarrowerThanOrEqualToNormalApprox) {
+  // The greedy exact interval should never be wildly wider than the
+  // normal-approximation interval at the same coverage.
+  const QuantileCi approx = NormalApproxQuantileCi(20000, 0.01, 0.01);
+  const QuantileCi exact = ExactBinomialQuantileCi(20000, 0.01, 0.01);
+  EXPECT_LE(exact.upper - exact.lower,
+            (approx.upper - approx.lower) + 10);
+}
+
+TEST(QuantileCiCoverageTest, FullSampleRangeHasFullBinomialMass) {
+  // [1, s] covers Bin in [1, s]: misses only the i = 0 term.
+  const double coverage = QuantileCiCoverage(100, 0.2, 1, 100);
+  const double miss = std::pow(0.8, 100.0);
+  EXPECT_NEAR(coverage, 1.0 - miss, 1e-12);
+}
+
+// Empirical property: across many random samples, the fraction of samples
+// where [X_(l), X_(u)] actually brackets the true quantile should meet the
+// coverage bound.
+class QuantileCiEmpirical
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(QuantileCiEmpirical, BracketsTrueQuantile) {
+  const auto [p, delta] = GetParam();
+  const int kSampleSize = 500;
+  const int kTrials = 400;
+  const QuantileCi ci = NormalApproxQuantileCi(kSampleSize, p, delta);
+  // Population: standard uniform, whose p-quantile is exactly p.
+  Rng rng(1234);
+  int bracketed = 0;
+  std::vector<double> sample(kSampleSize);
+  for (int t = 0; t < kTrials; ++t) {
+    for (double& v : sample) v = rng.NextDouble();
+    std::sort(sample.begin(), sample.end());
+    const double lower_stat = sample[ci.lower - 1];
+    const double upper_stat = sample[ci.upper - 1];
+    if (lower_stat <= p && p <= upper_stat) ++bracketed;
+  }
+  // Binomial noise over 400 trials: allow 3 sigma below 1 - delta.
+  const double observed = bracketed / static_cast<double>(kTrials);
+  const double sigma =
+      std::sqrt(delta * (1.0 - delta) / static_cast<double>(kTrials));
+  EXPECT_GE(observed, 1.0 - delta - 3.0 * sigma - 0.01)
+      << "p=" << p << " delta=" << delta;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuantileCiEmpirical,
+    ::testing::Values(std::make_pair(0.05, 0.05), std::make_pair(0.1, 0.01),
+                      std::make_pair(0.5, 0.05), std::make_pair(0.9, 0.1)));
+
+}  // namespace
+}  // namespace tkdc

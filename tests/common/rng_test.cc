@@ -1,0 +1,189 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/special_math.h"
+
+namespace tkdc {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.NextUint64() != b.NextUint64()) ++differences;
+  }
+  EXPECT_GE(differences, 15);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng rng(0);
+  // splitmix64 expands even an all-zero seed into nontrivial state.
+  uint64_t x = rng.NextUint64();
+  uint64_t y = rng.NextUint64();
+  EXPECT_NE(x, 0u);
+  EXPECT_NE(x, y);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.NextDouble();
+  // Standard error ~ 1/sqrt(12 * n) ~ 0.0009; 5 sigma band.
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.005);
+}
+
+TEST(RngTest, UniformRespectsRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-3.0, 2.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 2.0);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllResidues) {
+  Rng rng(17);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(RngTest, NextBoundedOneAlwaysZero) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, NextBoundedUnbiasedChiSquare) {
+  Rng rng(23);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.NextBounded(kBuckets)];
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (int count : counts) {
+    const double delta = count - expected;
+    chi2 += delta * delta / expected;
+  }
+  // 9 dof; reject only at the 1e-4 level to keep the test stable.
+  EXPECT_LT(ChiSquareCdf(chi2, 9.0), 0.9999);
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal) {
+  Rng rng(29);
+  const int kSamples = 200000;
+  double sum = 0.0, sum_sq = 0.0, sum_cube = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+    sum_cube += g * g * g;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.03);
+  EXPECT_NEAR(sum_cube / kSamples, 0.0, 0.1);  // Symmetry.
+}
+
+TEST(RngTest, GaussianTailFrequency) {
+  Rng rng(31);
+  const int kSamples = 100000;
+  int beyond_two_sigma = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (std::fabs(rng.NextGaussian()) > 2.0) ++beyond_two_sigma;
+  }
+  // P(|Z| > 2) = 4.55%; allow a generous band.
+  EXPECT_NEAR(beyond_two_sigma / static_cast<double>(kSamples), 0.0455,
+              0.006);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(37);
+  const auto sample = rng.SampleWithoutReplacement(100, 30);
+  ASSERT_EQ(sample.size(), 30u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (size_t idx : sample) EXPECT_LT(idx, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullPermutation) {
+  Rng rng(41);
+  auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(RngTest, SampleWithoutReplacementUniformInclusion) {
+  // Each index should appear in a size-k sample with probability k/n.
+  Rng rng(43);
+  const int kTrials = 20000;
+  int hits_index_0 = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto sample = rng.SampleWithoutReplacement(20, 5);
+    for (size_t idx : sample) {
+      if (idx == 0) ++hits_index_0;
+    }
+  }
+  EXPECT_NEAR(hits_index_0 / static_cast<double>(kTrials), 0.25, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(47);
+  std::vector<int> items{1, 2, 2, 3, 5, 8, 13};
+  std::vector<int> original = items;
+  rng.Shuffle(items);
+  std::sort(items.begin(), items.end());
+  std::sort(original.begin(), original.end());
+  EXPECT_EQ(items, original);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(53);
+  std::vector<int> items(50);
+  for (int i = 0; i < 50; ++i) items[i] = i;
+  rng.Shuffle(items);
+  int moved = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (items[i] != i) ++moved;
+  }
+  EXPECT_GT(moved, 30);
+}
+
+TEST(RngTest, CopiedGeneratorContinuesIndependently) {
+  Rng a(59);
+  a.NextUint64();
+  Rng b = a;
+  EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  a.NextUint64();
+  // Streams are now offset.
+  EXPECT_NE(a.NextUint64(), b.NextUint64());
+}
+
+}  // namespace
+}  // namespace tkdc

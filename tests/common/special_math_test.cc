@@ -1,0 +1,143 @@
+#include "common/special_math.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tkdc {
+namespace {
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(NormalCdf(-1.0), 0.15865525393145707, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-12);
+}
+
+TEST(NormalCdfTest, Symmetry) {
+  for (double x = 0.0; x < 5.0; x += 0.37) {
+    EXPECT_NEAR(NormalCdf(x) + NormalCdf(-x), 1.0, 1e-13);
+  }
+}
+
+TEST(NormalPdfTest, PeakAndSymmetry) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-14);
+  EXPECT_NEAR(NormalPdf(1.3), NormalPdf(-1.3), 1e-15);
+}
+
+TEST(NormalQuantileTest, KnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-9);
+  // The paper's z constant: z_0.995 = 2.576 (Section 3.5 example).
+  EXPECT_NEAR(NormalQuantile(0.995), 2.5758293035489004, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.01), -2.3263478740408408, 1e-9);
+}
+
+// Property: NormalQuantile inverts NormalCdf across the domain.
+class NormalQuantileRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(NormalQuantileRoundTrip, InvertsCdf) {
+  const double p = GetParam();
+  const double z = NormalQuantile(p);
+  EXPECT_NEAR(NormalCdf(z), p, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepP, NormalQuantileRoundTrip,
+                         ::testing::Values(1e-8, 1e-5, 1e-3, 0.01, 0.02425,
+                                           0.1, 0.25, 0.5, 0.75, 0.9, 0.99,
+                                           0.999, 1.0 - 1e-6));
+
+TEST(ErfInvTest, InvertsErf) {
+  for (double x = -2.5; x <= 2.5; x += 0.25) {
+    EXPECT_NEAR(ErfInv(std::erf(x)), x, 1e-8) << "x=" << x;
+  }
+}
+
+TEST(LogSumExpTest, MatchesDirectForSmallValues) {
+  EXPECT_NEAR(LogSumExp(0.0, 0.0), std::log(2.0), 1e-14);
+  EXPECT_NEAR(LogSumExp(1.0, 2.0), std::log(std::exp(1.0) + std::exp(2.0)),
+              1e-13);
+}
+
+TEST(LogSumExpTest, NoOverflowForLargeInputs) {
+  const double big = 800.0;  // exp(800) overflows a double.
+  EXPECT_NEAR(LogSumExp(big, big), big + std::log(2.0), 1e-10);
+  EXPECT_NEAR(LogSumExp(big, big - 50.0), big, 1e-10);
+}
+
+TEST(LogSumExpTest, NegativeInfinityIdentity) {
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(LogSumExp(neg_inf, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(LogSumExp(3.0, neg_inf), 3.0);
+}
+
+TEST(RegularizedGammaPTest, KnownValues) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x = 0.1; x < 6.0; x += 0.7) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+  // P(0.5, x) = erf(sqrt(x)).
+  for (double x = 0.1; x < 6.0; x += 0.7) {
+    EXPECT_NEAR(RegularizedGammaP(0.5, x), std::erf(std::sqrt(x)), 1e-10);
+  }
+}
+
+TEST(RegularizedGammaPTest, Monotone) {
+  double prev = 0.0;
+  for (double x = 0.0; x < 20.0; x += 0.5) {
+    const double value = RegularizedGammaP(3.0, x);
+    EXPECT_GE(value, prev);
+    prev = value;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-6);
+}
+
+TEST(ChiSquareCdfTest, MedianOfChiSquare2IsLogFour) {
+  // For k=2 the chi-square is Exp(1/2): CDF(x) = 1 - exp(-x/2).
+  EXPECT_NEAR(ChiSquareCdf(2.0 * std::log(2.0), 2.0), 0.5, 1e-12);
+}
+
+TEST(ChiSquareCdfTest, NonPositiveIsZero) {
+  EXPECT_EQ(ChiSquareCdf(0.0, 5.0), 0.0);
+  EXPECT_EQ(ChiSquareCdf(-1.0, 5.0), 0.0);
+}
+
+TEST(BinomialCoefficientTest, SmallExactValues) {
+  EXPECT_NEAR(BinomialCoefficient(5, 2), 10.0, 1e-9);
+  EXPECT_NEAR(BinomialCoefficient(10, 0), 1.0, 1e-9);
+  EXPECT_NEAR(BinomialCoefficient(10, 10), 1.0, 1e-9);
+  EXPECT_NEAR(BinomialCoefficient(52, 5), 2598960.0, 1e-3);
+}
+
+TEST(BinomialIntervalProbabilityTest, FullRangeIsOne) {
+  EXPECT_NEAR(BinomialIntervalProbability(20, 0.3, 0, 20), 1.0, 1e-12);
+}
+
+TEST(BinomialIntervalProbabilityTest, SinglePointMatchesPmf) {
+  // P(Bin(10, 0.5) = 5) = 252 / 1024.
+  EXPECT_NEAR(BinomialIntervalProbability(10, 0.5, 5, 5), 252.0 / 1024.0,
+              1e-12);
+}
+
+TEST(BinomialIntervalProbabilityTest, DegenerateP) {
+  EXPECT_EQ(BinomialIntervalProbability(10, 0.0, 0, 0), 1.0);
+  EXPECT_EQ(BinomialIntervalProbability(10, 0.0, 1, 10), 0.0);
+  EXPECT_EQ(BinomialIntervalProbability(10, 1.0, 10, 10), 1.0);
+  EXPECT_EQ(BinomialIntervalProbability(10, 1.0, 0, 9), 0.0);
+}
+
+TEST(BinomialIntervalProbabilityTest, EmptyAndClampedRanges) {
+  EXPECT_EQ(BinomialIntervalProbability(10, 0.4, 7, 3), 0.0);
+  // Out-of-range bounds are clamped to [0, s].
+  EXPECT_NEAR(BinomialIntervalProbability(10, 0.4, -5, 50), 1.0, 1e-12);
+}
+
+TEST(BinomialIntervalProbabilityTest, LargeSampleStaysFinite) {
+  // The paper's setting: s = 20000, p = 0.01, ranks around 200.
+  const double prob = BinomialIntervalProbability(20000, 0.01, 164, 236);
+  EXPECT_GT(prob, 0.98);
+  EXPECT_LE(prob, 1.0);
+}
+
+}  // namespace
+}  // namespace tkdc

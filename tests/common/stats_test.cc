@@ -1,0 +1,148 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tkdc {
+namespace {
+
+TEST(MeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({4.0}), 4.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({-1.0, 1.0}), 0.0);
+}
+
+TEST(VarianceTest, UnbiasedDenominator) {
+  // Sample variance of {1, 3} = ((1-2)^2 + (3-2)^2) / 1 = 2.
+  EXPECT_DOUBLE_EQ(Variance({1.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Variance({5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(StdDevTest, MatchesSqrtVariance) {
+  const std::vector<double> values{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(StdDev(values), std::sqrt(Variance(values)), 1e-15);
+}
+
+TEST(QuantileIndexTest, PaperOrderStatisticConvention) {
+  // q_p is the floor(n * p)-th smallest (clamped), per Section 2.3.
+  EXPECT_EQ(QuantileIndex(100, 0.01), 1u);
+  EXPECT_EQ(QuantileIndex(100, 0.0), 0u);
+  EXPECT_EQ(QuantileIndex(100, 1.0), 99u);  // Clamped to last.
+  EXPECT_EQ(QuantileIndex(10, 0.55), 5u);
+  EXPECT_EQ(QuantileIndex(1, 0.5), 0u);
+}
+
+TEST(QuantileTest, OrderStatisticSemantics) {
+  std::vector<double> values{9.0, 1.0, 8.0, 2.0, 7.0, 3.0, 6.0, 4.0, 5.0, 0.0};
+  // n = 10, p = 0.3 -> index 3 -> 4th smallest = 3.0.
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.3), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0), 9.0);
+}
+
+TEST(QuantileTest, SortedAndUnsortedAgree) {
+  Rng rng(5);
+  std::vector<double> values(501);
+  for (double& v : values) v = rng.NextGaussian();
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (double p : {0.001, 0.01, 0.1, 0.5, 0.9, 0.999}) {
+    EXPECT_DOUBLE_EQ(Quantile(values, p), QuantileSorted(sorted, p));
+  }
+}
+
+// Property sweep: the quantile must be monotone in p and bracketed by the
+// extremes.
+class QuantileMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantileMonotone, MonotoneInP) {
+  Rng rng(GetParam());
+  std::vector<double> values(100 + GetParam() * 37);
+  for (double& v : values) v = rng.NextGaussian();
+  double prev = -1e300;
+  for (double p = 0.0; p <= 1.0; p += 0.05) {
+    const double q = Quantile(values, p);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+  const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+  EXPECT_GE(Quantile(values, 0.0), *lo);
+  EXPECT_LE(Quantile(values, 1.0), *hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotone, ::testing::Range(1, 8));
+
+TEST(ConfusionMatrixTest, CountsRouteCorrectly) {
+  ConfusionMatrix cm;
+  cm.Add(true, true);    // TP
+  cm.Add(true, false);   // FN
+  cm.Add(false, true);   // FP
+  cm.Add(false, false);  // TN
+  EXPECT_EQ(cm.true_positives, 1u);
+  EXPECT_EQ(cm.false_negatives, 1u);
+  EXPECT_EQ(cm.false_positives, 1u);
+  EXPECT_EQ(cm.true_negatives, 1u);
+  EXPECT_EQ(cm.Total(), 4u);
+  EXPECT_DOUBLE_EQ(cm.Precision(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.Recall(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.F1(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.5);
+}
+
+TEST(ConfusionMatrixTest, DegenerateCasesReturnZero) {
+  ConfusionMatrix cm;
+  EXPECT_DOUBLE_EQ(cm.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.F1(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.0);
+}
+
+TEST(F1ScoreTest, PerfectPrediction) {
+  const std::vector<bool> actual{true, false, true, false, true};
+  EXPECT_DOUBLE_EQ(F1Score(actual, actual), 1.0);
+}
+
+TEST(F1ScoreTest, KnownMixedCase) {
+  const std::vector<bool> actual{true, true, true, false, false};
+  const std::vector<bool> predicted{true, true, false, true, false};
+  // TP=2, FP=1, FN=1: precision = recall = 2/3, F1 = 2/3.
+  EXPECT_NEAR(F1Score(actual, predicted), 2.0 / 3.0, 1e-15);
+}
+
+TEST(F1ScoreTest, AllNegativePredictionsGiveZero) {
+  const std::vector<bool> actual{true, true, false};
+  const std::vector<bool> predicted{false, false, false};
+  EXPECT_DOUBLE_EQ(F1Score(actual, predicted), 0.0);
+}
+
+TEST(PearsonCorrelationTest, PerfectLinearRelations) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  const std::vector<double> z{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelationTest, ConstantSeriesIsZero) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, y), 0.0);
+}
+
+TEST(PearsonCorrelationTest, IndependentSamplesNearZero) {
+  Rng rng(99);
+  std::vector<double> x(5000), y(5000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.NextGaussian();
+    y[i] = rng.NextGaussian();
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace tkdc

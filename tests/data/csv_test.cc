@@ -1,0 +1,123 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace tkdc {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& contents) {
+    std::ofstream out(path);
+    out << contents;
+  }
+};
+
+TEST_F(CsvTest, ReadSimpleFile) {
+  const std::string path = TempPath("simple.csv");
+  WriteFile(path, "1.5,2\n3,4.25\n");
+  std::string error;
+  const auto table = ReadCsv(path, /*has_header=*/false, &error);
+  ASSERT_TRUE(table.has_value()) << error;
+  EXPECT_EQ(table->data.size(), 2u);
+  EXPECT_EQ(table->data.dims(), 2u);
+  EXPECT_DOUBLE_EQ(table->data.At(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(table->data.At(1, 1), 4.25);
+  EXPECT_TRUE(table->column_names.empty());
+}
+
+TEST_F(CsvTest, ReadWithHeader) {
+  const std::string path = TempPath("header.csv");
+  WriteFile(path, "a,b,c\n1,2,3\n");
+  std::string error;
+  const auto table = ReadCsv(path, /*has_header=*/true, &error);
+  ASSERT_TRUE(table.has_value()) << error;
+  ASSERT_EQ(table->column_names.size(), 3u);
+  EXPECT_EQ(table->column_names[1], "b");
+  EXPECT_EQ(table->data.size(), 1u);
+}
+
+TEST_F(CsvTest, SkipsBlankLinesAndTrimsWhitespace) {
+  const std::string path = TempPath("blank.csv");
+  WriteFile(path, "1 , 2\n\n   \n3,4\n");
+  std::string error;
+  const auto table = ReadCsv(path, false, &error);
+  ASSERT_TRUE(table.has_value()) << error;
+  EXPECT_EQ(table->data.size(), 2u);
+  EXPECT_DOUBLE_EQ(table->data.At(0, 1), 2.0);
+}
+
+TEST_F(CsvTest, HandlesNegativeAndScientific) {
+  const std::string path = TempPath("sci.csv");
+  WriteFile(path, "-1e-3,2.5E+2\n");
+  std::string error;
+  const auto table = ReadCsv(path, false, &error);
+  ASSERT_TRUE(table.has_value()) << error;
+  EXPECT_DOUBLE_EQ(table->data.At(0, 0), -1e-3);
+  EXPECT_DOUBLE_EQ(table->data.At(0, 1), 250.0);
+}
+
+TEST_F(CsvTest, RejectsRaggedRows) {
+  const std::string path = TempPath("ragged.csv");
+  WriteFile(path, "1,2\n3,4,5\n");
+  std::string error;
+  EXPECT_FALSE(ReadCsv(path, false, &error).has_value());
+  EXPECT_NE(error.find("expected 2 fields"), std::string::npos) << error;
+}
+
+TEST_F(CsvTest, RejectsNonNumericCell) {
+  const std::string path = TempPath("alpha.csv");
+  WriteFile(path, "1,2\n3,abc\n");
+  std::string error;
+  EXPECT_FALSE(ReadCsv(path, false, &error).has_value());
+  EXPECT_NE(error.find("non-numeric"), std::string::npos) << error;
+}
+
+TEST_F(CsvTest, RejectsMissingFile) {
+  std::string error;
+  EXPECT_FALSE(
+      ReadCsv(TempPath("does_not_exist.csv"), false, &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST_F(CsvTest, RejectsEmptyFile) {
+  const std::string path = TempPath("empty.csv");
+  WriteFile(path, "");
+  std::string error;
+  EXPECT_FALSE(ReadCsv(path, false, &error).has_value());
+  EXPECT_NE(error.find("empty"), std::string::npos);
+}
+
+TEST_F(CsvTest, RoundTripExact) {
+  Dataset data(3);
+  data.AppendRow(std::vector<double>{1.0 / 3.0, -2.5e-17, 1e300});
+  data.AppendRow(std::vector<double>{0.1, 0.2, 0.30000000000000004});
+  const std::string path = TempPath("roundtrip.csv");
+  std::string error;
+  ASSERT_TRUE(WriteCsv(path, data, {"x", "y", "z"}, &error)) << error;
+  const auto table = ReadCsv(path, /*has_header=*/true, &error);
+  ASSERT_TRUE(table.has_value()) << error;
+  ASSERT_EQ(table->data.size(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (size_t j = 0; j < data.dims(); ++j) {
+      EXPECT_DOUBLE_EQ(table->data.At(i, j), data.At(i, j));
+    }
+  }
+}
+
+TEST_F(CsvTest, WriteRejectsMismatchedHeader) {
+  Dataset data(2, {1.0, 2.0});
+  std::string error;
+  EXPECT_FALSE(WriteCsv(TempPath("bad.csv"), data, {"only_one"}, &error));
+}
+
+}  // namespace
+}  // namespace tkdc

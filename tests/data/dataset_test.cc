@@ -1,0 +1,119 @@
+#include "data/dataset.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tkdc {
+namespace {
+
+Dataset MakeSmall() {
+  // 4 rows x 2 dims.
+  return Dataset(2, {1.0, 10.0,  //
+                     2.0, 20.0,  //
+                     3.0, 30.0,  //
+                     4.0, 40.0});
+}
+
+TEST(DatasetTest, ConstructionAndShape) {
+  const Dataset data = MakeSmall();
+  EXPECT_EQ(data.size(), 4u);
+  EXPECT_EQ(data.dims(), 2u);
+  EXPECT_FALSE(data.empty());
+  EXPECT_TRUE(Dataset(3).empty());
+}
+
+TEST(DatasetTest, RowAccess) {
+  const Dataset data = MakeSmall();
+  const auto row = data.Row(2);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_DOUBLE_EQ(row[0], 3.0);
+  EXPECT_DOUBLE_EQ(row[1], 30.0);
+  EXPECT_DOUBLE_EQ(data.At(1, 1), 20.0);
+}
+
+TEST(DatasetTest, MutableAccess) {
+  Dataset data = MakeSmall();
+  data.MutableRow(0)[1] = 99.0;
+  data.At(3, 0) = -4.0;
+  EXPECT_DOUBLE_EQ(data.At(0, 1), 99.0);
+  EXPECT_DOUBLE_EQ(data.At(3, 0), -4.0);
+}
+
+TEST(DatasetTest, AppendRow) {
+  Dataset data(3);
+  const std::vector<double> row{1.0, 2.0, 3.0};
+  data.AppendRow(row);
+  data.AppendRow(row);
+  EXPECT_EQ(data.size(), 2u);
+  EXPECT_DOUBLE_EQ(data.At(1, 2), 3.0);
+}
+
+TEST(DatasetTest, ColumnMeans) {
+  const auto means = MakeSmall().ColumnMeans();
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_DOUBLE_EQ(means[0], 2.5);
+  EXPECT_DOUBLE_EQ(means[1], 25.0);
+}
+
+TEST(DatasetTest, ColumnStdDevs) {
+  const auto stds = MakeSmall().ColumnStdDevs();
+  // Sample std of {1,2,3,4} = sqrt(5/3).
+  EXPECT_NEAR(stds[0], std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_NEAR(stds[1], 10.0 * std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(DatasetTest, ColumnStdDevZeroVariance) {
+  Dataset data(1, {7.0, 7.0, 7.0});
+  EXPECT_DOUBLE_EQ(data.ColumnStdDevs()[0], 0.0);
+}
+
+TEST(DatasetTest, SelectRowsPreservesOrder) {
+  const Dataset data = MakeSmall();
+  const Dataset subset = data.SelectRows({3, 0, 3});
+  ASSERT_EQ(subset.size(), 3u);
+  EXPECT_DOUBLE_EQ(subset.At(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(subset.At(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(subset.At(2, 0), 4.0);
+}
+
+TEST(DatasetTest, Head) {
+  const Dataset head = MakeSmall().Head(2);
+  EXPECT_EQ(head.size(), 2u);
+  EXPECT_DOUBLE_EQ(head.At(1, 1), 20.0);
+}
+
+TEST(DatasetTest, TruncateDims) {
+  const Dataset truncated = MakeSmall().TruncateDims(1);
+  EXPECT_EQ(truncated.dims(), 1u);
+  EXPECT_EQ(truncated.size(), 4u);
+  EXPECT_DOUBLE_EQ(truncated.At(2, 0), 3.0);
+}
+
+TEST(DatasetTest, TruncateDimsFullWidthIsIdentity) {
+  const Dataset data = MakeSmall();
+  const Dataset same = data.TruncateDims(2);
+  EXPECT_EQ(same.values(), data.values());
+}
+
+TEST(DatasetTest, StandardizedHasZeroMeanUnitStd) {
+  const Dataset std_data = MakeSmall().Standardized();
+  const auto means = std_data.ColumnMeans();
+  const auto stds = std_data.ColumnStdDevs();
+  for (size_t j = 0; j < 2; ++j) {
+    EXPECT_NEAR(means[j], 0.0, 1e-12);
+    EXPECT_NEAR(stds[j], 1.0, 1e-12);
+  }
+}
+
+TEST(DatasetTest, StandardizedConstantColumnOnlyCentered) {
+  Dataset data(2, {5.0, 1.0, 5.0, 2.0, 5.0, 3.0});
+  const Dataset std_data = data.Standardized();
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(std_data.At(i, 0), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace tkdc

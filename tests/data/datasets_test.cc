@@ -1,0 +1,101 @@
+#include "data/datasets.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tkdc {
+namespace {
+
+TEST(DatasetRegistryTest, AllSevenPaperDatasetsPresent) {
+  const auto& specs = AllDatasetSpecs();
+  ASSERT_EQ(specs.size(), 7u);
+  EXPECT_EQ(specs[0].name, "gauss");
+  EXPECT_EQ(specs[6].name, "shuttle");
+}
+
+TEST(DatasetRegistryTest, DimsMatchPaperTable3) {
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kGauss).dims, 2u);
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kTmy3).dims, 8u);
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kHome).dims, 10u);
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kHep).dims, 27u);
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kSift).dims, 128u);
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kMnist).dims, 784u);
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kShuttle).dims, 9u);
+}
+
+TEST(DatasetRegistryTest, NameLookup) {
+  EXPECT_EQ(DatasetIdFromName("hep"), DatasetId::kHep);
+  EXPECT_EQ(DatasetIdFromName("gauss"), DatasetId::kGauss);
+  EXPECT_FALSE(DatasetIdFromName("nope").has_value());
+  EXPECT_FALSE(DatasetIdFromName("GAUSS").has_value());
+}
+
+// Every dataset must generate the requested shape deterministically.
+class DatasetGeneration : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(DatasetGeneration, ShapeAndDeterminism) {
+  const DatasetId id = GetParam();
+  const size_t dims = GetDatasetSpec(id).dims;
+  // Keep mnist small: 784 dims is wide.
+  const size_t n = id == DatasetId::kMnist ? 200 : 1000;
+  const Dataset a = MakeDataset(id, n, 7);
+  const Dataset b = MakeDataset(id, n, 7);
+  EXPECT_EQ(a.size(), n);
+  EXPECT_EQ(a.dims(), dims);
+  EXPECT_EQ(a.values(), b.values());
+  const Dataset c = MakeDataset(id, n, 8);
+  EXPECT_NE(a.values(), c.values());
+}
+
+TEST_P(DatasetGeneration, DimensionOverride) {
+  const DatasetId id = GetParam();
+  const Dataset data = MakeDataset(id, 100, /*dims=*/5, /*seed=*/1);
+  EXPECT_EQ(data.dims(), 5u);
+  EXPECT_EQ(data.size(), 100u);
+}
+
+TEST_P(DatasetGeneration, ValuesAreFinite) {
+  const DatasetId id = GetParam();
+  const Dataset data = MakeDataset(id, 500, /*dims=*/3, /*seed=*/3);
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (size_t j = 0; j < data.dims(); ++j) {
+      EXPECT_TRUE(std::isfinite(data.At(i, j)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetGeneration,
+                         ::testing::Values(DatasetId::kGauss, DatasetId::kTmy3,
+                                           DatasetId::kHome, DatasetId::kHep,
+                                           DatasetId::kSift,
+                                           DatasetId::kMnist,
+                                           DatasetId::kShuttle));
+
+TEST(DatasetGenerationTest, DifferentDatasetsDifferUnderSameSeed) {
+  const Dataset gauss = MakeDataset(DatasetId::kGauss, 100, 4, 7);
+  const Dataset home = MakeDataset(DatasetId::kHome, 100, 4, 7);
+  EXPECT_NE(gauss.values(), home.values());
+}
+
+TEST(DatasetGenerationTest, GaussMatchesStandardNormalMoments) {
+  const Dataset data = MakeDataset(DatasetId::kGauss, 50000, 42);
+  for (double m : data.ColumnMeans()) EXPECT_NEAR(m, 0.0, 0.03);
+  for (double s : data.ColumnStdDevs()) EXPECT_NEAR(s, 1.0, 0.03);
+}
+
+TEST(DatasetGenerationTest, HepHasHeavyTails) {
+  const Dataset data = MakeDataset(DatasetId::kHep, 50000, 1);
+  // Standardize axis 0 and count > 5 sigma events; a Gaussian mixture
+  // would have essentially none at this sample size.
+  const double mean = data.ColumnMeans()[0];
+  const double std = data.ColumnStdDevs()[0];
+  int extreme = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (std::fabs((data.At(i, 0) - mean) / std) > 5.0) ++extreme;
+  }
+  EXPECT_GT(extreme, 5);
+}
+
+}  // namespace
+}  // namespace tkdc

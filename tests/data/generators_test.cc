@@ -1,0 +1,196 @@
+#include "data/generators.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace tkdc {
+namespace {
+
+MixtureComponent GaussianComponent(std::vector<double> mean,
+                                   std::vector<double> scales,
+                                   double weight = 1.0) {
+  MixtureComponent c;
+  c.weight = weight;
+  c.mean = std::move(mean);
+  c.scales = std::move(scales);
+  return c;
+}
+
+TEST(MixtureTest, SingleGaussianMoments) {
+  Mixture mixture({GaussianComponent({2.0, -1.0}, {0.5, 3.0})});
+  Rng rng(1);
+  const Dataset sample = mixture.Sample(50000, rng);
+  const auto means = sample.ColumnMeans();
+  const auto stds = sample.ColumnStdDevs();
+  EXPECT_NEAR(means[0], 2.0, 0.02);
+  EXPECT_NEAR(means[1], -1.0, 0.1);
+  EXPECT_NEAR(stds[0], 0.5, 0.02);
+  EXPECT_NEAR(stds[1], 3.0, 0.1);
+}
+
+TEST(MixtureTest, WeightsControlComponentFrequency) {
+  // Two well-separated 1-d components with 3:1 weights.
+  Mixture mixture({GaussianComponent({-10.0}, {0.1}, 3.0),
+                   GaussianComponent({10.0}, {0.1}, 1.0)});
+  Rng rng(2);
+  const Dataset sample = mixture.Sample(20000, rng);
+  int left = 0;
+  for (size_t i = 0; i < sample.size(); ++i) {
+    if (sample.At(i, 0) < 0.0) ++left;
+  }
+  EXPECT_NEAR(left / 20000.0, 0.75, 0.02);
+}
+
+TEST(MixtureTest, PdfOfStandardNormalAtOrigin) {
+  Mixture mixture({GaussianComponent({0.0, 0.0}, {1.0, 1.0})});
+  const double expected = 1.0 / (2.0 * std::numbers::pi);
+  EXPECT_NEAR(mixture.Pdf(std::vector<double>{0.0, 0.0}), expected, 1e-12);
+}
+
+TEST(MixtureTest, PdfIntegratesToOneOnGrid) {
+  Mixture mixture({GaussianComponent({0.0}, {1.0}, 1.0),
+                   GaussianComponent({3.0}, {0.5}, 2.0)});
+  double integral = 0.0;
+  const double step = 0.01;
+  for (double x = -10.0; x <= 13.0; x += step) {
+    integral += mixture.Pdf(std::vector<double>{x}) * step;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(MixtureTest, PdfMatchesEmpiricalHistogram) {
+  Mixture mixture({GaussianComponent({0.0}, {1.0}, 1.0),
+                   GaussianComponent({4.0}, {0.5}, 1.0)});
+  Rng rng(3);
+  const Dataset sample = mixture.Sample(200000, rng);
+  // Empirical mass in [-0.5, 0.5] vs integral of the pdf.
+  int in_bin = 0;
+  for (size_t i = 0; i < sample.size(); ++i) {
+    const double x = sample.At(i, 0);
+    if (x >= -0.5 && x <= 0.5) ++in_bin;
+  }
+  double expected_mass = 0.0;
+  for (double x = -0.5; x < 0.5; x += 0.001) {
+    expected_mass += mixture.Pdf(std::vector<double>{x}) * 0.001;
+  }
+  EXPECT_NEAR(in_bin / 200000.0, expected_mass, 0.005);
+}
+
+TEST(MixtureTest, StudentTHasHeavierTailsThanGaussian) {
+  Mixture heavy_mixture([] {
+    MixtureComponent c = GaussianComponent({0.0}, {1.0});
+    c.student_t_df = 3.0;
+    return std::vector<MixtureComponent>{c};
+  }());
+  Mixture light_mixture({GaussianComponent({0.0}, {1.0})});
+  Rng rng_a(4), rng_b(4);
+  const Dataset heavy = heavy_mixture.Sample(50000, rng_a);
+  const Dataset light = light_mixture.Sample(50000, rng_b);
+  auto tail_count = [](const Dataset& d) {
+    int count = 0;
+    for (size_t i = 0; i < d.size(); ++i) {
+      if (std::fabs(d.At(i, 0)) > 4.0) ++count;
+    }
+    return count;
+  };
+  EXPECT_GT(tail_count(heavy), 4 * tail_count(light) + 10);
+}
+
+TEST(SampleStandardGaussianTest, ShapeAndMoments) {
+  Rng rng(5);
+  const Dataset data = SampleStandardGaussian(30000, 3, rng);
+  EXPECT_EQ(data.size(), 30000u);
+  EXPECT_EQ(data.dims(), 3u);
+  for (double m : data.ColumnMeans()) EXPECT_NEAR(m, 0.0, 0.03);
+  for (double s : data.ColumnStdDevs()) EXPECT_NEAR(s, 1.0, 0.03);
+}
+
+TEST(SampleUniformBoxTest, StaysInBoxWithUniformSpread) {
+  Rng rng(6);
+  const Dataset data = SampleUniformBox(20000, 2, -1.0, 3.0, rng);
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      EXPECT_GE(data.At(i, j), -1.0);
+      EXPECT_LT(data.At(i, j), 3.0);
+    }
+  }
+  // Uniform(-1, 3): mean 1, std 4/sqrt(12).
+  EXPECT_NEAR(data.ColumnMeans()[0], 1.0, 0.05);
+  EXPECT_NEAR(data.ColumnStdDevs()[0], 4.0 / std::sqrt(12.0), 0.03);
+}
+
+TEST(RandomGaussianMixtureTest, RespectsParameterRanges) {
+  Rng rng(7);
+  const Mixture mixture = RandomGaussianMixture(4, 5, 3.0, 0.5, 1.5, rng);
+  EXPECT_EQ(mixture.dims(), 4u);
+  ASSERT_EQ(mixture.components().size(), 5u);
+  for (const auto& c : mixture.components()) {
+    for (double m : c.mean) {
+      EXPECT_GE(m, -3.0);
+      EXPECT_LE(m, 3.0);
+    }
+    for (double s : c.scales) {
+      EXPECT_GE(s, 0.5);
+      EXPECT_LE(s, 1.5);
+    }
+    EXPECT_EQ(c.student_t_df, 0.0);
+  }
+}
+
+TEST(SampleLowRankMixtureTest, VarianceConcentratesInSubspace) {
+  Rng rng(8);
+  const size_t kDims = 20;
+  const Dataset data = SampleLowRankMixture(20000, kDims, /*latent_dims=*/2,
+                                            /*k=*/4, /*noise=*/0.05, rng);
+  EXPECT_EQ(data.dims(), kDims);
+  // With a rank-2 latent space + tiny noise, the covariance spectrum must
+  // be dominated by ~2 directions. Cheap proxy: total variance should far
+  // exceed d * noise^2, and no single axis should hold all of it.
+  const auto stds = data.ColumnStdDevs();
+  double total_var = 0.0;
+  for (double s : stds) total_var += s * s;
+  EXPECT_GT(total_var, 100.0 * kDims * 0.05 * 0.05);
+}
+
+TEST(SampleFilamentClustersTest, FilamentPointsAreLowDensity) {
+  Rng rng(9);
+  const Dataset data = SampleFilamentClusters(
+      20000, 4, /*num_modes=*/3, /*informative_dims=*/2,
+      /*filament_fraction=*/0.1, rng);
+  EXPECT_EQ(data.size(), 20000u);
+  EXPECT_EQ(data.dims(), 4u);
+  // Nuisance dims have tiny spread.
+  const auto stds = data.ColumnStdDevs();
+  EXPECT_LT(stds[2], 0.2);
+  EXPECT_LT(stds[3], 0.2);
+  EXPECT_GT(stds[0], 1.0);
+}
+
+TEST(SampleFilamentClustersTest, ZeroFilamentFractionIsPureModes) {
+  Rng rng(10);
+  const Dataset data = SampleFilamentClusters(5000, 2, 2, 2, 0.0, rng);
+  EXPECT_EQ(data.size(), 5000u);
+}
+
+TEST(SampleDecayingSpectrumMixtureTest, AxisVarianceDecays) {
+  Rng rng(11);
+  const Dataset data =
+      SampleDecayingSpectrumMixture(20000, 16, /*k=*/5, /*decay=*/1.0, rng);
+  const auto stds = data.ColumnStdDevs();
+  // First axis must carry much more variance than the last.
+  EXPECT_GT(stds[0], 3.0 * stds[15]);
+}
+
+TEST(GeneratorsTest, DeterministicGivenSeed) {
+  Rng rng_a(12), rng_b(12);
+  const Dataset a = SampleStandardGaussian(100, 2, rng_a);
+  const Dataset b = SampleStandardGaussian(100, 2, rng_b);
+  EXPECT_EQ(a.values(), b.values());
+}
+
+}  // namespace
+}  // namespace tkdc

@@ -1,0 +1,115 @@
+#include "fft/convolution.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tkdc {
+namespace {
+
+TEST(DirectConvolveTest, IdentityKernel1d) {
+  const std::vector<double> data{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> kernel{0.0, 1.0, 0.0};
+  const auto out = DirectConvolveSame(data, {4}, kernel, {3});
+  ASSERT_EQ(out.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(out[i], data[i], 1e-14);
+}
+
+TEST(DirectConvolveTest, ShiftKernel1d) {
+  // Standard convolution out[i] = sum_m data[m] kernel[i - m + half]:
+  // kernel [1, 0, 0] (mass at offset -1) shifts the data left by one.
+  const std::vector<double> data{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> kernel{1.0, 0.0, 0.0};
+  const auto out = DirectConvolveSame(data, {4}, kernel, {3});
+  EXPECT_NEAR(out[0], 2.0, 1e-14);
+  EXPECT_NEAR(out[1], 3.0, 1e-14);
+  EXPECT_NEAR(out[2], 4.0, 1e-14);
+  EXPECT_NEAR(out[3], 0.0, 1e-14);
+}
+
+TEST(DirectConvolveTest, BoxBlur1dBoundaryZeroPadded) {
+  const std::vector<double> data{1.0, 1.0, 1.0};
+  const std::vector<double> kernel{1.0, 1.0, 1.0};
+  const auto out = DirectConvolveSame(data, {3}, kernel, {3});
+  EXPECT_NEAR(out[0], 2.0, 1e-14);  // Left edge loses one tap.
+  EXPECT_NEAR(out[1], 3.0, 1e-14);
+  EXPECT_NEAR(out[2], 2.0, 1e-14);
+}
+
+TEST(DirectConvolveTest, TwoDimImpulseSpreadsKernel) {
+  // 5x5 impulse at the center convolved with an asymmetric 3x3 kernel
+  // reproduces the (flipped-twice = original) kernel around the center.
+  std::vector<double> data(25, 0.0);
+  data[12] = 1.0;
+  std::vector<double> kernel{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const auto out = DirectConvolveSame(data, {5, 5}, kernel, {3, 3});
+  for (int di = -1; di <= 1; ++di) {
+    for (int dj = -1; dj <= 1; ++dj) {
+      const double expected = kernel[(di + 1) * 3 + (dj + 1)];
+      EXPECT_NEAR(out[(2 + di) * 5 + (2 + dj)], expected, 1e-12)
+          << di << "," << dj;
+    }
+  }
+}
+
+TEST(DirectConvolveTest, MassConservationInterior) {
+  // Total output mass = total input mass * total kernel mass when nothing
+  // falls off the edges (impulse well inside).
+  std::vector<double> data(81, 0.0);
+  data[40] = 2.0;  // Center of 9x9.
+  std::vector<double> kernel(9, 0.5);  // 3x3.
+  const auto out = DirectConvolveSame(data, {9, 9}, kernel, {3, 3});
+  double total = 0.0;
+  for (double v : out) total += v;
+  EXPECT_NEAR(total, 2.0 * 4.5, 1e-12);
+}
+
+class FftVsDirect
+    : public ::testing::TestWithParam<std::pair<std::vector<size_t>,
+                                                std::vector<size_t>>> {};
+
+TEST_P(FftVsDirect, Agree) {
+  const auto& [shape, kernel_shape] = GetParam();
+  size_t data_total = 1, kernel_total = 1;
+  for (size_t e : shape) data_total *= e;
+  for (size_t e : kernel_shape) kernel_total *= e;
+  Rng rng(data_total * 131 + kernel_total);
+  std::vector<double> data(data_total);
+  std::vector<double> kernel(kernel_total);
+  for (double& v : data) v = rng.NextGaussian();
+  for (double& v : kernel) v = rng.NextGaussian();
+  const auto direct = DirectConvolveSame(data, shape, kernel, kernel_shape);
+  const auto fft = FftConvolveSame(data, shape, kernel, kernel_shape);
+  ASSERT_EQ(direct.size(), fft.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct[i], fft[i], 1e-9) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FftVsDirect,
+    ::testing::Values(
+        std::make_pair(std::vector<size_t>{16}, std::vector<size_t>{5}),
+        std::make_pair(std::vector<size_t>{7}, std::vector<size_t>{3}),
+        std::make_pair(std::vector<size_t>{12, 10},
+                       std::vector<size_t>{3, 5}),
+        std::make_pair(std::vector<size_t>{8, 8, 8},
+                       std::vector<size_t>{3, 3, 3}),
+        std::make_pair(std::vector<size_t>{6, 5, 4, 3},
+                       std::vector<size_t>{3, 3, 1, 3})));
+
+TEST(FftConvolveTest, LargeKernelRelativeToData) {
+  Rng rng(41);
+  std::vector<double> data(10);
+  std::vector<double> kernel(19);
+  for (double& v : data) v = rng.NextGaussian();
+  for (double& v : kernel) v = rng.NextGaussian();
+  const auto direct = DirectConvolveSame(data, {10}, kernel, {19});
+  const auto fft = FftConvolveSame(data, {10}, kernel, {19});
+  for (size_t i = 0; i < 10; ++i) EXPECT_NEAR(direct[i], fft[i], 1e-10);
+}
+
+}  // namespace
+}  // namespace tkdc

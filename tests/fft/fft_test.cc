@@ -1,0 +1,189 @@
+#include "fft/fft.h"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tkdc {
+namespace {
+
+using Cvec = std::vector<std::complex<double>>;
+
+TEST(PowerOfTwoTest, Predicates) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(12));
+}
+
+TEST(PowerOfTwoTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(17), 32u);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024u);
+}
+
+TEST(FftTest, SizeOneIsIdentity) {
+  Cvec data{{3.0, -2.0}};
+  Fft(data, false);
+  EXPECT_DOUBLE_EQ(data[0].real(), 3.0);
+  EXPECT_DOUBLE_EQ(data[0].imag(), -2.0);
+}
+
+TEST(FftTest, ImpulseGivesFlatSpectrum) {
+  Cvec data(8, {0.0, 0.0});
+  data[0] = 1.0;
+  Fft(data, false);
+  for (const auto& value : data) {
+    EXPECT_NEAR(value.real(), 1.0, 1e-12);
+    EXPECT_NEAR(value.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, ConstantGivesDcOnly) {
+  Cvec data(16, {1.0, 0.0});
+  Fft(data, false);
+  EXPECT_NEAR(data[0].real(), 16.0, 1e-12);
+  for (size_t k = 1; k < 16; ++k) {
+    EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, SingleToneLandsInOneBin) {
+  const size_t n = 64;
+  const size_t tone = 5;
+  Cvec data(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double phase =
+        2.0 * std::numbers::pi * static_cast<double>(tone * i) /
+        static_cast<double>(n);
+    data[i] = {std::cos(phase), 0.0};
+  }
+  Fft(data, false);
+  // cos splits evenly into bins `tone` and `n - tone`.
+  EXPECT_NEAR(std::abs(data[tone]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[n - tone]), n / 2.0, 1e-9);
+  for (size_t k = 0; k < n; ++k) {
+    if (k == tone || k == n - tone) continue;
+    EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-9) << "bin " << k;
+  }
+}
+
+TEST(FftTest, MatchesNaiveDft) {
+  Rng rng(17);
+  const size_t n = 32;
+  Cvec data(n);
+  for (auto& value : data) value = {rng.NextGaussian(), rng.NextGaussian()};
+  Cvec expected(n, {0.0, 0.0});
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(k * i) /
+                           static_cast<double>(n);
+      expected[k] += data[i] * std::complex<double>(std::cos(angle),
+                                                    std::sin(angle));
+    }
+  }
+  Fft(data, false);
+  for (size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(data[k].real(), expected[k].real(), 1e-9);
+    EXPECT_NEAR(data[k].imag(), expected[k].imag(), 1e-9);
+  }
+}
+
+class FftRoundTrip : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FftRoundTrip, InverseRecoversInput) {
+  const size_t n = GetParam();
+  Rng rng(n);
+  Cvec data(n);
+  for (auto& value : data) value = {rng.NextGaussian(), rng.NextGaussian()};
+  const Cvec original = data;
+  Fft(data, false);
+  Fft(data, true);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(1, 2, 4, 8, 64, 256, 1024));
+
+TEST(FftTest, ParsevalEnergyConservation) {
+  Rng rng(23);
+  const size_t n = 128;
+  Cvec data(n);
+  double time_energy = 0.0;
+  for (auto& value : data) {
+    value = {rng.NextGaussian(), 0.0};
+    time_energy += std::norm(value);
+  }
+  Fft(data, false);
+  double freq_energy = 0.0;
+  for (const auto& value : data) freq_energy += std::norm(value);
+  EXPECT_NEAR(freq_energy, time_energy * static_cast<double>(n), 1e-6);
+}
+
+TEST(FftNdTest, TwoDimRoundTrip) {
+  Rng rng(29);
+  const std::vector<size_t> shape{8, 16};
+  Cvec data(8 * 16);
+  for (auto& value : data) value = {rng.NextGaussian(), rng.NextGaussian()};
+  const Cvec original = data;
+  FftNd(data, shape, false);
+  FftNd(data, shape, true);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+TEST(FftNdTest, SeparableMatchesAxisByAxis) {
+  // For a rank-1 array f(i, j) = a(i) * b(j), the 2-d DFT is the outer
+  // product of the 1-d DFTs.
+  Rng rng(31);
+  const size_t rows = 8, cols = 4;
+  Cvec a(rows), b(cols);
+  for (auto& value : a) value = {rng.NextGaussian(), 0.0};
+  for (auto& value : b) value = {rng.NextGaussian(), 0.0};
+  Cvec data(rows * cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) data[i * cols + j] = a[i] * b[j];
+  }
+  FftNd(data, {rows, cols}, false);
+  Cvec fa = a, fb = b;
+  Fft(fa, false);
+  Fft(fb, false);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      const auto expected = fa[i] * fb[j];
+      EXPECT_NEAR(data[i * cols + j].real(), expected.real(), 1e-9);
+      EXPECT_NEAR(data[i * cols + j].imag(), expected.imag(), 1e-9);
+    }
+  }
+}
+
+TEST(FftNdTest, ThreeDimRoundTrip) {
+  Rng rng(37);
+  const std::vector<size_t> shape{4, 8, 2};
+  Cvec data(4 * 8 * 2);
+  for (auto& value : data) value = {rng.NextGaussian(), rng.NextGaussian()};
+  const Cvec original = data;
+  FftNd(data, shape, false);
+  FftNd(data, shape, true);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(std::abs(data[i] - original[i]), 0.0, 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace tkdc

@@ -1,0 +1,139 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "baselines/simple_kde.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+#include "harness/workload.h"
+#include "tkdc/classifier.h"
+
+namespace tkdc {
+namespace {
+
+TEST(WorkloadTest, MakeProducesRequestedShape) {
+  Workload workload;
+  workload.id = DatasetId::kTmy3;
+  workload.n = 500;
+  const Dataset data = workload.Make();
+  EXPECT_EQ(data.size(), 500u);
+  EXPECT_EQ(data.dims(), 8u);
+}
+
+TEST(WorkloadTest, DimsOverride) {
+  Workload workload;
+  workload.id = DatasetId::kHep;
+  workload.n = 200;
+  workload.dims = 5;
+  EXPECT_EQ(workload.Make().dims(), 5u);
+}
+
+TEST(WorkloadTest, LabelFormat) {
+  Workload workload;
+  workload.id = DatasetId::kGauss;
+  workload.n = 200000;
+  EXPECT_EQ(workload.Label(), "gauss, n=200k, d=2");
+}
+
+TEST(FormatSiTest, Ranges) {
+  EXPECT_EQ(FormatSi(12.6), "12.6");
+  EXPECT_EQ(FormatSi(55200.0), "55.2k");
+  EXPECT_EQ(FormatSi(6360000.0), "6.36M");
+  EXPECT_EQ(FormatSi(2.5e9), "2.5B");
+  EXPECT_EQ(FormatSi(0.12), "0.12");
+}
+
+TEST(BenchArgsTest, Defaults) {
+  char prog[] = "bench";
+  char* argv[] = {prog};
+  const BenchArgs args = BenchArgs::Parse(1, argv);
+  EXPECT_DOUBLE_EQ(args.scale, 1.0);
+  EXPECT_EQ(args.seed, 42u);
+}
+
+TEST(BenchArgsTest, ParsesFlags) {
+  char prog[] = "bench";
+  char scale[] = "--scale=2.5";
+  char seed[] = "--seed=7";
+  char budget[] = "--budget=0.5";
+  char* argv[] = {prog, scale, seed, budget};
+  const BenchArgs args = BenchArgs::Parse(4, argv);
+  EXPECT_DOUBLE_EQ(args.scale, 2.5);
+  EXPECT_EQ(args.seed, 7u);
+  EXPECT_DOUBLE_EQ(args.budget_seconds, 0.5);
+}
+
+TEST(RunnerTest, MeasuresTkdcEndToEnd) {
+  Workload workload;
+  workload.id = DatasetId::kGauss;
+  workload.n = 2000;
+  const Dataset data = workload.Make();
+  TkdcClassifier classifier;
+  RunOptions options;
+  options.max_queries = 500;
+  options.budget_seconds = 5.0;
+  const RunResult result = RunClassifier(classifier, data, options);
+  EXPECT_EQ(result.algorithm, "tkdc");
+  EXPECT_EQ(result.dataset_size, 2000u);
+  EXPECT_EQ(result.queries_measured, 500u);
+  EXPECT_GT(result.train_seconds, 0.0);
+  EXPECT_GT(result.amortized_throughput, 0.0);
+  EXPECT_GT(result.query_throughput, 0.0);
+  EXPECT_GT(result.threshold, 0.0);
+  // Most points of a Gaussian sample are HIGH at p = 0.01.
+  EXPECT_GT(result.high_fraction, 0.9);
+}
+
+TEST(RunnerTest, BudgetCapsMeasuredQueries) {
+  Workload workload;
+  workload.id = DatasetId::kGauss;
+  workload.n = 3000;
+  const Dataset data = workload.Make();
+  SimpleKdeClassifier classifier;  // O(n) per query: slow on purpose.
+  RunOptions options;
+  options.max_queries = 1000000;
+  options.budget_seconds = 0.05;
+  const RunResult result = RunClassifier(classifier, data, options);
+  EXPECT_LT(result.queries_measured, 3000u);
+  EXPECT_GE(result.queries_measured, 16u);
+}
+
+TEST(RunnerTest, KernelEvalAccountingSplitsTrainAndQuery) {
+  Workload workload;
+  workload.id = DatasetId::kGauss;
+  workload.n = 1500;
+  const Dataset data = workload.Make();
+  TkdcClassifier classifier;
+  RunOptions options;
+  options.max_queries = 200;
+  const RunResult result = RunClassifier(classifier, data, options);
+  EXPECT_GT(result.kernel_evals_train, 0u);
+  EXPECT_GT(result.kernel_evals_per_query, 0.0);
+  // tKDC's whole point: far fewer than n kernel evals per query.
+  EXPECT_LT(result.kernel_evals_per_query, static_cast<double>(data.size()));
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"algo", "value"});
+  table.AddRow({"tkdc", "1"});
+  table.AddRow({"simple", "123456"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("algo"), std::string::npos);
+  EXPECT_NE(text.find("simple"), std::string::npos);
+  EXPECT_NE(text.find("123456"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(FormatHelpersTest, FixedAndCompact) {
+  EXPECT_EQ(FormatFixed(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatFixed(-0.5, 3), "-0.500");
+  EXPECT_EQ(FormatCompact(0.25), "0.25");
+  EXPECT_EQ(FormatCompact(0.000012), "1.200e-05");
+  EXPECT_EQ(FormatCompact(0.0), "0");
+}
+
+}  // namespace
+}  // namespace tkdc

@@ -1,0 +1,144 @@
+#include "index/bounding_box.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tkdc {
+namespace {
+
+TEST(BoundingBoxTest, ExtendGrowsBox) {
+  BoundingBox box(2);
+  box.Extend(std::vector<double>{1.0, 2.0});
+  box.Extend(std::vector<double>{-1.0, 5.0});
+  EXPECT_DOUBLE_EQ(box.min()[0], -1.0);
+  EXPECT_DOUBLE_EQ(box.max()[0], 1.0);
+  EXPECT_DOUBLE_EQ(box.min()[1], 2.0);
+  EXPECT_DOUBLE_EQ(box.max()[1], 5.0);
+}
+
+TEST(BoundingBoxTest, FromPointsTight) {
+  const std::vector<double> points{0.0, 0.0, 3.0, -1.0, 1.0, 4.0};
+  const BoundingBox box = BoundingBox::FromPoints(points.data(), 2, 0, 3);
+  EXPECT_DOUBLE_EQ(box.min()[0], 0.0);
+  EXPECT_DOUBLE_EQ(box.max()[0], 3.0);
+  EXPECT_DOUBLE_EQ(box.min()[1], -1.0);
+  EXPECT_DOUBLE_EQ(box.max()[1], 4.0);
+}
+
+TEST(BoundingBoxTest, FromPointsSubrange) {
+  const std::vector<double> points{0.0, 10.0, 20.0, 30.0};
+  const BoundingBox box = BoundingBox::FromPoints(points.data(), 1, 1, 3);
+  EXPECT_DOUBLE_EQ(box.min()[0], 10.0);
+  EXPECT_DOUBLE_EQ(box.max()[0], 20.0);
+}
+
+TEST(BoundingBoxTest, Contains) {
+  BoundingBox box(2);
+  box.Extend(std::vector<double>{0.0, 0.0});
+  box.Extend(std::vector<double>{2.0, 2.0});
+  EXPECT_TRUE(box.Contains(std::vector<double>{1.0, 1.0}));
+  EXPECT_TRUE(box.Contains(std::vector<double>{0.0, 2.0}));  // Boundary.
+  EXPECT_FALSE(box.Contains(std::vector<double>{-0.1, 1.0}));
+  EXPECT_FALSE(box.Contains(std::vector<double>{1.0, 2.1}));
+}
+
+TEST(BoundingBoxTest, MinDistanceZeroInside) {
+  BoundingBox box(2);
+  box.Extend(std::vector<double>{0.0, 0.0});
+  box.Extend(std::vector<double>{2.0, 2.0});
+  const std::vector<double> inv_bw{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(
+      box.MinScaledSquaredDistance(std::vector<double>{1.0, 1.0}, inv_bw),
+      0.0);
+}
+
+TEST(BoundingBoxTest, MinDistanceOutside) {
+  BoundingBox box(2);
+  box.Extend(std::vector<double>{0.0, 0.0});
+  box.Extend(std::vector<double>{2.0, 2.0});
+  const std::vector<double> inv_bw{1.0, 1.0};
+  // Query (4, 3): gaps (2, 1) -> squared distance 5.
+  EXPECT_DOUBLE_EQ(
+      box.MinScaledSquaredDistance(std::vector<double>{4.0, 3.0}, inv_bw),
+      5.0);
+}
+
+TEST(BoundingBoxTest, MaxDistanceIsFarthestCorner) {
+  BoundingBox box(2);
+  box.Extend(std::vector<double>{0.0, 0.0});
+  box.Extend(std::vector<double>{2.0, 2.0});
+  const std::vector<double> inv_bw{1.0, 1.0};
+  // From (0, 0) (a corner), farthest is (2, 2): squared distance 8.
+  EXPECT_DOUBLE_EQ(
+      box.MaxScaledSquaredDistance(std::vector<double>{0.0, 0.0}, inv_bw),
+      8.0);
+  // From the center, farthest corner is at squared distance 2.
+  EXPECT_DOUBLE_EQ(
+      box.MaxScaledSquaredDistance(std::vector<double>{1.0, 1.0}, inv_bw),
+      2.0);
+}
+
+TEST(BoundingBoxTest, BandwidthScalingAffectsDistances) {
+  BoundingBox box(2);
+  box.Extend(std::vector<double>{0.0, 0.0});
+  box.Extend(std::vector<double>{1.0, 1.0});
+  const std::vector<double> inv_bw{2.0, 0.5};  // h = (0.5, 2).
+  // Query (2, 0): gap (1, 0) -> (1*2)^2 = 4.
+  EXPECT_DOUBLE_EQ(
+      box.MinScaledSquaredDistance(std::vector<double>{2.0, 0.0}, inv_bw),
+      4.0);
+}
+
+TEST(BoundingBoxTest, ExtentAndWidestAxis) {
+  BoundingBox box(3);
+  box.Extend(std::vector<double>{0.0, 0.0, 0.0});
+  box.Extend(std::vector<double>{1.0, 5.0, 3.0});
+  EXPECT_DOUBLE_EQ(box.Extent(0), 1.0);
+  EXPECT_DOUBLE_EQ(box.Extent(1), 5.0);
+  EXPECT_EQ(box.WidestAxis(), 1u);
+}
+
+// Property: for random boxes and queries, min <= distance-to-any-contained
+// point <= max.
+class BoundingBoxDistanceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundingBoxDistanceProperty, BoundsBracketActualDistances) {
+  Rng rng(GetParam());
+  const size_t d = 3;
+  const std::vector<double> inv_bw{1.0, 2.0, 0.5};
+  // Random box from two corners.
+  BoundingBox box(d);
+  std::vector<double> corner_a(d), corner_b(d);
+  for (size_t j = 0; j < d; ++j) {
+    corner_a[j] = rng.Uniform(-3.0, 3.0);
+    corner_b[j] = rng.Uniform(-3.0, 3.0);
+  }
+  box.Extend(corner_a);
+  box.Extend(corner_b);
+  std::vector<double> query(d);
+  for (size_t j = 0; j < d; ++j) query[j] = rng.Uniform(-6.0, 6.0);
+  const double z_min = box.MinScaledSquaredDistance(query, inv_bw);
+  const double z_max = box.MaxScaledSquaredDistance(query, inv_bw);
+  EXPECT_LE(z_min, z_max);
+  // Sample points inside the box and verify bracketing.
+  for (int trial = 0; trial < 50; ++trial) {
+    double z = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      const double p = rng.Uniform(box.min()[j], box.max()[j]);
+      const double u = (query[j] - p) * inv_bw[j];
+      z += u * u;
+    }
+    EXPECT_GE(z, z_min - 1e-12);
+    EXPECT_LE(z, z_max + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundingBoxDistanceProperty,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace tkdc

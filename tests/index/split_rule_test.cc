@@ -1,0 +1,102 @@
+#include "index/split_rule.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tkdc {
+namespace {
+
+TEST(SplitRuleNameTest, RoundTrips) {
+  for (SplitRule rule : {SplitRule::kMedian, SplitRule::kMidpoint,
+                         SplitRule::kTrimmedMidpoint}) {
+    EXPECT_EQ(SplitRuleFromName(SplitRuleName(rule)), rule);
+  }
+  EXPECT_FALSE(SplitRuleFromName("bogus").has_value());
+}
+
+TEST(MedianSplitTest, OddAndEvenCounts) {
+  std::vector<double> odd{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(ComputeSplitPosition(SplitRule::kMedian, odd.data(), 3),
+                   3.0);
+  std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  // size/2 = 2 -> third smallest = 3.
+  EXPECT_DOUBLE_EQ(ComputeSplitPosition(SplitRule::kMedian, even.data(), 4),
+                   3.0);
+}
+
+TEST(MidpointSplitTest, CenterOfRange) {
+  std::vector<double> values{10.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(
+      ComputeSplitPosition(SplitRule::kMidpoint, values.data(), 3), 6.0);
+}
+
+TEST(TrimmedMidpointSplitTest, IgnoresOutliers) {
+  // 100 values 0..99 plus an extreme outlier; the trimmed midpoint should
+  // stay near the bulk's center while the plain midpoint is dragged away.
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(static_cast<double>(i));
+  values.push_back(100000.0);
+  std::vector<double> copy = values;
+  const double trimmed = ComputeSplitPosition(SplitRule::kTrimmedMidpoint,
+                                              copy.data(), copy.size());
+  copy = values;
+  const double midpoint =
+      ComputeSplitPosition(SplitRule::kMidpoint, copy.data(), copy.size());
+  EXPECT_LT(trimmed, 120.0);
+  EXPECT_GT(midpoint, 40000.0);
+}
+
+TEST(TrimmedMidpointSplitTest, MatchesPaperFormula) {
+  // (x_(10) + x_(90)) / 2 with ranks floor(0.1 n) and floor(0.9 n).
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(static_cast<double>(i));
+  const double split = ComputeSplitPosition(SplitRule::kTrimmedMidpoint,
+                                            values.data(), values.size());
+  // x_(10) = 10 (0-based index 10), x_(90) = 90.
+  EXPECT_DOUBLE_EQ(split, 50.0);
+}
+
+TEST(SplitRuleTest, TwoElementInputs) {
+  for (SplitRule rule : {SplitRule::kMedian, SplitRule::kMidpoint,
+                         SplitRule::kTrimmedMidpoint}) {
+    std::vector<double> values{1.0, 3.0};
+    const double split = ComputeSplitPosition(rule, values.data(), 2);
+    EXPECT_GE(split, 1.0);
+    EXPECT_LE(split, 3.0);
+  }
+}
+
+// Property: every rule returns a split within [min, max] of the data.
+class SplitRuleRange
+    : public ::testing::TestWithParam<std::tuple<SplitRule, int>> {};
+
+TEST_P(SplitRuleRange, SplitInsideDataRange) {
+  const auto [rule, seed] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  std::vector<double> values(2 + seed * 13);
+  for (double& v : values) v = rng.Uniform(-100.0, 100.0);
+  const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+  const double min_v = *lo, max_v = *hi;
+  const double split =
+      ComputeSplitPosition(rule, values.data(), values.size());
+  EXPECT_GE(split, min_v);
+  EXPECT_LE(split, max_v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RulesAndSeeds, SplitRuleRange,
+    ::testing::Combine(::testing::Values(SplitRule::kMedian,
+                                         SplitRule::kMidpoint,
+                                         SplitRule::kTrimmedMidpoint),
+                       ::testing::Range(1, 6)),
+    [](const auto& info) {
+      return SplitRuleName(std::get<0>(info.param)) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace tkdc

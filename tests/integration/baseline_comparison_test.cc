@@ -1,0 +1,111 @@
+// Cross-algorithm comparisons: all five KDE-based algorithms estimate the
+// SAME quantity (the Eq. 3 kernel density), so their outputs must agree
+// closely; knn estimates a different functional and only needs to agree
+// in rank.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/knn.h"
+#include "baselines/nocut.h"
+#include "baselines/rkde.h"
+#include "baselines/simple_kde.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "data/datasets.h"
+#include "tkdc/classifier.h"
+
+namespace tkdc {
+namespace {
+
+TEST(BaselineComparisonTest, DensityEstimatesAgreeAcrossKdeAlgorithms) {
+  const Dataset data = MakeDataset(DatasetId::kGauss, 3000, 1);
+  SimpleKdeClassifier simple;
+  NocutClassifier nocut;
+  RkdeClassifier rkde;
+  simple.Train(data);
+  nocut.Train(data);
+  rkde.Train(data);
+  Rng rng(2);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<double> q{rng.NextGaussian(), rng.NextGaussian()};
+    const double exact = simple.EstimateDensity(q);
+    // nocut resolves to eps * t; rkde truncates by at most eps * t_lo.
+    EXPECT_NEAR(nocut.EstimateDensity(q), exact, 0.05 * exact + 1e-6);
+    EXPECT_LE(rkde.EstimateDensity(q), exact + 1e-12);
+    EXPECT_GE(rkde.EstimateDensity(q), 0.9 * exact - 1e-4);
+  }
+}
+
+TEST(BaselineComparisonTest, KnnDensityCorrelatesWithKdeInRank) {
+  const Dataset data = MakeDataset(DatasetId::kGauss, 4000, 3);
+  SimpleKdeClassifier kde;
+  KnnOptions knn_options;
+  knn_options.k = 25;
+  KnnClassifier knn(knn_options);
+  kde.Train(data);
+  knn.Train(data);
+  // Compare log densities at scattered probes: both decrease away from
+  // the mode, so the correlation should be strongly positive.
+  Rng rng(4);
+  std::vector<double> kde_log, knn_log;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> q{rng.Uniform(-3.0, 3.0), rng.Uniform(-3.0, 3.0)};
+    const double f_kde = kde.EstimateDensity(q);
+    const double f_knn = knn.EstimateDensity(q);
+    if (f_kde <= 0.0 || f_knn <= 0.0) continue;
+    kde_log.push_back(std::log(f_kde));
+    knn_log.push_back(std::log(f_knn));
+  }
+  ASSERT_GT(kde_log.size(), 100u);
+  EXPECT_GT(PearsonCorrelation(kde_log, knn_log), 0.9);
+}
+
+TEST(BaselineComparisonTest, OutlierSetsOverlapAcrossAlgorithms) {
+  // The bottom-1% sets flagged by tkdc and simple must be nearly
+  // identical; knn's set (a different functional) still overlaps heavily.
+  const Dataset data = MakeDataset(DatasetId::kTmy3, 3000, 3, 7);
+  TkdcClassifier tkdc_algo;
+  SimpleKdeOptions simple_options;
+  simple_options.threshold_sample = 0;
+  SimpleKdeClassifier simple(simple_options);
+  KnnClassifier knn;
+  tkdc_algo.Train(data);
+  simple.Train(data);
+  knn.Train(data);
+  std::vector<bool> tkdc_low(data.size()), simple_low(data.size()),
+      knn_low(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.Row(i);
+    tkdc_low[i] = tkdc_algo.ClassifyTraining(row) == Classification::kLow;
+    simple_low[i] = simple.ClassifyTraining(row) == Classification::kLow;
+    knn_low[i] = knn.ClassifyTraining(row) == Classification::kLow;
+  }
+  EXPECT_GT(F1Score(simple_low, tkdc_low), 0.9);
+  EXPECT_GT(F1Score(simple_low, knn_low), 0.5);
+}
+
+TEST(BaselineComparisonTest, ThresholdsOrderedConsistentlyAcrossP) {
+  // Every algorithm's threshold grows with p; their relative order at a
+  // fixed p is stable because they estimate the same quantile.
+  const Dataset data = MakeDataset(DatasetId::kGauss, 2500, 9);
+  for (double p : {0.01, 0.2}) {
+    TkdcConfig tkdc_config;
+    tkdc_config.p = p;
+    TkdcClassifier tkdc_algo(tkdc_config);
+    tkdc_algo.Train(data);
+    SimpleKdeOptions simple_options;
+    simple_options.p = p;
+    simple_options.threshold_sample = 0;
+    SimpleKdeClassifier simple(simple_options);
+    simple.Train(data);
+    EXPECT_NEAR(tkdc_algo.threshold(), simple.threshold(),
+                0.05 * simple.threshold())
+        << "p=" << p;
+  }
+}
+
+}  // namespace
+}  // namespace tkdc

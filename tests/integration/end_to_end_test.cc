@@ -1,0 +1,184 @@
+// Integration tests: every algorithm against exact ground truth on shared
+// workloads, reproducing the paper's correctness claims end to end.
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/binned_kde.h"
+#include "baselines/nocut.h"
+#include "baselines/rkde.h"
+#include "baselines/simple_kde.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "data/datasets.h"
+#include "kde/bandwidth.h"
+#include "kde/naive_kde.h"
+#include "tkdc/classifier.h"
+
+namespace tkdc {
+namespace {
+
+// Ground truth for a workload: exact densities + exact threshold.
+struct GroundTruth {
+  explicit GroundTruth(const Dataset& data, double p) {
+    Kernel kernel(KernelType::kGaussian,
+                  SelectBandwidths(BandwidthRule::kScott, data, 1.0));
+    naive = std::make_unique<NaiveKde>(data, std::move(kernel));
+    densities = naive->AllTrainingDensities();
+    threshold = Quantile(densities, p);
+    self_contribution =
+        naive->kernel().MaxValue() / static_cast<double>(data.size());
+  }
+
+  // The fuzzy band (relative to the threshold) within which Problem 1
+  // permits classification errors: eps for the density bounds plus eps for
+  // the threshold estimate itself, with `slack` margin.
+  double AllowedBand(double eps, double slack = 3.0) const {
+    return slack * eps;
+  }
+
+  std::unique_ptr<NaiveKde> naive;
+  std::vector<double> densities;
+  double threshold = 0.0;
+  double self_contribution = 0.0;
+};
+
+// F1 of `classifier` against ground truth, counting LOW (outlier) as the
+// positive class like Figure 8, excluding the fuzzy band around t.
+double EvaluateF1(DensityClassifier& classifier, const Dataset& data,
+                  const GroundTruth& truth, double band = 0.0) {
+  std::vector<bool> actual, predicted;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double d = truth.densities[i];
+    if (band > 0.0 && std::fabs(d - truth.threshold) <
+                          band * truth.threshold) {
+      continue;
+    }
+    actual.push_back(d < truth.threshold);
+    predicted.push_back(classifier.ClassifyTraining(data.Row(i)) ==
+                        Classification::kLow);
+  }
+  return F1Score(actual, predicted);
+}
+
+class EndToEndAccuracy : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(EndToEndAccuracy, TkdcNearPerfectF1) {
+  const Dataset data = MakeDataset(GetParam(), 2000, /*dims=*/3, /*seed=*/7);
+  const GroundTruth truth(data, 0.01);
+  TkdcClassifier classifier;
+  classifier.Train(data);
+  // Exclude only the epsilon band where Problem 1 permits errors.
+  EXPECT_GT(EvaluateF1(classifier, data, truth, truth.AllowedBand(0.01)),
+            0.99)
+      << GetDatasetSpec(GetParam()).name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, EndToEndAccuracy,
+                         ::testing::Values(DatasetId::kGauss,
+                                           DatasetId::kTmy3,
+                                           DatasetId::kHome,
+                                           DatasetId::kShuttle),
+                         [](const auto& info) {
+                           return GetDatasetSpec(info.param).name;
+                         });
+
+TEST(EndToEndTest, AllAlgorithmsAgreeOnGauss2d) {
+  const Dataset data = MakeDataset(DatasetId::kGauss, 3000, 42);
+  const GroundTruth truth(data, 0.01);
+
+  TkdcClassifier tkdc;
+  SimpleKdeClassifier simple;
+  NocutClassifier nocut;
+  RkdeClassifier rkde;
+  BinnedKdeClassifier binned;
+  std::vector<DensityClassifier*> algorithms{&tkdc, &simple, &nocut, &rkde,
+                                             &binned};
+  for (DensityClassifier* algo : algorithms) {
+    algo->Train(data);
+    const double f1 = EvaluateF1(*algo, data, truth, /*band=*/0.1);
+    EXPECT_GT(f1, 0.9) << algo->name();
+  }
+}
+
+TEST(EndToEndTest, AccuracyOrderingMatchesFigure8In4d) {
+  // In 4-d, the binned baseline's coarse grid must hurt it relative to the
+  // bounded algorithms (tKDC >= 0.99, binned visibly below 1).
+  const Dataset data = MakeDataset(DatasetId::kTmy3, 2500, /*dims=*/4,
+                                   /*seed=*/11);
+  const GroundTruth truth(data, 0.01);
+  TkdcClassifier tkdc;
+  tkdc.Train(data);
+  BinnedKdeClassifier binned;
+  binned.Train(data);
+  const double band = truth.AllowedBand(0.01);
+  const double tkdc_f1 = EvaluateF1(tkdc, data, truth, band);
+  const double binned_f1 = EvaluateF1(binned, data, truth, band);
+  EXPECT_GT(tkdc_f1, 0.98);
+  EXPECT_LT(binned_f1, tkdc_f1);
+}
+
+TEST(EndToEndTest, TkdcDoesFarFewerKernelEvalsThanSimple) {
+  const Dataset data = MakeDataset(DatasetId::kGauss, 20000, 13);
+  TkdcClassifier tkdc;
+  tkdc.Train(data);
+  const uint64_t before = tkdc.kernel_evaluations();
+  const size_t kQueries = 500;
+  for (size_t i = 0; i < kQueries; ++i) tkdc.Classify(data.Row(i * 37));
+  const double tkdc_per_query =
+      static_cast<double>(tkdc.kernel_evaluations() - before) / kQueries;
+  // simple would do exactly n = 20000 per query; tKDC should be well under
+  // 10% of that on 2-d Gaussian data.
+  EXPECT_LT(tkdc_per_query, 2000.0);
+}
+
+TEST(EndToEndTest, ThresholdsAgreeAcrossAlgorithms) {
+  const Dataset data = MakeDataset(DatasetId::kGauss, 3000, 17);
+  const GroundTruth truth(data, 0.01);
+  TkdcClassifier tkdc;
+  tkdc.Train(data);
+  SimpleKdeOptions exact_options;
+  exact_options.threshold_sample = 0;
+  SimpleKdeClassifier simple(exact_options);
+  simple.Train(data);
+  EXPECT_NEAR(simple.threshold(), truth.threshold, 1e-12);
+  EXPECT_NEAR(tkdc.threshold(), truth.threshold,
+              0.05 * truth.threshold);
+}
+
+TEST(EndToEndTest, HigherDimensionalDataStillAccurate) {
+  const Dataset data = MakeDataset(DatasetId::kHome, 1500, /*dims=*/8,
+                                   /*seed=*/19);
+  const GroundTruth truth(data, 0.01);
+  TkdcClassifier tkdc;
+  tkdc.Train(data);
+  EXPECT_GT(EvaluateF1(tkdc, data, truth, truth.AllowedBand(0.01)), 0.97);
+}
+
+TEST(EndToEndTest, QueryPointsNotInTrainingSet) {
+  // Classify held-out queries: the Figure 1b grid-scan use case.
+  const Dataset train = MakeDataset(DatasetId::kGauss, 3000, 23);
+  TkdcClassifier tkdc;
+  tkdc.Train(train);
+  Kernel kernel(KernelType::kGaussian,
+                SelectBandwidths(BandwidthRule::kScott, train, 1.0));
+  NaiveKde naive(train, std::move(kernel));
+  const double t = tkdc.threshold();
+  Rng rng(29);
+  int checked = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> q{rng.Uniform(-4.0, 4.0), rng.Uniform(-4.0, 4.0)};
+    const double exact = naive.Density(q);
+    if (std::fabs(exact - t) < 0.05 * t) continue;
+    ++checked;
+    EXPECT_EQ(tkdc.Classify(q) == Classification::kHigh, exact > t)
+        << "q=(" << q[0] << "," << q[1] << ")";
+  }
+  EXPECT_GT(checked, 100);
+}
+
+}  // namespace
+}  // namespace tkdc

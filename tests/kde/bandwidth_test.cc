@@ -1,0 +1,91 @@
+#include "kde/bandwidth.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace tkdc {
+namespace {
+
+TEST(ScottBandwidthTest, MatchesEquation4) {
+  // h_i = b * n^(-1/(d+4)) * sigma_i.
+  const std::vector<double> sigmas{2.0, 0.5};
+  const size_t n = 10000;
+  const auto bw = SelectBandwidths(BandwidthRule::kScott, n, sigmas, 1.0);
+  const double n_factor = std::pow(static_cast<double>(n), -1.0 / 6.0);
+  EXPECT_NEAR(bw[0], 2.0 * n_factor, 1e-12);
+  EXPECT_NEAR(bw[1], 0.5 * n_factor, 1e-12);
+}
+
+TEST(ScottBandwidthTest, ScaleFactorIsLinear) {
+  const std::vector<double> sigmas{1.0, 1.0, 1.0};
+  const auto bw1 = SelectBandwidths(BandwidthRule::kScott, 500, sigmas, 1.0);
+  const auto bw3 = SelectBandwidths(BandwidthRule::kScott, 500, sigmas, 3.0);
+  for (size_t j = 0; j < 3; ++j) EXPECT_NEAR(bw3[j], 3.0 * bw1[j], 1e-12);
+}
+
+TEST(ScottBandwidthTest, ShrinksWithN) {
+  const std::vector<double> sigmas{1.0};
+  const auto small = SelectBandwidths(BandwidthRule::kScott, 100, sigmas, 1.0);
+  const auto large =
+      SelectBandwidths(BandwidthRule::kScott, 100000, sigmas, 1.0);
+  EXPECT_LT(large[0], small[0]);
+  // Exact exponent: ratio = (1000)^(-1/5).
+  EXPECT_NEAR(large[0] / small[0], std::pow(1000.0, -0.2), 1e-12);
+}
+
+TEST(SilvermanBandwidthTest, CoincidesWithScottAtD2) {
+  // (4/(d+2))^(1/(d+4)) = 1 when d = 2.
+  const std::vector<double> sigmas{1.0, 2.0};
+  const auto scott = SelectBandwidths(BandwidthRule::kScott, 777, sigmas, 1.0);
+  const auto silverman =
+      SelectBandwidths(BandwidthRule::kSilverman, 777, sigmas, 1.0);
+  for (size_t j = 0; j < 2; ++j) EXPECT_NEAR(scott[j], silverman[j], 1e-13);
+}
+
+TEST(SilvermanBandwidthTest, SmallerThanScottAboveD2) {
+  const std::vector<double> sigmas{1.0, 1.0, 1.0, 1.0};
+  const auto scott = SelectBandwidths(BandwidthRule::kScott, 500, sigmas, 1.0);
+  const auto silverman =
+      SelectBandwidths(BandwidthRule::kSilverman, 500, sigmas, 1.0);
+  for (size_t j = 0; j < 4; ++j) EXPECT_LT(silverman[j], scott[j]);
+}
+
+TEST(BandwidthTest, ZeroVarianceAxisGetsFloor) {
+  const std::vector<double> sigmas{0.0, 1.0};
+  const auto bw = SelectBandwidths(BandwidthRule::kScott, 100, sigmas, 1.0);
+  EXPECT_GT(bw[0], 0.0);
+  EXPECT_LT(bw[0], 1e-6);
+}
+
+TEST(BandwidthTest, DatasetOverloadUsesColumnStds) {
+  Rng rng(3);
+  Dataset data = SampleStandardGaussian(5000, 2, rng);
+  const auto from_data =
+      SelectBandwidths(BandwidthRule::kScott, data, 1.0);
+  const auto from_sigmas = SelectBandwidths(
+      BandwidthRule::kScott, data.size(), data.ColumnStdDevs(), 1.0);
+  EXPECT_EQ(from_data, from_sigmas);
+}
+
+// Property: bandwidth decays as n^(-1/(d+4)) for every d.
+class BandwidthExponent : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BandwidthExponent, DecayExponentMatchesDimension) {
+  const size_t d = GetParam();
+  const std::vector<double> sigmas(d, 1.0);
+  const auto at_1k = SelectBandwidths(BandwidthRule::kScott, 1000, sigmas, 1.0);
+  const auto at_8k = SelectBandwidths(BandwidthRule::kScott, 8000, sigmas, 1.0);
+  const double expected_ratio =
+      std::pow(8.0, -1.0 / (static_cast<double>(d) + 4.0));
+  EXPECT_NEAR(at_8k[0] / at_1k[0], expected_ratio, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, BandwidthExponent,
+                         ::testing::Values(1, 2, 4, 8, 27, 128));
+
+}  // namespace
+}  // namespace tkdc

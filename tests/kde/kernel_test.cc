@@ -1,0 +1,196 @@
+#include "kde/kernel.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+namespace tkdc {
+namespace {
+
+TEST(GaussianKernelTest, NormalizationConstant1d) {
+  Kernel kernel(KernelType::kGaussian, {1.0});
+  // K(0) = 1/sqrt(2 pi).
+  EXPECT_NEAR(kernel.MaxValue(), 1.0 / std::sqrt(2.0 * std::numbers::pi),
+              1e-14);
+}
+
+TEST(GaussianKernelTest, NormalizationConstant2dWithBandwidths) {
+  Kernel kernel(KernelType::kGaussian, {2.0, 0.5});
+  // K(0) = 1 / (2 pi * h1 * h2) = 1 / (2 pi).
+  EXPECT_NEAR(kernel.MaxValue(), 1.0 / (2.0 * std::numbers::pi), 1e-14);
+}
+
+TEST(GaussianKernelTest, MatchesPaperEquation2) {
+  // Eq. 2 with H = diag(h1^2, h2^2): K(x) = exp(-x^T H^-1 x / 2) /
+  // ((2 pi)^(d/2) |H|^(1/2)).
+  const double h1 = 1.5, h2 = 0.7;
+  Kernel kernel(KernelType::kGaussian, {h1, h2});
+  const std::vector<double> a{1.0, -0.5};
+  const std::vector<double> b{0.2, 0.3};
+  const double dx = a[0] - b[0], dy = a[1] - b[1];
+  const double quad = dx * dx / (h1 * h1) + dy * dy / (h2 * h2);
+  const double expected = std::exp(-0.5 * quad) /
+                          (2.0 * std::numbers::pi * h1 * h2);
+  EXPECT_NEAR(kernel.Evaluate(a, b), expected, 1e-14);
+}
+
+TEST(GaussianKernelTest, IntegratesToOne1d) {
+  Kernel kernel(KernelType::kGaussian, {0.8});
+  double integral = 0.0;
+  const double step = 0.001;
+  const std::vector<double> origin{0.0};
+  for (double x = -8.0; x <= 8.0; x += step) {
+    integral += kernel.Evaluate(std::vector<double>{x}, origin) * step;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-6);
+}
+
+TEST(EpanechnikovKernelTest, NormalizationConstant1d) {
+  Kernel kernel(KernelType::kEpanechnikov, {1.0});
+  // 1-d Epanechnikov: K(u) = 0.75 * (1 - u^2).
+  EXPECT_NEAR(kernel.MaxValue(), 0.75, 1e-14);
+}
+
+TEST(EpanechnikovKernelTest, IntegratesToOne2d) {
+  Kernel kernel(KernelType::kEpanechnikov, {1.0, 1.0});
+  double integral = 0.0;
+  const double step = 0.01;
+  const std::vector<double> origin{0.0, 0.0};
+  for (double x = -1.1; x <= 1.1; x += step) {
+    for (double y = -1.1; y <= 1.1; y += step) {
+      integral +=
+          kernel.Evaluate(std::vector<double>{x, y}, origin) * step * step;
+    }
+  }
+  EXPECT_NEAR(integral, 1.0, 5e-3);
+}
+
+TEST(EpanechnikovKernelTest, CompactSupport) {
+  Kernel kernel(KernelType::kEpanechnikov, {2.0});
+  const std::vector<double> origin{0.0};
+  EXPECT_GT(kernel.Evaluate(std::vector<double>{1.9}, origin), 0.0);
+  EXPECT_EQ(kernel.Evaluate(std::vector<double>{2.0}, origin), 0.0);
+  EXPECT_EQ(kernel.Evaluate(std::vector<double>{5.0}, origin), 0.0);
+  EXPECT_EQ(kernel.SupportScaledSquared(), 1.0);
+}
+
+TEST(GaussianKernelTest, InfiniteSupport) {
+  Kernel kernel(KernelType::kGaussian, {1.0});
+  EXPECT_TRUE(std::isinf(kernel.SupportScaledSquared()));
+  EXPECT_GT(kernel.EvaluateScaled(100.0), 0.0);
+}
+
+TEST(KernelTest, ScaledSquaredDistance) {
+  Kernel kernel(KernelType::kGaussian, {2.0, 0.5});
+  const std::vector<double> a{4.0, 1.0};
+  const std::vector<double> b{0.0, 0.0};
+  // (4/2)^2 + (1/0.5)^2 = 4 + 4 = 8.
+  EXPECT_NEAR(kernel.ScaledSquaredDistance(a, b), 8.0, 1e-14);
+  EXPECT_NEAR(kernel.ScaledSquaredDistance(b, a), 8.0, 1e-14);  // Symmetry.
+  EXPECT_DOUBLE_EQ(kernel.ScaledSquaredDistance(a, a), 0.0);
+}
+
+class KernelMonotoneDecay
+    : public ::testing::TestWithParam<KernelType> {};
+
+TEST_P(KernelMonotoneDecay, DecreasesInScaledDistance) {
+  Kernel kernel(GetParam(), {1.0, 1.0, 1.0});
+  double prev = kernel.EvaluateScaled(0.0);
+  EXPECT_EQ(prev, kernel.MaxValue());
+  for (double z = 0.05; z < 4.0; z += 0.05) {
+    const double value = kernel.EvaluateScaled(z);
+    EXPECT_LE(value, prev);
+    EXPECT_GE(value, 0.0);
+    prev = value;
+  }
+}
+
+TEST_P(KernelMonotoneDecay, DistanceForValueInverts) {
+  const KernelType type = GetParam();
+  if (type == KernelType::kUniform) {
+    GTEST_SKIP() << "uniform kernel is flat; no inverse exists";
+  }
+  Kernel kernel(type, {0.7, 1.3});
+  for (double z : {0.0, 0.1, 0.5, 0.9}) {
+    const double value = kernel.EvaluateScaled(z);
+    if (value <= 0.0) continue;
+    EXPECT_NEAR(kernel.ScaledSquaredDistanceForValue(value), z, 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelMonotoneDecay,
+                         ::testing::Values(KernelType::kGaussian,
+                                           KernelType::kEpanechnikov,
+                                           KernelType::kUniform,
+                                           KernelType::kBiweight));
+
+TEST(UniformKernelTest, ConstantInsideSupport) {
+  Kernel kernel(KernelType::kUniform, {1.0, 1.0});
+  // 2-d unit-ball volume = pi, so the height is 1/pi.
+  EXPECT_NEAR(kernel.MaxValue(), 1.0 / std::numbers::pi, 1e-14);
+  EXPECT_DOUBLE_EQ(kernel.EvaluateScaled(0.5), kernel.MaxValue());
+  EXPECT_DOUBLE_EQ(kernel.EvaluateScaled(1.0), 0.0);
+}
+
+TEST(UniformKernelTest, IntegratesToOne1d) {
+  Kernel kernel(KernelType::kUniform, {2.0});
+  // 1-d: constant 1/(2h) on [-h, h]: integral = 1.
+  EXPECT_NEAR(kernel.MaxValue(), 0.25, 1e-14);
+  double integral = 0.0;
+  const std::vector<double> origin{0.0};
+  for (double x = -2.5; x <= 2.5; x += 0.001) {
+    integral += kernel.Evaluate(std::vector<double>{x}, origin) * 0.001;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(BiweightKernelTest, KnownPeak1d) {
+  Kernel kernel(KernelType::kBiweight, {1.0});
+  // 1-d biweight peak = 15/16.
+  EXPECT_NEAR(kernel.MaxValue(), 15.0 / 16.0, 1e-14);
+}
+
+TEST(BiweightKernelTest, IntegratesToOne2d) {
+  Kernel kernel(KernelType::kBiweight, {1.0, 1.0});
+  double integral = 0.0;
+  const double step = 0.01;
+  const std::vector<double> origin{0.0, 0.0};
+  for (double x = -1.1; x <= 1.1; x += step) {
+    for (double y = -1.1; y <= 1.1; y += step) {
+      integral +=
+          kernel.Evaluate(std::vector<double>{x, y}, origin) * step * step;
+    }
+  }
+  EXPECT_NEAR(integral, 1.0, 5e-3);
+}
+
+TEST(BiweightKernelTest, SmootherThanEpanechnikovAtEdge) {
+  Kernel biweight(KernelType::kBiweight, {1.0});
+  Kernel epan(KernelType::kEpanechnikov, {1.0});
+  // Near the support edge the quartic falls off quadratically: its value
+  // relative to its own peak must be below Epanechnikov's.
+  const double z = 0.95;
+  EXPECT_LT(biweight.EvaluateScaled(z) / biweight.MaxValue(),
+            epan.EvaluateScaled(z) / epan.MaxValue());
+}
+
+TEST(KernelTest, DistanceForValueEdgeCases) {
+  Kernel gaussian(KernelType::kGaussian, {1.0});
+  EXPECT_EQ(gaussian.ScaledSquaredDistanceForValue(gaussian.MaxValue() * 2),
+            0.0);
+  EXPECT_TRUE(std::isinf(gaussian.ScaledSquaredDistanceForValue(0.0)));
+  Kernel epan(KernelType::kEpanechnikov, {1.0});
+  EXPECT_EQ(epan.ScaledSquaredDistanceForValue(0.0), 1.0);
+  EXPECT_EQ(epan.ScaledSquaredDistanceForValue(-1.0), 1.0);
+}
+
+TEST(KernelTest, InverseBandwidthsPrecomputed) {
+  Kernel kernel(KernelType::kGaussian, {2.0, 4.0});
+  ASSERT_EQ(kernel.inverse_bandwidths().size(), 2u);
+  EXPECT_DOUBLE_EQ(kernel.inverse_bandwidths()[0], 0.5);
+  EXPECT_DOUBLE_EQ(kernel.inverse_bandwidths()[1], 0.25);
+}
+
+}  // namespace
+}  // namespace tkdc

@@ -1,0 +1,120 @@
+#include "kde/naive_kde.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "kde/bandwidth.h"
+
+namespace tkdc {
+namespace {
+
+TEST(NaiveKdeTest, SinglePointIsKernelItself) {
+  Dataset data(1, {0.0});
+  Kernel kernel(KernelType::kGaussian, {1.0});
+  NaiveKde kde(data, kernel);
+  const std::vector<double> q{0.5};
+  EXPECT_NEAR(kde.Density(q), kernel.Evaluate(q, std::vector<double>{0.0}),
+              1e-15);
+}
+
+TEST(NaiveKdeTest, TwoPointAverage) {
+  Dataset data(1, {-1.0, 1.0});
+  Kernel kernel(KernelType::kGaussian, {1.0});
+  NaiveKde kde(data, kernel);
+  const std::vector<double> origin{0.0};
+  const double expected = kernel.EvaluateScaled(1.0);  // Each at distance 1.
+  EXPECT_NEAR(kde.Density(origin), expected, 1e-15);
+}
+
+TEST(NaiveKdeTest, DensityIntegratesToOne) {
+  Rng rng(1);
+  Dataset data(1);
+  for (int i = 0; i < 200; ++i) {
+    data.AppendRow(std::vector<double>{rng.NextGaussian()});
+  }
+  Kernel kernel(KernelType::kGaussian,
+                SelectBandwidths(BandwidthRule::kScott, data, 1.0));
+  NaiveKde kde(data, std::move(kernel));
+  double integral = 0.0;
+  const double step = 0.02;
+  for (double x = -8.0; x <= 8.0; x += step) {
+    integral += kde.Density(std::vector<double>{x}) * step;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(NaiveKdeTest, ConvergesToTrueDensity) {
+  // With enough data, the KDE at a probe point approaches the true pdf of
+  // a standard normal (the statistical property the paper leans on).
+  Rng rng(2);
+  Dataset data = SampleStandardGaussian(50000, 1, rng);
+  Kernel kernel(KernelType::kGaussian,
+                SelectBandwidths(BandwidthRule::kScott, data, 1.0));
+  NaiveKde kde(data, std::move(kernel));
+  const double true_at_0 = 1.0 / std::sqrt(2.0 * std::numbers::pi);
+  EXPECT_NEAR(kde.Density(std::vector<double>{0.0}), true_at_0,
+              0.05 * true_at_0);
+  const double true_at_1 = true_at_0 * std::exp(-0.5);
+  EXPECT_NEAR(kde.Density(std::vector<double>{1.0}), true_at_1,
+              0.05 * true_at_1);
+}
+
+TEST(NaiveKdeTest, TrainingDensitySubtractsSelfContribution) {
+  Dataset data(1, {0.0, 10.0});
+  Kernel kernel(KernelType::kGaussian, {1.0});
+  NaiveKde kde(data, kernel);
+  // Density at x0 = (K(0) + K(10)) / 2; corrected = density - K(0)/2.
+  const double k0 = kernel.MaxValue();
+  const double k10 = kernel.EvaluateScaled(100.0);
+  EXPECT_NEAR(kde.TrainingDensity(0), (k0 + k10) / 2.0 - k0 / 2.0, 1e-16);
+}
+
+TEST(NaiveKdeTest, AllTrainingDensitiesMatchSingles) {
+  Rng rng(3);
+  Dataset data = SampleStandardGaussian(50, 2, rng);
+  Kernel kernel(KernelType::kGaussian, {0.5, 0.5});
+  NaiveKde kde(data, std::move(kernel));
+  const auto all = kde.AllTrainingDensities();
+  ASSERT_EQ(all.size(), 50u);
+  for (size_t i = 0; i < 50; i += 7) {
+    EXPECT_DOUBLE_EQ(all[i], kde.TrainingDensity(i));
+  }
+}
+
+TEST(NaiveKdeTest, KernelEvaluationCounting) {
+  Rng rng(4);
+  Dataset data = SampleStandardGaussian(100, 2, rng);
+  Kernel kernel(KernelType::kGaussian, {1.0, 1.0});
+  NaiveKde kde(data, std::move(kernel));
+  EXPECT_EQ(kde.kernel_evaluations(), 0u);
+  kde.Density(data.Row(0));
+  EXPECT_EQ(kde.kernel_evaluations(), 100u);
+  kde.Density(data.Row(1));
+  EXPECT_EQ(kde.kernel_evaluations(), 200u);
+}
+
+TEST(NaiveKdeTest, EpanechnikovDensityZeroFarAway) {
+  Dataset data(2, {0.0, 0.0, 1.0, 1.0});
+  Kernel kernel(KernelType::kEpanechnikov, {1.0, 1.0});
+  NaiveKde kde(data, std::move(kernel));
+  EXPECT_EQ(kde.Density(std::vector<double>{50.0, 50.0}), 0.0);
+  EXPECT_GT(kde.Density(std::vector<double>{0.5, 0.5}), 0.0);
+}
+
+TEST(NaiveKdeTest, HigherDimensionalDensityPositiveAndFinite) {
+  Rng rng(5);
+  Dataset data = SampleStandardGaussian(500, 8, rng);
+  Kernel kernel(KernelType::kGaussian,
+                SelectBandwidths(BandwidthRule::kScott, data, 1.0));
+  NaiveKde kde(data, std::move(kernel));
+  const double density = kde.Density(data.Row(3));
+  EXPECT_GT(density, 0.0);
+  EXPECT_TRUE(std::isfinite(density));
+}
+
+}  // namespace
+}  // namespace tkdc

@@ -1,0 +1,109 @@
+#include "linalg/pca.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace tkdc {
+namespace {
+
+// Points on a noisy line y = 2x in 2-d: the top component must align with
+// (1, 2)/sqrt(5) and capture nearly all the variance.
+Dataset NoisyLine(size_t n, double noise, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(2);
+  for (size_t i = 0; i < n; ++i) {
+    const double t = rng.NextGaussian();
+    data.AppendRow(std::vector<double>{t + noise * rng.NextGaussian(),
+                                       2.0 * t + noise * rng.NextGaussian()});
+  }
+  return data;
+}
+
+TEST(PcaTest, RecoversDominantDirection) {
+  const Dataset data = NoisyLine(20000, 0.05, 1);
+  Pca pca(data);
+  EXPECT_EQ(pca.input_dims(), 2u);
+  EXPECT_GT(pca.ExplainedVarianceRatio(1), 0.99);
+  // The 1-d projection of (1, 2) must have magnitude sqrt(5) (up to sign).
+  Dataset probe(2, {1.0, 2.0});
+  // Transform subtracts the (near-zero) data mean; tolerate that.
+  const Dataset projected = pca.Transform(probe, 1);
+  EXPECT_NEAR(std::fabs(projected.At(0, 0)), std::sqrt(5.0), 0.05);
+}
+
+TEST(PcaTest, ExplainedVarianceMonotoneAndCapsAtOne) {
+  Rng rng(2);
+  Dataset data(4);
+  for (int i = 0; i < 2000; ++i) {
+    data.AppendRow(std::vector<double>{
+        3.0 * rng.NextGaussian(), 2.0 * rng.NextGaussian(),
+        1.0 * rng.NextGaussian(), 0.1 * rng.NextGaussian()});
+  }
+  Pca pca(data);
+  double prev = 0.0;
+  for (size_t k = 1; k <= 4; ++k) {
+    const double ratio = pca.ExplainedVarianceRatio(k);
+    EXPECT_GE(ratio, prev);
+    EXPECT_LE(ratio, 1.0 + 1e-12);
+    prev = ratio;
+  }
+  EXPECT_NEAR(pca.ExplainedVarianceRatio(4), 1.0, 1e-12);
+}
+
+TEST(PcaTest, FullRankTransformPreservesDistances) {
+  Rng rng(3);
+  Dataset data(3);
+  for (int i = 0; i < 500; ++i) {
+    data.AppendRow(std::vector<double>{rng.NextGaussian(), rng.NextGaussian(),
+                                       rng.NextGaussian()});
+  }
+  Pca pca(data);
+  const Dataset projected = pca.Transform(data, 3);
+  // An orthogonal change of basis (after centering) preserves pairwise
+  // distances.
+  for (size_t a = 0; a < 20; ++a) {
+    for (size_t b = a + 1; b < 20; ++b) {
+      double orig = 0.0, proj = 0.0;
+      for (size_t j = 0; j < 3; ++j) {
+        const double d0 = data.At(a, j) - data.At(b, j);
+        const double d1 = projected.At(a, j) - projected.At(b, j);
+        orig += d0 * d0;
+        proj += d1 * d1;
+      }
+      EXPECT_NEAR(orig, proj, 1e-8);
+    }
+  }
+}
+
+TEST(PcaTest, TransformedComponentsAreUncorrelated) {
+  const Dataset data = NoisyLine(5000, 0.3, 4);
+  Pca pca(data);
+  const Dataset projected = pca.Transform(data, 2);
+  std::vector<double> c0(projected.size()), c1(projected.size());
+  for (size_t i = 0; i < projected.size(); ++i) {
+    c0[i] = projected.At(i, 0);
+    c1[i] = projected.At(i, 1);
+  }
+  EXPECT_NEAR(PearsonCorrelation(c0, c1), 0.0, 0.02);
+}
+
+TEST(PcaTest, ProjectionVarianceMatchesEigenvalues) {
+  const Dataset data = NoisyLine(10000, 0.2, 5);
+  Pca pca(data);
+  const Dataset projected = pca.Transform(data, 2);
+  for (size_t k = 0; k < 2; ++k) {
+    std::vector<double> component(projected.size());
+    for (size_t i = 0; i < projected.size(); ++i) {
+      component[i] = projected.At(i, k);
+    }
+    EXPECT_NEAR(Variance(component), pca.explained_variance()[k],
+                0.02 * pca.explained_variance()[k] + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tkdc

@@ -1,0 +1,120 @@
+#include "linalg/sym_eigen.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace tkdc {
+namespace {
+
+TEST(SymmetricMatrixTest, SetMirrors) {
+  SymmetricMatrix m(3);
+  m.Set(0, 2, 5.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.At(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 0.0);
+}
+
+TEST(CovarianceTest, DiagonalOfIndependentColumns) {
+  Rng rng(1);
+  Dataset data(2);
+  for (int i = 0; i < 50000; ++i) {
+    data.AppendRow(std::vector<double>{rng.NextGaussian() * 2.0,
+                                       rng.NextGaussian() * 0.5});
+  }
+  const SymmetricMatrix cov = Covariance(data);
+  EXPECT_NEAR(cov.At(0, 0), 4.0, 0.15);
+  EXPECT_NEAR(cov.At(1, 1), 0.25, 0.01);
+  EXPECT_NEAR(cov.At(0, 1), 0.0, 0.05);
+}
+
+TEST(CovarianceTest, ExactSmallCase) {
+  // Columns: x = {0, 2}, y = {0, 4}. cov(x, x) = 2, cov(y, y) = 8,
+  // cov(x, y) = 4 (n - 1 denominators).
+  Dataset data(2, {0.0, 0.0, 2.0, 4.0});
+  const SymmetricMatrix cov = Covariance(data);
+  EXPECT_DOUBLE_EQ(cov.At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(cov.At(1, 1), 8.0);
+  EXPECT_DOUBLE_EQ(cov.At(0, 1), 4.0);
+}
+
+TEST(JacobiEigenTest, DiagonalMatrix) {
+  SymmetricMatrix m(3);
+  m.Set(0, 0, 3.0);
+  m.Set(1, 1, 1.0);
+  m.Set(2, 2, 2.0);
+  const EigenDecomposition eig = JacobiEigenDecomposition(m);
+  ASSERT_EQ(eig.eigenvalues.size(), 3u);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[2], 1.0, 1e-12);
+}
+
+TEST(JacobiEigenTest, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1 with eigenvectors
+  // (1, 1)/sqrt(2) and (1, -1)/sqrt(2).
+  SymmetricMatrix m(2);
+  m.Set(0, 0, 2.0);
+  m.Set(1, 1, 2.0);
+  m.Set(0, 1, 1.0);
+  const EigenDecomposition eig = JacobiEigenDecomposition(m);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 1.0, 1e-12);
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::fabs(eig.eigenvectors[0]), inv_sqrt2, 1e-10);
+  EXPECT_NEAR(std::fabs(eig.eigenvectors[1]), inv_sqrt2, 1e-10);
+}
+
+class JacobiEigenProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(JacobiEigenProperty, ReconstructionAndOrthonormality) {
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n) * 71);
+  SymmetricMatrix m(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) m.Set(i, j, rng.NextGaussian());
+  }
+  const EigenDecomposition eig = JacobiEigenDecomposition(m);
+
+  // Eigenvalues descending.
+  for (int k = 0; k + 1 < n; ++k) {
+    EXPECT_GE(eig.eigenvalues[k], eig.eigenvalues[k + 1] - 1e-12);
+  }
+  // Eigenvectors orthonormal.
+  for (int a = 0; a < n; ++a) {
+    for (int b = a; b < n; ++b) {
+      double dot = 0.0;
+      for (int i = 0; i < n; ++i) {
+        dot += eig.eigenvectors[a * n + i] * eig.eigenvectors[b * n + i];
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-9)
+          << "a=" << a << " b=" << b;
+    }
+  }
+  // A v = lambda v.
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      double av = 0.0;
+      for (int j = 0; j < n; ++j) {
+        av += m.At(i, j) * eig.eigenvectors[k * n + j];
+      }
+      EXPECT_NEAR(av, eig.eigenvalues[k] * eig.eigenvectors[k * n + i], 1e-8);
+    }
+  }
+  // Trace preserved.
+  double trace = 0.0, eigen_sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    trace += m.At(i, i);
+    eigen_sum += eig.eigenvalues[i];
+  }
+  EXPECT_NEAR(trace, eigen_sum, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JacobiEigenProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 32));
+
+}  // namespace
+}  // namespace tkdc

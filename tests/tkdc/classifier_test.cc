@@ -1,0 +1,274 @@
+#include "tkdc/classifier.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "data/generators.h"
+#include "kde/naive_kde.h"
+
+namespace tkdc {
+namespace {
+
+Dataset Gauss2d(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  return SampleStandardGaussian(n, 2, rng);
+}
+
+TEST(TkdcClassifierTest, TrainSetsThresholdWithinBootstrapBounds) {
+  TkdcClassifier classifier;
+  classifier.Train(Gauss2d(2000, 1));
+  EXPECT_TRUE(classifier.trained());
+  EXPECT_GT(classifier.threshold(), 0.0);
+  EXPECT_GE(classifier.threshold(),
+            classifier.threshold_lower() * (1.0 - 0.011));
+  EXPECT_LE(classifier.threshold(),
+            classifier.threshold_upper() * (1.0 + 0.011));
+}
+
+TEST(TkdcClassifierTest, ThresholdMatchesExactQuantile) {
+  const Dataset data = Gauss2d(2000, 2);
+  TkdcClassifier classifier;
+  classifier.Train(data);
+  NaiveKde naive(data, classifier.kernel());
+  const double exact_threshold =
+      Quantile(naive.AllTrainingDensities(), classifier.config().p);
+  EXPECT_NEAR(classifier.threshold(), exact_threshold,
+              2.0 * classifier.config().epsilon * exact_threshold);
+}
+
+TEST(TkdcClassifierTest, ClassifiesModeHighAndFringeLow) {
+  TkdcClassifier classifier;
+  classifier.Train(Gauss2d(3000, 3));
+  EXPECT_EQ(classifier.Classify(std::vector<double>{0.0, 0.0}),
+            Classification::kHigh);
+  EXPECT_EQ(classifier.Classify(std::vector<double>{6.0, 6.0}),
+            Classification::kLow);
+}
+
+TEST(TkdcClassifierTest, ClassificationRateApproximatesP) {
+  const Dataset data = Gauss2d(4000, 4);
+  TkdcClassifier classifier;
+  classifier.Train(data);
+  size_t low = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (classifier.ClassifyTraining(data.Row(i)) == Classification::kLow) {
+      ++low;
+    }
+  }
+  const double rate = static_cast<double>(low) / data.size();
+  // p = 0.01; the quantile definition plus epsilon slack keeps this close.
+  EXPECT_NEAR(rate, 0.01, 0.01);
+  EXPECT_GT(low, 0u);
+}
+
+TEST(TkdcClassifierTest, AgreesWithExactClassifierAwayFromThreshold) {
+  const Dataset data = Gauss2d(2000, 5);
+  TkdcClassifier classifier;
+  classifier.Train(data);
+  NaiveKde naive(data, classifier.kernel());
+  const double t = classifier.threshold();
+  const double eps = classifier.config().epsilon;
+  Rng rng(6);
+  int checked = 0, agreed = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<double> q{rng.Uniform(-4.0, 4.0), rng.Uniform(-4.0, 4.0)};
+    const double exact = naive.Density(q);
+    if (exact > t * (1.0 - 2.0 * eps) && exact < t * (1.0 + 2.0 * eps)) {
+      continue;  // Inside the allowed fuzzy band.
+    }
+    ++checked;
+    const bool expected_high = exact > t;
+    const bool predicted_high =
+        classifier.Classify(q) == Classification::kHigh;
+    if (expected_high == predicted_high) ++agreed;
+  }
+  EXPECT_GT(checked, 150);
+  EXPECT_EQ(agreed, checked);
+}
+
+TEST(TkdcClassifierTest, TrainingDensitiesMatchExactWithinTolerance) {
+  const Dataset data = Gauss2d(1500, 7);
+  TkdcClassifier classifier;
+  classifier.Train(data);
+  NaiveKde naive(data, classifier.kernel());
+  const double t = classifier.threshold();
+  const double eps = classifier.config().epsilon;
+  const auto& densities = classifier.training_densities();
+  ASSERT_EQ(densities.size(), data.size());
+  // Spot-check points near the threshold: those must be within eps * t.
+  int near_threshold = 0;
+  for (size_t i = 0; i < data.size(); i += 11) {
+    const double exact = naive.TrainingDensity(i);
+    if (exact < 2.0 * t) {
+      EXPECT_NEAR(densities[i], exact, 2.0 * eps * t + 1e-12) << "row " << i;
+      ++near_threshold;
+    }
+  }
+  EXPECT_GT(near_threshold, 0);
+}
+
+TEST(TkdcClassifierTest, GridPrunesFireOnDenseData) {
+  TkdcConfig config;
+  config.use_grid = true;
+  TkdcClassifier classifier(config);
+  const Dataset data = Gauss2d(5000, 8);
+  classifier.Train(data);
+  // Classify all training points: the dense bulk should hit the grid.
+  for (size_t i = 0; i < data.size(); ++i) {
+    classifier.ClassifyTraining(data.Row(i));
+  }
+  EXPECT_GT(classifier.grid_prunes(), data.size() / 10);
+}
+
+TEST(TkdcClassifierTest, GridDisabledAboveMaxDims) {
+  TkdcConfig config;
+  config.use_grid = true;
+  config.grid_max_dims = 4;
+  TkdcClassifier classifier(config);
+  Rng rng(9);
+  classifier.Train(SampleStandardGaussian(500, 6, rng));
+  for (int i = 0; i < 50; ++i) {
+    classifier.Classify(std::vector<double>{0, 0, 0, 0, 0, 0});
+  }
+  EXPECT_EQ(classifier.grid_prunes(), 0u);
+}
+
+TEST(TkdcClassifierTest, DeterministicAcrossRuns) {
+  const Dataset data = Gauss2d(1000, 10);
+  TkdcClassifier a, b;
+  a.Train(data);
+  b.Train(data);
+  EXPECT_DOUBLE_EQ(a.threshold(), b.threshold());
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> q{rng.NextGaussian(), rng.NextGaussian()};
+    EXPECT_EQ(a.Classify(q), b.Classify(q));
+  }
+}
+
+TEST(TkdcClassifierTest, KernelEvaluationCountsGrow) {
+  TkdcClassifier classifier;
+  classifier.Train(Gauss2d(1000, 12));
+  const uint64_t after_train = classifier.kernel_evaluations();
+  EXPECT_GT(after_train, 0u);
+  classifier.Classify(std::vector<double>{2.0, 2.0});
+  EXPECT_GE(classifier.kernel_evaluations(), after_train);
+}
+
+TEST(TkdcClassifierTest, EstimateDensityNearTruthCloseToThreshold) {
+  // The Problem 1 guarantee: densities strictly inside the epsilon band
+  // around t cannot trip the threshold rule, so the tolerance rule must
+  // resolve them to within eps * t. (Outside the band only the side of the
+  // threshold is guaranteed, not the magnitude.)
+  const Dataset data = Gauss2d(4000, 13);
+  TkdcConfig config;
+  config.epsilon = 0.05;  // Wider band so random probes land inside it.
+  TkdcClassifier classifier(config);
+  classifier.Train(data);
+  NaiveKde naive(data, classifier.kernel());
+  const double t = classifier.threshold();
+  const double eps = classifier.config().epsilon;
+  int checked = 0;
+  Rng rng(99);
+  for (int trial = 0; trial < 4000; ++trial) {
+    std::vector<double> q{rng.Uniform(-4.5, 4.5), rng.Uniform(-4.5, 4.5)};
+    const double exact = naive.Density(q);
+    if (std::fabs(exact - t) < 0.5 * eps * t) {
+      const double estimate = classifier.EstimateDensity(q);
+      EXPECT_NEAR(estimate, exact, 2.0 * eps * t)
+          << "q=(" << q[0] << "," << q[1] << ")";
+      ++checked;
+    }
+  }
+  // The threshold contour sweeps enough area that some probes land in the
+  // half-epsilon band.
+  EXPECT_GT(checked, 0);
+}
+
+TEST(TkdcClassifierTest, WorksWithEpanechnikovKernel) {
+  TkdcConfig config;
+  config.kernel = KernelType::kEpanechnikov;
+  TkdcClassifier classifier(config);
+  classifier.Train(Gauss2d(2000, 14));
+  EXPECT_GT(classifier.threshold(), 0.0);
+  EXPECT_EQ(classifier.Classify(std::vector<double>{0.0, 0.0}),
+            Classification::kHigh);
+  EXPECT_EQ(classifier.Classify(std::vector<double>{9.0, 9.0}),
+            Classification::kLow);
+}
+
+TEST(TkdcClassifierTest, WorksWithMedianSplitRule) {
+  TkdcConfig config;
+  config.split_rule = SplitRule::kMedian;
+  TkdcClassifier classifier(config);
+  const Dataset data = Gauss2d(1500, 15);
+  classifier.Train(data);
+  size_t low = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (classifier.ClassifyTraining(data.Row(i)) == Classification::kLow) {
+      ++low;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(low) / data.size(), 0.01, 0.015);
+}
+
+TEST(TkdcClassifierTest, HigherPClassifiesMoreLow) {
+  const Dataset data = Gauss2d(2000, 16);
+  TkdcConfig low_p_config;
+  low_p_config.p = 0.01;
+  TkdcConfig high_p_config;
+  high_p_config.p = 0.3;
+  TkdcClassifier low_p(low_p_config), high_p(high_p_config);
+  low_p.Train(data);
+  high_p.Train(data);
+  EXPECT_GT(high_p.threshold(), low_p.threshold());
+  size_t low_count_a = 0, low_count_b = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (low_p.ClassifyTraining(data.Row(i)) == Classification::kLow) {
+      ++low_count_a;
+    }
+    if (high_p.ClassifyTraining(data.Row(i)) == Classification::kLow) {
+      ++low_count_b;
+    }
+  }
+  EXPECT_GT(low_count_b, low_count_a * 5);
+}
+
+TEST(TkdcClassifierTest, BoundDensityAtBracketsTruth) {
+  const Dataset data = Gauss2d(1000, 17);
+  TkdcClassifier classifier;
+  classifier.Train(data);
+  NaiveKde naive(data, classifier.kernel());
+  for (int i = 0; i < 10; ++i) {
+    const auto x = data.Row(static_cast<size_t>(i) * 53);
+    const DensityBounds bounds = classifier.BoundDensityAt(x);
+    const double exact = naive.Density(x);
+    EXPECT_LE(bounds.lower, exact + 1e-12);
+    EXPECT_GE(bounds.upper, exact - 1e-12);
+  }
+}
+
+TEST(TkdcClassifierTest, MultiModalFilamentOutliersDetected) {
+  // The Figure 1 scenario: filament points between modes are low-density.
+  Rng rng(18);
+  const Dataset data =
+      SampleFilamentClusters(4000, 2, 3, 2, /*filament_fraction=*/0.02, rng);
+  TkdcConfig config;
+  config.p = 0.05;
+  TkdcClassifier classifier(config);
+  classifier.Train(data);
+  size_t low = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (classifier.ClassifyTraining(data.Row(i)) == Classification::kLow) {
+      ++low;
+    }
+  }
+  // Roughly p of the data should be classified low.
+  EXPECT_NEAR(static_cast<double>(low) / data.size(), 0.05, 0.03);
+}
+
+}  // namespace
+}  // namespace tkdc

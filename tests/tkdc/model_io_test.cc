@@ -1,0 +1,184 @@
+#include "tkdc/model_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace tkdc {
+namespace {
+
+class ModelIoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/" + name;
+  }
+
+  Dataset TrainSet(uint64_t seed = 1, size_t n = 2000) {
+    Rng rng(seed);
+    return SampleStandardGaussian(n, 2, rng);
+  }
+};
+
+TEST_F(ModelIoTest, RoundTripPreservesThresholdAndClassifications) {
+  const Dataset data = TrainSet();
+  TkdcClassifier original;
+  original.Train(data);
+  const std::string path = TempPath("model.tkdc");
+  std::string error;
+  ASSERT_TRUE(SaveModel(path, original, data, /*include_densities=*/true,
+                        &error))
+      << error;
+  auto loaded = LoadModel(path, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+
+  EXPECT_DOUBLE_EQ(loaded->threshold(), original.threshold());
+  EXPECT_DOUBLE_EQ(loaded->threshold_lower(), original.threshold_lower());
+  EXPECT_DOUBLE_EQ(loaded->threshold_upper(), original.threshold_upper());
+  EXPECT_EQ(loaded->training_densities(), original.training_densities());
+  EXPECT_EQ(loaded->kernel().bandwidths(), original.kernel().bandwidths());
+
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> q{rng.Uniform(-5.0, 5.0), rng.Uniform(-5.0, 5.0)};
+    EXPECT_EQ(loaded->Classify(q), original.Classify(q)) << "trial " << i;
+  }
+  for (size_t i = 0; i < data.size(); i += 37) {
+    EXPECT_EQ(loaded->ClassifyTraining(data.Row(i)),
+              original.ClassifyTraining(data.Row(i)));
+  }
+}
+
+TEST_F(ModelIoTest, RoundTripPreservesConfig) {
+  TkdcConfig config;
+  config.p = 0.07;
+  config.epsilon = 0.02;
+  config.kernel = KernelType::kEpanechnikov;
+  config.split_rule = SplitRule::kMedian;
+  config.leaf_size = 17;
+  const Dataset data = TrainSet(2);
+  TkdcClassifier original(config);
+  original.Train(data);
+  const std::string path = TempPath("config.tkdc");
+  std::string error;
+  ASSERT_TRUE(SaveModel(path, original, data, true, &error)) << error;
+  auto loaded = LoadModel(path, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_DOUBLE_EQ(loaded->config().p, 0.07);
+  EXPECT_DOUBLE_EQ(loaded->config().epsilon, 0.02);
+  EXPECT_EQ(loaded->config().kernel, KernelType::kEpanechnikov);
+  EXPECT_EQ(loaded->config().split_rule, SplitRule::kMedian);
+  EXPECT_EQ(loaded->config().leaf_size, 17u);
+}
+
+TEST_F(ModelIoTest, DensitiesCanBeOmitted) {
+  const Dataset data = TrainSet(3);
+  TkdcClassifier original;
+  original.Train(data);
+  const std::string path = TempPath("slim.tkdc");
+  std::string error;
+  ASSERT_TRUE(SaveModel(path, original, data, /*include_densities=*/false,
+                        &error))
+      << error;
+  auto loaded = LoadModel(path, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_TRUE(loaded->training_densities().empty());
+  EXPECT_DOUBLE_EQ(loaded->threshold(), original.threshold());
+}
+
+TEST_F(ModelIoTest, SaveRejectsUntrainedClassifier) {
+  TkdcClassifier untrained;
+  std::string error;
+  EXPECT_FALSE(SaveModel(TempPath("bad.tkdc"), untrained, Dataset(2),
+                         true, &error));
+  EXPECT_NE(error.find("not trained"), std::string::npos);
+}
+
+TEST_F(ModelIoTest, SaveRejectsMismatchedData) {
+  const Dataset data = TrainSet(4);
+  TkdcClassifier classifier;
+  classifier.Train(data);
+  const Dataset other = TrainSet(5, 100);
+  std::string error;
+  EXPECT_FALSE(SaveModel(TempPath("mismatch.tkdc"), classifier, other, true,
+                         &error));
+  EXPECT_NE(error.find("does not match"), std::string::npos);
+}
+
+TEST_F(ModelIoTest, LoadRejectsMissingFile) {
+  std::string error;
+  EXPECT_EQ(LoadModel(TempPath("nope.tkdc"), &error), nullptr);
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST_F(ModelIoTest, LoadRejectsBadMagic) {
+  const std::string path = TempPath("magic.tkdc");
+  std::ofstream(path) << "this is not a model";
+  std::string error;
+  EXPECT_EQ(LoadModel(path, &error), nullptr);
+  EXPECT_NE(error.find("not a tkdc model"), std::string::npos);
+}
+
+TEST_F(ModelIoTest, LoadRejectsTruncatedFile) {
+  const Dataset data = TrainSet(6);
+  TkdcClassifier classifier;
+  classifier.Train(data);
+  const std::string path = TempPath("trunc.tkdc");
+  std::string error;
+  ASSERT_TRUE(SaveModel(path, classifier, data, true, &error)) << error;
+  // Truncate to half.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size() / 2));
+  out.close();
+  EXPECT_EQ(LoadModel(path, &error), nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(ModelIoTest, LoadRejectsBitFlip) {
+  const Dataset data = TrainSet(7);
+  TkdcClassifier classifier;
+  classifier.Train(data);
+  const std::string path = TempPath("flip.tkdc");
+  std::string error;
+  ASSERT_TRUE(SaveModel(path, classifier, data, true, &error)) << error;
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  contents[contents.size() / 2] ^= 0x40;  // Flip a payload bit.
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+  out.close();
+  EXPECT_EQ(LoadModel(path, &error), nullptr)
+      << "bit flip must be detected";
+}
+
+TEST_F(ModelIoTest, LoadedModelKeepsWorkingAfterOriginalDies) {
+  const std::string path = TempPath("lifetime.tkdc");
+  {
+    const Dataset data = TrainSet(8);
+    TkdcClassifier original;
+    original.Train(data);
+    std::string error;
+    ASSERT_TRUE(SaveModel(path, original, data, false, &error)) << error;
+  }
+  std::string error;
+  auto loaded = LoadModel(path, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_EQ(loaded->Classify(std::vector<double>{0.0, 0.0}),
+            Classification::kHigh);
+  EXPECT_EQ(loaded->Classify(std::vector<double>{7.0, 7.0}),
+            Classification::kLow);
+}
+
+}  // namespace
+}  // namespace tkdc

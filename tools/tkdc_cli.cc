@@ -1,0 +1,15 @@
+// tkdc_cli: train tKDC models on CSV data, persist them, and classify
+// query files from the command line. Run with no arguments for usage.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return tkdc::RunCli(args, std::cout, std::cerr);
+}
