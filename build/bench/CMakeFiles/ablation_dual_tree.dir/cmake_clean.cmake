@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dual_tree.dir/ablation_dual_tree.cc.o"
+  "CMakeFiles/ablation_dual_tree.dir/ablation_dual_tree.cc.o.d"
+  "ablation_dual_tree"
+  "ablation_dual_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dual_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_scale_n.dir/fig09_scale_n.cc.o"
+  "CMakeFiles/fig09_scale_n.dir/fig09_scale_n.cc.o.d"
+  "fig09_scale_n"
+  "fig09_scale_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_scale_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_scale_n_highdim.dir/fig10_scale_n_highdim.cc.o"
+  "CMakeFiles/fig10_scale_n_highdim.dir/fig10_scale_n_highdim.cc.o.d"
+  "fig10_scale_n_highdim"
+  "fig10_scale_n_highdim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_scale_n_highdim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

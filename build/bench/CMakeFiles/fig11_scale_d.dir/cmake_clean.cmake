@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_scale_d.dir/fig11_scale_d.cc.o"
+  "CMakeFiles/fig11_scale_d.dir/fig11_scale_d.cc.o.d"
+  "fig11_scale_d"
+  "fig11_scale_d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_scale_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

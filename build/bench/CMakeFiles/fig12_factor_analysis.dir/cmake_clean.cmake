@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_factor_analysis.dir/fig12_factor_analysis.cc.o"
+  "CMakeFiles/fig12_factor_analysis.dir/fig12_factor_analysis.cc.o.d"
+  "fig12_factor_analysis"
+  "fig12_factor_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_factor_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

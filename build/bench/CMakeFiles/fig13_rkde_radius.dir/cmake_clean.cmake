@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_rkde_radius.dir/fig13_rkde_radius.cc.o"
+  "CMakeFiles/fig13_rkde_radius.dir/fig13_rkde_radius.cc.o.d"
+  "fig13_rkde_radius"
+  "fig13_rkde_radius.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_rkde_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

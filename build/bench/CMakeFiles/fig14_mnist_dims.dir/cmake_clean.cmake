@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_mnist_dims.dir/fig14_mnist_dims.cc.o"
+  "CMakeFiles/fig14_mnist_dims.dir/fig14_mnist_dims.cc.o.d"
+  "fig14_mnist_dims"
+  "fig14_mnist_dims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_mnist_dims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_lesion.dir/fig16_lesion.cc.o"
+  "CMakeFiles/fig16_lesion.dir/fig16_lesion.cc.o.d"
+  "fig16_lesion"
+  "fig16_lesion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_lesion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

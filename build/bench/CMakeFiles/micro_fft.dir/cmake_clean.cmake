@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fft.dir/micro_fft.cc.o"
+  "CMakeFiles/micro_fft.dir/micro_fft.cc.o.d"
+  "micro_fft"
+  "micro_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

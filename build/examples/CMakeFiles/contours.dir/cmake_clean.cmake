@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contours.dir/contours.cpp.o"
+  "CMakeFiles/contours.dir/contours.cpp.o.d"
+  "contours"
+  "contours.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outlier_detection.dir/outlier_detection.cpp.o"
+  "CMakeFiles/outlier_detection.dir/outlier_detection.cpp.o.d"
+  "outlier_detection"
+  "outlier_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outlier_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvalue_testing.dir/pvalue_testing.cpp.o"
+  "CMakeFiles/pvalue_testing.dir/pvalue_testing.cpp.o.d"
+  "pvalue_testing"
+  "pvalue_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvalue_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tkdc_baselines.dir/baselines/binned_kde.cc.o"
+  "CMakeFiles/tkdc_baselines.dir/baselines/binned_kde.cc.o.d"
+  "CMakeFiles/tkdc_baselines.dir/baselines/knn.cc.o"
+  "CMakeFiles/tkdc_baselines.dir/baselines/knn.cc.o.d"
+  "CMakeFiles/tkdc_baselines.dir/baselines/rkde.cc.o"
+  "CMakeFiles/tkdc_baselines.dir/baselines/rkde.cc.o.d"
+  "CMakeFiles/tkdc_baselines.dir/baselines/simple_kde.cc.o"
+  "CMakeFiles/tkdc_baselines.dir/baselines/simple_kde.cc.o.d"
+  "libtkdc_baselines.a"
+  "libtkdc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tkdc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tkdc_cli_lib.dir/cli/cli.cc.o"
+  "CMakeFiles/tkdc_cli_lib.dir/cli/cli.cc.o.d"
+  "libtkdc_cli_lib.a"
+  "libtkdc_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tkdc_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

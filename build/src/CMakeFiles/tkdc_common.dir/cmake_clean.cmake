@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tkdc_common.dir/common/order_stats.cc.o"
+  "CMakeFiles/tkdc_common.dir/common/order_stats.cc.o.d"
+  "CMakeFiles/tkdc_common.dir/common/rng.cc.o"
+  "CMakeFiles/tkdc_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/tkdc_common.dir/common/special_math.cc.o"
+  "CMakeFiles/tkdc_common.dir/common/special_math.cc.o.d"
+  "CMakeFiles/tkdc_common.dir/common/stats.cc.o"
+  "CMakeFiles/tkdc_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/tkdc_common.dir/common/timer.cc.o"
+  "CMakeFiles/tkdc_common.dir/common/timer.cc.o.d"
+  "libtkdc_common.a"
+  "libtkdc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tkdc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tkdc/classifier.cc" "src/CMakeFiles/tkdc_core.dir/tkdc/classifier.cc.o" "gcc" "src/CMakeFiles/tkdc_core.dir/tkdc/classifier.cc.o.d"
+  "/root/repo/src/tkdc/config.cc" "src/CMakeFiles/tkdc_core.dir/tkdc/config.cc.o" "gcc" "src/CMakeFiles/tkdc_core.dir/tkdc/config.cc.o.d"
+  "/root/repo/src/tkdc/density_bounds.cc" "src/CMakeFiles/tkdc_core.dir/tkdc/density_bounds.cc.o" "gcc" "src/CMakeFiles/tkdc_core.dir/tkdc/density_bounds.cc.o.d"
+  "/root/repo/src/tkdc/dual_tree.cc" "src/CMakeFiles/tkdc_core.dir/tkdc/dual_tree.cc.o" "gcc" "src/CMakeFiles/tkdc_core.dir/tkdc/dual_tree.cc.o.d"
+  "/root/repo/src/tkdc/grid_cache.cc" "src/CMakeFiles/tkdc_core.dir/tkdc/grid_cache.cc.o" "gcc" "src/CMakeFiles/tkdc_core.dir/tkdc/grid_cache.cc.o.d"
+  "/root/repo/src/tkdc/model_io.cc" "src/CMakeFiles/tkdc_core.dir/tkdc/model_io.cc.o" "gcc" "src/CMakeFiles/tkdc_core.dir/tkdc/model_io.cc.o.d"
+  "/root/repo/src/tkdc/multi_threshold.cc" "src/CMakeFiles/tkdc_core.dir/tkdc/multi_threshold.cc.o" "gcc" "src/CMakeFiles/tkdc_core.dir/tkdc/multi_threshold.cc.o.d"
+  "/root/repo/src/tkdc/threshold.cc" "src/CMakeFiles/tkdc_core.dir/tkdc/threshold.cc.o" "gcc" "src/CMakeFiles/tkdc_core.dir/tkdc/threshold.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tkdc_kde.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tkdc_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tkdc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tkdc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

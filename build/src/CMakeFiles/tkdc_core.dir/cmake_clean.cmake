@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tkdc_core.dir/tkdc/classifier.cc.o"
+  "CMakeFiles/tkdc_core.dir/tkdc/classifier.cc.o.d"
+  "CMakeFiles/tkdc_core.dir/tkdc/config.cc.o"
+  "CMakeFiles/tkdc_core.dir/tkdc/config.cc.o.d"
+  "CMakeFiles/tkdc_core.dir/tkdc/density_bounds.cc.o"
+  "CMakeFiles/tkdc_core.dir/tkdc/density_bounds.cc.o.d"
+  "CMakeFiles/tkdc_core.dir/tkdc/dual_tree.cc.o"
+  "CMakeFiles/tkdc_core.dir/tkdc/dual_tree.cc.o.d"
+  "CMakeFiles/tkdc_core.dir/tkdc/grid_cache.cc.o"
+  "CMakeFiles/tkdc_core.dir/tkdc/grid_cache.cc.o.d"
+  "CMakeFiles/tkdc_core.dir/tkdc/model_io.cc.o"
+  "CMakeFiles/tkdc_core.dir/tkdc/model_io.cc.o.d"
+  "CMakeFiles/tkdc_core.dir/tkdc/multi_threshold.cc.o"
+  "CMakeFiles/tkdc_core.dir/tkdc/multi_threshold.cc.o.d"
+  "CMakeFiles/tkdc_core.dir/tkdc/threshold.cc.o"
+  "CMakeFiles/tkdc_core.dir/tkdc/threshold.cc.o.d"
+  "libtkdc_core.a"
+  "libtkdc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tkdc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

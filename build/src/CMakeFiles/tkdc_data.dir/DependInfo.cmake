@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/tkdc_data.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/tkdc_data.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/tkdc_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/tkdc_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/datasets.cc" "src/CMakeFiles/tkdc_data.dir/data/datasets.cc.o" "gcc" "src/CMakeFiles/tkdc_data.dir/data/datasets.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/CMakeFiles/tkdc_data.dir/data/generators.cc.o" "gcc" "src/CMakeFiles/tkdc_data.dir/data/generators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tkdc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

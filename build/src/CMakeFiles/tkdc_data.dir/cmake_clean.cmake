@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tkdc_data.dir/data/csv.cc.o"
+  "CMakeFiles/tkdc_data.dir/data/csv.cc.o.d"
+  "CMakeFiles/tkdc_data.dir/data/dataset.cc.o"
+  "CMakeFiles/tkdc_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/tkdc_data.dir/data/datasets.cc.o"
+  "CMakeFiles/tkdc_data.dir/data/datasets.cc.o.d"
+  "CMakeFiles/tkdc_data.dir/data/generators.cc.o"
+  "CMakeFiles/tkdc_data.dir/data/generators.cc.o.d"
+  "libtkdc_data.a"
+  "libtkdc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tkdc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

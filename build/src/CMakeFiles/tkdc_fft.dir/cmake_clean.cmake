@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tkdc_fft.dir/fft/convolution.cc.o"
+  "CMakeFiles/tkdc_fft.dir/fft/convolution.cc.o.d"
+  "CMakeFiles/tkdc_fft.dir/fft/fft.cc.o"
+  "CMakeFiles/tkdc_fft.dir/fft/fft.cc.o.d"
+  "libtkdc_fft.a"
+  "libtkdc_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tkdc_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tkdc_harness.dir/harness/runner.cc.o"
+  "CMakeFiles/tkdc_harness.dir/harness/runner.cc.o.d"
+  "CMakeFiles/tkdc_harness.dir/harness/table.cc.o"
+  "CMakeFiles/tkdc_harness.dir/harness/table.cc.o.d"
+  "CMakeFiles/tkdc_harness.dir/harness/workload.cc.o"
+  "CMakeFiles/tkdc_harness.dir/harness/workload.cc.o.d"
+  "libtkdc_harness.a"
+  "libtkdc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tkdc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

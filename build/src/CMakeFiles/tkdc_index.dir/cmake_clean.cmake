@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tkdc_index.dir/index/bounding_box.cc.o"
+  "CMakeFiles/tkdc_index.dir/index/bounding_box.cc.o.d"
+  "CMakeFiles/tkdc_index.dir/index/kdtree.cc.o"
+  "CMakeFiles/tkdc_index.dir/index/kdtree.cc.o.d"
+  "CMakeFiles/tkdc_index.dir/index/split_rule.cc.o"
+  "CMakeFiles/tkdc_index.dir/index/split_rule.cc.o.d"
+  "libtkdc_index.a"
+  "libtkdc_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tkdc_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

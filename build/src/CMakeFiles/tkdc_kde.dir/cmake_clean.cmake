@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tkdc_kde.dir/kde/bandwidth.cc.o"
+  "CMakeFiles/tkdc_kde.dir/kde/bandwidth.cc.o.d"
+  "CMakeFiles/tkdc_kde.dir/kde/kernel.cc.o"
+  "CMakeFiles/tkdc_kde.dir/kde/kernel.cc.o.d"
+  "CMakeFiles/tkdc_kde.dir/kde/naive_kde.cc.o"
+  "CMakeFiles/tkdc_kde.dir/kde/naive_kde.cc.o.d"
+  "libtkdc_kde.a"
+  "libtkdc_kde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tkdc_kde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

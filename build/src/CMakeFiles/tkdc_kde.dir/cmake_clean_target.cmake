@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtkdc_kde.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tkdc_linalg.dir/linalg/pca.cc.o"
+  "CMakeFiles/tkdc_linalg.dir/linalg/pca.cc.o.d"
+  "CMakeFiles/tkdc_linalg.dir/linalg/sym_eigen.cc.o"
+  "CMakeFiles/tkdc_linalg.dir/linalg/sym_eigen.cc.o.d"
+  "libtkdc_linalg.a"
+  "libtkdc_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tkdc_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

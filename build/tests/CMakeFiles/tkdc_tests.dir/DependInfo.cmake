@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/binned_kde_test.cc" "tests/CMakeFiles/tkdc_tests.dir/baselines/binned_kde_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/baselines/binned_kde_test.cc.o.d"
+  "/root/repo/tests/baselines/knn_test.cc" "tests/CMakeFiles/tkdc_tests.dir/baselines/knn_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/baselines/knn_test.cc.o.d"
+  "/root/repo/tests/baselines/nocut_test.cc" "tests/CMakeFiles/tkdc_tests.dir/baselines/nocut_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/baselines/nocut_test.cc.o.d"
+  "/root/repo/tests/baselines/rkde_test.cc" "tests/CMakeFiles/tkdc_tests.dir/baselines/rkde_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/baselines/rkde_test.cc.o.d"
+  "/root/repo/tests/baselines/simple_kde_test.cc" "tests/CMakeFiles/tkdc_tests.dir/baselines/simple_kde_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/baselines/simple_kde_test.cc.o.d"
+  "/root/repo/tests/cli/cli_test.cc" "tests/CMakeFiles/tkdc_tests.dir/cli/cli_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/cli/cli_test.cc.o.d"
+  "/root/repo/tests/common/order_stats_test.cc" "tests/CMakeFiles/tkdc_tests.dir/common/order_stats_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/common/order_stats_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/tkdc_tests.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/special_math_test.cc" "tests/CMakeFiles/tkdc_tests.dir/common/special_math_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/common/special_math_test.cc.o.d"
+  "/root/repo/tests/common/stats_test.cc" "tests/CMakeFiles/tkdc_tests.dir/common/stats_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/common/stats_test.cc.o.d"
+  "/root/repo/tests/data/csv_test.cc" "tests/CMakeFiles/tkdc_tests.dir/data/csv_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/data/csv_test.cc.o.d"
+  "/root/repo/tests/data/dataset_test.cc" "tests/CMakeFiles/tkdc_tests.dir/data/dataset_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/data/dataset_test.cc.o.d"
+  "/root/repo/tests/data/datasets_test.cc" "tests/CMakeFiles/tkdc_tests.dir/data/datasets_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/data/datasets_test.cc.o.d"
+  "/root/repo/tests/data/generators_test.cc" "tests/CMakeFiles/tkdc_tests.dir/data/generators_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/data/generators_test.cc.o.d"
+  "/root/repo/tests/fft/convolution_test.cc" "tests/CMakeFiles/tkdc_tests.dir/fft/convolution_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/fft/convolution_test.cc.o.d"
+  "/root/repo/tests/fft/fft_test.cc" "tests/CMakeFiles/tkdc_tests.dir/fft/fft_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/fft/fft_test.cc.o.d"
+  "/root/repo/tests/harness/harness_test.cc" "tests/CMakeFiles/tkdc_tests.dir/harness/harness_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/harness/harness_test.cc.o.d"
+  "/root/repo/tests/index/bounding_box_test.cc" "tests/CMakeFiles/tkdc_tests.dir/index/bounding_box_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/index/bounding_box_test.cc.o.d"
+  "/root/repo/tests/index/kdtree_test.cc" "tests/CMakeFiles/tkdc_tests.dir/index/kdtree_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/index/kdtree_test.cc.o.d"
+  "/root/repo/tests/index/split_rule_test.cc" "tests/CMakeFiles/tkdc_tests.dir/index/split_rule_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/index/split_rule_test.cc.o.d"
+  "/root/repo/tests/integration/baseline_comparison_test.cc" "tests/CMakeFiles/tkdc_tests.dir/integration/baseline_comparison_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/integration/baseline_comparison_test.cc.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/tkdc_tests.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/kde/bandwidth_test.cc" "tests/CMakeFiles/tkdc_tests.dir/kde/bandwidth_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/kde/bandwidth_test.cc.o.d"
+  "/root/repo/tests/kde/kernel_test.cc" "tests/CMakeFiles/tkdc_tests.dir/kde/kernel_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/kde/kernel_test.cc.o.d"
+  "/root/repo/tests/kde/naive_kde_test.cc" "tests/CMakeFiles/tkdc_tests.dir/kde/naive_kde_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/kde/naive_kde_test.cc.o.d"
+  "/root/repo/tests/linalg/pca_test.cc" "tests/CMakeFiles/tkdc_tests.dir/linalg/pca_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/linalg/pca_test.cc.o.d"
+  "/root/repo/tests/linalg/sym_eigen_test.cc" "tests/CMakeFiles/tkdc_tests.dir/linalg/sym_eigen_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/linalg/sym_eigen_test.cc.o.d"
+  "/root/repo/tests/tkdc/classifier_test.cc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/classifier_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/classifier_test.cc.o.d"
+  "/root/repo/tests/tkdc/config_test.cc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/config_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/config_test.cc.o.d"
+  "/root/repo/tests/tkdc/density_bounds_test.cc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/density_bounds_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/density_bounds_test.cc.o.d"
+  "/root/repo/tests/tkdc/dual_tree_test.cc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/dual_tree_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/dual_tree_test.cc.o.d"
+  "/root/repo/tests/tkdc/grid_cache_test.cc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/grid_cache_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/grid_cache_test.cc.o.d"
+  "/root/repo/tests/tkdc/model_io_test.cc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/model_io_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/model_io_test.cc.o.d"
+  "/root/repo/tests/tkdc/multi_threshold_test.cc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/multi_threshold_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/multi_threshold_test.cc.o.d"
+  "/root/repo/tests/tkdc/property_test.cc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/property_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/property_test.cc.o.d"
+  "/root/repo/tests/tkdc/threshold_test.cc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/threshold_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/threshold_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tkdc_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tkdc_cli_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tkdc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tkdc_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tkdc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tkdc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tkdc_kde.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tkdc_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tkdc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tkdc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for tkdc_tests.
+# This may be replaced when dependencies are built.

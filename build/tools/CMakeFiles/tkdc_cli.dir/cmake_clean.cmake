@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tkdc_cli.dir/tkdc_cli.cc.o"
+  "CMakeFiles/tkdc_cli.dir/tkdc_cli.cc.o.d"
+  "tkdc_cli"
+  "tkdc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tkdc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
