@@ -3,17 +3,27 @@
 // 1000x over accurate alternatives below d = 10, the binned "ks" baseline
 // winning only at d = 2, and shrinking-but-real advantages up to d = 64.
 //
-// Datasets are laptop-scale synthetic proxies of Table 3 (see DESIGN.md);
-// grow them with --scale.
+// Datasets are laptop-scale synthetic proxies of Table 3 (see DESIGN.MD);
+// grow them with --scale. Beyond the paper, the final section measures the
+// parallel batch engine (ClassifyTrainingBatch) across thread counts on
+// the first panel's workload, verifies the labels are bit-identical to the
+// serial path, and emits a machine-readable BENCH_fig07.json so future PRs
+// can track the throughput trajectory.
 
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "baselines/binned_kde.h"
 #include "baselines/nocut.h"
 #include "baselines/rkde.h"
 #include "baselines/simple_kde.h"
+#include "common/parallel.h"
+#include "common/timer.h"
 #include "harness/runner.h"
 #include "harness/table.h"
 #include "harness/workload.h"
@@ -33,11 +43,13 @@ std::unique_ptr<DensityClassifier> MakeAlgorithm(const std::string& name,
   if (name == "tkdc") {
     TkdcConfig config;
     config.seed = seed;
+    config.num_threads = 1;  // The per-algorithm table is the serial path.
     return std::make_unique<TkdcClassifier>(config);
   }
   if (name == "nocut") {
     TkdcConfig config;
     config.seed = seed;
+    config.num_threads = 1;
     return std::make_unique<NocutClassifier>(config);
   }
   if (name == "simple") {
@@ -55,9 +67,78 @@ std::unique_ptr<DensityClassifier> MakeAlgorithm(const std::string& name,
   return std::make_unique<BinnedKdeClassifier>(options);
 }
 
-void Run() {
-  std::cout << "Figure 7: end-to-end throughput (queries/s, training "
-               "amortized over all n)\n\n";
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+struct SerialRecord {
+  std::string dataset;
+  std::string algorithm;
+  double queries_per_sec;
+  double train_seconds;
+  double kernel_evals_per_query;
+};
+
+struct ParallelRecord {
+  size_t threads;
+  double queries_per_sec;
+  double speedup;
+  bool identical_to_serial;
+};
+
+// Machine-readable results for the perf trajectory; schema:
+// {hardware_concurrency, scale, seed, serial:[{dataset, algorithm,
+//  queries_per_sec, ...}], parallel_batch:{dataset, n, dims, queries,
+//  runs:[{threads, queries_per_sec, speedup, identical_to_serial}]}}.
+void WriteJson(const std::string& path, const BenchArgs& args,
+               const std::vector<SerialRecord>& serial,
+               const std::string& parallel_dataset, size_t parallel_n,
+               size_t parallel_dims, size_t parallel_queries,
+               const std::vector<ParallelRecord>& parallel) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: could not write " << path << "\n";
+    return;
+  }
+  out << "{\n";
+  out << "  \"bench\": \"fig07_throughput\",\n";
+  out << "  \"hardware_concurrency\": " << HardwareConcurrency() << ",\n";
+  out << "  \"scale\": " << args.scale << ",\n";
+  out << "  \"seed\": " << args.seed << ",\n";
+  out << "  \"serial\": [\n";
+  for (size_t i = 0; i < serial.size(); ++i) {
+    const SerialRecord& r = serial[i];
+    out << "    {\"dataset\": \"" << JsonEscape(r.dataset)
+        << "\", \"algorithm\": \"" << JsonEscape(r.algorithm)
+        << "\", \"queries_per_sec\": " << r.queries_per_sec
+        << ", \"train_seconds\": " << r.train_seconds
+        << ", \"kernel_evals_per_query\": " << r.kernel_evals_per_query
+        << "}" << (i + 1 < serial.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"parallel_batch\": {\n";
+  out << "    \"dataset\": \"" << JsonEscape(parallel_dataset) << "\",\n";
+  out << "    \"n\": " << parallel_n << ",\n";
+  out << "    \"dims\": " << parallel_dims << ",\n";
+  out << "    \"queries\": " << parallel_queries << ",\n";
+  out << "    \"runs\": [\n";
+  for (size_t i = 0; i < parallel.size(); ++i) {
+    const ParallelRecord& r = parallel[i];
+    out << "      {\"threads\": " << r.threads
+        << ", \"queries_per_sec\": " << r.queries_per_sec
+        << ", \"speedup\": " << r.speedup << ", \"identical_to_serial\": "
+        << (r.identical_to_serial ? "true" : "false") << "}"
+        << (i + 1 < parallel.size() ? "," : "") << "\n";
+  }
+  out << "    ]\n";
+  out << "  }\n";
+  out << "}\n";
+  std::cout << "\nwrote " << path << "\n";
 }
 
 }  // namespace
@@ -66,7 +147,8 @@ void Run() {
 int main(int argc, char** argv) {
   using namespace tkdc;
   const BenchArgs args = BenchArgs::Parse(argc, argv);
-  Run();
+  std::cout << "Figure 7: end-to-end throughput (queries/s, training "
+               "amortized over all n)\n\n";
 
   const std::vector<Panel> panels{
       {DatasetId::kGauss, 150'000, 0}, {DatasetId::kTmy3, 80'000, 4},
@@ -76,6 +158,7 @@ int main(int argc, char** argv) {
   };
   TablePrinter table({"dataset", "algorithm", "queries/s", "train_s",
                       "kernel_evals/query", "threshold"});
+  std::vector<SerialRecord> serial_records;
   for (const Panel& panel : panels) {
     Workload workload;
     workload.id = panel.id;
@@ -98,6 +181,10 @@ int main(int argc, char** argv) {
                     FormatFixed(result.train_seconds, 2),
                     FormatSi(result.kernel_evals_per_query),
                     FormatCompact(result.threshold)});
+      serial_records.push_back({workload.Label(), result.algorithm,
+                                result.amortized_throughput,
+                                result.train_seconds,
+                                result.kernel_evals_per_query});
     }
   }
   std::cout << "\n";
@@ -105,5 +192,66 @@ int main(int argc, char** argv) {
   std::cout << "\nPaper (Figure 7): tkdc beats simple/sklearn/rkde/nocut by "
                "1-3 orders of magnitude for d < 10;\nks (binned) wins only "
                "at d = 2; gaps narrow as d grows and close by d ~ 256.\n";
+
+  // --- Parallel batch engine (beyond the paper) ---------------------------
+  // Train once on the first panel's workload, then time
+  // ClassifyTrainingBatch at 1/2/4/8 threads (plus --threads when given) on
+  // the same trained model. SetNumThreads never retrains; labels must be
+  // bit-identical at every thread count.
+  Workload workload;
+  workload.id = panels[0].id;
+  workload.n = static_cast<size_t>(panels[0].n * args.scale);
+  workload.dims = panels[0].dims;
+  workload.seed = args.seed;
+  const Dataset data = workload.Make();
+  const Dataset queries = MakeQuerySubset(data, 20'000);
+
+  std::cout << "\n-- parallel batch engine (" << workload.Label()
+            << ", hardware threads = " << HardwareConcurrency() << ")\n";
+  TkdcConfig config;
+  config.seed = args.seed;
+  config.num_threads = 1;
+  TkdcClassifier classifier(config);
+  classifier.Train(data);
+
+  std::vector<size_t> thread_counts{1, 2, 4, 8};
+  if (args.threads != 0 &&
+      std::find(thread_counts.begin(), thread_counts.end(), args.threads) ==
+          thread_counts.end()) {
+    thread_counts.push_back(args.threads);
+  }
+  std::vector<Classification> serial_labels;
+  std::vector<ParallelRecord> parallel_records;
+  TablePrinter parallel_table(
+      {"threads", "queries/s", "speedup", "identical"});
+  for (const size_t threads : thread_counts) {
+    classifier.SetNumThreads(threads);
+    // Warm up pool + scratch, then time the batch.
+    classifier.ClassifyTrainingBatch(MakeQuerySubset(data, 256));
+    WallTimer timer;
+    const std::vector<Classification> labels =
+        classifier.ClassifyTrainingBatch(queries);
+    const double seconds = timer.ElapsedSeconds();
+    if (threads == 1) serial_labels = labels;
+    const bool identical = labels == serial_labels;
+    const double qps =
+        seconds > 0.0 ? static_cast<double>(labels.size()) / seconds : 0.0;
+    const double speedup =
+        parallel_records.empty()
+            ? 1.0
+            : qps / parallel_records.front().queries_per_sec;
+    parallel_records.push_back({threads, qps, speedup, identical});
+    parallel_table.AddRow({std::to_string(threads), FormatSi(qps),
+                           FormatFixed(speedup, 2),
+                           identical ? "yes" : "NO"});
+  }
+  std::cout << "\n";
+  parallel_table.Print(std::cout);
+  std::cout << "\nDeterminism guarantee: every thread count must report "
+               "identical = yes.\nSpeedup is bounded by the hardware "
+               "thread count above.\n";
+
+  WriteJson("BENCH_fig07.json", args, serial_records, workload.Label(),
+            data.size(), data.dims(), queries.size(), parallel_records);
   return 0;
 }

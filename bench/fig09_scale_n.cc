@@ -2,6 +2,11 @@
 // the 2-d gauss dataset. The paper shows tKDC decaying like O(n^-1/2)
 // (often better) while simple / sklearn / rkde decay like O(n^-1), so the
 // gap widens without bound as n grows.
+//
+// tkdc is measured through the parallel batch engine
+// (ClassifyTrainingBatch); --threads picks the worker count (default:
+// hardware concurrency) and the extra column shows the serial path for
+// the speedup. Labels are bit-identical between the two by construction.
 
 #include <cmath>
 #include <iostream>
@@ -10,6 +15,8 @@
 #include "baselines/nocut.h"
 #include "baselines/rkde.h"
 #include "baselines/simple_kde.h"
+#include "common/parallel.h"
+#include "common/timer.h"
 #include "harness/runner.h"
 #include "harness/table.h"
 #include "harness/workload.h"
@@ -18,16 +25,18 @@
 int main(int argc, char** argv) {
   using namespace tkdc;
   const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const size_t threads =
+      args.threads == 0 ? HardwareConcurrency() : args.threads;
   std::cout << "Figure 9: query throughput vs n (gauss, d=2, training "
-               "excluded)\n\n";
+               "excluded); tkdc batch engine, threads=" << threads << "\n\n";
 
   // Default sweep spans 10x; pass --scale=3 (or more) for the deeper
   // paper-style sweep. nocut's training pass dominates wall time above
   // ~100k rows because it must epsilon-resolve every training density.
   const std::vector<size_t> sizes{10'000, 30'000, 100'000};
-  TablePrinter table({"n", "tkdc q/s", "nocut q/s", "rkde q/s",
-                      "simple q/s", "tkdc/simple", "ref n^-1/2 (tkdc)",
-                      "ref n^-1 (simple)"});
+  TablePrinter table({"n", "tkdc q/s", "tkdc serial q/s", "speedup",
+                      "nocut q/s", "rkde q/s", "simple q/s", "tkdc/simple",
+                      "ref n^-1/2 (tkdc)", "ref n^-1 (simple)"});
   double tkdc_base = 0.0, simple_base = 0.0;
   double base_n = 0.0;
   for (size_t raw_n : sizes) {
@@ -42,8 +51,24 @@ int main(int argc, char** argv) {
     options.budget_seconds = args.budget_seconds;
     options.max_queries = 20'000;
 
-    TkdcClassifier tkdc_algo;
-    const RunResult tkdc_result = RunClassifier(tkdc_algo, data, options);
+    // Batch-parallel tkdc, then the serial path on the SAME trained model
+    // (SetNumThreads never retrains).
+    TkdcConfig config;
+    config.seed = args.seed;
+    config.num_threads = threads;
+    TkdcClassifier tkdc_algo(config);
+    RunResult tkdc_result = RunClassifierBatch(tkdc_algo, data, options);
+    tkdc_result.threads = threads;
+    tkdc_algo.SetNumThreads(1);
+    const Dataset queries = MakeQuerySubset(data, options.max_queries);
+    WallTimer timer;
+    const auto serial_labels = tkdc_algo.ClassifyTrainingBatch(queries);
+    const double serial_seconds = timer.ElapsedSeconds();
+    const double serial_qps =
+        serial_seconds > 0.0
+            ? static_cast<double>(serial_labels.size()) / serial_seconds
+            : 0.0;
+
     NocutClassifier nocut_algo;
     const RunResult nocut_result = RunClassifier(nocut_algo, data, options);
     RkdeClassifier rkde_algo;
@@ -60,6 +85,11 @@ int main(int argc, char** argv) {
     const double ratio = static_cast<double>(n) / base_n;
     table.AddRow({FormatSi(static_cast<double>(n)),
                   FormatSi(tkdc_result.query_throughput),
+                  FormatSi(serial_qps),
+                  FormatFixed(serial_qps > 0.0
+                                  ? tkdc_result.query_throughput / serial_qps
+                                  : 0.0,
+                              2),
                   FormatSi(nocut_result.query_throughput),
                   FormatSi(rkde_result.query_throughput),
                   FormatSi(simple_result.query_throughput),

@@ -208,13 +208,26 @@ bench/CMakeFiles/fig12_factor_analysis.dir/fig12_factor_analysis.cc.o: \
  /root/repo/src/index/split_rule.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/kde/bandwidth.h /root/repo/src/kde/kernel.h \
- /root/repo/src/tkdc/classifier.h /root/repo/src/kde/density_classifier.h \
- /root/repo/src/tkdc/config.h /root/repo/src/tkdc/density_bounds.h \
- /root/repo/src/tkdc/grid_cache.h /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/tkdc/classifier.h /root/repo/src/common/parallel.h \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/tkdc/threshold.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/kde/density_classifier.h \
+ /root/repo/src/tkdc/config.h /root/repo/src/tkdc/density_bounds.h \
+ /root/repo/src/tkdc/grid_cache.h /root/repo/src/tkdc/threshold.h \
  /root/repo/src/harness/table.h /root/repo/src/harness/workload.h \
  /root/repo/src/data/datasets.h

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/order_stats.cc" "src/CMakeFiles/tkdc_common.dir/common/order_stats.cc.o" "gcc" "src/CMakeFiles/tkdc_common.dir/common/order_stats.cc.o.d"
+  "/root/repo/src/common/parallel.cc" "src/CMakeFiles/tkdc_common.dir/common/parallel.cc.o" "gcc" "src/CMakeFiles/tkdc_common.dir/common/parallel.cc.o.d"
   "/root/repo/src/common/rng.cc" "src/CMakeFiles/tkdc_common.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/tkdc_common.dir/common/rng.cc.o.d"
   "/root/repo/src/common/special_math.cc" "src/CMakeFiles/tkdc_common.dir/common/special_math.cc.o" "gcc" "src/CMakeFiles/tkdc_common.dir/common/special_math.cc.o.d"
   "/root/repo/src/common/stats.cc" "src/CMakeFiles/tkdc_common.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/tkdc_common.dir/common/stats.cc.o.d"

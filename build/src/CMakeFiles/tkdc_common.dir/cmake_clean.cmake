@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/tkdc_common.dir/common/order_stats.cc.o"
   "CMakeFiles/tkdc_common.dir/common/order_stats.cc.o.d"
+  "CMakeFiles/tkdc_common.dir/common/parallel.cc.o"
+  "CMakeFiles/tkdc_common.dir/common/parallel.cc.o.d"
   "CMakeFiles/tkdc_common.dir/common/rng.cc.o"
   "CMakeFiles/tkdc_common.dir/common/rng.cc.o.d"
   "CMakeFiles/tkdc_common.dir/common/special_math.cc.o"

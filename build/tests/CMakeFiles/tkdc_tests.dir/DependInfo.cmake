@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/baselines/simple_kde_test.cc" "tests/CMakeFiles/tkdc_tests.dir/baselines/simple_kde_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/baselines/simple_kde_test.cc.o.d"
   "/root/repo/tests/cli/cli_test.cc" "tests/CMakeFiles/tkdc_tests.dir/cli/cli_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/cli/cli_test.cc.o.d"
   "/root/repo/tests/common/order_stats_test.cc" "tests/CMakeFiles/tkdc_tests.dir/common/order_stats_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/common/order_stats_test.cc.o.d"
+  "/root/repo/tests/common/parallel_test.cc" "tests/CMakeFiles/tkdc_tests.dir/common/parallel_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/common/parallel_test.cc.o.d"
   "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/tkdc_tests.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/common/rng_test.cc.o.d"
   "/root/repo/tests/common/special_math_test.cc" "tests/CMakeFiles/tkdc_tests.dir/common/special_math_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/common/special_math_test.cc.o.d"
   "/root/repo/tests/common/stats_test.cc" "tests/CMakeFiles/tkdc_tests.dir/common/stats_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/common/stats_test.cc.o.d"
@@ -42,6 +43,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/tkdc/grid_cache_test.cc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/grid_cache_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/grid_cache_test.cc.o.d"
   "/root/repo/tests/tkdc/model_io_test.cc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/model_io_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/model_io_test.cc.o.d"
   "/root/repo/tests/tkdc/multi_threshold_test.cc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/multi_threshold_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/multi_threshold_test.cc.o.d"
+  "/root/repo/tests/tkdc/parallel_equivalence_test.cc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/parallel_equivalence_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/parallel_equivalence_test.cc.o.d"
   "/root/repo/tests/tkdc/property_test.cc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/property_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/property_test.cc.o.d"
   "/root/repo/tests/tkdc/threshold_test.cc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/threshold_test.cc.o" "gcc" "tests/CMakeFiles/tkdc_tests.dir/tkdc/threshold_test.cc.o.d"
   )

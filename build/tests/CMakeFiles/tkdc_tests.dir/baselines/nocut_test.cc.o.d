@@ -198,21 +198,36 @@ tests/CMakeFiles/tkdc_tests.dir/baselines/nocut_test.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/data/dataset.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/index/kdtree.h \
- /root/repo/src/index/bounding_box.h /root/repo/src/index/split_rule.h \
- /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/kde/density_classifier.h /root/repo/src/kde/kernel.h \
- /usr/include/c++/12/limits /root/repo/src/tkdc/config.h \
- /root/repo/src/kde/bandwidth.h /root/repo/src/tkdc/density_bounds.h \
- /root/repo/src/tkdc/grid_cache.h /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/parallel.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/tkdc/threshold.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/data/dataset.h \
+ /usr/include/c++/12/span /root/repo/src/index/kdtree.h \
+ /root/repo/src/index/bounding_box.h /root/repo/src/index/split_rule.h \
+ /usr/include/c++/12/optional /root/repo/src/kde/density_classifier.h \
+ /root/repo/src/kde/kernel.h /root/repo/src/tkdc/config.h \
+ /root/repo/src/kde/bandwidth.h /root/repo/src/tkdc/density_bounds.h \
+ /root/repo/src/tkdc/grid_cache.h /root/repo/src/tkdc/threshold.h \
  /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
@@ -234,7 +249,7 @@ tests/CMakeFiles/tkdc_tests.dir/baselines/nocut_test.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/types/struct_statx.h \
  /usr/include/c++/12/iostream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/locale \
- /usr/include/c++/12/bits/locale_facets_nonio.h /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
  /usr/include/libintl.h /usr/include/c++/12/bits/codecvt.h \
@@ -243,7 +258,6 @@ tests/CMakeFiles/tkdc_tests.dir/baselines/nocut_test.cc.o: \
  /root/miniconda/include/gtest/internal/custom/gtest-port.h \
  /root/miniconda/include/gtest/internal/gtest-port-arch.h \
  /usr/include/regex.h /usr/include/c++/12/any /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/x86_64-linux-gnu/sys/wait.h /usr/include/signal.h \
  /usr/include/x86_64-linux-gnu/bits/signum-generic.h \
  /usr/include/x86_64-linux-gnu/bits/signum-arch.h \
@@ -284,14 +298,8 @@ tests/CMakeFiles/tkdc_tests.dir/baselines/nocut_test.cc.o: \
  /root/miniconda/include/gtest/gtest-death-test.h \
  /root/miniconda/include/gtest/internal/gtest-death-test-internal.h \
  /root/miniconda/include/gtest/gtest-matchers.h \
- /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
  /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \

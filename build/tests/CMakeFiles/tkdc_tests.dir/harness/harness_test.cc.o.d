@@ -299,7 +299,16 @@ tests/CMakeFiles/tkdc_tests.dir/harness/harness_test.cc.o: \
  /root/repo/src/kde/naive_kde.h /root/repo/src/kde/kernel.h \
  /root/repo/src/harness/runner.h /root/repo/src/harness/table.h \
  /root/repo/src/harness/workload.h /root/repo/src/data/datasets.h \
- /root/repo/src/tkdc/classifier.h /root/repo/src/index/kdtree.h \
+ /root/repo/src/tkdc/classifier.h /root/repo/src/common/parallel.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/index/kdtree.h \
  /root/repo/src/index/bounding_box.h /root/repo/src/index/split_rule.h \
  /root/repo/src/tkdc/config.h /root/repo/src/tkdc/density_bounds.h \
  /root/repo/src/tkdc/grid_cache.h /root/repo/src/tkdc/threshold.h

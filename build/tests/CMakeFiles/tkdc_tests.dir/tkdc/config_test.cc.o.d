@@ -297,7 +297,16 @@ tests/CMakeFiles/tkdc_tests.dir/tkdc/config_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/common/rng.h /root/repo/src/data/generators.h \
- /root/repo/src/tkdc/classifier.h /root/repo/src/index/kdtree.h \
+ /root/repo/src/tkdc/classifier.h /root/repo/src/common/parallel.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/index/kdtree.h \
  /root/repo/src/index/bounding_box.h \
  /root/repo/src/kde/density_classifier.h \
  /root/repo/src/tkdc/density_bounds.h /root/repo/src/tkdc/grid_cache.h \

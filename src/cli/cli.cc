@@ -18,9 +18,12 @@ constexpr const char kUsage[] =
     "  train     --input X.csv --model M.tkdc [--p F] [--epsilon F] [--b F]\n"
     "            [--kernel gaussian|epanechnikov|uniform|biweight]\n"
     "            [--split trimmed|median|midpoint] [--no-grid] [--seed N]\n"
-    "            [--header] [--no-densities]\n"
+    "            [--threads N] [--header] [--no-densities]\n"
     "  classify  --model M.tkdc --input Q.csv --output R.csv [--header]\n"
-    "            [--training] [--density]\n"
+    "            [--training] [--density] [--threads N]\n"
+    "  (--threads: worker threads for training densities and batch\n"
+    "   classification; 0 = hardware concurrency (default), 1 = serial.\n"
+    "   Results are identical for any value.)\n"
     "  info      --model M.tkdc\n"
     "  generate  --dataset NAME --n N --output X.csv [--dims D] [--seed N]\n";
 
@@ -125,6 +128,14 @@ int CmdTrain(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
   if (const auto seed = parsed.Value("--seed")) {
     config.seed = static_cast<uint64_t>(std::atoll(seed->c_str()));
   }
+  if (const auto threads = parsed.Value("--threads")) {
+    const long long parsed_threads = std::atoll(threads->c_str());
+    if (parsed_threads < 0) {
+      err << "--threads must be >= 0\n";
+      return 2;
+    }
+    config.num_threads = static_cast<size_t>(parsed_threads);
+  }
 
   std::string error;
   const auto table =
@@ -179,19 +190,29 @@ int CmdClassify(const ParsedArgs& parsed, std::ostream& out,
   }
   const bool training = parsed.Flag("--training");
   const bool with_density = parsed.Flag("--density");
+  if (const auto threads = parsed.Value("--threads")) {
+    const long long parsed_threads = std::atoll(threads->c_str());
+    if (parsed_threads < 0) {
+      err << "--threads must be >= 0\n";
+      return 2;
+    }
+    classifier->SetNumThreads(static_cast<size_t>(parsed_threads));
+  }
+  // Labels come from the (possibly multi-threaded) batch engine; the
+  // optional density column stays a serial pass since EstimateDensity is
+  // per-point.
+  const std::vector<Classification> labels =
+      training ? classifier->ClassifyTrainingBatch(table->data)
+               : classifier->ClassifyBatch(table->data);
   Dataset results(with_density ? 2 : 1);
   results.Reserve(table->data.size());
   size_t high = 0;
   for (size_t i = 0; i < table->data.size(); ++i) {
-    const auto row = table->data.Row(i);
-    const Classification label = training
-                                     ? classifier->ClassifyTraining(row)
-                                     : classifier->Classify(row);
-    if (label == Classification::kHigh) ++high;
+    if (labels[i] == Classification::kHigh) ++high;
     std::vector<double> result_row{
-        label == Classification::kHigh ? 1.0 : 0.0};
+        labels[i] == Classification::kHigh ? 1.0 : 0.0};
     if (with_density) {
-      result_row.push_back(classifier->EstimateDensity(row));
+      result_row.push_back(classifier->EstimateDensity(table->data.Row(i)));
     }
     results.AppendRow(result_row);
   }

@@ -16,9 +16,9 @@ namespace tkdc {
 ///   train     --input X.csv --model M.tkdc [--p F] [--epsilon F] [--b F]
 ///             [--kernel gaussian|epanechnikov|uniform|biweight]
 ///             [--split trimmed|median|midpoint] [--no-grid] [--seed N]
-///             [--header] [--no-densities]
+///             [--threads N] [--header] [--no-densities]
 ///   classify  --model M.tkdc --input Q.csv --output R.csv [--header]
-///             [--training] [--density]
+///             [--training] [--density] [--threads N]
 ///   info      --model M.tkdc
 ///   generate  --dataset NAME --n N --output X.csv [--dims D] [--seed N]
 int RunCli(const std::vector<std::string>& args, std::ostream& out,

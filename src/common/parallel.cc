@@ -1,0 +1,121 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace tkdc {
+namespace {
+
+// Chunks per slot when oversubscribing: enough that a round-robin static
+// assignment balances skewed per-item costs, few enough that per-chunk
+// dispatch stays negligible.
+constexpr size_t kChunksPerSlot = 8;
+
+}  // namespace
+
+size_t HardwareConcurrency() {
+  const unsigned reported = std::thread::hardware_concurrency();
+  return reported == 0 ? 1 : static_cast<size_t>(reported);
+}
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_slots_(num_threads == 0 ? HardwareConcurrency() : num_threads) {
+  workers_.reserve(num_slots_ - 1);
+  for (size_t slot = 1; slot < num_slots_; ++slot) {
+    workers_.emplace_back([this, slot] { WorkerLoop(slot); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::RunSlot(size_t slot) const {
+  for (size_t c = slot; c < job_num_chunks_; c += num_slots_) {
+    const size_t begin = c * job_chunk_;
+    const size_t end = std::min(job_total_, begin + job_chunk_);
+    (*job_body_)(slot, begin, end);
+  }
+}
+
+void ThreadPool::WorkerLoop(size_t slot) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock,
+                     [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+    }
+    // Job fields are stable for the whole epoch: the caller blocks in
+    // ParallelFor until remaining_ drops to zero.
+    RunSlot(slot);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t total, size_t min_chunk,
+    const std::function<void(size_t, size_t, size_t)>& body) {
+  if (total == 0) return;
+  if (min_chunk == 0) min_chunk = 1;
+  // ceil(total / (slots * kChunksPerSlot)) target, floored at min_chunk.
+  const size_t target_chunks = num_slots_ * kChunksPerSlot;
+  const size_t chunk =
+      std::max(min_chunk, (total + target_chunks - 1) / target_chunks);
+  const size_t num_chunks = (total + chunk - 1) / chunk;
+
+  if (num_slots_ == 1 || num_chunks == 1) {
+    // Inline serial path: no locking, no wakeups.
+    job_total_ = total;
+    job_chunk_ = chunk;
+    job_num_chunks_ = num_chunks;
+    job_body_ = &body;
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const size_t begin = c * chunk;
+      body(0, begin, std::min(total, begin + chunk));
+    }
+    job_body_ = nullptr;
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TKDC_CHECK_MSG(remaining_ == 0 && job_body_ == nullptr,
+                   "ThreadPool::ParallelFor is not reentrant");
+    job_total_ = total;
+    job_chunk_ = chunk;
+    job_num_chunks_ = num_chunks;
+    job_body_ = &body;
+    remaining_ = workers_.size();
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  RunSlot(0);  // The caller is slot 0.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    job_body_ = nullptr;
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t total, size_t min_chunk,
+                 const std::function<void(size_t, size_t, size_t)>& body) {
+  if (pool == nullptr) {
+    if (total > 0) body(0, 0, total);
+    return;
+  }
+  pool->ParallelFor(total, min_chunk, body);
+}
+
+}  // namespace tkdc

@@ -1,0 +1,94 @@
+#ifndef TKDC_COMMON_PARALLEL_H_
+#define TKDC_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tkdc {
+
+/// std::thread::hardware_concurrency() clamped to at least 1 (the standard
+/// allows it to return 0 when the count is unknowable).
+size_t HardwareConcurrency();
+
+/// Fixed-size fork/join worker pool for data-parallel loops.
+///
+/// Design constraints, in priority order:
+///   1. *Determinism.* ParallelFor splits [0, total) into contiguous chunks
+///      and assigns chunk c to slot c % num_threads(), always. The set of
+///      indices a slot processes — and the order it processes them in —
+///      depends only on (total, min_chunk, num_threads()), never on thread
+///      scheduling. Callers that keep per-slot state (evaluators, counters)
+///      therefore see reproducible per-slot streams, and any result written
+///      by index is bit-identical to a serial run.
+///   2. *No work stealing.* Stealing would break (1); the chunk count is
+///      oversubscribed (several chunks per slot, round-robin) so moderately
+///      skewed workloads still balance.
+///   3. *Zero overhead at num_threads == 1.* A pool of one slot spawns no
+///      worker threads and ParallelFor degenerates to an inline loop with no
+///      locking — the exact legacy serial path.
+///
+/// The calling thread participates as slot 0, so a pool of T slots owns
+/// T - 1 worker threads. ParallelFor is fork/join and not reentrant: one
+/// loop at a time per pool (nested or concurrent calls from multiple
+/// threads are programmer error).
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` slots (0 means hardware
+  /// concurrency). Spawns num_threads - 1 workers, parked until work
+  /// arrives.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return num_slots_; }
+
+  /// Runs `body(slot, begin, end)` over a chunked partition of [0, total).
+  /// `slot` is in [0, num_threads()); each slot's chunks are disjoint and
+  /// processed in ascending order. `min_chunk` is the smallest chunk the
+  /// split will produce (amortizes per-chunk dispatch for cheap bodies).
+  /// Blocks until every chunk has run.
+  void ParallelFor(size_t total, size_t min_chunk,
+                   const std::function<void(size_t slot, size_t begin,
+                                            size_t end)>& body);
+
+ private:
+  void WorkerLoop(size_t slot);
+
+  /// Runs slot `slot`'s stripe of the current job: chunks slot, slot + T,
+  /// slot + 2T, ...
+  void RunSlot(size_t slot) const;
+
+  size_t num_slots_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  uint64_t epoch_ = 0;     // Bumped per ParallelFor; wakes workers.
+  size_t remaining_ = 0;   // Workers still running the current epoch.
+  bool shutdown_ = false;
+
+  // Current job, valid while remaining_ > 0 or the caller is inside
+  // ParallelFor.
+  size_t job_total_ = 0;
+  size_t job_chunk_ = 1;
+  size_t job_num_chunks_ = 0;
+  const std::function<void(size_t, size_t, size_t)>* job_body_ = nullptr;
+};
+
+/// Serial-fallback convenience: `pool == nullptr` runs the whole range
+/// inline as slot 0 (no pool required for the num_threads == 1 path).
+void ParallelFor(ThreadPool* pool, size_t total, size_t min_chunk,
+                 const std::function<void(size_t slot, size_t begin,
+                                          size_t end)>& body);
+
+}  // namespace tkdc
+
+#endif  // TKDC_COMMON_PARALLEL_H_

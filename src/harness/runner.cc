@@ -66,4 +66,64 @@ RunResult RunClassifier(DensityClassifier& classifier, const Dataset& data,
   return result;
 }
 
+Dataset MakeQuerySubset(const Dataset& data, size_t max_queries) {
+  TKDC_CHECK(!data.empty());
+  const size_t n = data.size();
+  const size_t count = std::min(max_queries, n);
+  const size_t stride = std::max<size_t>(1, n / count);
+  Dataset queries(data.dims());
+  queries.Reserve(count);
+  size_t i = 0;
+  for (size_t taken = 0; taken < count; ++taken, i = (i + stride) % n) {
+    queries.AppendRow(data.Row(i));
+  }
+  return queries;
+}
+
+RunResult RunClassifierBatch(DensityClassifier& classifier,
+                             const Dataset& data, const RunOptions& options) {
+  TKDC_CHECK(!data.empty());
+  RunResult result;
+  result.algorithm = classifier.name();
+  result.dataset_size = data.size();
+  result.dims = data.dims();
+
+  WallTimer timer;
+  classifier.Train(data);
+  result.train_seconds = timer.ElapsedSeconds();
+  result.threshold = classifier.threshold();
+  result.kernel_evals_train = classifier.kernel_evaluations();
+
+  const Dataset queries = MakeQuerySubset(data, options.max_queries);
+  timer.Restart();
+  const std::vector<Classification> labels =
+      classifier.ClassifyTrainingBatch(queries);
+  result.query_seconds = timer.ElapsedSeconds();
+  result.queries_measured = labels.size();
+  result.per_query_seconds =
+      result.query_seconds / static_cast<double>(labels.size());
+  result.kernel_evals_query =
+      classifier.kernel_evaluations() - result.kernel_evals_train;
+  result.kernel_evals_per_query =
+      static_cast<double>(result.kernel_evals_query) /
+      static_cast<double>(labels.size());
+  size_t high = 0;
+  for (const Classification label : labels) {
+    if (label == Classification::kHigh) ++high;
+  }
+  result.high_fraction =
+      static_cast<double>(high) / static_cast<double>(labels.size());
+
+  const size_t n = data.size();
+  const double total_seconds =
+      result.train_seconds +
+      result.per_query_seconds * static_cast<double>(n);
+  result.amortized_throughput =
+      total_seconds > 0.0 ? static_cast<double>(n) / total_seconds : 0.0;
+  result.query_throughput = result.per_query_seconds > 0.0
+                                ? 1.0 / result.per_query_seconds
+                                : 0.0;
+  return result;
+}
+
 }  // namespace tkdc

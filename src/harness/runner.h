@@ -35,6 +35,9 @@ struct RunResult {
   double threshold = 0.0;
   /// Fraction of measured queries classified HIGH.
   double high_fraction = 0.0;
+  /// Worker threads the measurement ran with (1 for the serial per-point
+  /// path; filled by RunClassifierBatch callers that vary it).
+  size_t threads = 1;
 };
 
 /// Measurement knobs.
@@ -50,6 +53,20 @@ struct RunOptions {
 /// round-robin from the dataset under the measurement budget.
 RunResult RunClassifier(DensityClassifier& classifier, const Dataset& data,
                         const RunOptions& options);
+
+/// The strided query subset RunClassifier walks (up to max_queries rows
+/// covering the whole dataset), materialized as a Dataset for the batch
+/// APIs. Exposed so benches can time ClassifyTrainingBatch on exactly the
+/// workload the serial runner measures.
+Dataset MakeQuerySubset(const Dataset& data, size_t max_queries);
+
+/// Batch-mode counterpart of RunClassifier: trains, then classifies the
+/// strided query subset in ONE ClassifyTrainingBatch call so classifiers
+/// with a parallel engine fan the rows across their worker pool. The whole
+/// batch is timed (no budget extrapolation), and `result.threads` is left
+/// at 1 for the caller to fill with the classifier's thread count.
+RunResult RunClassifierBatch(DensityClassifier& classifier,
+                             const Dataset& data, const RunOptions& options);
 
 }  // namespace tkdc
 

@@ -37,9 +37,12 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
     } else if (std::strncmp(arg, "--budget=", 9) == 0) {
       args.budget_seconds = std::atof(arg + 9);
       TKDC_CHECK_MSG(args.budget_seconds > 0.0, "--budget must be positive");
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      args.threads = static_cast<size_t>(std::atoll(arg + 10));
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--scale=F] [--seed=N] [--budget=SECONDS]\n",
+                   "usage: %s [--scale=F] [--seed=N] [--budget=SECONDS] "
+                   "[--threads=N]\n",
                    argv[0]);
       std::exit(2);
     }

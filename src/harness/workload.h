@@ -28,10 +28,13 @@ struct Workload {
 ///   --scale=<float>     multiply default workload sizes
 ///   --seed=<int>        RNG seed
 ///   --budget=<seconds>  per-measurement query time budget
+///   --threads=<int>     worker threads for batch-capable algorithms
+///                       (0 = hardware concurrency, 1 = serial)
 struct BenchArgs {
   double scale = 1.0;
   uint64_t seed = 42;
   double budget_seconds = 1.5;
+  size_t threads = 0;
 
   /// Parses argv; unknown flags abort with a usage message.
   static BenchArgs Parse(int argc, char** argv);

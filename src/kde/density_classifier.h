@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "data/dataset.h"
 
@@ -43,6 +44,31 @@ class DensityClassifier {
   /// workload (scoring the dataset against itself); Classify() is for
   /// fresh query points.
   virtual Classification ClassifyTraining(std::span<const double> x) = 0;
+
+  /// Classifies every row of `queries`, returning one label per row in row
+  /// order. The default is a serial loop over Classify(); implementations
+  /// with a parallel engine (TkdcClassifier) override it to fan the rows
+  /// across worker threads while producing bit-identical labels.
+  virtual std::vector<Classification> ClassifyBatch(const Dataset& queries) {
+    std::vector<Classification> labels;
+    labels.reserve(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      labels.push_back(Classify(queries.Row(i)));
+    }
+    return labels;
+  }
+
+  /// Batch counterpart of ClassifyTraining() (self-corrected densities);
+  /// same contract as ClassifyBatch.
+  virtual std::vector<Classification> ClassifyTrainingBatch(
+      const Dataset& queries) {
+    std::vector<Classification> labels;
+    labels.reserve(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      labels.push_back(ClassifyTraining(queries.Row(i)));
+    }
+    return labels;
+  }
 
   /// Point estimate of the density at `x` (midpoint of bounds for bounded
   /// algorithms). Used by the accuracy experiments.

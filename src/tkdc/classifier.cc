@@ -14,6 +14,10 @@ namespace {
 // check of Section 3.6 fires (probability <= delta).
 constexpr int kMaxThresholdRetries = 5;
 
+// Smallest contiguous run of rows a worker grabs at once: BoundDensity on
+// an easy query is sub-microsecond, so amortize the per-chunk dispatch.
+constexpr size_t kMinRowsPerChunk = 16;
+
 }  // namespace
 
 TkdcClassifier::TkdcClassifier(TkdcConfig config)
@@ -21,32 +25,84 @@ TkdcClassifier::TkdcClassifier(TkdcConfig config)
   config_.Validate();
 }
 
+ThreadPool* TkdcClassifier::pool() {
+  const size_t want = num_threads();
+  if (want <= 1) {
+    pool_.reset();
+    return nullptr;
+  }
+  if (pool_ == nullptr || pool_->num_threads() != want) {
+    pool_ = std::make_unique<ThreadPool>(want);
+  }
+  return pool_.get();
+}
+
+void TkdcClassifier::SetNumThreads(size_t num_threads) {
+  config_.num_threads = num_threads;
+  config_.Validate();
+  pool_.reset();  // Lazily rebuilt at the new size on next batch call.
+}
+
+double TkdcClassifier::TrainingDensityForRow(
+    DensityBoundEvaluator& evaluator, std::span<const double> x, double lo,
+    double hi, double grid_cut, double tolerance,
+    uint64_t* grid_prunes) const {
+  if (grid_ != nullptr) {
+    const double grid_bound = grid_->DensityLowerBound(x) - self_contribution_;
+    if (grid_bound > grid_cut) {
+      // Certified above the band: the exact value is irrelevant to the
+      // p-quantile as long as it stays on the high side.
+      ++*grid_prunes;
+      return grid_bound;
+    }
+  }
+  const DensityBounds bounds = evaluator.BoundDensity(
+      x, lo + self_contribution_, hi + self_contribution_, tolerance);
+  return bounds.Midpoint() - self_contribution_;
+}
+
 std::vector<double> TkdcClassifier::ComputeTrainingDensities(
     const Dataset& data, double lo, double hi) {
-  std::vector<double> densities;
-  densities.reserve(data.size());
   // lo/hi bound the *self-corrected* quantile t(p) (Eq. 1), while the
   // traversal bounds *raw* densities; shift by K(0)/n to compare in the
   // same space, but keep the tolerance target at eps * lo so corrected
   // densities near the threshold are resolved to eps * t.
   const double grid_cut = hi * (1.0 + config_.epsilon);
   const double tolerance = config_.epsilon * lo;
-  for (size_t i = 0; i < data.size(); ++i) {
-    const auto x = data.Row(i);
-    if (grid_ != nullptr) {
-      const double grid_bound =
-          grid_->DensityLowerBound(x) - self_contribution_;
-      if (grid_bound > grid_cut) {
-        // Certified above the band: the exact value is irrelevant to the
-        // p-quantile as long as it stays on the high side.
-        densities.push_back(grid_bound);
-        ++grid_prunes_;
-        continue;
-      }
+  std::vector<double> densities(data.size());
+
+  ThreadPool* workers = pool();
+  if (workers == nullptr) {
+    // Serial legacy path: one evaluator, stats accumulate in place.
+    for (size_t i = 0; i < data.size(); ++i) {
+      densities[i] = TrainingDensityForRow(*evaluator_, data.Row(i), lo, hi,
+                                           grid_cut, tolerance, &grid_prunes_);
     }
-    const DensityBounds bounds = evaluator_->BoundDensity(
-        x, lo + self_contribution_, hi + self_contribution_, tolerance);
-    densities.push_back(bounds.Midpoint() - self_contribution_);
+    return densities;
+  }
+
+  // Parallel path: every slot owns a private evaluator clone and a private
+  // prune counter; rows land in `densities` by index. Each row's density
+  // depends only on the row itself, so the values are bit-identical to the
+  // serial loop's; merging the counters afterwards makes the totals match
+  // too (sums are order-insensitive).
+  const size_t slots = workers->num_threads();
+  std::vector<DensityBoundEvaluator> evaluators;
+  evaluators.reserve(slots);
+  for (size_t s = 0; s < slots; ++s) evaluators.push_back(evaluator_->Clone());
+  std::vector<uint64_t> prunes(slots, 0);
+  workers->ParallelFor(
+      data.size(), kMinRowsPerChunk,
+      [&](size_t slot, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          densities[i] =
+              TrainingDensityForRow(evaluators[slot], data.Row(i), lo, hi,
+                                    grid_cut, tolerance, &prunes[slot]);
+        }
+      });
+  for (size_t s = 0; s < slots; ++s) {
+    evaluator_->MergeStats(evaluators[s].stats());
+    grid_prunes_ += prunes[s];
   }
   return densities;
 }
@@ -104,36 +160,93 @@ void TkdcClassifier::Train(const Dataset& data) {
     threshold_lower_ = lo;
     threshold_upper_ = hi;
   }
+  // Snapshot the Phase 3 work into its own bucket and reset the live
+  // evaluator, so the live counters cover post-training queries only (see
+  // the work-accounting contract in the header: the three buckets are
+  // disjoint and totals never double count).
   training_stats_ = evaluator_->stats();
   evaluator_->ResetStats();
 }
 
-Classification TkdcClassifier::Classify(std::span<const double> x) {
-  TKDC_CHECK_MSG(trained(), "Classify called before Train");
-  if (grid_ != nullptr && grid_->DensityLowerBound(x) > threshold_) {
-    ++grid_prunes_;
+Classification TkdcClassifier::ClassifyWith(DensityBoundEvaluator& evaluator,
+                                            std::span<const double> x,
+                                            bool training,
+                                            uint64_t* grid_prunes) const {
+  // For training points the corrected comparison f(x) - K(0)/n > t is
+  // equivalent to comparing the raw density against the shifted threshold
+  // t + K(0)/n, so the pruning band simply shifts; the tolerance target
+  // stays eps * t in corrected units.
+  const double cut =
+      training ? threshold_ + self_contribution_ : threshold_;
+  if (grid_ != nullptr && grid_->DensityLowerBound(x) > cut) {
+    ++*grid_prunes;
     return Classification::kHigh;
   }
   const DensityBounds bounds =
-      evaluator_->BoundDensity(x, threshold_, threshold_);
-  return bounds.Midpoint() > threshold_ ? Classification::kHigh
-                                        : Classification::kLow;
+      training
+          ? evaluator.BoundDensity(x, cut, cut, config_.epsilon * threshold_)
+          : evaluator.BoundDensity(x, cut, cut);
+  return bounds.Midpoint() > cut ? Classification::kHigh
+                                 : Classification::kLow;
+}
+
+Classification TkdcClassifier::Classify(std::span<const double> x) {
+  TKDC_CHECK_MSG(trained(), "Classify called before Train");
+  return ClassifyWith(*evaluator_, x, /*training=*/false, &grid_prunes_);
 }
 
 Classification TkdcClassifier::ClassifyTraining(std::span<const double> x) {
   TKDC_CHECK_MSG(trained(), "ClassifyTraining called before Train");
-  // Corrected comparison f(x) - K(0)/n > t is equivalent to comparing the
-  // raw density against the shifted threshold t + K(0)/n, so the pruning
-  // band simply shifts.
-  const double shifted = threshold_ + self_contribution_;
-  if (grid_ != nullptr && grid_->DensityLowerBound(x) > shifted) {
-    ++grid_prunes_;
-    return Classification::kHigh;
+  return ClassifyWith(*evaluator_, x, /*training=*/true, &grid_prunes_);
+}
+
+std::vector<Classification> TkdcClassifier::ClassifyBatchImpl(
+    const Dataset& queries, bool training) {
+  TKDC_CHECK_MSG(trained(), "ClassifyBatch called before Train");
+  TKDC_CHECK_MSG(queries.dims() == tree_->dims(),
+                 "query dimensionality does not match the trained model");
+  std::vector<Classification> labels(queries.size());
+
+  ThreadPool* workers = pool();
+  if (workers == nullptr) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      labels[i] =
+          ClassifyWith(*evaluator_, queries.Row(i), training, &grid_prunes_);
+    }
+    return labels;
   }
-  const DensityBounds bounds = evaluator_->BoundDensity(
-      x, shifted, shifted, config_.epsilon * threshold_);
-  return bounds.Midpoint() > shifted ? Classification::kHigh
-                                     : Classification::kLow;
+
+  const size_t slots = workers->num_threads();
+  std::vector<DensityBoundEvaluator> evaluators;
+  evaluators.reserve(slots);
+  for (size_t s = 0; s < slots; ++s) evaluators.push_back(evaluator_->Clone());
+  std::vector<uint64_t> prunes(slots, 0);
+  workers->ParallelFor(
+      queries.size(), kMinRowsPerChunk,
+      [&](size_t slot, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          labels[i] = ClassifyWith(evaluators[slot], queries.Row(i), training,
+                                   &prunes[slot]);
+        }
+      });
+  // Fold worker counters into the live evaluator: the work-accounting
+  // buckets (and thus kernel_evaluations()/traversal_stats()) read the
+  // same whether the batch ran serial or parallel.
+  for (size_t s = 0; s < slots; ++s) {
+    evaluator_->MergeStats(evaluators[s].stats());
+    grid_prunes_ += prunes[s];
+  }
+  return labels;
+}
+
+std::vector<Classification> TkdcClassifier::ClassifyBatch(
+    const Dataset& queries) {
+  return ClassifyBatchImpl(queries, /*training=*/false);
+}
+
+std::vector<Classification> TkdcClassifier::ClassifyTrainingBatch(
+    const Dataset& queries) {
+  return ClassifyBatchImpl(queries, /*training=*/true);
 }
 
 double TkdcClassifier::EstimateDensity(std::span<const double> x) {
@@ -146,17 +259,21 @@ double TkdcClassifier::threshold() const {
   return threshold_;
 }
 
+const TraversalStats& TkdcClassifier::query_stats() const {
+  static const TraversalStats kEmpty;
+  return evaluator_ != nullptr ? evaluator_->stats() : kEmpty;
+}
+
 uint64_t TkdcClassifier::kernel_evaluations() const {
-  uint64_t total = bootstrap_result_.stats.kernel_evaluations +
-                   training_stats_.kernel_evaluations;
-  if (evaluator_ != nullptr) total += evaluator_->stats().kernel_evaluations;
-  return total;
+  return bootstrap_result_.stats.kernel_evaluations +
+         training_stats_.kernel_evaluations +
+         query_stats().kernel_evaluations;
 }
 
 TraversalStats TkdcClassifier::traversal_stats() const {
   TraversalStats stats = bootstrap_result_.stats;
   stats.Add(training_stats_);
-  if (evaluator_ != nullptr) stats.Add(evaluator_->stats());
+  stats.Add(query_stats());
   return stats;
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "data/dataset.h"
 #include "index/kdtree.h"
 #include "kde/density_classifier.h"
@@ -23,6 +24,17 @@ namespace tkdc {
 /// the quantile threshold t~(p), and optionally builds the grid cache.
 /// Classify() then bounds a query's density just far enough to place it
 /// above or below t~(p).
+///
+/// Threading model (see DESIGN.md § "Threading model"): the training-
+/// density pass and the ClassifyBatch / ClassifyTrainingBatch APIs fan
+/// points across a lazily built worker pool of config.num_threads slots
+/// (0 = hardware concurrency, 1 = exact legacy serial path with no pool).
+/// Every worker owns a private DensityBoundEvaluator clone; results are
+/// written by row index and per-worker counters are merged afterwards, so
+/// thresholds, densities, and labels are bit-identical for every thread
+/// count. Per-point Classify()/ClassifyTraining()/EstimateDensity() and
+/// Train() itself must not be called concurrently — the classifier is
+/// externally single-threaded; parallelism lives inside the batch calls.
 class TkdcClassifier : public DensityClassifier {
  public:
   explicit TkdcClassifier(TkdcConfig config = TkdcConfig());
@@ -31,12 +43,24 @@ class TkdcClassifier : public DensityClassifier {
   void Train(const Dataset& data) override;
   Classification Classify(std::span<const double> x) override;
   Classification ClassifyTraining(std::span<const double> x) override;
+  std::vector<Classification> ClassifyBatch(const Dataset& queries) override;
+  std::vector<Classification> ClassifyTrainingBatch(
+      const Dataset& queries) override;
   double EstimateDensity(std::span<const double> x) override;
   double threshold() const override;
   uint64_t kernel_evaluations() const override;
 
   const TkdcConfig& config() const { return config_; }
   bool trained() const { return tree_ != nullptr; }
+
+  /// Worker count the batch paths will use (config.num_threads with 0
+  /// resolved to hardware concurrency).
+  size_t num_threads() const { return config_.ResolvedNumThreads(); }
+
+  /// Re-sizes the worker pool without retraining (0 = hardware
+  /// concurrency). Purely a wall-clock knob: the determinism guarantee
+  /// makes results identical at any setting.
+  void SetNumThreads(size_t num_threads);
 
   /// Probabilistic bounds on t(p) from the bootstrap.
   double threshold_lower() const { return threshold_lower_; }
@@ -53,7 +77,28 @@ class TkdcClassifier : public DensityClassifier {
     return bootstrap_result_;
   }
 
-  /// Cumulative traversal work (training + queries, including bootstrap).
+  // --- Work accounting -------------------------------------------------
+  // Traversal work is kept in three disjoint buckets so totals can never
+  // double count:
+  //   1. bootstrap_result().stats — Algorithm 3 (its own evaluators);
+  //   2. training_stats()         — the Phase 3 training-density pass,
+  //      snapshotted by Train() from the live evaluator, which is then
+  //      reset;
+  //   3. the live evaluator       — every post-training query. Serial
+  //      Classify* calls accumulate here directly; the batch paths run on
+  //      per-worker clones and merge the clones' counters back into the
+  //      live evaluator, so batch and serial agree exactly.
+  // traversal_stats() and kernel_evaluations() report 1 + 2 + 3. Reading
+  // them never mutates anything, so repeated reads are stable.
+
+  /// Work of the Phase 3 training-density pass alone (bucket 2).
+  const TraversalStats& training_stats() const { return training_stats_; }
+
+  /// Work of every query answered since Train() (bucket 3).
+  const TraversalStats& query_stats() const;
+
+  /// Cumulative traversal work: bootstrap + training + post-training
+  /// queries (buckets 1 + 2 + 3 above).
   TraversalStats traversal_stats() const;
 
   /// Queries answered by the grid cache without touching the tree.
@@ -84,15 +129,40 @@ class TkdcClassifier : public DensityClassifier {
   // threshold, and self-contribution.
   friend class DualTreeClassifier;
 
-  /// Computes Dx for all training rows under bounds [lo, hi].
+  /// Computes Dx for all training rows under bounds [lo, hi], fanning rows
+  /// across the pool when one is configured.
   std::vector<double> ComputeTrainingDensities(const Dataset& data, double lo,
                                                double hi);
+
+  /// The single classification kernel both serial and parallel paths run:
+  /// grid probe, then BoundDensity on `evaluator`, against the trained
+  /// threshold (`training` selects the self-corrected comparison). Grid
+  /// hits bump `*grid_prunes` — a pointer so workers count into private
+  /// slots.
+  Classification ClassifyWith(DensityBoundEvaluator& evaluator,
+                              std::span<const double> x, bool training,
+                              uint64_t* grid_prunes) const;
+
+  /// One training row of the Phase 3 pass; shared by the serial and
+  /// parallel ComputeTrainingDensities paths.
+  double TrainingDensityForRow(DensityBoundEvaluator& evaluator,
+                               std::span<const double> x, double lo,
+                               double hi, double grid_cut, double tolerance,
+                               uint64_t* grid_prunes) const;
+
+  std::vector<Classification> ClassifyBatchImpl(const Dataset& queries,
+                                                bool training);
+
+  /// The pool sized to num_threads(), built on first use; nullptr when
+  /// num_threads() == 1 (serial legacy path).
+  ThreadPool* pool();
 
   TkdcConfig config_;
   std::unique_ptr<Kernel> kernel_;
   std::unique_ptr<KdTree> tree_;
   std::unique_ptr<GridCache> grid_;
   std::unique_ptr<DensityBoundEvaluator> evaluator_;
+  std::unique_ptr<ThreadPool> pool_;
   ThresholdBootstrapResult bootstrap_result_;
   std::vector<double> training_densities_;
   double threshold_lower_ = 0.0;

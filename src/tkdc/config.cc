@@ -1,6 +1,7 @@
 #include "tkdc/config.h"
 
 #include "common/macros.h"
+#include "common/parallel.h"
 
 namespace tkdc {
 
@@ -15,6 +16,11 @@ void TkdcConfig::Validate() const {
   TKDC_CHECK_MSG(h_backoff > 1.0, "h_backoff must be > 1");
   TKDC_CHECK_MSG(h_buffer >= 1.0, "h_buffer must be >= 1");
   TKDC_CHECK_MSG(h_growth > 1.0, "h_growth must be > 1");
+  TKDC_CHECK_MSG(num_threads <= 4096, "num_threads out of range");
+}
+
+size_t TkdcConfig::ResolvedNumThreads() const {
+  return num_threads == 0 ? HardwareConcurrency() : num_threads;
 }
 
 std::string TkdcConfig::OptimizationSummary() const {

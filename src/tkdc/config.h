@@ -61,8 +61,22 @@ struct TkdcConfig {
   /// Seed for the bootstrap's subsampling.
   uint64_t seed = 0;
 
+  // --- Execution (beyond the paper) ---
+  /// Worker threads for the training-density pass and the batch query
+  /// APIs (`ClassifyBatch` / `ClassifyTrainingBatch`). 0 = hardware
+  /// concurrency; 1 = the exact legacy serial path (no pool, no worker
+  /// threads). Results are bit-identical regardless of the value — each
+  /// point's densities are computed independently and only the (order-
+  /// insensitive) stats aggregation differs — so this is purely a
+  /// wall-clock knob. Per-point Classify()/ClassifyTraining() calls are
+  /// always serial.
+  size_t num_threads = 0;
+
   /// CHECK-fails with a message if any field is out of range.
   void Validate() const;
+
+  /// `num_threads` with 0 resolved to the hardware concurrency.
+  size_t ResolvedNumThreads() const;
 
   /// One-line human-readable summary of the switch settings.
   std::string OptimizationSummary() const;

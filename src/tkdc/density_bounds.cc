@@ -20,6 +20,10 @@ DensityBoundEvaluator::DensityBoundEvaluator(const KdTree* tree,
   TKDC_CHECK(tree != nullptr && kernel != nullptr && config != nullptr);
   TKDC_CHECK(tree->dims() == kernel->dims());
   inv_n_ = 1.0 / static_cast<double>(tree->size());
+  // Pre-size the traversal heap so even the first queries run
+  // allocation-free; 2 entries per level of a balanced tree plus slack
+  // covers typical frontiers, and the buffer only ever grows.
+  queue_.reserve(64);
 }
 
 DensityBoundEvaluator::QueueEntry DensityBoundEvaluator::MakeEntry(

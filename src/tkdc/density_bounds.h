@@ -51,10 +51,29 @@ struct TraversalStats {
 ///
 /// The evaluator borrows the tree, kernel, and config; all three must
 /// outlive it.
+///
+/// Threading model: an evaluator is NOT thread-safe — `stats_` and the
+/// traversal heap `queue_` are per-query mutable state — but it is cheap to
+/// Clone(), and clones share only the immutable tree/kernel/config. Batch
+/// drivers give every worker its own clone and fold the counters back with
+/// MergeStats() (TraversalStats::Add is commutative and associative, so the
+/// merge order cannot change totals). The heap storage is a persistent
+/// per-evaluator scratch buffer: BoundDensity clears it but keeps its
+/// capacity, so steady-state queries allocate nothing, serial or parallel.
 class DensityBoundEvaluator {
  public:
   DensityBoundEvaluator(const KdTree* tree, const Kernel* kernel,
                         const TkdcConfig* config);
+
+  /// A fresh evaluator over the same (shared, immutable) tree, kernel, and
+  /// config, with zeroed stats and its own scratch buffer. This is the
+  /// per-worker construction used by the parallel batch paths.
+  DensityBoundEvaluator Clone() const {
+    return DensityBoundEvaluator(tree_, kernel_, config_);
+  }
+
+  /// Folds another evaluator's counters into this one (order-insensitive).
+  void MergeStats(const TraversalStats& other) { stats_.Add(other); }
 
   /// Bounds the density of `x` given current threshold bounds
   /// [t_lo, t_hi]. Pass t_lo = 0 and t_hi = +infinity to disable the
@@ -134,7 +153,9 @@ class DensityBoundEvaluator {
   const TkdcConfig* config_;
   double inv_n_;
   TraversalStats stats_;
-  std::vector<QueueEntry> queue_;  // Binary heap via std::push/pop_heap.
+  /// Binary heap via std::push/pop_heap. Reused across queries: cleared,
+  /// never shrunk, so per-query heap allocations vanish after warm-up.
+  std::vector<QueueEntry> queue_;
 };
 
 }  // namespace tkdc

@@ -1,0 +1,148 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tkdc {
+namespace {
+
+TEST(ParallelTest, HardwareConcurrencyAtLeastOne) {
+  EXPECT_GE(HardwareConcurrency(), 1u);
+}
+
+TEST(ParallelTest, ZeroThreadsResolvesToHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), HardwareConcurrency());
+}
+
+TEST(ParallelTest, CoversEveryIndexExactlyOnce) {
+  for (const size_t threads : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    for (const size_t total : {0u, 1u, 7u, 64u, 1000u}) {
+      std::vector<std::atomic<int>> hits(total);
+      for (auto& h : hits) h.store(0);
+      pool.ParallelFor(total, 1, [&](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+      for (size_t i = 0; i < total; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelTest, SlotAssignmentIsDeterministic) {
+  // Chunk c always goes to slot c % T: repeated runs must give every index
+  // the same slot, independent of scheduling.
+  ThreadPool pool(4);
+  const size_t total = 777;
+  std::vector<size_t> first(total, 0), second(total, 0);
+  auto record = [&](std::vector<size_t>& out) {
+    pool.ParallelFor(total, 1, [&](size_t slot, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) out[i] = slot;
+    });
+  };
+  record(first);
+  record(second);
+  EXPECT_EQ(first, second);
+  // All slots participate on a range this size.
+  std::vector<bool> seen(4, false);
+  for (size_t slot : first) seen[slot] = true;
+  for (size_t s = 0; s < 4; ++s) EXPECT_TRUE(seen[s]) << "slot " << s;
+}
+
+TEST(ParallelTest, SlotsAreWithinRangeAndChunksAscendingPerSlot) {
+  ThreadPool pool(3);
+  std::mutex mutex;
+  std::vector<std::vector<size_t>> begins_per_slot(3);
+  pool.ParallelFor(500, 1, [&](size_t slot, size_t begin, size_t end) {
+    ASSERT_LT(slot, 3u);
+    ASSERT_LT(begin, end);
+    std::lock_guard<std::mutex> lock(mutex);
+    begins_per_slot[slot].push_back(begin);
+  });
+  for (const auto& begins : begins_per_slot) {
+    for (size_t i = 1; i < begins.size(); ++i) {
+      EXPECT_GT(begins[i], begins[i - 1]);  // Ascending within a slot.
+    }
+  }
+}
+
+TEST(ParallelTest, MinChunkIsRespected) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::vector<size_t> chunk_sizes;
+  const size_t total = 1000;
+  const size_t min_chunk = 300;
+  pool.ParallelFor(total, min_chunk,
+                   [&](size_t, size_t begin, size_t end) {
+                     std::lock_guard<std::mutex> lock(mutex);
+                     chunk_sizes.push_back(end - begin);
+                   });
+  // Chunks finish (and are recorded) in scheduling order, so only the
+  // counts are deterministic: at most one ragged chunk below min_chunk,
+  // and the sizes add back up to the range.
+  size_t sum = 0;
+  size_t below_min = 0;
+  for (const size_t size : chunk_sizes) {
+    sum += size;
+    if (size < min_chunk) ++below_min;
+  }
+  EXPECT_EQ(sum, total);
+  EXPECT_LE(below_min, 1u);
+}
+
+TEST(ParallelTest, ReusableAcrossManyLoops) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(97, 1, [&](size_t, size_t begin, size_t end) {
+      total.fetch_add(end - begin);
+    });
+  }
+  EXPECT_EQ(total.load(), 200u * 97u);
+}
+
+TEST(ParallelTest, ParallelSumMatchesSerial) {
+  const size_t total = 100'000;
+  ThreadPool pool(8);
+  std::vector<uint64_t> partial(pool.num_threads(), 0);
+  pool.ParallelFor(total, 1, [&](size_t slot, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) partial[slot] += i;
+  });
+  const uint64_t sum =
+      std::accumulate(partial.begin(), partial.end(), uint64_t{0});
+  EXPECT_EQ(sum, static_cast<uint64_t>(total) * (total - 1) / 2);
+}
+
+TEST(ParallelTest, NullPoolFallbackRunsInline) {
+  std::vector<int> hits(100, 0);
+  size_t calls = 0;
+  ParallelFor(nullptr, hits.size(), 1,
+              [&](size_t slot, size_t begin, size_t end) {
+                EXPECT_EQ(slot, 0u);
+                ++calls;
+                for (size_t i = begin; i < end; ++i) hits[i] = 1;
+              });
+  EXPECT_EQ(calls, 1u);  // Whole range in one inline call.
+  for (int h : hits) EXPECT_EQ(h, 1);
+  // Zero-length range: body never invoked.
+  ParallelFor(nullptr, 0, 1,
+              [&](size_t, size_t, size_t) { FAIL() << "empty range ran"; });
+}
+
+TEST(ParallelTest, SingleSlotPoolRunsOnCallerThread) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.ParallelFor(50, 1, [&](size_t slot, size_t, size_t) {
+    EXPECT_EQ(slot, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+}  // namespace
+}  // namespace tkdc

@@ -149,6 +149,81 @@ TEST(TkdcClassifierTest, DeterministicAcrossRuns) {
   }
 }
 
+TEST(TkdcClassifierTest, StatsBucketsAreDisjointAndNeverDoubleCount) {
+  // The work-accounting contract (classifier.h): totals are the sum of
+  // three DISJOINT buckets — bootstrap + training pass + post-training
+  // queries. Train() snapshots the live evaluator into training_stats()
+  // and resets it, so nothing is counted twice, and reading the accessors
+  // never mutates the counters.
+  TkdcClassifier classifier;
+  classifier.Train(Gauss2d(1500, 20));
+
+  // Immediately after Train the query bucket is empty: the total is
+  // exactly bootstrap + training.
+  EXPECT_EQ(classifier.query_stats().kernel_evaluations, 0u);
+  EXPECT_EQ(classifier.query_stats().queries, 0u);
+  const uint64_t bootstrap_evals =
+      classifier.bootstrap_result().stats.kernel_evaluations;
+  const uint64_t training_evals =
+      classifier.training_stats().kernel_evaluations;
+  EXPECT_GT(bootstrap_evals, 0u);
+  EXPECT_GT(training_evals, 0u);
+  EXPECT_EQ(classifier.kernel_evaluations(), bootstrap_evals + training_evals);
+
+  // Reading the accessors repeatedly is stable (no accumulate-on-read).
+  EXPECT_EQ(classifier.kernel_evaluations(), bootstrap_evals + training_evals);
+  EXPECT_EQ(classifier.traversal_stats().kernel_evaluations,
+            classifier.kernel_evaluations());
+
+  // Each query adds only its own work, and the same query costs the same
+  // both times (the traversal is stateless across queries). A fringe point
+  // so the grid cache cannot answer it without touching the evaluator.
+  const std::vector<double> q{3.5, -3.5};
+  const uint64_t before = classifier.kernel_evaluations();
+  classifier.Classify(q);
+  const uint64_t first_delta = classifier.kernel_evaluations() - before;
+  classifier.Classify(q);
+  const uint64_t second_delta =
+      classifier.kernel_evaluations() - before - first_delta;
+  EXPECT_EQ(first_delta, second_delta);
+  EXPECT_EQ(classifier.query_stats().queries, 2u);
+  // Bootstrap/training buckets are frozen after Train.
+  EXPECT_EQ(classifier.bootstrap_result().stats.kernel_evaluations,
+            bootstrap_evals);
+  EXPECT_EQ(classifier.training_stats().kernel_evaluations, training_evals);
+}
+
+TEST(TkdcClassifierTest, BatchStatsMergeMatchesSerialAccumulation) {
+  // Batch classification on worker clones must land the same counters in
+  // the query bucket as per-point serial calls over the same rows.
+  const Dataset data = Gauss2d(1500, 21);
+  const Dataset queries = data.Head(300);
+
+  TkdcConfig serial_config;
+  serial_config.num_threads = 1;
+  TkdcClassifier serial(serial_config);
+  serial.Train(data);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    serial.ClassifyTraining(queries.Row(i));
+  }
+
+  TkdcConfig parallel_config;
+  parallel_config.num_threads = 4;
+  TkdcClassifier parallel(parallel_config);
+  parallel.Train(data);
+  parallel.ClassifyTrainingBatch(queries);
+
+  EXPECT_EQ(serial.query_stats().kernel_evaluations,
+            parallel.query_stats().kernel_evaluations);
+  EXPECT_EQ(serial.query_stats().nodes_expanded,
+            parallel.query_stats().nodes_expanded);
+  EXPECT_EQ(serial.query_stats().leaf_points_evaluated,
+            parallel.query_stats().leaf_points_evaluated);
+  EXPECT_EQ(serial.query_stats().queries, parallel.query_stats().queries);
+  EXPECT_EQ(serial.grid_prunes(), parallel.grid_prunes());
+  EXPECT_EQ(serial.kernel_evaluations(), parallel.kernel_evaluations());
+}
+
 TEST(TkdcClassifierTest, KernelEvaluationCountsGrow) {
   TkdcClassifier classifier;
   classifier.Train(Gauss2d(1000, 12));

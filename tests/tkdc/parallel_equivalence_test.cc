@@ -1,0 +1,158 @@
+// Serial-vs-parallel equivalence for the batch query engine: training and
+// batch classification must be BIT-identical for every thread count —
+// thresholds, bootstrap bounds, per-row training densities, labels, and
+// (because TraversalStats::Add is order-insensitive) the merged work
+// counters. This is the determinism guarantee of DESIGN.md § "Threading
+// model", and the test the TSan build runs to certify the engine race-free
+// (see README / EXPERIMENTS.md for the TKDC_SANITIZE=thread invocation).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "tkdc/classifier.h"
+
+namespace tkdc {
+namespace {
+
+constexpr size_t kTrainN = 3000;
+constexpr size_t kQueries = 1000;
+
+Dataset TrainingData() {
+  Rng rng(21);
+  return SampleStandardGaussian(kTrainN, 2, rng);
+}
+
+Dataset FreshQueries() {
+  Rng rng(22);
+  // Spread beyond the training mass so both labels occur.
+  Dataset queries(2);
+  queries.Reserve(kQueries);
+  for (size_t i = 0; i < kQueries; ++i) {
+    queries.AppendRow(
+        std::vector<double>{rng.Uniform(-4.0, 4.0), rng.Uniform(-4.0, 4.0)});
+  }
+  return queries;
+}
+
+struct Snapshot {
+  double threshold;
+  double threshold_lower;
+  double threshold_upper;
+  std::vector<double> training_densities;
+  uint64_t train_grid_prunes;
+  TraversalStats train_stats;
+  std::vector<Classification> training_labels;
+  std::vector<Classification> fresh_labels;
+  uint64_t total_grid_prunes;
+  TraversalStats total_stats;
+};
+
+Snapshot RunWithThreads(size_t num_threads) {
+  const Dataset data = TrainingData();
+  const Dataset fresh = FreshQueries();
+  TkdcConfig config;
+  config.num_threads = num_threads;
+  TkdcClassifier classifier(config);
+  classifier.Train(data);
+
+  Snapshot snap;
+  snap.threshold = classifier.threshold();
+  snap.threshold_lower = classifier.threshold_lower();
+  snap.threshold_upper = classifier.threshold_upper();
+  snap.training_densities = classifier.training_densities();
+  snap.train_grid_prunes = classifier.grid_prunes();
+  snap.train_stats = classifier.traversal_stats();
+  snap.training_labels = classifier.ClassifyTrainingBatch(data.Head(kQueries));
+  snap.fresh_labels = classifier.ClassifyBatch(fresh);
+  snap.total_grid_prunes = classifier.grid_prunes();
+  snap.total_stats = classifier.traversal_stats();
+  return snap;
+}
+
+void ExpectStatsEqual(const TraversalStats& a, const TraversalStats& b) {
+  EXPECT_EQ(a.kernel_evaluations, b.kernel_evaluations);
+  EXPECT_EQ(a.nodes_expanded, b.nodes_expanded);
+  EXPECT_EQ(a.leaf_points_evaluated, b.leaf_points_evaluated);
+  EXPECT_EQ(a.queries, b.queries);
+}
+
+class ParallelEquivalenceTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ParallelEquivalenceTest, MatchesSerialBitForBit) {
+  const Snapshot serial = RunWithThreads(1);
+  const Snapshot parallel = RunWithThreads(GetParam());
+
+  // Trained state: thresholds and every training density, exactly.
+  EXPECT_EQ(serial.threshold, parallel.threshold);
+  EXPECT_EQ(serial.threshold_lower, parallel.threshold_lower);
+  EXPECT_EQ(serial.threshold_upper, parallel.threshold_upper);
+  ASSERT_EQ(serial.training_densities.size(),
+            parallel.training_densities.size());
+  for (size_t i = 0; i < serial.training_densities.size(); ++i) {
+    EXPECT_EQ(serial.training_densities[i], parallel.training_densities[i])
+        << "row " << i;
+  }
+
+  // Work accounting: identical total work, merged in any order.
+  EXPECT_EQ(serial.train_grid_prunes, parallel.train_grid_prunes);
+  ExpectStatsEqual(serial.train_stats, parallel.train_stats);
+
+  // Batch classification: identical labels for training-point and
+  // fresh-point queries, and identical post-query counters.
+  EXPECT_EQ(serial.training_labels, parallel.training_labels);
+  EXPECT_EQ(serial.fresh_labels, parallel.fresh_labels);
+  EXPECT_EQ(serial.total_grid_prunes, parallel.total_grid_prunes);
+  ExpectStatsEqual(serial.total_stats, parallel.total_stats);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelEquivalenceTest,
+                         ::testing::Values(2, 8));
+
+TEST(ParallelEquivalenceTest, SetNumThreadsRepartitionsWithoutRetraining) {
+  const Dataset data = TrainingData();
+  TkdcConfig config;
+  config.num_threads = 1;
+  TkdcClassifier classifier(config);
+  classifier.Train(data);
+  const Dataset queries = data.Head(500);
+
+  const std::vector<Classification> serial =
+      classifier.ClassifyTrainingBatch(queries);
+  const double threshold = classifier.threshold();
+  for (const size_t threads : {2u, 5u, 8u}) {
+    classifier.SetNumThreads(threads);
+    EXPECT_EQ(classifier.num_threads(), threads);
+    EXPECT_EQ(classifier.ClassifyTrainingBatch(queries), serial)
+        << "threads=" << threads;
+    EXPECT_EQ(classifier.threshold(), threshold);
+  }
+  // Back to serial: still identical.
+  classifier.SetNumThreads(1);
+  EXPECT_EQ(classifier.ClassifyTrainingBatch(queries), serial);
+}
+
+TEST(ParallelEquivalenceTest, BatchAgreesWithPerPointCalls) {
+  const Dataset data = TrainingData();
+  const Dataset fresh = FreshQueries();
+  TkdcConfig config;
+  config.num_threads = 4;
+  TkdcClassifier classifier(config);
+  classifier.Train(data);
+
+  const std::vector<Classification> batch = classifier.ClassifyBatch(fresh);
+  ASSERT_EQ(batch.size(), fresh.size());
+  size_t high = 0;
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(batch[i], classifier.Classify(fresh.Row(i))) << "row " << i;
+    if (batch[i] == Classification::kHigh) ++high;
+  }
+  // The query box straddles the threshold contour: both labels occur.
+  EXPECT_GT(high, 0u);
+  EXPECT_LT(high, fresh.size());
+}
+
+}  // namespace
+}  // namespace tkdc
