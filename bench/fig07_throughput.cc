@@ -5,10 +5,11 @@
 //
 // Datasets are laptop-scale synthetic proxies of Table 3 (see DESIGN.MD);
 // grow them with --scale. Beyond the paper, the final section measures the
-// parallel batch engine (ClassifyTrainingBatch) across thread counts on
-// the first panel's workload, verifies the labels are bit-identical to the
-// serial path, and emits a machine-readable BENCH_fig07.json so future PRs
-// can track the throughput trajectory.
+// shared parallel batch engine (ClassifyTrainingBatch) for every
+// algorithm across thread counts on the first panel's workload, verifies
+// the labels are bit-identical to the serial path, and emits a
+// machine-readable BENCH_fig07.json so future PRs can track the
+// throughput trajectory.
 
 #include <algorithm>
 #include <cstdio>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "baselines/binned_kde.h"
+#include "baselines/knn.h"
 #include "baselines/nocut.h"
 #include "baselines/rkde.h"
 #include "baselines/simple_kde.h"
@@ -62,6 +64,12 @@ std::unique_ptr<DensityClassifier> MakeAlgorithm(const std::string& name,
     options.base.seed = seed;
     return std::make_unique<RkdeClassifier>(options);
   }
+  if (name == "knn") {
+    KnnOptions options;
+    options.seed = seed;
+    options.threshold_sample = 2000;
+    return std::make_unique<KnnClassifier>(options);
+  }
   BinnedKdeOptions options;
   options.seed = seed;
   return std::make_unique<BinnedKdeClassifier>(options);
@@ -91,15 +99,22 @@ struct ParallelRecord {
   bool identical_to_serial;
 };
 
+struct AlgorithmParallel {
+  std::string algorithm;
+  size_t queries;
+  std::vector<ParallelRecord> runs;
+};
+
 // Machine-readable results for the perf trajectory; schema:
 // {hardware_concurrency, scale, seed, serial:[{dataset, algorithm,
-//  queries_per_sec, ...}], parallel_batch:{dataset, n, dims, queries,
-//  runs:[{threads, queries_per_sec, speedup, identical_to_serial}]}}.
+//  queries_per_sec, ...}], parallel_batch:{dataset, n, dims,
+//  algorithms:[{algorithm, queries, runs:[{threads, queries_per_sec,
+//  speedup, identical_to_serial}]}]}}.
 void WriteJson(const std::string& path, const BenchArgs& args,
                const std::vector<SerialRecord>& serial,
                const std::string& parallel_dataset, size_t parallel_n,
-               size_t parallel_dims, size_t parallel_queries,
-               const std::vector<ParallelRecord>& parallel) {
+               size_t parallel_dims,
+               const std::vector<AlgorithmParallel>& parallel) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "warning: could not write " << path << "\n";
@@ -125,15 +140,21 @@ void WriteJson(const std::string& path, const BenchArgs& args,
   out << "    \"dataset\": \"" << JsonEscape(parallel_dataset) << "\",\n";
   out << "    \"n\": " << parallel_n << ",\n";
   out << "    \"dims\": " << parallel_dims << ",\n";
-  out << "    \"queries\": " << parallel_queries << ",\n";
-  out << "    \"runs\": [\n";
-  for (size_t i = 0; i < parallel.size(); ++i) {
-    const ParallelRecord& r = parallel[i];
-    out << "      {\"threads\": " << r.threads
-        << ", \"queries_per_sec\": " << r.queries_per_sec
-        << ", \"speedup\": " << r.speedup << ", \"identical_to_serial\": "
-        << (r.identical_to_serial ? "true" : "false") << "}"
-        << (i + 1 < parallel.size() ? "," : "") << "\n";
+  out << "    \"algorithms\": [\n";
+  for (size_t a = 0; a < parallel.size(); ++a) {
+    const AlgorithmParallel& alg = parallel[a];
+    out << "      {\"algorithm\": \"" << JsonEscape(alg.algorithm)
+        << "\", \"queries\": " << alg.queries << ", \"runs\": [\n";
+    for (size_t i = 0; i < alg.runs.size(); ++i) {
+      const ParallelRecord& r = alg.runs[i];
+      out << "        {\"threads\": " << r.threads
+          << ", \"queries_per_sec\": " << r.queries_per_sec
+          << ", \"speedup\": " << r.speedup
+          << ", \"identical_to_serial\": "
+          << (r.identical_to_serial ? "true" : "false") << "}"
+          << (i + 1 < alg.runs.size() ? "," : "") << "\n";
+    }
+    out << "      ]}" << (a + 1 < parallel.size() ? "," : "") << "\n";
   }
   out << "    ]\n";
   out << "  }\n";
@@ -168,7 +189,8 @@ int main(int argc, char** argv) {
     const Dataset data = workload.Make();
     std::cout << "-- " << workload.Label() << "\n";
 
-    std::vector<std::string> algorithms{"tkdc", "simple", "nocut", "rkde"};
+    std::vector<std::string> algorithms{"tkdc", "simple", "nocut", "rkde",
+                                        "knn"};
     if (data.dims() <= 4) algorithms.push_back("binned");
     for (const std::string& name : algorithms) {
       auto algorithm = MakeAlgorithm(name, args.seed);
@@ -194,25 +216,21 @@ int main(int argc, char** argv) {
                "at d = 2; gaps narrow as d grows and close by d ~ 256.\n";
 
   // --- Parallel batch engine (beyond the paper) ---------------------------
-  // Train once on the first panel's workload, then time
-  // ClassifyTrainingBatch at 1/2/4/8 threads (plus --threads when given) on
-  // the same trained model. SetNumThreads never retrains; labels must be
-  // bit-identical at every thread count.
+  // Every classifier shares the batch executor through DensityClassifier,
+  // so the whole lineup gains parallel ClassifyTrainingBatch. Train each
+  // algorithm once on the first panel's workload, then time the same
+  // trained model at 1/2/4/8 threads (plus --threads when given).
+  // SetNumThreads never retrains; labels must be bit-identical at every
+  // thread count.
   Workload workload;
   workload.id = panels[0].id;
   workload.n = static_cast<size_t>(panels[0].n * args.scale);
   workload.dims = panels[0].dims;
   workload.seed = args.seed;
   const Dataset data = workload.Make();
-  const Dataset queries = MakeQuerySubset(data, 20'000);
 
   std::cout << "\n-- parallel batch engine (" << workload.Label()
             << ", hardware threads = " << HardwareConcurrency() << ")\n";
-  TkdcConfig config;
-  config.seed = args.seed;
-  config.num_threads = 1;
-  TkdcClassifier classifier(config);
-  classifier.Train(data);
 
   std::vector<size_t> thread_counts{1, 2, 4, 8};
   if (args.threads != 0 &&
@@ -220,38 +238,55 @@ int main(int argc, char** argv) {
           thread_counts.end()) {
     thread_counts.push_back(args.threads);
   }
-  std::vector<Classification> serial_labels;
-  std::vector<ParallelRecord> parallel_records;
+
+  std::vector<std::string> parallel_algorithms{"tkdc",   "nocut", "simple",
+                                               "rkde",   "knn"};
+  if (data.dims() <= 4) parallel_algorithms.push_back("binned");
+  std::vector<AlgorithmParallel> parallel_records;
   TablePrinter parallel_table(
-      {"threads", "queries/s", "speedup", "identical"});
-  for (const size_t threads : thread_counts) {
-    classifier.SetNumThreads(threads);
-    // Warm up pool + scratch, then time the batch.
-    classifier.ClassifyTrainingBatch(MakeQuerySubset(data, 256));
-    WallTimer timer;
-    const std::vector<Classification> labels =
-        classifier.ClassifyTrainingBatch(queries);
-    const double seconds = timer.ElapsedSeconds();
-    if (threads == 1) serial_labels = labels;
-    const bool identical = labels == serial_labels;
-    const double qps =
-        seconds > 0.0 ? static_cast<double>(labels.size()) / seconds : 0.0;
-    const double speedup =
-        parallel_records.empty()
-            ? 1.0
-            : qps / parallel_records.front().queries_per_sec;
-    parallel_records.push_back({threads, qps, speedup, identical});
-    parallel_table.AddRow({std::to_string(threads), FormatSi(qps),
-                           FormatFixed(speedup, 2),
-                           identical ? "yes" : "NO"});
+      {"algorithm", "threads", "queries/s", "speedup", "identical"});
+  for (const std::string& name : parallel_algorithms) {
+    auto classifier = MakeAlgorithm(name, args.seed);
+    classifier->Train(data);
+    // The exhaustive baselines pay O(n) per query; trim their batches so
+    // the sweep stays affordable at every scale.
+    const size_t query_cap =
+        (name == "simple" || name == "rkde") ? 2'000 : 20'000;
+    const Dataset queries = MakeQuerySubset(data, query_cap);
+
+    AlgorithmParallel record;
+    record.algorithm = name;
+    record.queries = queries.size();
+    std::vector<Classification> serial_labels;
+    for (const size_t threads : thread_counts) {
+      classifier->SetNumThreads(threads);
+      // Warm up pool + scratch, then time the batch.
+      classifier->ClassifyTrainingBatch(MakeQuerySubset(data, 256));
+      WallTimer timer;
+      const std::vector<Classification> labels =
+          classifier->ClassifyTrainingBatch(queries);
+      const double seconds = timer.ElapsedSeconds();
+      if (threads == 1) serial_labels = labels;
+      const bool identical = labels == serial_labels;
+      const double qps =
+          seconds > 0.0 ? static_cast<double>(labels.size()) / seconds : 0.0;
+      const double speedup =
+          record.runs.empty() ? 1.0
+                              : qps / record.runs.front().queries_per_sec;
+      record.runs.push_back({threads, qps, speedup, identical});
+      parallel_table.AddRow({name, std::to_string(threads), FormatSi(qps),
+                             FormatFixed(speedup, 2),
+                             identical ? "yes" : "NO"});
+    }
+    parallel_records.push_back(std::move(record));
   }
   std::cout << "\n";
   parallel_table.Print(std::cout);
-  std::cout << "\nDeterminism guarantee: every thread count must report "
-               "identical = yes.\nSpeedup is bounded by the hardware "
-               "thread count above.\n";
+  std::cout << "\nDeterminism guarantee: every algorithm x thread count "
+               "must report identical = yes.\nSpeedup is bounded by the "
+               "hardware thread count above.\n";
 
   WriteJson("BENCH_fig07.json", args, serial_records, workload.Label(),
-            data.size(), data.dims(), queries.size(), parallel_records);
+            data.size(), data.dims(), parallel_records);
   return 0;
 }

@@ -70,11 +70,12 @@ void BM_BoundDensityQuery(benchmark::State& state) {
                 SelectBandwidths(config.bandwidth_rule, data, 1.0));
   KdTree tree(data, KdTreeOptions());
   DensityBoundEvaluator evaluator(&tree, &kernel, &config);
+  TreeQueryContext ctx;
   // A plausible 1%-quantile threshold for 2-d standard normal KDE.
   const double t = 3e-4;
   size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(evaluator.BoundDensity(data.Row(i), t, t));
+    benchmark::DoNotOptimize(evaluator.BoundDensity(ctx, data.Row(i), t, t));
     i = (i + 997) % n;
   }
   state.SetItemsProcessed(state.iterations());

@@ -42,6 +42,46 @@ void BM_EpanechnikovKernelEvaluate(benchmark::State& state) {
 }
 BENCHMARK(BM_EpanechnikovKernelEvaluate)->Arg(2)->Arg(27);
 
+// The per-call switch in EvaluateScaled vs the profile resolved once at
+// construction (Kernel::scaled_profile). The leaf-scan hot loops cache the
+// function pointer per query context; this pair quantifies what hoisting
+// the dispatch buys on a stream of scaled distances.
+void BM_EvaluateScaledSwitchDispatch(benchmark::State& state) {
+  const auto type = static_cast<KernelType>(state.range(0));
+  Kernel kernel(type, std::vector<double>(4, 0.5));
+  Rng rng(4);
+  std::vector<double> zs(1024);
+  for (double& z : zs) z = 2.0 * rng.NextDouble();
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const double z : zs) sum += kernel.EvaluateScaled(z);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * zs.size());
+}
+BENCHMARK(BM_EvaluateScaledSwitchDispatch)
+    ->Arg(static_cast<int>(KernelType::kGaussian))
+    ->Arg(static_cast<int>(KernelType::kEpanechnikov));
+
+void BM_EvaluateScaledResolvedProfile(benchmark::State& state) {
+  const auto type = static_cast<KernelType>(state.range(0));
+  Kernel kernel(type, std::vector<double>(4, 0.5));
+  Rng rng(4);
+  std::vector<double> zs(1024);
+  for (double& z : zs) z = 2.0 * rng.NextDouble();
+  const Kernel::ScaledProfileFn profile = kernel.scaled_profile();
+  const double norm = kernel.norm();
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const double z : zs) sum += profile(z, norm);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * zs.size());
+}
+BENCHMARK(BM_EvaluateScaledResolvedProfile)
+    ->Arg(static_cast<int>(KernelType::kGaussian))
+    ->Arg(static_cast<int>(KernelType::kEpanechnikov));
+
 void BM_ScaledSquaredDistance(benchmark::State& state) {
   const size_t d = static_cast<size_t>(state.range(0));
   Kernel kernel(KernelType::kGaussian, std::vector<double>(d, 1.0));

@@ -1,7 +1,7 @@
 // Microbenchmarks for the parallel batch engine:
-//   1. scratch-buffer reuse — BoundDensity on a long-lived evaluator (heap
-//      storage kept warm across queries) vs. a freshly constructed
-//      evaluator per query (cold scratch, per-query allocation);
+//   1. scratch-buffer reuse — BoundDensity with a long-lived QueryContext
+//      (heap storage kept warm across queries) vs. a freshly constructed
+//      context per query (cold scratch, per-query allocation);
 //   2. batch-classification scaling at 1/2/4/8 worker threads (speedup is
 //      bounded by the machine's hardware concurrency — on a single-core
 //      container every thread count measures the same work plus pool
@@ -53,31 +53,33 @@ struct Fixture {
 void BM_BoundDensityReusedScratch(benchmark::State& state) {
   Fixture& f = Fixture::Get();
   DensityBoundEvaluator evaluator(&f.tree, &f.kernel, &f.config);
+  TreeQueryContext ctx;
   size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        evaluator.BoundDensity(f.data.Row(i), 0.01, 0.01, 1e-4));
+        evaluator.BoundDensity(ctx, f.data.Row(i), 0.01, 0.01, 1e-4));
     i = (i + 997) % kTrainN;
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_BoundDensityReusedScratch);
 
-void BM_BoundDensityFreshEvaluator(benchmark::State& state) {
+void BM_BoundDensityFreshContext(benchmark::State& state) {
   Fixture& f = Fixture::Get();
+  DensityBoundEvaluator evaluator(&f.tree, &f.kernel, &f.config);
   size_t i = 0;
   for (auto _ : state) {
-    // A new evaluator per query: the traversal heap starts cold, so every
+    // A new context per query: the traversal heap starts cold, so every
     // query pays its allocations again. The delta against ReusedScratch is
-    // what hoisting the scratch into the evaluator buys.
-    DensityBoundEvaluator evaluator(&f.tree, &f.kernel, &f.config);
+    // what the per-thread QueryContext reuse in BatchExecutor buys.
+    TreeQueryContext ctx;
     benchmark::DoNotOptimize(
-        evaluator.BoundDensity(f.data.Row(i), 0.01, 0.01, 1e-4));
+        evaluator.BoundDensity(ctx, f.data.Row(i), 0.01, 0.01, 1e-4));
     i = (i + 997) % kTrainN;
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_BoundDensityFreshEvaluator);
+BENCHMARK(BM_BoundDensityFreshContext);
 
 void BM_ClassifyBatch(benchmark::State& state) {
   const size_t threads = static_cast<size_t>(state.range(0));

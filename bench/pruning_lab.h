@@ -71,11 +71,12 @@ inline PruningLabResult RunPruningLab(const Dataset& data, double threshold,
   const size_t n = data.size();
   const size_t stride = n / max_queries > 0 ? n / max_queries : 1;
   size_t measured = 0;
+  TreeQueryContext ctx;
   WallTimer timer;
   for (size_t i = 0; measured < max_queries; i = (i + stride) % n) {
     const auto x = data.Row(i);
     if (grid == nullptr || grid->DensityLowerBound(x) <= shifted) {
-      evaluator.BoundDensity(x, shifted, shifted, tolerance);
+      evaluator.BoundDensity(ctx, x, shifted, shifted, tolerance);
     }
     ++measured;
     if (measured >= 16 && timer.ElapsedSeconds() > budget_seconds) break;
@@ -86,7 +87,7 @@ inline PruningLabResult RunPruningLab(const Dataset& data, double threshold,
   result.queries_per_second =
       static_cast<double>(measured) / timer.ElapsedSeconds();
   result.kernel_evals_per_query =
-      static_cast<double>(evaluator.stats().kernel_evaluations) /
+      static_cast<double>(ctx.stats.kernel_evaluations) /
       static_cast<double>(measured);
   return result;
 }

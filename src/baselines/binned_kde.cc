@@ -40,67 +40,71 @@ BinnedKdeClassifier::BinnedKdeClassifier(BinnedKdeOptions options)
   TKDC_CHECK(options_.truncation_radius > 0.0);
 }
 
-void BinnedKdeClassifier::Train(const Dataset& data) {
+std::shared_ptr<BinnedKdeModel> BinnedKdeClassifier::BuildModel(
+    const Dataset& data, std::vector<double> bandwidths,
+    QueryContext& build_ctx) const {
   TKDC_CHECK(data.size() >= 2);
-  dims_ = data.dims();
-  TKDC_CHECK_MSG(dims_ <= 4, "binned KDE supports at most 4 dimensions");
-  kernel_ = std::make_unique<Kernel>(
-      options_.kernel, SelectBandwidths(options_.bandwidth_rule, data,
-                                        options_.bandwidth_scale));
+  auto model = std::make_shared<BinnedKdeModel>();
+  model->dims = data.dims();
+  TKDC_CHECK_MSG(model->dims <= 4, "binned KDE supports at most 4 dimensions");
+  model->kernel =
+      std::make_unique<const Kernel>(options_.kernel, std::move(bandwidths));
+  const size_t dims = model->dims;
 
   // Grid geometry: data bounding box padded by the truncation radius so
   // boundary densities are not clipped.
   const size_t grid_nodes = options_.grid_size_override > 0
                                 ? NextPowerOfTwo(options_.grid_size_override)
-                                : DefaultGridSize(dims_);
-  shape_.assign(dims_, grid_nodes);
-  grid_lo_.assign(dims_, 0.0);
-  grid_step_.assign(dims_, 0.0);
-  std::vector<double> lo(dims_, std::numeric_limits<double>::infinity());
-  std::vector<double> hi(dims_, -std::numeric_limits<double>::infinity());
+                                : DefaultGridSize(dims);
+  model->shape.assign(dims, grid_nodes);
+  model->grid_lo.assign(dims, 0.0);
+  model->grid_step.assign(dims, 0.0);
+  std::vector<double> lo(dims, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(dims, -std::numeric_limits<double>::infinity());
   for (size_t i = 0; i < data.size(); ++i) {
     const auto row = data.Row(i);
-    for (size_t j = 0; j < dims_; ++j) {
+    for (size_t j = 0; j < dims; ++j) {
       lo[j] = std::min(lo[j], row[j]);
       hi[j] = std::max(hi[j], row[j]);
     }
   }
-  for (size_t j = 0; j < dims_; ++j) {
+  for (size_t j = 0; j < dims; ++j) {
     const double pad =
-        options_.truncation_radius * kernel_->bandwidths()[j];
-    grid_lo_[j] = lo[j] - pad;
-    const double span = (hi[j] + pad) - grid_lo_[j];
-    grid_step_[j] =
-        span > 0.0 ? span / static_cast<double>(shape_[j] - 1) : 1.0;
+        options_.truncation_radius * model->kernel->bandwidths()[j];
+    model->grid_lo[j] = lo[j] - pad;
+    const double span = (hi[j] + pad) - model->grid_lo[j];
+    model->grid_step[j] =
+        span > 0.0 ? span / static_cast<double>(model->shape[j] - 1) : 1.0;
+  }
+  model->strides.assign(dims, 0);
+  size_t stride = 1;
+  for (size_t j = dims; j-- > 0;) {
+    model->strides[j] = stride;
+    stride *= model->shape[j];
   }
 
   // Linear binning: each point spreads its unit mass multilinearly over the
   // 2^d surrounding grid nodes (Wand 1994).
-  const size_t total = TotalSize(shape_);
+  const size_t total = TotalSize(model->shape);
   std::vector<double> counts(total, 0.0);
-  std::vector<size_t> strides(dims_);
-  size_t stride = 1;
-  for (size_t j = dims_; j-- > 0;) {
-    strides[j] = stride;
-    stride *= shape_[j];
-  }
-  std::vector<size_t> base_index(dims_);
-  std::vector<double> frac(dims_);
+  std::vector<size_t> base_index(dims);
+  std::vector<double> frac(dims);
   for (size_t i = 0; i < data.size(); ++i) {
     const auto row = data.Row(i);
-    for (size_t j = 0; j < dims_; ++j) {
-      double pos = (row[j] - grid_lo_[j]) / grid_step_[j];
-      pos = std::clamp(pos, 0.0, static_cast<double>(shape_[j] - 1) - 1e-9);
+    for (size_t j = 0; j < dims; ++j) {
+      double pos = (row[j] - model->grid_lo[j]) / model->grid_step[j];
+      pos = std::clamp(pos, 0.0,
+                       static_cast<double>(model->shape[j] - 1) - 1e-9);
       base_index[j] = static_cast<size_t>(pos);
       frac[j] = pos - static_cast<double>(base_index[j]);
     }
-    for (size_t corner = 0; corner < (size_t{1} << dims_); ++corner) {
+    for (size_t corner = 0; corner < (size_t{1} << dims); ++corner) {
       double weight = 1.0;
       size_t offset = 0;
-      for (size_t j = 0; j < dims_; ++j) {
+      for (size_t j = 0; j < dims; ++j) {
         const bool upper = (corner >> j) & 1;
         weight *= upper ? frac[j] : 1.0 - frac[j];
-        offset += (base_index[j] + (upper ? 1 : 0)) * strides[j];
+        offset += (base_index[j] + (upper ? 1 : 0)) * model->strides[j];
       }
       counts[offset] += weight;
     }
@@ -108,30 +112,30 @@ void BinnedKdeClassifier::Train(const Dataset& data) {
 
   // Kernel taps: the kernel evaluated at grid-offset vectors out to the
   // truncation radius along each axis.
-  std::vector<size_t> tap_shape(dims_);
-  std::vector<long> tap_half(dims_);
-  for (size_t j = 0; j < dims_; ++j) {
+  std::vector<size_t> tap_shape(dims);
+  std::vector<long> tap_half(dims);
+  for (size_t j = 0; j < dims; ++j) {
     const double radius =
-        options_.truncation_radius * kernel_->bandwidths()[j];
-    long half = static_cast<long>(std::ceil(radius / grid_step_[j]));
-    half = std::min<long>(half, static_cast<long>(shape_[j]) - 1);
+        options_.truncation_radius * model->kernel->bandwidths()[j];
+    long half = static_cast<long>(std::ceil(radius / model->grid_step[j]));
+    half = std::min<long>(half, static_cast<long>(model->shape[j]) - 1);
     tap_half[j] = half;
     tap_shape[j] = static_cast<size_t>(2 * half + 1);
   }
   std::vector<double> taps(TotalSize(tap_shape));
-  std::vector<size_t> tap_index(dims_, 0);
+  std::vector<size_t> tap_index(dims, 0);
   size_t flat = 0;
   for (;;) {
     double z = 0.0;
-    for (size_t j = 0; j < dims_; ++j) {
+    for (size_t j = 0; j < dims; ++j) {
       const double delta = (static_cast<double>(tap_index[j]) -
                             static_cast<double>(tap_half[j])) *
-                           grid_step_[j] / kernel_->bandwidths()[j];
+                           model->grid_step[j] / model->kernel->bandwidths()[j];
       z += delta * delta;
     }
-    taps[flat++] = kernel_->EvaluateScaled(z);
-    ++kernel_evaluations_;
-    size_t axis = dims_;
+    taps[flat++] = model->kernel->EvaluateScaled(z);
+    ++build_ctx.stats.kernel_evaluations;
+    size_t axis = dims;
     while (axis-- > 0) {
       if (++tap_index[axis] < tap_shape[axis]) break;
       tap_index[axis] = 0;
@@ -142,18 +146,28 @@ void BinnedKdeClassifier::Train(const Dataset& data) {
   // Convolve: FFT when the direct cost dominates.
   const double direct_cost = static_cast<double>(total) *
                              static_cast<double>(TotalSize(tap_shape));
-  used_fft_ = direct_cost > 4e7;
-  density_grid_ = used_fft_
-                      ? FftConvolveSame(counts, shape_, taps, tap_shape)
-                      : DirectConvolveSame(counts, shape_, taps, tap_shape);
+  model->used_fft = direct_cost > 4e7;
+  model->density_grid =
+      model->used_fft ? FftConvolveSame(counts, model->shape, taps, tap_shape)
+                      : DirectConvolveSame(counts, model->shape, taps,
+                                           tap_shape);
   const double inv_n = 1.0 / static_cast<double>(data.size());
-  for (double& v : density_grid_) {
+  for (double& v : model->density_grid) {
     v = std::max(0.0, v * inv_n);  // FFT round-off can dip below zero.
   }
+  model->self_contribution = model->kernel->MaxValue() * inv_n;
+  return model;
+}
+
+void BinnedKdeClassifier::Train(const Dataset& data) {
+  QueryContext build_ctx;
+  auto model = BuildModel(data,
+                          SelectBandwidths(options_.bandwidth_rule, data,
+                                           options_.bandwidth_scale),
+                          build_ctx);
 
   // Threshold quantile from interpolated training densities.
-  self_contribution_ = kernel_->MaxValue() * inv_n;
-  const double self = self_contribution_;
+  const double self = model->self_contribution;
   const size_t n = data.size();
   std::vector<size_t> rows;
   if (options_.threshold_sample == 0 || options_.threshold_sample >= n) {
@@ -166,73 +180,81 @@ void BinnedKdeClassifier::Train(const Dataset& data) {
   std::vector<double> densities;
   densities.reserve(rows.size());
   for (size_t row : rows) {
-    densities.push_back(Interpolate(data.Row(row)) - self);
+    densities.push_back(Interpolate(*model, data.Row(row)) - self);
+    ++build_ctx.stats.queries;
   }
-  threshold_ = Quantile(std::move(densities), options_.p);
+  model->threshold = Quantile(std::move(densities), options_.p);
+  model_ = std::move(model);  // Published: immutable from here on.
+
+  train_stats_ = build_ctx.stats;
+  train_grid_prunes_ = 0;
+  ResetQueryState();
 }
 
-double BinnedKdeClassifier::Interpolate(std::span<const double> x) const {
-  TKDC_DCHECK(x.size() == dims_);
-  std::vector<size_t> strides(dims_);
-  size_t stride = 1;
-  for (size_t j = dims_; j-- > 0;) {
-    strides[j] = stride;
-    stride *= shape_[j];
-  }
+double BinnedKdeClassifier::Interpolate(const BinnedKdeModel& m,
+                                        std::span<const double> x) {
+  TKDC_DCHECK(x.size() == m.dims);
   size_t base = 0;
   double frac[4] = {0, 0, 0, 0};
-  std::vector<size_t> idx(dims_);
-  for (size_t j = 0; j < dims_; ++j) {
-    const double pos = (x[j] - grid_lo_[j]) / grid_step_[j];
-    if (pos < 0.0 || pos > static_cast<double>(shape_[j] - 1)) {
+  size_t idx[4] = {0, 0, 0, 0};
+  for (size_t j = 0; j < m.dims; ++j) {
+    const double pos = (x[j] - m.grid_lo[j]) / m.grid_step[j];
+    if (pos < 0.0 || pos > static_cast<double>(m.shape[j] - 1)) {
       return 0.0;  // Outside the grid: beyond every training point + pad.
     }
     const double clamped =
-        std::min(pos, static_cast<double>(shape_[j] - 1) - 1e-9);
+        std::min(pos, static_cast<double>(m.shape[j] - 1) - 1e-9);
     idx[j] = static_cast<size_t>(clamped);
     frac[j] = clamped - static_cast<double>(idx[j]);
-    base += idx[j] * strides[j];
+    base += idx[j] * m.strides[j];
   }
   double value = 0.0;
-  for (size_t corner = 0; corner < (size_t{1} << dims_); ++corner) {
+  for (size_t corner = 0; corner < (size_t{1} << m.dims); ++corner) {
     double weight = 1.0;
     size_t offset = base;
-    for (size_t j = 0; j < dims_; ++j) {
+    for (size_t j = 0; j < m.dims; ++j) {
       const bool upper = (corner >> j) & 1;
       weight *= upper ? frac[j] : 1.0 - frac[j];
-      if (upper) offset += strides[j];
+      if (upper) offset += m.strides[j];
     }
-    value += weight * density_grid_[offset];
+    value += weight * m.density_grid[offset];
   }
   return value;
 }
 
-Classification BinnedKdeClassifier::Classify(std::span<const double> x) {
-  TKDC_CHECK_MSG(kernel_ != nullptr, "Classify called before Train");
-  return Interpolate(x) > threshold_ ? Classification::kHigh
-                                     : Classification::kLow;
-}
-
-Classification BinnedKdeClassifier::ClassifyTraining(
-    std::span<const double> x) {
-  TKDC_CHECK_MSG(kernel_ != nullptr, "ClassifyTraining called before Train");
-  return Interpolate(x) - self_contribution_ > threshold_
+Classification BinnedKdeClassifier::ClassifyInContext(
+    QueryContext& ctx, std::span<const double> x, bool training) const {
+  TKDC_CHECK_MSG(trained(), "Classify called before Train");
+  ++ctx.stats.queries;
+  const double correction = training ? model_->self_contribution : 0.0;
+  return Interpolate(*model_, x) - correction > model_->threshold
              ? Classification::kHigh
              : Classification::kLow;
 }
 
-double BinnedKdeClassifier::EstimateDensity(std::span<const double> x) {
-  TKDC_CHECK_MSG(kernel_ != nullptr, "EstimateDensity called before Train");
-  return Interpolate(x);
+double BinnedKdeClassifier::EstimateDensityInContext(
+    QueryContext& ctx, std::span<const double> x) const {
+  TKDC_CHECK_MSG(trained(), "EstimateDensity called before Train");
+  ++ctx.stats.queries;
+  return Interpolate(*model_, x);
 }
 
 double BinnedKdeClassifier::threshold() const {
-  TKDC_CHECK_MSG(kernel_ != nullptr, "threshold read before Train");
-  return threshold_;
+  TKDC_CHECK_MSG(trained(), "threshold read before Train");
+  return model_->threshold;
 }
 
-uint64_t BinnedKdeClassifier::kernel_evaluations() const {
-  return kernel_evaluations_;
+void BinnedKdeClassifier::Restore(const Dataset& data,
+                                  const std::vector<double>& bandwidths,
+                                  double threshold) {
+  TKDC_CHECK(bandwidths.size() == data.dims());
+  QueryContext build_ctx;
+  auto model = BuildModel(data, bandwidths, build_ctx);
+  model->threshold = threshold;
+  model_ = std::move(model);
+  train_stats_ = TraversalStats();
+  train_grid_prunes_ = 0;
+  ResetQueryState();
 }
 
 }  // namespace tkdc

@@ -31,44 +31,77 @@ struct BinnedKdeOptions {
   uint64_t seed = 0;
 };
 
+/// The immutable trained artifact of the binning baseline: the convolved
+/// density grid plus the geometry needed to interpolate it. Queries never
+/// touch the training data again.
+struct BinnedKdeModel {
+  std::unique_ptr<const Kernel> kernel;
+  size_t dims = 0;
+  std::vector<size_t> shape;
+  std::vector<size_t> strides;  // Row-major, precomputed at build time.
+  std::vector<double> grid_lo;
+  std::vector<double> grid_step;
+  std::vector<double> density_grid;
+  double threshold = 0.0;
+  double self_contribution = 0.0;
+  bool used_fft = false;
+};
+
 /// The paper's "ks" baseline (Table 2): linear binning onto a regular grid
 /// followed by a kernel convolution (FFT-based when profitable), with
 /// density queries answered by multilinear interpolation. Extremely fast in
 /// low dimensions but with no accuracy guarantee — the Figure 8 accuracy
 /// collapse at d = 4 comes from the coarse grid. Supports d <= 4, like the
-/// R package it reproduces.
+/// R package it reproduces. Interpolation reads only the immutable grid, so
+/// batch calls parallelize like every other classifier.
 class BinnedKdeClassifier : public DensityClassifier {
  public:
   explicit BinnedKdeClassifier(BinnedKdeOptions options = BinnedKdeOptions());
 
   std::string name() const override { return "binned"; }
   void Train(const Dataset& data) override;
-  Classification Classify(std::span<const double> x) override;
-  Classification ClassifyTraining(std::span<const double> x) override;
-  double EstimateDensity(std::span<const double> x) override;
+  bool trained() const override { return model_ != nullptr; }
+  size_t dims() const override {
+    return model_ != nullptr ? model_->dims : 0;
+  }
   double threshold() const override;
-  uint64_t kernel_evaluations() const override;
+
+  std::unique_ptr<QueryContext> MakeQueryContext() const override {
+    return std::make_unique<QueryContext>();
+  }
+  Classification ClassifyInContext(QueryContext& ctx,
+                                   std::span<const double> x,
+                                   bool training) const override;
+  double EstimateDensityInContext(QueryContext& ctx,
+                                  std::span<const double> x) const override;
+
+  const BinnedKdeOptions& options() const { return options_; }
+  const BinnedKdeModel& model() const { return *model_; }
 
   /// Grid nodes per axis after rounding.
-  const std::vector<size_t>& grid_shape() const { return shape_; }
+  const std::vector<size_t>& grid_shape() const { return model_->shape; }
   /// True when the convolution went through the FFT path.
-  bool used_fft() const { return used_fft_; }
+  bool used_fft() const { return model_ != nullptr && model_->used_fft; }
+
+  /// Restores a trained state from serialized parts (model_io): re-bins and
+  /// re-convolves `data` with the given bandwidths (deterministic, so the
+  /// grid is bit-identical to the one trained) and installs the threshold
+  /// without re-running the quantile pass.
+  void Restore(const Dataset& data, const std::vector<double>& bandwidths,
+               double threshold);
 
  private:
+  /// Binning + taps + convolution shared by Train and Restore; tap kernel
+  /// evaluations are counted into `build_ctx`.
+  std::shared_ptr<BinnedKdeModel> BuildModel(const Dataset& data,
+                                             std::vector<double> bandwidths,
+                                             QueryContext& build_ctx) const;
+
   /// Density at `x` by multilinear interpolation (0 outside the grid).
-  double Interpolate(std::span<const double> x) const;
+  static double Interpolate(const BinnedKdeModel& m, std::span<const double> x);
 
   BinnedKdeOptions options_;
-  std::unique_ptr<Kernel> kernel_;
-  size_t dims_ = 0;
-  std::vector<size_t> shape_;
-  std::vector<double> grid_lo_;
-  std::vector<double> grid_step_;
-  std::vector<double> density_grid_;
-  double threshold_ = 0.0;
-  double self_contribution_ = 0.0;
-  bool used_fft_ = false;
-  uint64_t kernel_evaluations_ = 0;
+  std::shared_ptr<const BinnedKdeModel> model_;
 };
 
 }  // namespace tkdc

@@ -1,6 +1,7 @@
 #include "baselines/knn.h"
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 
 #include "common/macros.h"
@@ -14,16 +15,22 @@ KnnClassifier::KnnClassifier(KnnOptions options) : options_(options) {
   TKDC_CHECK(options_.k >= 1);
 }
 
-void KnnClassifier::Train(const Dataset& data) {
+std::shared_ptr<KnnModel> KnnClassifier::BuildModel(const Dataset& data) const {
   TKDC_CHECK(data.size() >= 2);
+  auto model = std::make_shared<KnnModel>();
   KdTreeOptions tree_options;
   tree_options.leaf_size = options_.leaf_size;
-  tree_ = std::make_unique<KdTree>(data, tree_options);
-  unit_scale_.assign(data.dims(), 1.0);
+  model->tree = std::make_unique<const KdTree>(data, tree_options);
+  model->unit_scale.assign(data.dims(), 1.0);
   const double d = static_cast<double>(data.dims());
   // log V_d = (d/2) log(pi) - log Gamma(d/2 + 1).
-  log_ball_volume_ =
+  model->log_ball_volume =
       0.5 * d * std::log(std::numbers::pi) - std::lgamma(0.5 * d + 1.0);
+  return model;
+}
+
+void KnnClassifier::Train(const Dataset& data) {
+  auto model = BuildModel(data);
 
   const size_t n = data.size();
   std::vector<size_t> rows;
@@ -34,62 +41,86 @@ void KnnClassifier::Train(const Dataset& data) {
     Rng rng(options_.seed * 0x9e3779b97f4a7c15ULL + 31);
     rows = rng.SampleWithoutReplacement(n, options_.threshold_sample);
   }
+  KnnQueryContext train_ctx;
   std::vector<double> densities;
   densities.reserve(rows.size());
   for (size_t row : rows) {
-    densities.push_back(Density(data.Row(row), /*training=*/true));
+    densities.push_back(
+        Density(*model, train_ctx, data.Row(row), /*training=*/true));
   }
-  threshold_ = Quantile(std::move(densities), options_.p);
+  model->threshold = Quantile(std::move(densities), options_.p);
+  model_ = std::move(model);  // Published: immutable from here on.
+
+  train_stats_ = train_ctx.stats;
+  train_grid_prunes_ = 0;
+  ResetQueryState();
 }
 
-double KnnClassifier::KthNeighborDistance(std::span<const double> x,
-                                          bool training) {
-  TKDC_CHECK_MSG(tree_ != nullptr, "query before Train");
+double KnnClassifier::KthDistance(const KnnModel& m, KnnQueryContext& ctx,
+                                  size_t k, std::span<const double> x,
+                                  bool training) {
   // Training points find themselves at distance 0; ask for one more
   // neighbor and drop the self-match.
-  const size_t k = options_.k + (training ? 1 : 0);
-  distance_computations_ +=
-      tree_->KNearestScaled(x, unit_scale_, k, &neighbor_buffer_);
-  TKDC_CHECK(!neighbor_buffer_.empty());
-  return std::sqrt(neighbor_buffer_.back().first);
+  const size_t want = k + (training ? 1 : 0);
+  ctx.stats.kernel_evaluations +=
+      m.tree->KNearestScaled(x, m.unit_scale, want, &ctx.neighbors);
+  TKDC_CHECK(!ctx.neighbors.empty());
+  return std::sqrt(ctx.neighbors.back().first);
 }
 
-double KnnClassifier::Density(std::span<const double> x, bool training) {
-  const double radius = KthNeighborDistance(x, training);
-  const double d = static_cast<double>(tree_->dims());
+double KnnClassifier::Density(const KnnModel& m, KnnQueryContext& ctx,
+                              std::span<const double> x, bool training) const {
+  const double radius = KthDistance(m, ctx, options_.k, x, training);
+  ++ctx.stats.queries;
   if (radius <= 0.0) {
     // k-fold duplicate points: report a huge density.
     return std::numeric_limits<double>::max();
   }
   // f = k / (n * V_d * r^d), computed in log space to survive high d.
+  const double d = static_cast<double>(m.tree->dims());
   const double log_density =
       std::log(static_cast<double>(options_.k)) -
-      std::log(static_cast<double>(tree_->size())) - log_ball_volume_ -
+      std::log(static_cast<double>(m.tree->size())) - m.log_ball_volume -
       d * std::log(radius);
   return std::exp(log_density);
 }
 
-Classification KnnClassifier::Classify(std::span<const double> x) {
-  return Density(x, /*training=*/false) > threshold_ ? Classification::kHigh
-                                                     : Classification::kLow;
+double KnnClassifier::KthNeighborDistance(std::span<const double> x,
+                                          bool training) {
+  TKDC_CHECK_MSG(trained(), "query before Train");
+  auto& ctx = static_cast<KnnQueryContext&>(live_context());
+  return KthDistance(*model_, ctx, options_.k, x, training);
 }
 
-Classification KnnClassifier::ClassifyTraining(std::span<const double> x) {
-  return Density(x, /*training=*/true) > threshold_ ? Classification::kHigh
-                                                    : Classification::kLow;
+Classification KnnClassifier::ClassifyInContext(QueryContext& ctx,
+                                                std::span<const double> x,
+                                                bool training) const {
+  TKDC_CHECK_MSG(trained(), "Classify called before Train");
+  return Density(*model_, static_cast<KnnQueryContext&>(ctx), x, training) >
+                 model_->threshold
+             ? Classification::kHigh
+             : Classification::kLow;
 }
 
-double KnnClassifier::EstimateDensity(std::span<const double> x) {
-  return Density(x, /*training=*/false);
+double KnnClassifier::EstimateDensityInContext(
+    QueryContext& ctx, std::span<const double> x) const {
+  TKDC_CHECK_MSG(trained(), "EstimateDensity called before Train");
+  return Density(*model_, static_cast<KnnQueryContext&>(ctx), x,
+                 /*training=*/false);
 }
 
 double KnnClassifier::threshold() const {
-  TKDC_CHECK_MSG(tree_ != nullptr, "threshold read before Train");
-  return threshold_;
+  TKDC_CHECK_MSG(trained(), "threshold read before Train");
+  return model_->threshold;
 }
 
-uint64_t KnnClassifier::kernel_evaluations() const {
-  return distance_computations_;
+void KnnClassifier::Restore(const Dataset& data, double threshold) {
+  auto model = BuildModel(data);
+  model->threshold = threshold;
+  model_ = std::move(model);
+  train_stats_ = TraversalStats();
+  train_grid_prunes_ = 0;
+  ResetQueryState();
 }
 
 }  // namespace tkdc

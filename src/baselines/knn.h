@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "data/dataset.h"
@@ -25,6 +26,23 @@ struct KnnOptions {
   uint64_t seed = 0;
 };
 
+/// The immutable trained artifact of knn: the k-d tree over the raw
+/// (unscaled) training coordinates plus the threshold on the implied
+/// density.
+struct KnnModel {
+  std::unique_ptr<const KdTree> tree;
+  std::vector<double> unit_scale;  // All-ones: kNN uses raw coordinates.
+  double log_ball_volume = 0.0;    // log V_d of the unit ball.
+  double threshold = 0.0;
+};
+
+/// Per-thread scratch for the kNN engine: the best-k neighbor heap.
+class KnnQueryContext : public QueryContext {
+ public:
+  KnnQueryContext() { neighbors.reserve(64); }
+  std::vector<std::pair<double, size_t>> neighbors;
+};
+
 /// k-nearest-neighbor density classification — the non-parametric
 /// alternative the paper's related work contrasts KDE against (Section 5):
 /// score each point by its distance to the k-th nearest training point and
@@ -35,32 +53,52 @@ struct KnnOptions {
 /// (V_d = unit-ball volume). Fast and knob-light, but the paper's point
 /// stands: the implied density is neither smooth nor normalized, so it
 /// cannot feed the statistical use cases KDE serves. Included as a
-/// comparator and as a consumer of the k-d tree's kNN search.
+/// comparator and as a consumer of the k-d tree's kNN search. Distance
+/// computations are reported through the kernel-evaluation counter so
+/// Figure 7's work column is uniform.
 class KnnClassifier : public DensityClassifier {
  public:
   explicit KnnClassifier(KnnOptions options = KnnOptions());
 
   std::string name() const override { return "knn"; }
   void Train(const Dataset& data) override;
-  Classification Classify(std::span<const double> x) override;
-  Classification ClassifyTraining(std::span<const double> x) override;
-  double EstimateDensity(std::span<const double> x) override;
+  bool trained() const override { return model_ != nullptr; }
+  size_t dims() const override {
+    return model_ != nullptr ? model_->tree->dims() : 0;
+  }
   double threshold() const override;
-  uint64_t kernel_evaluations() const override;
+
+  std::unique_ptr<QueryContext> MakeQueryContext() const override {
+    return std::make_unique<KnnQueryContext>();
+  }
+  Classification ClassifyInContext(QueryContext& ctx,
+                                   std::span<const double> x,
+                                   bool training) const override;
+  double EstimateDensityInContext(QueryContext& ctx,
+                                  std::span<const double> x) const override;
+
+  const KnnOptions& options() const { return options_; }
+  const KnnModel& model() const { return *model_; }
 
   /// Scaled distance to the k-th neighbor (the raw outlier score).
   double KthNeighborDistance(std::span<const double> x, bool training);
 
+  /// Restores a trained state from serialized parts (model_io): rebuilds
+  /// the index from `data` and installs the threshold without re-running
+  /// the quantile pass. k and leaf_size come from options().
+  void Restore(const Dataset& data, double threshold);
+
  private:
-  double Density(std::span<const double> x, bool training);
+  static double KthDistance(const KnnModel& m, KnnQueryContext& ctx, size_t k,
+                            std::span<const double> x, bool training);
+  double Density(const KnnModel& m, KnnQueryContext& ctx,
+                 std::span<const double> x, bool training) const;
+
+  /// Index build shared by Train and Restore.
+  std::shared_ptr<KnnModel> BuildModel(const Dataset& data) const;
 
   KnnOptions options_;
-  std::unique_ptr<KdTree> tree_;
-  std::vector<double> unit_scale_;  // All-ones: kNN uses raw coordinates.
-  double log_ball_volume_ = 0.0;    // log V_d of the unit ball.
-  double threshold_ = 0.0;
-  uint64_t distance_computations_ = 0;
-  std::vector<std::pair<double, size_t>> neighbor_buffer_;
+  std::shared_ptr<const KnnModel> model_;
 };
 
 }  // namespace tkdc

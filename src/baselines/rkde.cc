@@ -1,6 +1,7 @@
 #include "baselines/rkde.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/macros.h"
 #include "common/rng.h"
@@ -15,21 +16,51 @@ RkdeClassifier::RkdeClassifier(RkdeOptions options)
   options_.base.Validate();
 }
 
-void RkdeClassifier::Train(const Dataset& data) {
+std::shared_ptr<RkdeModel> RkdeClassifier::BuildModel(
+    const TkdcConfig& config, const Dataset& data,
+    std::vector<double> bandwidths) {
   TKDC_CHECK(data.size() >= 2);
-  const TkdcConfig& config = options_.base;
-  kernel_ = std::make_unique<Kernel>(
-      config.kernel, SelectBandwidths(config.bandwidth_rule, data,
-                                      config.bandwidth_scale));
+  auto model = std::make_shared<RkdeModel>();
+  model->kernel =
+      std::make_unique<const Kernel>(config.kernel, std::move(bandwidths));
   KdTreeOptions tree_options;
   tree_options.leaf_size = config.leaf_size;
   tree_options.split_rule = config.split_rule;
   tree_options.axis_rule = config.axis_rule;
-  tree_ = std::make_unique<KdTree>(data, tree_options);
-  self_contribution_ = kernel_->MaxValue() / static_cast<double>(data.size());
+  model->tree = std::make_unique<const KdTree>(data, tree_options);
+  model->self_contribution =
+      model->kernel->MaxValue() / static_cast<double>(data.size());
+  return model;
+}
 
+double RkdeClassifier::RadialDensity(const RkdeModel& m, TreeQueryContext& ctx,
+                                     std::span<const double> x) {
+  ctx.neighbors.clear();
+  ctx.stats.kernel_evaluations += m.tree->CollectWithinScaledRadius(
+      x, m.kernel->inverse_bandwidths(), m.radius_sq, &ctx.neighbors);
+  const Kernel::ScaledProfileFn profile = m.kernel->scaled_profile();
+  const double norm = m.kernel->norm();
+  double sum = 0.0;
+  for (size_t idx : ctx.neighbors) {
+    sum += profile(m.kernel->ScaledSquaredDistance(x, m.tree->Point(idx)),
+                   norm);
+  }
+  ctx.stats.kernel_evaluations += ctx.neighbors.size();
+  ctx.stats.leaf_points_evaluated += ctx.neighbors.size();
+  ++ctx.stats.queries;
+  return sum / static_cast<double>(m.tree->size());
+}
+
+void RkdeClassifier::Train(const Dataset& data) {
+  const TkdcConfig& config = options_.base;
+  auto model = BuildModel(
+      config, data,
+      SelectBandwidths(config.bandwidth_rule, data, config.bandwidth_scale));
+
+  TraversalStats bootstrap_stats;
   if (options_.radius_bandwidths > 0.0) {
-    radius_sq_ = options_.radius_bandwidths * options_.radius_bandwidths;
+    model->radius_sq =
+        options_.radius_bandwidths * options_.radius_bandwidths;
   } else {
     // Auto radius: the same bootstrap as tKDC yields a lower bound t_lo on
     // the threshold; excluding all points beyond radius r changes the
@@ -37,14 +68,15 @@ void RkdeClassifier::Train(const Dataset& data) {
     // below the Problem 1 tolerance.
     ThresholdEstimator estimator(&config);
     const ThresholdBootstrapResult bootstrap =
-        estimator.Bootstrap(data, *tree_, *kernel_);
-    kernel_evaluations_ += bootstrap.stats.kernel_evaluations;
+        estimator.Bootstrap(data, *model->tree, *model->kernel);
+    bootstrap_stats = bootstrap.stats;
     const double target = config.epsilon * bootstrap.lower;
-    radius_sq_ = kernel_->ScaledSquaredDistanceForValue(target);
+    model->radius_sq =
+        model->kernel->ScaledSquaredDistanceForValue(target);
     // Guard against a degenerate bootstrap (t_lo == 0): fall back to a wide
     // but finite radius.
     const double max_radius_sq = 64.0;  // 8 bandwidths.
-    if (!(radius_sq_ < max_radius_sq)) radius_sq_ = max_radius_sq;
+    if (!(model->radius_sq < max_radius_sq)) model->radius_sq = max_radius_sq;
   }
 
   // Threshold from (a sample of) training densities, computed the same way
@@ -58,52 +90,57 @@ void RkdeClassifier::Train(const Dataset& data) {
     Rng rng(config.seed * 0x9e3779b97f4a7c15ULL + 13);
     rows = rng.SampleWithoutReplacement(n, options_.threshold_sample);
   }
+  TreeQueryContext train_ctx;
   std::vector<double> densities;
   densities.reserve(rows.size());
   for (size_t row : rows) {
-    densities.push_back(RadialDensity(data.Row(row)) - self_contribution_);
+    densities.push_back(RadialDensity(*model, train_ctx, data.Row(row)) -
+                        model->self_contribution);
   }
-  threshold_ = Quantile(std::move(densities), config.p);
+  model->threshold = Quantile(std::move(densities), config.p);
+  model_ = std::move(model);  // Published: immutable from here on.
+
+  train_stats_ = bootstrap_stats;
+  train_stats_.Add(train_ctx.stats);
+  train_grid_prunes_ = 0;
+  ResetQueryState();
 }
 
-double RkdeClassifier::RadialDensity(std::span<const double> x) {
-  neighbor_buffer_.clear();
-  kernel_evaluations_ += tree_->CollectWithinScaledRadius(
-      x, kernel_->inverse_bandwidths(), radius_sq_, &neighbor_buffer_);
-  double sum = 0.0;
-  for (size_t idx : neighbor_buffer_) {
-    sum += kernel_->EvaluateScaled(
-        kernel_->ScaledSquaredDistance(x, tree_->Point(idx)));
-  }
-  kernel_evaluations_ += neighbor_buffer_.size();
-  return sum / static_cast<double>(tree_->size());
-}
-
-Classification RkdeClassifier::Classify(std::span<const double> x) {
-  TKDC_CHECK_MSG(tree_ != nullptr, "Classify called before Train");
-  return RadialDensity(x) > threshold_ ? Classification::kHigh
-                                       : Classification::kLow;
-}
-
-Classification RkdeClassifier::ClassifyTraining(std::span<const double> x) {
-  TKDC_CHECK_MSG(tree_ != nullptr, "ClassifyTraining called before Train");
-  return RadialDensity(x) - self_contribution_ > threshold_
+Classification RkdeClassifier::ClassifyInContext(QueryContext& ctx,
+                                                 std::span<const double> x,
+                                                 bool training) const {
+  TKDC_CHECK_MSG(trained(), "Classify called before Train");
+  const double correction = training ? model_->self_contribution : 0.0;
+  return RadialDensity(*model_, static_cast<TreeQueryContext&>(ctx), x) -
+                     correction >
+                 model_->threshold
              ? Classification::kHigh
              : Classification::kLow;
 }
 
-double RkdeClassifier::EstimateDensity(std::span<const double> x) {
-  TKDC_CHECK_MSG(tree_ != nullptr, "EstimateDensity called before Train");
-  return RadialDensity(x);
+double RkdeClassifier::EstimateDensityInContext(
+    QueryContext& ctx, std::span<const double> x) const {
+  TKDC_CHECK_MSG(trained(), "EstimateDensity called before Train");
+  return RadialDensity(*model_, static_cast<TreeQueryContext&>(ctx), x);
 }
 
 double RkdeClassifier::threshold() const {
-  TKDC_CHECK_MSG(tree_ != nullptr, "threshold read before Train");
-  return threshold_;
+  TKDC_CHECK_MSG(trained(), "threshold read before Train");
+  return model_->threshold;
 }
 
-uint64_t RkdeClassifier::kernel_evaluations() const {
-  return kernel_evaluations_;
+void RkdeClassifier::Restore(const Dataset& data,
+                             const std::vector<double>& bandwidths,
+                             double radius_sq, double threshold) {
+  TKDC_CHECK(bandwidths.size() == data.dims());
+  TKDC_CHECK(radius_sq > 0.0);
+  auto model = BuildModel(options_.base, data, bandwidths);
+  model->radius_sq = radius_sq;
+  model->threshold = threshold;
+  model_ = std::move(model);
+  train_stats_ = TraversalStats();
+  train_grid_prunes_ = 0;
+  ResetQueryState();
 }
 
 }  // namespace tkdc

@@ -10,6 +10,7 @@
 #include "kde/density_classifier.h"
 #include "kde/kernel.h"
 #include "tkdc/config.h"
+#include "tkdc/density_bounds.h"
 
 namespace tkdc {
 
@@ -26,37 +27,72 @@ struct RkdeOptions {
   size_t threshold_sample = 2000;
 };
 
+/// The immutable trained artifact of rkde: the k-d tree over the training
+/// set, the kernel, the (possibly auto-selected) scaled squared query
+/// radius, and the quantile threshold.
+struct RkdeModel {
+  std::unique_ptr<const Kernel> kernel;
+  std::unique_ptr<const KdTree> tree;
+  double radius_sq = 0.0;
+  double threshold = 0.0;
+  double self_contribution = 0.0;
+};
+
 /// The paper's "rkde" baseline (Table 2): for each query, a k-d tree range
 /// query collects every training point within a fixed scaled radius and
 /// sums their exact kernel contributions, ignoring the rest. Unlike tKDC
 /// the work per query stays proportional to the number of in-radius
-/// neighbors, which grows linearly with n — hence O(n) per query.
+/// neighbors, which grows linearly with n — hence O(n) per query. The
+/// range-query hit list is per-thread scratch (TreeQueryContext), so batch
+/// calls parallelize like every other classifier.
 class RkdeClassifier : public DensityClassifier {
  public:
   explicit RkdeClassifier(RkdeOptions options = RkdeOptions());
 
   std::string name() const override { return "rkde"; }
   void Train(const Dataset& data) override;
-  Classification Classify(std::span<const double> x) override;
-  Classification ClassifyTraining(std::span<const double> x) override;
-  double EstimateDensity(std::span<const double> x) override;
+  bool trained() const override { return model_ != nullptr; }
+  size_t dims() const override {
+    return model_ != nullptr ? model_->tree->dims() : 0;
+  }
   double threshold() const override;
-  uint64_t kernel_evaluations() const override;
+
+  std::unique_ptr<QueryContext> MakeQueryContext() const override {
+    return std::make_unique<TreeQueryContext>();
+  }
+  Classification ClassifyInContext(QueryContext& ctx,
+                                   std::span<const double> x,
+                                   bool training) const override;
+  double EstimateDensityInContext(QueryContext& ctx,
+                                  std::span<const double> x) const override;
+
+  const RkdeOptions& options() const { return options_; }
+  const RkdeModel& model() const { return *model_; }
 
   /// The scaled squared radius actually used (after auto-selection).
-  double radius_scaled_squared() const { return radius_sq_; }
+  double radius_scaled_squared() const {
+    return model_ != nullptr ? model_->radius_sq : 0.0;
+  }
+
+  /// Restores a trained state from serialized parts (model_io): rebuilds
+  /// the index from `data` and installs the given bandwidths, radius, and
+  /// threshold without re-running the bootstrap or the quantile pass.
+  void Restore(const Dataset& data, const std::vector<double>& bandwidths,
+               double radius_sq, double threshold);
 
  private:
-  double RadialDensity(std::span<const double> x);
+  /// Truncated density at `x`: range query + exact kernel sum over the
+  /// in-radius neighbors (counted into ctx).
+  static double RadialDensity(const RkdeModel& m, TreeQueryContext& ctx,
+                              std::span<const double> x);
+
+  /// Index build shared by Train and Restore.
+  static std::shared_ptr<RkdeModel> BuildModel(
+      const TkdcConfig& config, const Dataset& data,
+      std::vector<double> bandwidths);
 
   RkdeOptions options_;
-  std::unique_ptr<Kernel> kernel_;
-  std::unique_ptr<KdTree> tree_;
-  double radius_sq_ = 0.0;
-  double threshold_ = 0.0;
-  double self_contribution_ = 0.0;
-  uint64_t kernel_evaluations_ = 0;
-  std::vector<size_t> neighbor_buffer_;
+  std::shared_ptr<const RkdeModel> model_;
 };
 
 }  // namespace tkdc

@@ -2,7 +2,6 @@
 
 #include "common/macros.h"
 #include "common/stats.h"
-#include "kde/kernel.h"
 
 namespace tkdc {
 
@@ -12,12 +11,29 @@ SimpleKdeClassifier::SimpleKdeClassifier(SimpleKdeOptions options)
   TKDC_CHECK(options_.bandwidth_scale > 0.0);
 }
 
+double SimpleKdeClassifier::ScanDensity(const SimpleKdeModel& m,
+                                        QueryContext& ctx,
+                                        std::span<const double> x) {
+  const size_t n = m.data.size();
+  const Kernel::ScaledProfileFn profile = m.kernel.scaled_profile();
+  const double norm = m.kernel.norm();
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += profile(m.kernel.ScaledSquaredDistance(x, m.data.Row(i)), norm);
+  }
+  ctx.stats.kernel_evaluations += n;
+  ++ctx.stats.queries;
+  return sum / static_cast<double>(n);
+}
+
 void SimpleKdeClassifier::Train(const Dataset& data) {
   TKDC_CHECK(data.size() >= 2);
-  Kernel kernel(options_.kernel,
-                SelectBandwidths(options_.bandwidth_rule, data,
-                                 options_.bandwidth_scale));
-  kde_ = std::make_unique<NaiveKde>(data, std::move(kernel));
+  auto model = std::make_shared<SimpleKdeModel>(
+      data, Kernel(options_.kernel,
+                   SelectBandwidths(options_.bandwidth_rule, data,
+                                    options_.bandwidth_scale)));
+  model->self_contribution =
+      model->kernel.MaxValue() / static_cast<double>(data.size());
 
   // Threshold t(p): quantile of self-corrected training densities, over the
   // full set or a subsample (Eq. 1).
@@ -30,39 +46,55 @@ void SimpleKdeClassifier::Train(const Dataset& data) {
     Rng rng(options_.seed * 0x9e3779b97f4a7c15ULL + 7);
     rows = rng.SampleWithoutReplacement(n, options_.threshold_sample);
   }
+  QueryContext train_ctx;
   std::vector<double> densities;
   densities.reserve(rows.size());
-  for (size_t row : rows) densities.push_back(kde_->TrainingDensity(row));
-  threshold_ = Quantile(std::move(densities), options_.p);
+  for (size_t row : rows) {
+    densities.push_back(ScanDensity(*model, train_ctx, data.Row(row)) -
+                        model->self_contribution);
+  }
+  model->threshold = Quantile(std::move(densities), options_.p);
+  model_ = std::move(model);  // Published: immutable from here on.
+
+  train_stats_ = train_ctx.stats;
+  train_grid_prunes_ = 0;
+  ResetQueryState();
 }
 
-Classification SimpleKdeClassifier::Classify(std::span<const double> x) {
-  TKDC_CHECK_MSG(kde_ != nullptr, "Classify called before Train");
-  return kde_->Density(x) > threshold_ ? Classification::kHigh
-                                       : Classification::kLow;
+Classification SimpleKdeClassifier::ClassifyInContext(
+    QueryContext& ctx, std::span<const double> x, bool training) const {
+  TKDC_CHECK_MSG(trained(), "Classify called before Train");
+  const double correction = training ? model_->self_contribution : 0.0;
+  return ScanDensity(*model_, ctx, x) - correction > model_->threshold
+             ? Classification::kHigh
+             : Classification::kLow;
 }
 
-Classification SimpleKdeClassifier::ClassifyTraining(
-    std::span<const double> x) {
-  TKDC_CHECK_MSG(kde_ != nullptr, "ClassifyTraining called before Train");
-  const double self =
-      kde_->kernel().MaxValue() / static_cast<double>(kde_->size());
-  return kde_->Density(x) - self > threshold_ ? Classification::kHigh
-                                              : Classification::kLow;
-}
-
-double SimpleKdeClassifier::EstimateDensity(std::span<const double> x) {
-  TKDC_CHECK_MSG(kde_ != nullptr, "EstimateDensity called before Train");
-  return kde_->Density(x);
+double SimpleKdeClassifier::EstimateDensityInContext(
+    QueryContext& ctx, std::span<const double> x) const {
+  TKDC_CHECK_MSG(trained(), "EstimateDensity called before Train");
+  return ScanDensity(*model_, ctx, x);
 }
 
 double SimpleKdeClassifier::threshold() const {
-  TKDC_CHECK_MSG(kde_ != nullptr, "threshold read before Train");
-  return threshold_;
+  TKDC_CHECK_MSG(trained(), "threshold read before Train");
+  return model_->threshold;
 }
 
-uint64_t SimpleKdeClassifier::kernel_evaluations() const {
-  return kde_ == nullptr ? 0 : kde_->kernel_evaluations();
+void SimpleKdeClassifier::Restore(const Dataset& data,
+                                  const std::vector<double>& bandwidths,
+                                  double threshold) {
+  TKDC_CHECK(data.size() >= 2);
+  TKDC_CHECK(bandwidths.size() == data.dims());
+  auto model = std::make_shared<SimpleKdeModel>(
+      data, Kernel(options_.kernel, bandwidths));
+  model->self_contribution =
+      model->kernel.MaxValue() / static_cast<double>(data.size());
+  model->threshold = threshold;
+  model_ = std::move(model);
+  train_stats_ = TraversalStats();
+  train_grid_prunes_ = 0;
+  ResetQueryState();
 }
 
 }  // namespace tkdc

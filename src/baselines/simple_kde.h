@@ -9,7 +9,7 @@
 #include "data/dataset.h"
 #include "kde/bandwidth.h"
 #include "kde/density_classifier.h"
-#include "kde/naive_kde.h"
+#include "kde/kernel.h"
 
 namespace tkdc {
 
@@ -26,27 +26,65 @@ struct SimpleKdeOptions {
   uint64_t seed = 0;
 };
 
+/// The immutable trained artifact of the naive baseline: the training data
+/// (its own "index" — a full scan needs nothing else), the kernel, and the
+/// quantile threshold.
+struct SimpleKdeModel {
+  Dataset data;
+  Kernel kernel;
+  double threshold = 0.0;
+  /// K_H(0) / n, subtracted when classifying training points.
+  double self_contribution = 0.0;
+
+  SimpleKdeModel(Dataset data_in, Kernel kernel_in)
+      : data(std::move(data_in)), kernel(std::move(kernel_in)) {}
+};
+
 /// The paper's "simple" algorithm: exact KDE by a full scan per query
 /// (Table 2). Its per-query cost is O(n) kernel evaluations — the quadratic
-/// total cost tKDC is built to avoid.
+/// total cost tKDC is built to avoid. The scan engine is stateless (the
+/// base QueryContext carries only counters), so batch calls parallelize
+/// like every other classifier.
 class SimpleKdeClassifier : public DensityClassifier {
  public:
   explicit SimpleKdeClassifier(SimpleKdeOptions options = SimpleKdeOptions());
 
   std::string name() const override { return "simple"; }
   void Train(const Dataset& data) override;
-  Classification Classify(std::span<const double> x) override;
-  Classification ClassifyTraining(std::span<const double> x) override;
-  double EstimateDensity(std::span<const double> x) override;
+  bool trained() const override { return model_ != nullptr; }
+  size_t dims() const override {
+    return model_ != nullptr ? model_->data.dims() : 0;
+  }
   double threshold() const override;
-  uint64_t kernel_evaluations() const override;
 
-  const NaiveKde& kde() const { return *kde_; }
+  std::unique_ptr<QueryContext> MakeQueryContext() const override {
+    return std::make_unique<QueryContext>();
+  }
+  Classification ClassifyInContext(QueryContext& ctx,
+                                   std::span<const double> x,
+                                   bool training) const override;
+  double EstimateDensityInContext(QueryContext& ctx,
+                                  std::span<const double> x) const override;
+
+  const SimpleKdeOptions& options() const { return options_; }
+  const SimpleKdeModel& model() const { return *model_; }
+  const Kernel& kernel() const { return model_->kernel; }
+  /// The training data the model scans (copied at Train time).
+  const Dataset& training_data() const { return model_->data; }
+
+  /// Restores a trained state from serialized parts (model_io): rebuilds
+  /// the model from `data` and the given bandwidths/threshold without
+  /// re-estimating the quantile.
+  void Restore(const Dataset& data, const std::vector<double>& bandwidths,
+               double threshold);
 
  private:
+  /// Exact density at `x` (O(n) kernel evaluations, counted into ctx).
+  static double ScanDensity(const SimpleKdeModel& m, QueryContext& ctx,
+                            std::span<const double> x);
+
   SimpleKdeOptions options_;
-  std::unique_ptr<NaiveKde> kde_;
-  double threshold_ = 0.0;
+  std::shared_ptr<const SimpleKdeModel> model_;
 };
 
 }  // namespace tkdc

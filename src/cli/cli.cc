@@ -2,8 +2,14 @@
 
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <optional>
 
+#include "baselines/binned_kde.h"
+#include "baselines/knn.h"
+#include "baselines/nocut.h"
+#include "baselines/rkde.h"
+#include "baselines/simple_kde.h"
 #include "common/timer.h"
 #include "data/csv.h"
 #include "data/datasets.h"
@@ -15,27 +21,39 @@ namespace {
 
 constexpr const char kUsage[] =
     "usage: tkdc_cli <train|classify|info|generate> [options]\n"
-    "  train     --input X.csv --model M.tkdc [--p F] [--epsilon F] [--b F]\n"
+    "  train     --input X.csv --model M.tkdc [--algorithm NAME] [--p F]\n"
+    "            [--epsilon F] [--b F] [--k N]\n"
     "            [--kernel gaussian|epanechnikov|uniform|biweight]\n"
     "            [--split trimmed|median|midpoint] [--no-grid] [--seed N]\n"
     "            [--threads N] [--header] [--no-densities]\n"
+    "  (--algorithm: tkdc (default), nocut, simple, rkde, binned, or knn;\n"
+    "   --k applies to knn only)\n"
     "  classify  --model M.tkdc --input Q.csv --output R.csv [--header]\n"
     "            [--training] [--density] [--threads N]\n"
-    "  (--threads: worker threads for training densities and batch\n"
+    "  (--input/--output may repeat, pairwise: the model is loaded ONCE and\n"
+    "   each query file is classified against it in turn.\n"
+    "   --threads: worker threads for training densities and batch\n"
     "   classification; 0 = hardware concurrency (default), 1 = serial.\n"
     "   Results are identical for any value.)\n"
     "  info      --model M.tkdc\n"
     "  generate  --dataset NAME --n N --output X.csv [--dims D] [--seed N]\n";
 
 // Parsed command line: --key value pairs plus boolean --flag switches.
+// Repeated options accumulate in order; Value() keeps the familiar
+// last-one-wins reading for options that should be scalar.
 struct ParsedArgs {
-  std::map<std::string, std::string> values;
+  std::map<std::string, std::vector<std::string>> values;
   std::map<std::string, bool> flags;
 
   std::optional<std::string> Value(const std::string& key) const {
     const auto it = values.find(key);
     if (it == values.end()) return std::nullopt;
-    return it->second;
+    return it->second.back();
+  }
+
+  std::vector<std::string> Values(const std::string& key) const {
+    const auto it = values.find(key);
+    return it == values.end() ? std::vector<std::string>() : it->second;
   }
 
   bool Flag(const std::string& key) const {
@@ -69,14 +87,14 @@ bool ParseArgs(const std::vector<std::string>& args, size_t start,
     }
     const size_t eq = arg.find('=');
     if (eq != std::string::npos) {
-      parsed->values[arg.substr(0, eq)] = arg.substr(eq + 1);
+      parsed->values[arg.substr(0, eq)].push_back(arg.substr(eq + 1));
       continue;
     }
     if (i + 1 >= args.size()) {
       err << "missing value for " << arg << "\n";
       return false;
     }
-    parsed->values[arg] = args[++i];
+    parsed->values[arg].push_back(args[++i]);
   }
   return true;
 }
@@ -90,6 +108,50 @@ bool RequireValues(const ParsedArgs& parsed,
     }
   }
   return true;
+}
+
+// Builds an untrained classifier of the requested algorithm, mapping the
+// shared knobs (p, epsilon, bandwidth scale, kernel, seed, ...) from the
+// tkdc-style config parsed off the command line.
+std::unique_ptr<DensityClassifier> MakeClassifier(const std::string& algorithm,
+                                                  const TkdcConfig& config,
+                                                  size_t k, std::ostream& err) {
+  if (algorithm == "tkdc") return std::make_unique<TkdcClassifier>(config);
+  if (algorithm == "nocut") return std::make_unique<NocutClassifier>(config);
+  if (algorithm == "rkde") {
+    RkdeOptions options;
+    options.base = config;
+    return std::make_unique<RkdeClassifier>(options);
+  }
+  if (algorithm == "simple") {
+    SimpleKdeOptions options;
+    options.p = config.p;
+    options.bandwidth_scale = config.bandwidth_scale;
+    options.kernel = config.kernel;
+    options.bandwidth_rule = config.bandwidth_rule;
+    options.seed = config.seed;
+    return std::make_unique<SimpleKdeClassifier>(options);
+  }
+  if (algorithm == "binned") {
+    BinnedKdeOptions options;
+    options.p = config.p;
+    options.bandwidth_scale = config.bandwidth_scale;
+    options.kernel = config.kernel;
+    options.bandwidth_rule = config.bandwidth_rule;
+    options.seed = config.seed;
+    return std::make_unique<BinnedKdeClassifier>(options);
+  }
+  if (algorithm == "knn") {
+    KnnOptions options;
+    options.p = config.p;
+    options.k = k;
+    options.leaf_size = config.leaf_size;
+    options.seed = config.seed;
+    return std::make_unique<KnnClassifier>(options);
+  }
+  err << "unknown algorithm: " << algorithm
+      << " (available: tkdc nocut simple rkde binned knn)\n";
+  return nullptr;
 }
 
 int CmdTrain(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
@@ -136,6 +198,21 @@ int CmdTrain(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
     }
     config.num_threads = static_cast<size_t>(parsed_threads);
   }
+  size_t k = KnnOptions().k;
+  if (const auto k_arg = parsed.Value("--k")) {
+    const long long parsed_k = std::atoll(k_arg->c_str());
+    if (parsed_k < 1) {
+      err << "--k must be positive\n";
+      return 2;
+    }
+    k = static_cast<size_t>(parsed_k);
+  }
+  const std::string algorithm =
+      parsed.Value("--algorithm").value_or("tkdc");
+  std::unique_ptr<DensityClassifier> classifier =
+      MakeClassifier(algorithm, config, k, err);
+  if (classifier == nullptr) return 2;
+  classifier->SetNumThreads(config.num_threads);
 
   std::string error;
   const auto table =
@@ -148,15 +225,14 @@ int CmdTrain(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
     err << "need at least 2 training rows\n";
     return 1;
   }
-  out << "training on " << table->data.size() << " x " << table->data.dims()
-      << " points...\n";
+  out << "training " << algorithm << " on " << table->data.size() << " x "
+      << table->data.dims() << " points...\n";
   WallTimer timer;
-  TkdcClassifier classifier(config);
-  classifier.Train(table->data);
+  classifier->Train(table->data);
   out << "trained in " << timer.ElapsedSeconds()
-      << "s; threshold t(p=" << config.p << ") = " << classifier.threshold()
+      << "s; threshold t(p=" << config.p << ") = " << classifier->threshold()
       << "\n";
-  if (!SaveModel(*parsed.Value("--model"), classifier, table->data,
+  if (!SaveModel(*parsed.Value("--model"), *classifier, table->data,
                  !parsed.Flag("--no-densities"), &error)) {
     err << error << "\n";
     return 1;
@@ -170,22 +246,20 @@ int CmdClassify(const ParsedArgs& parsed, std::ostream& out,
   if (!RequireValues(parsed, {"--model", "--input", "--output"}, err)) {
     return 2;
   }
+  const std::vector<std::string> inputs = parsed.Values("--input");
+  const std::vector<std::string> outputs = parsed.Values("--output");
+  if (inputs.size() != outputs.size()) {
+    err << "--input and --output must be given the same number of times ("
+        << inputs.size() << " vs " << outputs.size() << ")\n";
+    return 2;
+  }
   std::string error;
-  auto classifier = LoadModel(*parsed.Value("--model"), &error);
+  // One load serves every query file: the model is an immutable artifact,
+  // so classifying never retrains or mutates it.
+  std::unique_ptr<DensityClassifier> classifier =
+      LoadAnyModel(*parsed.Value("--model"), &error);
   if (classifier == nullptr) {
     err << error << "\n";
-    return 1;
-  }
-  const auto table =
-      ReadCsv(*parsed.Value("--input"), parsed.Flag("--header"), &error);
-  if (!table.has_value()) {
-    err << error << "\n";
-    return 1;
-  }
-  if (table->data.dims() != classifier->tree().dims()) {
-    err << "query dimensionality " << table->data.dims()
-        << " does not match model dimensionality "
-        << classifier->tree().dims() << "\n";
     return 1;
   }
   const bool training = parsed.Flag("--training");
@@ -198,56 +272,72 @@ int CmdClassify(const ParsedArgs& parsed, std::ostream& out,
     }
     classifier->SetNumThreads(static_cast<size_t>(parsed_threads));
   }
-  // Labels come from the (possibly multi-threaded) batch engine; the
-  // optional density column stays a serial pass since EstimateDensity is
-  // per-point.
-  const std::vector<Classification> labels =
-      training ? classifier->ClassifyTrainingBatch(table->data)
-               : classifier->ClassifyBatch(table->data);
-  Dataset results(with_density ? 2 : 1);
-  results.Reserve(table->data.size());
-  size_t high = 0;
-  for (size_t i = 0; i < table->data.size(); ++i) {
-    if (labels[i] == Classification::kHigh) ++high;
-    std::vector<double> result_row{
-        labels[i] == Classification::kHigh ? 1.0 : 0.0};
-    if (with_density) {
-      result_row.push_back(classifier->EstimateDensity(table->data.Row(i)));
+  for (size_t file = 0; file < inputs.size(); ++file) {
+    const auto table = ReadCsv(inputs[file], parsed.Flag("--header"), &error);
+    if (!table.has_value()) {
+      err << error << "\n";
+      return 1;
     }
-    results.AppendRow(result_row);
+    if (table->data.dims() != classifier->dims()) {
+      err << inputs[file] << ": query dimensionality " << table->data.dims()
+          << " does not match model dimensionality " << classifier->dims()
+          << "\n";
+      return 1;
+    }
+    // Labels come from the (possibly multi-threaded) batch engine; the
+    // optional density column stays a serial pass since EstimateDensity is
+    // per-point.
+    const std::vector<Classification> labels =
+        training ? classifier->ClassifyTrainingBatch(table->data)
+                 : classifier->ClassifyBatch(table->data);
+    Dataset results(with_density ? 2 : 1);
+    results.Reserve(table->data.size());
+    size_t high = 0;
+    for (size_t i = 0; i < table->data.size(); ++i) {
+      if (labels[i] == Classification::kHigh) ++high;
+      std::vector<double> result_row{
+          labels[i] == Classification::kHigh ? 1.0 : 0.0};
+      if (with_density) {
+        result_row.push_back(classifier->EstimateDensity(table->data.Row(i)));
+      }
+      results.AppendRow(result_row);
+    }
+    std::vector<std::string> header{"high"};
+    if (with_density) header.push_back("density");
+    if (!WriteCsv(outputs[file], results, header, &error)) {
+      err << error << "\n";
+      return 1;
+    }
+    out << "classified " << table->data.size() << " points: " << high
+        << " HIGH, " << (table->data.size() - high) << " LOW\n"
+        << "results written to " << outputs[file] << "\n";
   }
-  std::vector<std::string> header{"high"};
-  if (with_density) header.push_back("density");
-  if (!WriteCsv(*parsed.Value("--output"), results, header, &error)) {
-    err << error << "\n";
-    return 1;
-  }
-  out << "classified " << table->data.size() << " points: " << high
-      << " HIGH, " << (table->data.size() - high) << " LOW\n"
-      << "results written to " << *parsed.Value("--output") << "\n";
   return 0;
 }
 
 int CmdInfo(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
   if (!RequireValues(parsed, {"--model"}, err)) return 2;
   std::string error;
-  const auto classifier = LoadModel(*parsed.Value("--model"), &error);
+  const std::unique_ptr<DensityClassifier> classifier =
+      LoadAnyModel(*parsed.Value("--model"), &error);
   if (classifier == nullptr) {
     err << error << "\n";
     return 1;
   }
-  const TkdcConfig& config = classifier->config();
-  out << "tkdc model: " << *parsed.Value("--model") << "\n"
-      << "  training points: " << classifier->tree().size() << "\n"
-      << "  dimensions:      " << classifier->tree().dims() << "\n"
-      << "  p:               " << config.p << "\n"
-      << "  epsilon:         " << config.epsilon << "\n"
-      << "  threshold t(p):  " << classifier->threshold() << "\n"
-      << "  threshold bound: [" << classifier->threshold_lower() << ", "
-      << classifier->threshold_upper() << "]\n"
-      << "  optimizations:   " << config.OptimizationSummary() << "\n"
-      << "  cached Dx:       "
-      << (classifier->training_densities().empty() ? "no" : "yes") << "\n";
+  out << classifier->name() << " model: " << *parsed.Value("--model") << "\n"
+      << "  dimensions:      " << classifier->dims() << "\n"
+      << "  threshold t(p):  " << classifier->threshold() << "\n";
+  if (const auto* tkdc = dynamic_cast<const TkdcClassifier*>(classifier.get())) {
+    const TkdcConfig& config = tkdc->config();
+    out << "  training points: " << tkdc->tree().size() << "\n"
+        << "  p:               " << config.p << "\n"
+        << "  epsilon:         " << config.epsilon << "\n"
+        << "  threshold bound: [" << tkdc->threshold_lower() << ", "
+        << tkdc->threshold_upper() << "]\n"
+        << "  optimizations:   " << config.OptimizationSummary() << "\n"
+        << "  cached Dx:       "
+        << (tkdc->training_densities().empty() ? "no" : "yes") << "\n";
+  }
   return 0;
 }
 

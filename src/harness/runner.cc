@@ -87,6 +87,7 @@ RunResult RunClassifierBatch(DensityClassifier& classifier,
   result.algorithm = classifier.name();
   result.dataset_size = data.size();
   result.dims = data.dims();
+  result.threads = classifier.num_threads();
 
   WallTimer timer;
   classifier.Train(data);

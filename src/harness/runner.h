@@ -36,7 +36,7 @@ struct RunResult {
   /// Fraction of measured queries classified HIGH.
   double high_fraction = 0.0;
   /// Worker threads the measurement ran with (1 for the serial per-point
-  /// path; filled by RunClassifierBatch callers that vary it).
+  /// path; RunClassifierBatch fills it from the classifier's engine).
   size_t threads = 1;
 };
 
@@ -63,8 +63,8 @@ Dataset MakeQuerySubset(const Dataset& data, size_t max_queries);
 /// Batch-mode counterpart of RunClassifier: trains, then classifies the
 /// strided query subset in ONE ClassifyTrainingBatch call so classifiers
 /// with a parallel engine fan the rows across their worker pool. The whole
-/// batch is timed (no budget extrapolation), and `result.threads` is left
-/// at 1 for the caller to fill with the classifier's thread count.
+/// batch is timed (no budget extrapolation), and `result.threads` records
+/// the classifier's configured thread count.
 RunResult RunClassifierBatch(DensityClassifier& classifier,
                              const Dataset& data, const RunOptions& options);
 

@@ -1,0 +1,41 @@
+#include "kde/batch_executor.h"
+
+#include <vector>
+
+namespace tkdc {
+
+void BatchExecutor::SetNumThreads(size_t num_threads) {
+  const size_t resolved =
+      num_threads == 0 ? HardwareConcurrency() : num_threads;
+  if (resolved == num_threads_ && (resolved == 1 || pool_ != nullptr)) return;
+  num_threads_ = resolved;
+  pool_.reset();  // Rebuilt lazily on the next parallel Map.
+}
+
+void BatchExecutor::Map(size_t total, size_t min_chunk,
+                        const ContextFactory& make_context, const RowBody& body,
+                        QueryContext& sink) {
+  if (total == 0) return;
+  if (num_threads_ == 1) {
+    // Serial path: run on the sink itself, reusing its warm scratch.
+    for (size_t row = 0; row < total; ++row) body(sink, row);
+    return;
+  }
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(num_threads_);
+
+  std::vector<std::unique_ptr<QueryContext>> contexts;
+  contexts.reserve(num_threads_);
+  for (size_t slot = 0; slot < num_threads_; ++slot) {
+    contexts.push_back(make_context());
+  }
+  pool_->ParallelFor(total, min_chunk,
+                     [&](size_t slot, size_t begin, size_t end) {
+                       QueryContext& ctx = *contexts[slot];
+                       for (size_t row = begin; row < end; ++row) {
+                         body(ctx, row);
+                       }
+                     });
+  for (const auto& ctx : contexts) sink.MergeCounters(*ctx);
+}
+
+}  // namespace tkdc

@@ -1,0 +1,28 @@
+#include "kde/density_classifier.h"
+
+#include "common/macros.h"
+
+namespace tkdc {
+
+QueryContext& DensityClassifier::live_context() {
+  if (live_context_ == nullptr) live_context_ = MakeQueryContext();
+  return *live_context_;
+}
+
+std::vector<Classification> DensityClassifier::ClassifyBatchImpl(
+    const Dataset& queries, bool training) {
+  TKDC_CHECK_MSG(trained(), "ClassifyBatch called before Train");
+  TKDC_CHECK_MSG(queries.dims() == dims(),
+                 "query dimensionality does not match the trained model");
+  std::vector<Classification> labels(queries.size());
+  executor_.Map(
+      queries.size(), BatchExecutor::kDefaultMinChunk,
+      [this] { return MakeQueryContext(); },
+      [&](QueryContext& ctx, size_t row) {
+        labels[row] = ClassifyInContext(ctx, queries.Row(row), training);
+      },
+      live_context());
+  return labels;
+}
+
+}  // namespace tkdc

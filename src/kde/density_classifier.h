@@ -2,11 +2,15 @@
 #define TKDC_KDE_DENSITY_CLASSIFIER_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/macros.h"
 #include "data/dataset.h"
+#include "kde/batch_executor.h"
+#include "kde/query_context.h"
 
 namespace tkdc {
 
@@ -18,67 +22,183 @@ enum class Classification {
 
 /// Common interface for every density-classification algorithm in the
 /// evaluation (tKDC and the simple / nocut / rkde / binned / knn
-/// baselines).
+/// baselines), layered as model / engine / context:
 ///
-/// Usage: construct, Train() once on the training set (which also fixes the
-/// quantile threshold t(p)), then Classify() any number of query points.
+///   - Train() produces an immutable *trained model* (index structures,
+///     kernel, bandwidths, threshold) owned by the subclass and safe to
+///     share across threads and to serialize (model_io).
+///   - The subclass itself is the stateless *query engine*: its
+///     ClassifyInContext / EstimateDensityInContext overrides are `const`
+///     and read only the model.
+///   - All query-time mutability lives in a per-thread *QueryContext*
+///     (scratch buffers + work counters) built by MakeQueryContext().
+///
+/// The base class supplies the public facade on top of those hooks: the
+/// per-point Classify family runs in a long-lived "live" context, and the
+/// batch family fans rows across a shared BatchExecutor — so every
+/// subclass gets deterministic parallel ClassifyBatch /
+/// ClassifyTrainingBatch with bit-identical labels and counter totals at
+/// any thread count, for free.
+///
+/// Usage: construct, Train() once on the training set (which also fixes
+/// the quantile threshold t(p)), then Classify() any number of query
+/// points.
 class DensityClassifier {
  public:
+  DensityClassifier() = default;
   virtual ~DensityClassifier() = default;
+
+  DensityClassifier(const DensityClassifier&) = delete;
+  DensityClassifier& operator=(const DensityClassifier&) = delete;
 
   /// Algorithm name as used in the paper's plots ("tkdc", "simple", ...).
   virtual std::string name() const = 0;
 
-  /// Trains on `data`: builds indexes and estimates the threshold t(p).
+  /// Trains on `data`: builds the immutable model (indexes, bandwidths)
+  /// and estimates the threshold t(p). Implementations must call
+  /// ResetQueryState() so post-training query counters start at zero.
   virtual void Train(const Dataset& data) = 0;
 
-  /// Classifies a query point against the trained threshold.
-  virtual Classification Classify(std::span<const double> x) = 0;
+  /// Whether Train() (or a model_io restore) has produced a model.
+  virtual bool trained() const = 0;
 
-  /// Classifies a point that belongs to the training set. The threshold
-  /// t(p) is a quantile of *self-corrected* densities f(x_i) - K_H(0)/n
-  /// (paper Eq. 1), so classifying a training point must subtract its own
-  /// kernel contribution too — otherwise, for small n or higher d, the
-  /// self-term K_H(0)/n alone can exceed t and mark every training point
-  /// HIGH. This is the entry point for the paper's outlier-detection
-  /// workload (scoring the dataset against itself); Classify() is for
-  /// fresh query points.
-  virtual Classification ClassifyTraining(std::span<const double> x) = 0;
-
-  /// Classifies every row of `queries`, returning one label per row in row
-  /// order. The default is a serial loop over Classify(); implementations
-  /// with a parallel engine (TkdcClassifier) override it to fan the rows
-  /// across worker threads while producing bit-identical labels.
-  virtual std::vector<Classification> ClassifyBatch(const Dataset& queries) {
-    std::vector<Classification> labels;
-    labels.reserve(queries.size());
-    for (size_t i = 0; i < queries.size(); ++i) {
-      labels.push_back(Classify(queries.Row(i)));
-    }
-    return labels;
-  }
-
-  /// Batch counterpart of ClassifyTraining() (self-corrected densities);
-  /// same contract as ClassifyBatch.
-  virtual std::vector<Classification> ClassifyTrainingBatch(
-      const Dataset& queries) {
-    std::vector<Classification> labels;
-    labels.reserve(queries.size());
-    for (size_t i = 0; i < queries.size(); ++i) {
-      labels.push_back(ClassifyTraining(queries.Row(i)));
-    }
-    return labels;
-  }
-
-  /// Point estimate of the density at `x` (midpoint of bounds for bounded
-  /// algorithms). Used by the accuracy experiments.
-  virtual double EstimateDensity(std::span<const double> x) = 0;
+  /// Dimensionality of the trained model's input space; 0 when untrained.
+  virtual size_t dims() const = 0;
 
   /// The trained threshold estimate t~(p). Only valid after Train().
   virtual double threshold() const = 0;
 
-  /// Cumulative kernel evaluations across Train() and Classify() calls.
-  virtual uint64_t kernel_evaluations() const = 0;
+  // --- Engine hooks (the per-algorithm query engine) --------------------
+
+  /// Builds a query context of the dynamic type this engine expects, with
+  /// fresh counters and empty scratch. Contexts are independent: one per
+  /// thread, never shared.
+  virtual std::unique_ptr<QueryContext> MakeQueryContext() const = 0;
+
+  /// Classifies `x` against the trained threshold using `ctx` for scratch
+  /// and counters. `training` selects the self-corrected comparison for
+  /// points that belong to the training set: the threshold t(p) is a
+  /// quantile of densities f(x_i) - K_H(0)/n (paper Eq. 1), so a training
+  /// point must discount its own kernel contribution — otherwise, for
+  /// small n or higher d, the self-term alone can mark every training
+  /// point HIGH.
+  virtual Classification ClassifyInContext(QueryContext& ctx,
+                                           std::span<const double> x,
+                                           bool training) const = 0;
+
+  /// Point estimate of the density at `x` (midpoint of bounds for bounded
+  /// algorithms). Used by the accuracy experiments.
+  virtual double EstimateDensityInContext(QueryContext& ctx,
+                                          std::span<const double> x) const = 0;
+
+  // --- Facade (shared by every algorithm) -------------------------------
+
+  /// Classifies a fresh query point in the live context.
+  Classification Classify(std::span<const double> x) {
+    TKDC_CHECK_MSG(trained(), "Classify called before Train");
+    return ClassifyInContext(live_context(), x, /*training=*/false);
+  }
+
+  /// Classifies a point that belongs to the training set (self-corrected;
+  /// the entry point for the paper's outlier-detection workload of scoring
+  /// the dataset against itself).
+  Classification ClassifyTraining(std::span<const double> x) {
+    TKDC_CHECK_MSG(trained(), "ClassifyTraining called before Train");
+    return ClassifyInContext(live_context(), x, /*training=*/true);
+  }
+
+  /// Density point estimate in the live context.
+  double EstimateDensity(std::span<const double> x) {
+    TKDC_CHECK_MSG(trained(), "EstimateDensity called before Train");
+    return EstimateDensityInContext(live_context(), x);
+  }
+
+  /// Classifies every row of `queries`, returning one label per row in row
+  /// order. Rows fan out across the executor's threads; labels and merged
+  /// counters are bit-identical to the serial path at any thread count.
+  std::vector<Classification> ClassifyBatch(const Dataset& queries) {
+    return ClassifyBatchImpl(queries, /*training=*/false);
+  }
+
+  /// Batch counterpart of ClassifyTraining() (self-corrected densities);
+  /// same determinism contract as ClassifyBatch.
+  std::vector<Classification> ClassifyTrainingBatch(const Dataset& queries) {
+    return ClassifyBatchImpl(queries, /*training=*/true);
+  }
+
+  /// Re-sizes the batch executor without touching the trained model; the
+  /// next batch call repartitions. 0 = hardware concurrency, 1 = serial.
+  void SetNumThreads(size_t num_threads) {
+    executor_.SetNumThreads(num_threads);
+  }
+
+  /// Resolved worker count of the batch executor (never 0).
+  size_t num_threads() const { return executor_.num_threads(); }
+
+  /// Cumulative kernel evaluations across Train() and every query since.
+  uint64_t kernel_evaluations() const {
+    return train_stats_.kernel_evaluations +
+           live_query_stats().kernel_evaluations;
+  }
+
+  /// Counters for post-training queries only (live context + merged batch
+  /// workers). Zero right after Train().
+  const TraversalStats& query_stats() const { return live_query_stats(); }
+
+  /// Total work: training plus every query since.
+  TraversalStats traversal_stats() const {
+    TraversalStats total = train_stats_;
+    total.Add(live_query_stats());
+    return total;
+  }
+
+  /// Grid-cache hits (paper Section 3.7) across training and queries;
+  /// stays 0 for algorithms without a grid.
+  uint64_t grid_prunes() const {
+    return train_grid_prunes_ +
+           (live_context_ ? live_context_->grid_prunes : 0);
+  }
+
+  /// Folds externally accumulated counters into the live context. Used by
+  /// drivers that run the engine through their own contexts (e.g. the
+  /// dual-tree classifier) so this classifier's cumulative accounting
+  /// still reflects that work.
+  void AbsorbCounters(const QueryContext& ctx) {
+    live_context().MergeCounters(ctx);
+  }
+
+ protected:
+  /// The long-lived context serving the per-point facade and collecting
+  /// merged batch counters. Built lazily via MakeQueryContext().
+  QueryContext& live_context();
+
+  /// Drops the live context (query counters restart at zero). Train() and
+  /// restore paths call this after swapping in a new model.
+  void ResetQueryState() { live_context_.reset(); }
+
+  /// The shared batch executor, for subclasses that parallelize parts of
+  /// training (e.g. tKDC's Phase 3 density pass) through the same
+  /// deterministic fan-out.
+  BatchExecutor& executor() { return executor_; }
+
+  /// Work performed by Train(), snapshotted by the subclass (bootstrap +
+  /// training passes). Reported via kernel_evaluations() and
+  /// traversal_stats() but excluded from query_stats().
+  TraversalStats train_stats_;
+  /// Grid-cache hits during training passes.
+  uint64_t train_grid_prunes_ = 0;
+
+ private:
+  std::vector<Classification> ClassifyBatchImpl(const Dataset& queries,
+                                                bool training);
+
+  const TraversalStats& live_query_stats() const {
+    static const TraversalStats kEmpty;
+    return live_context_ ? live_context_->stats : kEmpty;
+  }
+
+  std::unique_ptr<QueryContext> live_context_;
+  BatchExecutor executor_{1};
 };
 
 }  // namespace tkdc

@@ -6,9 +6,42 @@
 #include "common/macros.h"
 
 namespace tkdc {
+namespace {
+
+// The per-family radial profiles behind Kernel::scaled_profile(): the same
+// arithmetic as EvaluateScaled's switch arms, so resolving the dispatch
+// once per context changes no bits.
+double GaussianProfile(double z, double norm) {
+  return norm * std::exp(-0.5 * z);
+}
+double EpanechnikovProfile(double z, double norm) {
+  return z >= 1.0 ? 0.0 : norm * (1.0 - z);
+}
+double UniformProfile(double z, double norm) { return z >= 1.0 ? 0.0 : norm; }
+double BiweightProfile(double z, double norm) {
+  return z >= 1.0 ? 0.0 : norm * (1.0 - z) * (1.0 - z);
+}
+
+Kernel::ScaledProfileFn ResolveProfile(KernelType type) {
+  switch (type) {
+    case KernelType::kGaussian:
+      return &GaussianProfile;
+    case KernelType::kEpanechnikov:
+      return &EpanechnikovProfile;
+    case KernelType::kUniform:
+      return &UniformProfile;
+    case KernelType::kBiweight:
+      return &BiweightProfile;
+  }
+  return &GaussianProfile;  // Unreachable.
+}
+
+}  // namespace
 
 Kernel::Kernel(KernelType type, std::vector<double> bandwidths)
-    : type_(type), bandwidths_(std::move(bandwidths)) {
+    : type_(type),
+      bandwidths_(std::move(bandwidths)),
+      profile_(ResolveProfile(type)) {
   TKDC_CHECK(!bandwidths_.empty());
   inv_bandwidths_.resize(bandwidths_.size());
   double log_bw_product = 0.0;

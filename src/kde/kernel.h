@@ -40,6 +40,11 @@ enum class KernelType {
 /// with the constants chosen so each kernel integrates to one.
 class Kernel {
  public:
+  /// Radial profile resolved to one kernel family: value of the kernel at
+  /// scaled squared distance `z` given the normalization `norm`. See
+  /// scaled_profile().
+  using ScaledProfileFn = double (*)(double z, double norm);
+
   /// Builds a kernel with the given per-axis bandwidths (all > 0).
   Kernel(KernelType type, std::vector<double> bandwidths);
 
@@ -54,8 +59,20 @@ class Kernel {
   double ScaledSquaredDistance(std::span<const double> a,
                                std::span<const double> b) const;
 
-  /// Kernel value given a scaled squared distance z >= 0.
+  /// Kernel value given a scaled squared distance z >= 0. Dispatches on
+  /// type() per call; hot loops should hoist the branch with
+  /// scaled_profile() instead.
   double EvaluateScaled(double z) const;
+
+  /// The family's radial profile as a plain function pointer, resolved
+  /// once at construction. Query engines cache this (together with norm())
+  /// per context so the leaf-scan hot loop performs no per-point dispatch:
+  /// `profile(z, norm)` is bit-identical to EvaluateScaled(z).
+  ScaledProfileFn scaled_profile() const { return profile_; }
+
+  /// Normalization constant K_H(0), the companion argument of
+  /// scaled_profile().
+  double norm() const { return norm_; }
 
   /// Kernel value K_H(a - b).
   double Evaluate(std::span<const double> a, std::span<const double> b) const;
@@ -79,6 +96,7 @@ class Kernel {
   std::vector<double> bandwidths_;
   std::vector<double> inv_bandwidths_;
   double norm_;  // Normalization constant = K_H(0) for both families.
+  ScaledProfileFn profile_;  // type_'s radial profile, resolved once.
 };
 
 }  // namespace tkdc

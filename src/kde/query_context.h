@@ -1,0 +1,64 @@
+#ifndef TKDC_KDE_QUERY_CONTEXT_H_
+#define TKDC_KDE_QUERY_CONTEXT_H_
+
+#include <cstdint>
+
+namespace tkdc {
+
+/// Work counters for a density query, matching the metrics reported in the
+/// paper's Figure 12 ("Kernel Evaluations / pt"). The counters are plain
+/// sums, so Add() is commutative and associative: folding per-thread stats
+/// in any order yields the same totals.
+struct TraversalStats {
+  /// Every kernel evaluation: two per node bound plus one per leaf point
+  /// for the tree traversals; baselines count their own unit of kernel (or
+  /// distance) work here so Figure 7's "kernel evals / query" is uniform.
+  uint64_t kernel_evaluations = 0;
+  /// Nodes popped from the priority queue and expanded.
+  uint64_t nodes_expanded = 0;
+  /// Exact point contributions evaluated inside leaves.
+  uint64_t leaf_points_evaluated = 0;
+  /// Density queries answered.
+  uint64_t queries = 0;
+
+  void Add(const TraversalStats& other) {
+    kernel_evaluations += other.kernel_evaluations;
+    nodes_expanded += other.nodes_expanded;
+    leaf_points_evaluated += other.leaf_points_evaluated;
+    queries += other.queries;
+  }
+};
+
+/// Per-thread query-time state: everything a query engine needs that is not
+/// part of the immutable trained model. A context owns the work counters
+/// and (in subclasses) the scratch buffers — traversal heaps, neighbor
+/// lists, range-query hit vectors — so engines stay `const` and a single
+/// trained model can serve many threads, each with its own context.
+///
+/// Lifecycle: `DensityClassifier::MakeQueryContext()` builds a context of
+/// the right dynamic type for its engine; the batch executor makes one per
+/// worker slot and folds the counters back into the caller's context with
+/// MergeCounters() after the fork/join. Merging is order-insensitive, so
+/// totals are bit-identical at every thread count.
+class QueryContext {
+ public:
+  virtual ~QueryContext() = default;
+
+  /// Folds another context's counters into this one. Subclasses do NOT
+  /// extend this: scratch buffers are per-thread throwaways; only the
+  /// counters survive the join.
+  void MergeCounters(const QueryContext& other) {
+    stats.Add(other.stats);
+    grid_prunes += other.grid_prunes;
+  }
+
+  /// Traversal / kernel-evaluation counters for work done in this context.
+  TraversalStats stats;
+  /// Queries answered by the grid cache without a tree traversal (paper
+  /// Section 3.7); only tKDC-family engines bump this.
+  uint64_t grid_prunes = 0;
+};
+
+}  // namespace tkdc
+
+#endif  // TKDC_KDE_QUERY_CONTEXT_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "common/macros.h"
 #include "common/stats.h"
@@ -14,142 +15,71 @@ namespace {
 // check of Section 3.6 fires (probability <= delta).
 constexpr int kMaxThresholdRetries = 5;
 
-// Smallest contiguous run of rows a worker grabs at once: BoundDensity on
-// an easy query is sub-microsecond, so amortize the per-chunk dispatch.
-constexpr size_t kMinRowsPerChunk = 16;
-
 }  // namespace
 
 TkdcClassifier::TkdcClassifier(TkdcConfig config)
     : config_(std::move(config)) {
   config_.Validate();
-}
-
-ThreadPool* TkdcClassifier::pool() {
-  const size_t want = num_threads();
-  if (want <= 1) {
-    pool_.reset();
-    return nullptr;
-  }
-  if (pool_ == nullptr || pool_->num_threads() != want) {
-    pool_ = std::make_unique<ThreadPool>(want);
-  }
-  return pool_.get();
-}
-
-void TkdcClassifier::SetNumThreads(size_t num_threads) {
-  config_.num_threads = num_threads;
-  config_.Validate();
-  pool_.reset();  // Lazily rebuilt at the new size on next batch call.
-}
-
-double TkdcClassifier::TrainingDensityForRow(
-    DensityBoundEvaluator& evaluator, std::span<const double> x, double lo,
-    double hi, double grid_cut, double tolerance,
-    uint64_t* grid_prunes) const {
-  if (grid_ != nullptr) {
-    const double grid_bound = grid_->DensityLowerBound(x) - self_contribution_;
-    if (grid_bound > grid_cut) {
-      // Certified above the band: the exact value is irrelevant to the
-      // p-quantile as long as it stays on the high side.
-      ++*grid_prunes;
-      return grid_bound;
-    }
-  }
-  const DensityBounds bounds = evaluator.BoundDensity(
-      x, lo + self_contribution_, hi + self_contribution_, tolerance);
-  return bounds.Midpoint() - self_contribution_;
+  SetNumThreads(config_.num_threads);
 }
 
 std::vector<double> TkdcClassifier::ComputeTrainingDensities(
-    const Dataset& data, double lo, double hi) {
+    const Dataset& data, double lo, double hi, TreeQueryContext& sink) {
   // lo/hi bound the *self-corrected* quantile t(p) (Eq. 1), while the
-  // traversal bounds *raw* densities; shift by K(0)/n to compare in the
-  // same space, but keep the tolerance target at eps * lo so corrected
-  // densities near the threshold are resolved to eps * t.
+  // traversal bounds *raw* densities; the engine shifts by K(0)/n to
+  // compare in the same space, but keeps the tolerance target at eps * lo
+  // so corrected densities near the threshold are resolved to eps * t.
   const double grid_cut = hi * (1.0 + config_.epsilon);
   const double tolerance = config_.epsilon * lo;
   std::vector<double> densities(data.size());
-
-  ThreadPool* workers = pool();
-  if (workers == nullptr) {
-    // Serial legacy path: one evaluator, stats accumulate in place.
-    for (size_t i = 0; i < data.size(); ++i) {
-      densities[i] = TrainingDensityForRow(*evaluator_, data.Row(i), lo, hi,
-                                           grid_cut, tolerance, &grid_prunes_);
-    }
-    return densities;
-  }
-
-  // Parallel path: every slot owns a private evaluator clone and a private
-  // prune counter; rows land in `densities` by index. Each row's density
-  // depends only on the row itself, so the values are bit-identical to the
-  // serial loop's; merging the counters afterwards makes the totals match
-  // too (sums are order-insensitive).
-  const size_t slots = workers->num_threads();
-  std::vector<DensityBoundEvaluator> evaluators;
-  evaluators.reserve(slots);
-  for (size_t s = 0; s < slots; ++s) evaluators.push_back(evaluator_->Clone());
-  std::vector<uint64_t> prunes(slots, 0);
-  workers->ParallelFor(
-      data.size(), kMinRowsPerChunk,
-      [&](size_t slot, size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          densities[i] =
-              TrainingDensityForRow(evaluators[slot], data.Row(i), lo, hi,
-                                    grid_cut, tolerance, &prunes[slot]);
-        }
-      });
-  for (size_t s = 0; s < slots; ++s) {
-    evaluator_->MergeStats(evaluators[s].stats());
-    grid_prunes_ += prunes[s];
-  }
+  // Each row's density depends only on the row itself, so the values are
+  // bit-identical to a serial loop's; the executor merges the per-worker
+  // counters into `sink` afterwards (sums are order-insensitive).
+  executor().Map(
+      data.size(), BatchExecutor::kDefaultMinChunk,
+      [this] { return MakeQueryContext(); },
+      [&](QueryContext& ctx, size_t row) {
+        densities[row] =
+            engine_.TrainingDensity(static_cast<TreeQueryContext&>(ctx),
+                                    data.Row(row), lo, hi, grid_cut,
+                                    tolerance);
+      },
+      sink);
   return densities;
 }
 
 void TkdcClassifier::Train(const Dataset& data) {
   TKDC_CHECK_MSG(data.size() >= 2, "training set needs at least 2 points");
-  kernel_ = std::make_unique<Kernel>(
-      config_.kernel, SelectBandwidths(config_.bandwidth_rule, data,
-                                       config_.bandwidth_scale));
-  KdTreeOptions tree_options;
-  tree_options.leaf_size = config_.leaf_size;
-  tree_options.split_rule = config_.split_rule;
-  tree_options.axis_rule = config_.axis_rule;
-  tree_ = std::make_unique<KdTree>(data, tree_options);
-  evaluator_ =
-      std::make_unique<DensityBoundEvaluator>(tree_.get(), kernel_.get(),
-                                              &config_);
-  self_contribution_ =
-      kernel_->MaxValue() / static_cast<double>(data.size());
+  auto model = BuildTkdcModelSkeleton(
+      config_, data,
+      SelectBandwidths(config_.bandwidth_rule, data,
+                       config_.bandwidth_scale));
 
   // Phase 1 (Algorithm 3): coarse probabilistic bounds on t(p).
-  ThresholdEstimator estimator(&config_);
-  bootstrap_result_ = estimator.Bootstrap(data, *tree_, *kernel_);
-  threshold_lower_ = bootstrap_result_.lower;
-  threshold_upper_ = bootstrap_result_.upper;
+  ThresholdEstimator estimator(&model->config);
+  model->bootstrap = estimator.Bootstrap(data, *model->tree, *model->kernel);
+  model->threshold_lower = model->bootstrap.lower;
+  model->threshold_upper = model->bootstrap.upper;
 
-  // Phase 2 (Section 3.7): grid cache over known-dense cells.
-  grid_.reset();
-  grid_prunes_ = 0;
-  if (config_.use_grid && data.dims() <= config_.grid_max_dims &&
-      data.dims() <= GridCache::kMaxDims) {
-    grid_ = std::make_unique<GridCache>(data, *kernel_);
-  }
+  // Point the engine at the model while it is still privately mutable: the
+  // Phase 3 pass only reads the index side; the threshold fields are
+  // written below, before the model is published.
+  engine_ = TkdcQueryEngine(model.get());
 
   // Phase 3 (Algorithm 1): density bounds for every training point, then
   // the p-quantile of the corrected midpoints becomes t~(p).
-  evaluator_->ResetStats();
-  double lo = threshold_lower_;
-  double hi = threshold_upper_;
+  TreeQueryContext phase3;
+  double lo = model->threshold_lower;
+  double hi = model->threshold_upper;
   for (int attempt = 0;; ++attempt) {
-    training_densities_ = ComputeTrainingDensities(data, lo, hi);
-    threshold_ = Quantile(training_densities_, config_.p);
+    model->training_densities = ComputeTrainingDensities(data, lo, hi, phase3);
+    model->threshold = Quantile(model->training_densities, config_.p);
     // Detection step of Section 3.6: with probability >= 1 - delta the
     // quantile lands inside the bootstrap bounds. If it does not, the
     // bounds were invalid; widen and recompute.
-    const bool valid = threshold_ >= lo * (1.0 - config_.epsilon) &&
-                       threshold_ <= hi * (1.0 + config_.epsilon);
+    const bool valid =
+        model->threshold >= lo * (1.0 - config_.epsilon) &&
+        model->threshold <= hi * (1.0 + config_.epsilon);
     if (valid || attempt >= kMaxThresholdRetries) break;
     lo /= config_.h_backoff;
     hi *= config_.h_backoff;
@@ -157,124 +87,47 @@ void TkdcClassifier::Train(const Dataset& data) {
       lo = 0.0;
       hi = std::numeric_limits<double>::infinity();
     }
-    threshold_lower_ = lo;
-    threshold_upper_ = hi;
+    model->threshold_lower = lo;
+    model->threshold_upper = hi;
   }
-  // Snapshot the Phase 3 work into its own bucket and reset the live
-  // evaluator, so the live counters cover post-training queries only (see
-  // the work-accounting contract in the header: the three buckets are
-  // disjoint and totals never double count).
-  training_stats_ = evaluator_->stats();
-  evaluator_->ResetStats();
+
+  // Snapshot the training work into its buckets (see the work-accounting
+  // contract in the header) and publish the now-immutable model. Dropping
+  // the live context makes query_stats() cover post-training queries only.
+  phase3_stats_ = phase3.stats;
+  train_stats_ = model->bootstrap.stats;
+  train_stats_.Add(phase3_stats_);
+  train_grid_prunes_ = phase3.grid_prunes;
+  model_ = std::move(model);
+  ResetQueryState();
 }
 
-Classification TkdcClassifier::ClassifyWith(DensityBoundEvaluator& evaluator,
-                                            std::span<const double> x,
-                                            bool training,
-                                            uint64_t* grid_prunes) const {
-  // For training points the corrected comparison f(x) - K(0)/n > t is
-  // equivalent to comparing the raw density against the shifted threshold
-  // t + K(0)/n, so the pruning band simply shifts; the tolerance target
-  // stays eps * t in corrected units.
-  const double cut =
-      training ? threshold_ + self_contribution_ : threshold_;
-  if (grid_ != nullptr && grid_->DensityLowerBound(x) > cut) {
-    ++*grid_prunes;
-    return Classification::kHigh;
-  }
-  const DensityBounds bounds =
-      training
-          ? evaluator.BoundDensity(x, cut, cut, config_.epsilon * threshold_)
-          : evaluator.BoundDensity(x, cut, cut);
-  return bounds.Midpoint() > cut ? Classification::kHigh
-                                 : Classification::kLow;
-}
-
-Classification TkdcClassifier::Classify(std::span<const double> x) {
+Classification TkdcClassifier::ClassifyInContext(QueryContext& ctx,
+                                                 std::span<const double> x,
+                                                 bool training) const {
   TKDC_CHECK_MSG(trained(), "Classify called before Train");
-  return ClassifyWith(*evaluator_, x, /*training=*/false, &grid_prunes_);
+  return engine_.Classify(static_cast<TreeQueryContext&>(ctx), x, training);
 }
 
-Classification TkdcClassifier::ClassifyTraining(std::span<const double> x) {
-  TKDC_CHECK_MSG(trained(), "ClassifyTraining called before Train");
-  return ClassifyWith(*evaluator_, x, /*training=*/true, &grid_prunes_);
-}
-
-std::vector<Classification> TkdcClassifier::ClassifyBatchImpl(
-    const Dataset& queries, bool training) {
-  TKDC_CHECK_MSG(trained(), "ClassifyBatch called before Train");
-  TKDC_CHECK_MSG(queries.dims() == tree_->dims(),
-                 "query dimensionality does not match the trained model");
-  std::vector<Classification> labels(queries.size());
-
-  ThreadPool* workers = pool();
-  if (workers == nullptr) {
-    for (size_t i = 0; i < queries.size(); ++i) {
-      labels[i] =
-          ClassifyWith(*evaluator_, queries.Row(i), training, &grid_prunes_);
-    }
-    return labels;
-  }
-
-  const size_t slots = workers->num_threads();
-  std::vector<DensityBoundEvaluator> evaluators;
-  evaluators.reserve(slots);
-  for (size_t s = 0; s < slots; ++s) evaluators.push_back(evaluator_->Clone());
-  std::vector<uint64_t> prunes(slots, 0);
-  workers->ParallelFor(
-      queries.size(), kMinRowsPerChunk,
-      [&](size_t slot, size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          labels[i] = ClassifyWith(evaluators[slot], queries.Row(i), training,
-                                   &prunes[slot]);
-        }
-      });
-  // Fold worker counters into the live evaluator: the work-accounting
-  // buckets (and thus kernel_evaluations()/traversal_stats()) read the
-  // same whether the batch ran serial or parallel.
-  for (size_t s = 0; s < slots; ++s) {
-    evaluator_->MergeStats(evaluators[s].stats());
-    grid_prunes_ += prunes[s];
-  }
-  return labels;
-}
-
-std::vector<Classification> TkdcClassifier::ClassifyBatch(
-    const Dataset& queries) {
-  return ClassifyBatchImpl(queries, /*training=*/false);
-}
-
-std::vector<Classification> TkdcClassifier::ClassifyTrainingBatch(
-    const Dataset& queries) {
-  return ClassifyBatchImpl(queries, /*training=*/true);
-}
-
-double TkdcClassifier::EstimateDensity(std::span<const double> x) {
+double TkdcClassifier::EstimateDensityInContext(
+    QueryContext& ctx, std::span<const double> x) const {
   TKDC_CHECK_MSG(trained(), "EstimateDensity called before Train");
-  return evaluator_->BoundDensity(x, threshold_, threshold_).Midpoint();
+  return engine_.EstimateDensity(static_cast<TreeQueryContext&>(ctx), x);
 }
 
 double TkdcClassifier::threshold() const {
   TKDC_CHECK_MSG(trained(), "threshold read before Train");
-  return threshold_;
+  return model_->threshold;
 }
 
-const TraversalStats& TkdcClassifier::query_stats() const {
-  static const TraversalStats kEmpty;
-  return evaluator_ != nullptr ? evaluator_->stats() : kEmpty;
+const std::vector<double>& TkdcClassifier::training_densities() const {
+  static const std::vector<double> kEmpty;
+  return model_ != nullptr ? model_->training_densities : kEmpty;
 }
 
-uint64_t TkdcClassifier::kernel_evaluations() const {
-  return bootstrap_result_.stats.kernel_evaluations +
-         training_stats_.kernel_evaluations +
-         query_stats().kernel_evaluations;
-}
-
-TraversalStats TkdcClassifier::traversal_stats() const {
-  TraversalStats stats = bootstrap_result_.stats;
-  stats.Add(training_stats_);
-  stats.Add(query_stats());
-  return stats;
+const ThresholdBootstrapResult& TkdcClassifier::bootstrap_result() const {
+  static const ThresholdBootstrapResult kEmpty;
+  return model_ != nullptr ? model_->bootstrap : kEmpty;
 }
 
 void TkdcClassifier::Restore(const Dataset& data,
@@ -287,34 +140,24 @@ void TkdcClassifier::Restore(const Dataset& data,
   TKDC_CHECK(training_densities.empty() ||
              training_densities.size() == data.size());
   TKDC_CHECK(threshold_lower >= 0.0 && threshold_upper >= threshold_lower);
-  kernel_ = std::make_unique<Kernel>(config_.kernel, bandwidths);
-  KdTreeOptions tree_options;
-  tree_options.leaf_size = config_.leaf_size;
-  tree_options.split_rule = config_.split_rule;
-  tree_options.axis_rule = config_.axis_rule;
-  tree_ = std::make_unique<KdTree>(data, tree_options);
-  evaluator_ = std::make_unique<DensityBoundEvaluator>(tree_.get(),
-                                                       kernel_.get(),
-                                                       &config_);
-  self_contribution_ =
-      kernel_->MaxValue() / static_cast<double>(data.size());
-  grid_.reset();
-  grid_prunes_ = 0;
-  if (config_.use_grid && data.dims() <= config_.grid_max_dims &&
-      data.dims() <= GridCache::kMaxDims) {
-    grid_ = std::make_unique<GridCache>(data, *kernel_);
-  }
-  bootstrap_result_ = ThresholdBootstrapResult();
-  training_stats_ = TraversalStats();
-  threshold_lower_ = threshold_lower;
-  threshold_upper_ = threshold_upper;
-  threshold_ = threshold;
-  training_densities_ = std::move(training_densities);
+  auto model = BuildTkdcModelSkeleton(config_, data, bandwidths);
+  model->threshold_lower = threshold_lower;
+  model->threshold_upper = threshold_upper;
+  model->threshold = threshold;
+  model->training_densities = std::move(training_densities);
+  engine_ = TkdcQueryEngine(model.get());
+  phase3_stats_ = TraversalStats();
+  train_stats_ = TraversalStats();
+  train_grid_prunes_ = 0;
+  model_ = std::move(model);
+  ResetQueryState();
 }
 
 DensityBounds TkdcClassifier::BoundDensityAt(std::span<const double> x) {
   TKDC_CHECK_MSG(trained(), "BoundDensityAt called before Train");
-  return evaluator_->BoundDensity(x, threshold_lower_, threshold_upper_);
+  return engine_.evaluator().BoundDensity(
+      static_cast<TreeQueryContext&>(live_context()), x,
+      model_->threshold_lower, model_->threshold_upper);
 }
 
 }  // namespace tkdc

@@ -6,34 +6,36 @@
 #include <string>
 #include <vector>
 
-#include "common/parallel.h"
 #include "data/dataset.h"
 #include "index/kdtree.h"
 #include "kde/density_classifier.h"
 #include "kde/kernel.h"
 #include "tkdc/config.h"
 #include "tkdc/density_bounds.h"
-#include "tkdc/grid_cache.h"
+#include "tkdc/model.h"
+#include "tkdc/query_engine.h"
 #include "tkdc/threshold.h"
 
 namespace tkdc {
 
 /// Thresholded Kernel Density Classification — the paper's contribution
-/// (Algorithm 1). Train() builds the k-d tree, bootstraps threshold bounds
-/// (Algorithm 3), computes density bounds for every training point to fix
-/// the quantile threshold t~(p), and optionally builds the grid cache.
-/// Classify() then bounds a query's density just far enough to place it
-/// above or below t~(p).
+/// (Algorithm 1), layered as model / engine / context:
 ///
-/// Threading model (see DESIGN.md § "Threading model"): the training-
-/// density pass and the ClassifyBatch / ClassifyTrainingBatch APIs fan
-/// points across a lazily built worker pool of config.num_threads slots
-/// (0 = hardware concurrency, 1 = exact legacy serial path with no pool).
-/// Every worker owns a private DensityBoundEvaluator clone; results are
-/// written by row index and per-worker counters are merged afterwards, so
-/// thresholds, densities, and labels are bit-identical for every thread
-/// count. Per-point Classify()/ClassifyTraining()/EstimateDensity() and
-/// Train() itself must not be called concurrently — the classifier is
+///   - Train() builds the k-d tree, bootstraps threshold bounds
+///     (Algorithm 3), computes density bounds for every training point to
+///     fix the quantile threshold t~(p), optionally builds the grid cache,
+///     and publishes the result as an immutable, shareable TkdcModel.
+///   - The TkdcQueryEngine answers queries against that model; every
+///     engine method is const.
+///   - Scratch (the traversal heap) and work counters live in per-thread
+///     TreeQueryContexts; the DensityClassifier base fans batch calls
+///     across its executor with one context per worker, so thresholds,
+///     densities, labels, and merged counters are bit-identical for every
+///     thread count (see DESIGN.md § "Architecture" and § "Threading
+///     model").
+///
+/// Per-point Classify()/ClassifyTraining()/EstimateDensity() and Train()
+/// itself must not be called concurrently — the classifier facade is
 /// externally single-threaded; parallelism lives inside the batch calls.
 class TkdcClassifier : public DensityClassifier {
  public:
@@ -41,136 +43,95 @@ class TkdcClassifier : public DensityClassifier {
 
   std::string name() const override { return "tkdc"; }
   void Train(const Dataset& data) override;
-  Classification Classify(std::span<const double> x) override;
-  Classification ClassifyTraining(std::span<const double> x) override;
-  std::vector<Classification> ClassifyBatch(const Dataset& queries) override;
-  std::vector<Classification> ClassifyTrainingBatch(
-      const Dataset& queries) override;
-  double EstimateDensity(std::span<const double> x) override;
+  bool trained() const override { return model_ != nullptr; }
+  size_t dims() const override {
+    return model_ != nullptr ? model_->tree->dims() : 0;
+  }
   double threshold() const override;
-  uint64_t kernel_evaluations() const override;
+
+  std::unique_ptr<QueryContext> MakeQueryContext() const override {
+    return std::make_unique<TreeQueryContext>();
+  }
+  Classification ClassifyInContext(QueryContext& ctx,
+                                   std::span<const double> x,
+                                   bool training) const override;
+  double EstimateDensityInContext(QueryContext& ctx,
+                                  std::span<const double> x) const override;
 
   const TkdcConfig& config() const { return config_; }
-  bool trained() const { return tree_ != nullptr; }
 
-  /// Worker count the batch paths will use (config.num_threads with 0
-  /// resolved to hardware concurrency).
-  size_t num_threads() const { return config_.ResolvedNumThreads(); }
-
-  /// Re-sizes the worker pool without retraining (0 = hardware
-  /// concurrency). Purely a wall-clock knob: the determinism guarantee
-  /// makes results identical at any setting.
-  void SetNumThreads(size_t num_threads);
+  /// The immutable trained artifact; only valid after Train(). The shared
+  /// form lets callers hold the model beyond this classifier's lifetime
+  /// (serving, serialization).
+  const TkdcModel& model() const { return *model_; }
+  std::shared_ptr<const TkdcModel> shared_model() const { return model_; }
 
   /// Probabilistic bounds on t(p) from the bootstrap.
-  double threshold_lower() const { return threshold_lower_; }
-  double threshold_upper() const { return threshold_upper_; }
+  double threshold_lower() const {
+    return model_ != nullptr ? model_->threshold_lower : 0.0;
+  }
+  double threshold_upper() const {
+    return model_ != nullptr ? model_->threshold_upper : 0.0;
+  }
 
   /// Self-corrected density estimates of every training point (the Dx of
   /// Algorithm 1), in training-row order.
-  const std::vector<double>& training_densities() const {
-    return training_densities_;
-  }
+  const std::vector<double>& training_densities() const;
 
   /// Bootstrap diagnostics.
-  const ThresholdBootstrapResult& bootstrap_result() const {
-    return bootstrap_result_;
-  }
+  const ThresholdBootstrapResult& bootstrap_result() const;
 
   // --- Work accounting -------------------------------------------------
   // Traversal work is kept in three disjoint buckets so totals can never
   // double count:
-  //   1. bootstrap_result().stats — Algorithm 3 (its own evaluators);
-  //   2. training_stats()         — the Phase 3 training-density pass,
-  //      snapshotted by Train() from the live evaluator, which is then
-  //      reset;
-  //   3. the live evaluator       — every post-training query. Serial
-  //      Classify* calls accumulate here directly; the batch paths run on
-  //      per-worker clones and merge the clones' counters back into the
-  //      live evaluator, so batch and serial agree exactly.
-  // traversal_stats() and kernel_evaluations() report 1 + 2 + 3. Reading
-  // them never mutates anything, so repeated reads are stable.
+  //   1. bootstrap_result().stats — Algorithm 3 (its own contexts);
+  //   2. training_stats()         — the Phase 3 training-density pass;
+  //   3. query_stats()            — every post-training query (the base
+  //      class's live context, which the batch paths also merge their
+  //      per-worker counters into).
+  // traversal_stats() and kernel_evaluations() report 1 + 2 + 3 (the base
+  // snapshots 1 + 2 as train_stats_). Reading them never mutates anything,
+  // so repeated reads are stable.
 
   /// Work of the Phase 3 training-density pass alone (bucket 2).
-  const TraversalStats& training_stats() const { return training_stats_; }
-
-  /// Work of every query answered since Train() (bucket 3).
-  const TraversalStats& query_stats() const;
-
-  /// Cumulative traversal work: bootstrap + training + post-training
-  /// queries (buckets 1 + 2 + 3 above).
-  TraversalStats traversal_stats() const;
-
-  /// Queries answered by the grid cache without touching the tree.
-  uint64_t grid_prunes() const { return grid_prunes_; }
+  const TraversalStats& training_stats() const { return phase3_stats_; }
 
   /// The trained kernel; only valid after Train().
-  const Kernel& kernel() const { return *kernel_; }
+  const Kernel& kernel() const { return *model_->kernel; }
 
   /// The trained index; only valid after Train().
-  const KdTree& tree() const { return *tree_; }
+  const KdTree& tree() const { return *model_->tree; }
 
   /// Raw density bounds for a query under the trained threshold band
   /// (exposed for tests and diagnostics).
   DensityBounds BoundDensityAt(std::span<const double> x);
 
   /// Restores a previously trained state without re-running the bootstrap
-  /// or the training-density pass: rebuilds the index, grid, and evaluator
-  /// from `data` and installs the given kernel bandwidths and thresholds.
-  /// Used by model deserialization (tkdc/model_io.h). The vectors must be
-  /// consistent with `data` (bandwidths per dimension; densities per row,
-  /// or empty).
+  /// or the training-density pass: rebuilds the model (index, grid,
+  /// engine) from `data` and installs the given kernel bandwidths and
+  /// thresholds. Used by model deserialization (tkdc/model_io.h). The
+  /// vectors must be consistent with `data` (bandwidths per dimension;
+  /// densities per row, or empty).
   void Restore(const Dataset& data, const std::vector<double>& bandwidths,
                double threshold_lower, double threshold_upper,
                double threshold, std::vector<double> training_densities);
 
  private:
-  // The dual-tree batch classifier reuses this classifier's evaluator,
+  // The dual-tree batch classifier reuses this classifier's engine,
   // threshold, and self-contribution.
   friend class DualTreeClassifier;
 
   /// Computes Dx for all training rows under bounds [lo, hi], fanning rows
-  /// across the pool when one is configured.
+  /// across the executor and folding worker counters into `sink`.
   std::vector<double> ComputeTrainingDensities(const Dataset& data, double lo,
-                                               double hi);
-
-  /// The single classification kernel both serial and parallel paths run:
-  /// grid probe, then BoundDensity on `evaluator`, against the trained
-  /// threshold (`training` selects the self-corrected comparison). Grid
-  /// hits bump `*grid_prunes` — a pointer so workers count into private
-  /// slots.
-  Classification ClassifyWith(DensityBoundEvaluator& evaluator,
-                              std::span<const double> x, bool training,
-                              uint64_t* grid_prunes) const;
-
-  /// One training row of the Phase 3 pass; shared by the serial and
-  /// parallel ComputeTrainingDensities paths.
-  double TrainingDensityForRow(DensityBoundEvaluator& evaluator,
-                               std::span<const double> x, double lo,
-                               double hi, double grid_cut, double tolerance,
-                               uint64_t* grid_prunes) const;
-
-  std::vector<Classification> ClassifyBatchImpl(const Dataset& queries,
-                                                bool training);
-
-  /// The pool sized to num_threads(), built on first use; nullptr when
-  /// num_threads() == 1 (serial legacy path).
-  ThreadPool* pool();
+                                               double hi,
+                                               TreeQueryContext& sink);
 
   TkdcConfig config_;
-  std::unique_ptr<Kernel> kernel_;
-  std::unique_ptr<KdTree> tree_;
-  std::unique_ptr<GridCache> grid_;
-  std::unique_ptr<DensityBoundEvaluator> evaluator_;
-  std::unique_ptr<ThreadPool> pool_;
-  ThresholdBootstrapResult bootstrap_result_;
-  std::vector<double> training_densities_;
-  double threshold_lower_ = 0.0;
-  double threshold_upper_ = 0.0;
-  double threshold_ = 0.0;
-  double self_contribution_ = 0.0;
-  uint64_t grid_prunes_ = 0;
-  TraversalStats training_stats_;
+  std::shared_ptr<const TkdcModel> model_;
+  TkdcQueryEngine engine_;
+  /// Phase 3 work (bucket 2), snapshotted by Train().
+  TraversalStats phase3_stats_;
 };
 
 }  // namespace tkdc

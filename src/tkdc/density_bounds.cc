@@ -6,45 +6,40 @@
 
 namespace tkdc {
 
-void TraversalStats::Add(const TraversalStats& other) {
-  kernel_evaluations += other.kernel_evaluations;
-  nodes_expanded += other.nodes_expanded;
-  leaf_points_evaluated += other.leaf_points_evaluated;
-  queries += other.queries;
-}
-
 DensityBoundEvaluator::DensityBoundEvaluator(const KdTree* tree,
                                              const Kernel* kernel,
                                              const TkdcConfig* config)
-    : tree_(tree), kernel_(kernel), config_(config) {
+    : tree_(tree),
+      kernel_(kernel),
+      config_(config),
+      profile_(kernel->scaled_profile()),
+      norm_(kernel->norm()) {
   TKDC_CHECK(tree != nullptr && kernel != nullptr && config != nullptr);
   TKDC_CHECK(tree->dims() == kernel->dims());
   inv_n_ = 1.0 / static_cast<double>(tree->size());
-  // Pre-size the traversal heap so even the first queries run
-  // allocation-free; 2 entries per level of a balanced tree plus slack
-  // covers typical frontiers, and the buffer only ever grows.
-  queue_.reserve(64);
 }
 
-DensityBoundEvaluator::QueueEntry DensityBoundEvaluator::MakeEntry(
-    std::span<const double> x, uint32_t node_index) {
+TraversalQueueEntry DensityBoundEvaluator::MakeEntry(
+    TreeQueryContext& ctx, std::span<const double> x,
+    uint32_t node_index) const {
   const KdNode& node = tree_->node(node_index);
   const auto inv_bw = std::span<const double>(kernel_->inverse_bandwidths());
   const double z_min = node.box.MinScaledSquaredDistance(x, inv_bw);
   const double z_max = node.box.MaxScaledSquaredDistance(x, inv_bw);
   const double weight = static_cast<double>(node.count()) * inv_n_;
-  QueueEntry entry;
+  TraversalQueueEntry entry;
   entry.node = node_index;
   // Closest possible point gives the max contribution, farthest the min.
-  entry.max_contribution = weight * kernel_->EvaluateScaled(z_min);
-  entry.min_contribution = weight * kernel_->EvaluateScaled(z_max);
+  entry.max_contribution = weight * profile_(z_min, norm_);
+  entry.min_contribution = weight * profile_(z_max, norm_);
   entry.priority = entry.max_contribution - entry.min_contribution;
-  stats_.kernel_evaluations += 2;
+  ctx.stats.kernel_evaluations += 2;
   return entry;
 }
 
-DensityBoundEvaluator::QueueEntry DensityBoundEvaluator::MakeBoxEntry(
-    const BoundingBox& query_box, uint32_t node_index) {
+TraversalQueueEntry DensityBoundEvaluator::MakeBoxEntry(
+    TreeQueryContext& ctx, const BoundingBox& query_box,
+    uint32_t node_index) const {
   const KdNode& node = tree_->node(node_index);
   const auto inv_bw = std::span<const double>(kernel_->inverse_bandwidths());
   const double z_min =
@@ -52,21 +47,23 @@ DensityBoundEvaluator::QueueEntry DensityBoundEvaluator::MakeBoxEntry(
   const double z_max =
       node.box.MaxScaledSquaredDistanceToBox(query_box, inv_bw);
   const double weight = static_cast<double>(node.count()) * inv_n_;
-  QueueEntry entry;
+  TraversalQueueEntry entry;
   entry.node = node_index;
-  entry.max_contribution = weight * kernel_->EvaluateScaled(z_min);
-  entry.min_contribution = weight * kernel_->EvaluateScaled(z_max);
+  entry.max_contribution = weight * profile_(z_min, norm_);
+  entry.min_contribution = weight * profile_(z_max, norm_);
   entry.priority = entry.max_contribution - entry.min_contribution;
-  stats_.kernel_evaluations += 2;
+  ctx.stats.kernel_evaluations += 2;
   return entry;
 }
 
 DensityBounds DensityBoundEvaluator::BoundDensityForBox(
-    const BoundingBox& query_box, double t_lo, double t_hi, double tolerance,
-    int64_t max_expansions, std::vector<uint32_t>* frontier) {
+    TreeQueryContext& ctx, const BoundingBox& query_box, double t_lo,
+    double t_hi, double tolerance, int64_t max_expansions,
+    std::vector<uint32_t>* frontier) const {
   TKDC_DCHECK(query_box.dims() == tree_->dims());
-  ++stats_.queries;
-  queue_.clear();
+  ++ctx.stats.queries;
+  auto& queue = ctx.queue;
+  queue.clear();
 
   // Seed the queue from the inherited frontier (or the root). Reference
   // leaves are atomic for box queries: their entries carry priority 0 so
@@ -74,37 +71,37 @@ DensityBounds DensityBoundEvaluator::BoundDensityForBox(
   double f_lo = 0.0;
   double f_hi = 0.0;
   auto seed = [&](uint32_t node_index) {
-    QueueEntry entry = MakeBoxEntry(query_box, node_index);
+    TraversalQueueEntry entry = MakeBoxEntry(ctx, query_box, node_index);
     if (tree_->node(node_index).is_leaf()) entry.priority = 0.0;
     f_lo += entry.min_contribution;
     f_hi += entry.max_contribution;
-    queue_.push_back(entry);
+    queue.push_back(entry);
   };
   if (frontier == nullptr || frontier->empty()) {
     seed(static_cast<uint32_t>(KdTree::kRoot));
   } else {
     for (uint32_t node_index : *frontier) seed(node_index);
   }
-  std::make_heap(queue_.begin(), queue_.end());
+  std::make_heap(queue.begin(), queue.end());
 
   const double eps = config_->epsilon;
   const double high_cut = t_hi * (1.0 + eps);
   const double low_cut = t_lo * (1.0 - eps);
   if (tolerance < 0.0) tolerance = eps * t_lo;
 
-  while (!queue_.empty()) {
+  while (!queue.empty()) {
     if (config_->use_threshold_rule &&
         (f_lo > high_cut || f_hi < low_cut)) {
       break;
     }
     if (config_->use_tolerance_rule && f_hi - f_lo < tolerance) break;
-    if (queue_.front().priority <= 0.0) break;  // Only atomic leaves left.
+    if (queue.front().priority <= 0.0) break;  // Only atomic leaves left.
     if (max_expansions >= 0 && max_expansions-- == 0) break;
 
-    std::pop_heap(queue_.begin(), queue_.end());
-    const QueueEntry current = queue_.back();
-    queue_.pop_back();
-    ++stats_.nodes_expanded;
+    std::pop_heap(queue.begin(), queue.end());
+    const TraversalQueueEntry current = queue.back();
+    queue.pop_back();
+    ++ctx.stats.nodes_expanded;
 
     f_lo -= current.min_contribution;
     f_hi -= current.max_contribution;
@@ -112,75 +109,82 @@ DensityBounds DensityBoundEvaluator::BoundDensityForBox(
     const KdNode& node = tree_->node(current.node);
     TKDC_DCHECK(!node.is_leaf());
     for (int32_t child : {node.left, node.right}) {
-      QueueEntry entry = MakeBoxEntry(query_box, static_cast<uint32_t>(child));
+      TraversalQueueEntry entry =
+          MakeBoxEntry(ctx, query_box, static_cast<uint32_t>(child));
       if (tree_->node(static_cast<size_t>(child)).is_leaf()) {
         entry.priority = 0.0;
       }
       f_lo += entry.min_contribution;
       f_hi += entry.max_contribution;
-      queue_.push_back(entry);
-      std::push_heap(queue_.begin(), queue_.end());
+      queue.push_back(entry);
+      std::push_heap(queue.begin(), queue.end());
     }
   }
 
   if (frontier != nullptr) {
     frontier->clear();
-    frontier->reserve(queue_.size());
-    for (const QueueEntry& entry : queue_) frontier->push_back(entry.node);
+    frontier->reserve(queue.size());
+    for (const TraversalQueueEntry& entry : queue) {
+      frontier->push_back(entry.node);
+    }
   }
   if (f_lo < 0.0) f_lo = 0.0;
   if (f_hi < f_lo) f_hi = f_lo;
   return DensityBounds{f_lo, f_hi};
 }
 
-DensityBounds DensityBoundEvaluator::BoundDensity(std::span<const double> x,
+DensityBounds DensityBoundEvaluator::BoundDensity(TreeQueryContext& ctx,
+                                                  std::span<const double> x,
                                                   double t_lo, double t_hi,
-                                                  double tolerance) {
+                                                  double tolerance) const {
   TKDC_DCHECK(x.size() == tree_->dims());
-  ++stats_.queries;
-  queue_.clear();
+  ++ctx.stats.queries;
+  ctx.queue.clear();
 
-  QueueEntry root = MakeEntry(x, static_cast<uint32_t>(KdTree::kRoot));
+  TraversalQueueEntry root =
+      MakeEntry(ctx, x, static_cast<uint32_t>(KdTree::kRoot));
   double f_lo = root.min_contribution;
   double f_hi = root.max_contribution;
-  queue_.push_back(root);
-  return RunPointTraversal(x, t_lo, t_hi, tolerance, f_lo, f_hi);
+  ctx.queue.push_back(root);
+  return RunPointTraversal(ctx, x, t_lo, t_hi, tolerance, f_lo, f_hi);
 }
 
 DensityBounds DensityBoundEvaluator::BoundDensityFromFrontier(
-    std::span<const double> x, double t_lo, double t_hi, double tolerance,
-    const std::vector<uint32_t>& frontier) {
+    TreeQueryContext& ctx, std::span<const double> x, double t_lo, double t_hi,
+    double tolerance, const std::vector<uint32_t>& frontier) const {
   TKDC_DCHECK(x.size() == tree_->dims());
-  ++stats_.queries;
-  queue_.clear();
+  ++ctx.stats.queries;
+  ctx.queue.clear();
   double f_lo = 0.0;
   double f_hi = 0.0;
   if (frontier.empty()) {
-    QueueEntry root = MakeEntry(x, static_cast<uint32_t>(KdTree::kRoot));
+    TraversalQueueEntry root =
+        MakeEntry(ctx, x, static_cast<uint32_t>(KdTree::kRoot));
     f_lo = root.min_contribution;
     f_hi = root.max_contribution;
-    queue_.push_back(root);
+    ctx.queue.push_back(root);
   } else {
     for (uint32_t node_index : frontier) {
-      QueueEntry entry = MakeEntry(x, node_index);
+      TraversalQueueEntry entry = MakeEntry(ctx, x, node_index);
       f_lo += entry.min_contribution;
       f_hi += entry.max_contribution;
-      queue_.push_back(entry);
+      ctx.queue.push_back(entry);
     }
-    std::make_heap(queue_.begin(), queue_.end());
+    std::make_heap(ctx.queue.begin(), ctx.queue.end());
   }
-  return RunPointTraversal(x, t_lo, t_hi, tolerance, f_lo, f_hi);
+  return RunPointTraversal(ctx, x, t_lo, t_hi, tolerance, f_lo, f_hi);
 }
 
 DensityBounds DensityBoundEvaluator::RunPointTraversal(
-    std::span<const double> x, double t_lo, double t_hi, double tolerance,
-    double f_lo, double f_hi) {
+    TreeQueryContext& ctx, std::span<const double> x, double t_lo, double t_hi,
+    double tolerance, double f_lo, double f_hi) const {
+  auto& queue = ctx.queue;
   const double eps = config_->epsilon;
   const double high_cut = t_hi * (1.0 + eps);  // Threshold rule, Eq. 9.
   const double low_cut = t_lo * (1.0 - eps);
   if (tolerance < 0.0) tolerance = eps * t_lo;  // Tolerance rule, Eq. 8.
 
-  while (!queue_.empty()) {
+  while (!queue.empty()) {
     if (config_->use_threshold_rule &&
         (f_lo > high_cut || f_hi < low_cut)) {
       break;
@@ -189,10 +193,10 @@ DensityBounds DensityBoundEvaluator::RunPointTraversal(
       break;
     }
 
-    std::pop_heap(queue_.begin(), queue_.end());
-    const QueueEntry current = queue_.back();
-    queue_.pop_back();
-    ++stats_.nodes_expanded;
+    std::pop_heap(queue.begin(), queue.end());
+    const TraversalQueueEntry current = queue.back();
+    queue.pop_back();
+    ++ctx.stats.nodes_expanded;
 
     // Replace this node's coarse interval with its children's (or its exact
     // leaf sum): same mass, tighter constraint (Figure 4).
@@ -203,23 +207,25 @@ DensityBounds DensityBoundEvaluator::RunPointTraversal(
     if (node.is_leaf()) {
       double exact = 0.0;
       for (size_t i = node.begin; i < node.end; ++i) {
-        exact += kernel_->EvaluateScaled(
-            kernel_->ScaledSquaredDistance(x, tree_->Point(i)));
+        exact +=
+            profile_(kernel_->ScaledSquaredDistance(x, tree_->Point(i)), norm_);
       }
-      stats_.kernel_evaluations += node.count();
-      stats_.leaf_points_evaluated += node.count();
+      ctx.stats.kernel_evaluations += node.count();
+      ctx.stats.leaf_points_evaluated += node.count();
       exact *= inv_n_;
       f_lo += exact;
       f_hi += exact;
     } else {
-      QueueEntry left = MakeEntry(x, static_cast<uint32_t>(node.left));
-      QueueEntry right = MakeEntry(x, static_cast<uint32_t>(node.right));
+      TraversalQueueEntry left =
+          MakeEntry(ctx, x, static_cast<uint32_t>(node.left));
+      TraversalQueueEntry right =
+          MakeEntry(ctx, x, static_cast<uint32_t>(node.right));
       f_lo += left.min_contribution + right.min_contribution;
       f_hi += left.max_contribution + right.max_contribution;
-      queue_.push_back(left);
-      std::push_heap(queue_.begin(), queue_.end());
-      queue_.push_back(right);
-      std::push_heap(queue_.begin(), queue_.end());
+      queue.push_back(left);
+      std::push_heap(queue.begin(), queue.end());
+      queue.push_back(right);
+      std::push_heap(queue.begin(), queue.end());
     }
   }
 

@@ -7,6 +7,7 @@
 
 #include "index/kdtree.h"
 #include "kde/kernel.h"
+#include "kde/query_context.h"
 #include "tkdc/config.h"
 
 namespace tkdc {
@@ -21,19 +22,37 @@ struct DensityBounds {
   double Width() const { return upper - lower; }
 };
 
-/// Work counters for the traversal, matching the metrics reported in the
-/// paper's Figure 12 ("Kernel Evaluations / pt").
-struct TraversalStats {
-  /// Every kernel evaluation: two per node bound plus one per leaf point.
-  uint64_t kernel_evaluations = 0;
-  /// Nodes popped from the priority queue and expanded.
-  uint64_t nodes_expanded = 0;
-  /// Exact point contributions evaluated inside leaves.
-  uint64_t leaf_points_evaluated = 0;
-  /// BoundDensity invocations.
-  uint64_t queries = 0;
+/// One frontier node of the best-first traversal: the Eq. 6 contribution
+/// interval of a reference-tree node, prioritized by its bound discrepancy
+/// count * (K(d_min) - K(d_max)) (the paper's Section 3.4 heuristic).
+struct TraversalQueueEntry {
+  double priority;
+  uint32_t node;
+  double min_contribution;
+  double max_contribution;
 
-  void Add(const TraversalStats& other);
+  bool operator<(const TraversalQueueEntry& other) const {
+    return priority < other.priority;
+  }
+};
+
+/// Query context for tree-traversal engines (tKDC, nocut, rkde): the
+/// traversal heap is the scratch buffer. Reused across queries: cleared,
+/// never shrunk, so per-query heap allocations vanish after warm-up —
+/// serial or parallel, each thread warms its own.
+class TreeQueryContext : public QueryContext {
+ public:
+  TreeQueryContext() {
+    // Pre-size so even the first queries run allocation-free; 2 entries per
+    // level of a balanced tree plus slack covers typical frontiers.
+    queue.reserve(64);
+    neighbors.reserve(64);
+  }
+
+  /// Binary heap via std::push/pop_heap (point and box traversals).
+  std::vector<TraversalQueueEntry> queue;
+  /// Range-query hit list (rkde's radial neighbor collection).
+  std::vector<size_t> neighbors;
 };
 
 /// The paper's Algorithm 2 (BoundDensity): iteratively refines upper and
@@ -44,36 +63,20 @@ struct TraversalStats {
 ///                            f_u < t_lo * (1 - eps)
 ///   Tolerance rule (Eq. 8):  f_u - f_l < eps * t_lo
 ///
-/// The queue prioritizes nodes by their bound discrepancy
-/// count * (K(d_min) - K(d_max)), the paper's Section 3.4 heuristic.
 /// With both rules disabled the traversal exhausts the tree and the bounds
 /// collapse to the exact density.
 ///
-/// The evaluator borrows the tree, kernel, and config; all three must
-/// outlive it.
-///
-/// Threading model: an evaluator is NOT thread-safe — `stats_` and the
-/// traversal heap `queue_` are per-query mutable state — but it is cheap to
-/// Clone(), and clones share only the immutable tree/kernel/config. Batch
-/// drivers give every worker its own clone and fold the counters back with
-/// MergeStats() (TraversalStats::Add is commutative and associative, so the
-/// merge order cannot change totals). The heap storage is a persistent
-/// per-evaluator scratch buffer: BoundDensity clears it but keeps its
-/// capacity, so steady-state queries allocate nothing, serial or parallel.
+/// The evaluator is a *stateless query engine*: it borrows the immutable
+/// tree, kernel, and config (all three must outlive it), caches the
+/// kernel's resolved radial profile, and keeps no per-query state — every
+/// method is const and threads a TreeQueryContext carrying the traversal
+/// heap and the work counters. One evaluator can therefore serve any
+/// number of threads concurrently, each with its own context.
 class DensityBoundEvaluator {
  public:
+  DensityBoundEvaluator() = default;
   DensityBoundEvaluator(const KdTree* tree, const Kernel* kernel,
                         const TkdcConfig* config);
-
-  /// A fresh evaluator over the same (shared, immutable) tree, kernel, and
-  /// config, with zeroed stats and its own scratch buffer. This is the
-  /// per-worker construction used by the parallel batch paths.
-  DensityBoundEvaluator Clone() const {
-    return DensityBoundEvaluator(tree_, kernel_, config_);
-  }
-
-  /// Folds another evaluator's counters into this one (order-insensitive).
-  void MergeStats(const TraversalStats& other) { stats_.Add(other); }
 
   /// Bounds the density of `x` given current threshold bounds
   /// [t_lo, t_hi]. Pass t_lo = 0 and t_hi = +infinity to disable the
@@ -85,17 +88,17 @@ class DensityBoundEvaluator {
   /// self-contribution) but keeps the tolerance at eps * t, so the
   /// precision guarantee stays eps * t in self-corrected units even when
   /// K(0)/n dominates t (small n and/or higher d).
-  DensityBounds BoundDensity(std::span<const double> x, double t_lo,
-                             double t_hi, double tolerance = -1.0);
+  DensityBounds BoundDensity(TreeQueryContext& ctx, std::span<const double> x,
+                             double t_lo, double t_hi,
+                             double tolerance = -1.0) const;
 
   /// BoundDensity seeded from an explicit reference-node `frontier` (a
   /// disjoint cover of the training set, e.g. the frontier a dual-tree box
   /// probe ended with) instead of the root. Equivalent result, but skips
   /// re-descending through nodes the box probe already refined.
-  DensityBounds BoundDensityFromFrontier(std::span<const double> x,
-                                         double t_lo, double t_hi,
-                                         double tolerance,
-                                         const std::vector<uint32_t>& frontier);
+  DensityBounds BoundDensityFromFrontier(
+      TreeQueryContext& ctx, std::span<const double> x, double t_lo,
+      double t_hi, double tolerance, const std::vector<uint32_t>& frontier) const;
 
   /// Bounds the density of EVERY point inside `query_box` simultaneously:
   /// the returned interval contains f(q) for all q in the box. This is the
@@ -114,48 +117,42 @@ class DensityBoundEvaluator {
   /// worthwhile if it decides quickly, so the dual-tree driver uses a
   /// small budget and splits the query node when the probe runs out.
   /// Negative means unbounded.
-  DensityBounds BoundDensityForBox(const BoundingBox& query_box, double t_lo,
+  DensityBounds BoundDensityForBox(TreeQueryContext& ctx,
+                                   const BoundingBox& query_box, double t_lo,
                                    double t_hi, double tolerance = -1.0,
                                    int64_t max_expansions = -1,
-                                   std::vector<uint32_t>* frontier = nullptr);
+                                   std::vector<uint32_t>* frontier = nullptr) const;
 
-  const TraversalStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = TraversalStats(); }
+  const KdTree* tree() const { return tree_; }
+  const Kernel* kernel() const { return kernel_; }
 
  private:
-  struct QueueEntry {
-    double priority;  // count * (K(d_min) - K(d_max)).
-    uint32_t node;
-    double min_contribution;
-    double max_contribution;
-
-    bool operator<(const QueueEntry& other) const {
-      return priority < other.priority;
-    }
-  };
-
   /// Computes the Eq. 6 contribution bounds of node `node_index` for
-  /// query x, counting two kernel evaluations.
-  QueueEntry MakeEntry(std::span<const double> x, uint32_t node_index);
+  /// query x, counting two kernel evaluations into `ctx`.
+  TraversalQueueEntry MakeEntry(TreeQueryContext& ctx,
+                                std::span<const double> x,
+                                uint32_t node_index) const;
 
   /// Box-query variant: contribution bounds valid for every point of
   /// `query_box`.
-  QueueEntry MakeBoxEntry(const BoundingBox& query_box, uint32_t node_index);
+  TraversalQueueEntry MakeBoxEntry(TreeQueryContext& ctx,
+                                   const BoundingBox& query_box,
+                                   uint32_t node_index) const;
 
-  /// Shared refinement loop for point queries; `queue_`, `f_lo`, `f_hi`
+  /// Shared refinement loop for point queries; `ctx.queue`, `f_lo`, `f_hi`
   /// must already be seeded with a disjoint cover of the training set.
-  DensityBounds RunPointTraversal(std::span<const double> x, double t_lo,
+  DensityBounds RunPointTraversal(TreeQueryContext& ctx,
+                                  std::span<const double> x, double t_lo,
                                   double t_hi, double tolerance, double f_lo,
-                                  double f_hi);
+                                  double f_hi) const;
 
-  const KdTree* tree_;
-  const Kernel* kernel_;
-  const TkdcConfig* config_;
-  double inv_n_;
-  TraversalStats stats_;
-  /// Binary heap via std::push/pop_heap. Reused across queries: cleared,
-  /// never shrunk, so per-query heap allocations vanish after warm-up.
-  std::vector<QueueEntry> queue_;
+  const KdTree* tree_ = nullptr;
+  const Kernel* kernel_ = nullptr;
+  const TkdcConfig* config_ = nullptr;
+  double inv_n_ = 0.0;
+  // Hot-loop dispatch hoisted once (see Kernel::scaled_profile()).
+  Kernel::ScaledProfileFn profile_ = nullptr;
+  double norm_ = 0.0;
 };
 
 }  // namespace tkdc

@@ -5,6 +5,8 @@
 #include "common/macros.h"
 #include "index/kdtree.h"
 #include "tkdc/grid_cache.h"
+#include "tkdc/model.h"
+#include "tkdc/query_engine.h"
 
 namespace tkdc {
 
@@ -27,15 +29,17 @@ std::vector<Classification> DualTreeClassifier::ClassifyBatch(
   std::vector<Classification> results(queries.size(), Classification::kLow);
   if (queries.empty()) return results;
 
-  const TkdcConfig& config = classifier_->config_;
-  const double t = classifier_->threshold_;
-  const double self =
-      training_points ? classifier_->self_contribution_ : 0.0;
+  const TkdcModel& model = classifier_->model();
+  const TkdcConfig& config = model.config;
+  const double t = model.threshold;
+  const double self = training_points ? model.self_contribution : 0.0;
   const double shifted = t + self;
   const double tolerance = config.epsilon * t;
   const double eps = config.epsilon;
-  DensityBoundEvaluator& evaluator = *classifier_->evaluator_;
-  const TraversalStats before = evaluator.stats();
+  const DensityBoundEvaluator& evaluator = classifier_->engine_.evaluator();
+  // The whole batch runs through one local context; its counters become
+  // this batch's stats and are folded back into the classifier afterwards.
+  TreeQueryContext ctx;
 
   // Index the queries themselves; each node's bounding box stands in for
   // all the query points beneath it.
@@ -60,9 +64,9 @@ std::vector<Classification> DualTreeClassifier::ClassifyBatch(
     stack.pop_back();
     const KdNode& node = query_tree.node(frame.node_index);
     ++stats_.boxes_evaluated;
-    const DensityBounds bounds =
-        evaluator.BoundDensityForBox(node.box, shifted, shifted, tolerance,
-                                     options_.probe_budget, &frame.frontier);
+    const DensityBounds bounds = evaluator.BoundDensityForBox(
+        ctx, node.box, shifted, shifted, tolerance, options_.probe_budget,
+        &frame.frontier);
     if (frame.frontier.size() > options_.max_frontier) {
       frame.frontier.clear();  // Children restart from the root.
     }
@@ -95,13 +99,13 @@ std::vector<Classification> DualTreeClassifier::ClassifyBatch(
     for (size_t i = node.begin; i < node.end; ++i) {
       const size_t original = query_tree.OriginalIndex(i);
       const auto row = queries.Row(original);
-      if (classifier_->grid_ != nullptr &&
-          classifier_->grid_->DensityLowerBound(row) > shifted) {
+      if (model.grid != nullptr &&
+          model.grid->DensityLowerBound(row) > shifted) {
         results[original] = Classification::kHigh;
         continue;
       }
       const DensityBounds point_bounds = evaluator.BoundDensityFromFrontier(
-          row, shifted, shifted, tolerance, frame.frontier);
+          ctx, row, shifted, shifted, tolerance, frame.frontier);
       results[original] = point_bounds.Midpoint() > shifted
                               ? Classification::kHigh
                               : Classification::kLow;
@@ -109,14 +113,10 @@ std::vector<Classification> DualTreeClassifier::ClassifyBatch(
     stats_.point_decided += node.count();
   }
 
-  const TraversalStats after = evaluator.stats();
-  stats_.traversal.kernel_evaluations =
-      after.kernel_evaluations - before.kernel_evaluations;
-  stats_.traversal.nodes_expanded =
-      after.nodes_expanded - before.nodes_expanded;
-  stats_.traversal.leaf_points_evaluated =
-      after.leaf_points_evaluated - before.leaf_points_evaluated;
-  stats_.traversal.queries = after.queries - before.queries;
+  stats_.traversal = ctx.stats;
+  // Keep the classifier's cumulative accounting in sync with the work this
+  // driver ran through its engine.
+  classifier_->AbsorbCounters(ctx);
   return results;
 }
 

@@ -4,12 +4,29 @@
 #include <fstream>
 #include <vector>
 
+#include "baselines/binned_kde.h"
+#include "baselines/knn.h"
+#include "baselines/nocut.h"
+#include "baselines/rkde.h"
+#include "baselines/simple_kde.h"
 #include "common/macros.h"
 
 namespace tkdc {
 namespace {
 
 constexpr char kMagic[4] = {'T', 'K', 'D', 'C'};
+
+// Algorithm tags stored in version-2 files. Stable on-disk values: never
+// renumber, only append.
+constexpr uint32_t kTagTkdc = 1;
+constexpr uint32_t kTagNocut = 2;
+constexpr uint32_t kTagSimple = 3;
+constexpr uint32_t kTagRkde = 4;
+constexpr uint32_t kTagBinned = 5;
+constexpr uint32_t kTagKnn = 6;
+
+// Guard absurd sizes before allocating (corrupt headers).
+constexpr uint64_t kMaxElements = uint64_t{1} << 34;
 
 // Streaming writer with a running FNV-1a checksum over the payload.
 class Writer {
@@ -133,75 +150,54 @@ bool ReadConfig(Reader& r, TkdcConfig* config) {
   return true;
 }
 
-}  // namespace
+bool ValidRate(double p) { return p > 0.0 && p < 1.0; }
 
-bool SaveModel(const std::string& path, const TkdcClassifier& classifier,
-               const Dataset& training_data, bool include_densities,
-               std::string* error) {
-  TKDC_CHECK(error != nullptr);
-  if (!classifier.trained()) {
-    *error = "classifier is not trained";
-    return false;
-  }
-  if (classifier.tree().size() != training_data.size() ||
-      classifier.tree().dims() != training_data.dims()) {
-    *error = "training_data does not match the classifier's index";
-    return false;
-  }
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    *error = "cannot open " + path + " for writing";
-    return false;
-  }
-  out.write(kMagic, sizeof(kMagic));
-  const uint32_t version = kModelFormatVersion;
-  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
-
-  Writer w(out);
-  WriteConfig(w, classifier.config());
-  w.U64(training_data.dims());
-  w.U64(training_data.size());
-  w.DoubleVec(classifier.kernel().bandwidths());
-  w.F64(classifier.threshold_lower());
-  w.F64(classifier.threshold_upper());
-  w.F64(classifier.threshold());
-  w.U8(include_densities ? 1 : 0);
-  if (include_densities) {
-    w.DoubleVec(classifier.training_densities());
-  }
-  w.DoubleVec(training_data.values());
-  const uint64_t checksum = w.checksum();
-  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
-  out.flush();
-  if (!out) {
-    *error = "write to " + path + " failed";
-    return false;
+bool ValidBandwidths(const std::vector<double>& bandwidths) {
+  for (double h : bandwidths) {
+    if (!(h > 0.0)) return false;
   }
   return true;
 }
 
-std::unique_ptr<TkdcClassifier> LoadModel(const std::string& path,
-                                          std::string* error) {
-  TKDC_CHECK(error != nullptr);
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    *error = "cannot open " + path;
-    return nullptr;
-  }
-  char magic[4] = {0, 0, 0, 0};
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    *error = path + ": not a tkdc model file";
-    return nullptr;
-  }
-  uint32_t version = 0;
-  in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  if (!in || version != kModelFormatVersion) {
-    *error = path + ": unsupported model format version";
-    return nullptr;
-  }
+// Shared trailer of every section: the raw training values. The shape
+// (dims, n) is read by the caller beforehand so sizes can be validated.
+bool ReadValues(Reader& r, uint64_t dims, uint64_t n,
+                std::vector<double>* values) {
+  return r.DoubleVec(values, dims * n) && values->size() == dims * n;
+}
 
-  Reader r(in);
+uint32_t TagFor(const DensityClassifier& classifier) {
+  const std::string name = classifier.name();
+  if (name == "tkdc") return kTagTkdc;
+  if (name == "nocut") return kTagNocut;
+  if (name == "simple") return kTagSimple;
+  if (name == "rkde") return kTagRkde;
+  if (name == "binned") return kTagBinned;
+  if (name == "knn") return kTagKnn;
+  return 0;
+}
+
+// The tkdc/nocut section — identical to the whole version-1 payload, so
+// the same reader serves legacy files.
+void WriteTkdcSection(Writer& w, const TkdcClassifier& c,
+                      const Dataset& training_data, bool include_densities) {
+  WriteConfig(w, c.config());
+  w.U64(training_data.dims());
+  w.U64(training_data.size());
+  w.DoubleVec(c.kernel().bandwidths());
+  w.F64(c.threshold_lower());
+  w.F64(c.threshold_upper());
+  w.F64(c.threshold());
+  w.U8(include_densities ? 1 : 0);
+  if (include_densities) {
+    w.DoubleVec(c.training_densities());
+  }
+  w.DoubleVec(training_data.values());
+}
+
+std::unique_ptr<TkdcClassifier> ReadTkdcSection(Reader& r, bool nocut,
+                                                const std::string& path,
+                                                std::string* error) {
   TkdcConfig config;
   if (!ReadConfig(r, &config)) {
     *error = path + ": truncated or corrupt config block";
@@ -212,8 +208,6 @@ std::unique_ptr<TkdcClassifier> LoadModel(const std::string& path,
     *error = path + ": corrupt shape header";
     return nullptr;
   }
-  // Guard absurd sizes before allocating (corrupt headers).
-  constexpr uint64_t kMaxElements = uint64_t{1} << 34;
   if (dims > kMaxElements || n > kMaxElements || dims * n > kMaxElements) {
     *error = path + ": implausible model dimensions";
     return nullptr;
@@ -234,29 +228,359 @@ std::unique_ptr<TkdcClassifier> LoadModel(const std::string& path,
     *error = path + ": truncated density block";
     return nullptr;
   }
-  if (!r.DoubleVec(&values, dims * n) || values.size() != dims * n) {
+  if (!ReadValues(r, dims, n, &values)) {
     *error = path + ": truncated data block";
     return nullptr;
   }
+  if (!ValidBandwidths(bandwidths)) {
+    *error = path + ": invalid bandwidths";
+    return nullptr;
+  }
+  Dataset data(dims, std::move(values));
+  std::unique_ptr<TkdcClassifier> classifier =
+      nocut ? std::make_unique<NocutClassifier>(config)
+            : std::make_unique<TkdcClassifier>(config);
+  classifier->Restore(data, bandwidths, threshold_lower, threshold_upper,
+                      threshold, std::move(densities));
+  return classifier;
+}
+
+void WriteSimpleSection(Writer& w, const SimpleKdeClassifier& c,
+                        const Dataset& training_data) {
+  w.F64(c.options().p);
+  w.U32(static_cast<uint32_t>(c.options().kernel));
+  w.U64(training_data.dims());
+  w.U64(training_data.size());
+  w.DoubleVec(c.kernel().bandwidths());
+  w.F64(c.threshold());
+  w.DoubleVec(training_data.values());
+}
+
+std::unique_ptr<DensityClassifier> ReadSimpleSection(Reader& r,
+                                                     const std::string& path,
+                                                     std::string* error) {
+  SimpleKdeOptions options;
+  uint32_t kernel = 0;
+  uint64_t dims = 0, n = 0;
+  std::vector<double> bandwidths, values;
+  double threshold = 0;
+  if (!r.F64(&options.p) || !r.U32(&kernel) || !r.U64(&dims) || !r.U64(&n)) {
+    *error = path + ": truncated model body";
+    return nullptr;
+  }
+  if (!ValidRate(options.p) || kernel > 3 || dims == 0 || n < 2 ||
+      dims > kMaxElements || n > kMaxElements || dims * n > kMaxElements) {
+    *error = path + ": corrupt simple-kde section";
+    return nullptr;
+  }
+  options.kernel = static_cast<KernelType>(kernel);
+  if (!r.DoubleVec(&bandwidths, dims) || bandwidths.size() != dims ||
+      !r.F64(&threshold) || !ReadValues(r, dims, n, &values) ||
+      !ValidBandwidths(bandwidths)) {
+    *error = path + ": truncated or corrupt simple-kde section";
+    return nullptr;
+  }
+  Dataset data(dims, std::move(values));
+  auto classifier = std::make_unique<SimpleKdeClassifier>(options);
+  classifier->Restore(data, bandwidths, threshold);
+  return classifier;
+}
+
+void WriteRkdeSection(Writer& w, const RkdeClassifier& c,
+                      const Dataset& training_data) {
+  WriteConfig(w, c.options().base);
+  w.U64(training_data.dims());
+  w.U64(training_data.size());
+  w.DoubleVec(c.model().kernel->bandwidths());
+  w.F64(c.model().radius_sq);
+  w.F64(c.threshold());
+  w.DoubleVec(training_data.values());
+}
+
+std::unique_ptr<DensityClassifier> ReadRkdeSection(Reader& r,
+                                                   const std::string& path,
+                                                   std::string* error) {
+  RkdeOptions options;
+  if (!ReadConfig(r, &options.base)) {
+    *error = path + ": truncated or corrupt config block";
+    return nullptr;
+  }
+  uint64_t dims = 0, n = 0;
+  std::vector<double> bandwidths, values;
+  double radius_sq = 0, threshold = 0;
+  if (!r.U64(&dims) || !r.U64(&n) || dims == 0 || n < 2 ||
+      dims > kMaxElements || n > kMaxElements || dims * n > kMaxElements) {
+    *error = path + ": corrupt shape header";
+    return nullptr;
+  }
+  if (!r.DoubleVec(&bandwidths, dims) || bandwidths.size() != dims ||
+      !r.F64(&radius_sq) || !r.F64(&threshold) ||
+      !ReadValues(r, dims, n, &values) || !ValidBandwidths(bandwidths) ||
+      !(radius_sq > 0.0)) {
+    *error = path + ": truncated or corrupt rkde section";
+    return nullptr;
+  }
+  Dataset data(dims, std::move(values));
+  auto classifier = std::make_unique<RkdeClassifier>(options);
+  classifier->Restore(data, bandwidths, radius_sq, threshold);
+  return classifier;
+}
+
+void WriteBinnedSection(Writer& w, const BinnedKdeClassifier& c,
+                        const Dataset& training_data) {
+  w.F64(c.options().p);
+  w.U32(static_cast<uint32_t>(c.options().kernel));
+  w.U64(c.options().grid_size_override);
+  w.F64(c.options().truncation_radius);
+  w.U64(training_data.dims());
+  w.U64(training_data.size());
+  w.DoubleVec(c.model().kernel->bandwidths());
+  w.F64(c.threshold());
+  w.DoubleVec(training_data.values());
+}
+
+std::unique_ptr<DensityClassifier> ReadBinnedSection(Reader& r,
+                                                     const std::string& path,
+                                                     std::string* error) {
+  BinnedKdeOptions options;
+  uint32_t kernel = 0;
+  uint64_t grid_size_override = 0;
+  uint64_t dims = 0, n = 0;
+  std::vector<double> bandwidths, values;
+  double threshold = 0;
+  if (!r.F64(&options.p) || !r.U32(&kernel) || !r.U64(&grid_size_override) ||
+      !r.F64(&options.truncation_radius) || !r.U64(&dims) || !r.U64(&n)) {
+    *error = path + ": truncated model body";
+    return nullptr;
+  }
+  if (!ValidRate(options.p) || kernel > 3 ||
+      !(options.truncation_radius > 0.0) || dims == 0 || dims > 4 || n < 2 ||
+      n > kMaxElements || dims * n > kMaxElements) {
+    *error = path + ": corrupt binned-kde section";
+    return nullptr;
+  }
+  options.kernel = static_cast<KernelType>(kernel);
+  options.grid_size_override = grid_size_override;
+  if (!r.DoubleVec(&bandwidths, dims) || bandwidths.size() != dims ||
+      !r.F64(&threshold) || !ReadValues(r, dims, n, &values) ||
+      !ValidBandwidths(bandwidths)) {
+    *error = path + ": truncated or corrupt binned-kde section";
+    return nullptr;
+  }
+  Dataset data(dims, std::move(values));
+  auto classifier = std::make_unique<BinnedKdeClassifier>(options);
+  classifier->Restore(data, bandwidths, threshold);
+  return classifier;
+}
+
+void WriteKnnSection(Writer& w, const KnnClassifier& c,
+                     const Dataset& training_data) {
+  w.F64(c.options().p);
+  w.U64(c.options().k);
+  w.U64(c.options().leaf_size);
+  w.U64(training_data.dims());
+  w.U64(training_data.size());
+  w.F64(c.threshold());
+  w.DoubleVec(training_data.values());
+}
+
+std::unique_ptr<DensityClassifier> ReadKnnSection(Reader& r,
+                                                  const std::string& path,
+                                                  std::string* error) {
+  KnnOptions options;
+  uint64_t k = 0, leaf_size = 0;
+  uint64_t dims = 0, n = 0;
+  std::vector<double> values;
+  double threshold = 0;
+  if (!r.F64(&options.p) || !r.U64(&k) || !r.U64(&leaf_size) ||
+      !r.U64(&dims) || !r.U64(&n) || !r.F64(&threshold)) {
+    *error = path + ": truncated model body";
+    return nullptr;
+  }
+  if (!ValidRate(options.p) || k == 0 || leaf_size == 0 || dims == 0 ||
+      n < 2 || dims > kMaxElements || n > kMaxElements ||
+      dims * n > kMaxElements) {
+    *error = path + ": corrupt knn section";
+    return nullptr;
+  }
+  options.k = k;
+  options.leaf_size = leaf_size;
+  if (!ReadValues(r, dims, n, &values)) {
+    *error = path + ": truncated data block";
+    return nullptr;
+  }
+  Dataset data(dims, std::move(values));
+  auto classifier = std::make_unique<KnnClassifier>(options);
+  classifier->Restore(data, threshold);
+  return classifier;
+}
+
+std::unique_ptr<DensityClassifier> LoadImpl(const std::string& path,
+                                            std::string* error) {
+  TKDC_CHECK(error != nullptr);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open " + path;
+    return nullptr;
+  }
+  char magic[4] = {0, 0, 0, 0};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    *error = path + ": not a tkdc model file";
+    return nullptr;
+  }
+  uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || (version != 1 && version != kModelFormatVersion)) {
+    *error = path + ": unsupported model format version";
+    return nullptr;
+  }
+
+  Reader r(in);
+  uint32_t tag = kTagTkdc;  // Version-1 files are always plain tkdc.
+  if (version >= 2 && !r.U32(&tag)) {
+    *error = path + ": truncated algorithm tag";
+    return nullptr;
+  }
+  std::unique_ptr<DensityClassifier> classifier;
+  switch (tag) {
+    case kTagTkdc:
+      classifier = ReadTkdcSection(r, /*nocut=*/false, path, error);
+      break;
+    case kTagNocut:
+      classifier = ReadTkdcSection(r, /*nocut=*/true, path, error);
+      break;
+    case kTagSimple:
+      classifier = ReadSimpleSection(r, path, error);
+      break;
+    case kTagRkde:
+      classifier = ReadRkdeSection(r, path, error);
+      break;
+    case kTagBinned:
+      classifier = ReadBinnedSection(r, path, error);
+      break;
+    case kTagKnn:
+      classifier = ReadKnnSection(r, path, error);
+      break;
+    default:
+      *error = path + ": unknown algorithm tag";
+      return nullptr;
+  }
+  if (classifier == nullptr) return nullptr;
+
   uint64_t stored_checksum = 0;
-  in.read(reinterpret_cast<char*>(&stored_checksum),
-          sizeof(stored_checksum));
+  in.read(reinterpret_cast<char*>(&stored_checksum), sizeof(stored_checksum));
   if (!in || stored_checksum != r.checksum()) {
     *error = path + ": checksum mismatch (file corrupted)";
     return nullptr;
   }
-  for (double h : bandwidths) {
-    if (!(h > 0.0)) {
-      *error = path + ": invalid bandwidths";
-      return nullptr;
-    }
-  }
-
-  Dataset data(dims, std::move(values));
-  auto classifier = std::make_unique<TkdcClassifier>(config);
-  classifier->Restore(data, bandwidths, threshold_lower, threshold_upper,
-                      threshold, std::move(densities));
   return classifier;
+}
+
+}  // namespace
+
+bool SaveModel(const std::string& path, const DensityClassifier& classifier,
+               const Dataset& training_data, bool include_densities,
+               std::string* error) {
+  TKDC_CHECK(error != nullptr);
+  if (!classifier.trained()) {
+    *error = "classifier is not trained";
+    return false;
+  }
+  const uint32_t tag = TagFor(classifier);
+  if (tag == 0) {
+    *error = "unsupported algorithm: " + classifier.name();
+    return false;
+  }
+  if (classifier.dims() != training_data.dims()) {
+    *error = "training_data does not match the classifier's model";
+    return false;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out.write(kMagic, sizeof(kMagic));
+  const uint32_t version = kModelFormatVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+
+  Writer w(out);
+  w.U32(tag);
+  switch (tag) {
+    case kTagTkdc:
+    case kTagNocut: {
+      const auto& c = dynamic_cast<const TkdcClassifier&>(classifier);
+      if (c.tree().size() != training_data.size()) {
+        *error = "training_data does not match the classifier's index";
+        return false;
+      }
+      WriteTkdcSection(w, c, training_data, include_densities);
+      break;
+    }
+    case kTagSimple: {
+      const auto& c = dynamic_cast<const SimpleKdeClassifier&>(classifier);
+      if (c.training_data().size() != training_data.size()) {
+        *error = "training_data does not match the classifier's model";
+        return false;
+      }
+      WriteSimpleSection(w, c, training_data);
+      break;
+    }
+    case kTagRkde: {
+      const auto& c = dynamic_cast<const RkdeClassifier&>(classifier);
+      if (c.model().tree->size() != training_data.size()) {
+        *error = "training_data does not match the classifier's index";
+        return false;
+      }
+      WriteRkdeSection(w, c, training_data);
+      break;
+    }
+    case kTagBinned: {
+      WriteBinnedSection(w, dynamic_cast<const BinnedKdeClassifier&>(classifier),
+                         training_data);
+      break;
+    }
+    case kTagKnn: {
+      const auto& c = dynamic_cast<const KnnClassifier&>(classifier);
+      if (c.model().tree->size() != training_data.size()) {
+        *error = "training_data does not match the classifier's index";
+        return false;
+      }
+      WriteKnnSection(w, c, training_data);
+      break;
+    }
+    default:
+      *error = "unsupported algorithm: " + classifier.name();
+      return false;
+  }
+  const uint64_t checksum = w.checksum();
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  out.flush();
+  if (!out) {
+    *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<TkdcClassifier> LoadModel(const std::string& path,
+                                          std::string* error) {
+  std::unique_ptr<DensityClassifier> classifier = LoadImpl(path, error);
+  if (classifier == nullptr) return nullptr;
+  auto* tkdc = dynamic_cast<TkdcClassifier*>(classifier.get());
+  if (tkdc == nullptr) {
+    *error = path + ": holds a " + classifier->name() +
+             " model, not tkdc (use LoadAnyModel)";
+    return nullptr;
+  }
+  classifier.release();
+  return std::unique_ptr<TkdcClassifier>(tkdc);
+}
+
+std::unique_ptr<DensityClassifier> LoadAnyModel(const std::string& path,
+                                                std::string* error) {
+  return LoadImpl(path, error);
 }
 
 }  // namespace tkdc

@@ -5,34 +5,46 @@
 #include <string>
 
 #include "data/dataset.h"
+#include "kde/density_classifier.h"
 #include "tkdc/classifier.h"
 
 namespace tkdc {
 
 /// Persists a trained classifier to `path` in the tkdc binary model format
-/// (magic "TKDC", format version, config, bandwidths, thresholds, training
-/// data, and — optionally — the cached training densities). The training
-/// data rides along because the k-d tree and grid cache are rebuilt
-/// deterministically on load, which is both smaller and simpler than
-/// serializing the index structure.
+/// (magic "TKDC", format version, algorithm tag, then a per-algorithm
+/// section holding the parameters, thresholds, and training data). The
+/// training data rides along because every algorithm's index — k-d tree,
+/// grid cache, density grid — is rebuilt deterministically on load, which
+/// is both smaller and simpler than serializing the index structure.
 ///
-/// `training_data` must be the dataset the classifier was trained on. Pass
-/// `include_densities` = false to drop the cached Dx vector (smaller file;
+/// Works for every DensityClassifier subclass in the repo (tkdc, nocut,
+/// simple, rkde, binned, knn). `training_data` must be the dataset the
+/// classifier was trained on. `include_densities` applies only to tkdc /
+/// nocut models: pass false to drop the cached Dx vector (smaller file;
 /// training_densities() will be empty after load). Returns false and fills
 /// `*error` on failure.
-bool SaveModel(const std::string& path, const TkdcClassifier& classifier,
+bool SaveModel(const std::string& path, const DensityClassifier& classifier,
                const Dataset& training_data, bool include_densities,
                std::string* error);
 
-/// Loads a model saved by SaveModel. Returns nullptr and fills `*error` on
-/// malformed input (bad magic, unsupported version, truncation,
-/// inconsistent sizes). The returned classifier is fully trained: ready to
-/// Classify() without touching the bootstrap.
+/// Loads a model saved by SaveModel when it is a tkdc (or nocut) model.
+/// Reads both the current format and legacy version-1 files (which were
+/// always tkdc). Returns nullptr and fills `*error` on malformed input or
+/// when the file holds a different algorithm — use LoadAnyModel for that.
+/// The returned classifier is fully trained: ready to Classify() without
+/// touching the bootstrap.
 std::unique_ptr<TkdcClassifier> LoadModel(const std::string& path,
                                           std::string* error);
 
-/// Current model format version written by SaveModel.
-inline constexpr uint32_t kModelFormatVersion = 1;
+/// Loads a model of any algorithm, dispatching on the stored tag. Legacy
+/// version-1 files load as tkdc. The result's runtime type matches name():
+/// "tkdc", "nocut", "simple", "rkde", "binned", or "knn".
+std::unique_ptr<DensityClassifier> LoadAnyModel(const std::string& path,
+                                                std::string* error);
+
+/// Current model format version written by SaveModel. Version 1 (tkdc
+/// only, no algorithm tag) is still readable.
+inline constexpr uint32_t kModelFormatVersion = 2;
 
 }  // namespace tkdc
 

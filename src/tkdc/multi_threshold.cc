@@ -34,9 +34,9 @@ void MultiThresholdClassifier::Train(const Dataset& data) {
   tree_options.split_rule = config_.split_rule;
   tree_options.axis_rule = config_.axis_rule;
   tree_ = std::make_unique<KdTree>(data, tree_options);
-  evaluator_ = std::make_unique<DensityBoundEvaluator>(tree_.get(),
-                                                       kernel_.get(),
-                                                       &config_);
+  evaluator_ = DensityBoundEvaluator(tree_.get(), kernel_.get(), &config_);
+  ctx_.stats = TraversalStats();
+  ctx_.grid_prunes = 0;
   self_contribution_ =
       kernel_->MaxValue() / static_cast<double>(data.size());
 
@@ -82,8 +82,8 @@ void MultiThresholdClassifier::Train(const Dataset& data) {
         continue;
       }
     }
-    const DensityBounds bounds = evaluator_->BoundDensity(
-        x, lo + self_contribution_, hi + self_contribution_, tolerance);
+    const DensityBounds bounds = evaluator_.BoundDensity(
+        ctx_, x, lo + self_contribution_, hi + self_contribution_, tolerance);
     densities.push_back(bounds.Midpoint() - self_contribution_);
   }
   std::sort(densities.begin(), densities.end());
@@ -120,8 +120,8 @@ size_t MultiThresholdClassifier::BandImpl(std::span<const double> x,
   for (;;) {
     const double t_lo = thresholds_[band_lo];
     const double t_hi = thresholds_[band_hi - 1];
-    const DensityBounds bounds = evaluator_->BoundDensity(
-        x, t_lo + shift, t_hi + shift, config_.epsilon * t_hi);
+    const DensityBounds bounds = evaluator_.BoundDensity(
+        ctx_, x, t_lo + shift, t_hi + shift, config_.epsilon * t_hi);
     // Every pass's bounds contain the true density, so the true band lies
     // in the intersection of the ranges; clamping keeps narrowing
     // monotone even though a later (more aggressively pruned) pass can
@@ -152,9 +152,7 @@ size_t MultiThresholdClassifier::BandTraining(std::span<const double> x) {
 }
 
 uint64_t MultiThresholdClassifier::kernel_evaluations() const {
-  uint64_t total = bootstrap_kernel_evaluations_;
-  if (evaluator_ != nullptr) total += evaluator_->stats().kernel_evaluations;
-  return total;
+  return bootstrap_kernel_evaluations_ + ctx_.stats.kernel_evaluations;
 }
 
 }  // namespace tkdc

@@ -69,7 +69,11 @@ class MultiThresholdClassifier {
   std::unique_ptr<Kernel> kernel_;
   std::unique_ptr<KdTree> tree_;
   std::unique_ptr<GridCache> grid_;
-  std::unique_ptr<DensityBoundEvaluator> evaluator_;
+  /// Stateless engine over tree_/kernel_/config_; rebuilt by Train().
+  DensityBoundEvaluator evaluator_;
+  /// Scratch + counters for this (externally single-threaded) classifier:
+  /// the training pass and every Band() query run through it.
+  TreeQueryContext ctx_;
   std::vector<double> thresholds_;
   double self_contribution_ = 0.0;
   uint64_t bootstrap_kernel_evaluations_ = 0;

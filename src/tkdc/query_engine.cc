@@ -1,0 +1,62 @@
+#include "tkdc/query_engine.h"
+
+#include "common/macros.h"
+
+namespace tkdc {
+
+TkdcQueryEngine::TkdcQueryEngine(const TkdcModel* model)
+    : model_(model),
+      evaluator_(model->tree.get(), model->kernel.get(), &model->config) {
+  TKDC_CHECK(model != nullptr);
+}
+
+Classification TkdcQueryEngine::Classify(TreeQueryContext& ctx,
+                                         std::span<const double> x,
+                                         bool training) const {
+  const TkdcModel& m = *model_;
+  // For training points the corrected comparison f(x) - K(0)/n > t is
+  // equivalent to comparing the raw density against the shifted threshold
+  // t + K(0)/n, so the pruning band simply shifts; the tolerance target
+  // stays eps * t in corrected units.
+  const double cut =
+      training ? m.threshold + m.self_contribution : m.threshold;
+  if (m.grid != nullptr && m.grid->DensityLowerBound(x) > cut) {
+    ++ctx.grid_prunes;
+    return Classification::kHigh;
+  }
+  const DensityBounds bounds =
+      training ? evaluator_.BoundDensity(ctx, x, cut, cut,
+                                         m.config.epsilon * m.threshold)
+               : evaluator_.BoundDensity(ctx, x, cut, cut);
+  return bounds.Midpoint() > cut ? Classification::kHigh
+                                 : Classification::kLow;
+}
+
+double TkdcQueryEngine::TrainingDensity(TreeQueryContext& ctx,
+                                        std::span<const double> x, double lo,
+                                        double hi, double grid_cut,
+                                        double tolerance) const {
+  const TkdcModel& m = *model_;
+  if (m.grid != nullptr) {
+    const double grid_bound =
+        m.grid->DensityLowerBound(x) - m.self_contribution;
+    if (grid_bound > grid_cut) {
+      // Certified above the band: the exact value is irrelevant to the
+      // p-quantile as long as it stays on the high side.
+      ++ctx.grid_prunes;
+      return grid_bound;
+    }
+  }
+  const DensityBounds bounds = evaluator_.BoundDensity(
+      ctx, x, lo + m.self_contribution, hi + m.self_contribution, tolerance);
+  return bounds.Midpoint() - m.self_contribution;
+}
+
+double TkdcQueryEngine::EstimateDensity(TreeQueryContext& ctx,
+                                        std::span<const double> x) const {
+  return evaluator_
+      .BoundDensity(ctx, x, model_->threshold, model_->threshold)
+      .Midpoint();
+}
+
+}  // namespace tkdc

@@ -71,7 +71,8 @@ ThresholdBootstrapResult ThresholdEstimator::Bootstrap(
     const double self_contribution =
         kernel->MaxValue() / static_cast<double>(r);
 
-    DensityBoundEvaluator evaluator(tree, kernel, config_);
+    const DensityBoundEvaluator evaluator(tree, kernel, config_);
+    TreeQueryContext ctx;
     std::vector<double> densities;
     densities.reserve(s);
     // t_lo/t_hi live in self-corrected space; the traversal bounds raw
@@ -80,11 +81,11 @@ ThresholdBootstrapResult ThresholdEstimator::Bootstrap(
     const double tolerance = config_->epsilon * t_lo;
     for (size_t row : query_rows) {
       const DensityBounds bounds = evaluator.BoundDensity(
-          train->Row(row), t_lo + self_contribution,
+          ctx, train->Row(row), t_lo + self_contribution,
           t_hi + self_contribution, tolerance);
       densities.push_back(bounds.Midpoint() - self_contribution);
     }
-    result.stats.Add(evaluator.stats());
+    result.stats.Add(ctx.stats);
     std::sort(densities.begin(), densities.end());
     ++result.iterations;
 

@@ -5,6 +5,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "data/generators.h"
+#include "kde/naive_kde.h"
 
 namespace tkdc {
 namespace {
@@ -25,7 +26,7 @@ TEST(SimpleKdeClassifierTest, ExactThresholdWhenSampleDisabled) {
   SimpleKdeClassifier classifier(options);
   classifier.Train(data);
   // Recompute the exact threshold independently.
-  const NaiveKde& kde = classifier.kde();
+  const NaiveKde kde(classifier.training_data(), classifier.kernel());
   std::vector<double> densities(data.size());
   for (size_t i = 0; i < data.size(); ++i) {
     densities[i] = kde.TrainingDensity(i);
@@ -92,8 +93,8 @@ TEST(SimpleKdeClassifierTest, EstimateDensityIsExact) {
   SimpleKdeClassifier classifier;
   classifier.Train(data);
   const std::vector<double> q{0.5, -0.25};
-  EXPECT_DOUBLE_EQ(classifier.EstimateDensity(q),
-                   classifier.kde().Density(q));
+  const NaiveKde kde(classifier.training_data(), classifier.kernel());
+  EXPECT_DOUBLE_EQ(classifier.EstimateDensity(q), kde.Density(q));
 }
 
 }  // namespace

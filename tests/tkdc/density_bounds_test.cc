@@ -39,6 +39,8 @@ struct Fixture {
   std::unique_ptr<KdTree> tree;
   std::unique_ptr<DensityBoundEvaluator> evaluator;
   std::unique_ptr<NaiveKde> naive;
+  // Per-test query context: scratch + counters for every BoundDensity call.
+  TreeQueryContext ctx;
 };
 
 TEST(DensityBoundsTest, UnboundedTraversalIsExact) {
@@ -47,7 +49,7 @@ TEST(DensityBoundsTest, UnboundedTraversalIsExact) {
   Fixture f(500, 2, 1);
   for (size_t i = 0; i < 20; ++i) {
     const auto x = f.data->Row(i * 7);
-    const DensityBounds bounds = f.evaluator->BoundDensity(x, 0.0, kInf);
+    const DensityBounds bounds = f.evaluator->BoundDensity(f.ctx, x, 0.0, kInf);
     const double exact = f.naive->Density(x);
     EXPECT_NEAR(bounds.lower, exact, 1e-10 * exact + 1e-14);
     EXPECT_NEAR(bounds.upper, exact, 1e-10 * exact + 1e-14);
@@ -62,7 +64,7 @@ TEST(DensityBoundsTest, BoundsAlwaysBracketExactDensity) {
   Rng rng(3);
   for (int trial = 0; trial < 40; ++trial) {
     std::vector<double> q{rng.Uniform(-4.0, 4.0), rng.Uniform(-4.0, 4.0)};
-    const DensityBounds bounds = f.evaluator->BoundDensity(q, t, t);
+    const DensityBounds bounds = f.evaluator->BoundDensity(f.ctx, q, t, t);
     const double exact = f.naive->Density(q);
     EXPECT_LE(bounds.lower, exact + 1e-12) << "trial " << trial;
     EXPECT_GE(bounds.upper, exact - 1e-12) << "trial " << trial;
@@ -75,34 +77,34 @@ TEST(DensityBoundsTest, ThresholdRuleStopsEarlyForDensePoints) {
   // touch only a tiny fraction of the tree.
   const std::vector<double> mode{0.0, 0.0};
   const double t = 1e-4;
-  f.evaluator->ResetStats();
-  const DensityBounds bounds = f.evaluator->BoundDensity(mode, t, t);
+  f.ctx.stats = TraversalStats();
+  const DensityBounds bounds = f.evaluator->BoundDensity(f.ctx, mode, t, t);
   EXPECT_GT(bounds.lower, t * (1.0 + f.config.epsilon));
-  EXPECT_LT(f.evaluator->stats().kernel_evaluations, 2000u);
+  EXPECT_LT(f.ctx.stats.kernel_evaluations, 2000u);
 }
 
 TEST(DensityBoundsTest, ThresholdRuleStopsEarlyForOutliers) {
   Fixture f(5000, 2, 5);
   const std::vector<double> far{40.0, 40.0};
   const double t = 1e-3;
-  f.evaluator->ResetStats();
-  const DensityBounds bounds = f.evaluator->BoundDensity(far, t, t);
+  f.ctx.stats = TraversalStats();
+  const DensityBounds bounds = f.evaluator->BoundDensity(f.ctx, far, t, t);
   EXPECT_LT(bounds.upper, t * (1.0 - f.config.epsilon));
   // An extreme outlier is certified LOW from the root bound alone.
-  EXPECT_LT(f.evaluator->stats().kernel_evaluations, 100u);
+  EXPECT_LT(f.ctx.stats.kernel_evaluations, 100u);
 }
 
 TEST(DensityBoundsTest, PruningSavesWorkVersusExhaustive) {
   Fixture f(5000, 2, 6);
   const double t = 0.02;
   // Near-mode and far queries with pruning.
-  f.evaluator->ResetStats();
-  f.evaluator->BoundDensity(std::vector<double>{0.1, 0.0}, t, t);
-  const uint64_t pruned = f.evaluator->stats().kernel_evaluations;
+  f.ctx.stats = TraversalStats();
+  f.evaluator->BoundDensity(f.ctx, std::vector<double>{0.1, 0.0}, t, t);
+  const uint64_t pruned = f.ctx.stats.kernel_evaluations;
   // Same query unbounded (exhaustive).
-  f.evaluator->ResetStats();
-  f.evaluator->BoundDensity(std::vector<double>{0.1, 0.0}, 0.0, kInf);
-  const uint64_t exhaustive = f.evaluator->stats().kernel_evaluations;
+  f.ctx.stats = TraversalStats();
+  f.evaluator->BoundDensity(f.ctx, std::vector<double>{0.1, 0.0}, 0.0, kInf);
+  const uint64_t exhaustive = f.ctx.stats.kernel_evaluations;
   EXPECT_LT(pruned * 4, exhaustive);
 }
 
@@ -116,7 +118,7 @@ TEST(DensityBoundsTest, ToleranceRuleBoundsWidth) {
   Rng rng(8);
   for (int trial = 0; trial < 20; ++trial) {
     std::vector<double> q{rng.NextGaussian(), rng.NextGaussian()};
-    const DensityBounds bounds = f.evaluator->BoundDensity(q, t, t);
+    const DensityBounds bounds = f.evaluator->BoundDensity(f.ctx, q, t, t);
     EXPECT_LT(bounds.Width(), config.epsilon * t + 1e-12);
     const double exact = f.naive->Density(q);
     EXPECT_NEAR(bounds.Midpoint(), exact, config.epsilon * t + 1e-12);
@@ -132,7 +134,7 @@ TEST(DensityBoundsTest, NoRulesMeansExactEverywhere) {
   for (int trial = 0; trial < 10; ++trial) {
     std::vector<double> q{rng.NextGaussian(), rng.NextGaussian(),
                           rng.NextGaussian()};
-    const DensityBounds bounds = f.evaluator->BoundDensity(q, 0.5, 0.5);
+    const DensityBounds bounds = f.evaluator->BoundDensity(f.ctx, q, 0.5, 0.5);
     const double exact = f.naive->Density(q);
     EXPECT_NEAR(bounds.lower, exact, 1e-10 * exact + 1e-14);
     EXPECT_NEAR(bounds.upper, exact, 1e-10 * exact + 1e-14);
@@ -152,7 +154,7 @@ TEST(DensityBoundsTest, ClassificationDecisionsAreCorrect) {
     std::vector<double> q{rng.Uniform(-5.0, 5.0), rng.Uniform(-5.0, 5.0)};
     const double exact = f.naive->Density(q);
     if (exact > t * (1.0 - eps) && exact < t * (1.0 + eps)) continue;
-    const DensityBounds bounds = f.evaluator->BoundDensity(q, t, t);
+    const DensityBounds bounds = f.evaluator->BoundDensity(f.ctx, q, t, t);
     const bool predicted_high = bounds.Midpoint() > t;
     EXPECT_EQ(predicted_high, exact > t)
         << "exact=" << exact << " bounds=[" << bounds.lower << ","
@@ -164,14 +166,14 @@ TEST(DensityBoundsTest, ClassificationDecisionsAreCorrect) {
 
 TEST(DensityBoundsTest, StatsAccumulateAcrossQueries) {
   Fixture f(500, 2, 13);
-  f.evaluator->ResetStats();
-  f.evaluator->BoundDensity(f.data->Row(0), 0.01, 0.01);
-  const TraversalStats after_one = f.evaluator->stats();
+  f.ctx.stats = TraversalStats();
+  f.evaluator->BoundDensity(f.ctx, f.data->Row(0), 0.01, 0.01);
+  const TraversalStats after_one = f.ctx.stats;
   EXPECT_EQ(after_one.queries, 1u);
   EXPECT_GT(after_one.kernel_evaluations, 0u);
-  f.evaluator->BoundDensity(f.data->Row(1), 0.01, 0.01);
-  EXPECT_EQ(f.evaluator->stats().queries, 2u);
-  EXPECT_GE(f.evaluator->stats().kernel_evaluations,
+  f.evaluator->BoundDensity(f.ctx, f.data->Row(1), 0.01, 0.01);
+  EXPECT_EQ(f.ctx.stats.queries, 2u);
+  EXPECT_GE(f.ctx.stats.kernel_evaluations,
             after_one.kernel_evaluations);
 }
 
@@ -181,7 +183,7 @@ TEST(DensityBoundsTest, EpanechnikovKernelExactWhenExhausted) {
   Fixture f(600, 2, 14, config);
   for (int i = 0; i < 10; ++i) {
     const auto x = f.data->Row(static_cast<size_t>(i) * 13);
-    const DensityBounds bounds = f.evaluator->BoundDensity(x, 0.0, kInf);
+    const DensityBounds bounds = f.evaluator->BoundDensity(f.ctx, x, 0.0, kInf);
     const double exact = f.naive->Density(x);
     EXPECT_NEAR(bounds.Midpoint(), exact, 1e-10 * exact + 1e-14);
   }
@@ -192,7 +194,7 @@ TEST(DensityBoundsTest, HighDimensionalBoundsStillBracket) {
   const double t = f.naive->Density(f.data->Row(0)) * 0.5;
   for (int i = 0; i < 10; ++i) {
     const auto x = f.data->Row(static_cast<size_t>(i) * 31);
-    const DensityBounds bounds = f.evaluator->BoundDensity(x, t, t);
+    const DensityBounds bounds = f.evaluator->BoundDensity(f.ctx, x, t, t);
     const double exact = f.naive->Density(x);
     EXPECT_LE(bounds.lower, exact + 1e-15);
     EXPECT_GE(bounds.upper, exact - 1e-15);

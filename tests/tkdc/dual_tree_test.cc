@@ -183,8 +183,9 @@ TEST(BoxBoundsTest, BoxDensityBoundsContainAllPointDensities) {
   config.use_tolerance_rule = false;
   DensityBoundEvaluator evaluator(&f.classifier.tree(),
                                   &f.classifier.kernel(), &config);
+  TreeQueryContext ctx;
   const DensityBounds bounds = evaluator.BoundDensityForBox(
-      box, 0.0, std::numeric_limits<double>::infinity());
+      ctx, box, 0.0, std::numeric_limits<double>::infinity());
   Rng rng(14);
   for (int trial = 0; trial < 50; ++trial) {
     std::vector<double> q{rng.Uniform(0.5, 1.0), rng.Uniform(0.5, 1.2)};

@@ -1,11 +1,20 @@
 #include "tkdc/model_io.h"
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "baselines/binned_kde.h"
+#include "baselines/knn.h"
+#include "baselines/nocut.h"
+#include "baselines/rkde.h"
+#include "baselines/simple_kde.h"
 #include "common/rng.h"
 #include "data/generators.h"
 
@@ -160,6 +169,150 @@ TEST_F(ModelIoTest, LoadRejectsBitFlip) {
   out.close();
   EXPECT_EQ(LoadModel(path, &error), nullptr)
       << "bit flip must be detected";
+}
+
+// Version-2 files carry an algorithm tag; every classifier in the lineup
+// must round trip through LoadAnyModel with its labels intact.
+class AnyModelRoundTripTest
+    : public ModelIoTest,
+      public ::testing::WithParamInterface<const char*> {
+ protected:
+  std::unique_ptr<DensityClassifier> MakeClassifier() {
+    const std::string name = GetParam();
+    if (name == "tkdc") return std::make_unique<TkdcClassifier>();
+    if (name == "nocut") return std::make_unique<NocutClassifier>();
+    if (name == "simple") return std::make_unique<SimpleKdeClassifier>();
+    if (name == "rkde") return std::make_unique<RkdeClassifier>();
+    if (name == "binned") return std::make_unique<BinnedKdeClassifier>();
+    KnnOptions options;
+    options.threshold_sample = 500;
+    return std::make_unique<KnnClassifier>(options);
+  }
+};
+
+TEST_P(AnyModelRoundTripTest, RoundTripPreservesLabelsAndThreshold) {
+  const Dataset data = TrainSet(21, 1200);
+  auto original = MakeClassifier();
+  original->Train(data);
+  const std::string path = TempPath(std::string(GetParam()) + ".tkdc");
+  std::string error;
+  ASSERT_TRUE(SaveModel(path, *original, data, /*include_densities=*/false,
+                        &error))
+      << error;
+  auto loaded = LoadAnyModel(path, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_EQ(loaded->name(), GetParam());
+  EXPECT_TRUE(loaded->trained());
+  EXPECT_EQ(loaded->dims(), original->dims());
+  EXPECT_DOUBLE_EQ(loaded->threshold(), original->threshold());
+  Rng rng(22);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> q{rng.Uniform(-5.0, 5.0), rng.Uniform(-5.0, 5.0)};
+    EXPECT_EQ(loaded->Classify(q), original->Classify(q)) << "trial " << i;
+  }
+  for (size_t i = 0; i < data.size(); i += 31) {
+    EXPECT_EQ(loaded->ClassifyTraining(data.Row(i)),
+              original->ClassifyTraining(data.Row(i)))
+        << "row " << i;
+  }
+}
+
+TEST_P(AnyModelRoundTripTest, LoadModelAcceptsOnlyTkdcFamilies) {
+  const Dataset data = TrainSet(23, 600);
+  auto original = MakeClassifier();
+  original->Train(data);
+  const std::string path = TempPath(std::string(GetParam()) + "_narrow.tkdc");
+  std::string error;
+  ASSERT_TRUE(SaveModel(path, *original, data, false, &error)) << error;
+  auto loaded = LoadModel(path, &error);
+  const std::string name = GetParam();
+  if (name == "tkdc" || name == "nocut") {
+    ASSERT_NE(loaded, nullptr) << error;
+    EXPECT_EQ(loaded->name(), name);
+  } else {
+    EXPECT_EQ(loaded, nullptr);
+    EXPECT_NE(error.find("use LoadAnyModel"), std::string::npos) << error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, AnyModelRoundTripTest,
+                         ::testing::Values("tkdc", "nocut", "simple", "rkde",
+                                           "binned", "knn"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+TEST_F(ModelIoTest, GridCacheModelRoundTrips) {
+  TkdcConfig config;
+  config.use_grid = true;
+  config.grid_max_dims = 2;
+  const Dataset data = TrainSet(24);
+  TkdcClassifier original(config);
+  original.Train(data);
+  ASSERT_NE(original.model().grid, nullptr)
+      << "fixture must exercise the grid cache";
+  const std::string path = TempPath("grid.tkdc");
+  std::string error;
+  ASSERT_TRUE(SaveModel(path, original, data, true, &error)) << error;
+  auto loaded = LoadModel(path, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  // Restore rebuilds the grid deterministically from the restored
+  // thresholds, so the loaded engine prunes exactly like the original.
+  ASSERT_NE(loaded->model().grid, nullptr);
+  const uint64_t before = loaded->grid_prunes();
+  Rng rng(25);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<double> q{rng.Uniform(-4.0, 4.0), rng.Uniform(-4.0, 4.0)};
+    EXPECT_EQ(loaded->Classify(q), original.Classify(q)) << "trial " << i;
+  }
+  EXPECT_GT(loaded->grid_prunes(), before)
+      << "restored grid cache never pruned a query";
+}
+
+TEST_F(ModelIoTest, ReadsVersionOneFiles) {
+  // Version 1 had no algorithm tag: the payload began directly with the
+  // tkdc section (same layout as today's). Build a v1 file from a v2 one
+  // by dropping the tag, rewinding the version field, and recomputing the
+  // FNV-1a checksum over the shorter payload — then require the loader to
+  // accept it as a plain tkdc model.
+  const Dataset data = TrainSet(26);
+  TkdcClassifier original;
+  original.Train(data);
+  const std::string v2_path = TempPath("v2.tkdc");
+  std::string error;
+  ASSERT_TRUE(SaveModel(v2_path, original, data, true, &error)) << error;
+  std::ifstream in(v2_path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  // Layout: magic[4] version[4] tag[4] section... checksum[8].
+  ASSERT_GT(contents.size(), 20u);
+  const std::string section =
+      contents.substr(12, contents.size() - 12 - sizeof(uint64_t));
+  uint64_t checksum = 0xcbf29ce484222325ULL;
+  for (const char c : section) {
+    checksum ^= static_cast<unsigned char>(c);
+    checksum *= 0x100000001b3ULL;
+  }
+  const std::string v1_path = TempPath("v1.tkdc");
+  std::ofstream out(v1_path, std::ios::binary);
+  out.write(contents.data(), 4);  // Magic.
+  const uint32_t version = 1;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(section.data(), static_cast<std::streamsize>(section.size()));
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  out.close();
+
+  auto loaded = LoadModel(v1_path, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_EQ(loaded->name(), "tkdc");
+  EXPECT_DOUBLE_EQ(loaded->threshold(), original.threshold());
+  EXPECT_EQ(loaded->training_densities(), original.training_densities());
+  Rng rng(27);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> q{rng.Uniform(-5.0, 5.0), rng.Uniform(-5.0, 5.0)};
+    EXPECT_EQ(loaded->Classify(q), original.Classify(q)) << "trial " << i;
+  }
 }
 
 TEST_F(ModelIoTest, LoadedModelKeepsWorkingAfterOriginalDies) {

@@ -138,24 +138,24 @@ TEST(MultiThresholdTest, OneTraversalPerQuery) {
   const uint64_t before = f.ladder.kernel_evaluations();
   // Classify the same queries through the ladder and through 3 separate
   // classifiers; the ladder must do far less work than 3x.
-  std::vector<TkdcClassifier> singles;
+  std::vector<std::unique_ptr<TkdcClassifier>> singles;
   for (double p : kLevels) {
     TkdcConfig config;
     config.p = p;
-    singles.emplace_back(config);
-    singles.back().Train(f.data);
+    singles.push_back(std::make_unique<TkdcClassifier>(config));
+    singles.back()->Train(f.data);
   }
   uint64_t singles_before = 0;
-  for (auto& s : singles) singles_before += s.kernel_evaluations();
+  for (auto& s : singles) singles_before += s->kernel_evaluations();
   Rng rng(11);
   for (int trial = 0; trial < 500; ++trial) {
     std::vector<double> q{rng.Uniform(-4.0, 4.0), rng.Uniform(-4.0, 4.0)};
     f.ladder.Band(q);
-    for (auto& s : singles) s.Classify(q);
+    for (auto& s : singles) s->Classify(q);
   }
   const uint64_t ladder_cost = f.ladder.kernel_evaluations() - before;
   uint64_t singles_cost = 0;
-  for (auto& s : singles) singles_cost += s.kernel_evaluations();
+  for (auto& s : singles) singles_cost += s->kernel_evaluations();
   singles_cost -= singles_before;
   EXPECT_LT(ladder_cost, singles_cost);
 }

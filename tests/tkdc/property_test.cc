@@ -62,6 +62,7 @@ TEST_P(BoundSoundness, BoundsBracketExactDensityEverywhere) {
   tree_options.split_rule = config.split_rule;
   KdTree tree(data, tree_options);
   DensityBoundEvaluator evaluator(&tree, &kernel, &config);
+  TreeQueryContext ctx;
   NaiveKde naive(data, kernel);
 
   // A plausible threshold: a low quantile of a density sample.
@@ -70,7 +71,7 @@ TEST_P(BoundSoundness, BoundsBracketExactDensityEverywhere) {
   std::vector<double> q(dims);
   for (int trial = 0; trial < 30; ++trial) {
     for (size_t j = 0; j < dims; ++j) q[j] = probe.Uniform(-4.0, 4.0);
-    const DensityBounds bounds = evaluator.BoundDensity(q, t, t);
+    const DensityBounds bounds = evaluator.BoundDensity(ctx, q, t, t);
     const double exact = naive.Density(q);
     EXPECT_LE(bounds.lower, exact * (1.0 + 1e-9) + 1e-300)
         << "trial " << trial;
@@ -93,11 +94,12 @@ TEST_P(BoundSoundness, UnboundedTraversalExact) {
   tree_options.split_rule = config.split_rule;
   KdTree tree(data, tree_options);
   DensityBoundEvaluator evaluator(&tree, &kernel, &config);
+  TreeQueryContext ctx;
   NaiveKde naive(data, kernel);
   for (size_t i = 0; i < 10; ++i) {
     const auto x = data.Row(i * 37);
     const DensityBounds bounds = evaluator.BoundDensity(
-        x, 0.0, std::numeric_limits<double>::infinity());
+        ctx, x, 0.0, std::numeric_limits<double>::infinity());
     const double exact = naive.Density(x);
     EXPECT_NEAR(bounds.Midpoint(), exact, 1e-9 * exact + 1e-300);
   }
