@@ -24,6 +24,7 @@
 #include "baselines/nocut.h"
 #include "baselines/rkde.h"
 #include "baselines/simple_kde.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "harness/runner.h"
@@ -243,6 +244,10 @@ int main(int argc, char** argv) {
                                                "rkde",   "knn"};
   if (data.dims() <= 4) parallel_algorithms.push_back("binned");
   std::vector<AlgorithmParallel> parallel_records;
+  // One registry per algorithm, filled by an untimed pass after the timed
+  // sweep so the observability layer never touches the throughput numbers.
+  std::vector<std::string> metrics_names;
+  std::vector<std::unique_ptr<MetricsRegistry>> metrics_registries;
   TablePrinter parallel_table(
       {"algorithm", "threads", "queries/s", "speedup", "identical"});
   for (const std::string& name : parallel_algorithms) {
@@ -258,6 +263,8 @@ int main(int argc, char** argv) {
     record.algorithm = name;
     record.queries = queries.size();
     std::vector<Classification> serial_labels;
+    metrics_names.push_back(name);
+    metrics_registries.push_back(std::make_unique<MetricsRegistry>());
     for (const size_t threads : thread_counts) {
       classifier->SetNumThreads(threads);
       // Warm up pool + scratch, then time the batch.
@@ -278,6 +285,13 @@ int main(int argc, char** argv) {
                              FormatFixed(speedup, 2),
                              identical ? "yes" : "NO"});
     }
+    // Untimed observability pass: re-run one serial batch with a metrics
+    // shard attached and bank the histograms for BENCH_fig07_metrics.json.
+    classifier->SetNumThreads(1);
+    classifier->AttachMetrics(metrics_registries.back().get());
+    classifier->ClassifyTrainingBatch(queries);
+    classifier->FlushMetrics();
+    classifier->AttachMetrics(nullptr);
     parallel_records.push_back(std::move(record));
   }
   std::cout << "\n";
@@ -288,5 +302,18 @@ int main(int argc, char** argv) {
 
   WriteJson("BENCH_fig07.json", args, serial_records, workload.Label(),
             data.size(), data.dims(), parallel_records);
+
+  std::ofstream metrics_json("BENCH_fig07_metrics.json");
+  if (metrics_json) {
+    metrics_json << "{\n";
+    for (size_t i = 0; i < metrics_names.size(); ++i) {
+      metrics_json << "  \"" << JsonEscape(metrics_names[i]) << "\":\n";
+      metrics_registries[i]->WriteJson(metrics_json, 2);
+      metrics_json << (i + 1 < metrics_names.size() ? "," : "") << "\n";
+    }
+    metrics_json << "}\n";
+    std::cout << "per-algorithm query metrics written to "
+                 "BENCH_fig07_metrics.json\n";
+  }
   return 0;
 }

@@ -5,7 +5,9 @@
 // The paper: the threshold rule alone buys ~500x (10 -> 4.8k points/s and
 // 567k -> 610 kernel evals/pt); each later optimization adds more.
 
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "pruning_lab.h"
@@ -40,16 +42,32 @@ int main(int argc, char** argv) {
       {"+grid", true, true, true, true},
   };
   TablePrinter table({"configuration", "points/s", "kernel evals/pt"});
+  // One registry per configuration so the JSON shows how each added
+  // optimization reshapes the prune-depth and cutoff-reason distributions.
+  std::vector<std::unique_ptr<MetricsRegistry>> registries;
   for (const PruningLabConfig& config : configs) {
+    registries.push_back(std::make_unique<MetricsRegistry>());
     const PruningLabResult result = RunPruningLab(
         data, threshold, config, /*epsilon=*/0.01,
-        /*max_queries=*/5'000, args.budget_seconds);
+        /*max_queries=*/5'000, args.budget_seconds, registries.back().get());
     table.AddRow({result.label, FormatSi(result.queries_per_second),
                   FormatSi(result.kernel_evals_per_query)});
     std::cout << "." << std::flush;
   }
   std::cout << "\n\n";
   table.Print(std::cout);
+
+  std::ofstream json("BENCH_fig12_metrics.json");
+  json << "{\n";
+  for (size_t i = 0; i < configs.size(); ++i) {
+    json << "  \"" << configs[i].label << "\":\n";
+    registries[i]->WriteJson(json, 2);
+    json << (i + 1 < configs.size() ? "," : "") << "\n";
+  }
+  json << "}\n";
+  std::cout << "\nper-configuration query metrics written to "
+               "BENCH_fig12_metrics.json\n";
+
   std::cout << "\nPaper (Figure 12, 500k rows): 10 -> 4.8k -> 51k -> 85k "
                "-> 114k points/s and\n567k -> 610 -> 151 -> 90.9 -> 55.4 "
                "kernel evaluations per point.\n";

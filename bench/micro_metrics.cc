@@ -1,0 +1,115 @@
+// Microbenchmarks for the query-path observability layer:
+//   1. batch classification with metrics detached (the default) vs. the
+//      same batch with a registry attached — the detached numbers must
+//      match the pre-metrics engine (the acceptance bar is <2% overhead,
+//      i.e. within run-to-run noise), and the attached delta prices the
+//      opt-in recording;
+//   2. the raw recording primitives (shard Inc/Observe and the per-query
+//      RecordQuery diff) so regressions in the hot helpers show up without
+//      the traversal noise on top.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "kde/query_metrics.h"
+#include "tkdc/classifier.h"
+
+namespace tkdc {
+namespace {
+
+constexpr size_t kTrainN = 20'000;
+constexpr size_t kBatchQueries = 1'000;
+
+struct Fixture {
+  Dataset data;
+  Dataset queries;
+  TkdcClassifier classifier;
+
+  static Fixture& Get() {
+    static Fixture fixture;
+    return fixture;
+  }
+
+ private:
+  Fixture() : data(MakeData()), queries(2), classifier(MakeConfig()) {
+    for (size_t i = 0; i < kBatchQueries; ++i) {
+      queries.AppendRow(data.Row(i % data.size()));
+    }
+    classifier.Train(data);
+  }
+
+  static Dataset MakeData() {
+    Rng rng(7);
+    return SampleStandardGaussian(kTrainN, 2, rng);
+  }
+
+  static TkdcConfig MakeConfig() {
+    TkdcConfig config;
+    config.num_threads = 1;
+    return config;
+  }
+};
+
+void BM_BatchDetached(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  f.classifier.AttachMetrics(nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.classifier.ClassifyTrainingBatch(f.queries));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kBatchQueries));
+}
+BENCHMARK(BM_BatchDetached);
+
+void BM_BatchAttached(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  MetricsRegistry registry;
+  f.classifier.AttachMetrics(&registry);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.classifier.ClassifyTrainingBatch(f.queries));
+  }
+  f.classifier.FlushMetrics();
+  f.classifier.AttachMetrics(nullptr);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kBatchQueries));
+}
+BENCHMARK(BM_BatchAttached);
+
+void BM_ShardIncObserve(benchmark::State& state) {
+  MetricsRegistry registry;
+  query_metrics::RegisterStandard(registry);
+  std::unique_ptr<MetricsShard> shard = registry.NewShard();
+  double value = 1.0;
+  for (auto _ : state) {
+    shard->Inc(query_metrics::kQueries);
+    shard->Observe(query_metrics::kKernelEvals, value);
+    value += 1.0;
+    if (value > 4096.0) value = 1.0;
+    benchmark::DoNotOptimize(shard);
+  }
+}
+BENCHMARK(BM_ShardIncObserve);
+
+void BM_RecordQueryDiff(benchmark::State& state) {
+  MetricsRegistry registry;
+  query_metrics::RegisterStandard(registry);
+  QueryContext ctx;
+  ctx.AttachMetricsShard(registry.NewShard());
+  for (auto _ : state) {
+    const TraversalStats before = ctx.stats;
+    const uint64_t grid_before = ctx.grid_prunes;
+    ctx.stats.kernel_evaluations += 37;
+    ctx.stats.nodes_expanded += 5;
+    ctx.stats.leaf_points_evaluated += 12;
+    query_metrics::RecordQuery(ctx, before, grid_before);
+    benchmark::DoNotOptimize(ctx);
+  }
+}
+BENCHMARK(BM_RecordQueryDiff);
+
+}  // namespace
+}  // namespace tkdc

@@ -12,11 +12,13 @@
 #include <memory>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/timer.h"
 #include "data/dataset.h"
 #include "index/kdtree.h"
 #include "kde/bandwidth.h"
 #include "kde/kernel.h"
+#include "kde/query_metrics.h"
 #include "tkdc/classifier.h"
 #include "tkdc/density_bounds.h"
 #include "tkdc/grid_cache.h"
@@ -40,10 +42,16 @@ struct PruningLabConfig {
 
 /// Measures classification of `max_queries` training points under `lab`
 /// within `budget_seconds`. `threshold` must be a trained t~(p) for `data`.
+///
+/// `registry` (optional) collects the standard query-path metrics — prune
+/// depth, cutoff reasons, bound gaps — for the measured queries. Recording
+/// is a handful of array increments per query, so the throughput numbers
+/// stay representative; pass nullptr for the strictly-unobserved loop.
 inline PruningLabResult RunPruningLab(const Dataset& data, double threshold,
                                       const PruningLabConfig& lab,
                                       double epsilon, size_t max_queries,
-                                      double budget_seconds) {
+                                      double budget_seconds,
+                                      MetricsRegistry* registry = nullptr) {
   TkdcConfig config;
   config.epsilon = epsilon;
   config.use_threshold_rule = lab.threshold_rule;
@@ -72,15 +80,30 @@ inline PruningLabResult RunPruningLab(const Dataset& data, double threshold,
   const size_t stride = n / max_queries > 0 ? n / max_queries : 1;
   size_t measured = 0;
   TreeQueryContext ctx;
+  if (registry != nullptr) {
+    query_metrics::RegisterStandard(*registry);
+    ctx.AttachMetricsShard(registry->NewShard());
+  }
+  const bool observed = ctx.metrics != nullptr;
   WallTimer timer;
   for (size_t i = 0; measured < max_queries; i = (i + stride) % n) {
     const auto x = data.Row(i);
+    TraversalStats before;
+    uint64_t grid_before = 0;
+    if (observed) {
+      before = ctx.stats;
+      grid_before = ctx.grid_prunes;
+    }
     if (grid == nullptr || grid->DensityLowerBound(x) <= shifted) {
       evaluator.BoundDensity(ctx, x, shifted, shifted, tolerance);
+    } else {
+      ++ctx.grid_prunes;
     }
+    if (observed) query_metrics::RecordQuery(ctx, before, grid_before);
     ++measured;
     if (measured >= 16 && timer.ElapsedSeconds() > budget_seconds) break;
   }
+  if (observed) registry->Absorb(*ctx.metrics);
   PruningLabResult result;
   result.label = lab.label;
   result.queries = measured;

@@ -1,6 +1,7 @@
 #include "cli/cli.h"
 
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <optional>
@@ -29,12 +30,14 @@ constexpr const char kUsage[] =
     "  (--algorithm: tkdc (default), nocut, simple, rkde, binned, or knn;\n"
     "   --k applies to knn only)\n"
     "  classify  --model M.tkdc --input Q.csv --output R.csv [--header]\n"
-    "            [--training] [--density] [--threads N]\n"
+    "            [--training] [--density] [--threads N] [--metrics-out J]\n"
     "  (--input/--output may repeat, pairwise: the model is loaded ONCE and\n"
     "   each query file is classified against it in turn.\n"
     "   --threads: worker threads for training densities and batch\n"
     "   classification; 0 = hardware concurrency (default), 1 = serial.\n"
-    "   Results are identical for any value.)\n"
+    "   Results are identical for any value.\n"
+    "   --metrics-out: write query-path metrics (prune-depth, kernel-eval,\n"
+    "   and cutoff-reason histograms) as JSON covering all query files.)\n"
     "  info      --model M.tkdc\n"
     "  generate  --dataset NAME --n N --output X.csv [--dims D] [--seed N]\n";
 
@@ -264,6 +267,11 @@ int CmdClassify(const ParsedArgs& parsed, std::ostream& out,
   }
   const bool training = parsed.Flag("--training");
   const bool with_density = parsed.Flag("--density");
+  // Observability is opt-in: without --metrics-out the classifier stays
+  // detached and the query path records nothing beyond its plain counters.
+  MetricsRegistry registry;
+  const auto metrics_out = parsed.Value("--metrics-out");
+  if (metrics_out.has_value()) classifier->AttachMetrics(&registry);
   if (const auto threads = parsed.Value("--threads")) {
     const long long parsed_threads = std::atoll(threads->c_str());
     if (parsed_threads < 0) {
@@ -311,6 +319,21 @@ int CmdClassify(const ParsedArgs& parsed, std::ostream& out,
     out << "classified " << table->data.size() << " points: " << high
         << " HIGH, " << (table->data.size() - high) << " LOW\n"
         << "results written to " << outputs[file] << "\n";
+  }
+  if (metrics_out.has_value()) {
+    classifier->FlushMetrics();
+    std::ofstream metrics_stream(*metrics_out);
+    if (!metrics_stream) {
+      err << "cannot open " << *metrics_out << " for writing\n";
+      return 1;
+    }
+    registry.WriteJson(metrics_stream);
+    metrics_stream << "\n";
+    if (!metrics_stream.flush()) {
+      err << "write to " << *metrics_out << " failed\n";
+      return 1;
+    }
+    out << "metrics written to " << *metrics_out << "\n";
   }
   return 0;
 }

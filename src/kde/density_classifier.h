@@ -8,9 +8,11 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/metrics.h"
 #include "data/dataset.h"
 #include "kde/batch_executor.h"
 #include "kde/query_context.h"
+#include "kde/query_metrics.h"
 
 namespace tkdc {
 
@@ -96,7 +98,7 @@ class DensityClassifier {
   /// Classifies a fresh query point in the live context.
   Classification Classify(std::span<const double> x) {
     TKDC_CHECK_MSG(trained(), "Classify called before Train");
-    return ClassifyInContext(live_context(), x, /*training=*/false);
+    return ObservedClassify(live_context(), x, /*training=*/false);
   }
 
   /// Classifies a point that belongs to the training set (self-corrected;
@@ -104,13 +106,13 @@ class DensityClassifier {
   /// the dataset against itself).
   Classification ClassifyTraining(std::span<const double> x) {
     TKDC_CHECK_MSG(trained(), "ClassifyTraining called before Train");
-    return ClassifyInContext(live_context(), x, /*training=*/true);
+    return ObservedClassify(live_context(), x, /*training=*/true);
   }
 
   /// Density point estimate in the live context.
   double EstimateDensity(std::span<const double> x) {
     TKDC_CHECK_MSG(trained(), "EstimateDensity called before Train");
-    return EstimateDensityInContext(live_context(), x);
+    return ObservedEstimate(live_context(), x);
   }
 
   /// Classifies every row of `queries`, returning one label per row in row
@@ -167,6 +169,29 @@ class DensityClassifier {
     live_context().MergeCounters(ctx);
   }
 
+  // --- Observability (common/metrics.h) ---------------------------------
+
+  /// Attaches a metrics registry: registers the standard query-path schema
+  /// (query_metrics::RegisterStandard) on it and gives the live context —
+  /// and every batch-worker context created from now on — a per-thread
+  /// shard. Pass nullptr to detach; detached is the default, and every
+  /// recording site then reduces to one pointer check, so the query path
+  /// keeps its plain TraversalStats accounting and nothing else.
+  ///
+  /// The registry is borrowed and must outlive the attachment. One
+  /// registry may be attached to several classifiers (e.g. the whole
+  /// baseline lineup) when a pooled view is wanted; attach distinct
+  /// registries for per-algorithm breakdowns.
+  void AttachMetrics(MetricsRegistry* registry);
+
+  /// Folds the live context's shard (which already holds every batch
+  /// worker's merged counts) into the attached registry and clears the
+  /// shard, so repeated flushes never double-count. No-op when detached.
+  void FlushMetrics();
+
+  /// The attached registry, or nullptr when detached.
+  MetricsRegistry* metrics_registry() const { return registry_; }
+
  protected:
   /// The long-lived context serving the per-point facade and collecting
   /// merged batch counters. Built lazily via MakeQueryContext().
@@ -192,6 +217,35 @@ class DensityClassifier {
   std::vector<Classification> ClassifyBatchImpl(const Dataset& queries,
                                                 bool training);
 
+  /// ClassifyInContext wrapped with metrics recording: snapshots the
+  /// context's counters, runs the query, and books the deltas into the
+  /// context's shard. A single null check when metrics are detached.
+  Classification ObservedClassify(QueryContext& ctx, std::span<const double> x,
+                                  bool training) const {
+    if (ctx.metrics == nullptr) return ClassifyInContext(ctx, x, training);
+    const TraversalStats before = ctx.stats;
+    const uint64_t grid_before = ctx.grid_prunes;
+    const Classification label = ClassifyInContext(ctx, x, training);
+    query_metrics::RecordQuery(ctx, before, grid_before);
+    return label;
+  }
+
+  /// EstimateDensityInContext with the same recording wrapper.
+  double ObservedEstimate(QueryContext& ctx, std::span<const double> x) const {
+    if (ctx.metrics == nullptr) return EstimateDensityInContext(ctx, x);
+    const TraversalStats before = ctx.stats;
+    const uint64_t grid_before = ctx.grid_prunes;
+    const double density = EstimateDensityInContext(ctx, x);
+    query_metrics::RecordQuery(ctx, before, grid_before);
+    return density;
+  }
+
+  /// Gives `ctx` a shard of the attached registry (no-op when detached).
+  void AttachShard(QueryContext& ctx) const {
+    ctx.AttachMetricsShard(registry_ != nullptr ? registry_->NewShard()
+                                                : nullptr);
+  }
+
   const TraversalStats& live_query_stats() const {
     static const TraversalStats kEmpty;
     return live_context_ ? live_context_->stats : kEmpty;
@@ -199,6 +253,7 @@ class DensityClassifier {
 
   std::unique_ptr<QueryContext> live_context_;
   BatchExecutor executor_{1};
+  MetricsRegistry* registry_ = nullptr;
 };
 
 }  // namespace tkdc

@@ -2,6 +2,10 @@
 #define TKDC_KDE_QUERY_CONTEXT_H_
 
 #include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/metrics.h"
 
 namespace tkdc {
 
@@ -50,6 +54,16 @@ class QueryContext {
   void MergeCounters(const QueryContext& other) {
     stats.Add(other.stats);
     grid_prunes += other.grid_prunes;
+    if (metrics != nullptr && other.metrics != nullptr) {
+      metrics->Merge(*other.metrics);
+    }
+  }
+
+  /// Hands this context its own metrics shard (or detaches with nullptr).
+  /// DensityClassifier::AttachMetrics drives this; a context without a
+  /// shard records nothing beyond the plain TraversalStats sums.
+  void AttachMetricsShard(std::unique_ptr<MetricsShard> shard) {
+    metrics = std::move(shard);
   }
 
   /// Traversal / kernel-evaluation counters for work done in this context.
@@ -57,6 +71,10 @@ class QueryContext {
   /// Queries answered by the grid cache without a tree traversal (paper
   /// Section 3.7); only tKDC-family engines bump this.
   uint64_t grid_prunes = 0;
+  /// Optional observability shard (null = metrics detached, the default).
+  /// Owned here so per-worker shards die with their context after the
+  /// batch join folds them into the sink's shard.
+  std::unique_ptr<MetricsShard> metrics;
 };
 
 }  // namespace tkdc

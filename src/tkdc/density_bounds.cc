@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "kde/query_metrics.h"
 
 namespace tkdc {
 
@@ -89,14 +90,27 @@ DensityBounds DensityBoundEvaluator::BoundDensityForBox(
   const double low_cut = t_lo * (1.0 - eps);
   if (tolerance < 0.0) tolerance = eps * t_lo;
 
+  // "Only atomic leaves left" is the box analogue of an exhausted tree:
+  // the frontier sits at the finest granularity a box probe resolves.
+  ctx.last_cutoff = CutoffReason::kExactLeaf;
   while (!queue.empty()) {
-    if (config_->use_threshold_rule &&
-        (f_lo > high_cut || f_hi < low_cut)) {
+    if (config_->use_threshold_rule && f_lo > high_cut) {
+      ctx.last_cutoff = CutoffReason::kLowerAboveThreshold;
       break;
     }
-    if (config_->use_tolerance_rule && f_hi - f_lo < tolerance) break;
+    if (config_->use_threshold_rule && f_hi < low_cut) {
+      ctx.last_cutoff = CutoffReason::kUpperBelowThreshold;
+      break;
+    }
+    if (config_->use_tolerance_rule && f_hi - f_lo < tolerance) {
+      ctx.last_cutoff = CutoffReason::kTolerance;
+      break;
+    }
     if (queue.front().priority <= 0.0) break;  // Only atomic leaves left.
-    if (max_expansions >= 0 && max_expansions-- == 0) break;
+    if (max_expansions >= 0 && max_expansions-- == 0) {
+      ctx.last_cutoff = CutoffReason::kExpansionBudget;
+      break;
+    }
 
     std::pop_heap(queue.begin(), queue.end());
     const TraversalQueueEntry current = queue.back();
@@ -184,12 +198,25 @@ DensityBounds DensityBoundEvaluator::RunPointTraversal(
   const double low_cut = t_lo * (1.0 - eps);
   if (tolerance < 0.0) tolerance = eps * t_lo;  // Tolerance rule, Eq. 8.
 
+  if (ctx.tracer != nullptr) {
+    const uint32_t seed = queue.empty() ? 0u : queue.front().node;
+    ctx.tracer->Begin(seed, f_lo, f_hi);
+  }
+
+  // Falling out of the loop means the queue drained: every node was
+  // expanded down to exact leaf sums, so the bounds are exact.
+  ctx.last_cutoff = CutoffReason::kExactLeaf;
   while (!queue.empty()) {
-    if (config_->use_threshold_rule &&
-        (f_lo > high_cut || f_hi < low_cut)) {
+    if (config_->use_threshold_rule && f_lo > high_cut) {
+      ctx.last_cutoff = CutoffReason::kLowerAboveThreshold;
+      break;
+    }
+    if (config_->use_threshold_rule && f_hi < low_cut) {
+      ctx.last_cutoff = CutoffReason::kUpperBelowThreshold;
       break;
     }
     if (config_->use_tolerance_rule && f_hi - f_lo < tolerance) {
+      ctx.last_cutoff = CutoffReason::kTolerance;
       break;
     }
 
@@ -227,6 +254,35 @@ DensityBounds DensityBoundEvaluator::RunPointTraversal(
       queue.push_back(right);
       std::push_heap(queue.begin(), queue.end());
     }
+    if (ctx.tracer != nullptr) {
+      ctx.tracer->Expand(
+          current.node, node.is_leaf(),
+          node.is_leaf() ? static_cast<uint32_t>(node.count()) : 0u, f_lo,
+          f_hi);
+    }
+  }
+  if (ctx.tracer != nullptr) ctx.tracer->Finish(ctx.last_cutoff);
+  if (ctx.metrics != nullptr) {
+    MetricsShard& m = *ctx.metrics;
+    switch (ctx.last_cutoff) {
+      case CutoffReason::kLowerAboveThreshold:
+        m.Inc(query_metrics::kCutoffLowerAboveThreshold);
+        break;
+      case CutoffReason::kUpperBelowThreshold:
+        m.Inc(query_metrics::kCutoffUpperBelowThreshold);
+        break;
+      case CutoffReason::kTolerance:
+        m.Inc(query_metrics::kCutoffTolerance);
+        break;
+      default:
+        m.Inc(query_metrics::kCutoffExactLeaf);
+        break;
+    }
+    // Relative gap in units of the lower threshold when one exists,
+    // absolute width otherwise (unbounded EstimateDensity calls).
+    const double width = f_hi - f_lo;
+    m.Observe(query_metrics::kBoundGap,
+              t_lo > 0.0 ? width / t_lo : width);
   }
 
   // Guard against round-off drift from the repeated add/subtract.

@@ -9,6 +9,7 @@
 #include "kde/kernel.h"
 #include "kde/query_context.h"
 #include "tkdc/config.h"
+#include "tkdc/traversal_trace.h"
 
 namespace tkdc {
 
@@ -53,6 +54,14 @@ class TreeQueryContext : public QueryContext {
   std::vector<TraversalQueueEntry> queue;
   /// Range-query hit list (rkde's radial neighbor collection).
   std::vector<size_t> neighbors;
+  /// Opt-in single-query trace capture (diagnostics/tests only); the
+  /// evaluator records every expansion into it when non-null. Borrowed, not
+  /// owned: the caller scopes the tracer around the queries of interest.
+  TraversalTracer* tracer = nullptr;
+  /// Why the most recent point traversal stopped. Written by every
+  /// BoundDensity* call, so the engine (and the metrics layer) can
+  /// attribute the stop without re-deriving the rule from the bounds.
+  CutoffReason last_cutoff = CutoffReason::kNone;
 };
 
 /// The paper's Algorithm 2 (BoundDensity): iteratively refines upper and

@@ -1,7 +1,10 @@
 #include "tkdc/model_io.h"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
+#include <iterator>
+#include <sstream>
 #include <vector>
 
 #include "baselines/binned_kde.h"
@@ -161,9 +164,18 @@ bool ValidBandwidths(const std::vector<double>& bandwidths) {
 
 // Shared trailer of every section: the raw training values. The shape
 // (dims, n) is read by the caller beforehand so sizes can be validated.
+// Non-finite coordinates are rejected here, before they can reach an index
+// build (k-d tree splits on coordinate comparisons, so a NaN would poison
+// the partition invariants rather than fail loudly).
 bool ReadValues(Reader& r, uint64_t dims, uint64_t n,
                 std::vector<double>* values) {
-  return r.DoubleVec(values, dims * n) && values->size() == dims * n;
+  if (!r.DoubleVec(values, dims * n) || values->size() != dims * n) {
+    return false;
+  }
+  for (double v : *values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
 }
 
 uint32_t TagFor(const DensityClassifier& classifier) {
@@ -423,20 +435,49 @@ std::unique_ptr<DensityClassifier> LoadImpl(const std::string& path,
     *error = "cannot open " + path;
     return nullptr;
   }
-  char magic[4] = {0, 0, 0, 0};
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  std::string buffer((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+
+  constexpr size_t kHeaderSize = sizeof(kMagic) + sizeof(uint32_t);
+  constexpr size_t kTrailerSize = sizeof(uint64_t);
+  if (buffer.size() < kHeaderSize + kTrailerSize) {
+    *error = path + ": truncated model file";
+    return nullptr;
+  }
+  if (std::memcmp(buffer.data(), kMagic, sizeof(kMagic)) != 0) {
     *error = path + ": not a tkdc model file";
     return nullptr;
   }
   uint32_t version = 0;
-  in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  if (!in || (version != 1 && version != kModelFormatVersion)) {
+  std::memcpy(&version, buffer.data() + sizeof(kMagic), sizeof(version));
+  if (version != 1 && version != kModelFormatVersion) {
     *error = path + ": unsupported model format version";
     return nullptr;
   }
 
-  Reader r(in);
+  // Verify the checksum over the whole payload BEFORE parsing a single
+  // field: a flipped byte must never reach the model builders (where, say,
+  // a corrupted coordinate would fail an index-build invariant instead of
+  // producing a clean load error).
+  const size_t payload_size = buffer.size() - kHeaderSize - kTrailerSize;
+  const unsigned char* payload =
+      reinterpret_cast<const unsigned char*>(buffer.data()) + kHeaderSize;
+  uint64_t computed = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < payload_size; ++i) {
+    computed ^= payload[i];
+    computed *= 0x100000001b3ULL;
+  }
+  uint64_t stored_checksum = 0;
+  std::memcpy(&stored_checksum,
+              buffer.data() + buffer.size() - kTrailerSize,
+              sizeof(stored_checksum));
+  if (computed != stored_checksum) {
+    *error = path + ": checksum mismatch (file corrupted)";
+    return nullptr;
+  }
+
+  std::istringstream payload_in(buffer.substr(kHeaderSize, payload_size));
+  Reader r(payload_in);
   uint32_t tag = kTagTkdc;  // Version-1 files are always plain tkdc.
   if (version >= 2 && !r.U32(&tag)) {
     *error = path + ": truncated algorithm tag";
@@ -468,10 +509,11 @@ std::unique_ptr<DensityClassifier> LoadImpl(const std::string& path,
   }
   if (classifier == nullptr) return nullptr;
 
-  uint64_t stored_checksum = 0;
-  in.read(reinterpret_cast<char*>(&stored_checksum), sizeof(stored_checksum));
-  if (!in || stored_checksum != r.checksum()) {
-    *error = path + ": checksum mismatch (file corrupted)";
+  // The section parser must consume the payload exactly; the streaming
+  // checksum doubles as the consumed-everything witness (it only matches
+  // the stored value if every payload byte passed through the Reader).
+  if (r.checksum() != stored_checksum) {
+    *error = path + ": malformed model payload (trailing bytes)";
     return nullptr;
   }
   return classifier;

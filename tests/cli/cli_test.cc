@@ -114,6 +114,32 @@ TEST_F(CliTest, TrainClassifyInfoPipeline) {
   EXPECT_NEAR(static_cast<double>(low) / 3000.0, 0.05, 0.04);
 }
 
+TEST_F(CliTest, ClassifyWritesMetricsJson) {
+  const std::string data_csv = MakeDataCsv("metrics.csv", 800);
+  const std::string model = TempPath("metrics.tkdc");
+  ASSERT_EQ(Run({"train", "--input", data_csv, "--model", model}), 0)
+      << Err();
+  const std::string results_csv = TempPath("metrics_results.csv");
+  const std::string metrics_json = TempPath("metrics.json");
+  ASSERT_EQ(Run({"classify", "--model", model, "--input", data_csv,
+                 "--output", results_csv, "--metrics-out", metrics_json}),
+            0)
+      << Err();
+  EXPECT_NE(Out().find("metrics written to"), std::string::npos);
+
+  std::ifstream in(metrics_json);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  // The standard query schema with one entry per classified point.
+  EXPECT_NE(json.find("\"query.queries\": 800"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"query.prune_depth\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"query.bound_gap_rel\""), std::string::npos) << json;
+  EXPECT_NE(json.find("cutoff."), std::string::npos) << json;
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos) << json;
+}
+
 TEST_F(CliTest, ClassifyWithDensityColumn) {
   const std::string data_csv = MakeDataCsv("dens.csv", 1000);
   const std::string model = TempPath("dens.tkdc");

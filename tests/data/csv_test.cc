@@ -96,6 +96,67 @@ TEST_F(CsvTest, RejectsEmptyFile) {
   EXPECT_NE(error.find("empty"), std::string::npos);
 }
 
+TEST_F(CsvTest, ReadsCrlfLineEndings) {
+  const std::string path = TempPath("crlf.csv");
+  WriteFile(path, "a,b\r\n1,2\r\n3,4\r\n");
+  std::string error;
+  const auto table = ReadCsv(path, /*has_header=*/true, &error);
+  ASSERT_TRUE(table.has_value()) << error;
+  // The carriage return must not leak into the last column name.
+  ASSERT_EQ(table->column_names.size(), 2u);
+  EXPECT_EQ(table->column_names[1], "b");
+  EXPECT_EQ(table->data.size(), 2u);
+  EXPECT_DOUBLE_EQ(table->data.At(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(table->data.At(1, 1), 4.0);
+}
+
+TEST_F(CsvTest, ReadsFileWithoutTrailingNewline) {
+  const std::string path = TempPath("notrail.csv");
+  WriteFile(path, "1,2\n3,4");
+  std::string error;
+  const auto table = ReadCsv(path, /*has_header=*/false, &error);
+  ASSERT_TRUE(table.has_value()) << error;
+  EXPECT_EQ(table->data.size(), 2u);
+  EXPECT_DOUBLE_EQ(table->data.At(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(table->data.At(1, 1), 4.0);
+}
+
+TEST_F(CsvTest, RejectsEmptyFieldInTheMiddle) {
+  const std::string path = TempPath("midempty.csv");
+  WriteFile(path, "1,,3\n");
+  std::string error;
+  EXPECT_FALSE(ReadCsv(path, false, &error).has_value());
+  EXPECT_NE(error.find("non-numeric"), std::string::npos) << error;
+  EXPECT_NE(error.find(":1:"), std::string::npos) << error;
+}
+
+TEST_F(CsvTest, RejectsTrailingComma) {
+  const std::string path = TempPath("trailcomma.csv");
+  WriteFile(path, "1,2\n3,4,\n");
+  std::string error;
+  // The trailing comma reads as a third (empty) field: a ragged row.
+  EXPECT_FALSE(ReadCsv(path, false, &error).has_value());
+  EXPECT_NE(error.find("expected 2 fields"), std::string::npos) << error;
+}
+
+TEST_F(CsvTest, RejectsWhitespaceOnlyField) {
+  const std::string path = TempPath("wsfield.csv");
+  WriteFile(path, "1, \t ,3\n");
+  std::string error;
+  EXPECT_FALSE(ReadCsv(path, false, &error).has_value());
+  EXPECT_NE(error.find("non-numeric"), std::string::npos) << error;
+}
+
+TEST_F(CsvTest, RejectsNonNumericWithPosition) {
+  const std::string path = TempPath("badcell.csv");
+  WriteFile(path, "1,2\n3,4\n5,12x\n");
+  std::string error;
+  EXPECT_FALSE(ReadCsv(path, false, &error).has_value());
+  // The error names the file, the 1-based line, and the offending field.
+  EXPECT_NE(error.find(":3:"), std::string::npos) << error;
+  EXPECT_NE(error.find("'12x'"), std::string::npos) << error;
+}
+
 TEST_F(CsvTest, RoundTripExact) {
   Dataset data(3);
   data.AppendRow(std::vector<double>{1.0 / 3.0, -2.5e-17, 1e300});

@@ -1,0 +1,223 @@
+// Integration tests of the observability layer through the
+// DensityClassifier facade: one recording code path serves all six
+// algorithms, per-worker shards merge deterministically through the batch
+// executor, flushing never double-counts, and detached classifiers record
+// nothing. Also the empty-batch regression: ClassifyBatch on an empty
+// query set returns an empty result (and books zero metrics) instead of
+// tripping the dims check.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/binned_kde.h"
+#include "baselines/knn.h"
+#include "baselines/nocut.h"
+#include "baselines/rkde.h"
+#include "baselines/simple_kde.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "kde/query_metrics.h"
+#include "tkdc/classifier.h"
+
+namespace tkdc {
+namespace {
+
+std::unique_ptr<DensityClassifier> MakeAlgorithm(const std::string& name) {
+  if (name == "tkdc") return std::make_unique<TkdcClassifier>();
+  if (name == "nocut") return std::make_unique<NocutClassifier>();
+  if (name == "simple") return std::make_unique<SimpleKdeClassifier>();
+  if (name == "rkde") return std::make_unique<RkdeClassifier>();
+  if (name == "binned") return std::make_unique<BinnedKdeClassifier>();
+  return std::make_unique<KnnClassifier>();
+}
+
+Dataset TrainSet(uint64_t seed = 21, size_t n = 600) {
+  Rng rng(seed);
+  return SampleStandardGaussian(n, 2, rng);
+}
+
+Dataset QuerySet(const Dataset& data, size_t count) {
+  Dataset queries(data.dims());
+  for (size_t i = 0; i < count; ++i) {
+    queries.AppendRow(data.Row(i % data.size()));
+  }
+  return queries;
+}
+
+// Every algorithm records through the same facade wrapper, so the standard
+// counters and histograms must be filled identically regardless of engine.
+class MetricsAllAlgorithms : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MetricsAllAlgorithms, OneCodePathFillsStandardSchema) {
+  const Dataset data = TrainSet();
+  std::unique_ptr<DensityClassifier> classifier = MakeAlgorithm(GetParam());
+  classifier->Train(data);
+
+  MetricsRegistry registry;
+  classifier->AttachMetrics(&registry);
+  constexpr size_t kQueries = 50;
+  const Dataset queries = QuerySet(data, kQueries);
+  classifier->ClassifyBatch(queries);
+  classifier->FlushMetrics();
+
+  EXPECT_EQ(registry.CounterValue("query.queries"), kQueries);
+  const auto evals = registry.HistogramValue("query.kernel_evals");
+  EXPECT_EQ(evals.count, kQueries);
+  const auto depth = registry.HistogramValue("query.prune_depth");
+  EXPECT_EQ(depth.count, kQueries);
+  const auto leaves = registry.HistogramValue("query.leaf_points");
+  EXPECT_EQ(leaves.count, kQueries);
+  // The histogram sum must agree with the engine's own accounting.
+  EXPECT_DOUBLE_EQ(
+      evals.sum,
+      static_cast<double>(classifier->query_stats().kernel_evaluations));
+}
+
+TEST_P(MetricsAllAlgorithms, PerPointFacadeRecordsToo) {
+  const Dataset data = TrainSet(22);
+  std::unique_ptr<DensityClassifier> classifier = MakeAlgorithm(GetParam());
+  classifier->Train(data);
+  MetricsRegistry registry;
+  classifier->AttachMetrics(&registry);
+  for (size_t i = 0; i < 10; ++i) classifier->Classify(data.Row(i));
+  for (size_t i = 0; i < 5; ++i) classifier->EstimateDensity(data.Row(i));
+  classifier->FlushMetrics();
+  EXPECT_EQ(registry.CounterValue("query.queries"), 15u);
+}
+
+TEST_P(MetricsAllAlgorithms, EmptyBatchReturnsEmptyAndRecordsNothing) {
+  const Dataset data = TrainSet(23);
+  std::unique_ptr<DensityClassifier> classifier = MakeAlgorithm(GetParam());
+  classifier->Train(data);
+  MetricsRegistry registry;
+  classifier->AttachMetrics(&registry);
+
+  // The regression case: an empty query set whose declared dims do not
+  // match the model must still be a clean no-op, not a dims-check abort.
+  EXPECT_TRUE(classifier->ClassifyBatch(Dataset(data.dims())).empty());
+  EXPECT_TRUE(classifier->ClassifyBatch(Dataset(7)).empty());
+  EXPECT_TRUE(classifier->ClassifyTrainingBatch(Dataset(7)).empty());
+
+  classifier->FlushMetrics();
+  EXPECT_EQ(registry.CounterValue("query.queries"), 0u);
+  EXPECT_EQ(registry.HistogramValue("query.kernel_evals").count, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, MetricsAllAlgorithms,
+                         ::testing::Values("tkdc", "nocut", "simple", "rkde",
+                                           "binned", "knn"),
+                         [](const auto& info) { return info.param; });
+
+// tKDC specifics: every non-grid-pruned query runs exactly one bounded
+// traversal, so the cutoff-reason counters plus the grid prunes partition
+// the query count, and the bound-gap histogram has one entry per traversal.
+TEST(MetricsTkdc, CutoffReasonsPartitionQueries) {
+  const Dataset data = TrainSet(31, 1200);
+  TkdcClassifier classifier;
+  classifier.Train(data);
+  MetricsRegistry registry;
+  classifier.AttachMetrics(&registry);
+
+  constexpr size_t kQueries = 400;
+  Rng rng(5);
+  Dataset queries(2);
+  for (size_t i = 0; i < kQueries; ++i) {
+    queries.AppendRow(
+        std::vector<double>{rng.Uniform(-4.0, 4.0), rng.Uniform(-4.0, 4.0)});
+  }
+  classifier.ClassifyBatch(queries);
+  classifier.FlushMetrics();
+
+  const uint64_t traversals =
+      registry.CounterValue("cutoff.lower_above_threshold") +
+      registry.CounterValue("cutoff.upper_below_threshold") +
+      registry.CounterValue("cutoff.tolerance") +
+      registry.CounterValue("cutoff.exact_leaf");
+  EXPECT_EQ(traversals + registry.CounterValue("query.grid_prunes"),
+            kQueries);
+  EXPECT_EQ(registry.HistogramValue("query.bound_gap_rel").count, traversals);
+}
+
+// The per-worker shards fold through the same deterministic join as the
+// plain counters: totals must be identical at every thread count.
+TEST(MetricsBatchMerge, ShardTotalsIdenticalAcrossThreadCounts) {
+  const Dataset data = TrainSet(41, 1500);
+  const Dataset queries = QuerySet(data, 700);
+
+  auto run = [&](size_t threads) {
+    TkdcClassifier classifier;
+    classifier.Train(data);
+    MetricsRegistry registry;
+    classifier.AttachMetrics(&registry);
+    classifier.SetNumThreads(threads);
+    classifier.ClassifyTrainingBatch(queries);
+    classifier.FlushMetrics();
+    return std::tuple<uint64_t, double, uint64_t>(
+        registry.CounterValue("query.queries"),
+        registry.HistogramValue("query.kernel_evals").sum,
+        registry.HistogramValue("query.prune_depth").count);
+  };
+
+  const auto serial = run(1);
+  EXPECT_EQ(std::get<0>(serial), 700u);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+TEST(MetricsLifecycle, FlushTwiceNeverDoubleCounts) {
+  const Dataset data = TrainSet(51);
+  TkdcClassifier classifier;
+  classifier.Train(data);
+  MetricsRegistry registry;
+  classifier.AttachMetrics(&registry);
+  classifier.ClassifyBatch(QuerySet(data, 20));
+  classifier.FlushMetrics();
+  classifier.FlushMetrics();
+  EXPECT_EQ(registry.CounterValue("query.queries"), 20u);
+  classifier.ClassifyBatch(QuerySet(data, 10));
+  classifier.FlushMetrics();
+  EXPECT_EQ(registry.CounterValue("query.queries"), 30u);
+}
+
+TEST(MetricsLifecycle, DetachStopsRecordingAndPlainCountersSurvive) {
+  const Dataset data = TrainSet(52);
+  TkdcClassifier classifier;
+  classifier.Train(data);
+  MetricsRegistry registry;
+  classifier.AttachMetrics(&registry);
+  classifier.ClassifyBatch(QuerySet(data, 15));
+  classifier.FlushMetrics();
+  classifier.AttachMetrics(nullptr);
+  classifier.ClassifyBatch(QuerySet(data, 40));
+  EXPECT_EQ(registry.CounterValue("query.queries"), 15u);
+  // Re-attaching resumes recording from zero on a fresh registry.
+  MetricsRegistry second;
+  classifier.AttachMetrics(&second);
+  classifier.ClassifyBatch(QuerySet(data, 5));
+  classifier.FlushMetrics();
+  EXPECT_EQ(second.CounterValue("query.queries"), 5u);
+  EXPECT_EQ(registry.CounterValue("query.queries"), 15u);
+}
+
+TEST(MetricsLifecycle, SharedRegistryPoolsAcrossClassifiers) {
+  const Dataset data = TrainSet(53);
+  TkdcClassifier tkdc;
+  tkdc.Train(data);
+  SimpleKdeClassifier simple;
+  simple.Train(data);
+  MetricsRegistry registry;
+  tkdc.AttachMetrics(&registry);
+  simple.AttachMetrics(&registry);  // RegisterStandard is idempotent.
+  tkdc.ClassifyBatch(QuerySet(data, 12));
+  simple.ClassifyBatch(QuerySet(data, 8));
+  tkdc.FlushMetrics();
+  simple.FlushMetrics();
+  EXPECT_EQ(registry.CounterValue("query.queries"), 20u);
+}
+
+}  // namespace
+}  // namespace tkdc

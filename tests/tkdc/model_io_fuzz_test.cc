@@ -1,0 +1,182 @@
+// Differential fuzzing of the model format: round-trip a trained model of
+// every algorithm, then corrupt the file — random single-byte flips across
+// the payload, targeted header corruption, and truncation at many lengths
+// — and require that LoadAnyModel rejects every corrupted variant with a
+// clean error (never a crash, never a silently-loaded wrong model).
+//
+// FNV-1a makes single-byte detection deterministic: the xor and the
+// odd-constant multiply are both bijections on u64, so any one-byte change
+// in the payload yields a different checksum than the stored trailer.
+
+#include "tkdc/model_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/binned_kde.h"
+#include "baselines/knn.h"
+#include "baselines/nocut.h"
+#include "baselines/rkde.h"
+#include "baselines/simple_kde.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "tkdc/classifier.h"
+
+namespace tkdc {
+namespace {
+
+// Small models keep the 6-algorithm x ~35-variant matrix fast enough to
+// ride along in the sanitizer lanes.
+constexpr size_t kTrainN = 60;
+constexpr int kRandomFlipsPerModel = 25;
+
+std::unique_ptr<DensityClassifier> MakeAlgorithm(const std::string& name) {
+  if (name == "tkdc") return std::make_unique<TkdcClassifier>();
+  if (name == "nocut") return std::make_unique<NocutClassifier>();
+  if (name == "simple") return std::make_unique<SimpleKdeClassifier>();
+  if (name == "rkde") return std::make_unique<RkdeClassifier>();
+  if (name == "binned") return std::make_unique<BinnedKdeClassifier>();
+  return std::make_unique<KnnClassifier>();
+}
+
+class ModelIoFuzzTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/fuzz_" + GetParam() + "_" + name;
+  }
+
+  // Trains the parameterized algorithm on a small gaussian set and saves
+  // it; returns the serialized bytes.
+  std::string SaveTrainedModel(const std::string& path) {
+    Rng rng(77);
+    const Dataset data = SampleStandardGaussian(kTrainN, 2, rng);
+    std::unique_ptr<DensityClassifier> classifier = MakeAlgorithm(GetParam());
+    classifier->Train(data);
+    std::string error;
+    EXPECT_TRUE(SaveModel(path, *classifier, data, /*include_densities=*/true,
+                          &error))
+        << error;
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+
+  void WriteBytes(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+};
+
+TEST_P(ModelIoFuzzTest, PristineFileRoundTrips) {
+  const std::string path = TempPath("pristine.tkdc");
+  SaveTrainedModel(path);
+  std::string error;
+  std::unique_ptr<DensityClassifier> loaded = LoadAnyModel(path, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_EQ(loaded->name(), GetParam());
+  EXPECT_TRUE(loaded->trained());
+}
+
+// Payload byte flips (offset >= 8, i.e. past magic+version): every single
+// one must be caught by the pre-parse checksum. Offsets are spread
+// deterministically across the whole payload so the config block, shape
+// header, floating-point bodies, and the checksum trailer itself all get
+// hit across runs of the suite.
+TEST_P(ModelIoFuzzTest, EverySingleByteFlipIsRejected) {
+  const std::string path = TempPath("flip.tkdc");
+  const std::string pristine = SaveTrainedModel(path);
+  ASSERT_GT(pristine.size(), 16u);
+
+  Rng rng(123);
+  const std::string flipped_path = TempPath("flipped.tkdc");
+  for (int trial = 0; trial < kRandomFlipsPerModel; ++trial) {
+    const size_t offset =
+        8 + static_cast<size_t>(rng.Uniform(
+                0.0, static_cast<double>(pristine.size() - 8) - 0.5));
+    const uint8_t mask = static_cast<uint8_t>(
+        1u << static_cast<unsigned>(rng.Uniform(0.0, 7.99)));
+    std::string corrupted = pristine;
+    corrupted[offset] = static_cast<char>(
+        static_cast<uint8_t>(corrupted[offset]) ^ mask);
+    WriteBytes(flipped_path, corrupted);
+
+    std::string error;
+    std::unique_ptr<DensityClassifier> loaded =
+        LoadAnyModel(flipped_path, &error);
+    EXPECT_EQ(loaded, nullptr)
+        << "flip at offset " << offset << " (mask " << int{mask}
+        << ") was silently accepted";
+    EXPECT_FALSE(error.empty()) << "offset " << offset;
+  }
+}
+
+TEST_P(ModelIoFuzzTest, CorruptedMagicIsRejected) {
+  const std::string path = TempPath("magic.tkdc");
+  const std::string pristine = SaveTrainedModel(path);
+  for (size_t offset = 0; offset < 4; ++offset) {
+    std::string corrupted = pristine;
+    corrupted[offset] = static_cast<char>(corrupted[offset] ^ 0x40);
+    const std::string bad_path = TempPath("badmagic.tkdc");
+    WriteBytes(bad_path, corrupted);
+    std::string error;
+    EXPECT_EQ(LoadAnyModel(bad_path, &error), nullptr) << "offset " << offset;
+    EXPECT_NE(error.find("not a tkdc model file"), std::string::npos)
+        << error;
+  }
+}
+
+TEST_P(ModelIoFuzzTest, CorruptedVersionIsRejected) {
+  const std::string path = TempPath("version.tkdc");
+  const std::string pristine = SaveTrainedModel(path);
+  // Flip the high byte of the version word: far outside the supported set.
+  std::string corrupted = pristine;
+  corrupted[7] = static_cast<char>(corrupted[7] ^ 0xFF);
+  const std::string bad_path = TempPath("badversion.tkdc");
+  WriteBytes(bad_path, corrupted);
+  std::string error;
+  EXPECT_EQ(LoadAnyModel(bad_path, &error), nullptr);
+  EXPECT_NE(error.find("unsupported model format version"), std::string::npos)
+      << error;
+}
+
+TEST_P(ModelIoFuzzTest, TruncationAtEveryRegionIsRejected) {
+  const std::string path = TempPath("trunc.tkdc");
+  const std::string pristine = SaveTrainedModel(path);
+  const std::string trunc_path = TempPath("truncated.tkdc");
+  // Representative lengths: empty, inside the header, just past the
+  // header, mid-payload (several points), and one byte short of complete.
+  const std::vector<size_t> lengths{
+      0, 3, 7, 8, 15, pristine.size() / 2, pristine.size() - 9,
+      pristine.size() - 1};
+  for (const size_t length : lengths) {
+    if (length >= pristine.size()) continue;
+    WriteBytes(trunc_path, pristine.substr(0, length));
+    std::string error;
+    EXPECT_EQ(LoadAnyModel(trunc_path, &error), nullptr)
+        << "silently loaded a file truncated to " << length << " bytes";
+    EXPECT_FALSE(error.empty()) << "length " << length;
+  }
+}
+
+TEST_P(ModelIoFuzzTest, AppendedTrailingBytesAreRejected) {
+  const std::string path = TempPath("trail.tkdc");
+  const std::string pristine = SaveTrainedModel(path);
+  const std::string trail_path = TempPath("trailing.tkdc");
+  WriteBytes(trail_path, pristine + std::string(16, '\0'));
+  std::string error;
+  EXPECT_EQ(LoadAnyModel(trail_path, &error), nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ModelIoFuzzTest,
+                         ::testing::Values("tkdc", "nocut", "simple", "rkde",
+                                           "binned", "knn"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace tkdc
