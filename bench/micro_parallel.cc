@@ -16,6 +16,7 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "data/generators.h"
+#include "index/kdtree.h"
 #include "kde/bandwidth.h"
 #include "tkdc/classifier.h"
 #include "tkdc/density_bounds.h"

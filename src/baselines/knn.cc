@@ -15,12 +15,23 @@ KnnClassifier::KnnClassifier(KnnOptions options) : options_(options) {
   TKDC_CHECK(options_.k >= 1);
 }
 
-std::shared_ptr<KnnModel> KnnClassifier::BuildModel(const Dataset& data) const {
+std::shared_ptr<KnnModel> KnnClassifier::BuildModel(
+    const Dataset& data,
+    std::unique_ptr<const SpatialIndex> prebuilt_index) const {
   TKDC_CHECK(data.size() >= 2);
   auto model = std::make_shared<KnnModel>();
-  KdTreeOptions tree_options;
-  tree_options.leaf_size = options_.leaf_size;
-  model->tree = std::make_unique<const KdTree>(data, tree_options);
+  if (prebuilt_index != nullptr) {
+    TKDC_CHECK(prebuilt_index->size() == data.size() &&
+               prebuilt_index->dims() == data.dims());
+    model->tree = std::move(prebuilt_index);
+  } else {
+    // kNN searches raw coordinates, so the ball-tree radius metric is the
+    // unscaled Euclidean one (empty scale = all-ones).
+    IndexOptions tree_options;
+    tree_options.leaf_size = options_.leaf_size;
+    tree_options.backend = options_.index_backend;
+    model->tree = BuildIndex(data, std::move(tree_options));
+  }
   model->unit_scale.assign(data.dims(), 1.0);
   const double d = static_cast<double>(data.dims());
   // log V_d = (d/2) log(pi) - log Gamma(d/2 + 1).
@@ -114,8 +125,9 @@ double KnnClassifier::threshold() const {
   return model_->threshold;
 }
 
-void KnnClassifier::Restore(const Dataset& data, double threshold) {
-  auto model = BuildModel(data);
+void KnnClassifier::Restore(const Dataset& data, double threshold,
+                            std::unique_ptr<const SpatialIndex> prebuilt_index) {
+  auto model = BuildModel(data, std::move(prebuilt_index));
   model->threshold = threshold;
   model_ = std::move(model);
   train_stats_ = TraversalStats();

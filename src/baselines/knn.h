@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "data/dataset.h"
-#include "index/kdtree.h"
+#include "index/spatial_index.h"
 #include "kde/density_classifier.h"
 
 namespace tkdc {
@@ -19,18 +19,21 @@ struct KnnOptions {
   /// Number of neighbors. The classic distance-to-k-th-neighbor outlier
   /// score (Ramaswamy et al., cited as [43] in the paper).
   size_t k = 10;
-  /// k-d tree leaf capacity.
+  /// Index leaf capacity.
   size_t leaf_size = 32;
+  /// Spatial-index backend; honors the TKDC_INDEX env override like
+  /// TkdcConfig does.
+  IndexBackend index_backend = DefaultIndexBackend();
   /// Training points sampled to fix the threshold quantile (0 = all).
   size_t threshold_sample = 0;
   uint64_t seed = 0;
 };
 
-/// The immutable trained artifact of knn: the k-d tree over the raw
+/// The immutable trained artifact of knn: the spatial index over the raw
 /// (unscaled) training coordinates plus the threshold on the implied
 /// density.
 struct KnnModel {
-  std::unique_ptr<const KdTree> tree;
+  std::unique_ptr<const SpatialIndex> tree;
   std::vector<double> unit_scale;  // All-ones: kNN uses raw coordinates.
   double log_ball_volume = 0.0;    // log V_d of the unit ball.
   double threshold = 0.0;
@@ -67,6 +70,10 @@ class KnnClassifier : public DensityClassifier {
     return model_ != nullptr ? model_->tree->dims() : 0;
   }
   double threshold() const override;
+  std::optional<IndexBackend> index_backend() const override {
+    return model_ != nullptr ? std::optional(model_->tree->backend())
+                             : std::nullopt;
+  }
 
   std::unique_ptr<QueryContext> MakeQueryContext() const override {
     return std::make_unique<KnnQueryContext>();
@@ -84,9 +91,11 @@ class KnnClassifier : public DensityClassifier {
   double KthNeighborDistance(std::span<const double> x, bool training);
 
   /// Restores a trained state from serialized parts (model_io): rebuilds
-  /// the index from `data` and installs the threshold without re-running
-  /// the quantile pass. k and leaf_size come from options().
-  void Restore(const Dataset& data, double threshold);
+  /// the index from `data` (or adopts `prebuilt_index`) and installs the
+  /// threshold without re-running the quantile pass. k and leaf_size come
+  /// from options().
+  void Restore(const Dataset& data, double threshold,
+               std::unique_ptr<const SpatialIndex> prebuilt_index = nullptr);
 
  private:
   static double KthDistance(const KnnModel& m, KnnQueryContext& ctx, size_t k,
@@ -95,7 +104,9 @@ class KnnClassifier : public DensityClassifier {
                  std::span<const double> x, bool training) const;
 
   /// Index build shared by Train and Restore.
-  std::shared_ptr<KnnModel> BuildModel(const Dataset& data) const;
+  std::shared_ptr<KnnModel> BuildModel(
+      const Dataset& data,
+      std::unique_ptr<const SpatialIndex> prebuilt_index = nullptr) const;
 
   KnnOptions options_;
   std::shared_ptr<const KnnModel> model_;

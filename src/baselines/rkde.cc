@@ -18,16 +18,20 @@ RkdeClassifier::RkdeClassifier(RkdeOptions options)
 
 std::shared_ptr<RkdeModel> RkdeClassifier::BuildModel(
     const TkdcConfig& config, const Dataset& data,
-    std::vector<double> bandwidths) {
+    std::vector<double> bandwidths,
+    std::unique_ptr<const SpatialIndex> prebuilt_index) {
   TKDC_CHECK(data.size() >= 2);
   auto model = std::make_shared<RkdeModel>();
   model->kernel =
       std::make_unique<const Kernel>(config.kernel, std::move(bandwidths));
-  KdTreeOptions tree_options;
-  tree_options.leaf_size = config.leaf_size;
-  tree_options.split_rule = config.split_rule;
-  tree_options.axis_rule = config.axis_rule;
-  model->tree = std::make_unique<const KdTree>(data, tree_options);
+  if (prebuilt_index != nullptr) {
+    TKDC_CHECK(prebuilt_index->size() == data.size() &&
+               prebuilt_index->dims() == data.dims());
+    model->tree = std::move(prebuilt_index);
+  } else {
+    model->tree = BuildIndex(
+        data, config.MakeIndexOptions(model->kernel->inverse_bandwidths()));
+  }
   model->self_contribution =
       model->kernel->MaxValue() / static_cast<double>(data.size());
   return model;
@@ -131,10 +135,12 @@ double RkdeClassifier::threshold() const {
 
 void RkdeClassifier::Restore(const Dataset& data,
                              const std::vector<double>& bandwidths,
-                             double radius_sq, double threshold) {
+                             double radius_sq, double threshold,
+                             std::unique_ptr<const SpatialIndex> prebuilt_index) {
   TKDC_CHECK(bandwidths.size() == data.dims());
   TKDC_CHECK(radius_sq > 0.0);
-  auto model = BuildModel(options_.base, data, bandwidths);
+  auto model =
+      BuildModel(options_.base, data, bandwidths, std::move(prebuilt_index));
   model->radius_sq = radius_sq;
   model->threshold = threshold;
   model_ = std::move(model);

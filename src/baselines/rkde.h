@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "data/dataset.h"
-#include "index/kdtree.h"
+#include "index/spatial_index.h"
 #include "kde/density_classifier.h"
 #include "kde/kernel.h"
 #include "tkdc/config.h"
@@ -27,12 +27,12 @@ struct RkdeOptions {
   size_t threshold_sample = 2000;
 };
 
-/// The immutable trained artifact of rkde: the k-d tree over the training
-/// set, the kernel, the (possibly auto-selected) scaled squared query
-/// radius, and the quantile threshold.
+/// The immutable trained artifact of rkde: the spatial index over the
+/// training set, the kernel, the (possibly auto-selected) scaled squared
+/// query radius, and the quantile threshold.
 struct RkdeModel {
   std::unique_ptr<const Kernel> kernel;
-  std::unique_ptr<const KdTree> tree;
+  std::unique_ptr<const SpatialIndex> tree;
   double radius_sq = 0.0;
   double threshold = 0.0;
   double self_contribution = 0.0;
@@ -56,6 +56,10 @@ class RkdeClassifier : public DensityClassifier {
     return model_ != nullptr ? model_->tree->dims() : 0;
   }
   double threshold() const override;
+  std::optional<IndexBackend> index_backend() const override {
+    return model_ != nullptr ? std::optional(model_->tree->backend())
+                             : std::nullopt;
+  }
 
   std::unique_ptr<QueryContext> MakeQueryContext() const override {
     return std::make_unique<TreeQueryContext>();
@@ -75,10 +79,12 @@ class RkdeClassifier : public DensityClassifier {
   }
 
   /// Restores a trained state from serialized parts (model_io): rebuilds
-  /// the index from `data` and installs the given bandwidths, radius, and
-  /// threshold without re-running the bootstrap or the quantile pass.
+  /// the index from `data` (or adopts `prebuilt_index` when the artifact
+  /// carried one) and installs the given bandwidths, radius, and threshold
+  /// without re-running the bootstrap or the quantile pass.
   void Restore(const Dataset& data, const std::vector<double>& bandwidths,
-               double radius_sq, double threshold);
+               double radius_sq, double threshold,
+               std::unique_ptr<const SpatialIndex> prebuilt_index = nullptr);
 
  private:
   /// Truncated density at `x`: range query + exact kernel sum over the
@@ -89,7 +95,8 @@ class RkdeClassifier : public DensityClassifier {
   /// Index build shared by Train and Restore.
   static std::shared_ptr<RkdeModel> BuildModel(
       const TkdcConfig& config, const Dataset& data,
-      std::vector<double> bandwidths);
+      std::vector<double> bandwidths,
+      std::unique_ptr<const SpatialIndex> prebuilt_index = nullptr);
 
   RkdeOptions options_;
   std::shared_ptr<const RkdeModel> model_;

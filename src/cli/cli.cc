@@ -25,10 +25,12 @@ constexpr const char kUsage[] =
     "  train     --input X.csv --model M.tkdc [--algorithm NAME] [--p F]\n"
     "            [--epsilon F] [--b F] [--k N]\n"
     "            [--kernel gaussian|epanechnikov|uniform|biweight]\n"
-    "            [--split trimmed|median|midpoint] [--no-grid] [--seed N]\n"
+    "            [--split trimmed|median|midpoint] [--index kdtree|balltree]\n"
+    "            [--no-grid] [--seed N]\n"
     "            [--threads N] [--header] [--no-densities]\n"
     "  (--algorithm: tkdc (default), nocut, simple, rkde, binned, or knn;\n"
-    "   --k applies to knn only)\n"
+    "   --k applies to knn only; --index picks the spatial-index backend\n"
+    "   for tree-based algorithms, default kdtree or $TKDC_INDEX)\n"
     "  classify  --model M.tkdc --input Q.csv --output R.csv [--header]\n"
     "            [--training] [--density] [--threads N] [--metrics-out J]\n"
     "  (--input/--output may repeat, pairwise: the model is loaded ONCE and\n"
@@ -149,6 +151,7 @@ std::unique_ptr<DensityClassifier> MakeClassifier(const std::string& algorithm,
     options.p = config.p;
     options.k = k;
     options.leaf_size = config.leaf_size;
+    options.index_backend = config.index_backend;
     options.seed = config.seed;
     return std::make_unique<KnnClassifier>(options);
   }
@@ -188,6 +191,15 @@ int CmdTrain(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
       return 2;
     }
     config.split_rule = *rule;
+  }
+  if (const auto index = parsed.Value("--index")) {
+    const auto backend = IndexBackendFromName(*index);
+    if (!backend.has_value()) {
+      err << "unknown index backend: " << *index
+          << " (available: kdtree balltree)\n";
+      return 2;
+    }
+    config.index_backend = *backend;
   }
   if (parsed.Flag("--no-grid")) config.use_grid = false;
   if (const auto seed = parsed.Value("--seed")) {
@@ -350,6 +362,9 @@ int CmdInfo(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
   out << classifier->name() << " model: " << *parsed.Value("--model") << "\n"
       << "  dimensions:      " << classifier->dims() << "\n"
       << "  threshold t(p):  " << classifier->threshold() << "\n";
+  if (const auto backend = classifier->index_backend()) {
+    out << "  index backend:   " << IndexBackendName(*backend) << "\n";
+  }
   if (const auto* tkdc = dynamic_cast<const TkdcClassifier*>(classifier.get())) {
     const TkdcConfig& config = tkdc->config();
     out << "  training points: " << tkdc->tree().size() << "\n"

@@ -1,246 +1,25 @@
 #include "index/kdtree.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
 #include <utility>
 
 #include "common/macros.h"
 
 namespace tkdc {
-namespace {
 
-// Swaps rows a and b of a flat row-major array.
-void SwapRows(double* points, size_t dims, size_t a, size_t b) {
-  if (a == b) return;
-  for (size_t j = 0; j < dims; ++j) {
-    std::swap(points[a * dims + j], points[b * dims + j]);
-  }
+KdTree::KdTree(const Dataset& data, IndexOptions options)
+    : SpatialIndex(data, std::move(options)) {
+  BuildTree();
 }
 
-}  // namespace
-
-struct KdTree::BuildFrame {
-  size_t node_index;
-  size_t depth;
-};
-
-KdTree::KdTree(const Dataset& data, KdTreeOptions options)
-    : dims_(data.dims()), size_(data.size()), options_(options) {
-  TKDC_CHECK(!data.empty());
-  TKDC_CHECK(options_.leaf_size >= 1);
-  points_ = data.values();
-  original_index_.resize(size_);
-  for (size_t i = 0; i < size_; ++i) original_index_[i] = i;
-
-  // Conservative node-count reservation: a binary tree with ceil(n / leaf)
-  // leaves has < 4 * n / leaf nodes.
-  nodes_.reserve(4 * (size_ / options_.leaf_size + 1));
-  KdNode root;
-  root.box = BoundingBox::FromPoints(points_.data(), dims_, 0, size_);
-  root.begin = 0;
-  root.end = size_;
-  nodes_.push_back(std::move(root));
-
-  std::vector<BuildFrame> stack;
-  stack.push_back({kRoot, 0});
-  while (!stack.empty()) {
-    const BuildFrame frame = stack.back();
-    stack.pop_back();
-    Build(frame.node_index, frame.depth);
-    const KdNode& node = nodes_[frame.node_index];
-    if (!node.is_leaf()) {
-      stack.push_back({static_cast<size_t>(node.left), frame.depth + 1});
-      stack.push_back({static_cast<size_t>(node.right), frame.depth + 1});
-    }
-  }
-}
-
-void KdTree::Build(size_t node_index, size_t depth) {
-  KdNode& node = nodes_[node_index];
-  const size_t count = node.count();
-  if (count <= options_.leaf_size) return;
-
-  // Choose the split axis: cycle by level, or widest box extent. Either
-  // way, fall through to other axes if the chosen one is degenerate
-  // (zero extent).
-  size_t axis = options_.axis_rule == SplitAxisRule::kCycle
-                    ? depth % dims_
-                    : node.box.WidestAxis();
-  if (node.box.Extent(axis) <= 0.0) {
-    axis = node.box.WidestAxis();
-    if (node.box.Extent(axis) <= 0.0) return;  // All points identical.
-  }
-
-  // Gather this node's coordinates along the axis and compute the split
-  // position with the configured rule.
-  scratch_.resize(count);
-  for (size_t i = 0; i < count; ++i) {
-    scratch_[i] = points_[(node.begin + i) * dims_ + axis];
-  }
-  double split = ComputeSplitPosition(options_.split_rule, scratch_.data(),
-                                      count);
-
-  // Partition rows: left gets coord < split. If that is degenerate (all on
-  // one side), fall back to the median, then to strict inequality around
-  // it, which always separates a non-degenerate axis.
-  auto partition_rows = [&](double pivot) {
-    size_t left = node.begin;
-    size_t right = node.end;
-    while (left < right) {
-      if (points_[left * dims_ + axis] < pivot) {
-        ++left;
-      } else {
-        --right;
-        SwapRows(points_.data(), dims_, left, right);
-        std::swap(original_index_[left], original_index_[right]);
-      }
-    }
-    return left;
-  };
-
-  size_t mid = partition_rows(split);
-  if (mid == node.begin || mid == node.end) {
-    const size_t median_rank = count / 2;
-    std::nth_element(scratch_.begin(), scratch_.begin() + median_rank,
-                     scratch_.end());
-    split = scratch_[median_rank];
-    mid = partition_rows(split);
-    if (mid == node.begin) {
-      // All coordinates >= split; move strictly-greater to the right.
-      mid = partition_rows(std::nextafter(
-          split, std::numeric_limits<double>::infinity()));
-    }
-    if (mid == node.begin || mid == node.end) return;  // Degenerate axis.
-  }
-
-  KdNode left_child;
-  left_child.begin = node.begin;
-  left_child.end = mid;
-  left_child.box =
-      BoundingBox::FromPoints(points_.data(), dims_, node.begin, mid);
-  KdNode right_child;
-  right_child.begin = mid;
-  right_child.end = node.end;
-  right_child.box =
-      BoundingBox::FromPoints(points_.data(), dims_, mid, node.end);
-
-  node.split_axis = static_cast<uint8_t>(axis);
-  node.left = static_cast<int32_t>(nodes_.size());
-  node.right = static_cast<int32_t>(nodes_.size() + 1);
-  nodes_.push_back(std::move(left_child));
-  nodes_.push_back(std::move(right_child));
-}
-
-uint64_t KdTree::CollectWithinScaledRadius(std::span<const double> x,
-                                           std::span<const double> inv_bw,
-                                           double radius_sq,
-                                           std::vector<size_t>* out) const {
-  TKDC_CHECK(out != nullptr);
-  TKDC_CHECK(x.size() == dims_ && inv_bw.size() == dims_);
-  uint64_t distance_computations = 0;
-  std::vector<size_t> stack{kRoot};
-  while (!stack.empty()) {
-    const KdNode& node = nodes_[stack.back()];
-    stack.pop_back();
-    if (node.box.MinScaledSquaredDistance(x, inv_bw) > radius_sq) continue;
-    if (node.box.MaxScaledSquaredDistance(x, inv_bw) <= radius_sq) {
-      // Whole box inside the ball: take every point without distance tests.
-      for (size_t i = node.begin; i < node.end; ++i) out->push_back(i);
-      continue;
-    }
-    if (node.is_leaf()) {
-      for (size_t i = node.begin; i < node.end; ++i) {
-        double z = 0.0;
-        const double* p = points_.data() + i * dims_;
-        for (size_t j = 0; j < dims_; ++j) {
-          const double u = (x[j] - p[j]) * inv_bw[j];
-          z += u * u;
-        }
-        ++distance_computations;
-        if (z <= radius_sq) out->push_back(i);
-      }
-    } else {
-      stack.push_back(static_cast<size_t>(node.left));
-      stack.push_back(static_cast<size_t>(node.right));
-    }
-  }
-  return distance_computations;
-}
-
-uint64_t KdTree::KNearestScaled(
-    std::span<const double> x, std::span<const double> inv_bw, size_t k,
-    std::vector<std::pair<double, size_t>>* out) const {
-  TKDC_CHECK(out != nullptr);
-  TKDC_CHECK(x.size() == dims_ && inv_bw.size() == dims_);
-  if (k > size_) k = size_;
-  out->clear();
-  if (k == 0) return 0;
-
-  // Max-heap of the current k best (worst on top).
-  std::vector<std::pair<double, size_t>>& best = *out;
-  uint64_t distance_computations = 0;
-
-  // Best-first traversal: a min-heap of (node min-distance, node index)
-  // visits the most promising subtree next and prunes any node farther
-  // than the current k-th best.
-  using NodeEntry = std::pair<double, size_t>;
-  std::vector<NodeEntry> frontier;
-  auto push_node = [&](size_t node_index) {
-    frontier.emplace_back(
-        -nodes_[node_index].box.MinScaledSquaredDistance(x, inv_bw),
-        node_index);
-    std::push_heap(frontier.begin(), frontier.end());
-  };
-  push_node(kRoot);
-  while (!frontier.empty()) {
-    std::pop_heap(frontier.begin(), frontier.end());
-    const auto [neg_min_dist, node_index] = frontier.back();
-    frontier.pop_back();
-    if (best.size() == k && -neg_min_dist > best.front().first) break;
-    const KdNode& node = nodes_[node_index];
-    if (node.is_leaf()) {
-      for (size_t i = node.begin; i < node.end; ++i) {
-        double z = 0.0;
-        const double* p = points_.data() + i * dims_;
-        for (size_t j = 0; j < dims_; ++j) {
-          const double u = (x[j] - p[j]) * inv_bw[j];
-          z += u * u;
-        }
-        ++distance_computations;
-        if (best.size() < k) {
-          best.emplace_back(z, i);
-          std::push_heap(best.begin(), best.end());
-        } else if (z < best.front().first) {
-          std::pop_heap(best.begin(), best.end());
-          best.back() = {z, i};
-          std::push_heap(best.begin(), best.end());
-        }
-      }
-    } else {
-      push_node(static_cast<size_t>(node.left));
-      push_node(static_cast<size_t>(node.right));
-    }
-  }
-  std::sort_heap(best.begin(), best.end());
-  return distance_computations;
-}
-
-size_t KdTree::MaxDepth() const {
-  size_t max_depth = 0;
-  std::vector<std::pair<size_t, size_t>> stack{{kRoot, 0}};
-  while (!stack.empty()) {
-    const auto [index, depth] = stack.back();
-    stack.pop_back();
-    const KdNode& node = nodes_[index];
-    if (node.is_leaf()) {
-      max_depth = std::max(max_depth, depth);
-    } else {
-      stack.push_back({static_cast<size_t>(node.left), depth + 1});
-      stack.push_back({static_cast<size_t>(node.right), depth + 1});
-    }
-  }
-  return max_depth;
+KdTree::KdTree(size_t dims, std::vector<double> reordered_points,
+               std::vector<size_t> original_index,
+               std::vector<IndexNode> nodes, std::vector<BoundingBox> boxes,
+               IndexOptions options)
+    : SpatialIndex(dims, std::move(reordered_points),
+                   std::move(original_index), std::move(nodes),
+                   std::move(options)),
+      boxes_(std::move(boxes)) {
+  TKDC_CHECK(boxes_.size() == nodes_.size());
 }
 
 }  // namespace tkdc

@@ -2,101 +2,69 @@
 #define TKDC_INDEX_KDTREE_H_
 
 #include <cstddef>
-#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "data/dataset.h"
 #include "index/bounding_box.h"
-#include "index/split_rule.h"
+#include "index/spatial_index.h"
 
 namespace tkdc {
 
-/// Build-time options for the k-d tree.
-struct KdTreeOptions {
-  /// Maximum points in a leaf before splitting stops.
-  size_t leaf_size = 32;
-  /// Split-position rule; the paper's tKDC default is the trimmed midpoint.
-  SplitRule split_rule = SplitRule::kTrimmedMidpoint;
-  /// Split-axis rule; the paper cycles through dimensions per level.
-  SplitAxisRule axis_rule = SplitAxisRule::kCycle;
-};
-
-/// One node of the k-d tree. Nodes are stored in a flat vector; children are
-/// referenced by index (-1 marks a leaf). Every node knows its point range
-/// [begin, end) in the tree's reordered point array, its exact bounding box,
-/// and therefore its point count — the multi-resolution structure of paper
-/// Figure 3.
-struct KdNode {
-  BoundingBox box;
-  size_t begin = 0;
-  size_t end = 0;
-  int32_t left = -1;
-  int32_t right = -1;
-  uint8_t split_axis = 0;
-
-  bool is_leaf() const { return left < 0; }
-  size_t count() const { return end - begin; }
-};
-
-/// Static k-d tree over a dataset. Points are copied and reordered into a
-/// contiguous array so leaf scans are cache-friendly; OriginalIndex() maps
-/// back to dataset row ids.
-class KdTree {
+/// Static k-d tree over a dataset: the SpatialIndex backend whose per-node
+/// geometry is an exact axis-aligned bounding box (paper Figure 3). The
+/// min/max scaled distances from a query to the box give the kernel
+/// contribution bounds of Eq. 6 — tight at low dimension, increasingly
+/// slack as the farthest-corner bound grows with d.
+class KdTree : public SpatialIndex {
  public:
   /// Builds the tree over `data` (non-empty). O(n log n).
-  KdTree(const Dataset& data, KdTreeOptions options);
+  KdTree(const Dataset& data, IndexOptions options);
 
-  size_t size() const { return size_; }
-  size_t dims() const { return dims_; }
-  const KdTreeOptions& options() const { return options_; }
+  /// Restore path (model_io): adopts a validated topology plus per-node
+  /// boxes over already-reordered points.
+  KdTree(size_t dims, std::vector<double> reordered_points,
+         std::vector<size_t> original_index, std::vector<IndexNode> nodes,
+         std::vector<BoundingBox> boxes, IndexOptions options);
 
-  size_t num_nodes() const { return nodes_.size(); }
-  const KdNode& node(size_t i) const { return nodes_[i]; }
-  static constexpr size_t kRoot = 0;
-  const KdNode& root() const { return nodes_[kRoot]; }
+  IndexBackend backend() const override { return IndexBackend::kKdTree; }
 
-  /// Coordinates of reordered point `i` (0 <= i < size()).
-  std::span<const double> Point(size_t i) const {
-    return {points_.data() + i * dims_, dims_};
+  /// Exact bounding box of node `i`'s points.
+  const BoundingBox& box(size_t i) const { return boxes_[i]; }
+
+  double NodeMinScaledSquaredDistance(
+      size_t node_index, std::span<const double> x,
+      std::span<const double> inv_bw) const override {
+    return boxes_[node_index].MinScaledSquaredDistance(x, inv_bw);
   }
 
-  /// Dataset row id of reordered point `i`.
-  size_t OriginalIndex(size_t i) const { return original_index_[i]; }
+  void NodeScaledSquaredDistanceBounds(size_t node_index,
+                                       std::span<const double> x,
+                                       std::span<const double> inv_bw,
+                                       double* z_min,
+                                       double* z_max) const override {
+    const BoundingBox& b = boxes_[node_index];
+    *z_min = b.MinScaledSquaredDistance(x, inv_bw);
+    *z_max = b.MaxScaledSquaredDistance(x, inv_bw);
+  }
 
-  /// Appends to `out` the reordered indices of all points whose *scaled*
-  /// squared distance to `x` (per-axis division by bandwidths, i.e.
-  /// multiplication by `inv_bw`) is <= `radius_sq`. Used by the rkde
-  /// baseline's range queries. Returns the number of point-distance
-  /// computations performed (for cost accounting).
-  uint64_t CollectWithinScaledRadius(std::span<const double> x,
-                                     std::span<const double> inv_bw,
-                                     double radius_sq,
-                                     std::vector<size_t>* out) const;
+  void NodeScaledSquaredDistanceBoundsToBox(
+      size_t node_index, const BoundingBox& query_box,
+      std::span<const double> inv_bw, double* z_min,
+      double* z_max) const override {
+    const BoundingBox& b = boxes_[node_index];
+    *z_min = b.MinScaledSquaredDistanceToBox(query_box, inv_bw);
+    *z_max = b.MaxScaledSquaredDistanceToBox(query_box, inv_bw);
+  }
 
-  /// Finds the `k` nearest points to `x` under the scaled metric (per-axis
-  /// multiplication by `inv_bw`). Fills `out` with (scaled squared
-  /// distance, reordered point index) pairs sorted ascending. Returns the
-  /// number of distance computations performed. k is clamped to size().
-  uint64_t KNearestScaled(std::span<const double> x,
-                          std::span<const double> inv_bw, size_t k,
-                          std::vector<std::pair<double, size_t>>* out) const;
-
-  /// Depth of the deepest leaf (root = depth 0). For diagnostics.
-  size_t MaxDepth() const;
+ protected:
+  void SetNodeGeometry(size_t node_index, const BoundingBox& box) override {
+    if (boxes_.size() <= node_index) boxes_.resize(node_index + 1);
+    boxes_[node_index] = box;
+  }
 
  private:
-  struct BuildFrame;
-
-  void Build(size_t node_index, size_t depth);
-
-  size_t dims_;
-  size_t size_;
-  KdTreeOptions options_;
-  std::vector<double> points_;          // Reordered, row-major.
-  std::vector<size_t> original_index_;  // Reordered -> dataset row.
-  std::vector<KdNode> nodes_;
-  std::vector<double> scratch_;  // Split-coordinate scratch buffer.
+  std::vector<BoundingBox> boxes_;  // Parallel to nodes_.
 };
 
 }  // namespace tkdc

@@ -1,0 +1,294 @@
+#include "index/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/macros.h"
+#include "index/ball_tree.h"
+#include "index/kdtree.h"
+
+namespace tkdc {
+
+SpatialIndex::SpatialIndex(const Dataset& data, IndexOptions options)
+    : dims_(data.dims()), size_(data.size()), options_(std::move(options)) {
+  TKDC_CHECK(!data.empty());
+  TKDC_CHECK_MSG(options_.leaf_size >= 1, "index leaf_size must be >= 1");
+  points_ = data.values();
+  original_index_.resize(size_);
+  for (size_t i = 0; i < size_; ++i) original_index_[i] = i;
+}
+
+SpatialIndex::SpatialIndex(size_t dims, std::vector<double> reordered_points,
+                           std::vector<size_t> original_index,
+                           std::vector<IndexNode> nodes, IndexOptions options)
+    : dims_(dims),
+      size_(original_index.size()),
+      options_(std::move(options)),
+      points_(std::move(reordered_points)),
+      original_index_(std::move(original_index)),
+      nodes_(std::move(nodes)) {
+  TKDC_CHECK(dims_ >= 1 && size_ >= 1);
+  TKDC_CHECK(points_.size() == size_ * dims_);
+  TKDC_CHECK(!nodes_.empty());
+  TKDC_CHECK_MSG(options_.leaf_size >= 1, "index leaf_size must be >= 1");
+}
+
+void SpatialIndex::BuildTree() {
+  // Conservative node-count reservation: a binary tree with ceil(n / leaf)
+  // leaves has < 4 * n / leaf nodes.
+  nodes_.reserve(4 * (size_ / options_.leaf_size + 1));
+  IndexNode root;
+  root.begin = 0;
+  root.end = size_;
+  nodes_.push_back(root);
+
+  // The split-coordinate scratch is a build-local buffer: it dies with this
+  // frame, so the finished index carries no build-only state.
+  std::vector<double> scratch;
+  struct BuildFrame {
+    size_t node_index;
+    size_t depth;
+  };
+  std::vector<BuildFrame> stack;
+  stack.push_back({kRoot, 0});
+  while (!stack.empty()) {
+    const BuildFrame frame = stack.back();
+    stack.pop_back();
+    const IndexNode& pre = nodes_[frame.node_index];
+    // The node's point set is final once it exists (its own partition only
+    // reorders within the range), so the geometry is computed before
+    // splitting and both see the same points.
+    const BoundingBox box =
+        BoundingBox::FromPoints(points_.data(), dims_, pre.begin, pre.end);
+    SetNodeGeometry(frame.node_index, box);
+    SplitNode(frame.node_index, frame.depth, box, scratch);
+    const IndexNode& node = nodes_[frame.node_index];
+    if (!node.is_leaf()) {
+      stack.push_back({static_cast<size_t>(node.left), frame.depth + 1});
+      stack.push_back({static_cast<size_t>(node.right), frame.depth + 1});
+    }
+  }
+}
+
+void SpatialIndex::SwapPoints(size_t a, size_t b) {
+  if (a == b) return;
+  for (size_t j = 0; j < dims_; ++j) {
+    std::swap(points_[a * dims_ + j], points_[b * dims_ + j]);
+  }
+  std::swap(original_index_[a], original_index_[b]);
+}
+
+void SpatialIndex::SplitNode(size_t node_index, size_t depth,
+                             const BoundingBox& box,
+                             std::vector<double>& scratch) {
+  if (nodes_[node_index].count() <= options_.leaf_size) return;
+
+  uint8_t split_axis = 0;
+  const size_t mid =
+      PartitionNode(node_index, depth, box, scratch, &split_axis);
+  IndexNode& node = nodes_[node_index];
+  if (mid <= node.begin || mid >= node.end) return;  // Split refused.
+
+  IndexNode left_child;
+  left_child.begin = node.begin;
+  left_child.end = mid;
+  IndexNode right_child;
+  right_child.begin = mid;
+  right_child.end = node.end;
+
+  node.split_axis = split_axis;
+  node.left = static_cast<int32_t>(nodes_.size());
+  node.right = static_cast<int32_t>(nodes_.size() + 1);
+  nodes_.push_back(left_child);
+  nodes_.push_back(right_child);
+}
+
+size_t SpatialIndex::PartitionNode(size_t node_index, size_t depth,
+                                   const BoundingBox& box,
+                                   std::vector<double>& scratch,
+                                   uint8_t* split_axis) {
+  const IndexNode& node = nodes_[node_index];
+  const size_t count = node.count();
+
+  // Choose the split axis: cycle by level, or widest box extent. Either
+  // way, fall through to other axes if the chosen one is degenerate
+  // (zero extent).
+  size_t axis = options_.axis_rule == SplitAxisRule::kCycle
+                    ? depth % dims_
+                    : box.WidestAxis();
+  if (box.Extent(axis) <= 0.0) {
+    axis = box.WidestAxis();
+    if (box.Extent(axis) <= 0.0) return node.begin;  // All points identical.
+  }
+
+  // Gather this node's coordinates along the axis and compute the split
+  // position with the configured rule.
+  scratch.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    scratch[i] = points_[(node.begin + i) * dims_ + axis];
+  }
+  double split = ComputeSplitPosition(options_.split_rule, scratch.data(),
+                                      count);
+
+  // Partition rows: left gets coord < split. If that is degenerate (all on
+  // one side), fall back to the median, then to strict inequality around
+  // it, which always separates a non-degenerate axis.
+  auto partition_rows = [&](double pivot) {
+    size_t left = node.begin;
+    size_t right = node.end;
+    while (left < right) {
+      if (points_[left * dims_ + axis] < pivot) {
+        ++left;
+      } else {
+        --right;
+        SwapPoints(left, right);
+      }
+    }
+    return left;
+  };
+
+  size_t mid = partition_rows(split);
+  if (mid == node.begin || mid == node.end) {
+    const size_t median_rank = count / 2;
+    std::nth_element(scratch.begin(), scratch.begin() + median_rank,
+                     scratch.begin() + count);
+    split = scratch[median_rank];
+    mid = partition_rows(split);
+    if (mid == node.begin) {
+      // All coordinates >= split; move strictly-greater to the right.
+      mid = partition_rows(std::nextafter(
+          split, std::numeric_limits<double>::infinity()));
+    }
+  }
+  *split_axis = static_cast<uint8_t>(axis);
+  return mid;
+}
+
+uint64_t SpatialIndex::CollectWithinScaledRadius(
+    std::span<const double> x, std::span<const double> inv_bw,
+    double radius_sq, std::vector<size_t>* out) const {
+  TKDC_CHECK(out != nullptr);
+  TKDC_CHECK(x.size() == dims_ && inv_bw.size() == dims_);
+  uint64_t distance_computations = 0;
+  std::vector<size_t> stack{kRoot};
+  while (!stack.empty()) {
+    const size_t node_index = stack.back();
+    stack.pop_back();
+    double z_min = 0.0;
+    double z_max = 0.0;
+    NodeScaledSquaredDistanceBounds(node_index, x, inv_bw, &z_min, &z_max);
+    if (z_min > radius_sq) continue;
+    const IndexNode& node = nodes_[node_index];
+    if (z_max <= radius_sq) {
+      // Whole node inside the ball: take every point without distance
+      // tests.
+      for (size_t i = node.begin; i < node.end; ++i) out->push_back(i);
+      continue;
+    }
+    if (node.is_leaf()) {
+      for (size_t i = node.begin; i < node.end; ++i) {
+        double z = 0.0;
+        const double* p = points_.data() + i * dims_;
+        for (size_t j = 0; j < dims_; ++j) {
+          const double u = (x[j] - p[j]) * inv_bw[j];
+          z += u * u;
+        }
+        ++distance_computations;
+        if (z <= radius_sq) out->push_back(i);
+      }
+    } else {
+      stack.push_back(static_cast<size_t>(node.left));
+      stack.push_back(static_cast<size_t>(node.right));
+    }
+  }
+  return distance_computations;
+}
+
+uint64_t SpatialIndex::KNearestScaled(
+    std::span<const double> x, std::span<const double> inv_bw, size_t k,
+    std::vector<std::pair<double, size_t>>* out) const {
+  TKDC_CHECK(out != nullptr);
+  TKDC_CHECK(x.size() == dims_ && inv_bw.size() == dims_);
+  if (k > size_) k = size_;
+  out->clear();
+  if (k == 0) return 0;
+
+  // Max-heap of the current k best (worst on top).
+  std::vector<std::pair<double, size_t>>& best = *out;
+  uint64_t distance_computations = 0;
+
+  // Best-first traversal: a min-heap of (node min-distance, node index)
+  // visits the most promising subtree next and prunes any node farther
+  // than the current k-th best.
+  using NodeEntry = std::pair<double, size_t>;
+  std::vector<NodeEntry> frontier;
+  auto push_node = [&](size_t node_index) {
+    frontier.emplace_back(
+        -NodeMinScaledSquaredDistance(node_index, x, inv_bw), node_index);
+    std::push_heap(frontier.begin(), frontier.end());
+  };
+  push_node(kRoot);
+  while (!frontier.empty()) {
+    std::pop_heap(frontier.begin(), frontier.end());
+    const auto [neg_min_dist, node_index] = frontier.back();
+    frontier.pop_back();
+    if (best.size() == k && -neg_min_dist > best.front().first) break;
+    const IndexNode& node = nodes_[node_index];
+    if (node.is_leaf()) {
+      for (size_t i = node.begin; i < node.end; ++i) {
+        double z = 0.0;
+        const double* p = points_.data() + i * dims_;
+        for (size_t j = 0; j < dims_; ++j) {
+          const double u = (x[j] - p[j]) * inv_bw[j];
+          z += u * u;
+        }
+        ++distance_computations;
+        if (best.size() < k) {
+          best.emplace_back(z, i);
+          std::push_heap(best.begin(), best.end());
+        } else if (z < best.front().first) {
+          std::pop_heap(best.begin(), best.end());
+          best.back() = {z, i};
+          std::push_heap(best.begin(), best.end());
+        }
+      }
+    } else {
+      push_node(static_cast<size_t>(node.left));
+      push_node(static_cast<size_t>(node.right));
+    }
+  }
+  std::sort_heap(best.begin(), best.end());
+  return distance_computations;
+}
+
+size_t SpatialIndex::MaxDepth() const {
+  size_t max_depth = 0;
+  std::vector<std::pair<size_t, size_t>> stack{{kRoot, 0}};
+  while (!stack.empty()) {
+    const auto [index, depth] = stack.back();
+    stack.pop_back();
+    const IndexNode& node = nodes_[index];
+    if (node.is_leaf()) {
+      max_depth = std::max(max_depth, depth);
+    } else {
+      stack.push_back({static_cast<size_t>(node.left), depth + 1});
+      stack.push_back({static_cast<size_t>(node.right), depth + 1});
+    }
+  }
+  return max_depth;
+}
+
+std::unique_ptr<const SpatialIndex> BuildIndex(const Dataset& data,
+                                               IndexOptions options) {
+  switch (options.backend) {
+    case IndexBackend::kBallTree:
+      return std::make_unique<const BallTree>(data, std::move(options));
+    case IndexBackend::kKdTree:
+      break;
+  }
+  return std::make_unique<const KdTree>(data, std::move(options));
+}
+
+}  // namespace tkdc

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "common/macros.h"
 #include "common/metrics.h"
 #include "data/dataset.h"
+#include "index/index_backend.h"
 #include "kde/batch_executor.h"
 #include "kde/query_context.h"
 #include "kde/query_metrics.h"
@@ -69,6 +71,14 @@ class DensityClassifier {
 
   /// The trained threshold estimate t~(p). Only valid after Train().
   virtual double threshold() const = 0;
+
+  /// The spatial-index backend serving this classifier's queries, or
+  /// nullopt for index-free algorithms (simple, binned). Tree-backed
+  /// engines override this so the metrics layer can split node-expansion
+  /// histograms by backend.
+  virtual std::optional<IndexBackend> index_backend() const {
+    return std::nullopt;
+  }
 
   // --- Engine hooks (the per-algorithm query engine) --------------------
 
@@ -226,7 +236,7 @@ class DensityClassifier {
     const TraversalStats before = ctx.stats;
     const uint64_t grid_before = ctx.grid_prunes;
     const Classification label = ClassifyInContext(ctx, x, training);
-    query_metrics::RecordQuery(ctx, before, grid_before);
+    query_metrics::RecordQuery(ctx, before, grid_before, index_backend());
     return label;
   }
 
@@ -236,7 +246,7 @@ class DensityClassifier {
     const TraversalStats before = ctx.stats;
     const uint64_t grid_before = ctx.grid_prunes;
     const double density = EstimateDensityInContext(ctx, x);
-    query_metrics::RecordQuery(ctx, before, grid_before);
+    query_metrics::RecordQuery(ctx, before, grid_before, index_backend());
     return density;
   }
 

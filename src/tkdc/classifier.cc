@@ -134,13 +134,15 @@ void TkdcClassifier::Restore(const Dataset& data,
                              const std::vector<double>& bandwidths,
                              double threshold_lower, double threshold_upper,
                              double threshold,
-                             std::vector<double> training_densities) {
+                             std::vector<double> training_densities,
+                             std::unique_ptr<const SpatialIndex> prebuilt_index) {
   TKDC_CHECK(data.size() >= 2);
   TKDC_CHECK(bandwidths.size() == data.dims());
   TKDC_CHECK(training_densities.empty() ||
              training_densities.size() == data.size());
   TKDC_CHECK(threshold_lower >= 0.0 && threshold_upper >= threshold_lower);
-  auto model = BuildTkdcModelSkeleton(config_, data, bandwidths);
+  auto model = BuildTkdcModelSkeleton(config_, data, bandwidths,
+                                      std::move(prebuilt_index));
   model->threshold_lower = threshold_lower;
   model->threshold_upper = threshold_upper;
   model->threshold = threshold;

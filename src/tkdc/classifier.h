@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "data/dataset.h"
-#include "index/kdtree.h"
+#include "index/spatial_index.h"
 #include "kde/density_classifier.h"
 #include "kde/kernel.h"
 #include "tkdc/config.h"
@@ -48,6 +48,10 @@ class TkdcClassifier : public DensityClassifier {
     return model_ != nullptr ? model_->tree->dims() : 0;
   }
   double threshold() const override;
+  std::optional<IndexBackend> index_backend() const override {
+    return model_ != nullptr ? std::optional(model_->tree->backend())
+                             : std::nullopt;
+  }
 
   std::unique_ptr<QueryContext> MakeQueryContext() const override {
     return std::make_unique<TreeQueryContext>();
@@ -100,7 +104,7 @@ class TkdcClassifier : public DensityClassifier {
   const Kernel& kernel() const { return *model_->kernel; }
 
   /// The trained index; only valid after Train().
-  const KdTree& tree() const { return *model_->tree; }
+  const SpatialIndex& tree() const { return *model_->tree; }
 
   /// Raw density bounds for a query under the trained threshold band
   /// (exposed for tests and diagnostics).
@@ -108,13 +112,15 @@ class TkdcClassifier : public DensityClassifier {
 
   /// Restores a previously trained state without re-running the bootstrap
   /// or the training-density pass: rebuilds the model (index, grid,
-  /// engine) from `data` and installs the given kernel bandwidths and
-  /// thresholds. Used by model deserialization (tkdc/model_io.h). The
-  /// vectors must be consistent with `data` (bandwidths per dimension;
-  /// densities per row, or empty).
+  /// engine) from `data` — or adopts `prebuilt_index` when the artifact
+  /// carried a serialized index (model format v3) — and installs the given
+  /// kernel bandwidths and thresholds. Used by model deserialization
+  /// (tkdc/model_io.h). The vectors must be consistent with `data`
+  /// (bandwidths per dimension; densities per row, or empty).
   void Restore(const Dataset& data, const std::vector<double>& bandwidths,
                double threshold_lower, double threshold_upper,
-               double threshold, std::vector<double> training_densities);
+               double threshold, std::vector<double> training_densities,
+               std::unique_ptr<const SpatialIndex> prebuilt_index = nullptr);
 
  private:
   // The dual-tree batch classifier reuses this classifier's engine,

@@ -1,5 +1,7 @@
 #include "tkdc/config.h"
 
+#include <utility>
+
 #include "common/macros.h"
 #include "common/parallel.h"
 
@@ -19,6 +21,16 @@ void TkdcConfig::Validate() const {
   TKDC_CHECK_MSG(num_threads <= 4096, "num_threads out of range");
 }
 
+IndexOptions TkdcConfig::MakeIndexOptions(std::vector<double> scale) const {
+  IndexOptions options;
+  options.leaf_size = leaf_size;
+  options.split_rule = split_rule;
+  options.axis_rule = axis_rule;
+  options.backend = index_backend;
+  options.scale = std::move(scale);
+  return options;
+}
+
 size_t TkdcConfig::ResolvedNumThreads() const {
   return num_threads == 0 ? HardwareConcurrency() : num_threads;
 }
@@ -29,6 +41,7 @@ std::string TkdcConfig::OptimizationSummary() const {
   summary += use_tolerance_rule ? " +tolerance" : " -tolerance";
   summary += use_grid ? " +grid" : " -grid";
   summary += " split=" + SplitRuleName(split_rule);
+  summary += " index=" + IndexBackendName(index_backend);
   return summary;
 }
 

@@ -5,6 +5,10 @@
 #include <cstdint>
 #include <string>
 
+#include <vector>
+
+#include "index/index_backend.h"
+#include "index/spatial_index.h"
 #include "index/split_rule.h"
 #include "kde/bandwidth.h"
 #include "kde/kernel.h"
@@ -39,11 +43,15 @@ struct TkdcConfig {
   /// The grid scales exponentially with dimension; the paper disables it
   /// for d > 4.
   size_t grid_max_dims = 4;
-  /// k-d tree split rule (paper default: trimmed midpoint "equi-width").
+  /// Spatial-index backend behind every traversal (kdtree / balltree).
+  /// The default honors the TKDC_INDEX environment variable, which is how
+  /// the CI ball-tree lane forces the backend without touching configs.
+  IndexBackend index_backend = DefaultIndexBackend();
+  /// Index split rule (paper default: trimmed midpoint "equi-width").
   SplitRule split_rule = SplitRule::kTrimmedMidpoint;
-  /// k-d tree axis rule (paper default: cycle through dimensions).
+  /// Index axis rule (paper default: cycle through dimensions).
   SplitAxisRule axis_rule = SplitAxisRule::kCycle;
-  /// k-d tree leaf capacity.
+  /// Index leaf capacity.
   size_t leaf_size = 32;
 
   // --- Threshold bootstrap (Algorithm 3) ---
@@ -80,6 +88,11 @@ struct TkdcConfig {
 
   /// One-line human-readable summary of the switch settings.
   std::string OptimizationSummary() const;
+
+  /// The index build options this config implies. `scale` is the ball
+  /// tree's radius metric — pass the kernel's inverse bandwidths so ball
+  /// bounds are tight under the query metric; the k-d tree ignores it.
+  IndexOptions MakeIndexOptions(std::vector<double> scale = {}) const;
 };
 
 }  // namespace tkdc

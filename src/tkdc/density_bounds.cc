@@ -6,8 +6,29 @@
 #include "kde/query_metrics.h"
 
 namespace tkdc {
+namespace {
 
-DensityBoundEvaluator::DensityBoundEvaluator(const KdTree* tree,
+// Clamps a child entry's contribution interval by its parent's, scaled to
+// the child's share of the parent's points. Sound because the child's
+// points are a subset of the parent's, so the parent's per-point kernel
+// bounds apply to them too. A no-op for nesting geometries (k-d boxes);
+// for ball trees — whose child balls can extend outside the parent ball —
+// this is what makes f_lo/f_hi tighten monotonically at every expansion.
+void ClampByParent(TraversalQueueEntry& child,
+                   const TraversalQueueEntry& parent, double count_ratio) {
+  const double floor = parent.min_contribution * count_ratio;
+  const double ceiling = parent.max_contribution * count_ratio;
+  if (child.min_contribution < floor) child.min_contribution = floor;
+  if (child.max_contribution > ceiling) child.max_contribution = ceiling;
+  if (child.max_contribution < child.min_contribution) {
+    child.max_contribution = child.min_contribution;  // Round-off guard.
+  }
+  child.priority = child.max_contribution - child.min_contribution;
+}
+
+}  // namespace
+
+DensityBoundEvaluator::DensityBoundEvaluator(const SpatialIndex* tree,
                                              const Kernel* kernel,
                                              const TkdcConfig* config)
     : tree_(tree),
@@ -23,10 +44,12 @@ DensityBoundEvaluator::DensityBoundEvaluator(const KdTree* tree,
 TraversalQueueEntry DensityBoundEvaluator::MakeEntry(
     TreeQueryContext& ctx, std::span<const double> x,
     uint32_t node_index) const {
-  const KdNode& node = tree_->node(node_index);
+  const IndexNode& node = tree_->node(node_index);
   const auto inv_bw = std::span<const double>(kernel_->inverse_bandwidths());
-  const double z_min = node.box.MinScaledSquaredDistance(x, inv_bw);
-  const double z_max = node.box.MaxScaledSquaredDistance(x, inv_bw);
+  double z_min = 0.0;
+  double z_max = 0.0;
+  tree_->NodeScaledSquaredDistanceBounds(node_index, x, inv_bw, &z_min,
+                                         &z_max);
   const double weight = static_cast<double>(node.count()) * inv_n_;
   TraversalQueueEntry entry;
   entry.node = node_index;
@@ -41,12 +64,12 @@ TraversalQueueEntry DensityBoundEvaluator::MakeEntry(
 TraversalQueueEntry DensityBoundEvaluator::MakeBoxEntry(
     TreeQueryContext& ctx, const BoundingBox& query_box,
     uint32_t node_index) const {
-  const KdNode& node = tree_->node(node_index);
+  const IndexNode& node = tree_->node(node_index);
   const auto inv_bw = std::span<const double>(kernel_->inverse_bandwidths());
-  const double z_min =
-      node.box.MinScaledSquaredDistanceToBox(query_box, inv_bw);
-  const double z_max =
-      node.box.MaxScaledSquaredDistanceToBox(query_box, inv_bw);
+  double z_min = 0.0;
+  double z_max = 0.0;
+  tree_->NodeScaledSquaredDistanceBoundsToBox(node_index, query_box, inv_bw,
+                                              &z_min, &z_max);
   const double weight = static_cast<double>(node.count()) * inv_n_;
   TraversalQueueEntry entry;
   entry.node = node_index;
@@ -79,7 +102,7 @@ DensityBounds DensityBoundEvaluator::BoundDensityForBox(
     queue.push_back(entry);
   };
   if (frontier == nullptr || frontier->empty()) {
-    seed(static_cast<uint32_t>(KdTree::kRoot));
+    seed(static_cast<uint32_t>(SpatialIndex::kRoot));
   } else {
     for (uint32_t node_index : *frontier) seed(node_index);
   }
@@ -120,14 +143,17 @@ DensityBounds DensityBoundEvaluator::BoundDensityForBox(
     f_lo -= current.min_contribution;
     f_hi -= current.max_contribution;
 
-    const KdNode& node = tree_->node(current.node);
+    const IndexNode& node = tree_->node(current.node);
     TKDC_DCHECK(!node.is_leaf());
+    const double inv_parent_count = 1.0 / static_cast<double>(node.count());
     for (int32_t child : {node.left, node.right}) {
       TraversalQueueEntry entry =
           MakeBoxEntry(ctx, query_box, static_cast<uint32_t>(child));
-      if (tree_->node(static_cast<size_t>(child)).is_leaf()) {
-        entry.priority = 0.0;
-      }
+      const IndexNode& child_node = tree_->node(static_cast<size_t>(child));
+      ClampByParent(entry, current,
+                    static_cast<double>(child_node.count()) *
+                        inv_parent_count);
+      if (child_node.is_leaf()) entry.priority = 0.0;
       f_lo += entry.min_contribution;
       f_hi += entry.max_contribution;
       queue.push_back(entry);
@@ -156,7 +182,7 @@ DensityBounds DensityBoundEvaluator::BoundDensity(TreeQueryContext& ctx,
   ctx.queue.clear();
 
   TraversalQueueEntry root =
-      MakeEntry(ctx, x, static_cast<uint32_t>(KdTree::kRoot));
+      MakeEntry(ctx, x, static_cast<uint32_t>(SpatialIndex::kRoot));
   double f_lo = root.min_contribution;
   double f_hi = root.max_contribution;
   ctx.queue.push_back(root);
@@ -173,7 +199,7 @@ DensityBounds DensityBoundEvaluator::BoundDensityFromFrontier(
   double f_hi = 0.0;
   if (frontier.empty()) {
     TraversalQueueEntry root =
-        MakeEntry(ctx, x, static_cast<uint32_t>(KdTree::kRoot));
+        MakeEntry(ctx, x, static_cast<uint32_t>(SpatialIndex::kRoot));
     f_lo = root.min_contribution;
     f_hi = root.max_contribution;
     ctx.queue.push_back(root);
@@ -230,7 +256,7 @@ DensityBounds DensityBoundEvaluator::RunPointTraversal(
     f_lo -= current.min_contribution;
     f_hi -= current.max_contribution;
 
-    const KdNode& node = tree_->node(current.node);
+    const IndexNode& node = tree_->node(current.node);
     if (node.is_leaf()) {
       double exact = 0.0;
       for (size_t i = node.begin; i < node.end; ++i) {
@@ -247,6 +273,15 @@ DensityBounds DensityBoundEvaluator::RunPointTraversal(
           MakeEntry(ctx, x, static_cast<uint32_t>(node.left));
       TraversalQueueEntry right =
           MakeEntry(ctx, x, static_cast<uint32_t>(node.right));
+      const double inv_parent_count = 1.0 / static_cast<double>(node.count());
+      ClampByParent(
+          left, current,
+          static_cast<double>(tree_->node(node.left).count()) *
+              inv_parent_count);
+      ClampByParent(
+          right, current,
+          static_cast<double>(tree_->node(node.right).count()) *
+              inv_parent_count);
       f_lo += left.min_contribution + right.min_contribution;
       f_hi += left.max_contribution + right.max_contribution;
       queue.push_back(left);

@@ -5,7 +5,7 @@
 #include <span>
 #include <vector>
 
-#include "index/kdtree.h"
+#include "index/spatial_index.h"
 #include "kde/kernel.h"
 #include "kde/query_context.h"
 #include "tkdc/config.h"
@@ -75,6 +75,15 @@ class TreeQueryContext : public QueryContext {
 /// With both rules disabled the traversal exhausts the tree and the bounds
 /// collapse to the exact density.
 ///
+/// The evaluator traverses any SpatialIndex backend through the common
+/// node API; when a node is expanded, each child's contribution interval
+/// is clamped by its parent's (a child's points are a subset of the
+/// parent's, so the parent's per-point kernel bounds stay valid for them).
+/// For the k-d tree this is a no-op — child boxes nest inside parent boxes
+/// — but ball-tree child balls can poke outside the parent ball, and the
+/// clamp is what guarantees the bounds tighten monotonically at every
+/// expansion for every backend.
+///
 /// The evaluator is a *stateless query engine*: it borrows the immutable
 /// tree, kernel, and config (all three must outlive it), caches the
 /// kernel's resolved radial profile, and keeps no per-query state — every
@@ -84,7 +93,7 @@ class TreeQueryContext : public QueryContext {
 class DensityBoundEvaluator {
  public:
   DensityBoundEvaluator() = default;
-  DensityBoundEvaluator(const KdTree* tree, const Kernel* kernel,
+  DensityBoundEvaluator(const SpatialIndex* tree, const Kernel* kernel,
                         const TkdcConfig* config);
 
   /// Bounds the density of `x` given current threshold bounds
@@ -132,7 +141,7 @@ class DensityBoundEvaluator {
                                    int64_t max_expansions = -1,
                                    std::vector<uint32_t>* frontier = nullptr) const;
 
-  const KdTree* tree() const { return tree_; }
+  const SpatialIndex* tree() const { return tree_; }
   const Kernel* kernel() const { return kernel_; }
 
  private:
@@ -155,7 +164,7 @@ class DensityBoundEvaluator {
                                   double t_hi, double tolerance, double f_lo,
                                   double f_hi) const;
 
-  const KdTree* tree_ = nullptr;
+  const SpatialIndex* tree_ = nullptr;
   const Kernel* kernel_ = nullptr;
   const TkdcConfig* config_ = nullptr;
   double inv_n_ = 0.0;

@@ -42,7 +42,10 @@ std::vector<Classification> DualTreeClassifier::ClassifyBatch(
   TreeQueryContext ctx;
 
   // Index the queries themselves; each node's bounding box stands in for
-  // all the query points beneath it.
+  // all the query points beneath it. The query side is always a k-d tree
+  // regardless of the reference backend: the box probe needs an axis-
+  // aligned box per query node, and the reference side is reached only
+  // through the evaluator's backend-agnostic API.
   KdTreeOptions query_tree_options;
   query_tree_options.leaf_size = options_.query_leaf_size;
   query_tree_options.split_rule = config.split_rule;
@@ -62,11 +65,11 @@ std::vector<Classification> DualTreeClassifier::ClassifyBatch(
   while (!stack.empty()) {
     Frame frame = std::move(stack.back());
     stack.pop_back();
-    const KdNode& node = query_tree.node(frame.node_index);
+    const IndexNode& node = query_tree.node(frame.node_index);
     ++stats_.boxes_evaluated;
     const DensityBounds bounds = evaluator.BoundDensityForBox(
-        ctx, node.box, shifted, shifted, tolerance, options_.probe_budget,
-        &frame.frontier);
+        ctx, query_tree.box(frame.node_index), shifted, shifted, tolerance,
+        options_.probe_budget, &frame.frontier);
     if (frame.frontier.size() > options_.max_frontier) {
       frame.frontier.clear();  // Children restart from the root.
     }

@@ -8,18 +8,23 @@ namespace tkdc {
 
 std::shared_ptr<TkdcModel> BuildTkdcModelSkeleton(
     const TkdcConfig& config, const Dataset& data,
-    std::vector<double> bandwidths) {
+    std::vector<double> bandwidths,
+    std::unique_ptr<const SpatialIndex> prebuilt_index) {
   TKDC_CHECK_MSG(data.size() >= 2, "training set needs at least 2 points");
   TKDC_CHECK(bandwidths.size() == data.dims());
   auto model = std::make_shared<TkdcModel>();
   model->config = config;
   model->kernel =
       std::make_unique<const Kernel>(config.kernel, std::move(bandwidths));
-  KdTreeOptions tree_options;
-  tree_options.leaf_size = config.leaf_size;
-  tree_options.split_rule = config.split_rule;
-  tree_options.axis_rule = config.axis_rule;
-  model->tree = std::make_unique<const KdTree>(data, tree_options);
+  if (prebuilt_index != nullptr) {
+    TKDC_CHECK(prebuilt_index->size() == data.size() &&
+               prebuilt_index->dims() == data.dims());
+    model->config.index_backend = prebuilt_index->backend();
+    model->tree = std::move(prebuilt_index);
+  } else {
+    model->tree = BuildIndex(
+        data, config.MakeIndexOptions(model->kernel->inverse_bandwidths()));
+  }
   model->self_contribution =
       model->kernel->MaxValue() / static_cast<double>(data.size());
   if (config.use_grid && data.dims() <= config.grid_max_dims &&

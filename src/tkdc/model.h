@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "data/dataset.h"
-#include "index/kdtree.h"
+#include "index/spatial_index.h"
 #include "kde/kernel.h"
 #include "tkdc/config.h"
 #include "tkdc/grid_cache.h"
@@ -23,10 +23,11 @@ namespace tkdc {
 /// serializes it without touching the classifier.
 struct TkdcModel {
   /// The configuration the model was trained under. The evaluator borrows
-  /// this copy, so pruning-rule toggles are frozen into the artifact.
+  /// this copy, so pruning-rule toggles (and the index backend) are frozen
+  /// into the artifact.
   TkdcConfig config;
   std::unique_ptr<const Kernel> kernel;
-  std::unique_ptr<const KdTree> tree;
+  std::unique_ptr<const SpatialIndex> tree;
   /// Null when the grid is disabled or the dimensionality exceeds its cap.
   std::unique_ptr<const GridCache> grid;
   /// Bootstrap diagnostics (Algorithm 3), including its traversal work.
@@ -47,11 +48,14 @@ struct TkdcModel {
 /// Builds the index side of a model — kernel, tree, optional grid,
 /// self-contribution — from `data` and per-axis `bandwidths`, leaving the
 /// threshold fields for the caller (Train's bootstrap or model_io's
-/// restore). The k-d tree build is deterministic, so restoring from the
-/// original training data reproduces the trained tree exactly.
+/// restore). The index build is deterministic, so restoring from the
+/// original training data reproduces the trained tree exactly; a restore
+/// that already deserialized the index (model format v3) passes it as
+/// `prebuilt_index` to skip the rebuild.
 std::shared_ptr<TkdcModel> BuildTkdcModelSkeleton(
     const TkdcConfig& config, const Dataset& data,
-    std::vector<double> bandwidths);
+    std::vector<double> bandwidths,
+    std::unique_ptr<const SpatialIndex> prebuilt_index = nullptr);
 
 }  // namespace tkdc
 

@@ -1,5 +1,6 @@
 #include "tkdc/model_io.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <fstream>
@@ -13,6 +14,9 @@
 #include "baselines/rkde.h"
 #include "baselines/simple_kde.h"
 #include "common/macros.h"
+#include "index/ball_tree.h"
+#include "index/kdtree.h"
+#include "index/spatial_index.h"
 
 namespace tkdc {
 namespace {
@@ -99,6 +103,10 @@ class Reader {
   uint64_t checksum_ = 0xcbf29ce484222325ULL;
 };
 
+// Config block. The writer always emits the current version; the
+// index_backend field joined in version 3, so the reader is version-gated
+// and legacy files resolve to the backend they were invariably built with
+// (k-d tree), never to the loader's environment default.
 void WriteConfig(Writer& w, const TkdcConfig& config) {
   w.F64(config.p);
   w.F64(config.epsilon);
@@ -119,9 +127,10 @@ void WriteConfig(Writer& w, const TkdcConfig& config) {
   w.F64(config.h_buffer);
   w.F64(config.h_growth);
   w.U64(config.seed);
+  w.U32(static_cast<uint32_t>(config.index_backend));
 }
 
-bool ReadConfig(Reader& r, TkdcConfig* config) {
+bool ReadConfig(Reader& r, uint32_t version, TkdcConfig* config) {
   uint32_t kernel = 0, bandwidth_rule = 0, split_rule = 0, axis_rule = 0;
   uint8_t threshold_rule = 0, tolerance_rule = 0, grid = 0;
   uint64_t grid_max_dims = 0, leaf_size = 0, r0 = 0, s0 = 0, seed = 0;
@@ -135,10 +144,14 @@ bool ReadConfig(Reader& r, TkdcConfig* config) {
       !r.U64(&seed)) {
     return false;
   }
-  if (kernel > 3 || bandwidth_rule > 1 || split_rule > 2 || axis_rule > 1) {
+  uint32_t index_backend = static_cast<uint32_t>(IndexBackend::kKdTree);
+  if (version >= 3 && !r.U32(&index_backend)) return false;
+  if (kernel > 3 || bandwidth_rule > 1 || split_rule > 2 || axis_rule > 1 ||
+      index_backend > 1 || leaf_size == 0) {
     return false;
   }
   config->kernel = static_cast<KernelType>(kernel);
+  config->index_backend = static_cast<IndexBackend>(index_backend);
   config->bandwidth_rule = static_cast<BandwidthRule>(bandwidth_rule);
   config->use_threshold_rule = threshold_rule != 0;
   config->use_tolerance_rule = tolerance_rule != 0;
@@ -178,6 +191,239 @@ bool ReadValues(Reader& r, uint64_t dims, uint64_t n,
   return true;
 }
 
+// --- Spatial-index section (format version 3+) -------------------------
+//
+// Shared trailer of every tree-backed section: backend tag, node topology
+// (shared by both backends), the reordered-to-original row permutation,
+// and the backend-specific geometry (k-d boxes, or ball centroids +
+// annulus radii + build scale). The raw training values already precede this section, so
+// the reordered point storage is reconstructed from the permutation rather
+// than stored twice.
+void WriteIndexSection(Writer& w, const SpatialIndex& index) {
+  w.U8(static_cast<uint8_t>(index.backend()));
+  w.U64(index.num_nodes());
+  for (size_t i = 0; i < index.size(); ++i) {
+    w.U64(index.OriginalIndex(i));
+  }
+  for (size_t i = 0; i < index.num_nodes(); ++i) {
+    const IndexNode& node = index.node(i);
+    w.U64(node.begin);
+    w.U64(node.end);
+    w.U32(static_cast<uint32_t>(node.left));
+    w.U32(static_cast<uint32_t>(node.right));
+    w.U8(node.split_axis);
+  }
+  const size_t dims = index.dims();
+  switch (index.backend()) {
+    case IndexBackend::kKdTree: {
+      const auto& kd = static_cast<const KdTree&>(index);
+      std::vector<double> geometry;
+      geometry.reserve(2 * dims * kd.num_nodes());
+      for (size_t i = 0; i < kd.num_nodes(); ++i) {
+        const BoundingBox& box = kd.box(i);
+        geometry.insert(geometry.end(), box.min().begin(), box.min().end());
+        geometry.insert(geometry.end(), box.max().begin(), box.max().end());
+      }
+      w.DoubleVec(geometry);
+      break;
+    }
+    case IndexBackend::kBallTree: {
+      const auto& ball = static_cast<const BallTree&>(index);
+      std::vector<double> centroids;
+      centroids.reserve(dims * ball.num_nodes());
+      std::vector<double> radii;
+      radii.reserve(ball.num_nodes());
+      std::vector<double> radii_min;
+      radii_min.reserve(ball.num_nodes());
+      for (size_t i = 0; i < ball.num_nodes(); ++i) {
+        const auto centroid = ball.Centroid(i);
+        centroids.insert(centroids.end(), centroid.begin(), centroid.end());
+        radii.push_back(ball.Radius(i));
+        radii_min.push_back(ball.MinRadius(i));
+      }
+      w.DoubleVec(centroids);
+      w.DoubleVec(radii);
+      w.DoubleVec(radii_min);
+      w.DoubleVec(ball.scale());
+      break;
+    }
+  }
+}
+
+// Validates the serialized topology: node 0 must cover every reordered row,
+// children must partition their parent contiguously and sit strictly after
+// it (so the arena is in DFS order and acyclic), and every non-root node
+// must be referenced by exactly one parent. Anything structurally valid is
+// safe to hand to the restore constructors, whose TKDC_CHECKs then only
+// guard programmer errors, not file contents.
+bool ValidTopology(const std::vector<IndexNode>& nodes, uint64_t n,
+                   uint64_t dims) {
+  const size_t num_nodes = nodes.size();
+  if (num_nodes == 0 || nodes[0].begin != 0 || nodes[0].end != n) return false;
+  std::vector<uint8_t> referenced(num_nodes, 0);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    const IndexNode& node = nodes[i];
+    if (node.begin >= node.end || node.end > n) return false;
+    if (node.split_axis >= dims) return false;
+    const bool has_left = node.left >= 0;
+    const bool has_right = node.right >= 0;
+    if (has_left != has_right) return false;
+    if (!has_left) continue;
+    const auto left = static_cast<size_t>(node.left);
+    const auto right = static_cast<size_t>(node.right);
+    if (left <= i || right <= i || left >= num_nodes || right >= num_nodes ||
+        left == right) {
+      return false;
+    }
+    if (referenced[left] != 0 || referenced[right] != 0) return false;
+    referenced[left] = referenced[right] = 1;
+    if (nodes[left].begin != node.begin || nodes[left].end != nodes[right].begin ||
+        nodes[right].end != node.end) {
+      return false;
+    }
+  }
+  for (size_t i = 1; i < num_nodes; ++i) {
+    if (referenced[i] == 0) return false;
+  }
+  return true;
+}
+
+bool FiniteVec(const std::vector<double>& v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+// Reads and validates an index section over `data`, reconstructing the
+// reordered point storage from the stored permutation. `options` supplies
+// the build parameters recorded elsewhere in the file (leaf size, split
+// rules); the backend comes from the section's own tag. Returns nullptr
+// with `*why` set on any structural violation.
+std::unique_ptr<const SpatialIndex> ReadIndexSection(Reader& r,
+                                                     const Dataset& data,
+                                                     IndexOptions options,
+                                                     std::string* why) {
+  const uint64_t n = data.size();
+  const uint64_t dims = data.dims();
+  uint8_t backend_tag = 0;
+  uint64_t num_nodes = 0;
+  if (!r.U8(&backend_tag) || !r.U64(&num_nodes)) {
+    *why = "truncated index header";
+    return nullptr;
+  }
+  // A leaf holds >= 1 rows, so a binary arena can never exceed 2n - 1.
+  if (backend_tag > 1 || num_nodes == 0 || num_nodes > 2 * n) {
+    *why = "corrupt index header";
+    return nullptr;
+  }
+  options.backend = static_cast<IndexBackend>(backend_tag);
+
+  std::vector<size_t> original_index(n);
+  std::vector<uint8_t> seen(n, 0);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t row = 0;
+    if (!r.U64(&row)) {
+      *why = "truncated index permutation";
+      return nullptr;
+    }
+    if (row >= n || seen[row] != 0) {
+      *why = "index permutation is not a bijection";
+      return nullptr;
+    }
+    seen[row] = 1;
+    original_index[i] = row;
+  }
+
+  std::vector<IndexNode> nodes(num_nodes);
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    uint64_t begin = 0, end = 0;
+    uint32_t left = 0, right = 0;
+    uint8_t split_axis = 0;
+    if (!r.U64(&begin) || !r.U64(&end) || !r.U32(&left) || !r.U32(&right) ||
+        !r.U8(&split_axis)) {
+      *why = "truncated index topology";
+      return nullptr;
+    }
+    nodes[i].begin = begin;
+    nodes[i].end = end;
+    nodes[i].left = static_cast<int32_t>(left);
+    nodes[i].right = static_cast<int32_t>(right);
+    nodes[i].split_axis = split_axis;
+  }
+  if (!ValidTopology(nodes, n, dims)) {
+    *why = "corrupt index topology";
+    return nullptr;
+  }
+
+  std::vector<double> reordered(n * dims);
+  for (uint64_t i = 0; i < n; ++i) {
+    const auto row = data.Row(original_index[i]);
+    std::copy(row.begin(), row.end(), reordered.begin() + i * dims);
+  }
+
+  switch (options.backend) {
+    case IndexBackend::kKdTree: {
+      std::vector<double> geometry;
+      if (!r.DoubleVec(&geometry, 2 * dims * num_nodes) ||
+          geometry.size() != 2 * dims * num_nodes || !FiniteVec(geometry)) {
+        *why = "truncated or corrupt k-d box geometry";
+        return nullptr;
+      }
+      std::vector<BoundingBox> boxes(num_nodes);
+      for (uint64_t i = 0; i < num_nodes; ++i) {
+        const double* min = geometry.data() + 2 * dims * i;
+        const double* max = min + dims;
+        for (uint64_t j = 0; j < dims; ++j) {
+          if (min[j] > max[j]) {
+            *why = "inverted k-d bounding box";
+            return nullptr;
+          }
+        }
+        BoundingBox box(dims);
+        box.Extend({min, dims});
+        box.Extend({max, dims});
+        boxes[i] = std::move(box);
+      }
+      return std::make_unique<const KdTree>(
+          dims, std::move(reordered), std::move(original_index),
+          std::move(nodes), std::move(boxes), std::move(options));
+    }
+    case IndexBackend::kBallTree: {
+      std::vector<double> centroids, radii, radii_min, scale;
+      if (!r.DoubleVec(&centroids, dims * num_nodes) ||
+          centroids.size() != dims * num_nodes || !FiniteVec(centroids) ||
+          !r.DoubleVec(&radii, num_nodes) || radii.size() != num_nodes ||
+          !r.DoubleVec(&radii_min, num_nodes) ||
+          radii_min.size() != num_nodes ||
+          !r.DoubleVec(&scale, dims) || scale.size() != dims) {
+        *why = "truncated or corrupt ball geometry";
+        return nullptr;
+      }
+      for (size_t i = 0; i < num_nodes; ++i) {
+        if (!std::isfinite(radii[i]) || radii[i] < 0.0 ||
+            !std::isfinite(radii_min[i]) || radii_min[i] < 0.0 ||
+            radii_min[i] > radii[i]) {
+          *why = "invalid ball radius";
+          return nullptr;
+        }
+      }
+      for (double s : scale) {
+        if (!std::isfinite(s) || s <= 0.0) {
+          *why = "invalid ball scale";
+          return nullptr;
+        }
+      }
+      return std::make_unique<const BallTree>(
+          dims, std::move(reordered), std::move(original_index),
+          std::move(nodes), std::move(centroids), std::move(radii),
+          std::move(radii_min), std::move(scale), std::move(options));
+    }
+  }
+  *why = "unknown index backend";
+  return nullptr;
+}
+
 uint32_t TagFor(const DensityClassifier& classifier) {
   const std::string name = classifier.name();
   if (name == "tkdc") return kTagTkdc;
@@ -193,7 +439,12 @@ uint32_t TagFor(const DensityClassifier& classifier) {
 // the same reader serves legacy files.
 void WriteTkdcSection(Writer& w, const TkdcClassifier& c,
                       const Dataset& training_data, bool include_densities) {
-  WriteConfig(w, c.config());
+  // The serialized index is ground truth; keep the config's backend field
+  // consistent with it even if the classifier was handed a prebuilt index
+  // of a different flavor than it was configured for.
+  TkdcConfig config = c.config();
+  config.index_backend = c.tree().backend();
+  WriteConfig(w, config);
   w.U64(training_data.dims());
   w.U64(training_data.size());
   w.DoubleVec(c.kernel().bandwidths());
@@ -205,13 +456,15 @@ void WriteTkdcSection(Writer& w, const TkdcClassifier& c,
     w.DoubleVec(c.training_densities());
   }
   w.DoubleVec(training_data.values());
+  WriteIndexSection(w, c.tree());
 }
 
-std::unique_ptr<TkdcClassifier> ReadTkdcSection(Reader& r, bool nocut,
+std::unique_ptr<TkdcClassifier> ReadTkdcSection(Reader& r, uint32_t version,
+                                                bool nocut,
                                                 const std::string& path,
                                                 std::string* error) {
   TkdcConfig config;
-  if (!ReadConfig(r, &config)) {
+  if (!ReadConfig(r, version, &config)) {
     *error = path + ": truncated or corrupt config block";
     return nullptr;
   }
@@ -249,11 +502,24 @@ std::unique_ptr<TkdcClassifier> ReadTkdcSection(Reader& r, bool nocut,
     return nullptr;
   }
   Dataset data(dims, std::move(values));
+  std::unique_ptr<const SpatialIndex> index;
+  if (version >= 3) {
+    std::string why;
+    index = ReadIndexSection(r, data, config.MakeIndexOptions(), &why);
+    if (index == nullptr) {
+      *error = path + ": " + why;
+      return nullptr;
+    }
+    if (index->backend() != config.index_backend) {
+      *error = path + ": index section backend contradicts config";
+      return nullptr;
+    }
+  }
   std::unique_ptr<TkdcClassifier> classifier =
       nocut ? std::make_unique<NocutClassifier>(config)
             : std::make_unique<TkdcClassifier>(config);
   classifier->Restore(data, bandwidths, threshold_lower, threshold_upper,
-                      threshold, std::move(densities));
+                      threshold, std::move(densities), std::move(index));
   return classifier;
 }
 
@@ -300,20 +566,23 @@ std::unique_ptr<DensityClassifier> ReadSimpleSection(Reader& r,
 
 void WriteRkdeSection(Writer& w, const RkdeClassifier& c,
                       const Dataset& training_data) {
-  WriteConfig(w, c.options().base);
+  TkdcConfig config = c.options().base;
+  config.index_backend = c.model().tree->backend();
+  WriteConfig(w, config);
   w.U64(training_data.dims());
   w.U64(training_data.size());
   w.DoubleVec(c.model().kernel->bandwidths());
   w.F64(c.model().radius_sq);
   w.F64(c.threshold());
   w.DoubleVec(training_data.values());
+  WriteIndexSection(w, *c.model().tree);
 }
 
-std::unique_ptr<DensityClassifier> ReadRkdeSection(Reader& r,
+std::unique_ptr<DensityClassifier> ReadRkdeSection(Reader& r, uint32_t version,
                                                    const std::string& path,
                                                    std::string* error) {
   RkdeOptions options;
-  if (!ReadConfig(r, &options.base)) {
+  if (!ReadConfig(r, version, &options.base)) {
     *error = path + ": truncated or corrupt config block";
     return nullptr;
   }
@@ -333,8 +602,23 @@ std::unique_ptr<DensityClassifier> ReadRkdeSection(Reader& r,
     return nullptr;
   }
   Dataset data(dims, std::move(values));
+  std::unique_ptr<const SpatialIndex> index;
+  if (version >= 3) {
+    std::string why;
+    index =
+        ReadIndexSection(r, data, options.base.MakeIndexOptions(), &why);
+    if (index == nullptr) {
+      *error = path + ": " + why;
+      return nullptr;
+    }
+    if (index->backend() != options.base.index_backend) {
+      *error = path + ": index section backend contradicts config";
+      return nullptr;
+    }
+  }
   auto classifier = std::make_unique<RkdeClassifier>(options);
-  classifier->Restore(data, bandwidths, radius_sq, threshold);
+  classifier->Restore(data, bandwidths, radius_sq, threshold,
+                      std::move(index));
   return classifier;
 }
 
@@ -394,9 +678,10 @@ void WriteKnnSection(Writer& w, const KnnClassifier& c,
   w.U64(training_data.size());
   w.F64(c.threshold());
   w.DoubleVec(training_data.values());
+  WriteIndexSection(w, *c.model().tree);
 }
 
-std::unique_ptr<DensityClassifier> ReadKnnSection(Reader& r,
+std::unique_ptr<DensityClassifier> ReadKnnSection(Reader& r, uint32_t version,
                                                   const std::string& path,
                                                   std::string* error) {
   KnnOptions options;
@@ -422,8 +707,20 @@ std::unique_ptr<DensityClassifier> ReadKnnSection(Reader& r,
     return nullptr;
   }
   Dataset data(dims, std::move(values));
+  std::unique_ptr<const SpatialIndex> index;
+  if (version >= 3) {
+    IndexOptions index_options;
+    index_options.leaf_size = options.leaf_size;
+    std::string why;
+    index = ReadIndexSection(r, data, std::move(index_options), &why);
+    if (index == nullptr) {
+      *error = path + ": " + why;
+      return nullptr;
+    }
+    options.index_backend = index->backend();
+  }
   auto classifier = std::make_unique<KnnClassifier>(options);
-  classifier->Restore(data, threshold);
+  classifier->Restore(data, threshold, std::move(index));
   return classifier;
 }
 
@@ -450,7 +747,7 @@ std::unique_ptr<DensityClassifier> LoadImpl(const std::string& path,
   }
   uint32_t version = 0;
   std::memcpy(&version, buffer.data() + sizeof(kMagic), sizeof(version));
-  if (version != 1 && version != kModelFormatVersion) {
+  if (version < 1 || version > kModelFormatVersion) {
     *error = path + ": unsupported model format version";
     return nullptr;
   }
@@ -486,22 +783,22 @@ std::unique_ptr<DensityClassifier> LoadImpl(const std::string& path,
   std::unique_ptr<DensityClassifier> classifier;
   switch (tag) {
     case kTagTkdc:
-      classifier = ReadTkdcSection(r, /*nocut=*/false, path, error);
+      classifier = ReadTkdcSection(r, version, /*nocut=*/false, path, error);
       break;
     case kTagNocut:
-      classifier = ReadTkdcSection(r, /*nocut=*/true, path, error);
+      classifier = ReadTkdcSection(r, version, /*nocut=*/true, path, error);
       break;
     case kTagSimple:
       classifier = ReadSimpleSection(r, path, error);
       break;
     case kTagRkde:
-      classifier = ReadRkdeSection(r, path, error);
+      classifier = ReadRkdeSection(r, version, path, error);
       break;
     case kTagBinned:
       classifier = ReadBinnedSection(r, path, error);
       break;
     case kTagKnn:
-      classifier = ReadKnnSection(r, path, error);
+      classifier = ReadKnnSection(r, version, path, error);
       break;
     default:
       *error = path + ": unknown algorithm tag";

@@ -13,9 +13,13 @@ namespace tkdc {
 /// Persists a trained classifier to `path` in the tkdc binary model format
 /// (magic "TKDC", format version, algorithm tag, then a per-algorithm
 /// section holding the parameters, thresholds, and training data). The
-/// training data rides along because every algorithm's index — k-d tree,
-/// grid cache, density grid — is rebuilt deterministically on load, which
-/// is both smaller and simpler than serializing the index structure.
+/// training data rides along so derived structures (grid cache, density
+/// grid) can be rebuilt deterministically on load. Since format version 3
+/// the tree-backed sections (tkdc/nocut, rkde, knn) additionally carry the
+/// spatial index itself — backend tag, topology, and per-node geometry
+/// (k-d boxes or ball centroids/radii) — so a load adopts the exact trained
+/// index instead of re-running the build, and a ball-tree model restores as
+/// a ball tree regardless of the loader's configured default backend.
 ///
 /// Works for every DensityClassifier subclass in the repo (tkdc, nocut,
 /// simple, rkde, binned, knn). `training_data` must be the dataset the
@@ -43,8 +47,9 @@ std::unique_ptr<DensityClassifier> LoadAnyModel(const std::string& path,
                                                 std::string* error);
 
 /// Current model format version written by SaveModel. Version 1 (tkdc
-/// only, no algorithm tag) is still readable.
-inline constexpr uint32_t kModelFormatVersion = 2;
+/// only, no algorithm tag) and version 2 (algorithm tag, no serialized
+/// index — always k-d tree) are still readable.
+inline constexpr uint32_t kModelFormatVersion = 3;
 
 }  // namespace tkdc
 

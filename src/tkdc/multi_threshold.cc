@@ -29,11 +29,8 @@ void MultiThresholdClassifier::Train(const Dataset& data) {
   kernel_ = std::make_unique<Kernel>(
       config_.kernel, SelectBandwidths(config_.bandwidth_rule, data,
                                        config_.bandwidth_scale));
-  KdTreeOptions tree_options;
-  tree_options.leaf_size = config_.leaf_size;
-  tree_options.split_rule = config_.split_rule;
-  tree_options.axis_rule = config_.axis_rule;
-  tree_ = std::make_unique<KdTree>(data, tree_options);
+  tree_ = BuildIndex(
+      data, config_.MakeIndexOptions(kernel_->inverse_bandwidths()));
   evaluator_ = DensityBoundEvaluator(tree_.get(), kernel_.get(), &config_);
   ctx_.stats = TraversalStats();
   ctx_.grid_prunes = 0;

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "data/dataset.h"
-#include "index/kdtree.h"
+#include "index/spatial_index.h"
 #include "kde/kernel.h"
 #include "tkdc/config.h"
 #include "tkdc/density_bounds.h"
@@ -67,7 +67,7 @@ class MultiThresholdClassifier {
   TkdcConfig config_;
   std::vector<double> levels_;
   std::unique_ptr<Kernel> kernel_;
-  std::unique_ptr<KdTree> tree_;
+  std::unique_ptr<const SpatialIndex> tree_;
   std::unique_ptr<GridCache> grid_;
   /// Stateless engine over tree_/kernel_/config_; rebuilt by Train().
   DensityBoundEvaluator evaluator_;

@@ -26,7 +26,8 @@ ThresholdEstimator::ThresholdEstimator(const TkdcConfig* config)
 }
 
 ThresholdBootstrapResult ThresholdEstimator::Bootstrap(
-    const Dataset& data, const KdTree& full_tree, const Kernel& full_kernel) {
+    const Dataset& data, const SpatialIndex& full_tree,
+    const Kernel& full_kernel) {
   const size_t n = data.size();
   TKDC_CHECK(n >= 2);
   TKDC_CHECK(full_tree.size() == n);
@@ -43,10 +44,10 @@ ThresholdBootstrapResult ThresholdEstimator::Bootstrap(
     const bool full_level = r == n;
     std::unique_ptr<Dataset> subsample;
     std::unique_ptr<Kernel> sub_kernel;
-    std::unique_ptr<KdTree> sub_tree;
+    std::unique_ptr<const SpatialIndex> sub_tree;
     const Dataset* train = &data;
     const Kernel* kernel = &full_kernel;
-    const KdTree* tree = &full_tree;
+    const SpatialIndex* tree = &full_tree;
     if (!full_level) {
       subsample = std::make_unique<Dataset>(
           data.SelectRows(rng.SampleWithoutReplacement(n, r)));
@@ -55,11 +56,9 @@ ThresholdBootstrapResult ThresholdEstimator::Bootstrap(
           config_->kernel, SelectBandwidths(config_->bandwidth_rule,
                                             *subsample,
                                             config_->bandwidth_scale));
-      KdTreeOptions tree_options;
-      tree_options.leaf_size = config_->leaf_size;
-      tree_options.split_rule = config_->split_rule;
-      tree_options.axis_rule = config_->axis_rule;
-      sub_tree = std::make_unique<KdTree>(*subsample, tree_options);
+      sub_tree = BuildIndex(
+          *subsample,
+          config_->MakeIndexOptions(sub_kernel->inverse_bandwidths()));
       train = subsample.get();
       kernel = sub_kernel.get();
       tree = sub_tree.get();

@@ -4,7 +4,7 @@
 #include <cstdint>
 
 #include "data/dataset.h"
-#include "index/kdtree.h"
+#include "index/spatial_index.h"
 #include "kde/kernel.h"
 #include "tkdc/config.h"
 #include "tkdc/density_bounds.h"
@@ -41,7 +41,7 @@ class ThresholdEstimator {
   /// the index and kernel over the complete `data`; the final iteration
   /// (r = n) reuses them instead of rebuilding.
   ThresholdBootstrapResult Bootstrap(const Dataset& data,
-                                     const KdTree& full_tree,
+                                     const SpatialIndex& full_tree,
                                      const Kernel& full_kernel);
 
  private:

@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "data/generators.h"
+#include "index/spatial_index.h"
 
 namespace tkdc {
 namespace {
@@ -131,14 +132,25 @@ TEST(KnnClassifierTest, DistanceComputationsSublinear) {
   EXPECT_LT(per_query, 2000.0);
 }
 
-TEST(KdTreeKnnTest, ExactnessUnderScaledMetric) {
+// kNN traversal correctness is a backend-independent contract: run the
+// suite once per SpatialIndex backend.
+class IndexKnnTest : public ::testing::TestWithParam<IndexBackend> {
+ protected:
+  static std::unique_ptr<const SpatialIndex> Build(const Dataset& data) {
+    IndexOptions options;
+    options.backend = GetParam();
+    return BuildIndex(data, std::move(options));
+  }
+};
+
+TEST_P(IndexKnnTest, ExactnessUnderScaledMetric) {
   Rng rng(8);
   const Dataset data = SampleStandardGaussian(400, 3, rng);
-  KdTree tree(data, KdTreeOptions());
+  const auto tree = Build(data);
   const std::vector<double> inv_bw{2.0, 1.0, 0.5};
   const std::vector<double> q{0.2, -0.4, 1.0};
   std::vector<std::pair<double, size_t>> found;
-  tree.KNearestScaled(q, inv_bw, 7, &found);
+  tree->KNearestScaled(q, inv_bw, 7, &found);
   ASSERT_EQ(found.size(), 7u);
   // Ascending order.
   for (size_t i = 1; i < found.size(); ++i) {
@@ -160,24 +172,31 @@ TEST(KdTreeKnnTest, ExactnessUnderScaledMetric) {
   }
 }
 
-TEST(KdTreeKnnTest, KClampedToDatasetSize) {
+TEST_P(IndexKnnTest, KClampedToDatasetSize) {
   Rng rng(9);
   const Dataset data = SampleStandardGaussian(10, 2, rng);
-  KdTree tree(data, KdTreeOptions());
+  const auto tree = Build(data);
   std::vector<std::pair<double, size_t>> found;
-  tree.KNearestScaled(data.Row(0), std::vector<double>{1.0, 1.0}, 100,
-                      &found);
+  tree->KNearestScaled(data.Row(0), std::vector<double>{1.0, 1.0}, 100,
+                       &found);
   EXPECT_EQ(found.size(), 10u);
 }
 
-TEST(KdTreeKnnTest, KZeroReturnsEmpty) {
+TEST_P(IndexKnnTest, KZeroReturnsEmpty) {
   Rng rng(10);
   const Dataset data = SampleStandardGaussian(10, 2, rng);
-  KdTree tree(data, KdTreeOptions());
+  const auto tree = Build(data);
   std::vector<std::pair<double, size_t>> found{{1.0, 2}};
-  tree.KNearestScaled(data.Row(0), std::vector<double>{1.0, 1.0}, 0, &found);
+  tree->KNearestScaled(data.Row(0), std::vector<double>{1.0, 1.0}, 0, &found);
   EXPECT_TRUE(found.empty());
 }
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, IndexKnnTest,
+                         ::testing::Values(IndexBackend::kKdTree,
+                                           IndexBackend::kBallTree),
+                         [](const auto& info) {
+                           return IndexBackendName(info.param);
+                         });
 
 }  // namespace
 }  // namespace tkdc

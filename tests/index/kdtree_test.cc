@@ -37,8 +37,15 @@ TEST(KdTreeTest, RootCoversAllPoints) {
   EXPECT_EQ(tree.root().begin, 0u);
   EXPECT_EQ(tree.root().end, 500u);
   for (size_t i = 0; i < tree.size(); ++i) {
-    EXPECT_TRUE(tree.root().box.Contains(tree.Point(i)));
+    EXPECT_TRUE(tree.box(KdTree::kRoot).Contains(tree.Point(i)));
   }
+}
+
+TEST(KdTreeTest, LeafSizeZeroDies) {
+  Dataset data(2, {1.0, 2.0, 3.0, 4.0});
+  KdTreeOptions options;
+  options.leaf_size = 0;
+  EXPECT_DEATH(KdTree(data, options), "leaf_size");
 }
 
 TEST(KdTreeTest, ReorderingIsAPermutation) {
@@ -62,9 +69,10 @@ TEST(KdTreeTest, ReorderingIsAPermutation) {
 // Recursive invariants: children partition the parent range, counts add up,
 // child boxes nest inside the parent box, points lie in their node's box.
 void CheckNodeInvariants(const KdTree& tree, size_t node_index) {
-  const KdNode& node = tree.node(node_index);
+  const IndexNode& node = tree.node(node_index);
+  const BoundingBox& box = tree.box(node_index);
   for (size_t i = node.begin; i < node.end; ++i) {
-    EXPECT_TRUE(node.box.Contains(tree.Point(i)))
+    EXPECT_TRUE(box.Contains(tree.Point(i)))
         << "point " << i << " outside box of node " << node_index;
   }
   if (node.is_leaf()) {
@@ -72,24 +80,26 @@ void CheckNodeInvariants(const KdTree& tree, size_t node_index) {
       // Oversized leaves are only allowed when splitting is impossible:
       // all points identical (zero extent on every axis).
       for (size_t j = 0; j < tree.dims(); ++j) {
-        EXPECT_EQ(node.box.Extent(j), 0.0)
+        EXPECT_EQ(box.Extent(j), 0.0)
             << "oversized splittable leaf " << node_index;
       }
     }
     return;
   }
-  const KdNode& left = tree.node(static_cast<size_t>(node.left));
-  const KdNode& right = tree.node(static_cast<size_t>(node.right));
+  const IndexNode& left = tree.node(static_cast<size_t>(node.left));
+  const IndexNode& right = tree.node(static_cast<size_t>(node.right));
+  const BoundingBox& left_box = tree.box(static_cast<size_t>(node.left));
+  const BoundingBox& right_box = tree.box(static_cast<size_t>(node.right));
   EXPECT_EQ(left.begin, node.begin);
   EXPECT_EQ(left.end, right.begin);
   EXPECT_EQ(right.end, node.end);
   EXPECT_GT(left.count(), 0u);
   EXPECT_GT(right.count(), 0u);
   for (size_t j = 0; j < tree.dims(); ++j) {
-    EXPECT_GE(left.box.min()[j], node.box.min()[j] - 1e-12);
-    EXPECT_LE(left.box.max()[j], node.box.max()[j] + 1e-12);
-    EXPECT_GE(right.box.min()[j], node.box.min()[j] - 1e-12);
-    EXPECT_LE(right.box.max()[j], node.box.max()[j] + 1e-12);
+    EXPECT_GE(left_box.min()[j], box.min()[j] - 1e-12);
+    EXPECT_LE(left_box.max()[j], box.max()[j] + 1e-12);
+    EXPECT_GE(right_box.min()[j], box.min()[j] - 1e-12);
+    EXPECT_LE(right_box.max()[j], box.max()[j] + 1e-12);
   }
   CheckNodeInvariants(tree, static_cast<size_t>(node.left));
   CheckNodeInvariants(tree, static_cast<size_t>(node.right));
@@ -161,7 +171,7 @@ TEST(KdTreeTest, CycleAxisRuleAlternatesSplitAxes) {
   KdTree tree(data, options);
   EXPECT_EQ(tree.root().split_axis, 0u);
   if (!tree.root().is_leaf()) {
-    const KdNode& left = tree.node(static_cast<size_t>(tree.root().left));
+    const IndexNode& left = tree.node(static_cast<size_t>(tree.root().left));
     if (!left.is_leaf()) EXPECT_EQ(left.split_axis, 1u);
   }
 }

@@ -6,18 +6,22 @@
 // with the final bounds, and the classifier's label must agree with a
 // NaiveKde ground truth whenever the query sits outside the epsilon band.
 //
-// Volume: 4 kernel families x 300 randomized queries = 1200 traced
-// traversals, each checked step by step.
+// Every invariant is a contract of the traversal, not of the geometry, so
+// the whole suite runs once per spatial-index backend (kd-tree and ball
+// tree). Volume: 4 kernel families x 2 backends x 300 randomized queries
+// = 2400 traced traversals, each checked step by step.
 
 #include <cmath>
 #include <limits>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
 #include "data/generators.h"
+#include "index/spatial_index.h"
 #include "kde/bandwidth.h"
 #include "kde/naive_kde.h"
 #include "tkdc/classifier.h"
@@ -29,8 +33,8 @@ namespace {
 
 constexpr int kQueriesPerKernel = 300;
 
-std::string KernelName(const ::testing::TestParamInfo<KernelType>& info) {
-  switch (info.param) {
+std::string KernelName(KernelType kernel) {
+  switch (kernel) {
     case KernelType::kGaussian:
       return "gaussian";
     case KernelType::kEpanechnikov:
@@ -43,30 +47,46 @@ std::string KernelName(const ::testing::TestParamInfo<KernelType>& info) {
   return "unknown";
 }
 
-class TracedInvariants : public ::testing::TestWithParam<KernelType> {};
+using KernelBackendParam = std::tuple<KernelType, IndexBackend>;
+
+std::string ParamName(
+    const ::testing::TestParamInfo<KernelBackendParam>& info) {
+  return KernelName(std::get<0>(info.param)) + "_" +
+         IndexBackendName(std::get<1>(info.param));
+}
+
+class TracedInvariants : public ::testing::TestWithParam<KernelBackendParam> {
+ protected:
+  KernelType kernel_type() const { return std::get<0>(GetParam()); }
+  IndexBackend backend() const { return std::get<1>(GetParam()); }
+
+  TkdcConfig MakeConfig() const {
+    TkdcConfig config;
+    config.kernel = kernel_type();
+    config.index_backend = backend();
+    return config;
+  }
+};
 
 // The core property: at every traversal step the certified interval
 // contains the exact density, and each expansion only tightens it.
 TEST_P(TracedInvariants, BoundsBracketAndTightenAtEveryStep) {
-  const KernelType kernel_type = GetParam();
-  TkdcConfig config;
-  config.kernel = kernel_type;
-  Rng rng(1000 + static_cast<uint64_t>(kernel_type));
+  TkdcConfig config = MakeConfig();
+  Rng rng(1000 + static_cast<uint64_t>(kernel_type()));
   const Dataset data = SampleStandardGaussian(500, 2, rng);
   Kernel kernel(config.kernel,
                 SelectBandwidths(config.bandwidth_rule, data,
                                  config.bandwidth_scale));
-  KdTreeOptions tree_options;
-  tree_options.leaf_size = config.leaf_size;
-  KdTree tree(data, tree_options);
-  DensityBoundEvaluator evaluator(&tree, &kernel, &config);
+  const auto tree =
+      BuildIndex(data, config.MakeIndexOptions(kernel.inverse_bandwidths()));
+  DensityBoundEvaluator evaluator(tree.get(), &kernel, &config);
   NaiveKde naive(data, kernel);
 
   TreeQueryContext ctx;
   TraversalTracer tracer;
   ctx.tracer = &tracer;
 
-  Rng probe(4242 + static_cast<uint64_t>(kernel_type));
+  Rng probe(4242 + static_cast<uint64_t>(kernel_type()));
   std::vector<double> q(2);
   for (int trial = 0; trial < kQueriesPerKernel; ++trial) {
     for (double& v : q) v = probe.Uniform(-3.5, 3.5);
@@ -110,23 +130,22 @@ TEST_P(TracedInvariants, BoundsBracketAndTightenAtEveryStep) {
 // The recorded cutoff reason must agree with the final bounds: each break
 // rule's arithmetic condition, re-checked from the outside.
 TEST_P(TracedInvariants, CutoffReasonMatchesFinalBounds) {
-  const KernelType kernel_type = GetParam();
-  TkdcConfig config;
-  config.kernel = kernel_type;
-  Rng rng(2000 + static_cast<uint64_t>(kernel_type));
+  TkdcConfig config = MakeConfig();
+  Rng rng(2000 + static_cast<uint64_t>(kernel_type()));
   const Dataset data = SampleStandardGaussian(400, 3, rng);
   Kernel kernel(config.kernel,
                 SelectBandwidths(config.bandwidth_rule, data,
                                  config.bandwidth_scale));
-  KdTree tree(data, KdTreeOptions());
-  DensityBoundEvaluator evaluator(&tree, &kernel, &config);
+  const auto tree =
+      BuildIndex(data, config.MakeIndexOptions(kernel.inverse_bandwidths()));
+  DensityBoundEvaluator evaluator(tree.get(), &kernel, &config);
 
   TreeQueryContext ctx;
   TraversalTracer tracer;
   ctx.tracer = &tracer;
   const double eps = config.epsilon;
 
-  Rng probe(7 + static_cast<uint64_t>(kernel_type));
+  Rng probe(7 + static_cast<uint64_t>(kernel_type()));
   std::vector<double> q(3);
   int reasons_seen[4] = {0, 0, 0, 0};
   for (int trial = 0; trial < kQueriesPerKernel; ++trial) {
@@ -168,18 +187,17 @@ TEST_P(TracedInvariants, CutoffReasonMatchesFinalBounds) {
 // With both pruning rules disabled, the traversal must run to exhaustion
 // and report kExactLeaf with collapsed (exact) bounds.
 TEST_P(TracedInvariants, ExhaustiveTraversalReportsExactLeaf) {
-  const KernelType kernel_type = GetParam();
-  TkdcConfig config;
-  config.kernel = kernel_type;
+  TkdcConfig config = MakeConfig();
   config.use_threshold_rule = false;
   config.use_tolerance_rule = false;
-  Rng rng(3000 + static_cast<uint64_t>(kernel_type));
+  Rng rng(3000 + static_cast<uint64_t>(kernel_type()));
   const Dataset data = SampleStandardGaussian(300, 2, rng);
   Kernel kernel(config.kernel,
                 SelectBandwidths(config.bandwidth_rule, data,
                                  config.bandwidth_scale));
-  KdTree tree(data, KdTreeOptions());
-  DensityBoundEvaluator evaluator(&tree, &kernel, &config);
+  const auto tree =
+      BuildIndex(data, config.MakeIndexOptions(kernel.inverse_bandwidths()));
+  DensityBoundEvaluator evaluator(tree.get(), &kernel, &config);
   NaiveKde naive(data, kernel);
 
   TreeQueryContext ctx;
@@ -199,17 +217,15 @@ TEST_P(TracedInvariants, ExhaustiveTraversalReportsExactLeaf) {
 // outside the epsilon band around the trained threshold, the classifier's
 // label must match the NaiveKde ground truth.
 TEST_P(TracedInvariants, LabelsMatchNaiveKdeOutsideEpsilonBand) {
-  const KernelType kernel_type = GetParam();
-  TkdcConfig config;
-  config.kernel = kernel_type;
-  Rng rng(4000 + static_cast<uint64_t>(kernel_type));
+  TkdcConfig config = MakeConfig();
+  Rng rng(4000 + static_cast<uint64_t>(kernel_type()));
   const Dataset data = SampleStandardGaussian(1500, 2, rng);
   TkdcClassifier classifier(config);
   classifier.Train(data);
   NaiveKde naive(data, classifier.kernel());
   const double t = classifier.threshold();
 
-  Rng probe(11 + static_cast<uint64_t>(kernel_type));
+  Rng probe(11 + static_cast<uint64_t>(kernel_type()));
   int checked = 0;
   std::vector<double> q(2);
   for (int trial = 0; trial < kQueriesPerKernel; ++trial) {
@@ -227,12 +243,72 @@ TEST_P(TracedInvariants, LabelsMatchNaiveKdeOutsideEpsilonBand) {
   EXPECT_GT(checked, kQueriesPerKernel / 3);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllKernels, TracedInvariants,
+INSTANTIATE_TEST_SUITE_P(
+    AllKernelsAndBackends, TracedInvariants,
+    ::testing::Combine(::testing::Values(KernelType::kGaussian,
+                                         KernelType::kEpanechnikov,
+                                         KernelType::kUniform,
+                                         KernelType::kBiweight),
+                       ::testing::Values(IndexBackend::kKdTree,
+                                         IndexBackend::kBallTree)),
+    ParamName);
+
+// The two backends are interchangeable end to end: classifiers trained
+// with identical config except the index backend must issue the same
+// label for every query outside the epsilon band (inside the band either
+// answer is permitted by the tolerance rule, and the backends may
+// legitimately disagree there).
+class BackendAgreement : public ::testing::TestWithParam<KernelType> {};
+
+TEST_P(BackendAgreement, ClassificationsIdenticalOutsideEpsilonBand) {
+  const KernelType kernel_type = GetParam();
+  TkdcConfig kd_config;
+  kd_config.kernel = kernel_type;
+  kd_config.index_backend = IndexBackend::kKdTree;
+  TkdcConfig ball_config = kd_config;
+  ball_config.index_backend = IndexBackend::kBallTree;
+
+  Rng rng(5000 + static_cast<uint64_t>(kernel_type));
+  const Dataset data = SampleStandardGaussian(1200, 2, rng);
+  TkdcClassifier kd_classifier(kd_config);
+  kd_classifier.Train(data);
+  TkdcClassifier ball_classifier(ball_config);
+  ball_classifier.Train(data);
+  // Both backends bootstrap from the same certified-to-epsilon density
+  // intervals, so the trained thresholds agree to the epsilon tolerance
+  // (the interval midpoints differ by the geometry's rounding, not more).
+  const double t_kd = kd_classifier.threshold();
+  const double t_ball = ball_classifier.threshold();
+  const double eps = kd_config.epsilon;
+  EXPECT_NEAR(t_kd, t_ball, 2.0 * eps * t_kd + 1e-12);
+
+  NaiveKde naive(data, kd_classifier.kernel());
+  Rng probe(17 + static_cast<uint64_t>(kernel_type));
+  int checked = 0;
+  std::vector<double> q(2);
+  for (int trial = 0; trial < kQueriesPerKernel; ++trial) {
+    for (double& v : q) v = probe.Uniform(-4.0, 4.0);
+    const double exact = naive.Density(q);
+    // Inside either backend's epsilon band the tolerance rule permits
+    // either label; only clear-cut queries must agree.
+    if (std::fabs(exact - t_kd) < 2.5 * eps * t_kd + 1e-12) continue;
+    if (std::fabs(exact - t_ball) < 2.5 * eps * t_ball + 1e-12) continue;
+    ++checked;
+    EXPECT_EQ(kd_classifier.Classify(q), ball_classifier.Classify(q))
+        << "trial " << trial << " exact=" << exact << " t_kd=" << t_kd
+        << " t_ball=" << t_ball;
+  }
+  EXPECT_GT(checked, kQueriesPerKernel / 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, BackendAgreement,
                          ::testing::Values(KernelType::kGaussian,
                                            KernelType::kEpanechnikov,
                                            KernelType::kUniform,
                                            KernelType::kBiweight),
-                         KernelName);
+                         [](const auto& info) {
+                           return KernelName(info.param);
+                         });
 
 // The tracer is strictly opt-in: with no tracer attached the traversal
 // still records the cutoff reason but captures no steps.
@@ -243,8 +319,9 @@ TEST(TraversalTracerTest, DetachedTraversalStillSetsLastCutoff) {
   Kernel kernel(config.kernel,
                 SelectBandwidths(config.bandwidth_rule, data,
                                  config.bandwidth_scale));
-  KdTree tree(data, KdTreeOptions());
-  DensityBoundEvaluator evaluator(&tree, &kernel, &config);
+  const auto tree =
+      BuildIndex(data, config.MakeIndexOptions(kernel.inverse_bandwidths()));
+  DensityBoundEvaluator evaluator(tree.get(), &kernel, &config);
   TreeQueryContext ctx;
   ASSERT_EQ(ctx.tracer, nullptr);
   EXPECT_EQ(ctx.last_cutoff, CutoffReason::kNone);
@@ -259,8 +336,9 @@ TEST(TraversalTracerTest, ReusedTracerClearsPreviousCapture) {
   Kernel kernel(config.kernel,
                 SelectBandwidths(config.bandwidth_rule, data,
                                  config.bandwidth_scale));
-  KdTree tree(data, KdTreeOptions());
-  DensityBoundEvaluator evaluator(&tree, &kernel, &config);
+  const auto tree =
+      BuildIndex(data, config.MakeIndexOptions(kernel.inverse_bandwidths()));
+  DensityBoundEvaluator evaluator(tree.get(), &kernel, &config);
   TreeQueryContext ctx;
   TraversalTracer tracer;
   ctx.tracer = &tracer;

@@ -38,13 +38,15 @@ TEST(TkdcConfigTest, ValidateAcceptsDefaults) {
 
 TEST(TkdcConfigTest, OptimizationSummaryReflectsSwitches) {
   TkdcConfig config;
+  config.index_backend = IndexBackend::kKdTree;
   EXPECT_EQ(config.OptimizationSummary(),
-            "+threshold +tolerance +grid split=trimmed");
+            "+threshold +tolerance +grid split=trimmed index=kdtree");
   config.use_threshold_rule = false;
   config.use_grid = false;
   config.split_rule = SplitRule::kMedian;
+  config.index_backend = IndexBackend::kBallTree;
   EXPECT_EQ(config.OptimizationSummary(),
-            "-threshold +tolerance -grid split=median");
+            "-threshold +tolerance -grid split=median index=balltree");
 }
 
 TEST(TkdcConfigDeathTest, RejectsOutOfRangeP) {

@@ -24,10 +24,8 @@ struct Fixture {
         config.kernel,
         SelectBandwidths(config.bandwidth_rule, *data,
                          config.bandwidth_scale));
-    KdTreeOptions options;
-    options.leaf_size = config.leaf_size;
-    options.split_rule = config.split_rule;
-    tree = std::make_unique<KdTree>(*data, options);
+    tree = BuildIndex(*data,
+                      config.MakeIndexOptions(kernel->inverse_bandwidths()));
     evaluator = std::make_unique<DensityBoundEvaluator>(
         tree.get(), kernel.get(), &config);
     naive = std::make_unique<NaiveKde>(*data, *kernel);
@@ -36,7 +34,7 @@ struct Fixture {
   TkdcConfig config;
   std::unique_ptr<Dataset> data;
   std::unique_ptr<Kernel> kernel;
-  std::unique_ptr<KdTree> tree;
+  std::unique_ptr<const SpatialIndex> tree;
   std::unique_ptr<DensityBoundEvaluator> evaluator;
   std::unique_ptr<NaiveKde> naive;
   // Per-test query context: scratch + counters for every BoundDensity call.

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -17,9 +18,39 @@
 #include "baselines/simple_kde.h"
 #include "common/rng.h"
 #include "data/generators.h"
+#include "index/spatial_index.h"
 
 namespace tkdc {
 namespace {
+
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t checksum = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    checksum ^= static_cast<unsigned char>(c);
+    checksum *= 0x100000001b3ULL;
+  }
+  return checksum;
+}
+
+// Rebuilds the pre-version-3 flavor of a serialized tkdc section by
+// removing the two version-3 additions: the index_backend config field
+// (4 bytes at the end of the fixed-size config prefix) and the trailing
+// spatial-index section, whose byte length follows from the tree shape
+// (k-d geometry: one DoubleVec of 2 * dims doubles per node).
+std::string StripIndexAdditions(const std::string& section,
+                                const SpatialIndex& tree) {
+  constexpr size_t kIndexBackendOffset = 115;
+  const size_t per_node = 2 * sizeof(uint64_t) + 2 * sizeof(uint32_t) + 1;
+  const size_t geometry =
+      sizeof(uint64_t) + 2 * tree.dims() * tree.num_nodes() * sizeof(double);
+  const size_t index_bytes = 1 + sizeof(uint64_t) +
+                             tree.size() * sizeof(uint64_t) +
+                             tree.num_nodes() * per_node + geometry;
+  std::string stripped =
+      section.substr(0, kIndexBackendOffset) +
+      section.substr(kIndexBackendOffset + sizeof(uint32_t));
+  return stripped.substr(0, stripped.size() - index_bytes);
+}
 
 class ModelIoTest : public ::testing::Test {
  protected:
@@ -269,31 +300,79 @@ TEST_F(ModelIoTest, GridCacheModelRoundTrips) {
       << "restored grid cache never pruned a query";
 }
 
+TEST_F(ModelIoTest, BallTreeBackedModelsRoundTrip) {
+  // Every tree-backed algorithm must round trip its ball-tree flavor: the
+  // index section stores the backend tag, and the loader must come back
+  // with a ball tree (not silently rebuild a k-d tree) and identical
+  // labels.
+  const Dataset data = TrainSet(30, 1200);
+  std::vector<std::unique_ptr<DensityClassifier>> originals;
+  {
+    TkdcConfig config;
+    config.index_backend = IndexBackend::kBallTree;
+    originals.push_back(std::make_unique<TkdcClassifier>(config));
+  }
+  {
+    RkdeOptions options;
+    options.base.index_backend = IndexBackend::kBallTree;
+    options.threshold_sample = 500;
+    originals.push_back(std::make_unique<RkdeClassifier>(options));
+  }
+  {
+    KnnOptions options;
+    options.index_backend = IndexBackend::kBallTree;
+    options.threshold_sample = 500;
+    originals.push_back(std::make_unique<KnnClassifier>(options));
+  }
+  for (auto& original : originals) {
+    original->Train(data);
+    ASSERT_EQ(original->index_backend(),
+              std::optional(IndexBackend::kBallTree))
+        << original->name();
+    const std::string path = TempPath(original->name() + "_ball.tkdc");
+    std::string error;
+    ASSERT_TRUE(SaveModel(path, *original, data, false, &error))
+        << original->name() << ": " << error;
+    auto loaded = LoadAnyModel(path, &error);
+    ASSERT_NE(loaded, nullptr) << original->name() << ": " << error;
+    EXPECT_EQ(loaded->index_backend(), std::optional(IndexBackend::kBallTree))
+        << loaded->name();
+    Rng rng(31);
+    for (int i = 0; i < 150; ++i) {
+      std::vector<double> q{rng.Uniform(-5.0, 5.0), rng.Uniform(-5.0, 5.0)};
+      EXPECT_EQ(loaded->Classify(q), original->Classify(q))
+          << original->name() << " trial " << i;
+    }
+  }
+}
+
 TEST_F(ModelIoTest, ReadsVersionOneFiles) {
-  // Version 1 had no algorithm tag: the payload began directly with the
-  // tkdc section (same layout as today's). Build a v1 file from a v2 one
-  // by dropping the tag, rewinding the version field, and recomputing the
-  // FNV-1a checksum over the shorter payload — then require the loader to
-  // accept it as a plain tkdc model.
+  // Version 1 had no algorithm tag and no spatial-index section: the
+  // payload began directly with the tkdc section, which ended at the raw
+  // training values. Build a v1 file from a current one by dropping the
+  // tag, stripping the version-3 additions, rewinding the version field,
+  // and recomputing the FNV-1a checksum over the shorter payload — then
+  // require the loader to accept it as a plain tkdc model. Legacy files
+  // are inherently kd-backed, so pin the backend rather than inherit
+  // TKDC_INDEX (the transformation below strips kd-sized geometry).
   const Dataset data = TrainSet(26);
-  TkdcClassifier original;
+  TkdcConfig config;
+  config.index_backend = IndexBackend::kKdTree;
+  TkdcClassifier original(config);
   original.Train(data);
-  const std::string v2_path = TempPath("v2.tkdc");
+  const std::string v3_path = TempPath("v3.tkdc");
   std::string error;
-  ASSERT_TRUE(SaveModel(v2_path, original, data, true, &error)) << error;
-  std::ifstream in(v2_path, std::ios::binary);
+  ASSERT_TRUE(SaveModel(v3_path, original, data, true, &error)) << error;
+  std::ifstream in(v3_path, std::ios::binary);
   std::string contents((std::istreambuf_iterator<char>(in)),
                        std::istreambuf_iterator<char>());
   in.close();
   // Layout: magic[4] version[4] tag[4] section... checksum[8].
   ASSERT_GT(contents.size(), 20u);
-  const std::string section =
-      contents.substr(12, contents.size() - 12 - sizeof(uint64_t));
-  uint64_t checksum = 0xcbf29ce484222325ULL;
-  for (const char c : section) {
-    checksum ^= static_cast<unsigned char>(c);
-    checksum *= 0x100000001b3ULL;
-  }
+  const std::string section = StripIndexAdditions(
+      contents.substr(12, contents.size() - 12 - sizeof(uint64_t)),
+      original.tree());
+  const uint64_t checksum = Fnv1a(section);
   const std::string v1_path = TempPath("v1.tkdc");
   std::ofstream out(v1_path, std::ios::binary);
   out.write(contents.data(), 4);  // Magic.
@@ -309,6 +388,51 @@ TEST_F(ModelIoTest, ReadsVersionOneFiles) {
   EXPECT_DOUBLE_EQ(loaded->threshold(), original.threshold());
   EXPECT_EQ(loaded->training_densities(), original.training_densities());
   Rng rng(27);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> q{rng.Uniform(-5.0, 5.0), rng.Uniform(-5.0, 5.0)};
+    EXPECT_EQ(loaded->Classify(q), original.Classify(q)) << "trial " << i;
+  }
+}
+
+TEST_F(ModelIoTest, ReadsVersionTwoFiles) {
+  // Version 2 added the algorithm tag but predates the index section and
+  // the index_backend config field. Same transformation as the v1 test,
+  // keeping the tag in place (the checksum covers tag + section). As in
+  // the v1 test, the backend is pinned to kd: legacy files predate the
+  // backend tag and the strip helper assumes kd geometry.
+  const Dataset data = TrainSet(28);
+  TkdcConfig config;
+  config.index_backend = IndexBackend::kKdTree;
+  TkdcClassifier original(config);
+  original.Train(data);
+  const std::string v3_path = TempPath("v3_for_v2.tkdc");
+  std::string error;
+  ASSERT_TRUE(SaveModel(v3_path, original, data, true, &error)) << error;
+  std::ifstream in(v3_path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(contents.size(), 20u);
+  const std::string tag = contents.substr(8, 4);
+  const std::string section = StripIndexAdditions(
+      contents.substr(12, contents.size() - 12 - sizeof(uint64_t)),
+      original.tree());
+  const uint64_t checksum = Fnv1a(tag + section);
+  const std::string v2_path = TempPath("v2.tkdc");
+  std::ofstream out(v2_path, std::ios::binary);
+  out.write(contents.data(), 4);  // Magic.
+  const uint32_t version = 2;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(tag.data(), static_cast<std::streamsize>(tag.size()));
+  out.write(section.data(), static_cast<std::streamsize>(section.size()));
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  out.close();
+
+  auto loaded = LoadModel(v2_path, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_EQ(loaded->name(), "tkdc");
+  EXPECT_DOUBLE_EQ(loaded->threshold(), original.threshold());
+  Rng rng(29);
   for (int i = 0; i < 100; ++i) {
     std::vector<double> q{rng.Uniform(-5.0, 5.0), rng.Uniform(-5.0, 5.0)};
     EXPECT_EQ(loaded->Classify(q), original.Classify(q)) << "trial " << i;

@@ -57,11 +57,9 @@ TEST_P(BoundSoundness, BoundsBracketExactDensityEverywhere) {
   Kernel kernel(config.kernel,
                 SelectBandwidths(config.bandwidth_rule, data,
                                  config.bandwidth_scale));
-  KdTreeOptions tree_options;
-  tree_options.leaf_size = config.leaf_size;
-  tree_options.split_rule = config.split_rule;
-  KdTree tree(data, tree_options);
-  DensityBoundEvaluator evaluator(&tree, &kernel, &config);
+  const auto tree =
+      BuildIndex(data, config.MakeIndexOptions(kernel.inverse_bandwidths()));
+  DensityBoundEvaluator evaluator(tree.get(), &kernel, &config);
   TreeQueryContext ctx;
   NaiveKde naive(data, kernel);
 
@@ -90,10 +88,9 @@ TEST_P(BoundSoundness, UnboundedTraversalExact) {
   Kernel kernel(config.kernel,
                 SelectBandwidths(config.bandwidth_rule, data,
                                  config.bandwidth_scale));
-  KdTreeOptions tree_options;
-  tree_options.split_rule = config.split_rule;
-  KdTree tree(data, tree_options);
-  DensityBoundEvaluator evaluator(&tree, &kernel, &config);
+  const auto tree =
+      BuildIndex(data, config.MakeIndexOptions(kernel.inverse_bandwidths()));
+  DensityBoundEvaluator evaluator(tree.get(), &kernel, &config);
   TreeQueryContext ctx;
   NaiveKde naive(data, kernel);
   for (size_t i = 0; i < 10; ++i) {

@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "data/generators.h"
+#include "index/kdtree.h"
 #include "kde/bandwidth.h"
 #include "kde/naive_kde.h"
 
@@ -24,10 +25,8 @@ struct BootstrapFixture {
     kernel = std::make_unique<Kernel>(
         config.kernel, SelectBandwidths(config.bandwidth_rule, *data,
                                         config.bandwidth_scale));
-    KdTreeOptions options;
-    options.leaf_size = config.leaf_size;
-    options.split_rule = config.split_rule;
-    tree = std::make_unique<KdTree>(*data, options);
+    tree = BuildIndex(*data,
+                      config.MakeIndexOptions(kernel->inverse_bandwidths()));
   }
 
   // Exact threshold t(p): the p-quantile of self-corrected exact training
@@ -40,7 +39,7 @@ struct BootstrapFixture {
   TkdcConfig config;
   std::unique_ptr<Dataset> data;
   std::unique_ptr<Kernel> kernel;
-  std::unique_ptr<KdTree> tree;
+  std::unique_ptr<const SpatialIndex> tree;
 };
 
 TEST(ThresholdBootstrapTest, BoundsBracketExactThreshold) {
