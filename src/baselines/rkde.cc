@@ -13,7 +13,7 @@ namespace tkdc {
 
 RkdeClassifier::RkdeClassifier(RkdeOptions options)
     : options_(std::move(options)) {
-  options_.base.Validate();
+  options_.base.CheckValid();
 }
 
 std::shared_ptr<RkdeModel> RkdeClassifier::BuildModel(

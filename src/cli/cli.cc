@@ -6,16 +6,13 @@
 #include <memory>
 #include <optional>
 
-#include "baselines/binned_kde.h"
-#include "baselines/knn.h"
-#include "baselines/nocut.h"
-#include "baselines/rkde.h"
-#include "baselines/simple_kde.h"
+// The CLI is a consumer of the stable public surface: everything it does
+// (train, persist, load, classify) goes through tkdc_api.h rather than
+// per-algorithm internals.
 #include "common/timer.h"
 #include "data/csv.h"
 #include "data/datasets.h"
-#include "tkdc/classifier.h"
-#include "tkdc/model_io.h"
+#include "tkdc_api.h"
 
 namespace tkdc {
 namespace {
@@ -115,51 +112,6 @@ bool RequireValues(const ParsedArgs& parsed,
   return true;
 }
 
-// Builds an untrained classifier of the requested algorithm, mapping the
-// shared knobs (p, epsilon, bandwidth scale, kernel, seed, ...) from the
-// tkdc-style config parsed off the command line.
-std::unique_ptr<DensityClassifier> MakeClassifier(const std::string& algorithm,
-                                                  const TkdcConfig& config,
-                                                  size_t k, std::ostream& err) {
-  if (algorithm == "tkdc") return std::make_unique<TkdcClassifier>(config);
-  if (algorithm == "nocut") return std::make_unique<NocutClassifier>(config);
-  if (algorithm == "rkde") {
-    RkdeOptions options;
-    options.base = config;
-    return std::make_unique<RkdeClassifier>(options);
-  }
-  if (algorithm == "simple") {
-    SimpleKdeOptions options;
-    options.p = config.p;
-    options.bandwidth_scale = config.bandwidth_scale;
-    options.kernel = config.kernel;
-    options.bandwidth_rule = config.bandwidth_rule;
-    options.seed = config.seed;
-    return std::make_unique<SimpleKdeClassifier>(options);
-  }
-  if (algorithm == "binned") {
-    BinnedKdeOptions options;
-    options.p = config.p;
-    options.bandwidth_scale = config.bandwidth_scale;
-    options.kernel = config.kernel;
-    options.bandwidth_rule = config.bandwidth_rule;
-    options.seed = config.seed;
-    return std::make_unique<BinnedKdeClassifier>(options);
-  }
-  if (algorithm == "knn") {
-    KnnOptions options;
-    options.p = config.p;
-    options.k = k;
-    options.leaf_size = config.leaf_size;
-    options.index_backend = config.index_backend;
-    options.seed = config.seed;
-    return std::make_unique<KnnClassifier>(options);
-  }
-  err << "unknown algorithm: " << algorithm
-      << " (available: tkdc nocut simple rkde binned knn)\n";
-  return nullptr;
-}
-
 int CmdTrain(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
   if (!RequireValues(parsed, {"--input", "--model"}, err)) return 2;
   TkdcConfig config;
@@ -213,21 +165,24 @@ int CmdTrain(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
     }
     config.num_threads = static_cast<size_t>(parsed_threads);
   }
-  size_t k = KnnOptions().k;
+  api::TrainOptions options;
+  options.config = config;
   if (const auto k_arg = parsed.Value("--k")) {
     const long long parsed_k = std::atoll(k_arg->c_str());
     if (parsed_k < 1) {
       err << "--k must be positive\n";
       return 2;
     }
-    k = static_cast<size_t>(parsed_k);
+    options.k = static_cast<size_t>(parsed_k);
   }
-  const std::string algorithm =
-      parsed.Value("--algorithm").value_or("tkdc");
-  std::unique_ptr<DensityClassifier> classifier =
-      MakeClassifier(algorithm, config, k, err);
-  if (classifier == nullptr) return 2;
-  classifier->SetNumThreads(config.num_threads);
+  options.algorithm = parsed.Value("--algorithm").value_or("tkdc");
+  // Fail on bad options (unknown algorithm, out-of-range knobs) before
+  // reading the training file.
+  auto untrained = api::NewClassifier(options);
+  if (!untrained.ok()) {
+    err << untrained.message() << "\n";
+    return 2;
+  }
 
   std::string error;
   const auto table =
@@ -236,20 +191,23 @@ int CmdTrain(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
     err << error << "\n";
     return 1;
   }
-  if (table->data.size() < 2) {
-    err << "need at least 2 training rows\n";
+  out << "training " << options.algorithm << " on " << table->data.size()
+      << " x " << table->data.dims() << " points...\n";
+  WallTimer timer;
+  auto trained = api::Train(table->data, options);
+  if (!trained.ok()) {
+    err << trained.message() << "\n";
     return 1;
   }
-  out << "training " << algorithm << " on " << table->data.size() << " x "
-      << table->data.dims() << " points...\n";
-  WallTimer timer;
-  classifier->Train(table->data);
+  std::unique_ptr<DensityClassifier> classifier = trained.take();
   out << "trained in " << timer.ElapsedSeconds()
       << "s; threshold t(p=" << config.p << ") = " << classifier->threshold()
       << "\n";
-  if (!SaveModel(*parsed.Value("--model"), *classifier, table->data,
-                 !parsed.Flag("--no-densities"), &error)) {
-    err << error << "\n";
+  const Status saved =
+      api::SaveModel(*parsed.Value("--model"), *classifier, table->data,
+                     !parsed.Flag("--no-densities"));
+  if (!saved.ok()) {
+    err << saved.message() << "\n";
     return 1;
   }
   out << "model written to " << *parsed.Value("--model") << "\n";
@@ -268,15 +226,15 @@ int CmdClassify(const ParsedArgs& parsed, std::ostream& out,
         << inputs.size() << " vs " << outputs.size() << ")\n";
     return 2;
   }
-  std::string error;
   // One load serves every query file: the model is an immutable artifact,
   // so classifying never retrains or mutates it.
-  std::unique_ptr<DensityClassifier> classifier =
-      LoadAnyModel(*parsed.Value("--model"), &error);
-  if (classifier == nullptr) {
-    err << error << "\n";
+  auto loaded = api::LoadModel(*parsed.Value("--model"));
+  if (!loaded.ok()) {
+    err << loaded.message() << "\n";
     return 1;
   }
+  std::unique_ptr<DensityClassifier> classifier = loaded.take();
+  std::string error;
   const bool training = parsed.Flag("--training");
   const bool with_density = parsed.Flag("--density");
   // Observability is opt-in: without --metrics-out the classifier stays
@@ -352,30 +310,14 @@ int CmdClassify(const ParsedArgs& parsed, std::ostream& out,
 
 int CmdInfo(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
   if (!RequireValues(parsed, {"--model"}, err)) return 2;
-  std::string error;
-  const std::unique_ptr<DensityClassifier> classifier =
-      LoadAnyModel(*parsed.Value("--model"), &error);
-  if (classifier == nullptr) {
-    err << error << "\n";
+  auto loaded = api::LoadModel(*parsed.Value("--model"));
+  if (!loaded.ok()) {
+    err << loaded.message() << "\n";
     return 1;
   }
-  out << classifier->name() << " model: " << *parsed.Value("--model") << "\n"
-      << "  dimensions:      " << classifier->dims() << "\n"
-      << "  threshold t(p):  " << classifier->threshold() << "\n";
-  if (const auto backend = classifier->index_backend()) {
-    out << "  index backend:   " << IndexBackendName(*backend) << "\n";
-  }
-  if (const auto* tkdc = dynamic_cast<const TkdcClassifier*>(classifier.get())) {
-    const TkdcConfig& config = tkdc->config();
-    out << "  training points: " << tkdc->tree().size() << "\n"
-        << "  p:               " << config.p << "\n"
-        << "  epsilon:         " << config.epsilon << "\n"
-        << "  threshold bound: [" << tkdc->threshold_lower() << ", "
-        << tkdc->threshold_upper() << "]\n"
-        << "  optimizations:   " << config.OptimizationSummary() << "\n"
-        << "  cached Dx:       "
-        << (tkdc->training_densities().empty() ? "no" : "yes") << "\n";
-  }
+  out << loaded.value()->name() << " model: " << *parsed.Value("--model")
+      << "\n"
+      << api::Describe(*loaded.value());
   return 0;
 }
 

@@ -1,0 +1,101 @@
+#ifndef TKDC_COMMON_STATUS_H_
+#define TKDC_COMMON_STATUS_H_
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace tkdc {
+
+/// Recoverable-error type for operations fed by *user-supplied* input —
+/// request payloads, CLI flags, config files, model files, CSV data. The
+/// repo-wide error policy (DESIGN.md § "Error handling"):
+///
+///   - TKDC_CHECK / TKDC_DCHECK stay for *internal invariants* and API
+///     misuse by library code: a failure is a programmer error and aborts.
+///   - Anything a user (or a network peer) can get wrong returns a Status
+///     or Result<T> instead, so a malformed request can never take down a
+///     long-lived process (tkdc_serve's daemon contract depends on this).
+///
+/// A default-constructed Status is OK; errors carry a human-readable
+/// message that callers propagate or render to the client verbatim.
+class Status {
+ public:
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) {
+    Status status;
+    status.ok_ = false;
+    status.message_ = std::move(message);
+    return status;
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+/// Builds an error Status from stream-formatted parts:
+///   return Errorf() << "unknown kernel: " << name;
+/// (implicitly converts to Status and to any Result<T>).
+class Errorf {
+ public:
+  template <typename T>
+  Errorf& operator<<(const T& part) {
+    stream_ << part;
+    return *this;
+  }
+
+  operator Status() const { return Status::Error(stream_.str()); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Value-or-error return ("expected"-style, minimal): holds either a T or
+/// an error Status. Construction is implicit from both sides so functions
+/// can `return value;` and `return Errorf() << "...";` symmetrically.
+/// Accessing value() on an error is a programmer error (CHECK).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    TKDC_CHECK_MSG(!status_.ok(), "Result built from OK status without value");
+  }
+  Result(const Errorf& error) : Result(static_cast<Status>(error)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  const std::string& message() const { return status_.message(); }
+
+  const T& value() const {
+    TKDC_CHECK_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+  T& value() {
+    TKDC_CHECK_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+
+  /// Moves the value out (for move-only payloads like unique_ptr).
+  T take() {
+    TKDC_CHECK_MSG(ok(), status_.message().c_str());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace tkdc
+
+#endif  // TKDC_COMMON_STATUS_H_

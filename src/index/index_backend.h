@@ -2,6 +2,7 @@
 #define TKDC_INDEX_INDEX_BACKEND_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <string>
@@ -40,17 +41,30 @@ inline std::optional<IndexBackend> IndexBackendFromName(
   return std::nullopt;
 }
 
+/// Resolves a TKDC_INDEX environment value: null (unset) means kdtree; a
+/// recognized name selects that backend; anything else is a hard error
+/// listing the allowed values — a typo'd TKDC_INDEX used to fall back to
+/// kdtree silently, which made the CI ball-tree lane (and any user forcing
+/// a backend) trivially easy to misconfigure without noticing.
+inline IndexBackend IndexBackendFromEnvValue(const char* value) {
+  if (value == nullptr) return IndexBackend::kKdTree;
+  const auto parsed = IndexBackendFromName(value);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr,
+                 "unknown TKDC_INDEX value \"%s\" (allowed: kdtree balltree)\n",
+                 value);
+    std::abort();
+  }
+  return *parsed;
+}
+
 /// The process-wide default backend: kdtree, unless the TKDC_INDEX
 /// environment variable names another (the CI ball-tree lane forces
-/// "balltree" this way). Read once and cached.
+/// "balltree" this way). Read once and cached; an unrecognized value
+/// aborts with the allowed names (see IndexBackendFromEnvValue).
 inline IndexBackend DefaultIndexBackend() {
-  static const IndexBackend backend = [] {
-    const char* env = std::getenv("TKDC_INDEX");
-    if (env != nullptr) {
-      if (auto parsed = IndexBackendFromName(env)) return *parsed;
-    }
-    return IndexBackend::kKdTree;
-  }();
+  static const IndexBackend backend =
+      IndexBackendFromEnvValue(std::getenv("TKDC_INDEX"));
   return backend;
 }
 

@@ -1,7 +1,5 @@
 #include "kde/batch_executor.h"
 
-#include <vector>
-
 namespace tkdc {
 
 void BatchExecutor::SetNumThreads(size_t num_threads) {
@@ -9,7 +7,8 @@ void BatchExecutor::SetNumThreads(size_t num_threads) {
       num_threads == 0 ? HardwareConcurrency() : num_threads;
   if (resolved == num_threads_ && (resolved == 1 || pool_ != nullptr)) return;
   num_threads_ = resolved;
-  pool_.reset();  // Rebuilt lazily on the next parallel Map.
+  pool_.reset();      // Rebuilt lazily on the next parallel Map.
+  contexts_.clear();  // Slot count changed; cached contexts are stale.
 }
 
 void BatchExecutor::Map(size_t total, size_t min_chunk,
@@ -23,19 +22,20 @@ void BatchExecutor::Map(size_t total, size_t min_chunk,
   }
   if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(num_threads_);
 
-  std::vector<std::unique_ptr<QueryContext>> contexts;
-  contexts.reserve(num_threads_);
-  for (size_t slot = 0; slot < num_threads_; ++slot) {
-    contexts.push_back(make_context());
-  }
+  // Recycle cached per-slot contexts (warm scratch); build any missing
+  // ones. Counters must be zeroed before reuse — they were already merged
+  // into the sink at the end of the previous Map.
+  while (contexts_.size() < num_threads_) contexts_.push_back(make_context());
+  for (auto& ctx : contexts_) ctx->ResetCounters();
+
   pool_->ParallelFor(total, min_chunk,
                      [&](size_t slot, size_t begin, size_t end) {
-                       QueryContext& ctx = *contexts[slot];
+                       QueryContext& ctx = *contexts_[slot];
                        for (size_t row = begin; row < end; ++row) {
                          body(ctx, row);
                        }
                      });
-  for (const auto& ctx : contexts) sink.MergeCounters(*ctx);
+  for (const auto& ctx : contexts_) sink.MergeCounters(*ctx);
 }
 
 }  // namespace tkdc

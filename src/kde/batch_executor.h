@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "common/parallel.h"
 #include "kde/query_context.h"
@@ -27,6 +28,14 @@ namespace tkdc {
 /// slot gets its own context from `make_context` and the sink only receives
 /// the merged counters after the join, so the sink's scratch is never
 /// touched concurrently.
+///
+/// Worker contexts are cached across Map() calls: a serving workload issues
+/// thousands of small batches per second, and rebuilding every slot's
+/// scratch (traversal heaps, neighbor lists, metrics shards) per batch
+/// dominates the dispatch cost. Cached contexts have their counters reset
+/// before reuse, so merged totals stay bit-identical to fresh-context runs.
+/// The owner must call InvalidateContexts() whenever the factory's output
+/// would change — model retrain/restore or metrics (de)attachment.
 class BatchExecutor {
  public:
   using ContextFactory = std::function<std::unique_ptr<QueryContext>()>;
@@ -53,9 +62,18 @@ class BatchExecutor {
   void Map(size_t total, size_t min_chunk, const ContextFactory& make_context,
            const RowBody& body, QueryContext& sink);
 
+  /// Drops the cached worker contexts; the next Map() rebuilds them from
+  /// its factory. Call when the trained model or metrics attachment behind
+  /// the factory changes — a stale context would carry scratch sized to the
+  /// old model and a shard of the old registry.
+  void InvalidateContexts() { contexts_.clear(); }
+
  private:
   size_t num_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;  // Built lazily; null when serial.
+  /// Per-slot worker contexts, reused across Map() calls (counters reset
+  /// on reuse). Cleared on resize and by InvalidateContexts().
+  std::vector<std::unique_ptr<QueryContext>> contexts_;
 };
 
 }  // namespace tkdc

@@ -18,6 +18,9 @@ void DensityClassifier::AttachMetrics(MetricsRegistry* registry) {
   // Re-shard (or detach) the live context in place so counters accumulated
   // so far survive; only the observability shard changes hands.
   if (live_context_ != nullptr) AttachShard(*live_context_);
+  // Cached batch-worker contexts hold shards of the previous registry (or
+  // none); rebuild them on the next batch so they record into this one.
+  executor_.InvalidateContexts();
 }
 
 void DensityClassifier::FlushMetrics() {

@@ -207,9 +207,14 @@ class DensityClassifier {
   /// merged batch counters. Built lazily via MakeQueryContext().
   QueryContext& live_context();
 
-  /// Drops the live context (query counters restart at zero). Train() and
-  /// restore paths call this after swapping in a new model.
-  void ResetQueryState() { live_context_.reset(); }
+  /// Drops the live context (query counters restart at zero) and the
+  /// executor's cached worker contexts (their scratch is sized to the old
+  /// model). Train() and restore paths call this after swapping in a new
+  /// model.
+  void ResetQueryState() {
+    live_context_.reset();
+    executor_.InvalidateContexts();
+  }
 
   /// The shared batch executor, for subclasses that parallelize parts of
   /// training (e.g. tKDC's Phase 3 density pass) through the same

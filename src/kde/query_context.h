@@ -59,6 +59,16 @@ class QueryContext {
     }
   }
 
+  /// Zeroes every counter (and the shard, if attached) while keeping the
+  /// scratch buffers warm. The batch executor calls this when recycling a
+  /// cached worker context, so counters merged after the previous batch are
+  /// never folded into the sink twice.
+  void ResetCounters() {
+    stats = TraversalStats{};
+    grid_prunes = 0;
+    if (metrics != nullptr) metrics->Reset();
+  }
+
   /// Hands this context its own metrics shard (or detaches with nullptr).
   /// DensityClassifier::AttachMetrics drives this; a context without a
   /// shard records nothing beyond the plain TraversalStats sums.

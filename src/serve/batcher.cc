@@ -1,0 +1,250 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/macros.h"
+#include "data/dataset.h"
+
+namespace tkdc::serve {
+namespace {
+
+std::string FormatDensity(double density) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", density);
+  return buffer;
+}
+
+}  // namespace
+
+MicroBatcher::MicroBatcher(const BatcherOptions& options,
+                           std::shared_ptr<ServingModel> model,
+                           MetricsRegistry* registry)
+    : options_(options), registry_(registry), model_(std::move(model)) {
+  TKDC_CHECK_MSG(options_.max_batch >= 1, "max_batch must be >= 1");
+  TKDC_CHECK_MSG(options_.queue_depth >= 1, "queue_depth must be >= 1");
+  TKDC_CHECK(model_ != nullptr && model_->classifier != nullptr);
+  if (registry_ != nullptr) {
+    admitted_id_ = registry_->AddCounter(metric_names::kAdmitted);
+    shed_id_ = registry_->AddCounter(metric_names::kShed);
+    timed_out_id_ = registry_->AddCounter(metric_names::kTimedOut);
+    completed_id_ = registry_->AddCounter(metric_names::kCompleted);
+    batches_id_ = registry_->AddCounter(metric_names::kBatches);
+    reloads_id_ = registry_->AddCounter(metric_names::kReloads);
+    batch_size_id_ = registry_->AddHistogram(
+        metric_names::kBatchSize, MetricsRegistry::PowerOfTwoBounds(12));
+    queue_wait_us_id_ = registry_->AddHistogram(
+        metric_names::kQueueWaitUs, MetricsRegistry::DecadeBounds(0, 7));
+    shard_ = registry_->NewShard();
+  }
+}
+
+MicroBatcher::~MicroBatcher() { Stop(); }
+
+void MicroBatcher::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TKDC_CHECK_MSG(!started_, "MicroBatcher started twice");
+  started_ = true;
+  dispatcher_ = std::thread([this] { Loop(); });
+}
+
+void MicroBatcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      // Already stopping; fall through to join below (idempotent callers).
+    }
+    stopping_ = true;
+  }
+  wake_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  AbsorbShardLocked();
+}
+
+bool MicroBatcher::Submit(Request request, Completion done) {
+  const Clock::time_point now = Clock::now();
+  const int64_t timeout_ms = request.timeout_ms >= 0
+                                 ? request.timeout_ms
+                                 : options_.default_timeout_ms;
+  Pending pending;
+  pending.request = std::move(request);
+  pending.enqueued_at = now;
+  pending.deadline = timeout_ms > 0
+                         ? now + std::chrono::milliseconds(timeout_ms)
+                         : Clock::time_point::max();
+  pending.done = std::move(done);
+
+  Response rejection;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      rejection = Response::Error(pending.request.id, "server draining");
+    } else if (queue_.size() >= options_.queue_depth) {
+      if (shard_ != nullptr) shard_->Inc(shed_id_);
+      ++totals_.shed;
+      rejection = Response::Overloaded(pending.request.id);
+    } else {
+      if (shard_ != nullptr) shard_->Inc(admitted_id_);
+      ++totals_.admitted;
+      queue_.push_back(std::move(pending));
+      // Wake the dispatcher on first arrival; also cut the batch window
+      // short the moment a full batch is available.
+      wake_cv_.notify_all();
+      return true;
+    }
+  }
+  pending.done(rejection);
+  return false;
+}
+
+void MicroBatcher::SwapModel(std::shared_ptr<ServingModel> model) {
+  TKDC_CHECK(model != nullptr && model->classifier != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  model_ = std::move(model);
+  if (shard_ != nullptr) shard_->Inc(reloads_id_);
+}
+
+std::shared_ptr<ServingModel> MicroBatcher::model() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return model_;
+}
+
+MicroBatcher::Snapshot MicroBatcher::snapshot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AbsorbShardLocked();
+  return totals_;
+}
+
+void MicroBatcher::AbsorbShardLocked() {
+  if (shard_ == nullptr || registry_ == nullptr) return;
+  registry_->Absorb(*shard_);
+  shard_->Reset();
+}
+
+void MicroBatcher::Loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    wake_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;  // Drained.
+      continue;
+    }
+    // Hold the batch open for the window unless it fills first. During a
+    // drain (stopping_) the window is skipped: latency no longer matters,
+    // getting every queued response out does.
+    if (options_.batch_window_us > 0 && !stopping_ &&
+        queue_.size() < options_.max_batch) {
+      const auto window_end =
+          Clock::now() + std::chrono::microseconds(options_.batch_window_us);
+      wake_cv_.wait_until(lock, window_end, [this] {
+        return stopping_ || queue_.size() >= options_.max_batch;
+      });
+    }
+    std::vector<Pending> batch;
+    batch.reserve(std::min(queue_.size(), options_.max_batch));
+    while (!queue_.empty() && batch.size() < options_.max_batch) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    const std::shared_ptr<ServingModel> model = model_;  // RCU snapshot.
+    lock.unlock();
+    ExecuteBatch(batch, *model);
+    lock.lock();
+    AbsorbShardLocked();
+  }
+}
+
+void MicroBatcher::ExecuteBatch(std::vector<Pending>& batch,
+                                ServingModel& model) {
+  DensityClassifier& classifier = *model.classifier;
+  const size_t dims = classifier.dims();
+  const Clock::time_point drained_at = Clock::now();
+
+  // Partition: expire deadlines and reject dimension mismatches first so
+  // the batch datasets hold only executable rows.
+  std::vector<Pending*> classify, classify_training, estimate;
+  for (Pending& pending : batch) {
+    if (drained_at > pending.deadline) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (shard_ != nullptr) shard_->Inc(timed_out_id_);
+        ++totals_.timed_out;
+      }
+      pending.done(Response::Timeout(pending.request.id));
+      continue;
+    }
+    if (pending.request.point.size() != dims) {
+      Errorf error;
+      error << "point has " << pending.request.point.size()
+            << " dims, model has " << dims;
+      pending.done(Response::Error(pending.request.id,
+                                   static_cast<Status>(error).message()));
+      continue;
+    }
+    switch (pending.request.verb) {
+      case RequestVerb::kClassify:
+        classify.push_back(&pending);
+        break;
+      case RequestVerb::kClassifyTraining:
+        classify_training.push_back(&pending);
+        break;
+      case RequestVerb::kEstimateDensity:
+        estimate.push_back(&pending);
+        break;
+      default:
+        // Control verbs are handled at the session layer and never
+        // enqueued; seeing one here is a programmer error.
+        pending.done(
+            Response::Error(pending.request.id, "verb not batchable"));
+        break;
+    }
+  }
+
+  size_t executed = 0;
+  const auto run_classify_group = [&](std::vector<Pending*>& group,
+                                      bool training) {
+    if (group.empty()) return;
+    Dataset queries(dims);
+    queries.Reserve(group.size());
+    for (const Pending* pending : group) {
+      queries.AppendRow(pending->request.point);
+    }
+    const std::vector<Classification> labels =
+        training ? classifier.ClassifyTrainingBatch(queries)
+                 : classifier.ClassifyBatch(queries);
+    for (size_t i = 0; i < group.size(); ++i) {
+      group[i]->done(Response::Ok(
+          group[i]->request.id,
+          labels[i] == Classification::kHigh ? "HIGH" : "LOW"));
+    }
+    executed += group.size();
+  };
+  run_classify_group(classify, /*training=*/false);
+  run_classify_group(classify_training, /*training=*/true);
+  for (Pending* pending : estimate) {
+    const double density = classifier.EstimateDensity(pending->request.point);
+    pending->done(
+        Response::Ok(pending->request.id, FormatDensity(density)));
+    ++executed;
+  }
+  classifier.FlushMetrics();  // Query-path shard → registry (no-op if
+                              // detached).
+
+  if (executed == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  totals_.completed += executed;
+  ++totals_.batches;
+  if (shard_ == nullptr) return;
+  shard_->Inc(completed_id_, executed);
+  shard_->Inc(batches_id_);
+  shard_->Observe(batch_size_id_, static_cast<double>(executed));
+  for (const Pending& pending : batch) {
+    const auto wait = std::chrono::duration_cast<std::chrono::microseconds>(
+        drained_at - pending.enqueued_at);
+    shard_->Observe(queue_wait_us_id_, static_cast<double>(wait.count()));
+  }
+}
+
+}  // namespace tkdc::serve

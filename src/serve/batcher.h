@@ -1,0 +1,165 @@
+#ifndef TKDC_SERVE_BATCHER_H_
+#define TKDC_SERVE_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "kde/density_classifier.h"
+#include "serve/protocol.h"
+
+namespace tkdc::serve {
+
+/// One published model generation: the trained classifier plus where it
+/// came from. Reload builds a fresh ServingModel and swaps the shared_ptr
+/// (RCU-style): batches in flight keep their generation alive through
+/// their own reference; the old model is destroyed when its last batch
+/// finishes. The classifier inside is driven only by the dispatcher
+/// thread (its facade is externally single-threaded); parallelism lives
+/// inside ClassifyBatch via the shared BatchExecutor thread pool.
+struct ServingModel {
+  std::unique_ptr<DensityClassifier> classifier;
+  std::string source_path;
+};
+
+struct BatcherOptions {
+  /// Most requests coalesced into one ClassifyBatch call.
+  size_t max_batch = 64;
+  /// How long the dispatcher holds an open batch waiting for more arrivals
+  /// once at least one request is queued. 0 = dispatch immediately.
+  uint64_t batch_window_us = 200;
+  /// Admission bound: requests beyond this many queued are shed with
+  /// OVERLOADED instead of growing latency without bound.
+  size_t queue_depth = 1024;
+  /// Default per-request deadline in ms (0 = none); requests may override.
+  int64_t default_timeout_ms = 0;
+};
+
+/// Metric names the batcher registers (exported via STATS/--metrics-out).
+namespace metric_names {
+inline constexpr char kAdmitted[] = "serve.requests_admitted";
+inline constexpr char kShed[] = "serve.requests_shed";
+inline constexpr char kTimedOut[] = "serve.requests_timed_out";
+inline constexpr char kCompleted[] = "serve.requests_completed";
+inline constexpr char kBatches[] = "serve.batches";
+inline constexpr char kReloads[] = "serve.model_reloads";
+inline constexpr char kBatchSize[] = "serve.batch_size";
+inline constexpr char kQueueWaitUs[] = "serve.queue_wait_us";
+}  // namespace metric_names
+
+/// Dynamic micro-batcher: coalesces concurrently arriving classify /
+/// estimate requests into batch calls against the current model.
+///
+/// Life of a request: Submit() (any thread) either enqueues it — bounded
+/// queue, excess shed with OVERLOADED — or rejects it; the dispatcher
+/// thread wakes on the first arrival, holds the batch open for up to
+/// `batch_window_us` (cut short when `max_batch` fills), drains up to
+/// `max_batch` entries, expires requests whose deadline passed (TIMEOUT),
+/// groups the rest by verb, and answers them through one
+/// ClassifyBatch / ClassifyTrainingBatch call (plus a serial
+/// EstimateDensity loop) on a model snapshot taken at drain time. Every
+/// admitted request gets exactly one completion callback, on the
+/// dispatcher thread; labels are bit-identical to serial Classify because
+/// the batch engine is deterministic at any thread count.
+///
+/// Stop() drains: no new admissions, every queued request still executes,
+/// then the dispatcher joins — the graceful-SIGTERM contract.
+class MicroBatcher {
+ public:
+  using Completion = std::function<void(const Response&)>;
+
+  /// `registry` (borrowed, must outlive the batcher) receives the serve
+  /// counters/histograms; the full serve schema is registered before any
+  /// shard is created, so callers must finish registering *their* metrics
+  /// (e.g. AttachMetrics on the classifier) before constructing the
+  /// batcher.
+  MicroBatcher(const BatcherOptions& options,
+               std::shared_ptr<ServingModel> model, MetricsRegistry* registry);
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Starts the dispatcher thread. Call once.
+  void Start();
+
+  /// Stops admissions, drains every queued request, joins the dispatcher.
+  /// Idempotent.
+  void Stop();
+
+  /// Submits a classify/estimate request. On rejection (queue full:
+  /// OVERLOADED; stopped: ERR) the completion is invoked inline and false
+  /// is returned. Admitted requests complete exactly once, from the
+  /// dispatcher thread. Thread-safe.
+  bool Submit(Request request, Completion done);
+
+  /// Publishes a new model generation (RCU-style). In-flight batches keep
+  /// the old generation alive; queued requests not yet drained execute
+  /// against the new one. Thread-safe.
+  void SwapModel(std::shared_ptr<ServingModel> model);
+
+  /// Current model generation (for control-plane peeks, e.g. RELOAD
+  /// resolving the default path).
+  std::shared_ptr<ServingModel> model() const;
+
+  /// Exact point-in-time totals (under the queue lock); also folds the
+  /// pending metric shard into the registry so a subsequent
+  /// registry read (the STATS response) is up to date.
+  struct Snapshot {
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+    uint64_t timed_out = 0;
+    uint64_t completed = 0;
+    uint64_t batches = 0;
+  };
+  Snapshot snapshot();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    Request request;
+    Clock::time_point enqueued_at;
+    Clock::time_point deadline;  // time_point::max() = none.
+    Completion done;
+  };
+
+  void Loop();
+  void ExecuteBatch(std::vector<Pending>& batch, ServingModel& model);
+  /// Folds the shard into the registry and zeroes it. Caller holds mutex_.
+  void AbsorbShardLocked();
+
+  const BatcherOptions options_;
+  MetricsRegistry* const registry_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  std::deque<Pending> queue_;
+  std::shared_ptr<ServingModel> model_;
+  bool stopping_ = false;
+  bool started_ = false;
+  Snapshot totals_;
+  /// Serve-schema shard; mutated under mutex_ (Submit sheds/admits from
+  /// many threads, the dispatcher books batch stats), absorbed into the
+  /// registry after each batch and on snapshot()/Stop().
+  std::unique_ptr<MetricsShard> shard_;
+
+  // Metric ids into shard_.
+  size_t admitted_id_ = 0, shed_id_ = 0, timed_out_id_ = 0, completed_id_ = 0,
+         batches_id_ = 0, reloads_id_ = 0;
+  size_t batch_size_id_ = 0, queue_wait_us_id_ = 0;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace tkdc::serve
+
+#endif  // TKDC_SERVE_BATCHER_H_

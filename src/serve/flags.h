@@ -1,0 +1,33 @@
+#ifndef TKDC_SERVE_FLAGS_H_
+#define TKDC_SERVE_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/server.h"
+
+namespace tkdc::serve {
+
+/// Parsed `tkdc_serve` command line.
+struct ServeFlags {
+  ServerOptions options;
+  /// TCP listen port (0 = ephemeral, announced on stdout). Ignored when
+  /// `pipe` is set.
+  uint16_t port = 0;
+  /// Serve stdin/stdout with line framing instead of TCP.
+  bool pipe = false;
+};
+
+/// Usage text for `tkdc_serve` (printed on parse errors and --help).
+const char* ServeUsage();
+
+/// Parses `args` (excluding the program name). Flags are user input, so
+/// every malformed value — unknown flag, bad number, out-of-range knob —
+/// returns an error Status naming the offender instead of aborting.
+Result<ServeFlags> ParseServeFlags(const std::vector<std::string>& args);
+
+}  // namespace tkdc::serve
+
+#endif  // TKDC_SERVE_FLAGS_H_

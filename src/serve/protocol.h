@@ -1,0 +1,163 @@
+#ifndef TKDC_SERVE_PROTOCOL_H_
+#define TKDC_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tkdc::serve {
+
+/// Wire protocol of `tkdc_serve`.
+///
+/// A connection carries a stream of *frames*, each holding one request or
+/// one response payload. Two framings exist:
+///   - kLengthPrefixed (TCP): 4-byte big-endian payload length, then the
+///     payload bytes. Lengths above kMaxFrameBytes are a protocol error
+///     (the peer is garbage or hostile; the connection is dropped rather
+///     than buffering unbounded input).
+///   - kLine (pipe mode, stdin/stdout): newline-terminated text payloads,
+///     so a shell can drive the server with printf. Response bodies have
+///     embedded newlines flattened to spaces to keep one-frame-per-line.
+///
+/// Request payload grammar (text in both framings):
+///   <id> CLASSIFY <v1,v2,...> [timeout_ms]
+///   <id> CLASSIFY_TRAINING <v1,v2,...> [timeout_ms]
+///   <id> ESTIMATE <v1,v2,...> [timeout_ms]
+///   <id> STATS
+///   <id> RELOAD [path]
+///   <id> PING
+/// `id` is a client-chosen uint64 echoed in the response, so responses may
+/// be matched out of order (the micro-batcher completes requests by batch,
+/// not arrival order). `timeout_ms` overrides the server's default
+/// per-request deadline (0 = no deadline).
+///
+/// Response payload grammar:
+///   <id> OK <body>         body: HIGH | LOW | <density> | PONG |
+///                                RELOADED | <stats json>
+///   <id> ERR <message>     malformed/unsatisfiable request (never aborts)
+///   <id> OVERLOADED        admission queue full; retry later
+///   <id> TIMEOUT           deadline expired before execution
+/// Unparseable requests are answered with the leading id token when it
+/// parses (e.g. a known id with an unknown verb) and id 0 otherwise.
+enum class RequestVerb {
+  kClassify,
+  kClassifyTraining,
+  kEstimateDensity,
+  kStats,
+  kReload,
+  kPing,
+};
+
+struct Request {
+  uint64_t id = 0;
+  RequestVerb verb = RequestVerb::kPing;
+  /// Query point; classify/estimate verbs only.
+  std::vector<double> point;
+  /// Model path override; RELOAD only (empty = reload the serving path).
+  std::string path;
+  /// Per-request deadline override in ms; -1 = server default, 0 = none.
+  int64_t timeout_ms = -1;
+};
+
+enum class ResponseCode { kOk, kError, kOverloaded, kTimeout };
+
+/// Wire token of a response code ("OK", "ERR", "OVERLOADED", "TIMEOUT").
+const char* ResponseCodeName(ResponseCode code);
+
+struct Response {
+  uint64_t id = 0;
+  ResponseCode code = ResponseCode::kOk;
+  /// Body after the code token; empty for OVERLOADED / TIMEOUT.
+  std::string body;
+
+  static Response Ok(uint64_t id, std::string body);
+  static Response Error(uint64_t id, std::string message);
+  static Response Overloaded(uint64_t id);
+  static Response Timeout(uint64_t id);
+};
+
+/// Parses one request payload. Errors never abort: a malformed frame
+/// yields a Status whose message goes back to the client as an ERR
+/// response. Rejects non-finite coordinates (they would poison density
+/// sums server-side).
+Result<Request> ParseRequest(std::string_view payload);
+
+/// Best-effort request id for ERR responses to payloads ParseRequest
+/// rejected: the leading token when it is a valid id, else 0. Lets a
+/// client match "unknown verb"-style errors to the request that caused
+/// them instead of receiving an unattributable id-0 error.
+uint64_t BestEffortRequestId(std::string_view payload);
+
+/// Renders a response payload (without framing).
+std::string RenderResponse(const Response& response);
+
+enum class Framing { kLengthPrefixed, kLine };
+
+/// Frames a payload per `framing` (adds the length prefix or the trailing
+/// newline; flattens interior newlines in line mode).
+std::string EncodeFrame(std::string_view payload, Framing framing);
+
+/// Hard cap on a single frame payload (1 MiB). A length prefix above this
+/// is treated as a protocol error, bounding per-connection memory.
+inline constexpr size_t kMaxFrameBytes = 1u << 20;
+
+/// Buffered frame reader over a file descriptor. Blocking reads are split
+/// into short poll() waits so the caller's `stop` predicate (shutdown or
+/// reload flags) is observed within ~50 ms even when the peer is idle.
+/// Owned and used by exactly one thread.
+class FrameReader {
+ public:
+  FrameReader(int fd, Framing framing) : fd_(fd), framing_(framing) {}
+
+  /// Next payload. Outcomes:
+  ///   - a payload string: one complete frame;
+  ///   - nullopt: clean end of stream (EOF with no partial frame) or
+  ///     `stop` returned true;
+  ///   - error Status: malformed frame (oversized length, EOF mid-frame)
+  ///     or a read error. The connection should be dropped.
+  Result<std::optional<std::string>> Next(const std::function<bool()>& stop);
+
+ private:
+  /// Waits (poll) then reads once into `buffer_`. Returns false on EOF.
+  Result<bool> FillSome(const std::function<bool()>& stop, bool* stopped);
+
+  int fd_;
+  Framing framing_;
+  std::string buffer_;
+};
+
+/// Mutex-guarded frame writer shared between a connection's reader thread
+/// (parse errors, control responses) and the micro-batcher's dispatcher
+/// (batch completions). A failed write marks the writer broken and later
+/// writes become no-ops — a vanished client must not take down the
+/// daemon. Closes `fd` on destruction when `owns_fd`.
+class FrameWriter {
+ public:
+  FrameWriter(int fd, Framing framing, bool owns_fd);
+  ~FrameWriter();
+
+  FrameWriter(const FrameWriter&) = delete;
+  FrameWriter& operator=(const FrameWriter&) = delete;
+
+  /// Serializes, frames, and writes `response`. Thread-safe.
+  void Write(const Response& response);
+
+  bool broken() const;
+
+ private:
+  mutable std::mutex mutex_;
+  int fd_;
+  Framing framing_;
+  bool owns_fd_;
+  bool broken_ = false;
+};
+
+}  // namespace tkdc::serve
+
+#endif  // TKDC_SERVE_PROTOCOL_H_

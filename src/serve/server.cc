@@ -1,0 +1,226 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "tkdc_api.h"
+
+namespace tkdc::serve {
+namespace {
+
+/// Poll interval of the accept loop; bounds shutdown/reload latency.
+constexpr int kAcceptPollMs = 50;
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {}
+
+Server::~Server() { Shutdown(); }
+
+Result<std::unique_ptr<Server>> Server::Create(ServerOptions options) {
+  // A client that disconnects mid-response must not kill the daemon with
+  // SIGPIPE; failed writes are handled per-connection (FrameWriter).
+  std::signal(SIGPIPE, SIG_IGN);
+  std::unique_ptr<Server> server(new Server(std::move(options)));
+  auto model = server->LoadServingModel(server->options_.model_path);
+  if (!model.ok()) return model.status();
+  // Order matters: the model attachment above registered the query-path
+  // metric schema; the batcher registers the serve schema and then sizes
+  // its shard, so every registration must precede it.
+  server->batcher_ = std::make_unique<MicroBatcher>(
+      server->options_.batcher, model.take(), &server->registry_);
+  server->batcher_->Start();
+  return server;
+}
+
+Result<std::shared_ptr<ServingModel>> Server::LoadServingModel(
+    const std::string& path) {
+  auto loaded = api::LoadModel(path);
+  if (!loaded.ok()) return loaded.status();
+  auto model = std::make_shared<ServingModel>();
+  model->classifier = loaded.take();
+  model->source_path = path;
+  model->classifier->SetNumThreads(options_.num_threads);
+  model->classifier->AttachMetrics(&registry_);
+  return model;
+}
+
+Status Server::Reload(const std::string& path) {
+  // Serialized: concurrent RELOAD requests (or RELOAD racing SIGHUP) load
+  // one at a time; each publishes atomically via SwapModel.
+  std::lock_guard<std::mutex> lock(reload_mutex_);
+  const std::string& effective = path.empty() ? options_.model_path : path;
+  auto model = LoadServingModel(effective);
+  if (!model.ok()) return model.status();
+  batcher_->SwapModel(model.take());
+  return Status::Ok();
+}
+
+void Server::PollReloadFlag() {
+  if (options_.reload == nullptr ||
+      !options_.reload->exchange(false, std::memory_order_relaxed)) {
+    return;
+  }
+  const Status status = Reload("");
+  if (!status.ok()) {
+    // Keep serving the old model; the operator asked for a swap that
+    // failed, which must not take the daemon down.
+    std::fprintf(stderr, "reload failed: %s\n", status.message().c_str());
+  }
+}
+
+void Server::Dispatch(Request request,
+                      const std::shared_ptr<FrameWriter>& writer) {
+  switch (request.verb) {
+    case RequestVerb::kPing:
+      writer->Write(Response::Ok(request.id, "PONG"));
+      return;
+    case RequestVerb::kStats: {
+      // snapshot() folds pending serve counters into the registry first,
+      // so the JSON is current as of this request.
+      batcher_->snapshot();
+      std::ostringstream json;
+      registry_.WriteJson(json);
+      writer->Write(Response::Ok(request.id, json.str()));
+      return;
+    }
+    case RequestVerb::kReload: {
+      const Status status = Reload(request.path);
+      writer->Write(status.ok()
+                        ? Response::Ok(request.id, "RELOADED")
+                        : Response::Error(request.id, status.message()));
+      return;
+    }
+    case RequestVerb::kClassify:
+    case RequestVerb::kClassifyTraining:
+    case RequestVerb::kEstimateDensity:
+      // Data plane: through admission control and the micro-batcher. The
+      // completion (OK/ERR/OVERLOADED/TIMEOUT) is written exactly once —
+      // inline on rejection, from the dispatcher otherwise. The writer is
+      // captured shared so it outlives this connection's read loop if the
+      // response lands during the final drain.
+      batcher_->Submit(std::move(request), [writer](const Response& response) {
+        writer->Write(response);
+      });
+      return;
+  }
+}
+
+void Server::ServeConnection(int in_fd, int out_fd, Framing framing) {
+  FrameReader reader(in_fd, framing);
+  const auto writer = std::make_shared<FrameWriter>(
+      out_fd, framing, /*owns_fd=*/in_fd == out_fd);
+  const auto stop = [this] {
+    // Piggybacked on the read poll: reload flags are consumed within one
+    // poll interval even on an idle connection.
+    PollReloadFlag();
+    return ShouldStop();
+  };
+  while (true) {
+    auto frame = reader.Next(stop);
+    if (!frame.ok()) {
+      // Broken framing: tell the peer (best effort) and drop the
+      // connection; the daemon itself keeps serving.
+      writer->Write(Response::Error(0, frame.message()));
+      return;
+    }
+    if (!frame.value().has_value()) return;  // EOF or shutdown.
+    auto request = ParseRequest(*frame.value());
+    if (!request.ok()) {
+      writer->Write(Response::Error(BestEffortRequestId(*frame.value()),
+                                    request.message()));
+      continue;
+    }
+    Dispatch(request.take(), writer);
+  }
+}
+
+int Server::RunPipe(int in_fd, int out_fd) {
+  ServeConnection(in_fd, out_fd, Framing::kLine);
+  Shutdown();
+  return 0;
+}
+
+int Server::RunTcp(uint16_t port, std::ostream& announce) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::fprintf(stderr, "socket failed: %s\n", std::strerror(errno));
+    return 1;
+  }
+  const int enable = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener, 64) < 0) {
+    std::fprintf(stderr, "bind/listen failed: %s\n", std::strerror(errno));
+    ::close(listener);
+    return 1;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  announce << "listening on 127.0.0.1:" << ntohs(addr.sin_port) << "\n"
+           << std::flush;
+
+  std::vector<std::thread> sessions;
+  while (!ShouldStop()) {
+    PollReloadFlag();
+    struct pollfd pfd;
+    pfd.fd = listener;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, kAcceptPollMs);
+    if (ready < 0 && errno != EINTR) {
+      std::fprintf(stderr, "poll failed: %s\n", std::strerror(errno));
+      break;
+    }
+    if (ready <= 0) continue;
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) continue;
+    sessions.emplace_back([this, conn] {
+      // One socket for both directions; the FrameWriter owns and closes it.
+      ServeConnection(conn, conn, Framing::kLengthPrefixed);
+    });
+  }
+  ::close(listener);
+  // Sessions observe the same terminate flag within a poll interval; their
+  // admitted requests are answered by Shutdown()'s drain through the
+  // writers the completions hold alive.
+  for (std::thread& session : sessions) session.join();
+  Shutdown();
+  return 0;
+}
+
+void Server::Shutdown() {
+  if (shutdown_done_.exchange(true)) return;
+  if (batcher_ == nullptr) return;  // Create() failed before assembly.
+  batcher_->Stop();  // Drains: every admitted request answered.
+  // Final fold of the current model's query-path counters (the dispatcher
+  // flushed per batch; this catches work since the last batch).
+  batcher_->model()->classifier->FlushMetrics();
+  if (options_.metrics_out.empty()) return;
+  std::ofstream out(options_.metrics_out);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n",
+                 options_.metrics_out.c_str());
+    return;
+  }
+  registry_.WriteJson(out);
+  out << "\n";
+}
+
+}  // namespace tkdc::serve

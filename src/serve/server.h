@@ -1,0 +1,117 @@
+#ifndef TKDC_SERVE_SERVER_H_
+#define TKDC_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "serve/batcher.h"
+#include "serve/protocol.h"
+
+namespace tkdc::serve {
+
+struct ServerOptions {
+  /// Trained model file served at startup and by flagless RELOAD/SIGHUP.
+  std::string model_path;
+  /// Micro-batcher knobs (window, max batch, queue depth, default
+  /// timeout).
+  BatcherOptions batcher;
+  /// Worker threads inside the batch engine (0 = hardware concurrency,
+  /// 1 = serial). Labels are identical for every value.
+  size_t num_threads = 0;
+  /// When non-empty, the merged metrics registry is written there as JSON
+  /// at shutdown.
+  std::string metrics_out;
+  /// Externally owned shutdown flag (SIGTERM handler sets it; tests set it
+  /// directly). Null = only EOF / connection close stops the server.
+  const std::atomic<bool>* terminate = nullptr;
+  /// Externally owned reload flag (SIGHUP). Checked by connection loops;
+  /// when set, the serving model is reloaded from `model_path` and the
+  /// flag cleared. Null = reload only via RELOAD requests.
+  std::atomic<bool>* reload = nullptr;
+};
+
+/// The long-lived `tkdc_serve` daemon: owns the metrics registry, the
+/// serving model, and the micro-batcher; speaks the serve protocol over
+/// TCP connections (length-prefixed frames) or a pipe pair (line frames).
+///
+/// Request routing: classify/estimate verbs go through the admission
+/// queue and the micro-batcher; control verbs (PING, STATS, RELOAD) are
+/// answered inline on the connection thread so they stay responsive under
+/// data-plane overload.
+///
+/// Shutdown contract (SIGTERM or EOF): stop admitting, execute everything
+/// already admitted, write every response, then return 0 — a clean drain,
+/// never an abort. Reload contract (SIGHUP or RELOAD): the new model is
+/// published RCU-style; zero in-flight requests are dropped.
+class Server {
+ public:
+  /// Loads the model and assembles the serving stack. Errors (bad path,
+  /// malformed model) return Status instead of aborting.
+  static Result<std::unique_ptr<Server>> Create(ServerOptions options);
+
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Pipe mode: serves line-framed requests from `in_fd` / responses to
+  /// `out_fd` until EOF or terminate, then drains. Returns the process
+  /// exit code (0 on clean drain).
+  int RunPipe(int in_fd, int out_fd);
+
+  /// TCP mode: listens on 127.0.0.1:`port` (0 = ephemeral) and serves
+  /// length-prefixed frames, one thread per connection, until terminate.
+  /// Announces "listening on 127.0.0.1:<port>" on `announce` once bound.
+  /// Returns the process exit code.
+  int RunTcp(uint16_t port, std::ostream& announce);
+
+  /// Loads `path` (empty = the startup model path) and publishes it.
+  /// In-flight and queued requests all complete; serialized internally.
+  Status Reload(const std::string& path);
+
+  /// Drains the batcher and, when configured, writes --metrics-out.
+  /// Idempotent; the Run loops call it on exit.
+  void Shutdown();
+
+  MicroBatcher& batcher() { return *batcher_; }
+  MetricsRegistry& registry() { return registry_; }
+
+ private:
+  explicit Server(ServerOptions options);
+
+  /// Builds a ServingModel from `path`: load, thread-pool sizing, metrics
+  /// attachment.
+  Result<std::shared_ptr<ServingModel>> LoadServingModel(
+      const std::string& path);
+
+  /// Serves one connection until EOF/terminate; does not drain the
+  /// batcher (responses for still-queued requests are written later by
+  /// the dispatcher through the connection's shared writer).
+  void ServeConnection(int in_fd, int out_fd, Framing framing);
+
+  /// Answers one parsed request: control verbs inline, data verbs via the
+  /// batcher.
+  void Dispatch(Request request, const std::shared_ptr<FrameWriter>& writer);
+
+  bool ShouldStop() const {
+    return options_.terminate != nullptr &&
+           options_.terminate->load(std::memory_order_relaxed);
+  }
+  /// Consumes a pending SIGHUP-style reload flag, if any.
+  void PollReloadFlag();
+
+  ServerOptions options_;
+  MetricsRegistry registry_;
+  std::unique_ptr<MicroBatcher> batcher_;
+  std::mutex reload_mutex_;
+  std::atomic<bool> shutdown_done_{false};
+};
+
+}  // namespace tkdc::serve
+
+#endif  // TKDC_SERVE_SERVER_H_

@@ -19,7 +19,7 @@ constexpr int kMaxThresholdRetries = 5;
 
 TkdcClassifier::TkdcClassifier(TkdcConfig config)
     : config_(std::move(config)) {
-  config_.Validate();
+  config_.CheckValid();
   SetNumThreads(config_.num_threads);
 }
 

@@ -7,18 +7,28 @@
 
 namespace tkdc {
 
-void TkdcConfig::Validate() const {
-  TKDC_CHECK_MSG(p > 0.0 && p < 1.0, "p must be in (0, 1)");
-  TKDC_CHECK_MSG(epsilon > 0.0, "epsilon must be positive");
-  TKDC_CHECK_MSG(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
-  TKDC_CHECK_MSG(bandwidth_scale > 0.0, "bandwidth_scale must be positive");
-  TKDC_CHECK_MSG(leaf_size >= 1, "leaf_size must be >= 1");
-  TKDC_CHECK_MSG(r0 >= 2, "r0 must be >= 2");
-  TKDC_CHECK_MSG(s0 >= 2, "s0 must be >= 2");
-  TKDC_CHECK_MSG(h_backoff > 1.0, "h_backoff must be > 1");
-  TKDC_CHECK_MSG(h_buffer >= 1.0, "h_buffer must be >= 1");
-  TKDC_CHECK_MSG(h_growth > 1.0, "h_growth must be > 1");
-  TKDC_CHECK_MSG(num_threads <= 4096, "num_threads out of range");
+Status TkdcConfig::Validate() const {
+  if (!(p > 0.0 && p < 1.0)) return Status::Error("p must be in (0, 1)");
+  if (!(epsilon > 0.0)) return Status::Error("epsilon must be positive");
+  if (!(delta > 0.0 && delta < 1.0)) {
+    return Status::Error("delta must be in (0, 1)");
+  }
+  if (!(bandwidth_scale > 0.0)) {
+    return Status::Error("bandwidth_scale must be positive");
+  }
+  if (leaf_size < 1) return Status::Error("leaf_size must be >= 1");
+  if (r0 < 2) return Status::Error("r0 must be >= 2");
+  if (s0 < 2) return Status::Error("s0 must be >= 2");
+  if (!(h_backoff > 1.0)) return Status::Error("h_backoff must be > 1");
+  if (!(h_buffer >= 1.0)) return Status::Error("h_buffer must be >= 1");
+  if (!(h_growth > 1.0)) return Status::Error("h_growth must be > 1");
+  if (num_threads > 4096) return Status::Error("num_threads out of range");
+  return Status::Ok();
+}
+
+void TkdcConfig::CheckValid() const {
+  const Status status = Validate();
+  TKDC_CHECK_MSG(status.ok(), status.message().c_str());
 }
 
 IndexOptions TkdcConfig::MakeIndexOptions(std::vector<double> scale) const {

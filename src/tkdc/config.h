@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "index/index_backend.h"
 #include "index/spatial_index.h"
 #include "index/split_rule.h"
@@ -80,8 +81,17 @@ struct TkdcConfig {
   /// always serial.
   size_t num_threads = 0;
 
-  /// CHECK-fails with a message if any field is out of range.
-  void Validate() const;
+  /// Checks every field against its legal range. Returns OK or an error
+  /// naming the first out-of-range field. Configs come from user input
+  /// (CLI flags, env, serve requests), so validation is a recoverable
+  /// error, not an invariant — entry points (tkdc::api, tkdc_serve)
+  /// surface the message instead of aborting.
+  Status Validate() const;
+
+  /// CHECK-fails with Validate()'s message when the config is invalid.
+  /// For internal constructors whose callers have already validated (a
+  /// bad config reaching them is a programmer error).
+  void CheckValid() const;
 
   /// `num_threads` with 0 resolved to the hardware concurrency.
   size_t ResolvedNumThreads() const;

@@ -12,7 +12,7 @@ namespace tkdc {
 MultiThresholdClassifier::MultiThresholdClassifier(TkdcConfig config,
                                                    std::vector<double> levels)
     : config_(std::move(config)), levels_(std::move(levels)) {
-  config_.Validate();
+  config_.CheckValid();
   TKDC_CHECK_MSG(!levels_.empty(), "need at least one level");
   for (size_t i = 0; i < levels_.size(); ++i) {
     TKDC_CHECK_MSG(levels_[i] > 0.0 && levels_[i] < 1.0,

@@ -1,0 +1,126 @@
+#include "tkdc_api.h"
+
+#include <sstream>
+#include <utility>
+
+#include "baselines/binned_kde.h"
+#include "baselines/knn.h"
+#include "baselines/nocut.h"
+#include "baselines/rkde.h"
+#include "baselines/simple_kde.h"
+#include "index/index_backend.h"
+#include "tkdc/classifier.h"
+#include "tkdc/model_io.h"
+
+namespace tkdc::api {
+
+const std::vector<std::string>& KnownAlgorithms() {
+  static const std::vector<std::string> kNames = {"tkdc",  "nocut",  "simple",
+                                                  "rkde",  "binned", "knn"};
+  return kNames;
+}
+
+Result<std::unique_ptr<DensityClassifier>> NewClassifier(
+    const TrainOptions& options) {
+  const Status config_status = options.config.Validate();
+  if (!config_status.ok()) {
+    return Errorf() << "invalid config: " << config_status.message();
+  }
+  if (options.k < 1) return Errorf() << "k must be >= 1";
+  const TkdcConfig& config = options.config;
+  std::unique_ptr<DensityClassifier> classifier;
+  if (options.algorithm == "tkdc") {
+    classifier = std::make_unique<TkdcClassifier>(config);
+  } else if (options.algorithm == "nocut") {
+    classifier = std::make_unique<NocutClassifier>(config);
+  } else if (options.algorithm == "rkde") {
+    RkdeOptions rkde;
+    rkde.base = config;
+    classifier = std::make_unique<RkdeClassifier>(rkde);
+  } else if (options.algorithm == "simple") {
+    SimpleKdeOptions simple;
+    simple.p = config.p;
+    simple.bandwidth_scale = config.bandwidth_scale;
+    simple.kernel = config.kernel;
+    simple.bandwidth_rule = config.bandwidth_rule;
+    simple.seed = config.seed;
+    classifier = std::make_unique<SimpleKdeClassifier>(simple);
+  } else if (options.algorithm == "binned") {
+    BinnedKdeOptions binned;
+    binned.p = config.p;
+    binned.bandwidth_scale = config.bandwidth_scale;
+    binned.kernel = config.kernel;
+    binned.bandwidth_rule = config.bandwidth_rule;
+    binned.seed = config.seed;
+    classifier = std::make_unique<BinnedKdeClassifier>(binned);
+  } else if (options.algorithm == "knn") {
+    KnnOptions knn;
+    knn.p = config.p;
+    knn.k = options.k;
+    knn.leaf_size = config.leaf_size;
+    knn.index_backend = config.index_backend;
+    knn.seed = config.seed;
+    classifier = std::make_unique<KnnClassifier>(knn);
+  } else {
+    Errorf error;
+    error << "unknown algorithm: " << options.algorithm << " (available:";
+    for (const std::string& name : KnownAlgorithms()) error << " " << name;
+    error << ")";
+    return error;
+  }
+  classifier->SetNumThreads(config.num_threads);
+  return classifier;
+}
+
+Result<std::unique_ptr<DensityClassifier>> Train(const Dataset& data,
+                                                 const TrainOptions& options) {
+  auto classifier = NewClassifier(options);
+  if (!classifier.ok()) return classifier;
+  if (data.size() < 2) {
+    return Errorf() << "training needs at least 2 rows, got " << data.size();
+  }
+  classifier.value()->Train(data);
+  return classifier;
+}
+
+Result<std::unique_ptr<DensityClassifier>> LoadModel(const std::string& path) {
+  std::string error;
+  std::unique_ptr<DensityClassifier> classifier = LoadAnyModel(path, &error);
+  if (classifier == nullptr) return Status::Error(error);
+  return classifier;
+}
+
+Status SaveModel(const std::string& path, const DensityClassifier& classifier,
+                 const Dataset& training_data, bool include_densities) {
+  std::string error;
+  if (!tkdc::SaveModel(path, classifier, training_data, include_densities,
+                       &error)) {
+    return Status::Error(error);
+  }
+  return Status::Ok();
+}
+
+std::string Describe(const DensityClassifier& classifier) {
+  std::ostringstream out;
+  out << "  dimensions:      " << classifier.dims() << "\n"
+      << "  threshold t(p):  " << classifier.threshold() << "\n";
+  if (const auto backend = classifier.index_backend()) {
+    out << "  index backend:   " << IndexBackendName(*backend) << "\n";
+  }
+  if (const auto* tkdc_classifier =
+          dynamic_cast<const TkdcClassifier*>(&classifier)) {
+    const TkdcConfig& config = tkdc_classifier->config();
+    out << "  training points: " << tkdc_classifier->tree().size() << "\n"
+        << "  p:               " << config.p << "\n"
+        << "  epsilon:         " << config.epsilon << "\n"
+        << "  threshold bound: [" << tkdc_classifier->threshold_lower() << ", "
+        << tkdc_classifier->threshold_upper() << "]\n"
+        << "  optimizations:   " << config.OptimizationSummary() << "\n"
+        << "  cached Dx:       "
+        << (tkdc_classifier->training_densities().empty() ? "no" : "yes")
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace tkdc::api

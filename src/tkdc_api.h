@@ -1,0 +1,107 @@
+#ifndef TKDC_TKDC_API_H_
+#define TKDC_TKDC_API_H_
+
+/// The stable public surface of the tkdc library (`tkdc::api`).
+///
+/// Everything an embedding application needs — training, model
+/// persistence, classification, density estimation — is reachable through
+/// this one header; `tkdc_cli`, `tkdc_serve`, and the benches build on it
+/// instead of reaching into per-algorithm internals. Types that appear in
+/// the surface (Dataset, TkdcConfig, Classification, DensityClassifier,
+/// MetricsRegistry, Status/Result) are re-exported by inclusion; anything
+/// not reachable from here (query engines, spatial indexes, bound
+/// evaluators, model wire structs) is internal and may change freely
+/// between versions. See DESIGN.md § "Public API surface".
+///
+/// Error policy: every function taking user-supplied input (configs,
+/// file paths, datasets) returns Status / Result instead of aborting, so
+/// long-lived callers (the tkdc_serve daemon) can surface the message and
+/// keep running. The per-point call helpers mirror the DensityClassifier
+/// facade and keep its CHECK-on-misuse semantics (classifying before
+/// training is a programmer error, not user input).
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "kde/density_classifier.h"
+#include "tkdc/config.h"
+
+namespace tkdc::api {
+
+/// How to build a classifier: which algorithm from the paper's lineup, the
+/// shared tkdc-style knobs, and the knn-only neighbor count.
+struct TrainOptions {
+  /// One of KnownAlgorithms(): "tkdc" (default), "nocut", "simple",
+  /// "rkde", "binned", or "knn".
+  std::string algorithm = "tkdc";
+  /// Shared knobs (p, epsilon, bandwidth, kernel, index backend, threads,
+  /// seed, ...). Baselines map the subset they understand.
+  TkdcConfig config;
+  /// Neighbor count; knn only.
+  size_t k = 10;
+};
+
+/// The algorithm names NewClassifier/Train accept, in the paper's order.
+const std::vector<std::string>& KnownAlgorithms();
+
+/// Builds an untrained classifier per `options`. Errors (with the allowed
+/// values listed) on an unknown algorithm name or an invalid config.
+Result<std::unique_ptr<DensityClassifier>> NewClassifier(
+    const TrainOptions& options);
+
+/// Builds and trains a classifier on `data` (fixing the quantile
+/// threshold t(p)). Errors on bad options or an unusable dataset instead
+/// of aborting; the returned classifier is ready to Classify().
+Result<std::unique_ptr<DensityClassifier>> Train(const Dataset& data,
+                                                 const TrainOptions& options);
+
+/// Loads any model saved by SaveModel, dispatching on the stored
+/// algorithm tag. The result is fully trained.
+Result<std::unique_ptr<DensityClassifier>> LoadModel(const std::string& path);
+
+/// Persists a trained classifier (any algorithm) to `path`.
+/// `training_data` must be the dataset it was trained on;
+/// `include_densities` keeps the cached training-density vector (tkdc /
+/// nocut models only — larger file, faster ClassifyTraining).
+Status SaveModel(const std::string& path, const DensityClassifier& classifier,
+                 const Dataset& training_data, bool include_densities = true);
+
+/// Human-readable description of a trained model (the `tkdc_cli info`
+/// body): algorithm, dimensions, threshold, and per-algorithm extras.
+std::string Describe(const DensityClassifier& classifier);
+
+// --- Query calls (thin, stable aliases over the classifier facade) ------
+
+inline Classification Classify(DensityClassifier& classifier,
+                               std::span<const double> x) {
+  return classifier.Classify(x);
+}
+
+inline Classification ClassifyTraining(DensityClassifier& classifier,
+                                       std::span<const double> x) {
+  return classifier.ClassifyTraining(x);
+}
+
+inline std::vector<Classification> ClassifyBatch(DensityClassifier& classifier,
+                                                 const Dataset& queries) {
+  return classifier.ClassifyBatch(queries);
+}
+
+inline std::vector<Classification> ClassifyTrainingBatch(
+    DensityClassifier& classifier, const Dataset& queries) {
+  return classifier.ClassifyTrainingBatch(queries);
+}
+
+inline double EstimateDensity(DensityClassifier& classifier,
+                              std::span<const double> x) {
+  return classifier.EstimateDensity(x);
+}
+
+}  // namespace tkdc::api
+
+#endif  // TKDC_TKDC_API_H_

@@ -1,0 +1,32 @@
+#include "index/index_backend.h"
+
+#include <gtest/gtest.h>
+
+namespace tkdc {
+namespace {
+
+TEST(IndexBackendTest, NamesRoundTrip) {
+  EXPECT_EQ(IndexBackendFromName("kdtree"), IndexBackend::kKdTree);
+  EXPECT_EQ(IndexBackendFromName("balltree"), IndexBackend::kBallTree);
+  EXPECT_EQ(IndexBackendName(IndexBackend::kKdTree), "kdtree");
+  EXPECT_EQ(IndexBackendName(IndexBackend::kBallTree), "balltree");
+  EXPECT_FALSE(IndexBackendFromName("rtree").has_value());
+  EXPECT_FALSE(IndexBackendFromName("").has_value());
+}
+
+TEST(IndexBackendTest, EnvValueResolvesKnownNames) {
+  EXPECT_EQ(IndexBackendFromEnvValue(nullptr), IndexBackend::kKdTree);
+  EXPECT_EQ(IndexBackendFromEnvValue("kdtree"), IndexBackend::kKdTree);
+  EXPECT_EQ(IndexBackendFromEnvValue("balltree"), IndexBackend::kBallTree);
+}
+
+// A typo'd TKDC_INDEX used to fall back to kdtree silently; it is now a
+// hard startup error that names the allowed values.
+TEST(IndexBackendDeathTest, EnvValueRejectsUnknownName) {
+  EXPECT_DEATH(IndexBackendFromEnvValue("ball_tree"),
+               "unknown TKDC_INDEX value \"ball_tree\".*kdtree balltree");
+  EXPECT_DEATH(IndexBackendFromEnvValue(""), "allowed: kdtree balltree");
+}
+
+}  // namespace
+}  // namespace tkdc

@@ -33,7 +33,8 @@ TEST(TkdcConfigTest, DefaultsMatchPaperTable1) {
 
 TEST(TkdcConfigTest, ValidateAcceptsDefaults) {
   TkdcConfig config;
-  config.Validate();  // Must not abort.
+  EXPECT_TRUE(config.Validate().ok());
+  config.CheckValid();  // Must not abort.
 }
 
 TEST(TkdcConfigTest, OptimizationSummaryReflectsSwitches) {
@@ -49,30 +50,48 @@ TEST(TkdcConfigTest, OptimizationSummaryReflectsSwitches) {
             "-threshold +tolerance -grid split=median index=balltree");
 }
 
-TEST(TkdcConfigDeathTest, RejectsOutOfRangeP) {
+// Config fields are user input (CLI flags, serve requests), so out-of-range
+// values report through Status instead of aborting — these were death tests
+// before the Status migration.
+TEST(TkdcConfigTest, RejectsOutOfRangeP) {
   TkdcConfig config;
   config.p = 0.0;
-  EXPECT_DEATH(config.Validate(), "p must be");
+  Status status = config.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("p must be"), std::string::npos);
   config.p = 1.0;
-  EXPECT_DEATH(config.Validate(), "p must be");
+  status = config.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("p must be"), std::string::npos);
 }
 
-TEST(TkdcConfigDeathTest, RejectsNonPositiveEpsilon) {
+TEST(TkdcConfigTest, RejectsNonPositiveEpsilon) {
   TkdcConfig config;
   config.epsilon = 0.0;
-  EXPECT_DEATH(config.Validate(), "epsilon");
+  const Status status = config.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("epsilon"), std::string::npos);
 }
 
-TEST(TkdcConfigDeathTest, RejectsBadBootstrapKnobs) {
+TEST(TkdcConfigTest, RejectsBadBootstrapKnobs) {
   TkdcConfig config;
   config.h_growth = 1.0;
-  EXPECT_DEATH(config.Validate(), "h_growth");
+  EXPECT_NE(config.Validate().message().find("h_growth"), std::string::npos);
   config = TkdcConfig();
   config.h_backoff = 0.5;
-  EXPECT_DEATH(config.Validate(), "h_backoff");
+  EXPECT_NE(config.Validate().message().find("h_backoff"), std::string::npos);
   config = TkdcConfig();
   config.r0 = 1;
-  EXPECT_DEATH(config.Validate(), "r0");
+  EXPECT_NE(config.Validate().message().find("r0"), std::string::npos);
+}
+
+// CheckValid keeps the abort behavior for internal constructors (a bad
+// config reaching them means the caller skipped Validate — programmer
+// error, not user error).
+TEST(TkdcConfigDeathTest, CheckValidAbortsOnInvalidConfig) {
+  TkdcConfig config;
+  config.p = 0.0;
+  EXPECT_DEATH(config.CheckValid(), "p must be");
 }
 
 TEST(TkdcClassifierDeathTest, ApiMisuseAborts) {

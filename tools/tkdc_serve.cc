@@ -1,0 +1,68 @@
+// tkdc_serve: long-lived density-classification service over a trained
+// model. Speaks the serve protocol (src/serve/protocol.h) on TCP
+// (length-prefixed frames) or stdin/stdout (--pipe, line frames), with
+// dynamic micro-batching, bounded admission (OVERLOADED shedding),
+// per-request deadlines, SIGTERM drain, and SIGHUP hot model reload.
+// Run with --help for flags.
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/flags.h"
+#include "serve/server.h"
+
+namespace {
+
+std::atomic<bool> g_terminate{false};
+std::atomic<bool> g_reload{false};
+
+void HandleSigterm(int) { g_terminate.store(true); }
+void HandleSighup(int) { g_reload.store(true); }
+
+// Handlers without SA_RESTART so blocking poll/read return EINTR and the
+// serve loops notice the flags promptly.
+void InstallHandler(int signo, void (*handler)(int)) {
+  struct sigaction action = {};
+  action.sa_handler = handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(signo, &action, nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+
+  auto flags = tkdc::serve::ParseServeFlags(args);
+  if (!flags.ok()) {
+    const bool help = flags.message() == "help requested";
+    (help ? std::cout : std::cerr)
+        << (help ? "" : flags.message() + "\n") << tkdc::serve::ServeUsage();
+    return help ? 0 : 2;
+  }
+
+  InstallHandler(SIGTERM, HandleSigterm);
+  InstallHandler(SIGINT, HandleSigterm);
+  InstallHandler(SIGHUP, HandleSighup);
+  flags.value().options.terminate = &g_terminate;
+  flags.value().options.reload = &g_reload;
+
+  auto server = tkdc::serve::Server::Create(flags.value().options);
+  if (!server.ok()) {
+    std::cerr << server.message() << "\n";
+    return 1;
+  }
+  if (flags.value().pipe) {
+    std::fprintf(stderr, "serving %s on stdin/stdout (line framing)\n",
+                 flags.value().options.model_path.c_str());
+    return server.value()->RunPipe(/*in_fd=*/0, /*out_fd=*/1);
+  }
+  return server.value()->RunTcp(flags.value().port, std::cout);
+}
