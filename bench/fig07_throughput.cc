@@ -26,6 +26,7 @@
 #include "baselines/simple_kde.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/simd.h"
 #include "common/timer.h"
 #include "harness/runner.h"
 #include "harness/table.h"
@@ -107,7 +108,7 @@ struct AlgorithmParallel {
 };
 
 // Machine-readable results for the perf trajectory; schema:
-// {hardware_concurrency, scale, seed, serial:[{dataset, algorithm,
+// {simd, hardware_concurrency, scale, seed, serial:[{dataset, algorithm,
 //  queries_per_sec, ...}], parallel_batch:{dataset, n, dims,
 //  algorithms:[{algorithm, queries, runs:[{threads, queries_per_sec,
 //  speedup, identical_to_serial}]}]}}.
@@ -123,6 +124,7 @@ void WriteJson(const std::string& path, const BenchArgs& args,
   }
   out << "{\n";
   out << "  \"bench\": \"fig07_throughput\",\n";
+  out << "  \"simd\": \"" << SimdBackendName(ActiveSimdBackend()) << "\",\n";
   out << "  \"hardware_concurrency\": " << HardwareConcurrency() << ",\n";
   out << "  \"scale\": " << args.scale << ",\n";
   out << "  \"seed\": " << args.seed << ",\n";

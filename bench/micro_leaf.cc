@@ -1,0 +1,196 @@
+// Leaf kernel-sum microbenchmark: the vectorized SoA leaf primitives
+// (kde/kernel_simd.h) against the scalar reference schedule, across the
+// four kernel families and a dimension sweep. This is the hot loop every
+// engine shares — DensityBoundEvaluator leaves, the simple/rkde full and
+// radial scans, and NaiveKde — so the speedup here bounds what the
+// end-to-end figures can gain from the SIMD path.
+//
+// Both sides run the same interleaved-partials schedule (the determinism
+// contract in common/simd.h), so the comparison isolates instruction-set
+// throughput, not summation-order luck. The Gaussian row also reports the
+// --fast-math-leaf variant (vectorized polynomial exp) on backends that
+// implement it. Emits BENCH_leaf.json for the perf trajectory.
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/simd.h"
+#include "common/timer.h"
+#include "harness/table.h"
+#include "harness/workload.h"
+#include "kde/kernel.h"
+#include "kde/kernel_simd.h"
+
+namespace tkdc {
+namespace {
+
+struct LeafCase {
+  KernelType type;
+  const char* name;
+};
+
+constexpr LeafCase kCases[] = {
+    {KernelType::kGaussian, "gaussian"},
+    {KernelType::kEpanechnikov, "epanechnikov"},
+    {KernelType::kUniform, "uniform"},
+    {KernelType::kBiweight, "biweight"},
+};
+
+struct Record {
+  std::string kernel;
+  size_t dims;
+  size_t count;
+  double scalar_mpts;     // Million points/s, scalar schedule.
+  double simd_mpts;       // Million points/s, active backend.
+  double fast_math_mpts;  // Gaussian only; 0 when unavailable.
+  double speedup;
+};
+
+// Points/s of one kernel-sum configuration: repeat the whole-block sum
+// until the clock has accumulated enough signal, best of three passes so a
+// scheduler hiccup cannot deflate either side of the ratio.
+double MeasurePointsPerSec(const simd::KernelSimdOps& ops,
+                           const std::vector<double>& block, size_t padded,
+                           size_t count, size_t dims,
+                           const std::vector<double>& x,
+                           const std::vector<double>& inv_bw, KernelType type,
+                           double norm, bool fast_math) {
+  double best = 0.0;
+  volatile double sink = 0.0;
+  for (int pass = 0; pass < 3; ++pass) {
+    size_t iters = 0;
+    WallTimer timer;
+    double seconds = 0.0;
+    while (seconds < 0.05) {
+      sink = sink + ops.kernel_sum(block.data(), padded, count, dims,
+                                   x.data(), inv_bw.data(), type, norm,
+                                   fast_math);
+      ++iters;
+      seconds = timer.ElapsedSeconds();
+    }
+    best = std::max(
+        best, static_cast<double>(iters) * static_cast<double>(count) /
+                  seconds);
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace tkdc
+
+int main(int argc, char** argv) {
+  using namespace tkdc;
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+
+  const SimdBackend active = ActiveSimdBackend();
+  const simd::KernelSimdOps& scalar = simd::ScalarKernelSimdOps();
+  const simd::KernelSimdOps* vector = simd::KernelSimdOpsFor(active);
+  const bool have_vector = active != SimdBackend::kScalar && vector != nullptr;
+
+  std::cout << "Leaf kernel-sum throughput: scalar schedule vs "
+            << SimdBackendName(active) << " backend\n";
+  if (!have_vector) {
+    std::cout << "(no vector backend usable on this host/build — both "
+                 "columns run the scalar schedule)\n";
+  }
+  std::cout << "\n";
+
+  const size_t count = static_cast<size_t>(16'384 * std::max(args.scale, 1.0));
+  const std::vector<size_t> dim_sweep{1, 2, 4, 8, 16};
+
+  TablePrinter table({"kernel", "dims", "scalar Mpts/s", "simd Mpts/s",
+                      "speedup", "fast-math Mpts/s"});
+  std::vector<Record> records;
+  double max_speedup = 0.0;
+  for (const size_t dims : dim_sweep) {
+    // One padded SoA block of `count` points, the same layout the spatial
+    // index builds per leaf (dims arrays of `padded` doubles, +inf pad).
+    const size_t padded = SimdPaddedCount(count);
+    std::vector<double> block(dims * padded,
+                              std::numeric_limits<double>::infinity());
+    Rng rng(args.seed * 1000003 + dims);
+    for (size_t j = 0; j < dims; ++j) {
+      for (size_t k = 0; k < count; ++k) {
+        block[j * padded + k] = rng.NextGaussian();
+      }
+    }
+    std::vector<double> x(dims);
+    for (size_t j = 0; j < dims; ++j) x[j] = 0.25 * rng.NextGaussian();
+    // Wide bandwidths keep a fair share of points inside the compact
+    // kernels' unit ball, so their masked path does real work.
+    const Kernel kernel_scale(KernelType::kGaussian,
+                              std::vector<double>(dims, 2.0));
+    const std::vector<double>& inv_bw = kernel_scale.inverse_bandwidths();
+
+    for (const LeafCase& c : kCases) {
+      const Kernel kernel(c.type, std::vector<double>(dims, 2.0));
+      const double norm = kernel.norm();
+      Record rec;
+      rec.kernel = c.name;
+      rec.dims = dims;
+      rec.count = count;
+      rec.scalar_mpts =
+          MeasurePointsPerSec(scalar, block, padded, count, dims, x, inv_bw,
+                              c.type, norm, /*fast_math=*/false) /
+          1e6;
+      rec.simd_mpts =
+          (have_vector
+               ? MeasurePointsPerSec(*vector, block, padded, count, dims, x,
+                                     inv_bw, c.type, norm,
+                                     /*fast_math=*/false)
+               : rec.scalar_mpts * 1e6) /
+          (have_vector ? 1e6 : 1.0);
+      rec.fast_math_mpts =
+          (have_vector && c.type == KernelType::kGaussian)
+              ? MeasurePointsPerSec(*vector, block, padded, count, dims, x,
+                                    inv_bw, c.type, norm,
+                                    /*fast_math=*/true) /
+                    1e6
+              : 0.0;
+      rec.speedup =
+          rec.scalar_mpts > 0.0 ? rec.simd_mpts / rec.scalar_mpts : 0.0;
+      max_speedup = std::max(max_speedup, rec.speedup);
+      table.AddRow({rec.kernel, std::to_string(rec.dims),
+                    FormatFixed(rec.scalar_mpts, 1),
+                    FormatFixed(rec.simd_mpts, 1),
+                    FormatFixed(rec.speedup, 2),
+                    rec.fast_math_mpts > 0.0
+                        ? FormatFixed(rec.fast_math_mpts, 1)
+                        : std::string("-")});
+      records.push_back(std::move(rec));
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nmax speedup " << FormatFixed(max_speedup, 2) << "x ("
+            << SimdBackendName(active) << " over the scalar schedule; both "
+            << "sides sum with the same interleaved partials)\n";
+
+  std::ofstream out("BENCH_leaf.json");
+  if (out) {
+    out << "{\n";
+    out << "  \"bench\": \"micro_leaf\",\n";
+    out << "  \"simd\": \"" << SimdBackendName(active) << "\",\n";
+    out << "  \"count\": " << count << ",\n";
+    out << "  \"seed\": " << args.seed << ",\n";
+    out << "  \"max_speedup\": " << max_speedup << ",\n";
+    out << "  \"results\": [\n";
+    for (size_t i = 0; i < records.size(); ++i) {
+      const Record& r = records[i];
+      out << "    {\"kernel\": \"" << r.kernel << "\", \"dims\": " << r.dims
+          << ", \"scalar_mpts\": " << r.scalar_mpts
+          << ", \"simd_mpts\": " << r.simd_mpts
+          << ", \"fast_math_mpts\": " << r.fast_math_mpts
+          << ", \"speedup\": " << r.speedup << "}"
+          << (i + 1 < records.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n";
+    out << "}\n";
+    std::cout << "wrote BENCH_leaf.json\n";
+  }
+  return 0;
+}

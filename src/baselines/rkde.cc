@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "kde/bandwidth.h"
+#include "kde/kernel_simd.h"
 #include "tkdc/threshold.h"
 
 namespace tkdc {
@@ -39,20 +40,68 @@ std::shared_ptr<RkdeModel> RkdeClassifier::BuildModel(
 
 double RkdeClassifier::RadialDensity(const RkdeModel& m, TreeQueryContext& ctx,
                                      std::span<const double> x) {
-  ctx.neighbors.clear();
-  ctx.stats.kernel_evaluations += m.tree->CollectWithinScaledRadius(
-      x, m.kernel->inverse_bandwidths(), m.radius_sq, &ctx.neighbors);
-  const Kernel::ScaledProfileFn profile = m.kernel->scaled_profile();
+  // Direct SoA traversal (replacing collect-then-evaluate): prune nodes
+  // entirely outside the radius, sum fully-covered leaves unmasked, and
+  // radius-mask partially-covered leaves — all through the vectorized
+  // leaf-sum primitives. The work counters keep the old semantics:
+  // kernel_evaluations counts distance tests on partial leaves plus kernel
+  // terms of included points; fully-covered subtrees cost only their
+  // kernel terms.
+  const SpatialIndex& tree = *m.tree;
+  const auto inv_bw = std::span<const double>(m.kernel->inverse_bandwidths());
+  const KernelType type = m.kernel->type();
   const double norm = m.kernel->norm();
+  const double radius_sq = m.radius_sq;
+  uint64_t scanned = 0;  // Distance tests on partially-covered leaves.
+  uint64_t inside = 0;   // Points whose kernel term entered the sum.
   double sum = 0.0;
-  for (size_t idx : ctx.neighbors) {
-    sum += profile(m.kernel->ScaledSquaredDistance(x, m.tree->Point(idx)),
-                   norm);
+  // The neighbor buffer doubles as the traversal stack; entries encode
+  // node * 2 + covered, where covered means an ancestor's z_max already
+  // proved every point inside the radius (so no bound recomputation —
+  // this also keeps ball-tree children, which can poke outside their
+  // parent, on the unmasked path their parent certified).
+  std::vector<size_t>& stack = ctx.neighbors;
+  stack.clear();
+  stack.push_back(SpatialIndex::kRoot * 2);
+  while (!stack.empty()) {
+    const size_t item = stack.back();
+    stack.pop_back();
+    const size_t node_index = item / 2;
+    bool covered = (item & 1) != 0;
+    if (!covered) {
+      double z_min = 0.0;
+      double z_max = 0.0;
+      tree.NodeScaledSquaredDistanceBounds(node_index, x, inv_bw, &z_min,
+                                           &z_max);
+      if (z_min > radius_sq) continue;
+      covered = z_max <= radius_sq;
+    }
+    const IndexNode& node = tree.node(node_index);
+    if (!node.is_leaf()) {
+      const size_t flag = covered ? 1 : 0;
+      stack.push_back(static_cast<size_t>(node.left) * 2 + flag);
+      stack.push_back(static_cast<size_t>(node.right) * 2 + flag);
+      continue;
+    }
+    const SpatialIndex::SoaLeaf leaf = tree.LeafSoa(node_index);
+    if (covered) {
+      sum += simd::SoaKernelSum(leaf.block, leaf.padded, leaf.count,
+                                tree.dims(), x.data(), inv_bw.data(), type,
+                                norm, /*fast_math=*/false);
+      inside += leaf.count;
+    } else {
+      uint64_t hits = 0;
+      sum += simd::SoaKernelSumWithinRadius(
+          leaf.block, leaf.padded, leaf.count, tree.dims(), x.data(),
+          inv_bw.data(), radius_sq, type, norm, /*fast_math=*/false, &hits);
+      scanned += leaf.count;
+      inside += hits;
+    }
   }
-  ctx.stats.kernel_evaluations += ctx.neighbors.size();
-  ctx.stats.leaf_points_evaluated += ctx.neighbors.size();
+  ctx.stats.kernel_evaluations += scanned + inside;
+  ctx.stats.leaf_points_evaluated += inside;
   ++ctx.stats.queries;
-  return sum / static_cast<double>(m.tree->size());
+  return sum / static_cast<double>(tree.size());
 }
 
 void RkdeClassifier::Train(const Dataset& data) {

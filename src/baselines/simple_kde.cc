@@ -15,12 +15,11 @@ double SimpleKdeClassifier::ScanDensity(const SimpleKdeModel& m,
                                         QueryContext& ctx,
                                         std::span<const double> x) {
   const size_t n = m.data.size();
-  const Kernel::ScaledProfileFn profile = m.kernel.scaled_profile();
-  const double norm = m.kernel.norm();
-  double sum = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    sum += profile(m.kernel.ScaledSquaredDistance(x, m.data.Row(i)), norm);
-  }
+  // Vectorized SoA full scan; exact (no fast-math) so the baseline stays
+  // the reference the accuracy experiments compare against.
+  const double sum =
+      m.soa.KernelSum(x.data(), m.kernel.inverse_bandwidths().data(),
+                      m.kernel.type(), m.kernel.norm(), /*fast_math=*/false);
   ctx.stats.kernel_evaluations += n;
   ++ctx.stats.queries;
   return sum / static_cast<double>(n);

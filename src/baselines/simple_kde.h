@@ -10,6 +10,7 @@
 #include "kde/bandwidth.h"
 #include "kde/density_classifier.h"
 #include "kde/kernel.h"
+#include "kde/soa_matrix.h"
 
 namespace tkdc {
 
@@ -32,12 +33,15 @@ struct SimpleKdeOptions {
 struct SimpleKdeModel {
   Dataset data;
   Kernel kernel;
+  /// SoA mirror of `data` for the vectorized full scan (kde/soa_matrix.h).
+  /// Derived state, built at construction, never serialized.
+  SoaMatrix soa;
   double threshold = 0.0;
   /// K_H(0) / n, subtracted when classifying training points.
   double self_contribution = 0.0;
 
   SimpleKdeModel(Dataset data_in, Kernel kernel_in)
-      : data(std::move(data_in)), kernel(std::move(kernel_in)) {}
+      : data(std::move(data_in)), kernel(std::move(kernel_in)), soa(data) {}
 };
 
 /// The paper's "simple" algorithm: exact KDE by a full scan per query

@@ -23,11 +23,13 @@ constexpr const char kUsage[] =
     "            [--epsilon F] [--b F] [--k N]\n"
     "            [--kernel gaussian|epanechnikov|uniform|biweight]\n"
     "            [--split trimmed|median|midpoint] [--index kdtree|balltree]\n"
-    "            [--no-grid] [--seed N]\n"
+    "            [--no-grid] [--fast-math-leaf] [--seed N]\n"
     "            [--threads N] [--header] [--no-densities]\n"
     "  (--algorithm: tkdc (default), nocut, simple, rkde, binned, or knn;\n"
     "   --k applies to knn only; --index picks the spatial-index backend\n"
-    "   for tree-based algorithms, default kdtree or $TKDC_INDEX)\n"
+    "   for tree-based algorithms, default kdtree or $TKDC_INDEX;\n"
+    "   --fast-math-leaf: vectorized exp approximation in Gaussian leaf\n"
+    "   scans — near-exact densities, not bit-identical to the default)\n"
     "  classify  --model M.tkdc --input Q.csv --output R.csv [--header]\n"
     "            [--training] [--density] [--threads N] [--metrics-out J]\n"
     "  (--input/--output may repeat, pairwise: the model is loaded ONCE and\n"
@@ -64,8 +66,9 @@ struct ParsedArgs {
   }
 };
 
-const char* const kBooleanFlags[] = {"--header", "--training", "--density",
-                                     "--no-grid", "--no-densities"};
+const char* const kBooleanFlags[] = {"--header", "--training",
+                                     "--density", "--no-grid",
+                                     "--no-densities", "--fast-math-leaf"};
 
 bool IsBooleanFlag(const std::string& arg) {
   for (const char* flag : kBooleanFlags) {
@@ -154,6 +157,7 @@ int CmdTrain(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
     config.index_backend = *backend;
   }
   if (parsed.Flag("--no-grid")) config.use_grid = false;
+  if (parsed.Flag("--fast-math-leaf")) config.fast_math_leaf = true;
   if (const auto seed = parsed.Value("--seed")) {
     config.seed = static_cast<uint64_t>(std::atoll(seed->c_str()));
   }

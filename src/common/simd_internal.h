@@ -1,0 +1,18 @@
+#ifndef TKDC_COMMON_SIMD_INTERNAL_H_
+#define TKDC_COMMON_SIMD_INTERNAL_H_
+
+#include "common/simd.h"
+
+namespace tkdc {
+namespace simd {
+
+/// Backend table providers. Each is defined by its translation unit when
+/// the backend is compiled in (simd_avx2.cc / simd_neon.cc); otherwise
+/// simd.cc supplies a stub returning null. Internal to the simd layer.
+const SimdOps* Avx2SimdOpsImpl();
+const SimdOps* NeonSimdOpsImpl();
+
+}  // namespace simd
+}  // namespace tkdc
+
+#endif  // TKDC_COMMON_SIMD_INTERNAL_H_

@@ -224,6 +224,31 @@ void BallTree::NodeScaledSquaredDistanceBounds(size_t node_index,
   *z_max = hi * hi;
 }
 
+void BallTree::NodeChildrenScaledSquaredDistanceBounds(
+    size_t node_index, std::span<const double> x,
+    std::span<const double> inv_bw, double out[4]) const {
+  const IndexNode& node = nodes_[node_index];
+  const size_t left = static_cast<size_t>(node.left);
+  const size_t right = static_cast<size_t>(node.right);
+  double dist_sq[2] = {0.0, 0.0};
+  double factor_hi = 0.0;
+  double factor_lo = 0.0;
+  simd::CentroidPairScaledSquaredDistances(
+      centroids_.data() + left * dims_, centroids_.data() + right * dims_,
+      x.data(), inv_bw.data(), inv_scale_.data(), dims_, dist_sq, &factor_hi,
+      &factor_lo);
+  for (int c = 0; c < 2; ++c) {
+    const size_t child = c == 0 ? left : right;
+    const double dc = std::sqrt(dist_sq[c]);
+    const double r_hi = radii_[child] * factor_hi;
+    const double r_lo = radii_min_[child] * factor_lo;
+    const double lo = std::max({0.0, dc - r_hi, r_lo - dc});
+    const double hi = dc + r_hi;
+    out[2 * c] = lo * lo;
+    out[2 * c + 1] = hi * hi;
+  }
+}
+
 void BallTree::NodeScaledSquaredDistanceBoundsToBox(
     size_t node_index, const BoundingBox& query_box,
     std::span<const double> inv_bw, double* z_min, double* z_max) const {

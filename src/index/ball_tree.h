@@ -83,6 +83,14 @@ class BallTree : public SpatialIndex {
       std::span<const double> inv_bw, double* z_min,
       double* z_max) const override;
 
+  /// Both children's Eq. 6 ball bounds from one fused pass that computes
+  /// the two centroid distances (one lane each) and the shared metric
+  /// correction factors together — bit-identical to two single-node calls
+  /// (see common/simd.h).
+  void NodeChildrenScaledSquaredDistanceBounds(
+      size_t node_index, std::span<const double> x,
+      std::span<const double> inv_bw, double out[4]) const override;
+
  protected:
   void SetNodeGeometry(size_t node_index, const BoundingBox& box) override;
 

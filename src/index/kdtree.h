@@ -57,6 +57,20 @@ class KdTree : public SpatialIndex {
     *z_max = b.MaxScaledSquaredDistanceToBox(query_box, inv_bw);
   }
 
+  /// Both children's Eq. 6 box bounds in one vectorized pass (one lane per
+  /// bound, dimensions sequential — bit-identical to two single-node
+  /// calls; see common/simd.h).
+  void NodeChildrenScaledSquaredDistanceBounds(
+      size_t node_index, std::span<const double> x,
+      std::span<const double> inv_bw, double out[4]) const override {
+    const IndexNode& n = node(node_index);
+    const BoundingBox& lb = boxes_[static_cast<size_t>(n.left)];
+    const BoundingBox& rb = boxes_[static_cast<size_t>(n.right)];
+    simd::BoxPairScaledSquaredDistanceBounds(
+        lb.min().data(), lb.max().data(), rb.min().data(), rb.max().data(),
+        x.data(), inv_bw.data(), dims(), out);
+  }
+
  protected:
   void SetNodeGeometry(size_t node_index, const BoundingBox& box) override {
     if (boxes_.size() <= node_index) boxes_.resize(node_index + 1);

@@ -33,6 +33,9 @@ SpatialIndex::SpatialIndex(size_t dims, std::vector<double> reordered_points,
   TKDC_CHECK(points_.size() == size_ * dims_);
   TKDC_CHECK(!nodes_.empty());
   TKDC_CHECK_MSG(options_.leaf_size >= 1, "index leaf_size must be >= 1");
+  // The SoA mirror is derived state: rebuilt from the restored reordered
+  // points, never read from the model payload.
+  BuildLeafSoa();
 }
 
 void SpatialIndex::BuildTree() {
@@ -70,6 +73,54 @@ void SpatialIndex::BuildTree() {
       stack.push_back({static_cast<size_t>(node.right), frame.depth + 1});
     }
   }
+  BuildLeafSoa();
+}
+
+void SpatialIndex::BuildLeafSoa() {
+  soa_offsets_.assign(nodes_.size(), kNoSoaBlock);
+  soa_leaf_count_ = 0;
+  max_soa_padded_ = 0;
+  size_t total = 0;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].is_leaf()) continue;
+    const size_t padded = SimdPaddedCount(nodes_[i].count());
+    soa_offsets_[i] = total;
+    total += padded * dims_;
+    max_soa_padded_ = std::max(max_soa_padded_, padded);
+    ++soa_leaf_count_;
+  }
+  // Fill with +infinity first so padding lanes need no special-casing in
+  // the transpose below.
+  soa_points_.assign(total, std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const IndexNode& node = nodes_[i];
+    if (!node.is_leaf()) continue;
+    const size_t padded = SimdPaddedCount(node.count());
+    double* block = soa_points_.data() + soa_offsets_[i];
+    for (size_t k = 0; k < node.count(); ++k) {
+      const double* p = points_.data() + (node.begin + k) * dims_;
+      for (size_t j = 0; j < dims_; ++j) block[j * padded + k] = p[j];
+    }
+  }
+}
+
+void SpatialIndex::LeafScaledSquaredDistances(size_t node_index,
+                                              std::span<const double> x,
+                                              std::span<const double> inv_bw,
+                                              double* out) const {
+  const SoaLeaf leaf = LeafSoa(node_index);
+  simd::SoaScaledSquaredDistances(leaf.block, leaf.padded, leaf.count, dims_,
+                                  x.data(), inv_bw.data(), out);
+}
+
+void SpatialIndex::NodeChildrenScaledSquaredDistanceBounds(
+    size_t node_index, std::span<const double> x,
+    std::span<const double> inv_bw, double out[4]) const {
+  const IndexNode& node = nodes_[node_index];
+  NodeScaledSquaredDistanceBounds(static_cast<size_t>(node.left), x, inv_bw,
+                                  &out[0], &out[1]);
+  NodeScaledSquaredDistanceBounds(static_cast<size_t>(node.right), x, inv_bw,
+                                  &out[2], &out[3]);
 }
 
 void SpatialIndex::SwapPoints(size_t a, size_t b) {
@@ -172,6 +223,7 @@ uint64_t SpatialIndex::CollectWithinScaledRadius(
   TKDC_CHECK(out != nullptr);
   TKDC_CHECK(x.size() == dims_ && inv_bw.size() == dims_);
   uint64_t distance_computations = 0;
+  std::vector<double> leaf_z(max_soa_padded_);
   std::vector<size_t> stack{kRoot};
   while (!stack.empty()) {
     const size_t node_index = stack.back();
@@ -188,15 +240,13 @@ uint64_t SpatialIndex::CollectWithinScaledRadius(
       continue;
     }
     if (node.is_leaf()) {
-      for (size_t i = node.begin; i < node.end; ++i) {
-        double z = 0.0;
-        const double* p = points_.data() + i * dims_;
-        for (size_t j = 0; j < dims_; ++j) {
-          const double u = (x[j] - p[j]) * inv_bw[j];
-          z += u * u;
-        }
-        ++distance_computations;
-        if (z <= radius_sq) out->push_back(i);
+      // One vectorized pass over the leaf's SoA block; each lane replays
+      // the scalar per-point recurrence, so the distances (and the points
+      // collected) are bit-identical to the former row-major loop.
+      LeafScaledSquaredDistances(node_index, x, inv_bw, leaf_z.data());
+      distance_computations += node.count();
+      for (size_t k = 0; k < node.count(); ++k) {
+        if (leaf_z[k] <= radius_sq) out->push_back(node.begin + k);
       }
     } else {
       stack.push_back(static_cast<size_t>(node.left));
@@ -218,6 +268,7 @@ uint64_t SpatialIndex::KNearestScaled(
   // Max-heap of the current k best (worst on top).
   std::vector<std::pair<double, size_t>>& best = *out;
   uint64_t distance_computations = 0;
+  std::vector<double> leaf_z(max_soa_padded_);
 
   // Best-first traversal: a min-heap of (node min-distance, node index)
   // visits the most promising subtree next and prunes any node farther
@@ -237,14 +288,14 @@ uint64_t SpatialIndex::KNearestScaled(
     if (best.size() == k && -neg_min_dist > best.front().first) break;
     const IndexNode& node = nodes_[node_index];
     if (node.is_leaf()) {
-      for (size_t i = node.begin; i < node.end; ++i) {
-        double z = 0.0;
-        const double* p = points_.data() + i * dims_;
-        for (size_t j = 0; j < dims_; ++j) {
-          const double u = (x[j] - p[j]) * inv_bw[j];
-          z += u * u;
-        }
-        ++distance_computations;
+      // Vectorized leaf distances (bit-identical to the scalar loop, see
+      // common/simd.h); the heap updates then run in the same ascending
+      // point order as before, so ties resolve identically.
+      LeafScaledSquaredDistances(node_index, x, inv_bw, leaf_z.data());
+      distance_computations += node.count();
+      for (size_t s = 0; s < node.count(); ++s) {
+        const double z = leaf_z[s];
+        const size_t i = node.begin + s;
         if (best.size() < k) {
           best.emplace_back(z, i);
           std::push_heap(best.begin(), best.end());

@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "common/simd.h"
 #include "data/dataset.h"
 #include "index/bounding_box.h"
 #include "index/index_backend.h"
@@ -94,6 +95,45 @@ class SpatialIndex {
   /// Dataset row id of reordered point `i`.
   size_t OriginalIndex(size_t i) const { return original_index_[i]; }
 
+  /// SoA view of one leaf's points: `dims()` per-dimension arrays of
+  /// `padded` doubles each (`block[j * padded + k]` is coordinate j of the
+  /// leaf's k-th point). `padded` rounds `count` up to
+  /// kSimdBlockWidth; padding lanes hold +infinity so their scaled
+  /// distance is +inf and their kernel contribution exactly +0.0 (see
+  /// common/simd.h). The blocks mirror the reordered point array — same
+  /// points, same order — and are rebuilt from it on model load, never
+  /// serialized.
+  struct SoaLeaf {
+    const double* block;
+    size_t padded;
+    size_t count;
+  };
+
+  /// SoA block of leaf node `node_index` (must be a leaf).
+  SoaLeaf LeafSoa(size_t node_index) const {
+    const IndexNode& n = nodes_[node_index];
+    return {soa_points_.data() + soa_offsets_[node_index],
+            SimdPaddedCount(n.count()), n.count()};
+  }
+
+  /// Number of leaves / total doubles in the SoA mirror (diagnostics and
+  /// the model-format v4 layout descriptor).
+  size_t num_soa_leaves() const { return soa_leaf_count_; }
+  size_t num_soa_doubles() const { return soa_points_.size(); }
+
+  /// Largest padded leaf count — the scratch size a caller of
+  /// LeafScaledSquaredDistances needs.
+  size_t max_soa_padded() const { return max_soa_padded_; }
+
+  /// Scaled squared distances from `x` to every point of leaf
+  /// `node_index`, written to out[0 .. padded): out[k] corresponds to
+  /// reordered point node.begin + k, padding lanes get +inf. Dispatches to
+  /// the active SIMD backend; every backend reproduces the scalar
+  /// recurrence bit-for-bit (common/simd.h contract).
+  void LeafScaledSquaredDistances(size_t node_index, std::span<const double> x,
+                                  std::span<const double> inv_bw,
+                                  double* out) const;
+
   /// Smallest possible *scaled* squared distance (per-axis multiplication
   /// by `inv_bw`) from `x` to any point of node `node_index` (0 when the
   /// node's region contains x). A certified lower bound: no point of the
@@ -117,6 +157,17 @@ class SpatialIndex {
   virtual void NodeScaledSquaredDistanceBoundsToBox(
       size_t node_index, const BoundingBox& query_box,
       std::span<const double> inv_bw, double* z_min, double* z_max) const = 0;
+
+  /// Eq. 6 bounds for *both children* of internal node `node_index` in one
+  /// call: out = {left z_min, left z_max, right z_min, right z_max}. The
+  /// best-first traversal always expands both children together, so
+  /// backends override this with one vectorized pass sharing the per-axis
+  /// query loads; results are bit-identical to two
+  /// NodeScaledSquaredDistanceBounds calls (common/simd.h contract), which
+  /// is also the default implementation.
+  virtual void NodeChildrenScaledSquaredDistanceBounds(
+      size_t node_index, std::span<const double> x,
+      std::span<const double> inv_bw, double out[4]) const;
 
   /// Appends to `out` the reordered indices of all points whose scaled
   /// squared distance to `x` is <= `radius_sq`. Used by the rkde
@@ -186,6 +237,13 @@ class SpatialIndex {
   /// original-index permutation entry). For PartitionNode implementations.
   void SwapPoints(size_t a, size_t b);
 
+  /// Builds the SoA leaf mirror from the reordered points. BuildTree()
+  /// calls it once the topology is final; the restore constructor calls it
+  /// directly (the mirror is derived state, never serialized). Restore
+  /// paths that adopt nodes after base construction must call it again if
+  /// they alter topology (none do today).
+  void BuildLeafSoa();
+
   size_t dims_ = 0;
   size_t size_ = 0;
   IndexOptions options_;
@@ -194,6 +252,13 @@ class SpatialIndex {
   std::vector<IndexNode> nodes_;
 
  private:
+  static constexpr size_t kNoSoaBlock = static_cast<size_t>(-1);
+
+  std::vector<double> soa_points_;   // Leaf blocks, per-dim contiguous.
+  std::vector<size_t> soa_offsets_;  // Node -> block start (leaves only).
+  size_t soa_leaf_count_ = 0;
+  size_t max_soa_padded_ = 0;
+
   /// Splits node `node_index` in place (partitioning its point range via
   /// PartitionNode and appending children) unless it is leaf-sized or the
   /// partition refuses. `box` is the node's bounding box; `scratch` is the

@@ -78,8 +78,10 @@ class Kernel {
   double Evaluate(std::span<const double> a, std::span<const double> b) const;
 
   /// Maximum kernel value K_H(0) (the self-contribution of a training point
-  /// before the 1/n factor; paper Section 2.3's f_0 = K_H(0) / n).
-  double MaxValue() const { return EvaluateScaled(0.0); }
+  /// before the 1/n factor; paper Section 2.3's f_0 = K_H(0) / n). Every
+  /// family's profile is exactly 1 at z == 0, so this is norm_ itself —
+  /// no dispatch (bit-identical to EvaluateScaled(0.0)).
+  double MaxValue() const { return norm_; }
 
   /// Scaled squared radius beyond which the kernel is exactly zero;
   /// +infinity for the Gaussian.

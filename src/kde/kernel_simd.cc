@@ -1,0 +1,143 @@
+#include "kde/kernel_simd.h"
+
+#include <cmath>
+
+#include "kde/kernel_simd_internal.h"
+
+namespace tkdc {
+namespace simd {
+
+#if !defined(TKDC_SIMD_AVX2)
+const KernelSimdOps* Avx2KernelSimdOpsImpl() { return nullptr; }
+#endif
+#if !defined(TKDC_SIMD_NEON)
+const KernelSimdOps* NeonKernelSimdOpsImpl() { return nullptr; }
+#endif
+
+namespace {
+
+// --- Scalar backend ------------------------------------------------------
+//
+// The canonical blocked-summation schedule every vector backend must
+// reproduce bit-for-bit (common/simd.h contract): the `lane` loops below
+// are one vector operation per iteration. fast_math is ignored here — the
+// scalar backend always computes the exact per-lane profile, which is also
+// what the SIMD backends do in default mode.
+
+// Per-lane profile evaluation shared by both entry points. z == +inf
+// (padding) yields exactly +0.0 for every family: exp(-inf) == 0 and the
+// compact kernels vanish for z >= 1.
+inline double ProfileLane(KernelType type, double z, double norm) {
+  switch (type) {
+    case KernelType::kGaussian:
+      return norm * std::exp(-0.5 * z);
+    case KernelType::kEpanechnikov:
+      return z >= 1.0 ? 0.0 : norm * (1.0 - z);
+    case KernelType::kUniform:
+      return z >= 1.0 ? 0.0 : norm;
+    case KernelType::kBiweight:
+      return z >= 1.0 ? 0.0 : norm * (1.0 - z) * (1.0 - z);
+  }
+  return 0.0;  // Unreachable.
+}
+
+double SoaKernelSumScalar(const double* block, size_t padded, size_t count,
+                          size_t dims, const double* x, const double* inv_bw,
+                          KernelType type, double norm, bool fast_math) {
+  (void)count;
+  (void)fast_math;
+  double acc[kSimdBlockWidth] = {0.0, 0.0, 0.0, 0.0};
+  for (size_t g = 0; g < padded; g += kSimdBlockWidth) {
+    double z[kSimdBlockWidth] = {0.0, 0.0, 0.0, 0.0};
+    for (size_t j = 0; j < dims; ++j) {
+      const double* row = block + j * padded + g;
+      const double xj = x[j];
+      const double bj = inv_bw[j];
+      for (size_t lane = 0; lane < kSimdBlockWidth; ++lane) {
+        const double u = (xj - row[lane]) * bj;
+        z[lane] += u * u;
+      }
+    }
+    for (size_t lane = 0; lane < kSimdBlockWidth; ++lane) {
+      acc[lane] += ProfileLane(type, z[lane], norm);
+    }
+  }
+  return (acc[0] + acc[2]) + (acc[1] + acc[3]);
+}
+
+double SoaKernelSumWithinRadiusScalar(const double* block, size_t padded,
+                                      size_t count, size_t dims,
+                                      const double* x, const double* inv_bw,
+                                      double radius_sq, KernelType type,
+                                      double norm, bool fast_math,
+                                      uint64_t* inside) {
+  (void)count;
+  (void)fast_math;
+  double acc[kSimdBlockWidth] = {0.0, 0.0, 0.0, 0.0};
+  uint64_t hits = 0;
+  for (size_t g = 0; g < padded; g += kSimdBlockWidth) {
+    double z[kSimdBlockWidth] = {0.0, 0.0, 0.0, 0.0};
+    for (size_t j = 0; j < dims; ++j) {
+      const double* row = block + j * padded + g;
+      const double xj = x[j];
+      const double bj = inv_bw[j];
+      for (size_t lane = 0; lane < kSimdBlockWidth; ++lane) {
+        const double u = (xj - row[lane]) * bj;
+        z[lane] += u * u;
+      }
+    }
+    for (size_t lane = 0; lane < kSimdBlockWidth; ++lane) {
+      // Adding +0.0 for masked-out lanes is the identity, matching the
+      // vector backends' and-masked accumulate. Padding lanes (z == +inf)
+      // never pass the radius test, so they are not counted either.
+      if (z[lane] <= radius_sq) {
+        acc[lane] += ProfileLane(type, z[lane], norm);
+        ++hits;
+      }
+    }
+  }
+  *inside = hits;
+  return (acc[0] + acc[2]) + (acc[1] + acc[3]);
+}
+
+constexpr KernelSimdOps kScalarKernelOps = {
+    &SoaKernelSumScalar,
+    &SoaKernelSumWithinRadiusScalar,
+};
+
+}  // namespace
+
+const KernelSimdOps& ScalarKernelSimdOps() { return kScalarKernelOps; }
+
+const KernelSimdOps* KernelSimdOpsFor(SimdBackend backend) {
+  switch (backend) {
+    case SimdBackend::kScalar:
+      return &kScalarKernelOps;
+    case SimdBackend::kAvx2:
+      return Avx2KernelSimdOpsImpl();
+    case SimdBackend::kNeon:
+      return NeonKernelSimdOpsImpl();
+  }
+  return nullptr;
+}
+
+double SoaKernelSum(const double* block, size_t padded, size_t count,
+                    size_t dims, const double* x, const double* inv_bw,
+                    KernelType type, double norm, bool fast_math) {
+  return KernelSimdOpsFor(ActiveSimdBackend())
+      ->kernel_sum(block, padded, count, dims, x, inv_bw, type, norm,
+                   fast_math);
+}
+
+double SoaKernelSumWithinRadius(const double* block, size_t padded,
+                                size_t count, size_t dims, const double* x,
+                                const double* inv_bw, double radius_sq,
+                                KernelType type, double norm, bool fast_math,
+                                uint64_t* inside) {
+  return KernelSimdOpsFor(ActiveSimdBackend())
+      ->kernel_sum_within(block, padded, count, dims, x, inv_bw, radius_sq,
+                          type, norm, fast_math, inside);
+}
+
+}  // namespace simd
+}  // namespace tkdc

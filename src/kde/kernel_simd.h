@@ -1,0 +1,69 @@
+#ifndef TKDC_KDE_KERNEL_SIMD_H_
+#define TKDC_KDE_KERNEL_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/simd.h"
+#include "kde/kernel.h"
+
+namespace tkdc {
+
+/// Vectorized kernel sums over SoA point blocks — the leaf-scan hot loop
+/// of every engine (DensityBoundEvaluator, NaiveKde, simple, rkde). Blocks
+/// use the SpatialIndex SoA layout: `dims` arrays of `padded` doubles
+/// (padded == SimdPaddedCount(count)), padding coordinates +infinity so
+/// padded lanes contribute exactly +0.0 (see common/simd.h).
+///
+/// All functions follow the common/simd.h determinism contract: per-point
+/// distances sequential over dimensions, sums accumulated in
+/// kSimdBlockWidth interleaved partials reduced as (a0+a2)+(a1+a3), no FMA
+/// contraction. In the default mode (fast_math == false) the Gaussian
+/// profile calls std::exp per lane, so scalar and SIMD backends agree
+/// bit-for-bit on every kernel family; the compact-support families
+/// (Epanechnikov, uniform, biweight) vectorize fully even in default mode
+/// because their profiles are polynomial.
+///
+/// `fast_math` swaps the Gaussian's per-lane std::exp for a vectorized
+/// polynomial exp (relative error ~1e-14, well inside the epsilon band the
+/// --fast-math-leaf property test enforces). It changes nothing for the
+/// compact families or for the scalar backend, which always computes the
+/// exact sum.
+namespace simd {
+
+/// Sum over the block's `count` points of profile(z_k, norm) where z_k is
+/// the scaled squared distance from `x` to point k.
+double SoaKernelSum(const double* block, size_t padded, size_t count,
+                    size_t dims, const double* x, const double* inv_bw,
+                    KernelType type, double norm, bool fast_math);
+
+/// Radius-masked variant for the rkde baseline: sums only points with
+/// z_k <= radius_sq and counts them into *inside. Points outside the
+/// radius (and padding lanes) contribute exactly +0.0.
+double SoaKernelSumWithinRadius(const double* block, size_t padded,
+                                size_t count, size_t dims, const double* x,
+                                const double* inv_bw, double radius_sq,
+                                KernelType type, double norm, bool fast_math,
+                                uint64_t* inside);
+
+/// Backend function table, mirroring simd::SimdOps. The free functions
+/// above dispatch on ActiveSimdBackend(); the equality tests pin a table.
+struct KernelSimdOps {
+  double (*kernel_sum)(const double* block, size_t padded, size_t count,
+                       size_t dims, const double* x, const double* inv_bw,
+                       KernelType type, double norm, bool fast_math);
+  double (*kernel_sum_within)(const double* block, size_t padded,
+                              size_t count, size_t dims, const double* x,
+                              const double* inv_bw, double radius_sq,
+                              KernelType type, double norm, bool fast_math,
+                              uint64_t* inside);
+};
+
+/// The table for `backend`; null when not compiled in.
+const KernelSimdOps* KernelSimdOpsFor(SimdBackend backend);
+const KernelSimdOps& ScalarKernelSimdOps();
+
+}  // namespace simd
+}  // namespace tkdc
+
+#endif  // TKDC_KDE_KERNEL_SIMD_H_

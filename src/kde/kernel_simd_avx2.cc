@@ -1,0 +1,233 @@
+// AVX2 kernel sums over SoA leaf blocks. Compiled with -mavx2 (NOT -mfma)
+// and -ffp-contract=off; only separate multiply/add intrinsics are used,
+// so in default mode every sum is bit-identical to the scalar backend's
+// blocked schedule (common/simd.h contract). The Gaussian profile calls
+// std::exp per lane in default mode — bit-identical — and switches to a
+// vectorized polynomial exp only under fast_math.
+#include "kde/kernel_simd_internal.h"
+
+#if defined(TKDC_SIMD_AVX2)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace tkdc {
+namespace simd {
+namespace {
+
+// Scaled squared distances of one 4-point group: lane k accumulates
+// ((x_j - p_j) * inv_bw_j)^2 sequentially over j, replaying the scalar
+// recurrence exactly (contract rule 1).
+inline __m256d GroupDistances(const double* block, size_t padded, size_t g,
+                              size_t dims, const double* x,
+                              const double* inv_bw) {
+  __m256d z = _mm256_setzero_pd();
+  for (size_t j = 0; j < dims; ++j) {
+    const __m256d row = _mm256_loadu_pd(block + j * padded + g);
+    const __m256d diff = _mm256_sub_pd(_mm256_set1_pd(x[j]), row);
+    const __m256d u = _mm256_mul_pd(diff, _mm256_set1_pd(inv_bw[j]));
+    z = _mm256_add_pd(z, _mm256_mul_pd(u, u));
+  }
+  return z;
+}
+
+// (acc0 + acc2) + (acc1 + acc3): low half + high half, then horizontal —
+// the reduction the scalar backend replays (contract rule 2).
+inline double ReduceBlocked(__m256d acc) {
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  const __m128d s = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+}
+
+// Vectorized exp(a) for a <= 0, used only under fast_math. Standard
+// Cody-Waite range reduction a = n*ln2 + r with a degree-11 Taylor
+// polynomial on r in [-ln2/2, ln2/2] (relative error ~1e-14), scaled by
+// 2^n through direct exponent-bit assembly. Arguments at or below -708
+// (including the -inf of padding lanes, which reduce to NaN here) are
+// masked to exactly +0.0, preserving the padding invariant.
+inline __m256d ExpNonPositive(__m256d a) {
+  const __m256d keep = _mm256_cmp_pd(a, _mm256_set1_pd(-708.0), _CMP_GT_OQ);
+  const __m256d n = _mm256_round_pd(
+      _mm256_mul_pd(a, _mm256_set1_pd(1.4426950408889634074)),
+      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m256d r = _mm256_sub_pd(
+      a, _mm256_mul_pd(n, _mm256_set1_pd(6.93145751953125e-1)));
+  r = _mm256_sub_pd(
+      r, _mm256_mul_pd(n, _mm256_set1_pd(1.42860682030941723212e-6)));
+  __m256d p = _mm256_set1_pd(1.0 / 39916800.0);  // 1/11!
+  p = _mm256_add_pd(_mm256_mul_pd(p, r), _mm256_set1_pd(1.0 / 3628800.0));
+  p = _mm256_add_pd(_mm256_mul_pd(p, r), _mm256_set1_pd(1.0 / 362880.0));
+  p = _mm256_add_pd(_mm256_mul_pd(p, r), _mm256_set1_pd(1.0 / 40320.0));
+  p = _mm256_add_pd(_mm256_mul_pd(p, r), _mm256_set1_pd(1.0 / 5040.0));
+  p = _mm256_add_pd(_mm256_mul_pd(p, r), _mm256_set1_pd(1.0 / 720.0));
+  p = _mm256_add_pd(_mm256_mul_pd(p, r), _mm256_set1_pd(1.0 / 120.0));
+  p = _mm256_add_pd(_mm256_mul_pd(p, r), _mm256_set1_pd(1.0 / 24.0));
+  p = _mm256_add_pd(_mm256_mul_pd(p, r), _mm256_set1_pd(1.0 / 6.0));
+  p = _mm256_add_pd(_mm256_mul_pd(p, r), _mm256_set1_pd(1.0 / 2.0));
+  p = _mm256_add_pd(_mm256_mul_pd(p, r), _mm256_set1_pd(1.0));
+  p = _mm256_add_pd(_mm256_mul_pd(p, r), _mm256_set1_pd(1.0));
+  // 2^n: n is integral and > -1022 wherever `keep` holds, so the biased
+  // exponent stays in range; masked lanes may compute garbage that the
+  // final AND zeroes.
+  const __m128i n32 = _mm256_cvtpd_epi32(n);
+  const __m256i n64 = _mm256_cvtepi32_epi64(n32);
+  const __m256i biased = _mm256_add_epi64(n64, _mm256_set1_epi64x(1023));
+  const __m256d scale = _mm256_castsi256_pd(_mm256_slli_epi64(biased, 52));
+  return _mm256_and_pd(_mm256_mul_pd(p, scale), keep);
+}
+
+// Exact Gaussian profile: per-lane std::exp on the vector-computed
+// distances — the distances are bit-identical to the scalar backend's, so
+// so is each exp result and the blocked sum they feed.
+inline __m256d GaussianExact(__m256d z, double norm) {
+  alignas(32) double zs[4];
+  _mm256_store_pd(zs, z);
+  alignas(32) double v[4];
+  for (int lane = 0; lane < 4; ++lane) {
+    v[lane] = norm * std::exp(-0.5 * zs[lane]);
+  }
+  return _mm256_load_pd(v);
+}
+
+// Compact-support profiles: the z >= 1 branch becomes an AND mask; kept
+// lanes run the identical arithmetic to the scalar ProfileLane, zeroed
+// lanes contribute the identical +0.0 (a norm * (1 - inf) = -inf padding
+// lane is likewise masked to +0.0).
+inline __m256d EpanechnikovProfile(__m256d z, __m256d vnorm) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d mask = _mm256_cmp_pd(z, one, _CMP_LT_OQ);
+  return _mm256_and_pd(_mm256_mul_pd(vnorm, _mm256_sub_pd(one, z)), mask);
+}
+
+inline __m256d UniformProfile(__m256d z, __m256d vnorm) {
+  const __m256d mask = _mm256_cmp_pd(z, _mm256_set1_pd(1.0), _CMP_LT_OQ);
+  return _mm256_and_pd(vnorm, mask);
+}
+
+inline __m256d BiweightProfile(__m256d z, __m256d vnorm) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d mask = _mm256_cmp_pd(z, one, _CMP_LT_OQ);
+  const __m256d t = _mm256_sub_pd(one, z);
+  // Same association as the scalar (norm * (1 - z)) * (1 - z).
+  return _mm256_and_pd(_mm256_mul_pd(_mm256_mul_pd(vnorm, t), t), mask);
+}
+
+template <typename Profile>
+double SumLoop(const double* block, size_t padded, size_t dims,
+               const double* x, const double* inv_bw, Profile&& profile) {
+  __m256d acc = _mm256_setzero_pd();
+  for (size_t g = 0; g < padded; g += kSimdBlockWidth) {
+    acc = _mm256_add_pd(acc,
+                        profile(GroupDistances(block, padded, g, dims, x,
+                                               inv_bw)));
+  }
+  return ReduceBlocked(acc);
+}
+
+template <typename Profile>
+double SumWithinLoop(const double* block, size_t padded, size_t dims,
+                     const double* x, const double* inv_bw, double radius_sq,
+                     uint64_t* inside, Profile&& profile) {
+  __m256d acc = _mm256_setzero_pd();
+  const __m256d radius = _mm256_set1_pd(radius_sq);
+  uint64_t hits = 0;
+  for (size_t g = 0; g < padded; g += kSimdBlockWidth) {
+    const __m256d z = GroupDistances(block, padded, g, dims, x, inv_bw);
+    const __m256d mask = _mm256_cmp_pd(z, radius, _CMP_LE_OQ);
+    acc = _mm256_add_pd(acc, _mm256_and_pd(profile(z), mask));
+    hits += static_cast<uint64_t>(
+        __builtin_popcount(static_cast<unsigned>(_mm256_movemask_pd(mask))));
+  }
+  *inside = hits;
+  return ReduceBlocked(acc);
+}
+
+double SoaKernelSumAvx2(const double* block, size_t padded, size_t count,
+                        size_t dims, const double* x, const double* inv_bw,
+                        KernelType type, double norm, bool fast_math) {
+  (void)count;
+  const __m256d vnorm = _mm256_set1_pd(norm);
+  switch (type) {
+    case KernelType::kGaussian:
+      if (fast_math) {
+        return SumLoop(block, padded, dims, x, inv_bw, [vnorm](__m256d z) {
+          return _mm256_mul_pd(
+              vnorm, ExpNonPositive(_mm256_mul_pd(_mm256_set1_pd(-0.5), z)));
+        });
+      }
+      return SumLoop(block, padded, dims, x, inv_bw, [norm](__m256d z) {
+        return GaussianExact(z, norm);
+      });
+    case KernelType::kEpanechnikov:
+      return SumLoop(block, padded, dims, x, inv_bw, [vnorm](__m256d z) {
+        return EpanechnikovProfile(z, vnorm);
+      });
+    case KernelType::kUniform:
+      return SumLoop(block, padded, dims, x, inv_bw, [vnorm](__m256d z) {
+        return UniformProfile(z, vnorm);
+      });
+    case KernelType::kBiweight:
+      return SumLoop(block, padded, dims, x, inv_bw, [vnorm](__m256d z) {
+        return BiweightProfile(z, vnorm);
+      });
+  }
+  return 0.0;  // Unreachable.
+}
+
+double SoaKernelSumWithinRadiusAvx2(const double* block, size_t padded,
+                                    size_t count, size_t dims,
+                                    const double* x, const double* inv_bw,
+                                    double radius_sq, KernelType type,
+                                    double norm, bool fast_math,
+                                    uint64_t* inside) {
+  (void)count;
+  const __m256d vnorm = _mm256_set1_pd(norm);
+  switch (type) {
+    case KernelType::kGaussian:
+      if (fast_math) {
+        return SumWithinLoop(
+            block, padded, dims, x, inv_bw, radius_sq, inside,
+            [vnorm](__m256d z) {
+              return _mm256_mul_pd(
+                  vnorm,
+                  ExpNonPositive(_mm256_mul_pd(_mm256_set1_pd(-0.5), z)));
+            });
+      }
+      return SumWithinLoop(block, padded, dims, x, inv_bw, radius_sq, inside,
+                           [norm](__m256d z) {
+                             return GaussianExact(z, norm);
+                           });
+    case KernelType::kEpanechnikov:
+      return SumWithinLoop(block, padded, dims, x, inv_bw, radius_sq, inside,
+                           [vnorm](__m256d z) {
+                             return EpanechnikovProfile(z, vnorm);
+                           });
+    case KernelType::kUniform:
+      return SumWithinLoop(block, padded, dims, x, inv_bw, radius_sq, inside,
+                           [vnorm](__m256d z) {
+                             return UniformProfile(z, vnorm);
+                           });
+    case KernelType::kBiweight:
+      return SumWithinLoop(block, padded, dims, x, inv_bw, radius_sq, inside,
+                           [vnorm](__m256d z) {
+                             return BiweightProfile(z, vnorm);
+                           });
+  }
+  return 0.0;  // Unreachable.
+}
+
+constexpr KernelSimdOps kAvx2KernelOps = {
+    &SoaKernelSumAvx2,
+    &SoaKernelSumWithinRadiusAvx2,
+};
+
+}  // namespace
+
+const KernelSimdOps* Avx2KernelSimdOpsImpl() { return &kAvx2KernelOps; }
+
+}  // namespace simd
+}  // namespace tkdc
+
+#endif  // TKDC_SIMD_AVX2

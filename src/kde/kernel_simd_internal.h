@@ -1,0 +1,18 @@
+#ifndef TKDC_KDE_KERNEL_SIMD_INTERNAL_H_
+#define TKDC_KDE_KERNEL_SIMD_INTERNAL_H_
+
+#include "kde/kernel_simd.h"
+
+namespace tkdc {
+namespace simd {
+
+/// Backend table providers, defined by their translation units when the
+/// backend is compiled in (kernel_simd_avx2.cc / kernel_simd_neon.cc);
+/// otherwise kernel_simd.cc supplies a stub returning null.
+const KernelSimdOps* Avx2KernelSimdOpsImpl();
+const KernelSimdOps* NeonKernelSimdOpsImpl();
+
+}  // namespace simd
+}  // namespace tkdc
+
+#endif  // TKDC_KDE_KERNEL_SIMD_INTERNAL_H_

@@ -1,0 +1,137 @@
+// NEON kernel sums over SoA leaf blocks, processing the 4-lane logical
+// block as two float64x2_t halves. No vfmaq and -ffp-contract=off, so the
+// sums are bit-identical to the scalar backend's blocked schedule
+// (common/simd.h contract). The Gaussian profile always uses per-lane
+// std::exp here: this backend ignores fast_math and stays exact, which
+// trivially satisfies the --fast-math-leaf epsilon band.
+#include "kde/kernel_simd_internal.h"
+
+#if defined(TKDC_SIMD_NEON)
+
+#include <arm_neon.h>
+
+#include <cmath>
+
+namespace tkdc {
+namespace simd {
+namespace {
+
+struct GroupZ {
+  float64x2_t z01;
+  float64x2_t z23;
+};
+
+inline GroupZ GroupDistances(const double* block, size_t padded, size_t g,
+                             size_t dims, const double* x,
+                             const double* inv_bw) {
+  GroupZ z = {vdupq_n_f64(0.0), vdupq_n_f64(0.0)};
+  for (size_t j = 0; j < dims; ++j) {
+    const double* row = block + j * padded + g;
+    const float64x2_t xj = vdupq_n_f64(x[j]);
+    const float64x2_t bj = vdupq_n_f64(inv_bw[j]);
+    const float64x2_t u01 = vmulq_f64(vsubq_f64(xj, vld1q_f64(row)), bj);
+    const float64x2_t u23 = vmulq_f64(vsubq_f64(xj, vld1q_f64(row + 2)), bj);
+    z.z01 = vaddq_f64(z.z01, vmulq_f64(u01, u01));
+    z.z23 = vaddq_f64(z.z23, vmulq_f64(u23, u23));
+  }
+  return z;
+}
+
+// (acc0 + acc2) + (acc1 + acc3): pairwise half sum, then lane 0 + lane 1.
+inline double ReduceBlocked(float64x2_t acc01, float64x2_t acc23) {
+  const float64x2_t s = vaddq_f64(acc01, acc23);
+  return vgetq_lane_f64(s, 0) + vgetq_lane_f64(s, 1);
+}
+
+inline float64x2_t MaskAnd(float64x2_t value, uint64x2_t mask) {
+  return vreinterpretq_f64_u64(
+      vandq_u64(vreinterpretq_u64_f64(value), mask));
+}
+
+// Per-half profile evaluation; identical arithmetic to the scalar
+// ProfileLane, with the z >= 1 branch of the compact families as an AND
+// mask (zeroed lanes contribute the identical +0.0, padding included).
+inline float64x2_t ProfileHalf(KernelType type, float64x2_t z,
+                               float64x2_t vnorm) {
+  switch (type) {
+    case KernelType::kGaussian: {
+      double zs[2];
+      vst1q_f64(zs, z);
+      const double n = vgetq_lane_f64(vnorm, 0);
+      float64x2_t v = vdupq_n_f64(n * std::exp(-0.5 * zs[0]));
+      return vsetq_lane_f64(n * std::exp(-0.5 * zs[1]), v, 1);
+    }
+    case KernelType::kEpanechnikov: {
+      const float64x2_t one = vdupq_n_f64(1.0);
+      const uint64x2_t mask = vcltq_f64(z, one);
+      return MaskAnd(vmulq_f64(vnorm, vsubq_f64(one, z)), mask);
+    }
+    case KernelType::kUniform: {
+      const uint64x2_t mask = vcltq_f64(z, vdupq_n_f64(1.0));
+      return MaskAnd(vnorm, mask);
+    }
+    case KernelType::kBiweight: {
+      const float64x2_t one = vdupq_n_f64(1.0);
+      const uint64x2_t mask = vcltq_f64(z, one);
+      const float64x2_t t = vsubq_f64(one, z);
+      return MaskAnd(vmulq_f64(vmulq_f64(vnorm, t), t), mask);
+    }
+  }
+  return vdupq_n_f64(0.0);  // Unreachable.
+}
+
+double SoaKernelSumNeon(const double* block, size_t padded, size_t count,
+                        size_t dims, const double* x, const double* inv_bw,
+                        KernelType type, double norm, bool fast_math) {
+  (void)count;
+  (void)fast_math;
+  const float64x2_t vnorm = vdupq_n_f64(norm);
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  for (size_t g = 0; g < padded; g += kSimdBlockWidth) {
+    const GroupZ z = GroupDistances(block, padded, g, dims, x, inv_bw);
+    acc01 = vaddq_f64(acc01, ProfileHalf(type, z.z01, vnorm));
+    acc23 = vaddq_f64(acc23, ProfileHalf(type, z.z23, vnorm));
+  }
+  return ReduceBlocked(acc01, acc23);
+}
+
+double SoaKernelSumWithinRadiusNeon(const double* block, size_t padded,
+                                    size_t count, size_t dims,
+                                    const double* x, const double* inv_bw,
+                                    double radius_sq, KernelType type,
+                                    double norm, bool fast_math,
+                                    uint64_t* inside) {
+  (void)count;
+  (void)fast_math;
+  const float64x2_t vnorm = vdupq_n_f64(norm);
+  const float64x2_t radius = vdupq_n_f64(radius_sq);
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  uint64_t hits = 0;
+  for (size_t g = 0; g < padded; g += kSimdBlockWidth) {
+    const GroupZ z = GroupDistances(block, padded, g, dims, x, inv_bw);
+    const uint64x2_t m01 = vcleq_f64(z.z01, radius);
+    const uint64x2_t m23 = vcleq_f64(z.z23, radius);
+    acc01 = vaddq_f64(acc01, MaskAnd(ProfileHalf(type, z.z01, vnorm), m01));
+    acc23 = vaddq_f64(acc23, MaskAnd(ProfileHalf(type, z.z23, vnorm), m23));
+    hits += (vgetq_lane_u64(m01, 0) & 1) + (vgetq_lane_u64(m01, 1) & 1) +
+            (vgetq_lane_u64(m23, 0) & 1) + (vgetq_lane_u64(m23, 1) & 1);
+  }
+  *inside = hits;
+  return ReduceBlocked(acc01, acc23);
+}
+
+constexpr KernelSimdOps kNeonKernelOps = {
+    &SoaKernelSumNeon,
+    &SoaKernelSumWithinRadiusNeon,
+};
+
+}  // namespace
+
+const KernelSimdOps* NeonKernelSimdOpsImpl() { return &kNeonKernelOps; }
+
+}  // namespace simd
+}  // namespace tkdc
+
+#endif  // TKDC_SIMD_NEON

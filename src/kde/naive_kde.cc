@@ -5,17 +5,17 @@
 namespace tkdc {
 
 NaiveKde::NaiveKde(const Dataset& data, Kernel kernel)
-    : data_(data), kernel_(std::move(kernel)) {
+    : data_(data), kernel_(std::move(kernel)), soa_(data_) {
   TKDC_CHECK(!data_.empty());
   TKDC_CHECK(kernel_.dims() == data_.dims());
 }
 
 double NaiveKde::Density(std::span<const double> x) const {
   const size_t n = data_.size();
-  double sum = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    sum += kernel_.Evaluate(x, data_.Row(i));
-  }
+  const double sum = soa_.KernelSum(x.data(),
+                                    kernel_.inverse_bandwidths().data(),
+                                    kernel_.type(), kernel_.norm(),
+                                    /*fast_math=*/false);
   kernel_evaluations_ += n;
   return sum / static_cast<double>(n);
 }

@@ -7,6 +7,7 @@
 
 #include "data/dataset.h"
 #include "kde/kernel.h"
+#include "kde/soa_matrix.h"
 
 namespace tkdc {
 
@@ -40,6 +41,9 @@ class NaiveKde {
  private:
   Dataset data_;
   Kernel kernel_;
+  // SoA mirror of data_ for the vectorized full-scan sum. Always exact
+  // (no fast-math): this estimator is the ground-truth oracle.
+  SoaMatrix soa_;
   mutable uint64_t kernel_evaluations_ = 0;
 };
 

@@ -1,0 +1,44 @@
+#include "kde/soa_matrix.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace tkdc {
+
+SoaMatrix::SoaMatrix(const Dataset& data)
+    : size_(data.size()), dims_(data.dims()) {
+  const size_t n = size_;
+  blocks_.reserve((n + kBlockPoints - 1) / kBlockPoints);
+  size_t total = 0;
+  for (size_t begin = 0; begin < n; begin += kBlockPoints) {
+    const size_t count = std::min(kBlockPoints, n - begin);
+    blocks_.push_back({total, count});
+    total += SimdPaddedCount(count) * dims_;
+  }
+  storage_.assign(total, std::numeric_limits<double>::infinity());
+  size_t point = 0;
+  for (const Block& block : blocks_) {
+    const size_t padded = SimdPaddedCount(block.count);
+    for (size_t k = 0; k < block.count; ++k) {
+      const std::span<const double> row = data.Row(point + k);
+      for (size_t j = 0; j < dims_; ++j) {
+        storage_[block.offset + j * padded + k] = row[j];
+      }
+    }
+    point += block.count;
+  }
+}
+
+double SoaMatrix::KernelSum(const double* x, const double* inv_bw,
+                            KernelType type, double norm,
+                            bool fast_math) const {
+  double sum = 0.0;
+  for (const Block& block : blocks_) {
+    sum += simd::SoaKernelSum(storage_.data() + block.offset,
+                              SimdPaddedCount(block.count), block.count,
+                              dims_, x, inv_bw, type, norm, fast_math);
+  }
+  return sum;
+}
+
+}  // namespace tkdc

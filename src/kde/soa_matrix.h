@@ -1,0 +1,52 @@
+#ifndef TKDC_KDE_SOA_MATRIX_H_
+#define TKDC_KDE_SOA_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+#include "kde/kernel_simd.h"
+
+namespace tkdc {
+
+/// Structure-of-arrays mirror of a Dataset for the flat-scan engines
+/// (NaiveKde and the simple baseline). Points are split into fixed-size
+/// blocks; inside each block every dimension is contiguous and padded to
+/// simd::kSimdBlockWidth with +infinity, the layout the simd kernel-sum
+/// primitives consume. Block boundaries are a function of size() alone, so
+/// KernelSum's summation schedule — blocked within a block, sequential
+/// across blocks — is identical no matter which backend runs it, keeping
+/// the scalar/SIMD bit-equality contract of common/simd.h.
+class SoaMatrix {
+ public:
+  /// Block granularity in points. A multiple of kSimdBlockWidth, sized so
+  /// one block's doubles stay cache-resident across the dimension sweep.
+  static constexpr size_t kBlockPoints = 1024;
+
+  SoaMatrix() = default;
+  explicit SoaMatrix(const Dataset& data);
+
+  size_t size() const { return size_; }
+  size_t dims() const { return dims_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Sum over all points of profile(z_i, norm), dispatched to the active
+  /// SIMD backend block by block. `x` and `inv_bw` hold dims() doubles.
+  double KernelSum(const double* x, const double* inv_bw, KernelType type,
+                   double norm, bool fast_math) const;
+
+ private:
+  struct Block {
+    size_t offset;  // Index into storage_ of this block's first double.
+    size_t count;   // Real (unpadded) points in the block.
+  };
+
+  size_t size_ = 0;
+  size_t dims_ = 0;
+  std::vector<Block> blocks_;
+  std::vector<double> storage_;
+};
+
+}  // namespace tkdc
+
+#endif  // TKDC_KDE_SOA_MATRIX_H_

@@ -52,6 +52,9 @@ std::string TkdcConfig::OptimizationSummary() const {
   summary += use_grid ? " +grid" : " -grid";
   summary += " split=" + SplitRuleName(split_rule);
   summary += " index=" + IndexBackendName(index_backend);
+  summary += " simd=";
+  summary += SimdBackendName(ActiveSimdBackend());
+  if (fast_math_leaf) summary += " +fast-math-leaf";
   return summary;
 }
 

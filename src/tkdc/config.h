@@ -81,6 +81,16 @@ struct TkdcConfig {
   /// always serial.
   size_t num_threads = 0;
 
+  /// Leaf-scan fast-math mode: lets the SIMD backends evaluate the
+  /// Gaussian leaf sums with a vectorized polynomial exp (relative error
+  /// ~1e-14) instead of the bit-exact per-lane std::exp. Off by default —
+  /// the default invariant is classification bit-identical to the scalar
+  /// path; turning this on trades that for leaf throughput within the
+  /// epsilon band the property tests enforce. No effect on the compact
+  /// kernels, the scalar backend, or any bound computation (bounds stay
+  /// exact so pruning stays certified).
+  bool fast_math_leaf = false;
+
   /// Checks every field against its legal range. Returns OK or an error
   /// naming the first out-of-range field. Configs come from user input
   /// (CLI flags, env, serve requests), so validation is a recoverable

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "kde/kernel_simd.h"
 #include "kde/query_metrics.h"
 
 namespace tkdc {
@@ -35,7 +36,9 @@ DensityBoundEvaluator::DensityBoundEvaluator(const SpatialIndex* tree,
       kernel_(kernel),
       config_(config),
       profile_(kernel->scaled_profile()),
-      norm_(kernel->norm()) {
+      norm_(kernel->norm()),
+      type_(kernel->type()),
+      fast_math_(config->fast_math_leaf) {
   TKDC_CHECK(tree != nullptr && kernel != nullptr && config != nullptr);
   TKDC_CHECK(tree->dims() == kernel->dims());
   inv_n_ = 1.0 / static_cast<double>(tree->size());
@@ -219,10 +222,24 @@ DensityBounds DensityBoundEvaluator::RunPointTraversal(
     TreeQueryContext& ctx, std::span<const double> x, double t_lo, double t_hi,
     double tolerance, double f_lo, double f_hi) const {
   auto& queue = ctx.queue;
+  const auto inv_bw = std::span<const double>(kernel_->inverse_bandwidths());
   const double eps = config_->epsilon;
   const double high_cut = t_hi * (1.0 + eps);  // Threshold rule, Eq. 9.
   const double low_cut = t_lo * (1.0 - eps);
   if (tolerance < 0.0) tolerance = eps * t_lo;  // Tolerance rule, Eq. 8.
+
+  // Child entry from precomputed Eq. 6 distance bounds — MakeEntry minus
+  // the per-node bound call, fed by the batched two-children pass below.
+  auto child_entry = [&](int32_t child, double z_min, double z_max) {
+    const IndexNode& child_node = tree_->node(static_cast<size_t>(child));
+    const double weight = static_cast<double>(child_node.count()) * inv_n_;
+    TraversalQueueEntry entry;
+    entry.node = static_cast<uint32_t>(child);
+    entry.max_contribution = weight * profile_(z_min, norm_);
+    entry.min_contribution = weight * profile_(z_max, norm_);
+    entry.priority = entry.max_contribution - entry.min_contribution;
+    return entry;
+  };
 
   if (ctx.tracer != nullptr) {
     const uint32_t seed = queue.empty() ? 0u : queue.front().node;
@@ -258,21 +275,30 @@ DensityBounds DensityBoundEvaluator::RunPointTraversal(
 
     const IndexNode& node = tree_->node(current.node);
     if (node.is_leaf()) {
-      double exact = 0.0;
-      for (size_t i = node.begin; i < node.end; ++i) {
-        exact +=
-            profile_(kernel_->ScaledSquaredDistance(x, tree_->Point(i)), norm_);
-      }
+      // Vectorized SoA leaf sum (kde/kernel_simd.h): the kernel evaluations
+      // run one point per SIMD lane, bit-identical across backends in the
+      // default mode (fast_math_ swaps the Gaussian exp for a vectorized
+      // polynomial inside the --fast-math-leaf epsilon band).
+      const SpatialIndex::SoaLeaf leaf = tree_->LeafSoa(current.node);
+      double exact =
+          simd::SoaKernelSum(leaf.block, leaf.padded, leaf.count,
+                             tree_->dims(), x.data(), inv_bw.data(), type_,
+                             norm_, fast_math_);
       ctx.stats.kernel_evaluations += node.count();
       ctx.stats.leaf_points_evaluated += node.count();
       exact *= inv_n_;
       f_lo += exact;
       f_hi += exact;
     } else {
-      TraversalQueueEntry left =
-          MakeEntry(ctx, x, static_cast<uint32_t>(node.left));
-      TraversalQueueEntry right =
-          MakeEntry(ctx, x, static_cast<uint32_t>(node.right));
+      // Both children's Eq. 6 distance bounds in one batched pass (one
+      // vector lane per bound — bit-identical to two per-child calls, see
+      // common/simd.h), then the same contribution/clamp math as MakeEntry.
+      double zb[4] = {0.0, 0.0, 0.0, 0.0};
+      tree_->NodeChildrenScaledSquaredDistanceBounds(current.node, x, inv_bw,
+                                                     zb);
+      TraversalQueueEntry left = child_entry(node.left, zb[0], zb[1]);
+      TraversalQueueEntry right = child_entry(node.right, zb[2], zb[3]);
+      ctx.stats.kernel_evaluations += 4;
       const double inv_parent_count = 1.0 / static_cast<double>(node.count());
       ClampByParent(
           left, current,

@@ -171,6 +171,9 @@ class DensityBoundEvaluator {
   // Hot-loop dispatch hoisted once (see Kernel::scaled_profile()).
   Kernel::ScaledProfileFn profile_ = nullptr;
   double norm_ = 0.0;
+  // Leaf-sum parameters for the vectorized SoA path (kde/kernel_simd.h).
+  KernelType type_ = KernelType::kGaussian;
+  bool fast_math_ = false;
 };
 
 }  // namespace tkdc

@@ -17,7 +17,10 @@ GridCache::GridCache(const Dataset& data, const Kernel& kernel)
   }
   // Cell widths equal bandwidths, so in kernel-scaled units the cell
   // diagonal has squared length exactly d.
-  diag_kernel_value_ = kernel.EvaluateScaled(static_cast<double>(dims_));
+  // Resolved profile instead of the per-call EvaluateScaled switch
+  // (bit-identical; see Kernel::scaled_profile()).
+  diag_kernel_value_ =
+      kernel.scaled_profile()(static_cast<double>(dims_), kernel.norm());
   inv_n_ = 1.0 / static_cast<double>(data.size());
   counts_.reserve(data.size() / 4);
   for (size_t i = 0; i < data.size(); ++i) {

@@ -104,9 +104,10 @@ class Reader {
 };
 
 // Config block. The writer always emits the current version; the
-// index_backend field joined in version 3, so the reader is version-gated
-// and legacy files resolve to the backend they were invariably built with
-// (k-d tree), never to the loader's environment default.
+// index_backend field joined in version 3 and fast_math_leaf in version 4,
+// so the reader is version-gated and legacy files resolve to the defaults
+// they were invariably built with (k-d tree, exact leaf math), never to
+// the loader's environment default.
 void WriteConfig(Writer& w, const TkdcConfig& config) {
   w.F64(config.p);
   w.F64(config.epsilon);
@@ -128,6 +129,7 @@ void WriteConfig(Writer& w, const TkdcConfig& config) {
   w.F64(config.h_growth);
   w.U64(config.seed);
   w.U32(static_cast<uint32_t>(config.index_backend));
+  w.U8(config.fast_math_leaf ? 1 : 0);
 }
 
 bool ReadConfig(Reader& r, uint32_t version, TkdcConfig* config) {
@@ -146,12 +148,15 @@ bool ReadConfig(Reader& r, uint32_t version, TkdcConfig* config) {
   }
   uint32_t index_backend = static_cast<uint32_t>(IndexBackend::kKdTree);
   if (version >= 3 && !r.U32(&index_backend)) return false;
+  uint8_t fast_math_leaf = 0;
+  if (version >= 4 && !r.U8(&fast_math_leaf)) return false;
   if (kernel > 3 || bandwidth_rule > 1 || split_rule > 2 || axis_rule > 1 ||
       index_backend > 1 || leaf_size == 0) {
     return false;
   }
   config->kernel = static_cast<KernelType>(kernel);
   config->index_backend = static_cast<IndexBackend>(index_backend);
+  config->fast_math_leaf = fast_math_leaf != 0;
   config->bandwidth_rule = static_cast<BandwidthRule>(bandwidth_rule);
   config->use_threshold_rule = threshold_rule != 0;
   config->use_tolerance_rule = tolerance_rule != 0;
@@ -198,7 +203,10 @@ bool ReadValues(Reader& r, uint64_t dims, uint64_t n,
 // and the backend-specific geometry (k-d boxes, or ball centroids +
 // annulus radii + build scale). The raw training values already precede this section, so
 // the reordered point storage is reconstructed from the permutation rather
-// than stored twice.
+// than stored twice. Version 4 appends an SoA leaf-layout descriptor
+// (lane width, leaf count, total padded doubles); the SoA mirror itself
+// is derived from the reordered points and is rebuilt on load, so the
+// descriptor is a cross-check, not storage.
 void WriteIndexSection(Writer& w, const SpatialIndex& index) {
   w.U8(static_cast<uint8_t>(index.backend()));
   w.U64(index.num_nodes());
@@ -248,6 +256,11 @@ void WriteIndexSection(Writer& w, const SpatialIndex& index) {
       break;
     }
   }
+  // Version-4 SoA descriptor. Lane width is an architectural constant of
+  // the format: a file written here must rebuild to exactly this layout.
+  w.U64(kSimdBlockWidth);
+  w.U64(index.num_soa_leaves());
+  w.U64(index.num_soa_doubles());
 }
 
 // Validates the serialized topology: node 0 must cover every reordered row,
@@ -301,6 +314,7 @@ bool FiniteVec(const std::vector<double>& v) {
 // rules); the backend comes from the section's own tag. Returns nullptr
 // with `*why` set on any structural violation.
 std::unique_ptr<const SpatialIndex> ReadIndexSection(Reader& r,
+                                                     uint32_t version,
                                                      const Dataset& data,
                                                      IndexOptions options,
                                                      std::string* why) {
@@ -362,6 +376,7 @@ std::unique_ptr<const SpatialIndex> ReadIndexSection(Reader& r,
     std::copy(row.begin(), row.end(), reordered.begin() + i * dims);
   }
 
+  std::unique_ptr<const SpatialIndex> index;
   switch (options.backend) {
     case IndexBackend::kKdTree: {
       std::vector<double> geometry;
@@ -385,9 +400,10 @@ std::unique_ptr<const SpatialIndex> ReadIndexSection(Reader& r,
         box.Extend({max, dims});
         boxes[i] = std::move(box);
       }
-      return std::make_unique<const KdTree>(
+      index = std::make_unique<const KdTree>(
           dims, std::move(reordered), std::move(original_index),
           std::move(nodes), std::move(boxes), std::move(options));
+      break;
     }
     case IndexBackend::kBallTree: {
       std::vector<double> centroids, radii, radii_min, scale;
@@ -414,14 +430,35 @@ std::unique_ptr<const SpatialIndex> ReadIndexSection(Reader& r,
           return nullptr;
         }
       }
-      return std::make_unique<const BallTree>(
+      index = std::make_unique<const BallTree>(
           dims, std::move(reordered), std::move(original_index),
           std::move(nodes), std::move(centroids), std::move(radii),
           std::move(radii_min), std::move(scale), std::move(options));
+      break;
     }
   }
-  *why = "unknown index backend";
-  return nullptr;
+  if (index == nullptr) {
+    *why = "unknown index backend";
+    return nullptr;
+  }
+  if (version >= 4) {
+    // SoA descriptor: the restore constructors just rebuilt the mirror
+    // from the reordered points, so the stored layout must agree exactly —
+    // a mismatch means the file was written by an incompatible layout (or
+    // corrupted) and leaf scans would disagree with the writer.
+    uint64_t lane_width = 0, soa_leaves = 0, soa_doubles = 0;
+    if (!r.U64(&lane_width) || !r.U64(&soa_leaves) || !r.U64(&soa_doubles)) {
+      *why = "truncated SoA descriptor";
+      return nullptr;
+    }
+    if (lane_width != kSimdBlockWidth ||
+        soa_leaves != index->num_soa_leaves() ||
+        soa_doubles != index->num_soa_doubles()) {
+      *why = "SoA descriptor does not match the rebuilt index layout";
+      return nullptr;
+    }
+  }
+  return index;
 }
 
 uint32_t TagFor(const DensityClassifier& classifier) {
@@ -505,7 +542,7 @@ std::unique_ptr<TkdcClassifier> ReadTkdcSection(Reader& r, uint32_t version,
   std::unique_ptr<const SpatialIndex> index;
   if (version >= 3) {
     std::string why;
-    index = ReadIndexSection(r, data, config.MakeIndexOptions(), &why);
+    index = ReadIndexSection(r, version, data, config.MakeIndexOptions(), &why);
     if (index == nullptr) {
       *error = path + ": " + why;
       return nullptr;
@@ -606,7 +643,7 @@ std::unique_ptr<DensityClassifier> ReadRkdeSection(Reader& r, uint32_t version,
   if (version >= 3) {
     std::string why;
     index =
-        ReadIndexSection(r, data, options.base.MakeIndexOptions(), &why);
+        ReadIndexSection(r, version, data, options.base.MakeIndexOptions(), &why);
     if (index == nullptr) {
       *error = path + ": " + why;
       return nullptr;
@@ -712,7 +749,7 @@ std::unique_ptr<DensityClassifier> ReadKnnSection(Reader& r, uint32_t version,
     IndexOptions index_options;
     index_options.leaf_size = options.leaf_size;
     std::string why;
-    index = ReadIndexSection(r, data, std::move(index_options), &why);
+    index = ReadIndexSection(r, version, data, std::move(index_options), &why);
     if (index == nullptr) {
       *error = path + ": " + why;
       return nullptr;

@@ -47,9 +47,13 @@ std::unique_ptr<DensityClassifier> LoadAnyModel(const std::string& path,
                                                 std::string* error);
 
 /// Current model format version written by SaveModel. Version 1 (tkdc
-/// only, no algorithm tag) and version 2 (algorithm tag, no serialized
-/// index — always k-d tree) are still readable.
-inline constexpr uint32_t kModelFormatVersion = 3;
+/// only, no algorithm tag), version 2 (algorithm tag, no serialized
+/// index — always k-d tree), and version 3 (serialized index, no SoA
+/// descriptor) are still readable. Version 4 adds the fast_math_leaf
+/// config flag and an SoA leaf-layout descriptor to the index section;
+/// the SoA mirror itself is derived state, always rebuilt on load and
+/// never serialized — the descriptor only cross-checks the rebuild.
+inline constexpr uint32_t kModelFormatVersion = 4;
 
 }  // namespace tkdc
 

@@ -310,6 +310,104 @@ INSTANTIATE_TEST_SUITE_P(AllKernels, BackendAgreement,
                            return KernelName(info.param);
                          });
 
+// --- Fast-math leaf mode ------------------------------------------------
+//
+// --fast-math-leaf swaps the Gaussian leaf scan's per-lane std::exp for a
+// vectorized polynomial approximation. It is NOT bit-identical to the
+// default, so it is gated behind this property: the certified interval of
+// an exhaustive fast-math traversal must land within a band around the
+// exact density far tighter than the classifier's epsilon tolerance —
+// i.e. the approximation error is absorbed by the same slack the
+// tolerance rule already grants. Runs on both index backends; the other
+// kernel families ignore the flag (their profiles are polynomial), which
+// the suite in tests/kde/simd_equivalence_test.cc checks bit-for-bit.
+class FastMathLeafBand : public ::testing::TestWithParam<IndexBackend> {};
+
+TEST_P(FastMathLeafBand, ExhaustiveFastMathDensityWithinEpsilonBand) {
+  TkdcConfig exact_config;
+  exact_config.kernel = KernelType::kGaussian;
+  exact_config.index_backend = GetParam();
+  exact_config.use_threshold_rule = false;
+  exact_config.use_tolerance_rule = false;
+  TkdcConfig fast_config = exact_config;
+  fast_config.fast_math_leaf = true;
+  Rng rng(6000);
+  const Dataset data = SampleStandardGaussian(600, 3, rng);
+  Kernel kernel(exact_config.kernel,
+                SelectBandwidths(exact_config.bandwidth_rule, data,
+                                 exact_config.bandwidth_scale));
+  const auto tree = BuildIndex(
+      data, exact_config.MakeIndexOptions(kernel.inverse_bandwidths()));
+  // Two evaluators over the SAME tree: the only difference is the leaf
+  // exp. Comparing against the exact-mode evaluator (rather than NaiveKde)
+  // isolates the approximation error from summation-order noise, which is
+  // shared by both modes and already covered by the exact-mode suites.
+  DensityBoundEvaluator exact_evaluator(tree.get(), &kernel, &exact_config);
+  DensityBoundEvaluator fast_evaluator(tree.get(), &kernel, &fast_config);
+
+  TreeQueryContext exact_ctx, fast_ctx;
+  Rng probe(61);
+  std::vector<double> q(3);
+  // The vectorized exp is accurate to ~1e-14 relative per term; the band
+  // enforced here is orders of magnitude inside config.epsilon (1e-2 by
+  // default), so fast-math can never flip a label the tolerance rule
+  // wouldn't already permit to flip.
+  const double band = 1e-12;
+  ASSERT_LT(band, exact_config.epsilon);
+  for (int trial = 0; trial < kQueriesPerKernel; ++trial) {
+    for (double& v : q) v = probe.Uniform(-3.5, 3.5);
+    const double exact =
+        exact_evaluator.BoundDensity(exact_ctx, q, 0.5, 0.5).Midpoint();
+    const double fast =
+        fast_evaluator.BoundDensity(fast_ctx, q, 0.5, 0.5).Midpoint();
+    EXPECT_NEAR(fast, exact, band * exact + 1e-300) << "trial " << trial;
+  }
+}
+
+// With pruning re-enabled, fast-math labels agree with the exact-mode
+// classifier outside the epsilon band — the same agreement contract the
+// two index backends hold to each other.
+TEST_P(FastMathLeafBand, LabelsMatchExactModeOutsideEpsilonBand) {
+  TkdcConfig exact_config;
+  exact_config.kernel = KernelType::kGaussian;
+  exact_config.index_backend = GetParam();
+  TkdcConfig fast_config = exact_config;
+  fast_config.fast_math_leaf = true;
+
+  Rng rng(6100);
+  const Dataset data = SampleStandardGaussian(1200, 2, rng);
+  TkdcClassifier exact_classifier(exact_config);
+  exact_classifier.Train(data);
+  TkdcClassifier fast_classifier(fast_config);
+  fast_classifier.Train(data);
+  const double t = exact_classifier.threshold();
+  EXPECT_NEAR(fast_classifier.threshold(), t,
+              2.0 * exact_config.epsilon * t + 1e-12);
+
+  NaiveKde naive(data, exact_classifier.kernel());
+  Rng probe(67);
+  int checked = 0;
+  std::vector<double> q(2);
+  for (int trial = 0; trial < kQueriesPerKernel; ++trial) {
+    for (double& v : q) v = probe.Uniform(-4.0, 4.0);
+    const double exact = naive.Density(q);
+    if (std::fabs(exact - t) < 2.5 * exact_config.epsilon * t + 1e-12) {
+      continue;
+    }
+    ++checked;
+    EXPECT_EQ(exact_classifier.Classify(q), fast_classifier.Classify(q))
+        << "trial " << trial << " exact=" << exact << " t=" << t;
+  }
+  EXPECT_GT(checked, kQueriesPerKernel / 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothBackends, FastMathLeafBand,
+                         ::testing::Values(IndexBackend::kKdTree,
+                                           IndexBackend::kBallTree),
+                         [](const auto& info) {
+                           return IndexBackendName(info.param);
+                         });
+
 // The tracer is strictly opt-in: with no tracer attached the traversal
 // still records the cutoff reason but captures no steps.
 TEST(TraversalTracerTest, DetachedTraversalStillSetsLastCutoff) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/simd.h"
 #include "data/generators.h"
 #include "tkdc/classifier.h"
 
@@ -38,16 +39,24 @@ TEST(TkdcConfigTest, ValidateAcceptsDefaults) {
 }
 
 TEST(TkdcConfigTest, OptimizationSummaryReflectsSwitches) {
+  // The simd token reports the runtime dispatch decision, so the expected
+  // string is host-dependent (scalar on machines without AVX2/NEON).
+  const std::string simd =
+      std::string(" simd=") + SimdBackendName(ActiveSimdBackend());
   TkdcConfig config;
   config.index_backend = IndexBackend::kKdTree;
   EXPECT_EQ(config.OptimizationSummary(),
-            "+threshold +tolerance +grid split=trimmed index=kdtree");
+            "+threshold +tolerance +grid split=trimmed index=kdtree" + simd);
   config.use_threshold_rule = false;
   config.use_grid = false;
   config.split_rule = SplitRule::kMedian;
   config.index_backend = IndexBackend::kBallTree;
   EXPECT_EQ(config.OptimizationSummary(),
-            "-threshold +tolerance -grid split=median index=balltree");
+            "-threshold +tolerance -grid split=median index=balltree" + simd);
+  config.fast_math_leaf = true;
+  EXPECT_EQ(config.OptimizationSummary(),
+            "-threshold +tolerance -grid split=median index=balltree" + simd +
+                " +fast-math-leaf");
 }
 
 // Config fields are user input (CLI flags, serve requests), so out-of-range

@@ -11,6 +11,7 @@
 #include "tkdc/model_io.h"
 
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -160,6 +161,45 @@ TEST_P(ModelIoFuzzTest, TruncationAtEveryRegionIsRejected) {
     EXPECT_EQ(LoadAnyModel(trunc_path, &error), nullptr)
         << "silently loaded a file truncated to " << length << " bytes";
     EXPECT_FALSE(error.empty()) << "length " << length;
+  }
+}
+
+// Version-4 descriptor corruption with checksum fixup: the FNV-1a trailer
+// catches blind flips, so this variant recomputes it after altering each
+// SoA descriptor field — the loader must then fall to the semantic check
+// (descriptor vs rebuilt layout), not accept the file. Tree-backed
+// sections end with the index section, so the descriptor is the 24 bytes
+// before the 8-byte checksum.
+TEST_P(ModelIoFuzzTest, CorruptedSoaDescriptorWithFixedChecksumIsRejected) {
+  const std::string name = GetParam();
+  if (name == "simple" || name == "binned") {
+    GTEST_SKIP() << name << " models carry no spatial index";
+  }
+  const std::string path = TempPath("soa.tkdc");
+  const std::string pristine = SaveTrainedModel(path);
+  ASSERT_GT(pristine.size(), 40u);
+  const std::string bad_path = TempPath("soa_bad.tkdc");
+  for (int field = 0; field < 3; ++field) {
+    std::string corrupted = pristine;
+    const size_t offset =
+        corrupted.size() - 8 - 24 + static_cast<size_t>(field) * 8;
+    uint64_t value = 0;
+    std::memcpy(&value, corrupted.data() + offset, sizeof(value));
+    value += 1;  // Off-by-one: the subtlest layout mismatch.
+    std::memcpy(corrupted.data() + offset, &value, sizeof(value));
+    uint64_t checksum = 0xcbf29ce484222325ULL;
+    for (size_t i = 8; i < corrupted.size() - 8; ++i) {
+      checksum ^= static_cast<unsigned char>(corrupted[i]);
+      checksum *= 0x100000001b3ULL;
+    }
+    std::memcpy(corrupted.data() + corrupted.size() - 8, &checksum,
+                sizeof(checksum));
+    WriteBytes(bad_path, corrupted);
+    std::string error;
+    EXPECT_EQ(LoadAnyModel(bad_path, &error), nullptr)
+        << "descriptor field " << field << " accepted";
+    EXPECT_NE(error.find("SoA"), std::string::npos)
+        << "field " << field << ": " << error;
   }
 }
 

@@ -33,10 +33,12 @@ uint64_t Fnv1a(const std::string& bytes) {
 }
 
 // Rebuilds the pre-version-3 flavor of a serialized tkdc section by
-// removing the two version-3 additions: the index_backend config field
-// (4 bytes at the end of the fixed-size config prefix) and the trailing
-// spatial-index section, whose byte length follows from the tree shape
-// (k-d geometry: one DoubleVec of 2 * dims doubles per node).
+// removing everything versions 3 and 4 added: the index_backend config
+// field (4 bytes) plus the version-4 fast_math_leaf byte at the end of
+// the fixed-size config prefix, and the trailing spatial-index section,
+// whose byte length follows from the tree shape (k-d geometry: one
+// DoubleVec of 2 * dims doubles per node, then the version-4 SoA
+// descriptor of three uint64s).
 std::string StripIndexAdditions(const std::string& section,
                                 const SpatialIndex& tree) {
   constexpr size_t kIndexBackendOffset = 115;
@@ -45,10 +47,12 @@ std::string StripIndexAdditions(const std::string& section,
       sizeof(uint64_t) + 2 * tree.dims() * tree.num_nodes() * sizeof(double);
   const size_t index_bytes = 1 + sizeof(uint64_t) +
                              tree.size() * sizeof(uint64_t) +
-                             tree.num_nodes() * per_node + geometry;
+                             tree.num_nodes() * per_node + geometry +
+                             3 * sizeof(uint64_t);
   std::string stripped =
       section.substr(0, kIndexBackendOffset) +
-      section.substr(kIndexBackendOffset + sizeof(uint32_t));
+      section.substr(kIndexBackendOffset + sizeof(uint32_t) +
+                     sizeof(uint8_t));
   return stripped.substr(0, stripped.size() - index_bytes);
 }
 
@@ -437,6 +441,99 @@ TEST_F(ModelIoTest, ReadsVersionTwoFiles) {
     std::vector<double> q{rng.Uniform(-5.0, 5.0), rng.Uniform(-5.0, 5.0)};
     EXPECT_EQ(loaded->Classify(q), original.Classify(q)) << "trial " << i;
   }
+}
+
+TEST_F(ModelIoTest, SoaMirrorRebuiltOnLoadMatchesWriter) {
+  // The SoA leaf mirror is derived state: never serialized, rebuilt by the
+  // restore constructors, and cross-checked against the version-4
+  // descriptor. The rebuilt layout must match the writer's exactly — same
+  // leaf count, same padded extent, and bit-identical block contents —
+  // so leaf scans on a loaded model reproduce the original's sums.
+  const Dataset data = TrainSet(41);
+  TkdcClassifier original;
+  original.Train(data);
+  const std::string path = TempPath("soa.tkdc");
+  std::string error;
+  ASSERT_TRUE(SaveModel(path, original, data, false, &error)) << error;
+  auto loaded = LoadModel(path, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+
+  const SpatialIndex& before = original.tree();
+  const SpatialIndex& after = loaded->tree();
+  ASSERT_EQ(before.num_nodes(), after.num_nodes());
+  EXPECT_EQ(before.num_soa_leaves(), after.num_soa_leaves());
+  EXPECT_EQ(before.num_soa_doubles(), after.num_soa_doubles());
+  for (size_t i = 0; i < before.num_nodes(); ++i) {
+    if (!before.node(i).is_leaf()) continue;
+    const SpatialIndex::SoaLeaf a = before.LeafSoa(i);
+    const SpatialIndex::SoaLeaf b = after.LeafSoa(i);
+    ASSERT_EQ(a.count, b.count) << "node " << i;
+    ASSERT_EQ(a.padded, b.padded) << "node " << i;
+    for (size_t v = 0; v < before.dims() * a.padded; ++v) {
+      // EXPECT_EQ would fail on the +inf padding; compare bit patterns.
+      uint64_t bits_a = 0, bits_b = 0;
+      std::memcpy(&bits_a, &a.block[v], sizeof(bits_a));
+      std::memcpy(&bits_b, &b.block[v], sizeof(bits_b));
+      ASSERT_EQ(bits_a, bits_b) << "node " << i << " slot " << v;
+    }
+  }
+}
+
+TEST_F(ModelIoTest, FastMathLeafFlagRoundTrips) {
+  const Dataset data = TrainSet(43);
+  TkdcConfig config;
+  config.fast_math_leaf = true;
+  TkdcClassifier original(config);
+  original.Train(data);
+  const std::string path = TempPath("fastmath.tkdc");
+  std::string error;
+  ASSERT_TRUE(SaveModel(path, original, data, false, &error)) << error;
+  auto loaded = LoadModel(path, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_TRUE(loaded->config().fast_math_leaf);
+  Rng rng(45);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> q{rng.Uniform(-5.0, 5.0), rng.Uniform(-5.0, 5.0)};
+    EXPECT_EQ(loaded->Classify(q), original.Classify(q)) << "trial " << i;
+  }
+}
+
+TEST_F(ModelIoTest, LoadRejectsCorruptSoaDescriptor) {
+  // Flip the descriptor's lane-width field (first of the three trailing
+  // uint64s of the index section) and fix up the checksum: the loader
+  // must reject the file on the descriptor check, not deserialize a
+  // layout the binary cannot reproduce.
+  const Dataset data = TrainSet(47, 500);
+  TkdcClassifier original;
+  original.Train(data);
+  const std::string path = TempPath("soa_corrupt.tkdc");
+  std::string error;
+  ASSERT_TRUE(SaveModel(path, original, data, false, &error)) << error;
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  // The tkdc section ends with the index section, whose last 24 bytes are
+  // the descriptor, so it sits immediately before the 8-byte trailing
+  // checksum.
+  ASSERT_GT(contents.size(), 32u);
+  const size_t lane_width_offset = contents.size() - 8 - 24;
+  uint64_t lane_width = 0;
+  std::memcpy(&lane_width, contents.data() + lane_width_offset,
+              sizeof(lane_width));
+  ASSERT_EQ(lane_width, 4u);  // kSimdBlockWidth — layout sanity check.
+  lane_width = 8;
+  std::memcpy(contents.data() + lane_width_offset, &lane_width,
+              sizeof(lane_width));
+  const uint64_t checksum =
+      Fnv1a(contents.substr(8, contents.size() - 8 - sizeof(uint64_t)));
+  std::memcpy(contents.data() + contents.size() - sizeof(uint64_t), &checksum,
+              sizeof(checksum));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  out.close();
+  EXPECT_EQ(LoadModel(path, &error), nullptr);
+  EXPECT_NE(error.find("SoA"), std::string::npos) << error;
 }
 
 TEST_F(ModelIoTest, LoadedModelKeepsWorkingAfterOriginalDies) {
