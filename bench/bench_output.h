@@ -1,0 +1,28 @@
+#ifndef TKDC_BENCH_BENCH_OUTPUT_H_
+#define TKDC_BENCH_BENCH_OUTPUT_H_
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace tkdc::bench {
+
+/// Where benchmark artifacts (BENCH_*.json and friends) go: the directory
+/// named by $TKDC_BENCH_DIR, or ./bench_out by default — never the bare
+/// working directory, so running a bench from a source checkout does not
+/// strew outputs into the tree. Creates the directory on first use (one
+/// level; a missing parent surfaces as the subsequent open failing, which
+/// every bench already reports).
+inline std::string OutputPath(const std::string& filename) {
+  const char* env = std::getenv("TKDC_BENCH_DIR");
+  std::string dir = (env != nullptr && *env != '\0') ? env : "bench_out";
+  ::mkdir(dir.c_str(), 0777);  // EEXIST is fine.
+  if (!dir.empty() && dir.back() != '/') dir += '/';
+  return dir + filename;
+}
+
+}  // namespace tkdc::bench
+
+#endif  // TKDC_BENCH_BENCH_OUTPUT_H_

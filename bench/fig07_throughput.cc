@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "bench_output.h"
+
 #include "baselines/binned_kde.h"
 #include "baselines/knn.h"
 #include "baselines/nocut.h"
@@ -302,10 +304,12 @@ int main(int argc, char** argv) {
                "must report identical = yes.\nSpeedup is bounded by the "
                "hardware thread count above.\n";
 
-  WriteJson("BENCH_fig07.json", args, serial_records, workload.Label(),
+  WriteJson(bench::OutputPath("BENCH_fig07.json"), args, serial_records, workload.Label(),
             data.size(), data.dims(), parallel_records);
 
-  std::ofstream metrics_json("BENCH_fig07_metrics.json");
+  const std::string metrics_path =
+      bench::OutputPath("BENCH_fig07_metrics.json");
+  std::ofstream metrics_json(metrics_path);
   if (metrics_json) {
     metrics_json << "{\n";
     for (size_t i = 0; i < metrics_names.size(); ++i) {
@@ -314,8 +318,8 @@ int main(int argc, char** argv) {
       metrics_json << (i + 1 < metrics_names.size() ? "," : "") << "\n";
     }
     metrics_json << "}\n";
-    std::cout << "per-algorithm query metrics written to "
-                 "BENCH_fig07_metrics.json\n";
+    std::cout << "per-algorithm query metrics written to " << metrics_path
+              << "\n";
   }
   return 0;
 }

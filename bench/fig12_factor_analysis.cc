@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_output.h"
 #include "pruning_lab.h"
 #include "harness/table.h"
 #include "harness/workload.h"
@@ -57,7 +58,9 @@ int main(int argc, char** argv) {
   std::cout << "\n\n";
   table.Print(std::cout);
 
-  std::ofstream json("BENCH_fig12_metrics.json");
+  const std::string json_path =
+      bench::OutputPath("BENCH_fig12_metrics.json");
+  std::ofstream json(json_path);
   json << "{\n";
   for (size_t i = 0; i < configs.size(); ++i) {
     json << "  \"" << configs[i].label << "\":\n";
@@ -65,8 +68,8 @@ int main(int argc, char** argv) {
     json << (i + 1 < configs.size() ? "," : "") << "\n";
   }
   json << "}\n";
-  std::cout << "\nper-configuration query metrics written to "
-               "BENCH_fig12_metrics.json\n";
+  std::cout << "\nper-configuration query metrics written to " << json_path
+            << "\n";
 
   std::cout << "\nPaper (Figure 12, 500k rows): 10 -> 4.8k -> 51k -> 85k "
                "-> 114k points/s and\n567k -> 610 -> 151 -> 90.9 -> 55.4 "

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "bench_output.h"
+
 #include "common/rng.h"
 #include "common/simd.h"
 #include "common/timer.h"
@@ -170,7 +172,8 @@ int main(int argc, char** argv) {
             << SimdBackendName(active) << " over the scalar schedule; both "
             << "sides sum with the same interleaved partials)\n";
 
-  std::ofstream out("BENCH_leaf.json");
+  const std::string out_path = bench::OutputPath("BENCH_leaf.json");
+  std::ofstream out(out_path);
   if (out) {
     out << "{\n";
     out << "  \"bench\": \"micro_leaf\",\n";
@@ -190,7 +193,7 @@ int main(int argc, char** argv) {
     }
     out << "  ]\n";
     out << "}\n";
-    std::cout << "wrote BENCH_leaf.json\n";
+    std::cout << "wrote " << out_path << "\n";
   }
   return 0;
 }

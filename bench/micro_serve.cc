@@ -23,6 +23,8 @@
 #include <thread>
 #include <vector>
 
+#include "bench_output.h"
+
 #include "common/timer.h"
 #include "data/generators.h"
 #include "serve/batcher.h"
@@ -172,7 +174,7 @@ int Run(const Args& args) {
                 point.mean_batch, point.throughput, point.p50_us,
                 point.p95_us, point.p99_us);
   }
-  WriteJson("BENCH_serve.json", args, points);
+  WriteJson(bench::OutputPath("BENCH_serve.json"), args, points);
   return 0;
 }
 

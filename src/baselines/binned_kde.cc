@@ -9,6 +9,7 @@
 #include "common/stats.h"
 #include "fft/convolution.h"
 #include "fft/fft.h"
+#include "kde/delta_overlay.h"
 
 namespace tkdc {
 namespace {
@@ -155,6 +156,7 @@ std::shared_ptr<BinnedKdeModel> BinnedKdeClassifier::BuildModel(
   for (double& v : model->density_grid) {
     v = std::max(0.0, v * inv_n);  // FFT round-off can dip below zero.
   }
+  model->n = data.size();
   model->self_contribution = model->kernel->MaxValue() * inv_n;
   return model;
 }
@@ -237,6 +239,34 @@ double BinnedKdeClassifier::EstimateDensityInContext(
   TKDC_CHECK_MSG(trained(), "EstimateDensity called before Train");
   ++ctx.stats.queries;
   return Interpolate(*model_, x);
+}
+
+Classification BinnedKdeClassifier::ClassifyOverlayInContext(
+    QueryContext& ctx, std::span<const double> x, bool training,
+    const DeltaOverlay& overlay) const {
+  TKDC_CHECK_MSG(trained(), "ClassifyWithOverlay called before Train");
+  const BinnedKdeModel& m = *model_;
+  const OverlayContribution fold = ComputeOverlayContribution(
+      overlay, m.n, *m.kernel, x, /*fast_math=*/false);
+  ctx.stats.kernel_evaluations += fold.evaluations;
+  ++ctx.stats.queries;
+  const double merged = fold.Merge(Interpolate(m, x));
+  const double correction =
+      training ? m.self_contribution * fold.scale : 0.0;
+  return merged - correction > m.threshold ? Classification::kHigh
+                                           : Classification::kLow;
+}
+
+double BinnedKdeClassifier::EstimateDensityOverlayInContext(
+    QueryContext& ctx, std::span<const double> x,
+    const DeltaOverlay& overlay) const {
+  TKDC_CHECK_MSG(trained(), "EstimateDensityWithOverlay called before Train");
+  const BinnedKdeModel& m = *model_;
+  const OverlayContribution fold = ComputeOverlayContribution(
+      overlay, m.n, *m.kernel, x, /*fast_math=*/false);
+  ctx.stats.kernel_evaluations += fold.evaluations;
+  ++ctx.stats.queries;
+  return fold.Merge(Interpolate(m, x));
 }
 
 double BinnedKdeClassifier::threshold() const {

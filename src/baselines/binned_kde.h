@@ -37,6 +37,9 @@ struct BinnedKdeOptions {
 struct BinnedKdeModel {
   std::unique_ptr<const Kernel> kernel;
   size_t dims = 0;
+  /// Training-set size; the grid itself forgets it, but the streaming
+  /// overlay fold needs n_b to weight base vs overlay contributions.
+  size_t n = 0;
   std::vector<size_t> shape;
   std::vector<size_t> strides;  // Row-major, precomputed at build time.
   std::vector<double> grid_lo;
@@ -61,6 +64,9 @@ class BinnedKdeClassifier : public DensityClassifier {
   std::string name() const override { return "binned"; }
   void Train(const Dataset& data) override;
   bool trained() const override { return model_ != nullptr; }
+  size_t training_size() const override {
+    return model_ != nullptr ? model_->n : 0;
+  }
   size_t dims() const override {
     return model_ != nullptr ? model_->dims : 0;
   }
@@ -74,6 +80,20 @@ class BinnedKdeClassifier : public DensityClassifier {
                                    bool training) const override;
   double EstimateDensityInContext(QueryContext& ctx,
                                   std::span<const double> x) const override;
+
+  /// Streaming: the overlay's exact signed kernel sum folds into the
+  /// interpolated base density (the base half keeps the grid's usual
+  /// approximation; the overlay half is exact). The grid retains no
+  /// training points, so ExportTrainingData stays false and the serving
+  /// layer cannot *rebuild* a binned model from its overlay — INSERT and
+  /// DELETE still work, FLUSH reports the limitation.
+  bool supports_overlay() const override { return true; }
+  Classification ClassifyOverlayInContext(
+      QueryContext& ctx, std::span<const double> x, bool training,
+      const DeltaOverlay& overlay) const override;
+  double EstimateDensityOverlayInContext(
+      QueryContext& ctx, std::span<const double> x,
+      const DeltaOverlay& overlay) const override;
 
   const BinnedKdeOptions& options() const { return options_; }
   const BinnedKdeModel& model() const { return *model_; }

@@ -120,6 +120,12 @@ double KnnClassifier::EstimateDensityInContext(
                  /*training=*/false);
 }
 
+bool KnnClassifier::ExportTrainingData(Dataset* out) const {
+  if (model_ == nullptr) return false;
+  *out = model_->tree->ExportPoints();
+  return true;
+}
+
 double KnnClassifier::threshold() const {
   TKDC_CHECK_MSG(trained(), "threshold read before Train");
   return model_->threshold;

@@ -66,6 +66,9 @@ class KnnClassifier : public DensityClassifier {
   std::string name() const override { return "knn"; }
   void Train(const Dataset& data) override;
   bool trained() const override { return model_ != nullptr; }
+  size_t training_size() const override {
+    return model_ != nullptr ? model_->tree->size() : 0;
+  }
   size_t dims() const override {
     return model_ != nullptr ? model_->tree->dims() : 0;
   }
@@ -83,6 +86,12 @@ class KnnClassifier : public DensityClassifier {
                                    bool training) const override;
   double EstimateDensityInContext(QueryContext& ctx,
                                   std::span<const double> x) const override;
+
+  /// Streaming: the knn density is an order statistic of distances, not an
+  /// additive kernel sum, so a DeltaOverlay cannot fold in — the inherited
+  /// supports_overlay() stays false and the serving layer rejects INSERT /
+  /// DELETE for knn models. The training points are still exportable.
+  bool ExportTrainingData(Dataset* out) const override;
 
   const KnnOptions& options() const { return options_; }
   const KnnModel& model() const { return *model_; }

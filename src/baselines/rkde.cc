@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "kde/bandwidth.h"
+#include "kde/delta_overlay.h"
 #include "kde/kernel_simd.h"
 #include "tkdc/threshold.h"
 
@@ -175,6 +176,39 @@ double RkdeClassifier::EstimateDensityInContext(
     QueryContext& ctx, std::span<const double> x) const {
   TKDC_CHECK_MSG(trained(), "EstimateDensity called before Train");
   return RadialDensity(*model_, static_cast<TreeQueryContext&>(ctx), x);
+}
+
+Classification RkdeClassifier::ClassifyOverlayInContext(
+    QueryContext& ctx, std::span<const double> x, bool training,
+    const DeltaOverlay& overlay) const {
+  TKDC_CHECK_MSG(trained(), "ClassifyWithOverlay called before Train");
+  const RkdeModel& m = *model_;
+  const OverlayContribution fold = ComputeOverlayContribution(
+      overlay, m.tree->size(), *m.kernel, x, /*fast_math=*/false);
+  ctx.stats.kernel_evaluations += fold.evaluations;
+  const double merged = fold.Merge(
+      RadialDensity(m, static_cast<TreeQueryContext&>(ctx), x));
+  const double correction =
+      training ? m.self_contribution * fold.scale : 0.0;
+  return merged - correction > m.threshold ? Classification::kHigh
+                                           : Classification::kLow;
+}
+
+double RkdeClassifier::EstimateDensityOverlayInContext(
+    QueryContext& ctx, std::span<const double> x,
+    const DeltaOverlay& overlay) const {
+  TKDC_CHECK_MSG(trained(), "EstimateDensityWithOverlay called before Train");
+  const RkdeModel& m = *model_;
+  const OverlayContribution fold = ComputeOverlayContribution(
+      overlay, m.tree->size(), *m.kernel, x, /*fast_math=*/false);
+  ctx.stats.kernel_evaluations += fold.evaluations;
+  return fold.Merge(RadialDensity(m, static_cast<TreeQueryContext&>(ctx), x));
+}
+
+bool RkdeClassifier::ExportTrainingData(Dataset* out) const {
+  if (model_ == nullptr) return false;
+  *out = model_->tree->ExportPoints();
+  return true;
 }
 
 double RkdeClassifier::threshold() const {

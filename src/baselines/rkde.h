@@ -52,6 +52,9 @@ class RkdeClassifier : public DensityClassifier {
   std::string name() const override { return "rkde"; }
   void Train(const Dataset& data) override;
   bool trained() const override { return model_ != nullptr; }
+  size_t training_size() const override {
+    return model_ != nullptr ? model_->tree->size() : 0;
+  }
   size_t dims() const override {
     return model_ != nullptr ? model_->tree->dims() : 0;
   }
@@ -69,6 +72,18 @@ class RkdeClassifier : public DensityClassifier {
                                    bool training) const override;
   double EstimateDensityInContext(QueryContext& ctx,
                                   std::span<const double> x) const override;
+
+  /// Streaming: the truncated radial sum is additive, so the overlay folds
+  /// in like every kernel-sum engine. The overlay half is an exact (not
+  /// radius-truncated) scan — strictly tighter than the base estimate.
+  bool supports_overlay() const override { return true; }
+  Classification ClassifyOverlayInContext(
+      QueryContext& ctx, std::span<const double> x, bool training,
+      const DeltaOverlay& overlay) const override;
+  double EstimateDensityOverlayInContext(
+      QueryContext& ctx, std::span<const double> x,
+      const DeltaOverlay& overlay) const override;
+  bool ExportTrainingData(Dataset* out) const override;
 
   const RkdeOptions& options() const { return options_; }
   const RkdeModel& model() const { return *model_; }

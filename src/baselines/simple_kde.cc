@@ -2,6 +2,7 @@
 
 #include "common/macros.h"
 #include "common/stats.h"
+#include "kde/delta_overlay.h"
 
 namespace tkdc {
 
@@ -73,6 +74,39 @@ double SimpleKdeClassifier::EstimateDensityInContext(
     QueryContext& ctx, std::span<const double> x) const {
   TKDC_CHECK_MSG(trained(), "EstimateDensity called before Train");
   return ScanDensity(*model_, ctx, x);
+}
+
+Classification SimpleKdeClassifier::ClassifyOverlayInContext(
+    QueryContext& ctx, std::span<const double> x, bool training,
+    const DeltaOverlay& overlay) const {
+  TKDC_CHECK_MSG(trained(), "ClassifyWithOverlay called before Train");
+  const SimpleKdeModel& m = *model_;
+  const OverlayContribution fold = ComputeOverlayContribution(
+      overlay, m.data.size(), m.kernel, x, /*fast_math=*/false);
+  ctx.stats.kernel_evaluations += fold.evaluations;
+  const double merged = fold.Merge(ScanDensity(m, ctx, x));
+  // Training points discount K(0)/n_eff; self_contribution is K(0)/n_b.
+  const double correction =
+      training ? m.self_contribution * fold.scale : 0.0;
+  return merged - correction > m.threshold ? Classification::kHigh
+                                           : Classification::kLow;
+}
+
+double SimpleKdeClassifier::EstimateDensityOverlayInContext(
+    QueryContext& ctx, std::span<const double> x,
+    const DeltaOverlay& overlay) const {
+  TKDC_CHECK_MSG(trained(), "EstimateDensityWithOverlay called before Train");
+  const SimpleKdeModel& m = *model_;
+  const OverlayContribution fold = ComputeOverlayContribution(
+      overlay, m.data.size(), m.kernel, x, /*fast_math=*/false);
+  ctx.stats.kernel_evaluations += fold.evaluations;
+  return fold.Merge(ScanDensity(m, ctx, x));
+}
+
+bool SimpleKdeClassifier::ExportTrainingData(Dataset* out) const {
+  if (model_ == nullptr) return false;
+  *out = model_->data;
+  return true;
 }
 
 double SimpleKdeClassifier::threshold() const {

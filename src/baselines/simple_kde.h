@@ -56,6 +56,9 @@ class SimpleKdeClassifier : public DensityClassifier {
   std::string name() const override { return "simple"; }
   void Train(const Dataset& data) override;
   bool trained() const override { return model_ != nullptr; }
+  size_t training_size() const override {
+    return model_ != nullptr ? model_->data.size() : 0;
+  }
   size_t dims() const override {
     return model_ != nullptr ? model_->data.dims() : 0;
   }
@@ -69,6 +72,18 @@ class SimpleKdeClassifier : public DensityClassifier {
                                    bool training) const override;
   double EstimateDensityInContext(QueryContext& ctx,
                                   std::span<const double> x) const override;
+
+  /// Streaming: the scan density is an additive kernel sum, so the overlay
+  /// fold (n_b * f + Delta) / n_eff is exact — the one engine whose merged
+  /// answers carry no approximation at all.
+  bool supports_overlay() const override { return true; }
+  Classification ClassifyOverlayInContext(
+      QueryContext& ctx, std::span<const double> x, bool training,
+      const DeltaOverlay& overlay) const override;
+  double EstimateDensityOverlayInContext(
+      QueryContext& ctx, std::span<const double> x,
+      const DeltaOverlay& overlay) const override;
+  bool ExportTrainingData(Dataset* out) const override;
 
   const SimpleKdeOptions& options() const { return options_; }
   const SimpleKdeModel& model() const { return *model_; }

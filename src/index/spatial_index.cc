@@ -314,6 +314,16 @@ uint64_t SpatialIndex::KNearestScaled(
   return distance_computations;
 }
 
+Dataset SpatialIndex::ExportPoints() const {
+  std::vector<double> values(size_ * dims_);
+  for (size_t i = 0; i < size_; ++i) {
+    const std::span<const double> point = Point(i);
+    double* row = values.data() + OriginalIndex(i) * dims_;
+    for (size_t j = 0; j < dims_; ++j) row[j] = point[j];
+  }
+  return Dataset(dims_, std::move(values));
+}
+
 size_t SpatialIndex::MaxDepth() const {
   size_t max_depth = 0;
   std::vector<std::pair<size_t, size_t>> stack{{kRoot, 0}};

@@ -95,6 +95,13 @@ class SpatialIndex {
   /// Dataset row id of reordered point `i`.
   size_t OriginalIndex(size_t i) const { return original_index_[i]; }
 
+  /// Reconstructs the indexed dataset in its *original* row order by
+  /// inverting the reordering permutation. The streaming rebuild path uses
+  /// this as the base half of base ∪ overlay, so a rebuilt model trains on
+  /// the same row order as the original and stays bit-comparable to a
+  /// from-scratch retrain.
+  Dataset ExportPoints() const;
+
   /// SoA view of one leaf's points: `dims()` per-dimension arrays of
   /// `padded` doubles each (`block[j * padded + k]` is coordinate j of the
   /// leaf's k-th point). `padded` rounds `count` up to

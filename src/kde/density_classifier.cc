@@ -32,6 +32,40 @@ void DensityClassifier::FlushMetrics() {
   live_context_->metrics->Reset();
 }
 
+Classification DensityClassifier::ClassifyOverlayInContext(
+    QueryContext&, std::span<const double>, bool, const DeltaOverlay&) const {
+  TKDC_CHECK_MSG(false, "this engine does not support delta overlays");
+}
+
+double DensityClassifier::EstimateDensityOverlayInContext(
+    QueryContext&, std::span<const double>, const DeltaOverlay&) const {
+  TKDC_CHECK_MSG(false, "this engine does not support delta overlays");
+}
+
+std::vector<Classification> DensityClassifier::ClassifyBatchWithOverlay(
+    const Dataset& queries, const DeltaOverlay& overlay, bool training) {
+  TKDC_CHECK_MSG(trained(), "ClassifyBatchWithOverlay called before Train");
+  TKDC_CHECK_MSG(supports_overlay(),
+                 "this engine does not support delta overlays");
+  if (queries.size() == 0) return {};
+  TKDC_CHECK_MSG(queries.dims() == dims(),
+                 "query dimensionality does not match the trained model");
+  std::vector<Classification> labels(queries.size());
+  executor_.Map(
+      queries.size(), BatchExecutor::kDefaultMinChunk,
+      [this] {
+        auto ctx = MakeQueryContext();
+        AttachShard(*ctx);
+        return ctx;
+      },
+      [&](QueryContext& ctx, size_t row) {
+        labels[row] =
+            ObservedClassifyOverlay(ctx, queries.Row(row), training, overlay);
+      },
+      live_context());
+  return labels;
+}
+
 std::vector<Classification> DensityClassifier::ClassifyBatchImpl(
     const Dataset& queries, bool training) {
   TKDC_CHECK_MSG(trained(), "ClassifyBatch called before Train");

@@ -18,6 +18,8 @@
 
 namespace tkdc {
 
+class DeltaOverlay;
+
 /// Outcome of one density classification (paper Problem 1).
 enum class Classification {
   kLow,   ///< f(x) below the threshold.
@@ -72,6 +74,11 @@ class DensityClassifier {
   /// The trained threshold estimate t~(p). Only valid after Train().
   virtual double threshold() const = 0;
 
+  /// Number of training points behind the model, 0 when untrained (or
+  /// unknown). The streaming serve layer sizes rebuild triggers and
+  /// staleness fractions with it without knowing the concrete model type.
+  virtual size_t training_size() const { return 0; }
+
   /// The spatial-index backend serving this classifier's queries, or
   /// nullopt for index-free algorithms (simple, binned). Tree-backed
   /// engines override this so the metrics layer can split node-expansion
@@ -102,6 +109,37 @@ class DensityClassifier {
   /// algorithms). Used by the accuracy experiments.
   virtual double EstimateDensityInContext(QueryContext& ctx,
                                           std::span<const double> x) const = 0;
+
+  // --- Streaming hooks (kde/delta_overlay.h) ----------------------------
+
+  /// Whether this engine can fold a DeltaOverlay of staged inserts and
+  /// deletions into its answers. Engines whose density is an additive
+  /// kernel sum (tkdc, nocut, simple, rkde, binned) override this to true;
+  /// knn's order-statistic density has no additive decomposition, so it
+  /// stays false and the serving layer rejects streaming verbs for it.
+  virtual bool supports_overlay() const { return false; }
+
+  /// ClassifyInContext against the *merged* model base + overlay: with n_b
+  /// base points and n_eff = n_b + inserted - tombstones, the decision
+  /// density is f'(x) = (n_b * f_base(x) + Delta(x)) / n_eff, compared to
+  /// the trained threshold (self-corrected by K(0)/n_eff when `training`).
+  /// Only callable when supports_overlay(); the default aborts.
+  virtual Classification ClassifyOverlayInContext(QueryContext& ctx,
+                                                  std::span<const double> x,
+                                                  bool training,
+                                                  const DeltaOverlay& overlay)
+      const;
+
+  /// EstimateDensityInContext for the merged model; default aborts.
+  virtual double EstimateDensityOverlayInContext(
+      QueryContext& ctx, std::span<const double> x,
+      const DeltaOverlay& overlay) const;
+
+  /// Copies the training rows (original row order) into `*out`, replacing
+  /// its contents — the base half of a streaming rebuild's merged dataset.
+  /// Returns false when the engine does not retain its training points
+  /// (binned keeps only the grid), in which case `*out` is untouched.
+  virtual bool ExportTrainingData(Dataset* /*out*/) const { return false; }
 
   // --- Facade (shared by every algorithm) -------------------------------
 
@@ -137,6 +175,29 @@ class DensityClassifier {
   std::vector<Classification> ClassifyTrainingBatch(const Dataset& queries) {
     return ClassifyBatchImpl(queries, /*training=*/true);
   }
+
+  /// Classify() against the merged model base + overlay (live context).
+  /// Requires supports_overlay(). The overlay must be mutation-quiescent
+  /// for the duration of the call (see kde/delta_overlay.h).
+  Classification ClassifyWithOverlay(std::span<const double> x,
+                                     const DeltaOverlay& overlay,
+                                     bool training = false) {
+    TKDC_CHECK_MSG(trained(), "ClassifyWithOverlay called before Train");
+    return ObservedClassifyOverlay(live_context(), x, training, overlay);
+  }
+
+  /// EstimateDensity() against the merged model (live context).
+  double EstimateDensityWithOverlay(std::span<const double> x,
+                                    const DeltaOverlay& overlay) {
+    TKDC_CHECK_MSG(trained(), "EstimateDensityWithOverlay called before Train");
+    return ObservedEstimateOverlay(live_context(), x, overlay);
+  }
+
+  /// ClassifyBatch() against the merged model: same executor fan-out and
+  /// determinism contract, every row folding the same quiescent overlay.
+  std::vector<Classification> ClassifyBatchWithOverlay(
+      const Dataset& queries, const DeltaOverlay& overlay,
+      bool training = false);
 
   /// Re-sizes the batch executor without touching the trained model; the
   /// next batch call repartitions. 0 = hardware concurrency, 1 = serial.
@@ -251,6 +312,35 @@ class DensityClassifier {
     const TraversalStats before = ctx.stats;
     const uint64_t grid_before = ctx.grid_prunes;
     const double density = EstimateDensityInContext(ctx, x);
+    query_metrics::RecordQuery(ctx, before, grid_before, index_backend());
+    return density;
+  }
+
+  /// ClassifyOverlayInContext with the metrics recording wrapper.
+  Classification ObservedClassifyOverlay(QueryContext& ctx,
+                                         std::span<const double> x,
+                                         bool training,
+                                         const DeltaOverlay& overlay) const {
+    if (ctx.metrics == nullptr) {
+      return ClassifyOverlayInContext(ctx, x, training, overlay);
+    }
+    const TraversalStats before = ctx.stats;
+    const uint64_t grid_before = ctx.grid_prunes;
+    const Classification label =
+        ClassifyOverlayInContext(ctx, x, training, overlay);
+    query_metrics::RecordQuery(ctx, before, grid_before, index_backend());
+    return label;
+  }
+
+  /// EstimateDensityOverlayInContext with the same recording wrapper.
+  double ObservedEstimateOverlay(QueryContext& ctx, std::span<const double> x,
+                                 const DeltaOverlay& overlay) const {
+    if (ctx.metrics == nullptr) {
+      return EstimateDensityOverlayInContext(ctx, x, overlay);
+    }
+    const TraversalStats before = ctx.stats;
+    const uint64_t grid_before = ctx.grid_prunes;
+    const double density = EstimateDensityOverlayInContext(ctx, x, overlay);
     query_metrics::RecordQuery(ctx, before, grid_before, index_backend());
     return density;
   }

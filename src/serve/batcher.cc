@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <utility>
 
 #include "common/macros.h"
@@ -18,6 +19,18 @@ std::string FormatDensity(double density) {
 
 }  // namespace
 
+std::string PointKey(std::span<const double> x) {
+  return std::string(reinterpret_cast<const char*>(x.data()),
+                     x.size() * sizeof(double));
+}
+
+size_t ServingModel::effective_n() const {
+  const size_t base = classifier->training_size();
+  if (overlay == nullptr) return base;
+  const DeltaOverlay::Snapshot snap = overlay->snapshot();
+  return base + snap.inserted - snap.tombstones;
+}
+
 MicroBatcher::MicroBatcher(const BatcherOptions& options,
                            std::shared_ptr<ServingModel> model,
                            MetricsRegistry* registry)
@@ -32,6 +45,12 @@ MicroBatcher::MicroBatcher(const BatcherOptions& options,
     completed_id_ = registry_->AddCounter(metric_names::kCompleted);
     batches_id_ = registry_->AddCounter(metric_names::kBatches);
     reloads_id_ = registry_->AddCounter(metric_names::kReloads);
+    overlay_inserts_id_ = registry_->AddCounter(metric_names::kOverlayInserts);
+    overlay_deletes_id_ = registry_->AddCounter(metric_names::kOverlayDeletes);
+    overlay_rejected_id_ =
+        registry_->AddCounter(metric_names::kOverlayRejected);
+    stale_queries_id_ = registry_->AddCounter(metric_names::kStaleQueries);
+    rebuilds_id_ = registry_->AddCounter(metric_names::kRebuilds);
     batch_size_id_ = registry_->AddHistogram(
         metric_names::kBatchSize, MetricsRegistry::PowerOfTwoBounds(12));
     queue_wait_us_id_ = registry_->AddHistogram(
@@ -58,6 +77,7 @@ void MicroBatcher::Stop() {
     stopping_ = true;
   }
   wake_cv_.notify_all();
+  install_cv_.notify_all();  // Release PublishRebuild waiters.
   if (dispatcher_.joinable()) dispatcher_.join();
   std::lock_guard<std::mutex> lock(mutex_);
   AbsorbShardLocked();
@@ -106,6 +126,32 @@ void MicroBatcher::SwapModel(std::shared_ptr<ServingModel> model) {
   if (shard_ != nullptr) shard_->Inc(reloads_id_);
 }
 
+void MicroBatcher::SetRebuildRequestCallback(std::function<void()> callback) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rebuild_request_cb_ = std::move(callback);
+}
+
+bool MicroBatcher::PublishRebuild(std::shared_ptr<ServingModel> model,
+                                  size_t consumed_inserted,
+                                  size_t consumed_tombstones) {
+  TKDC_CHECK(model != nullptr && model->classifier != nullptr &&
+             model->overlay != nullptr);
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_) return false;
+  // One rebuild in flight at a time: callers (the server) serialize via
+  // their reload mutex, so a pending slot is never overwritten.
+  TKDC_CHECK_MSG(!pending_rebuild_.has_value(),
+                 "concurrent PublishRebuild calls");
+  const uint64_t ticket = ++rebuild_tickets_;
+  pending_rebuild_ = RebuildPublication{std::move(model), consumed_inserted,
+                                        consumed_tombstones, ticket};
+  wake_cv_.notify_all();
+  install_cv_.wait(lock, [this, ticket] {
+    return stopping_ || installed_ticket_ >= ticket;
+  });
+  return installed_ticket_ >= ticket;
+}
+
 std::shared_ptr<ServingModel> MicroBatcher::model() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return model_;
@@ -126,7 +172,20 @@ void MicroBatcher::AbsorbShardLocked() {
 void MicroBatcher::Loop() {
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
-    wake_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    wake_cv_.wait(lock, [this] {
+      return stopping_ || !queue_.empty() || pending_rebuild_.has_value();
+    });
+    if (pending_rebuild_.has_value()) {
+      // Install between batches: no queries are in flight, so the old
+      // overlay is quiescent and its unconsumed suffix can migrate.
+      RebuildPublication publication = std::move(*pending_rebuild_);
+      pending_rebuild_.reset();
+      const std::shared_ptr<ServingModel> old_model = model_;
+      lock.unlock();
+      InstallRebuild(std::move(publication), old_model);
+      lock.lock();
+      continue;
+    }
     if (queue_.empty()) {
       if (stopping_) return;  // Drained.
       continue;
@@ -156,6 +215,104 @@ void MicroBatcher::Loop() {
   }
 }
 
+void MicroBatcher::ApplyMutation(Pending& pending, ServingModel& model,
+                                 bool* rebuild_wanted) {
+  const uint64_t id = pending.request.id;
+  const std::span<const double> x = pending.request.point;
+  if (!model.streaming) {
+    pending.done(Response::Error(
+        id, "model does not support streaming (INSERT/DELETE)"));
+    return;
+  }
+  DeltaOverlay& overlay = *model.overlay;
+  const bool is_insert = pending.request.verb == RequestVerb::kInsert;
+  if (!is_insert) {
+    // DELETE validation: the point must currently be live, and removing it
+    // must leave a model (>= 2 points keeps every engine's invariants).
+    if (model.effective_n() <= 2) {
+      pending.done(Response::Error(
+          id, "refusing DELETE: model would fall below 2 points"));
+      return;
+    }
+    if (model.live_counts != nullptr) {
+      const auto it = model.live_counts->find(PointKey(x));
+      if (it == model.live_counts->end() || it->second <= 0) {
+        pending.done(
+            Response::Error(id, "DELETE of a point not in the model"));
+        return;
+      }
+    }
+  }
+  const bool appended = is_insert ? overlay.Insert(x) : overlay.AddTombstone(x);
+  if (!appended) {
+    *rebuild_wanted = true;  // Capacity pressure: ask for a rebuild now.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (shard_ != nullptr) shard_->Inc(overlay_rejected_id_);
+    }
+    pending.done(Response::Error(
+        id, "overlay full; retry after the rebuild (or FLUSH)"));
+    return;
+  }
+  if (model.live_counts != nullptr) {
+    (*model.live_counts)[PointKey(x)] += is_insert ? 1 : -1;
+  }
+  if (is_insert && model.estimator != nullptr) {
+    // Feed the arrival's merged density (overlay included — the point is
+    // already published, so this is its post-insert density; the K(0)/n
+    // self-term is O(1/n) and washes out against the staleness widening)
+    // into the online t(p) reservoir. Quiescent: mutations are applied
+    // one at a time on this thread with no queries in flight.
+    model.estimator->Observe(
+        model.classifier->EstimateDensityWithOverlay(x, overlay));
+  }
+  if (model.rebuild_trigger > 0 &&
+      overlay.snapshot().size() >= model.rebuild_trigger) {
+    *rebuild_wanted = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shard_ != nullptr) {
+      shard_->Inc(is_insert ? overlay_inserts_id_ : overlay_deletes_id_);
+    }
+  }
+  pending.done(Response::Ok(id, is_insert ? "INSERTED" : "DELETED"));
+}
+
+void MicroBatcher::InstallRebuild(
+    RebuildPublication publication,
+    const std::shared_ptr<ServingModel>& old_model) {
+  ServingModel& fresh = *publication.model;
+  // Migrate every overlay row the rebuild's snapshot did not consume:
+  // mutations that raced the retrain survive into the new generation.
+  // Rows below the published counts are immutable and this thread is the
+  // only writer of the new overlay, so no locking is needed.
+  if (old_model != nullptr && old_model->overlay != nullptr &&
+      fresh.overlay != nullptr) {
+    const DeltaOverlay& old_overlay = *old_model->overlay;
+    std::vector<double> row(old_overlay.dims());
+    const size_t inserted = old_overlay.inserted_count();
+    for (size_t i = publication.consumed_inserted; i < inserted; ++i) {
+      old_overlay.CopyInsertedRow(i, row);
+      TKDC_CHECK_MSG(fresh.overlay->Insert(row),
+                     "rebuilt overlay cannot hold the migrated suffix");
+      if (fresh.live_counts != nullptr) ++(*fresh.live_counts)[PointKey(row)];
+    }
+    const size_t tombstones = old_overlay.tombstone_count();
+    for (size_t i = publication.consumed_tombstones; i < tombstones; ++i) {
+      old_overlay.CopyTombstoneRow(i, row);
+      TKDC_CHECK_MSG(fresh.overlay->AddTombstone(row),
+                     "rebuilt overlay cannot hold the migrated suffix");
+      if (fresh.live_counts != nullptr) --(*fresh.live_counts)[PointKey(row)];
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  model_ = std::move(publication.model);
+  installed_ticket_ = publication.ticket;
+  if (shard_ != nullptr) shard_->Inc(rebuilds_id_);
+  install_cv_.notify_all();
+}
+
 void MicroBatcher::ExecuteBatch(std::vector<Pending>& batch,
                                 ServingModel& model) {
   DensityClassifier& classifier = *model.classifier;
@@ -163,8 +320,12 @@ void MicroBatcher::ExecuteBatch(std::vector<Pending>& batch,
   const Clock::time_point drained_at = Clock::now();
 
   // Partition: expire deadlines and reject dimension mismatches first so
-  // the batch datasets hold only executable rows.
+  // the batch datasets hold only executable rows. Mutations apply
+  // immediately, in arrival order, so every query in this batch folds a
+  // single quiescent overlay state that includes them.
   std::vector<Pending*> classify, classify_training, estimate;
+  size_t executed = 0;
+  bool rebuild_wanted = false;
   for (Pending& pending : batch) {
     if (drained_at > pending.deadline) {
       {
@@ -193,6 +354,11 @@ void MicroBatcher::ExecuteBatch(std::vector<Pending>& batch,
       case RequestVerb::kEstimateDensity:
         estimate.push_back(&pending);
         break;
+      case RequestVerb::kInsert:
+      case RequestVerb::kDelete:
+        ApplyMutation(pending, model, &rebuild_wanted);
+        ++executed;
+        break;
       default:
         // Control verbs are handled at the session layer and never
         // enqueued; seeing one here is a programmer error.
@@ -202,7 +368,11 @@ void MicroBatcher::ExecuteBatch(std::vector<Pending>& batch,
     }
   }
 
-  size_t executed = 0;
+  // Overlay state is frozen for the rest of the batch (mutation
+  // quiescence): every query group folds the same Delta.
+  const bool use_overlay =
+      model.streaming && !model.overlay->snapshot().empty();
+  size_t stale_queries = 0;
   const auto run_classify_group = [&](std::vector<Pending*>& group,
                                       bool training) {
     if (group.empty()) return;
@@ -212,39 +382,56 @@ void MicroBatcher::ExecuteBatch(std::vector<Pending>& batch,
       queries.AppendRow(pending->request.point);
     }
     const std::vector<Classification> labels =
-        training ? classifier.ClassifyTrainingBatch(queries)
-                 : classifier.ClassifyBatch(queries);
+        use_overlay
+            ? classifier.ClassifyBatchWithOverlay(queries, *model.overlay,
+                                                  training)
+            : training ? classifier.ClassifyTrainingBatch(queries)
+                       : classifier.ClassifyBatch(queries);
     for (size_t i = 0; i < group.size(); ++i) {
       group[i]->done(Response::Ok(
           group[i]->request.id,
           labels[i] == Classification::kHigh ? "HIGH" : "LOW"));
     }
     executed += group.size();
+    if (use_overlay) stale_queries += group.size();
   };
   run_classify_group(classify, /*training=*/false);
   run_classify_group(classify_training, /*training=*/true);
   for (Pending* pending : estimate) {
-    const double density = classifier.EstimateDensity(pending->request.point);
+    const double density =
+        use_overlay
+            ? classifier.EstimateDensityWithOverlay(pending->request.point,
+                                                    *model.overlay)
+            : classifier.EstimateDensity(pending->request.point);
     pending->done(
         Response::Ok(pending->request.id, FormatDensity(density)));
     ++executed;
+    if (use_overlay) ++stale_queries;
   }
   classifier.FlushMetrics();  // Query-path shard → registry (no-op if
                               // detached).
 
-  if (executed == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
-  totals_.completed += executed;
-  ++totals_.batches;
-  if (shard_ == nullptr) return;
-  shard_->Inc(completed_id_, executed);
-  shard_->Inc(batches_id_);
-  shard_->Observe(batch_size_id_, static_cast<double>(executed));
-  for (const Pending& pending : batch) {
-    const auto wait = std::chrono::duration_cast<std::chrono::microseconds>(
-        drained_at - pending.enqueued_at);
-    shard_->Observe(queue_wait_us_id_, static_cast<double>(wait.count()));
+  std::function<void()> rebuild_cb;
+  if (executed != 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    totals_.completed += executed;
+    ++totals_.batches;
+    if (rebuild_wanted) rebuild_cb = rebuild_request_cb_;
+    if (shard_ != nullptr) {
+      shard_->Inc(completed_id_, executed);
+      shard_->Inc(batches_id_);
+      if (stale_queries > 0) shard_->Inc(stale_queries_id_, stale_queries);
+      shard_->Observe(batch_size_id_, static_cast<double>(executed));
+      for (const Pending& pending : batch) {
+        const auto wait =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                drained_at - pending.enqueued_at);
+        shard_->Observe(queue_wait_us_id_, static_cast<double>(wait.count()));
+      }
+    }
   }
+  // Fired outside the lock; the callback just flags the rebuild worker.
+  if (rebuild_cb) rebuild_cb();
 }
 
 }  // namespace tkdc::serve

@@ -8,13 +8,17 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/metrics.h"
+#include "kde/delta_overlay.h"
 #include "kde/density_classifier.h"
 #include "serve/protocol.h"
+#include "tkdc/threshold.h"
 
 namespace tkdc::serve {
 
@@ -25,10 +29,51 @@ namespace tkdc::serve {
 /// finishes. The classifier inside is driven only by the dispatcher
 /// thread (its facade is externally single-threaded); parallelism lives
 /// inside ClassifyBatch via the shared BatchExecutor thread pool.
+///
+/// Streaming generations additionally carry a DeltaOverlay staging
+/// INSERT/DELETE mutations on top of the immutable classifier. The
+/// overlay (and `live_counts`) are mutated only by the dispatcher thread;
+/// `generation`, the overlay's published counts, and `last_rebuild_ms`
+/// may be read from any thread (STATS).
 struct ServingModel {
   std::unique_ptr<DensityClassifier> classifier;
   std::string source_path;
+
+  // --- Streaming state (defaults describe a static, non-streaming model).
+  /// Monotonic model version; bumped by RELOAD and every rebuild.
+  uint64_t generation = 0;
+  /// Staged mutations; null = static serving (no streaming verbs).
+  std::shared_ptr<DeltaOverlay> overlay;
+  /// Whether streaming verbs are accepted (overlay != null and the
+  /// classifier supports the fold).
+  bool streaming = false;
+  /// Training rows of the base model (original row order) — the base half
+  /// of a rebuild's merged dataset. Null when the engine cannot export
+  /// (binned): INSERT/DELETE still work, rebuilds don't.
+  std::shared_ptr<const Dataset> base_data;
+  /// Online t(p) estimator fed by INSERT densities; carried across
+  /// rebuilds (reseeded) so its arrival history survives. Null for static
+  /// models.
+  std::shared_ptr<OnlineThresholdEstimator> estimator;
+  /// Wall-clock of the last rebuild/reload publication (unix ms).
+  int64_t last_rebuild_ms = 0;
+  /// Overlay size (inserted + tombstones) at which the dispatcher asks
+  /// the server to rebuild; 0 = never.
+  size_t rebuild_trigger = 0;
+  /// Live multiplicity of every point (base + inserts - tombstones),
+  /// keyed by the raw bytes of its coordinates. DELETE validation: a
+  /// point absent here cannot be tombstoned. Dispatcher thread only.
+  /// Null when base_data is unavailable (DELETE is then unvalidated).
+  std::unique_ptr<std::unordered_map<std::string, int64_t>> live_counts;
+
+  /// Effective point count: base + inserted - tombstoned.
+  size_t effective_n() const;
 };
+
+/// Hash key of a point: the raw bytes of its coordinates (exact-match
+/// semantics, bitwise — the same contract the overlay's tombstone
+/// cancellation uses).
+std::string PointKey(std::span<const double> x);
 
 struct BatcherOptions {
   /// Most requests coalesced into one ClassifyBatch call.
@@ -53,6 +98,12 @@ inline constexpr char kBatches[] = "serve.batches";
 inline constexpr char kReloads[] = "serve.model_reloads";
 inline constexpr char kBatchSize[] = "serve.batch_size";
 inline constexpr char kQueueWaitUs[] = "serve.queue_wait_us";
+// Streaming counters.
+inline constexpr char kOverlayInserts[] = "serve.overlay_inserts";
+inline constexpr char kOverlayDeletes[] = "serve.overlay_deletes";
+inline constexpr char kOverlayRejected[] = "serve.overlay_rejected";
+inline constexpr char kStaleQueries[] = "serve.stale_queries";
+inline constexpr char kRebuilds[] = "serve.model_rebuilds";
 }  // namespace metric_names
 
 /// Dynamic micro-batcher: coalesces concurrently arriving classify /
@@ -106,6 +157,24 @@ class MicroBatcher {
   /// against the new one. Thread-safe.
   void SwapModel(std::shared_ptr<ServingModel> model);
 
+  /// Publishes a *rebuilt* streaming generation. Unlike SwapModel, the
+  /// install happens on the dispatcher thread between batches: the
+  /// dispatcher migrates every overlay row the rebuild did NOT consume
+  /// (inserted rows >= consumed_inserted, tombstones >= consumed_tombstones
+  /// in the old overlay) into the new model's fresh overlay, so mutations
+  /// that raced the rebuild survive the swap and zero requests are
+  /// dropped or answered against missing state. Blocks until the install
+  /// completes (or the batcher is stopping — returns false then).
+  /// Thread-safe; callers serialize rebuilds among themselves.
+  bool PublishRebuild(std::shared_ptr<ServingModel> model,
+                      size_t consumed_inserted, size_t consumed_tombstones);
+
+  /// Asks the server to rebuild: invoked (without the queue lock, on the
+  /// dispatcher thread) when a streaming model's overlay reaches its
+  /// rebuild trigger or rejects a mutation for want of capacity. The
+  /// callback must not block; it flags a worker and returns.
+  void SetRebuildRequestCallback(std::function<void()> callback);
+
   /// Current model generation (for control-plane peeks, e.g. RELOAD
   /// resolving the default path).
   std::shared_ptr<ServingModel> model() const;
@@ -132,8 +201,24 @@ class MicroBatcher {
     Completion done;
   };
 
+  struct RebuildPublication {
+    std::shared_ptr<ServingModel> model;
+    size_t consumed_inserted = 0;
+    size_t consumed_tombstones = 0;
+    uint64_t ticket = 0;
+  };
+
   void Loop();
   void ExecuteBatch(std::vector<Pending>& batch, ServingModel& model);
+  /// Applies one INSERT/DELETE to `model` and answers it. Dispatcher
+  /// thread; mutation-quiescence is upheld because no queries run
+  /// concurrently with this.
+  void ApplyMutation(Pending& pending, ServingModel& model,
+                     bool* rebuild_wanted);
+  /// Migrates the unconsumed overlay suffix and installs `publication`.
+  /// Dispatcher thread, called without the lock held.
+  void InstallRebuild(RebuildPublication publication,
+                      const std::shared_ptr<ServingModel>& old_model);
   /// Folds the shard into the registry and zeroes it. Caller holds mutex_.
   void AbsorbShardLocked();
 
@@ -142,8 +227,15 @@ class MicroBatcher {
 
   mutable std::mutex mutex_;
   std::condition_variable wake_cv_;
+  /// Signals rebuild installs to PublishRebuild waiters.
+  std::condition_variable install_cv_;
   std::deque<Pending> queue_;
   std::shared_ptr<ServingModel> model_;
+  /// Rebuild handed over by PublishRebuild, awaiting dispatcher install.
+  std::optional<RebuildPublication> pending_rebuild_;
+  uint64_t rebuild_tickets_ = 0;
+  uint64_t installed_ticket_ = 0;
+  std::function<void()> rebuild_request_cb_;
   bool stopping_ = false;
   bool started_ = false;
   Snapshot totals_;
@@ -155,6 +247,8 @@ class MicroBatcher {
   // Metric ids into shard_.
   size_t admitted_id_ = 0, shed_id_ = 0, timed_out_id_ = 0, completed_id_ = 0,
          batches_id_ = 0, reloads_id_ = 0;
+  size_t overlay_inserts_id_ = 0, overlay_deletes_id_ = 0,
+         overlay_rejected_id_ = 0, stale_queries_id_ = 0, rebuilds_id_ = 0;
   size_t batch_size_id_ = 0, queue_wait_us_id_ = 0;
 
   std::thread dispatcher_;

@@ -1,6 +1,7 @@
 #include "serve/flags.h"
 
 #include <charconv>
+#include <cstdlib>
 
 namespace tkdc::serve {
 namespace {
@@ -23,6 +24,14 @@ constexpr const char kUsage[] =
     "  --request-timeout-ms T  default per-request deadline, 0 = none\n"
     "                          (default 0); requests may override\n"
     "  --metrics-out PATH      write merged metrics JSON at shutdown\n"
+    "  --overlay-capacity N    rows each streaming overlay buffer can\n"
+    "                          stage before INSERT/DELETE are rejected\n"
+    "                          pending a rebuild (default 4096; 0 turns\n"
+    "                          streaming verbs off)\n"
+    "  --rebuild-fraction F    retrain and hot-swap the base model when\n"
+    "                          the overlay exceeds this fraction of the\n"
+    "                          base points (default 0.1; 0 = only FLUSH\n"
+    "                          rebuilds)\n"
     "Signals: SIGTERM drains (every admitted request is answered, then\n"
     "exit 0); SIGHUP hot-reloads the model without dropping requests.\n";
 
@@ -113,6 +122,22 @@ Result<ServeFlags> ParseServeFlags(const std::vector<std::string>& args) {
       }
       flags.options.batcher.default_timeout_ms =
           static_cast<int64_t>(number);
+    } else if (arg == "--overlay-capacity") {
+      if (status = take_value(&value); !status.ok()) return status;
+      if (status = ParseSize(arg, value, 1u << 24, &number); !status.ok()) {
+        return status;
+      }
+      flags.options.overlay_capacity = static_cast<size_t>(number);
+    } else if (arg == "--rebuild-fraction") {
+      if (status = take_value(&value); !status.ok()) return status;
+      char* end = nullptr;
+      const double fraction = std::strtod(value.c_str(), &end);
+      if (end != value.c_str() + value.size() || !(fraction >= 0.0) ||
+          fraction > 1.0) {
+        return Errorf() << arg << ": expected a fraction in [0, 1], got \""
+                        << value << "\"";
+      }
+      flags.options.rebuild_fraction = fraction;
     } else {
       return Errorf() << "unknown flag: " << arg;
     }

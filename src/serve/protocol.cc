@@ -115,12 +115,14 @@ Result<Request> ParseRequest(std::string_view payload) {
   }
   const std::string_view verb = tokens[1];
   const bool takes_point = verb == "CLASSIFY" || verb == "CLASSIFY_TRAINING" ||
-                           verb == "ESTIMATE";
+                           verb == "ESTIMATE" || verb == "INSERT" ||
+                           verb == "DELETE";
   if (takes_point) {
-    request.verb = verb == "CLASSIFY" ? RequestVerb::kClassify
-                   : verb == "CLASSIFY_TRAINING"
-                       ? RequestVerb::kClassifyTraining
-                       : RequestVerb::kEstimateDensity;
+    request.verb = verb == "CLASSIFY"            ? RequestVerb::kClassify
+                   : verb == "CLASSIFY_TRAINING" ? RequestVerb::kClassifyTraining
+                   : verb == "ESTIMATE"          ? RequestVerb::kEstimateDensity
+                   : verb == "INSERT"            ? RequestVerb::kInsert
+                                                 : RequestVerb::kDelete;
     if (tokens.size() < 3 || tokens.size() > 4) {
       return Errorf() << verb << " takes <v1,v2,...> [timeout_ms]";
     }
@@ -136,9 +138,11 @@ Result<Request> ParseRequest(std::string_view payload) {
     }
     return request;
   }
-  if (verb == "STATS" || verb == "PING") {
+  if (verb == "STATS" || verb == "PING" || verb == "FLUSH") {
     if (tokens.size() != 2) return Errorf() << verb << " takes no arguments";
-    request.verb = verb == "STATS" ? RequestVerb::kStats : RequestVerb::kPing;
+    request.verb = verb == "STATS"  ? RequestVerb::kStats
+                   : verb == "PING" ? RequestVerb::kPing
+                                    : RequestVerb::kFlush;
     return request;
   }
   if (verb == "RELOAD") {
@@ -148,8 +152,8 @@ Result<Request> ParseRequest(std::string_view payload) {
     return request;
   }
   return Errorf() << "unknown verb \"" << verb
-                  << "\" (known: CLASSIFY CLASSIFY_TRAINING ESTIMATE STATS "
-                     "RELOAD PING)";
+                  << "\" (known: CLASSIFY CLASSIFY_TRAINING ESTIMATE INSERT "
+                     "DELETE FLUSH STATS RELOAD PING)";
 }
 
 uint64_t BestEffortRequestId(std::string_view payload) {

@@ -29,6 +29,9 @@ namespace tkdc::serve {
 ///   <id> CLASSIFY <v1,v2,...> [timeout_ms]
 ///   <id> CLASSIFY_TRAINING <v1,v2,...> [timeout_ms]
 ///   <id> ESTIMATE <v1,v2,...> [timeout_ms]
+///   <id> INSERT <v1,v2,...> [timeout_ms]
+///   <id> DELETE <v1,v2,...> [timeout_ms]
+///   <id> FLUSH
 ///   <id> STATS
 ///   <id> RELOAD [path]
 ///   <id> PING
@@ -37,9 +40,17 @@ namespace tkdc::serve {
 /// not arrival order). `timeout_ms` overrides the server's default
 /// per-request deadline (0 = no deadline).
 ///
+/// Streaming verbs: INSERT adds a training point to the serving model's
+/// delta overlay, DELETE tombstones an existing point (matched by exact
+/// coordinates), and FLUSH synchronously rebuilds the base model on
+/// base ∪ overlay and swaps it in. INSERT/DELETE flow through the same
+/// micro-batcher queue as queries, so a classify enqueued after an insert
+/// observes it.
+///
 /// Response payload grammar:
 ///   <id> OK <body>         body: HIGH | LOW | <density> | PONG |
-///                                RELOADED | <stats json>
+///                                RELOADED | INSERTED | DELETED |
+///                                REBUILT <n> | <stats json>
 ///   <id> ERR <message>     malformed/unsatisfiable request (never aborts)
 ///   <id> OVERLOADED        admission queue full; retry later
 ///   <id> TIMEOUT           deadline expired before execution
@@ -49,6 +60,9 @@ enum class RequestVerb {
   kClassify,
   kClassifyTraining,
   kEstimateDensity,
+  kInsert,
+  kDelete,
+  kFlush,
   kStats,
   kReload,
   kPing,

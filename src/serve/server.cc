@@ -6,15 +6,20 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <fstream>
+#include <iomanip>
 #include <sstream>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "tkdc/classifier.h"
 #include "tkdc_api.h"
 
 namespace tkdc::serve {
@@ -22,6 +27,18 @@ namespace {
 
 /// Poll interval of the accept loop; bounds shutdown/reload latency.
 constexpr int kAcceptPollMs = 50;
+
+/// Reservoir size of the online threshold estimator.
+constexpr size_t kThresholdReservoir = 1024;
+
+/// Failure probability of the online threshold band.
+constexpr double kThresholdDelta = 0.05;
+
+int64_t NowUnixMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
 
 }  // namespace
 
@@ -36,11 +53,18 @@ Result<std::unique_ptr<Server>> Server::Create(ServerOptions options) {
   std::unique_ptr<Server> server(new Server(std::move(options)));
   auto model = server->LoadServingModel(server->options_.model_path);
   if (!model.ok()) return model.status();
+  const bool streaming = model.value()->streaming;
   // Order matters: the model attachment above registered the query-path
   // metric schema; the batcher registers the serve schema and then sizes
   // its shard, so every registration must precede it.
   server->batcher_ = std::make_unique<MicroBatcher>(
       server->options_.batcher, model.take(), &server->registry_);
+  if (streaming) {
+    Server* raw = server.get();
+    server->batcher_->SetRebuildRequestCallback(
+        [raw] { raw->RequestRebuild(); });
+    server->rebuild_worker_ = std::thread([raw] { raw->RebuildWorker(); });
+  }
   server->batcher_->Start();
   return server;
 }
@@ -54,7 +78,73 @@ Result<std::shared_ptr<ServingModel>> Server::LoadServingModel(
   model->source_path = path;
   model->classifier->SetNumThreads(options_.num_threads);
   model->classifier->AttachMetrics(&registry_);
+  model->generation =
+      generation_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  model->last_rebuild_ms = NowUnixMs();
+  if (options_.overlay_capacity > 0 && model->classifier->supports_overlay()) {
+    // Fresh streaming generation: a (re)load discards any prior overlay —
+    // the file on disk is the new truth — and seeds a new estimator.
+    SetUpStreaming(*model, nullptr);
+  }
   return model;
+}
+
+void Server::SetUpStreaming(
+    ServingModel& model, std::shared_ptr<OnlineThresholdEstimator> estimator) {
+  DensityClassifier& classifier = *model.classifier;
+  const size_t dims = classifier.dims();
+  model.overlay =
+      std::make_shared<DeltaOverlay>(dims, options_.overlay_capacity);
+  model.streaming = true;
+
+  Dataset base(dims);
+  if (classifier.ExportTrainingData(&base)) {
+    model.base_data = std::make_shared<const Dataset>(std::move(base));
+    model.live_counts =
+        std::make_unique<std::unordered_map<std::string, int64_t>>();
+    model.live_counts->reserve(model.base_data->size());
+    for (size_t i = 0; i < model.base_data->size(); ++i) {
+      ++(*model.live_counts)[PointKey(model.base_data->Row(i))];
+    }
+    if (options_.rebuild_fraction > 0.0) {
+      const double fraction =
+          options_.rebuild_fraction *
+          static_cast<double>(model.base_data->size());
+      model.rebuild_trigger =
+          std::min(options_.overlay_capacity,
+                   std::max<size_t>(16, static_cast<size_t>(fraction)));
+    }
+  }
+
+  // Seed densities for the online t(p) reservoir: the cached training
+  // densities when the model carries them (tkdc/nocut), else fresh
+  // estimates over a prefix of the exported base rows. Engines exporting
+  // neither (binned) start with an empty reservoir that fills from
+  // arrivals.
+  std::vector<double> seed;
+  if (const auto* tkdc_classifier =
+          dynamic_cast<const TkdcClassifier*>(&classifier);
+      tkdc_classifier != nullptr &&
+      !tkdc_classifier->training_densities().empty()) {
+    const auto& densities = tkdc_classifier->training_densities();
+    seed.assign(densities.begin(), densities.end());
+  } else if (model.base_data != nullptr) {
+    const size_t rows =
+        std::min(kThresholdReservoir, model.base_data->size());
+    seed.reserve(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      seed.push_back(classifier.EstimateDensity(model.base_data->Row(i)));
+    }
+  }
+  if (estimator == nullptr) {
+    auto options = api::RecoverTrainOptions(classifier);
+    const double p = options.ok() ? options.value().config.p : 0.01;
+    estimator = std::make_shared<OnlineThresholdEstimator>(
+        p, kThresholdDelta, kThresholdReservoir,
+        options.ok() ? options.value().config.seed : 0);
+  }
+  estimator->Reseed(seed);
+  model.estimator = std::move(estimator);
 }
 
 Status Server::Reload(const std::string& path) {
@@ -66,6 +156,109 @@ Status Server::Reload(const std::string& path) {
   if (!model.ok()) return model.status();
   batcher_->SwapModel(model.take());
   return Status::Ok();
+}
+
+Result<uint64_t> Server::RebuildNow() {
+  // Same lock as Reload: publications are serialized, so at most one
+  // PublishRebuild is pending at any time (the batcher checks this).
+  std::lock_guard<std::mutex> lock(reload_mutex_);
+  const std::shared_ptr<ServingModel> old_model = batcher_->model();
+  if (!old_model->streaming) {
+    return Errorf() << "model is not streaming-capable; nothing to flush";
+  }
+  if (old_model->base_data == nullptr) {
+    return Errorf() << "model retains no training points ("
+                    << old_model->classifier->name()
+                    << "); cannot rebuild from the overlay";
+  }
+  const DeltaOverlay& overlay = *old_model->overlay;
+  const DeltaOverlay::Snapshot snap = overlay.snapshot();
+
+  // Merge: base ∪ inserted[0, snap.inserted) minus one point per
+  // tombstone (coordinate multiset match — the same identity the kernel
+  // cancellation uses). Tombstones loaded before inserts in the snapshot,
+  // so every tombstone's target is present.
+  const Dataset& base = *old_model->base_data;
+  const size_t dims = base.dims();
+  std::unordered_map<std::string, int64_t> tombstones;
+  std::vector<double> row(dims);
+  for (size_t i = 0; i < snap.tombstones; ++i) {
+    overlay.CopyTombstoneRow(i, row);
+    ++tombstones[PointKey(std::span<const double>(row))];
+  }
+  const auto keep = [&tombstones](std::span<const double> r) {
+    if (tombstones.empty()) return true;
+    const auto it = tombstones.find(PointKey(r));
+    if (it == tombstones.end() || it->second <= 0) return true;
+    --it->second;
+    return false;
+  };
+  Dataset merged(dims);
+  merged.Reserve(base.size() + snap.inserted);
+  for (size_t i = 0; i < base.size(); ++i) {
+    const std::span<const double> r = base.Row(i);
+    if (keep(r)) merged.AppendRow(r);
+  }
+  for (size_t i = 0; i < snap.inserted; ++i) {
+    overlay.CopyInsertedRow(i, row);
+    if (keep(row)) merged.AppendRow(row);
+  }
+  if (merged.size() < 2) {
+    return Errorf() << "rebuild needs at least 2 points, overlay leaves "
+                    << merged.size();
+  }
+
+  auto options = api::RecoverTrainOptions(*old_model->classifier);
+  if (!options.ok()) return options.status();
+  auto trained = api::Train(merged, options.value());
+  if (!trained.ok()) return trained.status();
+
+  auto fresh = std::make_shared<ServingModel>();
+  fresh->classifier = trained.take();
+  fresh->source_path = old_model->source_path;
+  fresh->classifier->SetNumThreads(options_.num_threads);
+  fresh->classifier->AttachMetrics(&registry_);
+  fresh->generation =
+      generation_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  fresh->last_rebuild_ms = NowUnixMs();
+  // Carry the estimator: SetUpStreaming reseeds it from the rebuilt
+  // model, re-tightening the band the staleness widening had loosened.
+  SetUpStreaming(*fresh, old_model->estimator);
+  const uint64_t new_base = fresh->classifier->training_size();
+  if (!batcher_->PublishRebuild(std::move(fresh), snap.inserted,
+                                snap.tombstones)) {
+    return Errorf() << "server stopping; rebuild not installed";
+  }
+  return new_base;
+}
+
+void Server::RequestRebuild() {
+  {
+    std::lock_guard<std::mutex> lock(rebuild_mutex_);
+    if (rebuild_requested_ || rebuild_worker_exit_) return;
+    rebuild_requested_ = true;
+  }
+  rebuild_cv_.notify_one();
+}
+
+void Server::RebuildWorker() {
+  std::unique_lock<std::mutex> lock(rebuild_mutex_);
+  while (true) {
+    rebuild_cv_.wait(lock, [this] {
+      return rebuild_worker_exit_ || rebuild_requested_;
+    });
+    if (rebuild_worker_exit_) return;
+    rebuild_requested_ = false;
+    lock.unlock();
+    const Result<uint64_t> result = RebuildNow();
+    if (!result.ok()) {
+      // Keep serving base + overlay; an operator-visible note, never an
+      // abort. The next trigger retries.
+      std::fprintf(stderr, "background rebuild failed: %s\n",
+                   result.status().message().c_str());
+    }
+    lock.lock();
+  }
 }
 
 void Server::PollReloadFlag() {
@@ -91,8 +284,38 @@ void Server::Dispatch(Request request,
       // snapshot() folds pending serve counters into the registry first,
       // so the JSON is current as of this request.
       batcher_->snapshot();
+      const std::shared_ptr<ServingModel> model = batcher_->model();
+      const DeltaOverlay::Snapshot overlay =
+          model->overlay != nullptr ? model->overlay->snapshot()
+                                    : DeltaOverlay::Snapshot{};
+      const size_t base_n = model->classifier->training_size();
       std::ostringstream json;
+      json << std::setprecision(17);
+      json << "{\"model\":{\"generation\":" << model->generation
+           << ",\"algorithm\":\"" << model->classifier->name() << "\""
+           << ",\"base_points\":" << base_n
+           << ",\"streaming\":" << (model->streaming ? "true" : "false")
+           << ",\"overlay_inserted\":" << overlay.inserted
+           << ",\"overlay_tombstones\":" << overlay.tombstones
+           << ",\"last_rebuild_unix_ms\":" << model->last_rebuild_ms
+           << ",\"trained_threshold\":" << model->classifier->threshold();
+      if (model->estimator != nullptr) {
+        const double n_eff = static_cast<double>(base_n) +
+                             static_cast<double>(overlay.inserted) -
+                             static_cast<double>(overlay.tombstones);
+        const double staleness =
+            n_eff > 0.0 ? static_cast<double>(overlay.size()) / n_eff : 0.0;
+        const OnlineThresholdEstimator::Band band =
+            model->estimator->Estimate(staleness);
+        json << ",\"online_threshold\":" << band.threshold
+             << ",\"online_threshold_lower\":" << band.lower
+             << ",\"online_threshold_upper\":" << band.upper
+             << ",\"online_threshold_sample\":" << band.sample_size
+             << ",\"observed_inserts\":" << band.observed;
+      }
+      json << "},\"metrics\":";
       registry_.WriteJson(json);
+      json << "}";
       writer->Write(Response::Ok(request.id, json.str()));
       return;
     }
@@ -103,9 +326,23 @@ void Server::Dispatch(Request request,
                         : Response::Error(request.id, status.message()));
       return;
     }
+    case RequestVerb::kFlush: {
+      // Control plane, but potentially slow (a full retrain): runs on this
+      // connection thread, serialized with RELOAD. The data plane keeps
+      // batching against base + overlay until the swap installs.
+      const Result<uint64_t> result = RebuildNow();
+      writer->Write(result.ok()
+                        ? Response::Ok(request.id,
+                                       "REBUILT " +
+                                           std::to_string(result.value()))
+                        : Response::Error(request.id, result.message()));
+      return;
+    }
     case RequestVerb::kClassify:
     case RequestVerb::kClassifyTraining:
     case RequestVerb::kEstimateDensity:
+    case RequestVerb::kInsert:
+    case RequestVerb::kDelete:
       // Data plane: through admission control and the micro-batcher. The
       // completion (OK/ERR/OVERLOADED/TIMEOUT) is written exactly once —
       // inline on rejection, from the dispatcher otherwise. The writer is
@@ -207,8 +444,19 @@ int Server::RunTcp(uint16_t port, std::ostream& announce) {
 
 void Server::Shutdown() {
   if (shutdown_done_.exchange(true)) return;
-  if (batcher_ == nullptr) return;  // Create() failed before assembly.
+  // Retire the rebuild worker first: flag it, then stop the batcher so a
+  // PublishRebuild it may be blocked in returns, then join.
+  {
+    std::lock_guard<std::mutex> lock(rebuild_mutex_);
+    rebuild_worker_exit_ = true;
+  }
+  rebuild_cv_.notify_all();
+  if (batcher_ == nullptr) {
+    if (rebuild_worker_.joinable()) rebuild_worker_.join();
+    return;  // Create() failed before assembly.
+  }
   batcher_->Stop();  // Drains: every admitted request answered.
+  if (rebuild_worker_.joinable()) rebuild_worker_.join();
   // Final fold of the current model's query-path counters (the dispatcher
   // flushed per batch; this catches work since the last batch).
   batcher_->model()->classifier->FlushMetrics();

@@ -2,10 +2,13 @@
 #define TKDC_SERVE_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
+#include <thread>
 
 #include "common/metrics.h"
 #include "common/status.h"
@@ -33,6 +36,17 @@ struct ServerOptions {
   /// when set, the serving model is reloaded from `model_path` and the
   /// flag cleared. Null = reload only via RELOAD requests.
   std::atomic<bool>* reload = nullptr;
+
+  // --- Streaming (INSERT / DELETE / FLUSH) knobs ------------------------
+  /// Rows each overlay buffer (inserts, tombstones) can stage before
+  /// mutations are rejected pending a rebuild. 0 disables streaming
+  /// entirely (INSERT/DELETE answered with ERR, as for static models).
+  size_t overlay_capacity = 4096;
+  /// Background rebuild trigger: when the overlay holds more than this
+  /// fraction of the base point count (but at least 16 rows), the base
+  /// model is retrained on base ∪ overlay and hot-swapped. 0 = only
+  /// explicit FLUSH rebuilds.
+  double rebuild_fraction = 0.1;
 };
 
 /// The long-lived `tkdc_serve` daemon: owns the metrics registry, the
@@ -72,7 +86,16 @@ class Server {
 
   /// Loads `path` (empty = the startup model path) and publishes it.
   /// In-flight and queued requests all complete; serialized internally.
+  /// A reload discards any staged overlay (the file on disk is the new
+  /// truth) and starts a fresh streaming generation.
   Status Reload(const std::string& path);
+
+  /// Synchronously retrains the base model on base ∪ overlay and
+  /// publishes it through the dispatcher (zero requests dropped; overlay
+  /// mutations racing the retrain migrate into the new generation).
+  /// Returns the new base point count. The FLUSH verb and the background
+  /// rebuild worker both land here; calls serialize internally.
+  Result<uint64_t> RebuildNow();
 
   /// Drains the batcher and, when configured, writes --metrics-out.
   /// Idempotent; the Run loops call it on exit.
@@ -85,9 +108,21 @@ class Server {
   explicit Server(ServerOptions options);
 
   /// Builds a ServingModel from `path`: load, thread-pool sizing, metrics
-  /// attachment.
+  /// attachment, and — when the engine supports the overlay fold —
+  /// streaming state (overlay buffers, exported base data, DELETE
+  /// validation counts, online threshold estimator).
   Result<std::shared_ptr<ServingModel>> LoadServingModel(
       const std::string& path);
+
+  /// Fills the streaming fields of `model` (fresh generation, overlay,
+  /// exported base data, estimator seeded/reseeded from `estimator`).
+  void SetUpStreaming(ServingModel& model,
+                      std::shared_ptr<OnlineThresholdEstimator> estimator);
+
+  /// Non-blocking rebuild request from the dispatcher; flags the worker.
+  void RequestRebuild();
+  /// Background rebuild worker loop.
+  void RebuildWorker();
 
   /// Serves one connection until EOF/terminate; does not drain the
   /// batcher (responses for still-queued requests are written later by
@@ -108,7 +143,19 @@ class Server {
   ServerOptions options_;
   MetricsRegistry registry_;
   std::unique_ptr<MicroBatcher> batcher_;
+  /// Serializes model publications: RELOAD, SIGHUP, FLUSH, and the
+  /// background rebuild all load/train one at a time.
   std::mutex reload_mutex_;
+  /// Monotonic generation counter feeding ServingModel::generation.
+  std::atomic<uint64_t> generation_counter_{0};
+
+  // Rebuild worker state.
+  std::mutex rebuild_mutex_;
+  std::condition_variable rebuild_cv_;
+  bool rebuild_requested_ = false;
+  bool rebuild_worker_exit_ = false;
+  std::thread rebuild_worker_;
+
   std::atomic<bool> shutdown_done_{false};
 };
 

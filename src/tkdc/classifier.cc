@@ -115,6 +115,28 @@ double TkdcClassifier::EstimateDensityInContext(
   return engine_.EstimateDensity(static_cast<TreeQueryContext&>(ctx), x);
 }
 
+Classification TkdcClassifier::ClassifyOverlayInContext(
+    QueryContext& ctx, std::span<const double> x, bool training,
+    const DeltaOverlay& overlay) const {
+  TKDC_CHECK_MSG(trained(), "ClassifyWithOverlay called before Train");
+  return engine_.ClassifyOverlay(static_cast<TreeQueryContext&>(ctx), x,
+                                 training, overlay);
+}
+
+double TkdcClassifier::EstimateDensityOverlayInContext(
+    QueryContext& ctx, std::span<const double> x,
+    const DeltaOverlay& overlay) const {
+  TKDC_CHECK_MSG(trained(), "EstimateDensityWithOverlay called before Train");
+  return engine_.EstimateDensityOverlay(static_cast<TreeQueryContext&>(ctx), x,
+                                        overlay);
+}
+
+bool TkdcClassifier::ExportTrainingData(Dataset* out) const {
+  if (model_ == nullptr) return false;
+  *out = model_->tree->ExportPoints();
+  return true;
+}
+
 double TkdcClassifier::threshold() const {
   TKDC_CHECK_MSG(trained(), "threshold read before Train");
   return model_->threshold;

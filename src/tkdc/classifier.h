@@ -44,6 +44,9 @@ class TkdcClassifier : public DensityClassifier {
   std::string name() const override { return "tkdc"; }
   void Train(const Dataset& data) override;
   bool trained() const override { return model_ != nullptr; }
+  size_t training_size() const override {
+    return model_ != nullptr ? model_->tree->size() : 0;
+  }
   size_t dims() const override {
     return model_ != nullptr ? model_->tree->dims() : 0;
   }
@@ -61,6 +64,18 @@ class TkdcClassifier : public DensityClassifier {
                                    bool training) const override;
   double EstimateDensityInContext(QueryContext& ctx,
                                   std::span<const double> x) const override;
+
+  /// Streaming: the tKDC density is an additive kernel sum, so a staged
+  /// DeltaOverlay folds in exactly (BoundDensityAffine) — the Eq. 8-9
+  /// pruning guarantees hold for the merged density at any buffer size.
+  bool supports_overlay() const override { return true; }
+  Classification ClassifyOverlayInContext(
+      QueryContext& ctx, std::span<const double> x, bool training,
+      const DeltaOverlay& overlay) const override;
+  double EstimateDensityOverlayInContext(
+      QueryContext& ctx, std::span<const double> x,
+      const DeltaOverlay& overlay) const override;
+  bool ExportTrainingData(Dataset* out) const override;
 
   const TkdcConfig& config() const { return config_; }
 

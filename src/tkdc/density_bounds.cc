@@ -192,6 +192,38 @@ DensityBounds DensityBoundEvaluator::BoundDensity(TreeQueryContext& ctx,
   return RunPointTraversal(ctx, x, t_lo, t_hi, tolerance, f_lo, f_hi);
 }
 
+DensityBounds DensityBoundEvaluator::BoundDensityAffine(
+    TreeQueryContext& ctx, std::span<const double> x, double scale,
+    double offset, double t_lo, double t_hi, double tolerance) const {
+  TKDC_DCHECK(scale > 0.0);
+  TKDC_DCHECK(tolerance >= 0.0);
+  const double eps = config_->epsilon;
+  const double inv_scale = 1.0 / scale;
+  // Base-space thresholds chosen so the traversal's g-space rules match:
+  //   scale * f_lo + offset > t_hi * (1 + eps)
+  //     <=>  f_lo > t_hi_base * (1 + eps)
+  // and symmetrically for the low cut. A negative remapped threshold is
+  // meaningful: f_lo >= 0 always beats it, so the rule fires immediately
+  // (offset alone already decides the query); the low cut can never fire
+  // against a negative bound, which is exactly the conservative behavior.
+  const double t_hi_base =
+      (t_hi * (1.0 + eps) - offset) * inv_scale / (1.0 + eps);
+  double t_lo_base = 0.0;
+  if (eps < 1.0) {
+    t_lo_base = (t_lo * (1.0 - eps) - offset) * inv_scale / (1.0 - eps);
+  }
+  const DensityBounds base =
+      BoundDensity(ctx, x, t_lo_base, t_hi_base, tolerance * inv_scale);
+  double g_lo = scale * base.lower + offset;
+  double g_hi = scale * base.upper + offset;
+  // A tombstone-heavy offset can push the lower edge below zero even
+  // though the merged density is a genuine density; clamp like the base
+  // traversal does.
+  if (g_lo < 0.0) g_lo = 0.0;
+  if (g_hi < g_lo) g_hi = g_lo;
+  return DensityBounds{g_lo, g_hi};
+}
+
 DensityBounds DensityBoundEvaluator::BoundDensityFromFrontier(
     TreeQueryContext& ctx, std::span<const double> x, double t_lo, double t_hi,
     double tolerance, const std::vector<uint32_t>& frontier) const {

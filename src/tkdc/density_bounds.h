@@ -110,6 +110,28 @@ class DensityBoundEvaluator {
                              double t_lo, double t_hi,
                              double tolerance = -1.0) const;
 
+  /// Bounds the *affinely transformed* density g(x) = scale * f(x) + offset
+  /// with the pruning rules evaluated in g-units: the traversal stops as
+  /// soon as g_lo > t_hi * (1 + eps), g_hi < t_lo * (1 - eps), or
+  /// g_hi - g_lo < tolerance, and the returned interval bounds g(x).
+  ///
+  /// This is the streaming-overlay fold (kde/delta_overlay.h): with n_b
+  /// base points, a staged overlay of `ins` inserts and `tomb` tombstones,
+  /// and Delta(x) their exact signed kernel sum, the merged density is
+  /// g(x) = (n_b * f(x) + Delta(x)) / n_eff — i.e. scale = n_b / n_eff and
+  /// offset = Delta(x) / n_eff. The cutoffs are remapped into base-space
+  /// thresholds so the unmodified traversal decides exactly the g-space
+  /// rules; when offset alone clears the high cut the remapped threshold
+  /// goes negative and the threshold rule fires before any expansion.
+  ///
+  /// `scale` must be positive; `tolerance` is the absolute g-space width
+  /// target and must be >= 0 (there is no -1 default here: the caller
+  /// knows which space its epsilon band lives in).
+  DensityBounds BoundDensityAffine(TreeQueryContext& ctx,
+                                   std::span<const double> x, double scale,
+                                   double offset, double t_lo, double t_hi,
+                                   double tolerance) const;
+
   /// BoundDensity seeded from an explicit reference-node `frontier` (a
   /// disjoint cover of the training set, e.g. the frontier a dual-tree box
   /// probe ended with) instead of the root. Equivalent result, but skips

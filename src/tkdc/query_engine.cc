@@ -1,8 +1,24 @@
 #include "tkdc/query_engine.h"
 
 #include "common/macros.h"
+#include "kde/delta_overlay.h"
 
 namespace tkdc {
+namespace {
+
+/// ComputeOverlayContribution with the kernel evaluations booked into the
+/// traversal counters, so overlay queries account their extra scan work
+/// exactly like leaf evaluations.
+OverlayContribution FoldOverlay(TreeQueryContext& ctx, const TkdcModel& m,
+                                std::span<const double> x,
+                                const DeltaOverlay& overlay) {
+  const OverlayContribution fold = ComputeOverlayContribution(
+      overlay, m.tree->size(), *m.kernel, x, m.config.fast_math_leaf);
+  ctx.stats.kernel_evaluations += fold.evaluations;
+  return fold;
+}
+
+}  // namespace
 
 TkdcQueryEngine::TkdcQueryEngine(const TkdcModel* model)
     : model_(model),
@@ -56,6 +72,50 @@ double TkdcQueryEngine::EstimateDensity(TreeQueryContext& ctx,
                                         std::span<const double> x) const {
   return evaluator_
       .BoundDensity(ctx, x, model_->threshold, model_->threshold)
+      .Midpoint();
+}
+
+Classification TkdcQueryEngine::ClassifyOverlay(TreeQueryContext& ctx,
+                                                std::span<const double> x,
+                                                bool training,
+                                                const DeltaOverlay& overlay)
+    const {
+  if (overlay.snapshot().empty()) return Classify(ctx, x, training);
+  const TkdcModel& m = *model_;
+  const OverlayContribution fold = FoldOverlay(ctx, m, x, overlay);
+  // The self-correction for training points discounts K(0)/n_eff in the
+  // merged model; m.self_contribution is K(0)/n_b, so rescale by n_b/n_eff
+  // — which is exactly fold.scale.
+  const double cut = training
+                         ? m.threshold + m.self_contribution * fold.scale
+                         : m.threshold;
+  // Grid probe: the cached cell bound is a lower bound on the *base*
+  // density, and the affine fold is monotone, so the merged lower bound is
+  // scale * cell + offset (offset is exact, not a bound).
+  if (m.grid != nullptr &&
+      fold.scale * m.grid->DensityLowerBound(x) + fold.offset > cut) {
+    ++ctx.grid_prunes;
+    return Classification::kHigh;
+  }
+  // The precision target stays eps * t in merged-density units, matching
+  // the base path's guarantee for both fresh and training points.
+  const DensityBounds bounds = evaluator_.BoundDensityAffine(
+      ctx, x, fold.scale, fold.offset, cut, cut,
+      m.config.epsilon * m.threshold);
+  return bounds.Midpoint() > cut ? Classification::kHigh
+                                 : Classification::kLow;
+}
+
+double TkdcQueryEngine::EstimateDensityOverlay(TreeQueryContext& ctx,
+                                               std::span<const double> x,
+                                               const DeltaOverlay& overlay)
+    const {
+  if (overlay.snapshot().empty()) return EstimateDensity(ctx, x);
+  const TkdcModel& m = *model_;
+  const OverlayContribution fold = FoldOverlay(ctx, m, x, overlay);
+  return evaluator_
+      .BoundDensityAffine(ctx, x, fold.scale, fold.offset, m.threshold,
+                          m.threshold, m.config.epsilon * m.threshold)
       .Midpoint();
 }
 

@@ -45,6 +45,22 @@ class TkdcQueryEngine {
   double EstimateDensity(TreeQueryContext& ctx,
                          std::span<const double> x) const;
 
+  /// Classify() against the merged model base + overlay: folds the
+  /// overlay's exact signed kernel sum into the pruning bounds via
+  /// BoundDensityAffine, so the traversal still stops on the Eq. 8-9 rules
+  /// — now exact for the merged density — at any staged buffer size. The
+  /// decision threshold stays the trained t~(p); the serving layer tracks
+  /// how far the streamed distribution has drifted from it through the
+  /// online estimator's widening band (tkdc/threshold.h).
+  Classification ClassifyOverlay(TreeQueryContext& ctx,
+                                 std::span<const double> x, bool training,
+                                 const DeltaOverlay& overlay) const;
+
+  /// Midpoint estimate of the merged density base + overlay.
+  double EstimateDensityOverlay(TreeQueryContext& ctx,
+                                std::span<const double> x,
+                                const DeltaOverlay& overlay) const;
+
   /// Raw density bounds for a query point (diagnostics and the bootstrap /
   /// dual-tree drivers go through the evaluator directly).
   const DensityBoundEvaluator& evaluator() const { return evaluator_; }

@@ -130,4 +130,85 @@ ThresholdBootstrapResult ThresholdEstimator::Bootstrap(
   }
 }
 
+OnlineThresholdEstimator::OnlineThresholdEstimator(double p, double delta,
+                                                   size_t capacity,
+                                                   uint64_t seed)
+    : p_(p),
+      delta_(delta),
+      capacity_(capacity),
+      rng_(seed * 0x9e3779b97f4a7c15ULL + 41) {
+  TKDC_CHECK(p_ > 0.0 && p_ < 1.0);
+  TKDC_CHECK(delta_ > 0.0 && delta_ < 1.0);
+  TKDC_CHECK(capacity_ >= 2);
+  reservoir_.reserve(capacity_);
+}
+
+void OnlineThresholdEstimator::Reseed(std::span<const double> densities) {
+  std::scoped_lock lock(mutex_);
+  reservoir_.clear();
+  if (densities.size() <= capacity_) {
+    reservoir_.assign(densities.begin(), densities.end());
+  } else {
+    for (size_t row : rng_.SampleWithoutReplacement(densities.size(),
+                                                    capacity_)) {
+      reservoir_.push_back(densities[row]);
+    }
+  }
+  // Algorithm R treats the seed as the stream prefix, so later arrivals
+  // displace seed entries at the correct 1/stream_length rate.
+  stream_length_ = densities.size();
+  observed_ = 0;
+}
+
+void OnlineThresholdEstimator::Observe(double density) {
+  std::scoped_lock lock(mutex_);
+  ++stream_length_;
+  ++observed_;
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(density);
+    return;
+  }
+  const uint64_t slot = rng_.NextBounded(stream_length_);
+  if (slot < reservoir_.size()) {
+    reservoir_[static_cast<size_t>(slot)] = density;
+  }
+}
+
+OnlineThresholdEstimator::Band OnlineThresholdEstimator::Estimate(
+    double staleness_fraction) const {
+  std::vector<double> sorted;
+  Band band;
+  {
+    std::scoped_lock lock(mutex_);
+    sorted = reservoir_;
+    band.observed = observed_;
+  }
+  const size_t s = sorted.size();
+  band.sample_size = s;
+  if (s == 0) return band;
+  std::sort(sorted.begin(), sorted.end());
+
+  const size_t point_rank = std::clamp<size_t>(
+      static_cast<size_t>(std::ceil(p_ * static_cast<double>(s))), 1, s);
+  band.threshold = sorted[point_rank - 1];
+
+  // Exact binomial ranks where the O(s) scan is cheap; normal approximation
+  // for large reservoirs (matching the bootstrap's regime split).
+  const QuantileCi ci = s <= 512
+                            ? ExactBinomialQuantileCi(static_cast<int>(s), p_,
+                                                      delta_)
+                            : NormalApproxQuantileCi(static_cast<int>(s), p_,
+                                                     delta_);
+  band.lower = sorted[static_cast<size_t>(ci.lower) - 1];
+  band.upper = sorted[static_cast<size_t>(ci.upper) - 1];
+
+  // The rank CI covers reservoir sampling error only; drift contributed by
+  // the un-rebuilt overlay is unmodeled, so widen by its fraction.
+  if (staleness_fraction > 0.0) {
+    band.lower *= std::max(0.0, 1.0 - staleness_fraction);
+    band.upper *= 1.0 + staleness_fraction;
+  }
+  return band;
+}
+
 }  // namespace tkdc

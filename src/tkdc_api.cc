@@ -100,10 +100,58 @@ Status SaveModel(const std::string& path, const DensityClassifier& classifier,
   return Status::Ok();
 }
 
+Result<TrainOptions> RecoverTrainOptions(const DensityClassifier& classifier) {
+  TrainOptions options;
+  // Nocut derives from TkdcClassifier, so it must be matched first.
+  if (const auto* nocut = dynamic_cast<const NocutClassifier*>(&classifier)) {
+    options.algorithm = "nocut";
+    options.config = nocut->config();
+  } else if (const auto* tkdc_classifier =
+                 dynamic_cast<const TkdcClassifier*>(&classifier)) {
+    options.algorithm = "tkdc";
+    options.config = tkdc_classifier->config();
+  } else if (const auto* rkde =
+                 dynamic_cast<const RkdeClassifier*>(&classifier)) {
+    options.algorithm = "rkde";
+    options.config = rkde->options().base;
+  } else if (const auto* simple =
+                 dynamic_cast<const SimpleKdeClassifier*>(&classifier)) {
+    options.algorithm = "simple";
+    options.config.p = simple->options().p;
+    options.config.bandwidth_scale = simple->options().bandwidth_scale;
+    options.config.kernel = simple->options().kernel;
+    options.config.bandwidth_rule = simple->options().bandwidth_rule;
+    options.config.seed = simple->options().seed;
+  } else if (const auto* binned =
+                 dynamic_cast<const BinnedKdeClassifier*>(&classifier)) {
+    options.algorithm = "binned";
+    options.config.p = binned->options().p;
+    options.config.bandwidth_scale = binned->options().bandwidth_scale;
+    options.config.kernel = binned->options().kernel;
+    options.config.bandwidth_rule = binned->options().bandwidth_rule;
+    options.config.seed = binned->options().seed;
+  } else if (const auto* knn = dynamic_cast<const KnnClassifier*>(&classifier)) {
+    options.algorithm = "knn";
+    options.k = knn->options().k;
+    options.config.p = knn->options().p;
+    options.config.leaf_size = knn->options().leaf_size;
+    options.config.index_backend = knn->options().index_backend;
+    options.config.seed = knn->options().seed;
+  } else {
+    return Errorf() << "cannot recover train options for classifier type "
+                    << classifier.name();
+  }
+  options.config.num_threads = classifier.num_threads();
+  return options;
+}
+
 std::string Describe(const DensityClassifier& classifier) {
   std::ostringstream out;
   out << "  dimensions:      " << classifier.dims() << "\n"
-      << "  threshold t(p):  " << classifier.threshold() << "\n";
+      << "  threshold t(p):  " << classifier.threshold() << "\n"
+      << "  streaming:       "
+      << (classifier.supports_overlay() ? "overlay-capable" : "static only")
+      << "\n";
   if (const auto backend = classifier.index_backend()) {
     out << "  index backend:   " << IndexBackendName(*backend) << "\n";
   }

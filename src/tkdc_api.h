@@ -75,6 +75,12 @@ Status SaveModel(const std::string& path, const DensityClassifier& classifier,
 /// body): algorithm, dimensions, threshold, and per-algorithm extras.
 std::string Describe(const DensityClassifier& classifier);
 
+/// Reconstructs the TrainOptions a classifier was built with, so the
+/// streaming rebuild path can retrain an equivalent model on base ∪
+/// overlay without the caller having kept the original options around.
+/// Errors for classifier types the API did not construct.
+Result<TrainOptions> RecoverTrainOptions(const DensityClassifier& classifier);
+
 // --- Query calls (thin, stable aliases over the classifier facade) ------
 
 inline Classification Classify(DensityClassifier& classifier,
@@ -100,6 +106,30 @@ inline std::vector<Classification> ClassifyTrainingBatch(
 inline double EstimateDensity(DensityClassifier& classifier,
                               std::span<const double> x) {
   return classifier.EstimateDensity(x);
+}
+
+// --- Streaming overlay calls (see kde/delta_overlay.h) ------------------
+//
+// The overlay variants answer against base model + delta overlay without
+// retraining; classifier.supports_overlay() gates them. The serve daemon
+// is the primary consumer.
+
+inline Classification ClassifyWithOverlay(DensityClassifier& classifier,
+                                          std::span<const double> x,
+                                          const DeltaOverlay& overlay) {
+  return classifier.ClassifyWithOverlay(x, overlay);
+}
+
+inline std::vector<Classification> ClassifyBatchWithOverlay(
+    DensityClassifier& classifier, const Dataset& queries,
+    const DeltaOverlay& overlay, bool training = false) {
+  return classifier.ClassifyBatchWithOverlay(queries, overlay, training);
+}
+
+inline double EstimateDensityWithOverlay(DensityClassifier& classifier,
+                                         std::span<const double> x,
+                                         const DeltaOverlay& overlay) {
+  return classifier.EstimateDensityWithOverlay(x, overlay);
 }
 
 }  // namespace tkdc::api

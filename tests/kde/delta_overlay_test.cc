@@ -1,0 +1,149 @@
+#include "kde/delta_overlay.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/generators.h"
+#include "kde/kernel.h"
+#include "kde/naive_kde.h"
+
+namespace tkdc {
+namespace {
+
+Kernel TestKernel(size_t dims) {
+  return Kernel(KernelType::kGaussian, std::vector<double>(dims, 0.8));
+}
+
+/// Reference Delta(x): plain double loop over inserted minus tombstoned.
+double NaiveSignedSum(const DeltaOverlay& overlay, const Kernel& kernel,
+                      std::span<const double> x) {
+  std::vector<double> row(overlay.dims());
+  double sum = 0.0;
+  for (size_t i = 0; i < overlay.inserted_count(); ++i) {
+    overlay.CopyInsertedRow(i, row);
+    sum += kernel.Evaluate(x, row);
+  }
+  for (size_t i = 0; i < overlay.tombstone_count(); ++i) {
+    overlay.CopyTombstoneRow(i, row);
+    sum -= kernel.Evaluate(x, row);
+  }
+  return sum;
+}
+
+TEST(StreamOverlayTest, CountsCapacityAndRowRoundTrip) {
+  DeltaOverlay overlay(3, 4);
+  EXPECT_EQ(overlay.dims(), 3u);
+  EXPECT_EQ(overlay.capacity(), 4u);
+  EXPECT_TRUE(overlay.snapshot().empty());
+
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {-4.0, 5.5, 0.25};
+  ASSERT_TRUE(overlay.Insert(a));
+  ASSERT_TRUE(overlay.AddTombstone(b));
+  EXPECT_EQ(overlay.inserted_count(), 1u);
+  EXPECT_EQ(overlay.tombstone_count(), 1u);
+  EXPECT_EQ(overlay.snapshot().size(), 2u);
+
+  std::vector<double> out(3);
+  overlay.CopyInsertedRow(0, out);
+  EXPECT_EQ(out, a);
+  overlay.CopyTombstoneRow(0, out);
+  EXPECT_EQ(out, b);
+
+  // Each buffer caps independently at `capacity` rows.
+  for (size_t i = 1; i < 4; ++i) ASSERT_TRUE(overlay.Insert(a));
+  EXPECT_FALSE(overlay.Insert(a));
+  EXPECT_EQ(overlay.inserted_count(), 4u);
+  for (size_t i = 1; i < 4; ++i) ASSERT_TRUE(overlay.AddTombstone(b));
+  EXPECT_FALSE(overlay.AddTombstone(b));
+  EXPECT_EQ(overlay.tombstone_count(), 4u);
+}
+
+TEST(StreamOverlayTest, SignedKernelSumMatchesNaiveAcrossBlockBoundaries) {
+  // kBlockPoints = 64: exercise partial, exact, and multi-block counts so
+  // the +inf padding lanes are proven to contribute +0.0.
+  const size_t dims = 3;
+  const Kernel kernel = TestKernel(dims);
+  Rng rng(17);
+  for (const size_t inserts : {1u, 63u, 64u, 65u, 130u}) {
+    DeltaOverlay overlay(dims, 256);
+    const Dataset points = SampleStandardGaussian(inserts + 7, dims, rng);
+    for (size_t i = 0; i < inserts; ++i) {
+      ASSERT_TRUE(overlay.Insert(points.Row(i)));
+    }
+    for (size_t i = inserts; i < inserts + 7; ++i) {
+      ASSERT_TRUE(overlay.AddTombstone(points.Row(i)));
+    }
+    const std::vector<double> x = {0.25, -0.5, 1.0};
+    const double got =
+        overlay.SignedKernelSum(x.data(), kernel.inverse_bandwidths().data(),
+                                kernel.type(), kernel.norm(),
+                                /*fast_math=*/false);
+    const double want = NaiveSignedSum(overlay, kernel, x);
+    EXPECT_NEAR(got, want, 1e-12 * (1.0 + std::abs(want)))
+        << "inserts=" << inserts;
+  }
+}
+
+TEST(StreamOverlayTest, ContributionReproducesRetrainedDensity) {
+  // The fold identity: merging the overlay into the base density must give
+  // exactly the naive density of the merged point set (same kernel).
+  const size_t dims = 2;
+  Rng rng(23);
+  const Dataset base = SampleStandardGaussian(120, dims, rng);
+  const Dataset fresh = SampleStandardGaussian(20, dims, rng);
+  const Kernel kernel = TestKernel(dims);
+
+  DeltaOverlay overlay(dims, 64);
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    ASSERT_TRUE(overlay.Insert(fresh.Row(i)));
+  }
+  // Tombstone five base rows.
+  for (size_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(overlay.AddTombstone(base.Row(3 * i)));
+  }
+
+  Dataset merged(dims);
+  for (size_t i = 0; i < base.size(); ++i) {
+    if (i % 3 == 0 && i < 15) continue;  // The tombstoned rows.
+    merged.AppendRow(base.Row(i));
+  }
+  for (size_t i = 0; i < fresh.size(); ++i) merged.AppendRow(fresh.Row(i));
+
+  const NaiveKde base_kde(base, kernel);
+  const NaiveKde merged_kde(merged, kernel);
+  const Dataset queries = SampleStandardGaussian(40, dims, rng);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const auto x = queries.Row(q);
+    const OverlayContribution contrib = ComputeOverlayContribution(
+        overlay, base.size(), kernel, x, /*fast_math=*/false);
+    EXPECT_EQ(contrib.evaluations, overlay.snapshot().size());
+    const double folded = contrib.Merge(base_kde.Density(x));
+    const double retrained = merged_kde.Density(x);
+    EXPECT_NEAR(folded, retrained, 1e-12 * (1.0 + retrained)) << "query " << q;
+  }
+}
+
+TEST(StreamOverlayTest, EmptyOverlayIsIdentityAndMergeClampsAtZero) {
+  const Kernel kernel = TestKernel(2);
+  DeltaOverlay overlay(2, 8);
+  const std::vector<double> x = {0.0, 0.0};
+  const OverlayContribution identity = ComputeOverlayContribution(
+      overlay, 100, kernel, x, /*fast_math=*/false);
+  EXPECT_EQ(identity.scale, 1.0);
+  EXPECT_EQ(identity.offset, 0.0);
+  EXPECT_EQ(identity.evaluations, 0u);
+  EXPECT_EQ(identity.Merge(0.125), 0.125);
+
+  // A tombstone-heavy offset can push a truncated base estimate negative;
+  // Merge clamps instead of returning a negative density.
+  const OverlayContribution heavy{.scale = 1.0, .offset = -1.0};
+  EXPECT_EQ(heavy.Merge(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace tkdc

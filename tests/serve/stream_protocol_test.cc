@@ -1,0 +1,135 @@
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/protocol.h"
+
+namespace tkdc::serve {
+namespace {
+
+const std::function<bool()> kNeverStop = [] { return false; };
+
+TEST(StreamProtocolTest, ParsesInsertDeleteAndFlush) {
+  auto insert = ParseRequest("7 INSERT 1.5,-2.5,0.75");
+  ASSERT_TRUE(insert.ok()) << insert.message();
+  EXPECT_EQ(insert.value().id, 7u);
+  EXPECT_EQ(insert.value().verb, RequestVerb::kInsert);
+  EXPECT_EQ(insert.value().point, (std::vector<double>{1.5, -2.5, 0.75}));
+  EXPECT_EQ(insert.value().timeout_ms, -1);
+
+  auto del = ParseRequest("8 DELETE 0.5,0.5 250");
+  ASSERT_TRUE(del.ok()) << del.message();
+  EXPECT_EQ(del.value().verb, RequestVerb::kDelete);
+  EXPECT_EQ(del.value().point, (std::vector<double>{0.5, 0.5}));
+  EXPECT_EQ(del.value().timeout_ms, 250);
+
+  auto flush = ParseRequest("9 FLUSH");
+  ASSERT_TRUE(flush.ok()) << flush.message();
+  EXPECT_EQ(flush.value().verb, RequestVerb::kFlush);
+  EXPECT_TRUE(flush.value().point.empty());
+}
+
+TEST(StreamProtocolTest, RejectsMalformedMutations) {
+  // Every rejection must be a soft error (Status), never an abort.
+  const char* malformed[] = {
+      "1 INSERT",              // Missing the point.
+      "1 INSERT 1,abc",        // Non-numeric coordinate.
+      "1 INSERT 1,,2",         // Empty coordinate.
+      "1 INSERT ,1",           // Leading empty coordinate.
+      "1 INSERT nan,1",        // Non-finite: would poison density sums.
+      "1 INSERT inf,1",        //
+      "1 DELETE 1e999,0",      // Overflows to infinity.
+      "1 DELETE 1 2 3",        // Spaces instead of commas → extra tokens.
+      "1 FLUSH now",           // FLUSH takes no arguments.
+      "x INSERT 1,2",          // Bad id.
+  };
+  for (const char* payload : malformed) {
+    const auto parsed = ParseRequest(payload);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << payload;
+  }
+  // Malformed streaming requests still yield the id for the ERR response.
+  EXPECT_EQ(BestEffortRequestId("42 INSERT 1,abc"), 42u);
+  EXPECT_EQ(BestEffortRequestId("oops INSERT 1,2"), 0u);
+}
+
+TEST(StreamProtocolTest, UnknownVerbErrorAdvertisesStreamingVerbs) {
+  const auto parsed = ParseRequest("3 UPSERT 1,2");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.message().find("INSERT"), std::string::npos);
+  EXPECT_NE(parsed.message().find("DELETE"), std::string::npos);
+  EXPECT_NE(parsed.message().find("FLUSH"), std::string::npos);
+}
+
+/// Writes `bytes` into a pipe on a helper thread and hands the read end to
+/// a FrameReader, so oversized-frame handling is tested against the real
+/// fd paths rather than a mock.
+Result<std::optional<std::string>> ReadOneFrame(const std::string& bytes,
+                                                Framing framing) {
+  int fds[2];
+  EXPECT_EQ(pipe(fds), 0);
+  std::thread writer([&bytes, fd = fds[1]] {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = write(fd, bytes.data() + off, bytes.size() - off);
+      if (n <= 0) break;
+      off += static_cast<size_t>(n);
+    }
+    close(fd);
+  });
+  FrameReader reader(fds[0], framing);
+  auto result = reader.Next(kNeverStop);
+  writer.join();
+  close(fds[0]);
+  return result;
+}
+
+TEST(StreamProtocolTest, OversizedLengthPrefixIsAProtocolError) {
+  // A 4-byte big-endian length just above the cap: rejected before any
+  // payload is buffered (a hostile peer cannot make the server allocate).
+  const uint32_t length = static_cast<uint32_t>(kMaxFrameBytes) + 1;
+  std::string frame(4, '\0');
+  frame[0] = static_cast<char>(length >> 24);
+  frame[1] = static_cast<char>(length >> 16);
+  frame[2] = static_cast<char>(length >> 8);
+  frame[3] = static_cast<char>(length);
+  const auto result = ReadOneFrame(frame, Framing::kLengthPrefixed);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.message().find("exceeds"), std::string::npos)
+      << result.message();
+}
+
+TEST(StreamProtocolTest, OversizedLineFrameIsAProtocolError) {
+  // An unterminated line larger than the frame cap (an INSERT whose point
+  // list never ends) must error out instead of buffering forever.
+  std::string line = "1 INSERT ";
+  line.resize(kMaxFrameBytes + 16, '1');
+  const auto result = ReadOneFrame(line, Framing::kLine);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.message().find("exceeds"), std::string::npos)
+      << result.message();
+}
+
+TEST(StreamProtocolTest, MaximumSizedFrameStillParses) {
+  // Exactly at the cap is legal in both framings.
+  std::string payload = "5 INSERT 1";
+  payload.resize(64, '1');  // A long but valid single coordinate.
+  const std::string framed = EncodeFrame(payload, Framing::kLengthPrefixed);
+  const auto result = ReadOneFrame(framed, Framing::kLengthPrefixed);
+  ASSERT_TRUE(result.ok()) << result.message();
+  ASSERT_TRUE(result.value().has_value());
+  EXPECT_EQ(*result.value(), payload);
+  const auto parsed = ParseRequest(*result.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.message();
+  EXPECT_EQ(parsed.value().verb, RequestVerb::kInsert);
+  EXPECT_EQ(parsed.value().point.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tkdc::serve

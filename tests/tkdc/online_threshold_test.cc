@@ -1,0 +1,93 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tkdc/threshold.h"
+
+namespace tkdc {
+namespace {
+
+std::vector<double> Ramp(size_t n) {
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) values[i] = static_cast<double>(i + 1);
+  return values;
+}
+
+TEST(StreamThresholdTest, ReseedGivesSampleQuantileWithOrderedBand) {
+  OnlineThresholdEstimator estimator(/*p=*/0.1, /*delta=*/0.05,
+                                     /*capacity=*/1024, /*seed=*/3);
+  estimator.Reseed(Ramp(1000));  // Fits: the reservoir is the full sample.
+  const auto band = estimator.Estimate();
+  EXPECT_EQ(band.sample_size, 1000u);
+  EXPECT_EQ(band.observed, 0u);
+  // Point rank ceil(0.1 * 1000) = 100 → the value 100 exactly.
+  EXPECT_DOUBLE_EQ(band.threshold, 100.0);
+  EXPECT_LE(band.lower, band.threshold);
+  EXPECT_GE(band.upper, band.threshold);
+  EXPECT_GT(band.lower, 0.0);
+}
+
+TEST(StreamThresholdTest, EmptyReservoirYieldsZeroBand) {
+  const OnlineThresholdEstimator estimator(0.5, 0.05, 64, 1);
+  const auto band = estimator.Estimate();
+  EXPECT_EQ(band.sample_size, 0u);
+  EXPECT_EQ(band.threshold, 0.0);
+  EXPECT_EQ(band.lower, 0.0);
+  EXPECT_EQ(band.upper, 0.0);
+}
+
+TEST(StreamThresholdTest, ObserveFillsThenKeepsReservoirBounded) {
+  OnlineThresholdEstimator estimator(0.5, 0.05, /*capacity=*/32, 9);
+  for (int i = 0; i < 20; ++i) estimator.Observe(1.0 + i);
+  auto band = estimator.Estimate();
+  EXPECT_EQ(band.sample_size, 20u);
+  EXPECT_EQ(band.observed, 20u);
+  for (int i = 0; i < 500; ++i) estimator.Observe(1.0 + i);
+  band = estimator.Estimate();
+  EXPECT_EQ(band.sample_size, 32u);  // Algorithm R never exceeds capacity.
+  EXPECT_EQ(band.observed, 520u);
+}
+
+TEST(StreamThresholdTest, DistributionShiftMovesTheEstimate) {
+  OnlineThresholdEstimator estimator(0.2, 0.05, 256, 5);
+  std::vector<double> low(400, 0.0);
+  for (size_t i = 0; i < low.size(); ++i) low[i] = 1.0 + 0.001 * i;
+  estimator.Reseed(low);
+  const double before = estimator.Estimate().threshold;
+  // A long run of much denser arrivals should drag the quantile up even
+  // though reservoir slots are replaced at random.
+  for (int i = 0; i < 5000; ++i) estimator.Observe(10.0 + 0.001 * i);
+  const double after = estimator.Estimate().threshold;
+  EXPECT_LT(before, 1.5);
+  EXPECT_GT(after, 5.0);
+}
+
+TEST(StreamThresholdTest, StalenessWidensTheBandMonotonically) {
+  OnlineThresholdEstimator estimator(0.1, 0.05, 1024, 7);
+  estimator.Reseed(Ramp(500));
+  const auto tight = estimator.Estimate(0.0);
+  const auto stale = estimator.Estimate(0.2);
+  EXPECT_DOUBLE_EQ(stale.threshold, tight.threshold);  // Point is unchanged.
+  EXPECT_LT(stale.lower, tight.lower);
+  EXPECT_GT(stale.upper, tight.upper);
+  // Full staleness collapses the lower edge to zero (never negative).
+  const auto hopeless = estimator.Estimate(1.0);
+  EXPECT_EQ(hopeless.lower, 0.0);
+}
+
+TEST(StreamThresholdTest, ReseedSubsamplesOversizedSeedsAndResetsObserved) {
+  OnlineThresholdEstimator estimator(0.5, 0.05, /*capacity=*/16, 13);
+  for (int i = 0; i < 100; ++i) estimator.Observe(2.0);
+  const std::vector<double> seed = Ramp(1000);
+  estimator.Reseed(seed);
+  const auto band = estimator.Estimate();
+  EXPECT_EQ(band.sample_size, 16u);
+  EXPECT_EQ(band.observed, 0u);  // Reseed restarts the arrival counter.
+  EXPECT_GE(band.threshold, 1.0);
+  EXPECT_LE(band.threshold, 1000.0);
+}
+
+}  // namespace
+}  // namespace tkdc
