@@ -25,15 +25,20 @@ constexpr const char kUsage[] =
     "            [--split trimmed|median|midpoint] [--index kdtree|balltree]\n"
     "            [--no-grid] [--fast-math-leaf] [--seed N]\n"
     "            [--threads N] [--header] [--no-densities]\n"
-    "  (--algorithm: tkdc (default), nocut, simple, rkde, binned, or knn;\n"
-    "   --k applies to knn only; --index picks the spatial-index backend\n"
-    "   for tree-based algorithms, default kdtree or $TKDC_INDEX;\n"
+    "  (--algorithm: tkdc (default), nocut, simple, rkde, binned, knn, or\n"
+    "   tkdc-mc; --k applies to knn only; --index picks the spatial-index\n"
+    "   backend for tree-based algorithms, default kdtree or $TKDC_INDEX;\n"
     "   --fast-math-leaf: vectorized exp approximation in Gaussian leaf\n"
-    "   scans — near-exact densities, not bit-identical to the default)\n"
+    "   scans — near-exact densities, not bit-identical to the default.\n"
+    "   tkdc-mc trains a multi-class model: the input CSV's LAST column is\n"
+    "   the string class label, the preceding columns are features; one\n"
+    "   tkdc model is trained per class with empirical priors.)\n"
     "  classify  --model M.tkdc --input Q.csv --output R.csv [--header]\n"
     "            [--training] [--density] [--threads N] [--metrics-out J]\n"
     "  (--input/--output may repeat, pairwise: the model is loaded ONCE and\n"
     "   each query file is classified against it in turn.\n"
+    "   Multi-class models write a `label` column of predicted class\n"
+    "   labels; --training/--density do not apply to them.\n"
     "   --threads: worker threads for training densities and batch\n"
     "   classification; 0 = hardware concurrency (default), 1 = serial.\n"
     "   Results are identical for any value.\n"
@@ -115,6 +120,45 @@ bool RequireValues(const ParsedArgs& parsed,
   return true;
 }
 
+// `train --algorithm tkdc-mc`: the input CSV's last column is the string
+// class label; one tkdc model per class, empirical priors, one tag-7
+// container file out.
+int CmdTrainMultiClass(const ParsedArgs& parsed, const TkdcConfig& config,
+                       std::ostream& out, std::ostream& err) {
+  std::string error;
+  const auto table =
+      ReadLabeledCsv(*parsed.Value("--input"), parsed.Flag("--header"), &error);
+  if (!table.has_value()) {
+    err << error << "\n";
+    return 1;
+  }
+  out << "training tkdc-mc on " << table->data.size() << " x "
+      << table->data.dims() << " labeled points...\n";
+  WallTimer timer;
+  auto trained = api::TrainMultiClass(table->data, table->labels, config);
+  if (!trained.ok()) {
+    err << trained.message() << "\n";
+    return 1;
+  }
+  std::unique_ptr<MultiClassClassifier> classifier = trained.take();
+  out << "trained " << classifier->num_classes() << " classes in "
+      << timer.ElapsedSeconds() << "s:";
+  for (size_t c = 0; c < classifier->num_classes(); ++c) {
+    out << " " << classifier->class_labels()[c] << " (prior "
+        << classifier->priors()[c] << ")";
+  }
+  out << "\n";
+  const Status saved =
+      api::SaveMultiClassModel(*parsed.Value("--model"), *classifier,
+                               !parsed.Flag("--no-densities"));
+  if (!saved.ok()) {
+    err << saved.message() << "\n";
+    return 1;
+  }
+  out << "model written to " << *parsed.Value("--model") << "\n";
+  return 0;
+}
+
 int CmdTrain(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
   if (!RequireValues(parsed, {"--input", "--model"}, err)) return 2;
   TkdcConfig config;
@@ -180,6 +224,9 @@ int CmdTrain(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
     options.k = static_cast<size_t>(parsed_k);
   }
   options.algorithm = parsed.Value("--algorithm").value_or("tkdc");
+  if (options.algorithm == "tkdc-mc") {
+    return CmdTrainMultiClass(parsed, config, out, err);
+  }
   // Fail on bad options (unknown algorithm, out-of-range knobs) before
   // reading the training file.
   auto untrained = api::NewClassifier(options);
@@ -218,6 +265,87 @@ int CmdTrain(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+// Classification against a tag-7 multi-class container: one `label`
+// column of predicted class labels per query file.
+int CmdClassifyMultiClass(const ParsedArgs& parsed,
+                          const std::vector<std::string>& inputs,
+                          const std::vector<std::string>& outputs,
+                          std::ostream& out, std::ostream& err) {
+  if (parsed.Flag("--training") || parsed.Flag("--density")) {
+    err << "--training/--density do not apply to multi-class models\n";
+    return 2;
+  }
+  auto loaded = api::LoadMultiClassModel(*parsed.Value("--model"));
+  if (!loaded.ok()) {
+    err << loaded.message() << "\n";
+    return 1;
+  }
+  std::unique_ptr<MultiClassClassifier> classifier = loaded.take();
+  MetricsRegistry registry;
+  const auto metrics_out = parsed.Value("--metrics-out");
+  if (metrics_out.has_value()) classifier->AttachMetrics(&registry);
+  if (const auto threads = parsed.Value("--threads")) {
+    const long long parsed_threads = std::atoll(threads->c_str());
+    if (parsed_threads < 0) {
+      err << "--threads must be >= 0\n";
+      return 2;
+    }
+    classifier->SetNumThreads(static_cast<size_t>(parsed_threads));
+  }
+  std::string error;
+  for (size_t file = 0; file < inputs.size(); ++file) {
+    const auto table = ReadCsv(inputs[file], parsed.Flag("--header"), &error);
+    if (!table.has_value()) {
+      err << error << "\n";
+      return 1;
+    }
+    if (table->data.dims() != classifier->dims()) {
+      err << inputs[file] << ": query dimensionality " << table->data.dims()
+          << " does not match model dimensionality " << classifier->dims()
+          << "\n";
+      return 1;
+    }
+    const std::vector<uint32_t> labels = classifier->ClassifyBatch(table->data);
+    std::vector<size_t> counts(classifier->num_classes(), 0);
+    std::ofstream results(outputs[file]);
+    if (!results) {
+      err << "cannot open " << outputs[file] << " for writing\n";
+      return 1;
+    }
+    results << "label\n";
+    for (const uint32_t label : labels) {
+      ++counts[label];
+      results << classifier->class_labels()[label] << "\n";
+    }
+    results.flush();
+    if (!results) {
+      err << "write to " << outputs[file] << " failed\n";
+      return 1;
+    }
+    out << "classified " << table->data.size() << " points:";
+    for (size_t c = 0; c < counts.size(); ++c) {
+      out << " " << classifier->class_labels()[c] << "=" << counts[c];
+    }
+    out << "\nresults written to " << outputs[file] << "\n";
+  }
+  if (metrics_out.has_value()) {
+    classifier->FlushMetrics();
+    std::ofstream metrics_stream(*metrics_out);
+    if (!metrics_stream) {
+      err << "cannot open " << *metrics_out << " for writing\n";
+      return 1;
+    }
+    registry.WriteJson(metrics_stream);
+    metrics_stream << "\n";
+    if (!metrics_stream.flush()) {
+      err << "write to " << *metrics_out << " failed\n";
+      return 1;
+    }
+    out << "metrics written to " << *metrics_out << "\n";
+  }
+  return 0;
+}
+
 int CmdClassify(const ParsedArgs& parsed, std::ostream& out,
                 std::ostream& err) {
   if (!RequireValues(parsed, {"--model", "--input", "--output"}, err)) {
@@ -229,6 +357,16 @@ int CmdClassify(const ParsedArgs& parsed, std::ostream& out,
     err << "--input and --output must be given the same number of times ("
         << inputs.size() << " vs " << outputs.size() << ")\n";
     return 2;
+  }
+  // Dispatch on the file header: multi-class containers have their own
+  // loader and output shape.
+  const auto kind = api::ProbeModel(*parsed.Value("--model"));
+  if (!kind.ok()) {
+    err << kind.message() << "\n";
+    return 1;
+  }
+  if (kind.value() == ModelKind::kMultiClass) {
+    return CmdClassifyMultiClass(parsed, inputs, outputs, out, err);
   }
   // One load serves every query file: the model is an immutable artifact,
   // so classifying never retrains or mutates it.
@@ -314,6 +452,21 @@ int CmdClassify(const ParsedArgs& parsed, std::ostream& out,
 
 int CmdInfo(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
   if (!RequireValues(parsed, {"--model"}, err)) return 2;
+  const auto kind = api::ProbeModel(*parsed.Value("--model"));
+  if (!kind.ok()) {
+    err << kind.message() << "\n";
+    return 1;
+  }
+  if (kind.value() == ModelKind::kMultiClass) {
+    auto mc = api::LoadMultiClassModel(*parsed.Value("--model"));
+    if (!mc.ok()) {
+      err << mc.message() << "\n";
+      return 1;
+    }
+    out << "tkdc-mc model: " << *parsed.Value("--model") << "\n"
+        << api::DescribeMultiClass(*mc.value());
+    return 0;
+  }
   auto loaded = api::LoadModel(*parsed.Value("--model"));
   if (!loaded.ok()) {
     err << loaded.message() << "\n";

@@ -16,24 +16,22 @@ size_t MetricsRegistry::FindName(const std::vector<std::string>& names,
 }
 
 size_t MetricsRegistry::AddCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const size_t existing = FindName(counter_names_, name);
   if (existing < counter_names_.size()) return existing;
-  TKDC_CHECK_MSG(totals_ == nullptr,
-                 "register all metrics before creating shards");
   counter_names_.push_back(name);
   return counter_names_.size() - 1;
 }
 
 size_t MetricsRegistry::AddHistogram(const std::string& name,
                                      std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const size_t existing = FindName(histogram_names_, name);
   if (existing < histogram_names_.size()) {
     TKDC_CHECK_MSG(histogram_bounds_[existing] == upper_bounds,
                    "histogram re-registered with different buckets");
     return existing;
   }
-  TKDC_CHECK_MSG(totals_ == nullptr,
-                 "register all metrics before creating shards");
   TKDC_CHECK_MSG(std::is_sorted(upper_bounds.begin(), upper_bounds.end()),
                  "histogram bounds must be increasing");
   histogram_names_.push_back(name);
@@ -42,19 +40,27 @@ size_t MetricsRegistry::AddHistogram(const std::string& name,
 }
 
 std::unique_ptr<MetricsShard> MetricsRegistry::NewShard() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return std::make_unique<MetricsShard>(*this);
 }
 
 void MetricsRegistry::Absorb(const MetricsShard& shard) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (totals_ == nullptr) totals_ = std::make_unique<MetricsShard>(*this);
+  if (totals_ == nullptr) {
+    totals_ = std::make_unique<MetricsShard>(*this);
+  } else {
+    totals_->GrowTo(*this);
+  }
   totals_->Merge(shard);
 }
 
 uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const size_t id = FindName(counter_names_, name);
-  if (id == counter_names_.size() || totals_ == nullptr) return 0;
+  if (id == counter_names_.size() || totals_ == nullptr ||
+      id >= totals_->counters_.size()) {
+    return 0;
+  }
   return totals_->counters_[id];
 }
 
@@ -66,7 +72,9 @@ MetricsRegistry::HistogramSnapshot MetricsRegistry::HistogramValue(
   if (id == histogram_names_.size()) return snapshot;
   snapshot.upper_bounds = histogram_bounds_[id];
   snapshot.buckets.assign(snapshot.upper_bounds.size() + 1, 0);
-  if (totals_ == nullptr) return snapshot;
+  if (totals_ == nullptr || id >= totals_->histograms_.size()) {
+    return snapshot;
+  }
   const MetricsShard::HistogramState& state = totals_->histograms_[id];
   snapshot.buckets = state.buckets;
   snapshot.count = state.count;
@@ -106,7 +114,9 @@ void MetricsRegistry::WriteJson(std::ostream& out, int indent) const {
     if (i > 0) out << ",";
     out << "\n"
         << pad << "    \"" << counter_names_[i] << "\": "
-        << (totals_ != nullptr ? totals_->counters_[i] : 0);
+        << (totals_ != nullptr && i < totals_->counters_.size()
+                ? totals_->counters_[i]
+                : 0);
   }
   out << (counter_names_.empty() ? "" : "\n" + pad + "  ") << "},\n";
   out << pad << "  \"histograms\": {";
@@ -117,7 +127,9 @@ void MetricsRegistry::WriteJson(std::ostream& out, int indent) const {
     MetricsShard::HistogramState empty;
     empty.buckets.assign(bounds.size() + 1, 0);
     const MetricsShard::HistogramState* state =
-        totals_ != nullptr ? &totals_->histograms_[i] : &empty;
+        totals_ != nullptr && i < totals_->histograms_.size()
+            ? &totals_->histograms_[i]
+            : &empty;
     out << "\"count\": " << state->count << ", \"sum\": ";
     WriteJsonNumber(out, state->sum);
     out << ", \"min\": ";
@@ -158,19 +170,29 @@ std::vector<double> MetricsRegistry::DecadeBounds(int lo, int hi) {
   return bounds;
 }
 
-MetricsShard::MetricsShard(const MetricsRegistry& registry)
-    : registry_(&registry) {
-  counters_.assign(registry.counter_count(), 0);
-  histograms_.resize(registry.histogram_count());
+MetricsShard::MetricsShard(const MetricsRegistry& registry) {
+  counters_.assign(registry.counter_names_.size(), 0);
+  bounds_ = registry.histogram_bounds_;
+  histograms_.resize(bounds_.size());
   for (size_t i = 0; i < histograms_.size(); ++i) {
-    histograms_[i].buckets.assign(registry.histogram_bounds_[i].size() + 1, 0);
+    histograms_[i].buckets.assign(bounds_[i].size() + 1, 0);
+  }
+}
+
+void MetricsShard::GrowTo(const MetricsRegistry& registry) {
+  counters_.resize(registry.counter_names_.size(), 0);
+  for (size_t i = bounds_.size(); i < registry.histogram_bounds_.size();
+       ++i) {
+    bounds_.push_back(registry.histogram_bounds_[i]);
+    HistogramState state;
+    state.buckets.assign(bounds_[i].size() + 1, 0);
+    histograms_.push_back(std::move(state));
   }
 }
 
 void MetricsShard::Observe(size_t histogram_id, double value) {
   HistogramState& state = histograms_[histogram_id];
-  const std::vector<double>& bounds =
-      registry_->histogram_bounds_[histogram_id];
+  const std::vector<double>& bounds = bounds_[histogram_id];
   size_t bucket = bounds.size();  // Overflow unless a bound admits it.
   for (size_t b = 0; b < bounds.size(); ++b) {
     if (value <= bounds[b]) {
@@ -186,13 +208,15 @@ void MetricsShard::Observe(size_t histogram_id, double value) {
 }
 
 void MetricsShard::Merge(const MetricsShard& other) {
-  TKDC_CHECK_MSG(counters_.size() == other.counters_.size() &&
-                     histograms_.size() == other.histograms_.size(),
-                 "merging shards of different schemas");
-  for (size_t i = 0; i < counters_.size(); ++i) {
+  // Ids are append-only, so a shard created before a later registration is
+  // a schema prefix of a newer one and folds in by index.
+  TKDC_CHECK_MSG(counters_.size() >= other.counters_.size() &&
+                     histograms_.size() >= other.histograms_.size(),
+                 "merging a newer-schema shard into an older one");
+  for (size_t i = 0; i < other.counters_.size(); ++i) {
     counters_[i] += other.counters_[i];
   }
-  for (size_t i = 0; i < histograms_.size(); ++i) {
+  for (size_t i = 0; i < other.histograms_.size(); ++i) {
     HistogramState& mine = histograms_[i];
     const HistogramState& theirs = other.histograms_[i];
     for (size_t b = 0; b < mine.buckets.size(); ++b) {

@@ -29,10 +29,14 @@ class MetricsShard;
 /// branch per query at the recording sites; nothing else is touched. See
 /// DESIGN.md § "Observability".
 ///
-/// Lifecycle: register every counter/histogram first, then create shards;
-/// shards are sized to the schema at creation and the registry must outlive
-/// them. Registration is idempotent by name, so independent attach points
-/// can re-register a shared schema and receive the same ids.
+/// Lifecycle: registration is append-only and may happen at any point — a
+/// hot-swapped model can introduce names (e.g. per-class mc.* counters)
+/// the process has never seen. Shards are sized to the schema at their
+/// creation; one created before a later registration is a schema *prefix*
+/// of a newer one and Absorb() folds it in by index, growing the totals
+/// first. The registry must outlive its shards. Registration is idempotent
+/// by name, so independent attach points can re-register a shared schema
+/// and receive the same ids.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -124,7 +128,8 @@ class MetricsShard {
   /// fixed bounds: bucket layouts are small, ~20 entries).
   void Observe(size_t histogram_id, double value);
 
-  /// Adds another shard of the same schema into this one.
+  /// Adds another shard into this one. `other` may have been created
+  /// against an older (smaller) schema; its ids merge by index.
   void Merge(const MetricsShard& other);
 
   /// Zeroes every counter and bucket (schema unchanged).
@@ -141,9 +146,16 @@ class MetricsShard {
     double max = -std::numeric_limits<double>::infinity();
   };
 
-  const MetricsRegistry* registry_;
+  /// Appends zeroed slots for ids registered after this shard was created.
+  /// Only ever called on the registry's totals, under the registry mutex.
+  void GrowTo(const MetricsRegistry& registry);
+
   std::vector<uint64_t> counters_;
   std::vector<HistogramState> histograms_;
+  /// Bucket bounds copied at creation so Observe() never touches the
+  /// registry's schema vectors, which may reallocate under late
+  /// registration on another thread.
+  std::vector<std::vector<double>> bounds_;
 };
 
 }  // namespace tkdc

@@ -95,6 +95,81 @@ std::optional<CsvTable> ReadCsv(const std::string& path, bool has_header,
   return table;
 }
 
+std::optional<LabeledCsvTable> ReadLabeledCsv(const std::string& path,
+                                              bool has_header,
+                                              std::string* error) {
+  TKDC_CHECK(error != nullptr);
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::string line;
+  std::vector<std::string> column_names;
+  size_t columns = 0;  // Features + the trailing label column.
+  size_t line_number = 0;
+  std::vector<double> values;
+  std::vector<std::string> labels;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
+    std::vector<std::string> fields = SplitFields(line);
+    if (has_header && column_names.empty() && columns == 0) {
+      column_names = std::move(fields);
+      columns = column_names.size();
+      continue;
+    }
+    if (columns == 0) columns = fields.size();
+    if (columns < 2) {
+      std::ostringstream msg;
+      msg << path << ":" << line_number
+          << ": labeled CSV needs at least one feature column plus the "
+             "label column, got "
+          << columns;
+      *error = msg.str();
+      return std::nullopt;
+    }
+    if (fields.size() != columns) {
+      std::ostringstream msg;
+      msg << path << ":" << line_number << ": expected " << columns
+          << " fields, got " << fields.size();
+      *error = msg.str();
+      return std::nullopt;
+    }
+    for (size_t j = 0; j + 1 < fields.size(); ++j) {
+      double v = 0.0;
+      if (!ParseDouble(fields[j], &v)) {
+        std::ostringstream msg;
+        msg << path << ":" << line_number << ": non-numeric field '"
+            << fields[j] << "'";
+        *error = msg.str();
+        return std::nullopt;
+      }
+      values.push_back(v);
+    }
+    if (fields.back().empty()) {
+      std::ostringstream msg;
+      msg << path << ":" << line_number << ": empty class label";
+      *error = msg.str();
+      return std::nullopt;
+    }
+    labels.push_back(std::move(fields.back()));
+  }
+  if (columns == 0) {
+    *error = path + ": empty file";
+    return std::nullopt;
+  }
+  if (labels.empty()) {
+    *error = path + ": no data rows";
+    return std::nullopt;
+  }
+  LabeledCsvTable table{Dataset(columns - 1, std::move(values)),
+                        std::move(labels), std::move(column_names)};
+  return table;
+}
+
 bool WriteCsv(const std::string& path, const Dataset& data,
               const std::vector<std::string>& column_names,
               std::string* error) {

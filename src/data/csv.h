@@ -22,6 +22,23 @@ struct CsvTable {
 std::optional<CsvTable> ReadCsv(const std::string& path, bool has_header,
                                 std::string* error);
 
+/// Result of a labeled CSV load: the feature matrix, one class label per
+/// row, and optional header names (features first, label column last).
+struct LabeledCsvTable {
+  Dataset data;
+  std::vector<std::string> labels;
+  std::vector<std::string> column_names;
+};
+
+/// Reads a comma-separated training file whose LAST column is a string
+/// class label and whose preceding columns are numeric features (the
+/// multi-class trainer's input shape). Requires at least two columns;
+/// blank lines are skipped; empty label cells are malformed. Returns
+/// std::nullopt and fills `*error` on malformed input or missing file.
+std::optional<LabeledCsvTable> ReadLabeledCsv(const std::string& path,
+                                              bool has_header,
+                                              std::string* error);
+
 /// Writes `data` as CSV with 17 significant digits (round-trip exact). If
 /// `column_names` is non-empty it must have data.dims() entries and is
 /// written as a header line. Returns false and fills `*error` on I/O failure.

@@ -25,10 +25,32 @@ std::string PointKey(std::span<const double> x) {
 }
 
 size_t ServingModel::effective_n() const {
-  const size_t base = classifier->training_size();
+  const size_t base = base_points();
   if (overlay == nullptr) return base;
   const DeltaOverlay::Snapshot snap = overlay->snapshot();
   return base + snap.inserted - snap.tombstones;
+}
+
+size_t ServingModel::dims() const {
+  return classifier != nullptr ? classifier->dims() : mc_classifier->dims();
+}
+
+std::string ServingModel::algorithm() const {
+  return classifier != nullptr ? classifier->name() : std::string("tkdc-mc");
+}
+
+size_t ServingModel::base_points() const {
+  if (classifier != nullptr) return classifier->training_size();
+  size_t total = 0;
+  for (size_t c = 0; c < mc_classifier->num_classes(); ++c) {
+    total += mc_classifier->class_part(c).training_size();
+  }
+  return total;
+}
+
+void ServingModel::FlushMetrics() {
+  if (classifier != nullptr) classifier->FlushMetrics();
+  if (mc_classifier != nullptr) mc_classifier->FlushMetrics();
 }
 
 MicroBatcher::MicroBatcher(const BatcherOptions& options,
@@ -37,7 +59,8 @@ MicroBatcher::MicroBatcher(const BatcherOptions& options,
     : options_(options), registry_(registry), model_(std::move(model)) {
   TKDC_CHECK_MSG(options_.max_batch >= 1, "max_batch must be >= 1");
   TKDC_CHECK_MSG(options_.queue_depth >= 1, "queue_depth must be >= 1");
-  TKDC_CHECK(model_ != nullptr && model_->classifier != nullptr);
+  TKDC_CHECK(model_ != nullptr && (model_->classifier != nullptr ||
+                                   model_->mc_classifier != nullptr));
   if (registry_ != nullptr) {
     admitted_id_ = registry_->AddCounter(metric_names::kAdmitted);
     shed_id_ = registry_->AddCounter(metric_names::kShed);
@@ -120,7 +143,8 @@ bool MicroBatcher::Submit(Request request, Completion done) {
 }
 
 void MicroBatcher::SwapModel(std::shared_ptr<ServingModel> model) {
-  TKDC_CHECK(model != nullptr && model->classifier != nullptr);
+  TKDC_CHECK(model != nullptr && (model->classifier != nullptr ||
+                                  model->mc_classifier != nullptr));
   std::lock_guard<std::mutex> lock(mutex_);
   model_ = std::move(model);
   if (shard_ != nullptr) shard_->Inc(reloads_id_);
@@ -315,15 +339,18 @@ void MicroBatcher::InstallRebuild(
 
 void MicroBatcher::ExecuteBatch(std::vector<Pending>& batch,
                                 ServingModel& model) {
-  DensityClassifier& classifier = *model.classifier;
-  const size_t dims = classifier.dims();
+  const bool multiclass = model.multiclass();
+  const size_t dims = model.dims();
   const Clock::time_point drained_at = Clock::now();
 
   // Partition: expire deadlines and reject dimension mismatches first so
-  // the batch datasets hold only executable rows. Mutations apply
-  // immediately, in arrival order, so every query in this batch folds a
-  // single quiescent overlay state that includes them.
-  std::vector<Pending*> classify, classify_training, estimate;
+  // the batch datasets hold only executable rows. Verbs aimed at the other
+  // model kind are rejected here too — a mixed CLASSIFY/CLASSIFY_MC stream
+  // through one batcher answers each request against the right surface or
+  // errors it, never misroutes it. Mutations apply immediately, in arrival
+  // order, so every query in this batch folds a single quiescent overlay
+  // state that includes them.
+  std::vector<Pending*> classify, classify_training, estimate, classify_mc;
   size_t executed = 0;
   bool rebuild_wanted = false;
   for (Pending& pending : batch) {
@@ -344,6 +371,22 @@ void MicroBatcher::ExecuteBatch(std::vector<Pending>& batch,
                                    static_cast<Status>(error).message()));
       continue;
     }
+    const bool single_only =
+        pending.request.verb == RequestVerb::kClassify ||
+        pending.request.verb == RequestVerb::kClassifyTraining ||
+        pending.request.verb == RequestVerb::kEstimateDensity;
+    if (multiclass && single_only) {
+      pending.done(Response::Error(
+          pending.request.id,
+          "model is multi-class; use CLASSIFY_MC"));
+      continue;
+    }
+    if (!multiclass && pending.request.verb == RequestVerb::kClassifyMc) {
+      pending.done(Response::Error(
+          pending.request.id,
+          "model is single-class; use CLASSIFY/CLASSIFY_TRAINING/ESTIMATE"));
+      continue;
+    }
     switch (pending.request.verb) {
       case RequestVerb::kClassify:
         classify.push_back(&pending);
@@ -351,11 +394,16 @@ void MicroBatcher::ExecuteBatch(std::vector<Pending>& batch,
       case RequestVerb::kClassifyTraining:
         classify_training.push_back(&pending);
         break;
+      case RequestVerb::kClassifyMc:
+        classify_mc.push_back(&pending);
+        break;
       case RequestVerb::kEstimateDensity:
         estimate.push_back(&pending);
         break;
       case RequestVerb::kInsert:
       case RequestVerb::kDelete:
+        // Multi-class generations never stream; ApplyMutation answers the
+        // not-streaming error for them.
         ApplyMutation(pending, model, &rebuild_wanted);
         ++executed;
         break;
@@ -376,6 +424,7 @@ void MicroBatcher::ExecuteBatch(std::vector<Pending>& batch,
   const auto run_classify_group = [&](std::vector<Pending*>& group,
                                       bool training) {
     if (group.empty()) return;
+    DensityClassifier& classifier = *model.classifier;
     Dataset queries(dims);
     queries.Reserve(group.size());
     for (const Pending* pending : group) {
@@ -397,7 +446,22 @@ void MicroBatcher::ExecuteBatch(std::vector<Pending>& batch,
   };
   run_classify_group(classify, /*training=*/false);
   run_classify_group(classify_training, /*training=*/true);
+  if (!classify_mc.empty()) {
+    MultiClassClassifier& mc = *model.mc_classifier;
+    Dataset queries(dims);
+    queries.Reserve(classify_mc.size());
+    for (const Pending* pending : classify_mc) {
+      queries.AppendRow(pending->request.point);
+    }
+    const std::vector<uint32_t> labels = mc.ClassifyBatch(queries);
+    for (size_t i = 0; i < classify_mc.size(); ++i) {
+      classify_mc[i]->done(Response::Ok(classify_mc[i]->request.id,
+                                        mc.class_labels()[labels[i]]));
+    }
+    executed += classify_mc.size();
+  }
   for (Pending* pending : estimate) {
+    DensityClassifier& classifier = *model.classifier;
     const double density =
         use_overlay
             ? classifier.EstimateDensityWithOverlay(pending->request.point,
@@ -408,8 +472,8 @@ void MicroBatcher::ExecuteBatch(std::vector<Pending>& batch,
     ++executed;
     if (use_overlay) ++stale_queries;
   }
-  classifier.FlushMetrics();  // Query-path shard → registry (no-op if
-                              // detached).
+  model.FlushMetrics();  // Query-path shard → registry (no-op if
+                         // detached).
 
   std::function<void()> rebuild_cb;
   if (executed != 0) {

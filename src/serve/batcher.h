@@ -18,6 +18,7 @@
 #include "kde/delta_overlay.h"
 #include "kde/density_classifier.h"
 #include "serve/protocol.h"
+#include "tkdc/multiclass.h"
 #include "tkdc/threshold.h"
 
 namespace tkdc::serve {
@@ -36,7 +37,12 @@ namespace tkdc::serve {
 /// `generation`, the overlay's published counts, and `last_rebuild_ms`
 /// may be read from any thread (STATS).
 struct ServingModel {
+  /// Exactly one of `classifier` / `mc_classifier` is set: a generation
+  /// serves either a single-class model (HIGH/LOW verbs) or a multi-class
+  /// container (CLASSIFY_MC). A verb aimed at the other kind is answered
+  /// with ERR, never misrouted.
   std::unique_ptr<DensityClassifier> classifier;
+  std::unique_ptr<MultiClassClassifier> mc_classifier;
   std::string source_path;
 
   // --- Streaming state (defaults describe a static, non-streaming model).
@@ -68,6 +74,17 @@ struct ServingModel {
 
   /// Effective point count: base + inserted - tombstoned.
   size_t effective_n() const;
+
+  // --- Kind-agnostic accessors (single- or multi-class generation) ------
+  bool multiclass() const { return mc_classifier != nullptr; }
+  /// Query dimensionality of whichever classifier is installed.
+  size_t dims() const;
+  /// Wire name of the served algorithm ("tkdc", ..., or "tkdc-mc").
+  std::string algorithm() const;
+  /// Base training rows (multi-class: summed over the per-class models).
+  size_t base_points() const;
+  /// Folds the installed classifier's query-path shard into its registry.
+  void FlushMetrics();
 };
 
 /// Hash key of a point: the raw bytes of its coordinates (exact-match

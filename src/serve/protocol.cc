@@ -115,11 +115,12 @@ Result<Request> ParseRequest(std::string_view payload) {
   }
   const std::string_view verb = tokens[1];
   const bool takes_point = verb == "CLASSIFY" || verb == "CLASSIFY_TRAINING" ||
-                           verb == "ESTIMATE" || verb == "INSERT" ||
-                           verb == "DELETE";
+                           verb == "CLASSIFY_MC" || verb == "ESTIMATE" ||
+                           verb == "INSERT" || verb == "DELETE";
   if (takes_point) {
     request.verb = verb == "CLASSIFY"            ? RequestVerb::kClassify
                    : verb == "CLASSIFY_TRAINING" ? RequestVerb::kClassifyTraining
+                   : verb == "CLASSIFY_MC"       ? RequestVerb::kClassifyMc
                    : verb == "ESTIMATE"          ? RequestVerb::kEstimateDensity
                    : verb == "INSERT"            ? RequestVerb::kInsert
                                                  : RequestVerb::kDelete;
@@ -152,8 +153,8 @@ Result<Request> ParseRequest(std::string_view payload) {
     return request;
   }
   return Errorf() << "unknown verb \"" << verb
-                  << "\" (known: CLASSIFY CLASSIFY_TRAINING ESTIMATE INSERT "
-                     "DELETE FLUSH STATS RELOAD PING)";
+                  << "\" (known: CLASSIFY CLASSIFY_TRAINING CLASSIFY_MC "
+                     "ESTIMATE INSERT DELETE FLUSH STATS RELOAD PING)";
 }
 
 uint64_t BestEffortRequestId(std::string_view payload) {

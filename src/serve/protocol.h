@@ -28,6 +28,7 @@ namespace tkdc::serve {
 /// Request payload grammar (text in both framings):
 ///   <id> CLASSIFY <v1,v2,...> [timeout_ms]
 ///   <id> CLASSIFY_TRAINING <v1,v2,...> [timeout_ms]
+///   <id> CLASSIFY_MC <v1,v2,...> [timeout_ms]
 ///   <id> ESTIMATE <v1,v2,...> [timeout_ms]
 ///   <id> INSERT <v1,v2,...> [timeout_ms]
 ///   <id> DELETE <v1,v2,...> [timeout_ms]
@@ -47,9 +48,14 @@ namespace tkdc::serve {
 /// micro-batcher queue as queries, so a classify enqueued after an insert
 /// observes it.
 ///
+/// CLASSIFY_MC queries a multi-class model (a tag-7 container serving K
+/// per-class KDEs); the OK body is the predicted class *label*. It is an
+/// error against a single-class model, as CLASSIFY/ESTIMATE are against a
+/// multi-class one — the verb must match the loaded model kind.
+///
 /// Response payload grammar:
-///   <id> OK <body>         body: HIGH | LOW | <density> | PONG |
-///                                RELOADED | INSERTED | DELETED |
+///   <id> OK <body>         body: HIGH | LOW | <class label> | <density> |
+///                                PONG | RELOADED | INSERTED | DELETED |
 ///                                REBUILT <n> | <stats json>
 ///   <id> ERR <message>     malformed/unsatisfiable request (never aborts)
 ///   <id> OVERLOADED        admission queue full; retry later
@@ -59,6 +65,7 @@ namespace tkdc::serve {
 enum class RequestVerb {
   kClassify,
   kClassifyTraining,
+  kClassifyMc,
   kEstimateDensity,
   kInsert,
   kDelete,

@@ -71,17 +71,30 @@ Result<std::unique_ptr<Server>> Server::Create(ServerOptions options) {
 
 Result<std::shared_ptr<ServingModel>> Server::LoadServingModel(
     const std::string& path) {
-  auto loaded = api::LoadModel(path);
-  if (!loaded.ok()) return loaded.status();
+  auto kind = api::ProbeModel(path);
+  if (!kind.ok()) return kind.status();
   auto model = std::make_shared<ServingModel>();
-  model->classifier = loaded.take();
   model->source_path = path;
-  model->classifier->SetNumThreads(options_.num_threads);
-  model->classifier->AttachMetrics(&registry_);
+  if (kind.value() == ModelKind::kMultiClass) {
+    auto loaded = api::LoadMultiClassModel(path);
+    if (!loaded.ok()) return loaded.status();
+    model->mc_classifier = loaded.take();
+    model->mc_classifier->SetNumThreads(options_.num_threads);
+    model->mc_classifier->AttachMetrics(&registry_);
+  } else {
+    auto loaded = api::LoadModel(path);
+    if (!loaded.ok()) return loaded.status();
+    model->classifier = loaded.take();
+    model->classifier->SetNumThreads(options_.num_threads);
+    model->classifier->AttachMetrics(&registry_);
+  }
   model->generation =
       generation_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
   model->last_rebuild_ms = NowUnixMs();
-  if (options_.overlay_capacity > 0 && model->classifier->supports_overlay()) {
+  // Multi-class generations never stream: mutations have no class label in
+  // the wire grammar, so INSERT/DELETE/FLUSH are answered with ERR.
+  if (options_.overlay_capacity > 0 && model->classifier != nullptr &&
+      model->classifier->supports_overlay()) {
     // Fresh streaming generation: a (re)load discards any prior overlay —
     // the file on disk is the new truth — and seeds a new estimator.
     SetUpStreaming(*model, nullptr);
@@ -288,17 +301,21 @@ void Server::Dispatch(Request request,
       const DeltaOverlay::Snapshot overlay =
           model->overlay != nullptr ? model->overlay->snapshot()
                                     : DeltaOverlay::Snapshot{};
-      const size_t base_n = model->classifier->training_size();
+      const size_t base_n = model->base_points();
       std::ostringstream json;
       json << std::setprecision(17);
       json << "{\"model\":{\"generation\":" << model->generation
-           << ",\"algorithm\":\"" << model->classifier->name() << "\""
+           << ",\"algorithm\":\"" << model->algorithm() << "\""
            << ",\"base_points\":" << base_n
            << ",\"streaming\":" << (model->streaming ? "true" : "false")
            << ",\"overlay_inserted\":" << overlay.inserted
            << ",\"overlay_tombstones\":" << overlay.tombstones
-           << ",\"last_rebuild_unix_ms\":" << model->last_rebuild_ms
-           << ",\"trained_threshold\":" << model->classifier->threshold();
+           << ",\"last_rebuild_unix_ms\":" << model->last_rebuild_ms;
+      if (model->classifier != nullptr) {
+        json << ",\"trained_threshold\":" << model->classifier->threshold();
+      } else {
+        json << ",\"classes\":" << model->mc_classifier->num_classes();
+      }
       if (model->estimator != nullptr) {
         const double n_eff = static_cast<double>(base_n) +
                              static_cast<double>(overlay.inserted) -
@@ -340,6 +357,7 @@ void Server::Dispatch(Request request,
     }
     case RequestVerb::kClassify:
     case RequestVerb::kClassifyTraining:
+    case RequestVerb::kClassifyMc:
     case RequestVerb::kEstimateDensity:
     case RequestVerb::kInsert:
     case RequestVerb::kDelete:
@@ -459,7 +477,7 @@ void Server::Shutdown() {
   if (rebuild_worker_.joinable()) rebuild_worker_.join();
   // Final fold of the current model's query-path counters (the dispatcher
   // flushed per batch; this catches work since the last batch).
-  batcher_->model()->classifier->FlushMetrics();
+  batcher_->model()->FlushMetrics();
   if (options_.metrics_out.empty()) return;
   std::ofstream out(options_.metrics_out);
   if (!out) {

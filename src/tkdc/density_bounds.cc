@@ -250,15 +250,11 @@ DensityBounds DensityBoundEvaluator::BoundDensityFromFrontier(
   return RunPointTraversal(ctx, x, t_lo, t_hi, tolerance, f_lo, f_hi);
 }
 
-DensityBounds DensityBoundEvaluator::RunPointTraversal(
-    TreeQueryContext& ctx, std::span<const double> x, double t_lo, double t_hi,
-    double tolerance, double f_lo, double f_hi) const {
+void DensityBoundEvaluator::ExpandTop(TreeQueryContext& ctx,
+                                      std::span<const double> x, double* f_lo,
+                                      double* f_hi) const {
   auto& queue = ctx.queue;
   const auto inv_bw = std::span<const double>(kernel_->inverse_bandwidths());
-  const double eps = config_->epsilon;
-  const double high_cut = t_hi * (1.0 + eps);  // Threshold rule, Eq. 9.
-  const double low_cut = t_lo * (1.0 - eps);
-  if (tolerance < 0.0) tolerance = eps * t_lo;  // Tolerance rule, Eq. 8.
 
   // Child entry from precomputed Eq. 6 distance bounds — MakeEntry minus
   // the per-node bound call, fed by the batched two-children pass below.
@@ -272,6 +268,105 @@ DensityBounds DensityBoundEvaluator::RunPointTraversal(
     entry.priority = entry.max_contribution - entry.min_contribution;
     return entry;
   };
+
+  std::pop_heap(queue.begin(), queue.end());
+  const TraversalQueueEntry current = queue.back();
+  queue.pop_back();
+  ++ctx.stats.nodes_expanded;
+
+  // Replace this node's coarse interval with its children's (or its exact
+  // leaf sum): same mass, tighter constraint (Figure 4).
+  *f_lo -= current.min_contribution;
+  *f_hi -= current.max_contribution;
+
+  const IndexNode& node = tree_->node(current.node);
+  if (node.is_leaf()) {
+    // Vectorized SoA leaf sum (kde/kernel_simd.h): the kernel evaluations
+    // run one point per SIMD lane, bit-identical across backends in the
+    // default mode (fast_math_ swaps the Gaussian exp for a vectorized
+    // polynomial inside the --fast-math-leaf epsilon band).
+    const SpatialIndex::SoaLeaf leaf = tree_->LeafSoa(current.node);
+    double exact =
+        simd::SoaKernelSum(leaf.block, leaf.padded, leaf.count, tree_->dims(),
+                           x.data(), inv_bw.data(), type_, norm_, fast_math_);
+    ctx.stats.kernel_evaluations += node.count();
+    ctx.stats.leaf_points_evaluated += node.count();
+    exact *= inv_n_;
+    *f_lo += exact;
+    *f_hi += exact;
+  } else {
+    // Both children's Eq. 6 distance bounds in one batched pass (one
+    // vector lane per bound — bit-identical to two per-child calls, see
+    // common/simd.h), then the same contribution/clamp math as MakeEntry.
+    double zb[4] = {0.0, 0.0, 0.0, 0.0};
+    tree_->NodeChildrenScaledSquaredDistanceBounds(current.node, x, inv_bw,
+                                                   zb);
+    TraversalQueueEntry left = child_entry(node.left, zb[0], zb[1]);
+    TraversalQueueEntry right = child_entry(node.right, zb[2], zb[3]);
+    ctx.stats.kernel_evaluations += 4;
+    const double inv_parent_count = 1.0 / static_cast<double>(node.count());
+    ClampByParent(left, current,
+                  static_cast<double>(tree_->node(node.left).count()) *
+                      inv_parent_count);
+    ClampByParent(right, current,
+                  static_cast<double>(tree_->node(node.right).count()) *
+                      inv_parent_count);
+    *f_lo += left.min_contribution + right.min_contribution;
+    *f_hi += left.max_contribution + right.max_contribution;
+    queue.push_back(left);
+    std::push_heap(queue.begin(), queue.end());
+    queue.push_back(right);
+    std::push_heap(queue.begin(), queue.end());
+  }
+  if (ctx.tracer != nullptr) {
+    ctx.tracer->Expand(current.node, node.is_leaf(),
+                       node.is_leaf() ? static_cast<uint32_t>(node.count())
+                                      : 0u,
+                       *f_lo, *f_hi);
+  }
+}
+
+DensityBounds DensityBoundEvaluator::SeedPointRefinement(
+    TreeQueryContext& ctx, std::span<const double> x) const {
+  TKDC_DCHECK(x.size() == tree_->dims());
+  ctx.queue.clear();
+  TraversalQueueEntry root =
+      MakeEntry(ctx, x, static_cast<uint32_t>(SpatialIndex::kRoot));
+  ctx.queue.push_back(root);
+  // Nothing has been expanded yet; the refinement is "paused on budget".
+  ctx.last_cutoff = CutoffReason::kExpansionBudget;
+  return DensityBounds{root.min_contribution, root.max_contribution};
+}
+
+DensityBounds DensityBoundEvaluator::RefinePointBounds(
+    TreeQueryContext& ctx, std::span<const double> x, DensityBounds current,
+    int64_t max_expansions) const {
+  double f_lo = current.lower;
+  double f_hi = current.upper;
+  ctx.last_cutoff = CutoffReason::kExactLeaf;
+  while (!ctx.queue.empty()) {
+    if (max_expansions >= 0 && max_expansions-- == 0) {
+      ctx.last_cutoff = CutoffReason::kExpansionBudget;
+      break;
+    }
+    ExpandTop(ctx, x, &f_lo, &f_hi);
+  }
+  // The same round-off guards as the full traversal; clamping the lower
+  // edge up to 0 stays a valid lower bound (densities are non-negative),
+  // so carrying the clamped interval into the next step is sound.
+  if (f_lo < 0.0) f_lo = 0.0;
+  if (f_hi < f_lo) f_hi = f_lo;
+  return DensityBounds{f_lo, f_hi};
+}
+
+DensityBounds DensityBoundEvaluator::RunPointTraversal(
+    TreeQueryContext& ctx, std::span<const double> x, double t_lo, double t_hi,
+    double tolerance, double f_lo, double f_hi) const {
+  auto& queue = ctx.queue;
+  const double eps = config_->epsilon;
+  const double high_cut = t_hi * (1.0 + eps);  // Threshold rule, Eq. 9.
+  const double low_cut = t_lo * (1.0 - eps);
+  if (tolerance < 0.0) tolerance = eps * t_lo;  // Tolerance rule, Eq. 8.
 
   if (ctx.tracer != nullptr) {
     const uint32_t seed = queue.empty() ? 0u : queue.front().node;
@@ -295,64 +390,7 @@ DensityBounds DensityBoundEvaluator::RunPointTraversal(
       break;
     }
 
-    std::pop_heap(queue.begin(), queue.end());
-    const TraversalQueueEntry current = queue.back();
-    queue.pop_back();
-    ++ctx.stats.nodes_expanded;
-
-    // Replace this node's coarse interval with its children's (or its exact
-    // leaf sum): same mass, tighter constraint (Figure 4).
-    f_lo -= current.min_contribution;
-    f_hi -= current.max_contribution;
-
-    const IndexNode& node = tree_->node(current.node);
-    if (node.is_leaf()) {
-      // Vectorized SoA leaf sum (kde/kernel_simd.h): the kernel evaluations
-      // run one point per SIMD lane, bit-identical across backends in the
-      // default mode (fast_math_ swaps the Gaussian exp for a vectorized
-      // polynomial inside the --fast-math-leaf epsilon band).
-      const SpatialIndex::SoaLeaf leaf = tree_->LeafSoa(current.node);
-      double exact =
-          simd::SoaKernelSum(leaf.block, leaf.padded, leaf.count,
-                             tree_->dims(), x.data(), inv_bw.data(), type_,
-                             norm_, fast_math_);
-      ctx.stats.kernel_evaluations += node.count();
-      ctx.stats.leaf_points_evaluated += node.count();
-      exact *= inv_n_;
-      f_lo += exact;
-      f_hi += exact;
-    } else {
-      // Both children's Eq. 6 distance bounds in one batched pass (one
-      // vector lane per bound — bit-identical to two per-child calls, see
-      // common/simd.h), then the same contribution/clamp math as MakeEntry.
-      double zb[4] = {0.0, 0.0, 0.0, 0.0};
-      tree_->NodeChildrenScaledSquaredDistanceBounds(current.node, x, inv_bw,
-                                                     zb);
-      TraversalQueueEntry left = child_entry(node.left, zb[0], zb[1]);
-      TraversalQueueEntry right = child_entry(node.right, zb[2], zb[3]);
-      ctx.stats.kernel_evaluations += 4;
-      const double inv_parent_count = 1.0 / static_cast<double>(node.count());
-      ClampByParent(
-          left, current,
-          static_cast<double>(tree_->node(node.left).count()) *
-              inv_parent_count);
-      ClampByParent(
-          right, current,
-          static_cast<double>(tree_->node(node.right).count()) *
-              inv_parent_count);
-      f_lo += left.min_contribution + right.min_contribution;
-      f_hi += left.max_contribution + right.max_contribution;
-      queue.push_back(left);
-      std::push_heap(queue.begin(), queue.end());
-      queue.push_back(right);
-      std::push_heap(queue.begin(), queue.end());
-    }
-    if (ctx.tracer != nullptr) {
-      ctx.tracer->Expand(
-          current.node, node.is_leaf(),
-          node.is_leaf() ? static_cast<uint32_t>(node.count()) : 0u, f_lo,
-          f_hi);
-    }
+    ExpandTop(ctx, x, &f_lo, &f_hi);
   }
   if (ctx.tracer != nullptr) ctx.tracer->Finish(ctx.last_cutoff);
   if (ctx.metrics != nullptr) {

@@ -163,6 +163,30 @@ class DensityBoundEvaluator {
                                    int64_t max_expansions = -1,
                                    std::vector<uint32_t>* frontier = nullptr) const;
 
+  /// Starts an *incremental* point refinement: seeds `ctx.queue` with the
+  /// root's Eq. 6 contribution interval and returns it. Unlike
+  /// BoundDensity, no pruning rule runs and no query is counted — the
+  /// caller owns the refinement loop and decides what constitutes a query.
+  /// The refinement state is the pair (ctx.queue, returned bounds); both
+  /// must be threaded unchanged into RefinePointBounds. This is the
+  /// building block of the multi-class round-robin loop (tkdc/multiclass.h),
+  /// which interleaves budgeted refinement steps across several trees.
+  DensityBounds SeedPointRefinement(TreeQueryContext& ctx,
+                                    std::span<const double> x) const;
+
+  /// Expands up to `max_expansions` best-first nodes of a refinement
+  /// started by SeedPointRefinement on the same context and query point,
+  /// and returns the tightened bounds (monotone at every expansion thanks
+  /// to the parent clamp; negative budget means unbounded). Sets
+  /// ctx.last_cutoff to kExactLeaf when the queue drained — the bounds are
+  /// now exact — or kExpansionBudget when the budget ran out first. The
+  /// threshold/tolerance rules deliberately do not apply: cross-class
+  /// cutoffs live in the caller, which compares bounds *between* trees.
+  DensityBounds RefinePointBounds(TreeQueryContext& ctx,
+                                  std::span<const double> x,
+                                  DensityBounds current,
+                                  int64_t max_expansions) const;
+
   const SpatialIndex* tree() const { return tree_; }
   const Kernel* kernel() const { return kernel_; }
 
@@ -185,6 +209,13 @@ class DensityBoundEvaluator {
                                   std::span<const double> x, double t_lo,
                                   double t_hi, double tolerance, double f_lo,
                                   double f_hi) const;
+
+  /// Pops the top queue entry and replaces its interval with its children's
+  /// (or the exact leaf sum), updating `*f_lo` / `*f_hi` in place — the
+  /// single expansion step shared by RunPointTraversal and
+  /// RefinePointBounds. The queue must be non-empty.
+  void ExpandTop(TreeQueryContext& ctx, std::span<const double> x,
+                 double* f_lo, double* f_hi) const;
 
   const SpatialIndex* tree_ = nullptr;
   const Kernel* kernel_ = nullptr;

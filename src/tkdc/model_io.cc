@@ -31,9 +31,13 @@ constexpr uint32_t kTagSimple = 3;
 constexpr uint32_t kTagRkde = 4;
 constexpr uint32_t kTagBinned = 5;
 constexpr uint32_t kTagKnn = 6;
+// Multi-class container (format version 5): K, labels, priors, then K
+// nested tkdc sections.
+constexpr uint32_t kTagMultiClass = 7;
 
 // Guard absurd sizes before allocating (corrupt headers).
 constexpr uint64_t kMaxElements = uint64_t{1} << 34;
+constexpr uint64_t kMaxLabelLength = 1 << 16;
 
 // Streaming writer with a running FNV-1a checksum over the payload.
 class Writer {
@@ -57,6 +61,10 @@ class Writer {
   void DoubleVec(const std::vector<double>& v) {
     U64(v.size());
     if (!v.empty()) Bytes(v.data(), v.size() * sizeof(double));
+  }
+  void Str(const std::string& s) {
+    U64(s.size());
+    if (!s.empty()) Bytes(s.data(), s.size());
   }
 
   uint64_t checksum() const { return checksum_; }
@@ -94,6 +102,14 @@ class Reader {
     v->resize(size);
     if (size == 0) return true;
     return Bytes(v->data(), size * sizeof(double));
+  }
+  bool Str(std::string* s, uint64_t max_size) {
+    uint64_t size = 0;
+    if (!U64(&size)) return false;
+    if (size > max_size) return false;  // Corrupt size field.
+    s->resize(size);
+    if (size == 0) return true;
+    return Bytes(s->data(), size);
   }
 
   uint64_t checksum() const { return checksum_; }
@@ -560,6 +576,73 @@ std::unique_ptr<TkdcClassifier> ReadTkdcSection(Reader& r, uint32_t version,
   return classifier;
 }
 
+// The multi-class container: shape (K), the label/prior table, then K
+// nested tkdc sections written by the exact single-class writer — the
+// per-class payloads are byte-identical to what SaveModel would emit, so
+// the section readers (and every validation they perform) are shared.
+bool WriteMultiClassSection(Writer& w, const MultiClassClassifier& c,
+                            bool include_densities, std::string* error) {
+  const size_t k = c.num_classes();
+  w.U64(k);
+  for (size_t i = 0; i < k; ++i) {
+    w.Str(c.class_labels()[i]);
+    w.F64(c.priors()[i]);
+  }
+  for (size_t i = 0; i < k; ++i) {
+    const TkdcClassifier& part = c.class_part(i);
+    Dataset training_data(part.dims());
+    if (!part.ExportTrainingData(&training_data)) {
+      *error = "class " + c.class_labels()[i] +
+               " cannot export its training data";
+      return false;
+    }
+    WriteTkdcSection(w, part, training_data, include_densities);
+  }
+  return true;
+}
+
+std::unique_ptr<MultiClassClassifier> ReadMultiClassSection(
+    Reader& r, uint32_t version, const std::string& path, std::string* error) {
+  uint64_t k = 0;
+  if (!r.U64(&k)) {
+    *error = path + ": truncated multi-class header";
+    return nullptr;
+  }
+  if (k < 2 || k > MultiClassClassifier::kMaxClasses) {
+    *error = path + ": corrupt multi-class header";
+    return nullptr;
+  }
+  std::vector<std::string> labels(k);
+  std::vector<double> priors(k);
+  for (uint64_t i = 0; i < k; ++i) {
+    if (!r.Str(&labels[i], kMaxLabelLength) || !r.F64(&priors[i])) {
+      *error = path + ": truncated multi-class label table";
+      return nullptr;
+    }
+  }
+  std::vector<std::unique_ptr<TkdcClassifier>> parts;
+  parts.reserve(k);
+  for (uint64_t i = 0; i < k; ++i) {
+    std::unique_ptr<TkdcClassifier> part =
+        ReadTkdcSection(r, version, /*nocut=*/false, path, error);
+    if (part == nullptr) return nullptr;
+    parts.push_back(std::move(part));
+  }
+  // RestoreParts re-validates everything the label/prior table and the
+  // sections claim: distinct labels, priors summing to 1, equal dims and
+  // kernel type across sections. A checksum-fixed corruption of the prior
+  // table therefore still fails cleanly here.
+  auto classifier =
+      std::make_unique<MultiClassClassifier>(parts[0]->config());
+  Status status = classifier->RestoreParts(std::move(parts), std::move(labels),
+                                           std::move(priors));
+  if (!status.ok()) {
+    *error = path + ": " + status.message();
+    return nullptr;
+  }
+  return classifier;
+}
+
 void WriteSimpleSection(Writer& w, const SimpleKdeClassifier& c,
                         const Dataset& training_data) {
   w.F64(c.options().p);
@@ -761,13 +844,20 @@ std::unique_ptr<DensityClassifier> ReadKnnSection(Reader& r, uint32_t version,
   return classifier;
 }
 
-std::unique_ptr<DensityClassifier> LoadImpl(const std::string& path,
-                                            std::string* error) {
-  TKDC_CHECK(error != nullptr);
+// Shared front half of every load path: slurps the file, validates magic
+// and version, and verifies the checksum over the whole payload BEFORE a
+// single field is parsed — a flipped byte must never reach the model
+// builders (where, say, a corrupted coordinate would fail an index-build
+// invariant instead of producing a clean load error). On success fills the
+// payload bytes, the format version, and the stored checksum (which the
+// section parsers re-derive as their consumed-everything witness).
+bool LoadVerifiedPayload(const std::string& path, std::string* payload,
+                         uint32_t* version, uint64_t* stored_checksum,
+                         std::string* error) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     *error = "cannot open " + path;
-    return nullptr;
+    return false;
   }
   std::string buffer((std::istreambuf_iterator<char>(in)),
                      std::istreambuf_iterator<char>());
@@ -776,41 +866,48 @@ std::unique_ptr<DensityClassifier> LoadImpl(const std::string& path,
   constexpr size_t kTrailerSize = sizeof(uint64_t);
   if (buffer.size() < kHeaderSize + kTrailerSize) {
     *error = path + ": truncated model file";
-    return nullptr;
+    return false;
   }
   if (std::memcmp(buffer.data(), kMagic, sizeof(kMagic)) != 0) {
     *error = path + ": not a tkdc model file";
-    return nullptr;
+    return false;
   }
-  uint32_t version = 0;
-  std::memcpy(&version, buffer.data() + sizeof(kMagic), sizeof(version));
-  if (version < 1 || version > kModelFormatVersion) {
+  std::memcpy(version, buffer.data() + sizeof(kMagic), sizeof(*version));
+  if (*version < 1 || *version > kModelFormatVersion) {
     *error = path + ": unsupported model format version";
-    return nullptr;
+    return false;
   }
 
-  // Verify the checksum over the whole payload BEFORE parsing a single
-  // field: a flipped byte must never reach the model builders (where, say,
-  // a corrupted coordinate would fail an index-build invariant instead of
-  // producing a clean load error).
   const size_t payload_size = buffer.size() - kHeaderSize - kTrailerSize;
-  const unsigned char* payload =
+  const unsigned char* bytes =
       reinterpret_cast<const unsigned char*>(buffer.data()) + kHeaderSize;
   uint64_t computed = 0xcbf29ce484222325ULL;
   for (size_t i = 0; i < payload_size; ++i) {
-    computed ^= payload[i];
+    computed ^= bytes[i];
     computed *= 0x100000001b3ULL;
   }
-  uint64_t stored_checksum = 0;
-  std::memcpy(&stored_checksum,
-              buffer.data() + buffer.size() - kTrailerSize,
-              sizeof(stored_checksum));
-  if (computed != stored_checksum) {
+  std::memcpy(stored_checksum, buffer.data() + buffer.size() - kTrailerSize,
+              sizeof(*stored_checksum));
+  if (computed != *stored_checksum) {
     *error = path + ": checksum mismatch (file corrupted)";
+    return false;
+  }
+  *payload = buffer.substr(kHeaderSize, payload_size);
+  return true;
+}
+
+std::unique_ptr<DensityClassifier> LoadImpl(const std::string& path,
+                                            std::string* error) {
+  TKDC_CHECK(error != nullptr);
+  std::string payload;
+  uint32_t version = 0;
+  uint64_t stored_checksum = 0;
+  if (!LoadVerifiedPayload(path, &payload, &version, &stored_checksum,
+                           error)) {
     return nullptr;
   }
 
-  std::istringstream payload_in(buffer.substr(kHeaderSize, payload_size));
+  std::istringstream payload_in(std::move(payload));
   Reader r(payload_in);
   uint32_t tag = kTagTkdc;  // Version-1 files are always plain tkdc.
   if (version >= 2 && !r.U32(&tag)) {
@@ -837,6 +934,10 @@ std::unique_ptr<DensityClassifier> LoadImpl(const std::string& path,
     case kTagKnn:
       classifier = ReadKnnSection(r, version, path, error);
       break;
+    case kTagMultiClass:
+      *error = path +
+               ": holds a multi-class model (use LoadMultiClassModel)";
+      return nullptr;
     default:
       *error = path + ": unknown algorithm tag";
       return nullptr;
@@ -957,6 +1058,105 @@ std::unique_ptr<TkdcClassifier> LoadModel(const std::string& path,
 std::unique_ptr<DensityClassifier> LoadAnyModel(const std::string& path,
                                                 std::string* error) {
   return LoadImpl(path, error);
+}
+
+bool SaveMultiClassModel(const std::string& path,
+                         const MultiClassClassifier& classifier,
+                         bool include_densities, std::string* error) {
+  TKDC_CHECK(error != nullptr);
+  if (!classifier.trained()) {
+    *error = "classifier is not trained";
+    return false;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out.write(kMagic, sizeof(kMagic));
+  const uint32_t version = kModelFormatVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+
+  Writer w(out);
+  w.U32(kTagMultiClass);
+  if (!WriteMultiClassSection(w, classifier, include_densities, error)) {
+    return false;
+  }
+  const uint64_t checksum = w.checksum();
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  out.flush();
+  if (!out) {
+    *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<MultiClassClassifier> LoadMultiClassModel(
+    const std::string& path, std::string* error) {
+  TKDC_CHECK(error != nullptr);
+  std::string payload;
+  uint32_t version = 0;
+  uint64_t stored_checksum = 0;
+  if (!LoadVerifiedPayload(path, &payload, &version, &stored_checksum,
+                           error)) {
+    return nullptr;
+  }
+
+  std::istringstream payload_in(std::move(payload));
+  Reader r(payload_in);
+  uint32_t tag = kTagTkdc;  // Version-1 files are always plain tkdc.
+  if (version >= 2 && !r.U32(&tag)) {
+    *error = path + ": truncated algorithm tag";
+    return nullptr;
+  }
+  if (tag != kTagMultiClass) {
+    *error = path + ": holds a single-class model (use LoadAnyModel)";
+    return nullptr;
+  }
+  std::unique_ptr<MultiClassClassifier> classifier =
+      ReadMultiClassSection(r, version, path, error);
+  if (classifier == nullptr) return nullptr;
+
+  // Same consumed-everything witness as LoadImpl: the streaming checksum
+  // only matches the stored value if every payload byte passed through
+  // the Reader.
+  if (r.checksum() != stored_checksum) {
+    *error = path + ": malformed model payload (trailing bytes)";
+    return nullptr;
+  }
+  return classifier;
+}
+
+ModelKind ProbeModelKind(const std::string& path, std::string* error) {
+  TKDC_CHECK(error != nullptr);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open " + path;
+    return ModelKind::kInvalid;
+  }
+  // Magic, version, and (version >= 2) the leading algorithm tag of the
+  // payload — enough to dispatch without reading the body.
+  char magic[sizeof(kMagic)] = {};
+  uint32_t version = 0;
+  if (!in.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    *error = path + ": not a tkdc model file";
+    return ModelKind::kInvalid;
+  }
+  if (!in.read(reinterpret_cast<char*>(&version), sizeof(version)) ||
+      version < 1 || version > kModelFormatVersion) {
+    *error = path + ": unsupported model format version";
+    return ModelKind::kInvalid;
+  }
+  uint32_t tag = kTagTkdc;  // Version-1 files are always plain tkdc.
+  if (version >= 2 &&
+      !in.read(reinterpret_cast<char*>(&tag), sizeof(tag))) {
+    *error = path + ": truncated model file";
+    return ModelKind::kInvalid;
+  }
+  return tag == kTagMultiClass ? ModelKind::kMultiClass
+                               : ModelKind::kSingleClass;
 }
 
 }  // namespace tkdc

@@ -7,6 +7,7 @@
 #include "data/dataset.h"
 #include "kde/density_classifier.h"
 #include "tkdc/classifier.h"
+#include "tkdc/multiclass.h"
 
 namespace tkdc {
 
@@ -42,9 +43,43 @@ std::unique_ptr<TkdcClassifier> LoadModel(const std::string& path,
 
 /// Loads a model of any algorithm, dispatching on the stored tag. Legacy
 /// version-1 files load as tkdc. The result's runtime type matches name():
-/// "tkdc", "nocut", "simple", "rkde", "binned", or "knn".
+/// "tkdc", "nocut", "simple", "rkde", "binned", or "knn". Multi-class
+/// container files are rejected with an error directing callers to
+/// LoadMultiClassModel — the container is not a DensityClassifier.
 std::unique_ptr<DensityClassifier> LoadAnyModel(const std::string& path,
                                                 std::string* error);
+
+/// Persists a trained multi-class classifier as a single model file:
+/// algorithm tag 7 (multi-class container) holding K, the class labels,
+/// the prior table, and then K nested tkdc sections — each the exact
+/// per-class payload SaveModel would write, so the per-class readers (and
+/// their validation) are shared verbatim. `include_densities` applies to
+/// every per-class section. Returns false and fills `*error` on failure.
+bool SaveMultiClassModel(const std::string& path,
+                         const MultiClassClassifier& classifier,
+                         bool include_densities, std::string* error);
+
+/// Loads a multi-class container saved by SaveMultiClassModel. Rejects
+/// files holding a single-class model (use LoadModel / LoadAnyModel), any
+/// structural corruption, and cross-class inconsistencies (mismatched
+/// dims or kernel type between sections, bad priors, duplicate labels) —
+/// the same invariants MultiClassClassifier::RestoreParts enforces.
+std::unique_ptr<MultiClassClassifier> LoadMultiClassModel(
+    const std::string& path, std::string* error);
+
+/// What a model file holds, decided from the header alone (magic, format
+/// version, algorithm tag) without parsing the payload — callers use this
+/// to dispatch between LoadAnyModel and LoadMultiClassModel cheaply.
+enum class ModelKind : uint8_t {
+  /// Not a readable tkdc model file (error is filled in).
+  kInvalid = 0,
+  /// A single DensityClassifier of any algorithm.
+  kSingleClass,
+  /// A multi-class container (tag 7).
+  kMultiClass,
+};
+
+ModelKind ProbeModelKind(const std::string& path, std::string* error);
 
 /// Current model format version written by SaveModel. Version 1 (tkdc
 /// only, no algorithm tag), version 2 (algorithm tag, no serialized
@@ -53,7 +88,10 @@ std::unique_ptr<DensityClassifier> LoadAnyModel(const std::string& path,
 /// config flag and an SoA leaf-layout descriptor to the index section;
 /// the SoA mirror itself is derived state, always rebuilt on load and
 /// never serialized — the descriptor only cross-checks the rebuild.
-inline constexpr uint32_t kModelFormatVersion = 4;
+/// Version 5 adds the multi-class container tag (7); single-class
+/// sections are unchanged, so a version-5 single-class file is readable
+/// by any version-4-era section logic and all older files still load.
+inline constexpr uint32_t kModelFormatVersion = 5;
 
 }  // namespace tkdc
 

@@ -100,6 +100,63 @@ Status SaveModel(const std::string& path, const DensityClassifier& classifier,
   return Status::Ok();
 }
 
+Result<std::unique_ptr<MultiClassClassifier>> TrainMultiClass(
+    const Dataset& data, const std::vector<std::string>& row_labels,
+    const TkdcConfig& config, std::vector<double> priors) {
+  const Status config_status = config.Validate();
+  if (!config_status.ok()) {
+    return Errorf() << "invalid config: " << config_status.message();
+  }
+  auto classifier = std::make_unique<MultiClassClassifier>(config);
+  Status status = classifier->Train(data, row_labels, std::move(priors));
+  if (!status.ok()) return status;
+  return classifier;
+}
+
+Status SaveMultiClassModel(const std::string& path,
+                           const MultiClassClassifier& classifier,
+                           bool include_densities) {
+  std::string error;
+  if (!tkdc::SaveMultiClassModel(path, classifier, include_densities,
+                                 &error)) {
+    return Status::Error(error);
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<MultiClassClassifier>> LoadMultiClassModel(
+    const std::string& path) {
+  std::string error;
+  std::unique_ptr<MultiClassClassifier> classifier =
+      tkdc::LoadMultiClassModel(path, &error);
+  if (classifier == nullptr) return Status::Error(error);
+  return classifier;
+}
+
+Result<ModelKind> ProbeModel(const std::string& path) {
+  std::string error;
+  const ModelKind kind = ProbeModelKind(path, &error);
+  if (kind == ModelKind::kInvalid) return Status::Error(error);
+  return kind;
+}
+
+std::string DescribeMultiClass(const MultiClassClassifier& classifier) {
+  std::ostringstream out;
+  out << "  classes:         " << classifier.num_classes() << "\n"
+      << "  dimensions:      " << classifier.dims() << "\n";
+  if (const auto backend = classifier.index_backend()) {
+    out << "  index backend:   " << IndexBackendName(*backend) << "\n";
+  }
+  out << "  p:               " << classifier.config().p << "\n"
+      << "  epsilon:         " << classifier.config().epsilon << "\n";
+  for (size_t c = 0; c < classifier.num_classes(); ++c) {
+    out << "  class " << classifier.class_labels()[c] << ": prior "
+        << classifier.priors()[c] << ", "
+        << classifier.class_part(c).training_size() << " training points\n";
+  }
+  return out.str();
+}
+
 Result<TrainOptions> RecoverTrainOptions(const DensityClassifier& classifier) {
   TrainOptions options;
   // Nocut derives from TkdcClassifier, so it must be matched first.

@@ -30,6 +30,8 @@
 #include "data/dataset.h"
 #include "kde/density_classifier.h"
 #include "tkdc/config.h"
+#include "tkdc/model_io.h"
+#include "tkdc/multiclass.h"
 
 namespace tkdc::api {
 
@@ -80,6 +82,45 @@ std::string Describe(const DensityClassifier& classifier);
 /// overlay without the caller having kept the original options around.
 /// Errors for classifier types the API did not construct.
 Result<TrainOptions> RecoverTrainOptions(const DensityClassifier& classifier);
+
+// --- Multi-class classification (tkdc/multiclass.h) ---------------------
+//
+// One tkdc model per class, classification by simultaneous cross-class
+// bound refinement. The multi-class classifier is its own facade (labels,
+// not high/low), so it rides beside the DensityClassifier surface rather
+// than behind it; model files use the same container format under
+// algorithm tag 7 and are distinguished from single-class files by
+// ProbeModel.
+
+/// Trains one tkdc model per distinct label in `row_labels` (one label
+/// per row of `data`; classes ordered lexicographically). `priors` is
+/// empty for empirical class frequencies, or one positive weight per
+/// class in label order summing to 1. Errors (not aborts) on degenerate
+/// input: fewer than two classes, a class with fewer than two rows, bad
+/// priors, or an invalid config.
+Result<std::unique_ptr<MultiClassClassifier>> TrainMultiClass(
+    const Dataset& data, const std::vector<std::string>& row_labels,
+    const TkdcConfig& config, std::vector<double> priors = {});
+
+/// Persists a trained multi-class classifier to `path` (tag-7 container:
+/// K per-class tkdc sections plus the label/prior table).
+Status SaveMultiClassModel(const std::string& path,
+                           const MultiClassClassifier& classifier,
+                           bool include_densities = true);
+
+/// Loads a multi-class container saved by SaveMultiClassModel. Errors on
+/// single-class files (use LoadModel) and on any corruption.
+Result<std::unique_ptr<MultiClassClassifier>> LoadMultiClassModel(
+    const std::string& path);
+
+/// What `path` holds — single-class or multi-class — decided from the
+/// file header alone, so callers can dispatch to the right loader without
+/// parsing (and without triggering the wrong loader's error).
+Result<ModelKind> ProbeModel(const std::string& path);
+
+/// Human-readable description of a trained multi-class model (the
+/// `tkdc_cli info` body for tag-7 files).
+std::string DescribeMultiClass(const MultiClassClassifier& classifier);
 
 // --- Query calls (thin, stable aliases over the classifier facade) ------
 

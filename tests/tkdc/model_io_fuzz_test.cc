@@ -27,6 +27,7 @@
 #include "common/rng.h"
 #include "data/generators.h"
 #include "tkdc/classifier.h"
+#include "tkdc/multiclass.h"
 
 namespace tkdc {
 namespace {
@@ -217,6 +218,145 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ModelIoFuzzTest,
                          ::testing::Values("tkdc", "nocut", "simple", "rkde",
                                            "binned", "knn"),
                          [](const auto& info) { return info.param; });
+
+// --- Multi-class container (tag 7) ---------------------------------------
+
+class MultiClassModelIoFuzzTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/fuzz_mc_" + name;
+  }
+
+  std::string SaveTrainedModel(const std::string& path) {
+    Rng rng(88);
+    std::vector<Dataset> parts;
+    parts.push_back(SampleStandardGaussian(kTrainN, 2, rng));
+    Dataset shifted = SampleStandardGaussian(kTrainN, 2, rng);
+    for (size_t i = 0; i < shifted.size(); ++i) {
+      shifted.MutableRow(i)[0] += 4.0;
+    }
+    parts.push_back(std::move(shifted));
+    MultiClassClassifier mc;
+    EXPECT_TRUE(mc.TrainParts(parts, {"lo", "hi"}).ok());
+    std::string error;
+    EXPECT_TRUE(SaveMultiClassModel(path, mc, /*include_densities=*/true,
+                                    &error))
+        << error;
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+
+  void WriteBytes(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+};
+
+TEST_F(MultiClassModelIoFuzzTest, PristineFileRoundTrips) {
+  const std::string path = TempPath("pristine.tkdc");
+  SaveTrainedModel(path);
+  std::string error;
+  std::unique_ptr<MultiClassClassifier> loaded =
+      LoadMultiClassModel(path, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_EQ(loaded->num_classes(), 2u);
+}
+
+// The container nests two full tkdc sections behind one whole-payload
+// checksum: every single-byte flip — in the label/prior table or deep
+// inside either per-class section — must be rejected before parsing.
+TEST_F(MultiClassModelIoFuzzTest, EverySingleByteFlipIsRejected) {
+  const std::string path = TempPath("flip.tkdc");
+  const std::string pristine = SaveTrainedModel(path);
+  ASSERT_GT(pristine.size(), 16u);
+  Rng rng(321);
+  const std::string flipped_path = TempPath("flipped.tkdc");
+  for (int trial = 0; trial < kRandomFlipsPerModel; ++trial) {
+    const size_t offset =
+        8 + static_cast<size_t>(rng.NextBounded(pristine.size() - 8));
+    const uint8_t mask =
+        static_cast<uint8_t>(1u << static_cast<unsigned>(rng.NextBounded(8)));
+    std::string corrupted = pristine;
+    corrupted[offset] =
+        static_cast<char>(static_cast<uint8_t>(corrupted[offset]) ^ mask);
+    WriteBytes(flipped_path, corrupted);
+    std::string error;
+    EXPECT_EQ(LoadMultiClassModel(flipped_path, &error), nullptr)
+        << "flip at offset " << offset << " (mask " << int{mask}
+        << ") was silently accepted";
+    EXPECT_FALSE(error.empty()) << "offset " << offset;
+  }
+}
+
+TEST_F(MultiClassModelIoFuzzTest, TruncationAtEveryRegionIsRejected) {
+  const std::string path = TempPath("trunc.tkdc");
+  const std::string pristine = SaveTrainedModel(path);
+  const std::string trunc_path = TempPath("truncated.tkdc");
+  const std::vector<size_t> lengths{0,  3,  7,  8,  15, 21, 29,
+                                    pristine.size() / 3,
+                                    pristine.size() / 2,
+                                    pristine.size() - 9,
+                                    pristine.size() - 1};
+  for (const size_t length : lengths) {
+    if (length >= pristine.size()) continue;
+    WriteBytes(trunc_path, pristine.substr(0, length));
+    std::string error;
+    EXPECT_EQ(LoadMultiClassModel(trunc_path, &error), nullptr)
+        << "silently loaded a file truncated to " << length << " bytes";
+    EXPECT_FALSE(error.empty()) << "length " << length;
+  }
+}
+
+// Checksum-fixed corruption of the container head: the class-tag bytes of
+// the nested sections and the prior table are semantic fields the trailer
+// can no longer defend once recomputed — the validation in RestoreParts /
+// ReadMultiClassSection must reject them.
+TEST_F(MultiClassModelIoFuzzTest, ChecksumFixedHeaderCorruptionIsRejected) {
+  const std::string path = TempPath("fixed.tkdc");
+  const std::string pristine = SaveTrainedModel(path);
+  const std::string bad_path = TempPath("fixed_bad.tkdc");
+  const auto fix_checksum = [](std::string* bytes) {
+    uint64_t checksum = 0xcbf29ce484222325ULL;
+    for (size_t i = 8; i < bytes->size() - 8; ++i) {
+      checksum ^= static_cast<unsigned char>((*bytes)[i]);
+      checksum *= 0x100000001b3ULL;
+    }
+    std::memcpy(bytes->data() + bytes->size() - 8, &checksum,
+                sizeof(checksum));
+  };
+
+  // Prior table: labels are "lo"/"hi" (2 bytes each); the first prior
+  // sits at magic+version+tag+K + len+label = 12 + 8 + 8 + 2 = 30.
+  {
+    std::string corrupted = pristine;
+    const size_t prior_offset = 30;
+    double prior = 0.0;
+    std::memcpy(&prior, corrupted.data() + prior_offset, sizeof(prior));
+    ASSERT_NEAR(prior, 0.5, 1e-12);
+    prior = 0.9;  // Sum becomes 1.4.
+    std::memcpy(corrupted.data() + prior_offset, &prior, sizeof(prior));
+    fix_checksum(&corrupted);
+    WriteBytes(bad_path, corrupted);
+    std::string error;
+    EXPECT_EQ(LoadMultiClassModel(bad_path, &error), nullptr)
+        << "corrupted prior table accepted";
+    EXPECT_NE(error.find("sum to 1"), std::string::npos) << error;
+  }
+
+  // Class count: 2 -> 1 (below the multi-class minimum).
+  {
+    std::string corrupted = pristine;
+    const uint64_t k = 1;
+    std::memcpy(corrupted.data() + 12, &k, sizeof(k));
+    fix_checksum(&corrupted);
+    WriteBytes(bad_path, corrupted);
+    std::string error;
+    EXPECT_EQ(LoadMultiClassModel(bad_path, &error), nullptr)
+        << "K=1 container accepted";
+    EXPECT_FALSE(error.empty());
+  }
+}
 
 }  // namespace
 }  // namespace tkdc
