@@ -124,7 +124,9 @@ void RkdeClassifier::Train(const Dataset& data) {
     const ThresholdBootstrapResult bootstrap =
         estimator.Bootstrap(data, *model->tree, *model->kernel);
     bootstrap_stats = bootstrap.stats;
-    const double target = config.epsilon * bootstrap.lower;
+    // The radius spends the traversal share of the error budget (rkde does
+    // not compress, so with coreset_epsilon == 0 this is exactly epsilon).
+    const double target = config.ResolveBudget().traversal * bootstrap.lower;
     model->radius_sq =
         model->kernel->ScaledSquaredDistanceForValue(target);
     // Guard against a degenerate bootstrap (t_lo == 0): fall back to a wide

@@ -1,0 +1,91 @@
+#ifndef TKDC_KDE_CORESET_H_
+#define TKDC_KDE_CORESET_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "kde/kernel.h"
+
+namespace tkdc {
+
+/// Tuning knobs of the epsilon-coreset builder (BuildKdeCoreset).
+struct CoresetOptions {
+  /// The epsilon share the compression may spend (the coreset share of
+  /// tkdc/error_budget.h). <= 0 disables compression.
+  double epsilon = 0.0;
+  /// Halving never shrinks the coreset below this many points: below a few
+  /// hundred points the kernel sum is cheap anyway and the discrepancy
+  /// estimate loses resolution.
+  size_t min_size = 256;
+  /// Evaluation points used to track the compressed KDE's deviation.
+  size_t eval_sample = 512;
+  /// Fraction of the epsilon share a halving may consume before the loop
+  /// stops. The deviation is measured on a sample, so keeping headroom
+  /// makes out-of-sample queries respect the full share.
+  double safety = 0.5;
+  /// Quantile of the sampled densities used as the reference scale f_ref
+  /// (the stand-in for the threshold t(p), which is not known yet at
+  /// compression time). Pass the config's classification rate p.
+  double reference_quantile = 0.01;
+  uint64_t seed = 0;
+};
+
+/// Compression metadata carried in the trained model (and serialized by
+/// model format v6). Defaults describe an uncompressed model.
+struct CoresetInfo {
+  /// Whether the model's training set is a compressed coreset.
+  bool enabled = false;
+  /// Rows of the original training set before compression (== the model's
+  /// point count when compression is disabled or never engaged).
+  uint64_t original_size = 0;
+  /// Estimated sup over queries of |f_coreset - f_exact| / max(f, f_ref),
+  /// as tracked on the evaluation sample at the accepted halving depth.
+  double achieved_error = 0.0;
+  /// Accepted halving rounds (compression factor ~= 2^halvings).
+  uint32_t halvings = 0;
+
+  /// original_size / coreset_size given the surviving point count.
+  double CompressionRatio(size_t points) const {
+    return points == 0 ? 1.0
+                       : static_cast<double>(original_size) /
+                             static_cast<double>(points);
+  }
+};
+
+/// The compressed training set plus its metadata.
+struct CoresetResult {
+  /// Dataset has no default constructor; a default-constructed result holds
+  /// an empty 1-d placeholder until BuildKdeCoreset assigns the real set.
+  Dataset points{1};
+  CoresetInfo info;
+};
+
+/// Builds an epsilon-coreset of `data` for KDE under `kernel`, following
+/// the Phillips & Tai recipe ("Improved Coresets for Kernel Density
+/// Estimates"): order the points along a grid (Z-order) curve so
+/// neighboring points are spatially close, then repeatedly halve by
+/// keeping one point of every consecutive pair. Which side of a pair
+/// survives is a greedy discrepancy minimization (a self-balancing walk):
+/// each choice takes the step that shrinks the running residual of the
+/// compressed KDE against the exact one at a fixed evaluation sample —
+/// data rows jittered by one bandwidth, i.e. draws from the smoothed
+/// distribution itself. Halving stops before the epsilon share is spent.
+///
+/// The coreset keeps uniform weights — it is a plain, smaller dataset the
+/// whole pipeline (index build, SoA leaf blocks, bootstrap, streaming
+/// rebuilds) consumes unchanged. The deviation is measured relative to
+/// max(f_exact(x), f_ref) at the evaluation sample: near the decision
+/// threshold this is exactly the multiplicative band the classification
+/// tolerance spends, and in the far tails (f << f_ref) the absolute error
+/// stays below epsilon * f_ref, which cannot flip a threshold comparison.
+///
+/// Deterministic for a fixed (data, options.seed). When no halving fits
+/// the budget (or epsilon <= 0, or the data is already at min_size) the
+/// result carries a copy of `data` with info.enabled == false.
+CoresetResult BuildKdeCoreset(const Dataset& data, const Kernel& kernel,
+                              const CoresetOptions& options);
+
+}  // namespace tkdc
+
+#endif  // TKDC_KDE_CORESET_H_

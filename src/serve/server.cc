@@ -311,10 +311,50 @@ void Server::Dispatch(Request request,
            << ",\"overlay_inserted\":" << overlay.inserted
            << ",\"overlay_tombstones\":" << overlay.tombstones
            << ",\"last_rebuild_unix_ms\":" << model->last_rebuild_ms;
+      const auto budget_json = [&json](const ErrorBudget& budget,
+                                       const CoresetInfo& coreset,
+                                       uint64_t points) {
+        json << ",\"error_budget\":{\"total\":" << budget.total
+             << ",\"traversal\":" << budget.traversal
+             << ",\"coreset\":" << budget.coreset
+             << ",\"fast_math\":" << budget.fast_math << "}"
+             << ",\"coreset\":{\"enabled\":"
+             << (coreset.enabled ? "true" : "false")
+             << ",\"points\":" << points
+             << ",\"original_points\":" << coreset.original_size
+             << ",\"compression_ratio\":" << coreset.CompressionRatio(points)
+             << ",\"achieved_error\":" << coreset.achieved_error
+             << ",\"halvings\":" << coreset.halvings << "}";
+      };
+      double coreset_band = 0.0;
       if (model->classifier != nullptr) {
         json << ",\"trained_threshold\":" << model->classifier->threshold();
+        if (const auto* tkdc_classifier = dynamic_cast<const TkdcClassifier*>(
+                model->classifier.get())) {
+          const CoresetInfo& coreset = tkdc_classifier->coreset_info();
+          budget_json(tkdc_classifier->error_budget(), coreset,
+                      tkdc_classifier->training_size());
+          if (coreset.enabled) {
+            coreset_band = tkdc_classifier->error_budget().coreset;
+          }
+        }
       } else {
-        json << ",\"classes\":" << model->mc_classifier->num_classes();
+        const MultiClassClassifier& mc = *model->mc_classifier;
+        json << ",\"classes\":" << mc.num_classes();
+        // Aggregate across classes: summed point counts, and compression
+        // counts as engaged if any class compressed.
+        CoresetInfo merged;
+        uint64_t points = 0;
+        for (size_t c = 0; c < mc.num_classes(); ++c) {
+          const CoresetInfo& part = mc.class_part(c).coreset_info();
+          merged.enabled = merged.enabled || part.enabled;
+          merged.original_size += part.original_size;
+          merged.achieved_error =
+              std::max(merged.achieved_error, part.achieved_error);
+          merged.halvings = std::max(merged.halvings, part.halvings);
+          points += mc.class_part(c).training_size();
+        }
+        budget_json(mc.config().ResolveBudget(), merged, points);
       }
       if (model->estimator != nullptr) {
         const double n_eff = static_cast<double>(base_n) +
@@ -322,8 +362,12 @@ void Server::Dispatch(Request request,
                              static_cast<double>(overlay.tombstones);
         const double staleness =
             n_eff > 0.0 ? static_cast<double>(overlay.size()) / n_eff : 0.0;
+        // A compressed model's densities (and so the reservoir feeding the
+        // online estimator) deviate from the exact KDE by up to the coreset
+        // share; widen the published band by it so the interval still
+        // covers the exact-KDE threshold.
         const OnlineThresholdEstimator::Band band =
-            model->estimator->Estimate(staleness);
+            model->estimator->Estimate(staleness, coreset_band);
         json << ",\"online_threshold\":" << band.threshold
              << ",\"online_threshold_lower\":" << band.lower
              << ",\"online_threshold_upper\":" << band.upper

@@ -7,6 +7,7 @@
 #include "common/macros.h"
 #include "common/stats.h"
 #include "kde/bandwidth.h"
+#include "kde/coreset.h"
 
 namespace tkdc {
 namespace {
@@ -29,8 +30,11 @@ std::vector<double> TkdcClassifier::ComputeTrainingDensities(
   // traversal bounds *raw* densities; the engine shifts by K(0)/n to
   // compare in the same space, but keeps the tolerance target at eps * lo
   // so corrected densities near the threshold are resolved to eps * t.
-  const double grid_cut = hi * (1.0 + config_.epsilon);
-  const double tolerance = config_.epsilon * lo;
+  // eps is the traversal share of the error budget — the band the pruning
+  // rules may spend after compression took its cut.
+  const double eps = engine_.model().budget.traversal;
+  const double grid_cut = hi * (1.0 + eps);
+  const double tolerance = eps * lo;
   std::vector<double> densities(data.size());
   // Each row's density depends only on the row itself, so the values are
   // bit-identical to a serial loop's; the executor merges the per-worker
@@ -50,14 +54,37 @@ std::vector<double> TkdcClassifier::ComputeTrainingDensities(
 
 void TkdcClassifier::Train(const Dataset& data) {
   TKDC_CHECK_MSG(data.size() >= 2, "training set needs at least 2 points");
-  auto model = BuildTkdcModelSkeleton(
-      config_, data,
-      SelectBandwidths(config_.bandwidth_rule, data,
-                       config_.bandwidth_scale));
+  // Bandwidths come from the FULL training set: Scott's rule depends on n
+  // and the column spreads, so selecting them before compression makes the
+  // compressed KDE approximate the same kernel density the uncompressed
+  // model evaluates (the coreset guarantee is stated against that density).
+  std::vector<double> bandwidths = SelectBandwidths(
+      config_.bandwidth_rule, data, config_.bandwidth_scale);
+
+  // Phase 0: epsilon-coreset compression on the budget's coreset share
+  // (kde/coreset.h). Everything downstream — index build, bootstrap,
+  // training densities, threshold — consumes the compressed set unchanged.
+  const ErrorBudget budget = config_.ResolveBudget();
+  CoresetResult compressed;
+  const Dataset* train_data = &data;
+  if (budget.coreset > 0.0) {
+    const Kernel coreset_kernel(config_.kernel, bandwidths);
+    CoresetOptions coreset_options;
+    coreset_options.epsilon = budget.coreset;
+    coreset_options.reference_quantile = config_.p;
+    coreset_options.seed = config_.seed;
+    compressed = BuildKdeCoreset(data, coreset_kernel, coreset_options);
+    if (compressed.info.enabled) train_data = &compressed.points;
+  }
+
+  auto model =
+      BuildTkdcModelSkeleton(config_, *train_data, std::move(bandwidths));
+  if (compressed.info.enabled) model->coreset = compressed.info;
 
   // Phase 1 (Algorithm 3): coarse probabilistic bounds on t(p).
   ThresholdEstimator estimator(&model->config);
-  model->bootstrap = estimator.Bootstrap(data, *model->tree, *model->kernel);
+  model->bootstrap =
+      estimator.Bootstrap(*train_data, *model->tree, *model->kernel);
   model->threshold_lower = model->bootstrap.lower;
   model->threshold_upper = model->bootstrap.upper;
 
@@ -72,14 +99,16 @@ void TkdcClassifier::Train(const Dataset& data) {
   double lo = model->threshold_lower;
   double hi = model->threshold_upper;
   for (int attempt = 0;; ++attempt) {
-    model->training_densities = ComputeTrainingDensities(data, lo, hi, phase3);
+    model->training_densities =
+        ComputeTrainingDensities(*train_data, lo, hi, phase3);
     model->threshold = Quantile(model->training_densities, config_.p);
     // Detection step of Section 3.6: with probability >= 1 - delta the
     // quantile lands inside the bootstrap bounds. If it does not, the
-    // bounds were invalid; widen and recompute.
+    // bounds were invalid; widen and recompute. The band is the traversal
+    // share — what the density pass above was actually allowed to spend.
     const bool valid =
-        model->threshold >= lo * (1.0 - config_.epsilon) &&
-        model->threshold <= hi * (1.0 + config_.epsilon);
+        model->threshold >= lo * (1.0 - budget.traversal) &&
+        model->threshold <= hi * (1.0 + budget.traversal);
     if (valid || attempt >= kMaxThresholdRetries) break;
     lo /= config_.h_backoff;
     hi *= config_.h_backoff;
@@ -157,7 +186,8 @@ void TkdcClassifier::Restore(const Dataset& data,
                              double threshold_lower, double threshold_upper,
                              double threshold,
                              std::vector<double> training_densities,
-                             std::unique_ptr<const SpatialIndex> prebuilt_index) {
+                             std::unique_ptr<const SpatialIndex> prebuilt_index,
+                             CoresetInfo coreset) {
   TKDC_CHECK(data.size() >= 2);
   TKDC_CHECK(bandwidths.size() == data.dims());
   TKDC_CHECK(training_densities.empty() ||
@@ -165,6 +195,10 @@ void TkdcClassifier::Restore(const Dataset& data,
   TKDC_CHECK(threshold_lower >= 0.0 && threshold_upper >= threshold_lower);
   auto model = BuildTkdcModelSkeleton(config_, data, bandwidths,
                                       std::move(prebuilt_index));
+  if (coreset.enabled) {
+    TKDC_CHECK(coreset.original_size >= data.size());
+    model->coreset = coreset;
+  }
   model->threshold_lower = threshold_lower;
   model->threshold_upper = threshold_upper;
   model->threshold = threshold;

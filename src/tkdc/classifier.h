@@ -100,6 +100,14 @@ class TkdcClassifier : public DensityClassifier {
   /// Bootstrap diagnostics.
   const ThresholdBootstrapResult& bootstrap_result() const;
 
+  /// Compression metadata of the trained model (enabled == false when the
+  /// model holds the full training set); only valid after Train().
+  const CoresetInfo& coreset_info() const { return model_->coreset; }
+
+  /// The resolved error budget frozen into the model; only valid after
+  /// Train().
+  const ErrorBudget& error_budget() const { return model_->budget; }
+
   // --- Work accounting -------------------------------------------------
   // Traversal work is kept in three disjoint buckets so totals can never
   // double count:
@@ -131,11 +139,14 @@ class TkdcClassifier : public DensityClassifier {
   /// carried a serialized index (model format v3) — and installs the given
   /// kernel bandwidths and thresholds. Used by model deserialization
   /// (tkdc/model_io.h). The vectors must be consistent with `data`
-  /// (bandwidths per dimension; densities per row, or empty).
+  /// (bandwidths per dimension; densities per row, or empty). `coreset`
+  /// (model format v6) restores the compression metadata when `data` is a
+  /// serialized coreset; the default means "data is the full training set".
   void Restore(const Dataset& data, const std::vector<double>& bandwidths,
                double threshold_lower, double threshold_upper,
                double threshold, std::vector<double> training_densities,
-               std::unique_ptr<const SpatialIndex> prebuilt_index = nullptr);
+               std::unique_ptr<const SpatialIndex> prebuilt_index = nullptr,
+               CoresetInfo coreset = CoresetInfo());
 
  private:
   // The dual-tree batch classifier reuses this classifier's engine,

@@ -10,6 +10,11 @@ namespace tkdc {
 Status TkdcConfig::Validate() const {
   if (!(p > 0.0 && p < 1.0)) return Status::Error("p must be in (0, 1)");
   if (!(epsilon > 0.0)) return Status::Error("epsilon must be positive");
+  if (const Result<ErrorBudget> budget =
+          ResolveErrorBudget(epsilon, coreset_epsilon, fast_math_leaf);
+      !budget.ok()) {
+    return budget.status();
+  }
   if (!(delta > 0.0 && delta < 1.0)) {
     return Status::Error("delta must be in (0, 1)");
   }
@@ -39,6 +44,13 @@ IndexOptions TkdcConfig::MakeIndexOptions(std::vector<double> scale) const {
   options.backend = index_backend;
   options.scale = std::move(scale);
   return options;
+}
+
+ErrorBudget TkdcConfig::ResolveBudget() const {
+  Result<ErrorBudget> budget =
+      ResolveErrorBudget(epsilon, coreset_epsilon, fast_math_leaf);
+  TKDC_CHECK_MSG(budget.ok(), budget.message().c_str());
+  return budget.take();
 }
 
 size_t TkdcConfig::ResolvedNumThreads() const {

@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "index/index_backend.h"
+#include "tkdc/error_budget.h"
 #include "index/spatial_index.h"
 #include "index/split_rule.h"
 #include "kde/bandwidth.h"
@@ -24,6 +25,12 @@ struct TkdcConfig {
   double p = 0.01;
   /// Multiplicative error tolerance epsilon of Problem 1.
   double epsilon = 0.01;
+  /// Share of epsilon handed to epsilon-coreset model compression
+  /// (kde/coreset.h): training compresses the training set until the
+  /// compressed KDE's deviation stays within this band, and the pruning
+  /// rules spend only the remaining traversal share (tkdc/error_budget.h).
+  /// 0 disables compression; must stay strictly below epsilon.
+  double coreset_epsilon = 0.0;
   /// Failure probability delta of the threshold bootstrap.
   double delta = 0.01;
   /// Bandwidth scale factor b of Eq. 4.
@@ -105,6 +112,12 @@ struct TkdcConfig {
 
   /// `num_threads` with 0 resolved to the hardware concurrency.
   size_t ResolvedNumThreads() const;
+
+  /// The resolved error-budget decomposition of epsilon (traversal /
+  /// coreset / fast-math shares). Resolution is deterministic, so every
+  /// call returns the same decomposition Validate() certified; CHECK-fails
+  /// on an invalid config (callers have already validated).
+  ErrorBudget ResolveBudget() const;
 
   /// One-line human-readable summary of the switch settings.
   std::string OptimizationSummary() const;

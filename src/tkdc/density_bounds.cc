@@ -41,6 +41,7 @@ DensityBoundEvaluator::DensityBoundEvaluator(const SpatialIndex* tree,
       fast_math_(config->fast_math_leaf) {
   TKDC_CHECK(tree != nullptr && kernel != nullptr && config != nullptr);
   TKDC_CHECK(tree->dims() == kernel->dims());
+  eps_traversal_ = config->ResolveBudget().traversal;
   inv_n_ = 1.0 / static_cast<double>(tree->size());
 }
 
@@ -111,7 +112,7 @@ DensityBounds DensityBoundEvaluator::BoundDensityForBox(
   }
   std::make_heap(queue.begin(), queue.end());
 
-  const double eps = config_->epsilon;
+  const double eps = eps_traversal_;
   const double high_cut = t_hi * (1.0 + eps);
   const double low_cut = t_lo * (1.0 - eps);
   if (tolerance < 0.0) tolerance = eps * t_lo;
@@ -197,7 +198,7 @@ DensityBounds DensityBoundEvaluator::BoundDensityAffine(
     double offset, double t_lo, double t_hi, double tolerance) const {
   TKDC_DCHECK(scale > 0.0);
   TKDC_DCHECK(tolerance >= 0.0);
-  const double eps = config_->epsilon;
+  const double eps = eps_traversal_;
   const double inv_scale = 1.0 / scale;
   // Base-space thresholds chosen so the traversal's g-space rules match:
   //   scale * f_lo + offset > t_hi * (1 + eps)
@@ -363,7 +364,7 @@ DensityBounds DensityBoundEvaluator::RunPointTraversal(
     TreeQueryContext& ctx, std::span<const double> x, double t_lo, double t_hi,
     double tolerance, double f_lo, double f_hi) const {
   auto& queue = ctx.queue;
-  const double eps = config_->epsilon;
+  const double eps = eps_traversal_;
   const double high_cut = t_hi * (1.0 + eps);  // Threshold rule, Eq. 9.
   const double low_cut = t_lo * (1.0 - eps);
   if (tolerance < 0.0) tolerance = eps * t_lo;  // Tolerance rule, Eq. 8.

@@ -220,6 +220,10 @@ class DensityBoundEvaluator {
   const SpatialIndex* tree_ = nullptr;
   const Kernel* kernel_ = nullptr;
   const TkdcConfig* config_ = nullptr;
+  // Traversal share of the resolved error budget (tkdc/error_budget.h):
+  // the epsilon the pruning rules are allowed to spend. Equals
+  // config->epsilon when compression and fast-math are off.
+  double eps_traversal_ = 0.0;
   double inv_n_ = 0.0;
   // Hot-loop dispatch hoisted once (see Kernel::scaled_profile()).
   Kernel::ScaledProfileFn profile_ = nullptr;

@@ -34,8 +34,10 @@ std::vector<Classification> DualTreeClassifier::ClassifyBatch(
   const double t = model.threshold;
   const double self = training_points ? model.self_contribution : 0.0;
   const double shifted = t + self;
-  const double tolerance = config.epsilon * t;
-  const double eps = config.epsilon;
+  // The dual-tree probes spend the model's frozen traversal share, exactly
+  // like the per-point traversals they replace.
+  const double tolerance = model.budget.traversal * t;
+  const double eps = model.budget.traversal;
   const DensityBoundEvaluator& evaluator = classifier_->engine_.evaluator();
   // The whole batch runs through one local context; its counters become
   // this batch's stats and are folded back into the classifier afterwards.

@@ -1,0 +1,67 @@
+#include "tkdc/error_budget.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace tkdc {
+
+Status ErrorBudget::Validate() const {
+  const auto finite_nonneg = [](double v) {
+    return std::isfinite(v) && v >= 0.0;
+  };
+  if (!finite_nonneg(total) || !finite_nonneg(traversal) ||
+      !finite_nonneg(coreset) || !finite_nonneg(fast_math)) {
+    return Status::Error("error-budget shares must be finite and >= 0");
+  }
+  if (total <= 0.0) return Status::Error("error-budget total must be > 0");
+  if (traversal <= 0.0) {
+    return Status::Error("error-budget traversal share must be > 0");
+  }
+  // Shares are produced by one subtraction from the total, so exact
+  // equality holds for every resolved budget; the tolerance only forgives
+  // benign round-off in hand-built decompositions, never a corrupted one.
+  const double sum = traversal + coreset + fast_math;
+  if (std::abs(sum - total) > 1e-12 * std::max(1.0, total)) {
+    return Status::Error("error-budget shares do not sum to the total");
+  }
+  return Status::Ok();
+}
+
+std::string ErrorBudget::Summary() const {
+  std::ostringstream out;
+  out << "total " << total << " = traversal " << traversal << " + coreset "
+      << coreset << " + fast-math " << fast_math;
+  return out.str();
+}
+
+Result<ErrorBudget> ResolveErrorBudget(double epsilon, double coreset_epsilon,
+                                       bool fast_math_leaf) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Errorf() << "epsilon must be positive";
+  }
+  if (!(coreset_epsilon >= 0.0) || !std::isfinite(coreset_epsilon)) {
+    return Errorf() << "coreset_epsilon must be finite and >= 0";
+  }
+  if (coreset_epsilon >= epsilon) {
+    return Errorf() << "coreset_epsilon (" << coreset_epsilon
+                    << ") must be strictly below epsilon (" << epsilon
+                    << "): the traversal band needs a positive share";
+  }
+  ErrorBudget budget;
+  budget.total = epsilon;
+  budget.coreset = coreset_epsilon;
+  // The fast-math carve-out is capped at half the remaining band so the
+  // traversal share always stays positive, even at pathological epsilons.
+  budget.fast_math =
+      fast_math_leaf
+          ? std::min(kFastMathLeafShare, 0.5 * (epsilon - coreset_epsilon))
+          : 0.0;
+  // One subtraction: with coreset_epsilon == 0 and exact leaf math this is
+  // exactly epsilon, which is what makes the refactor bit-identical for
+  // uncompressed models.
+  budget.traversal = epsilon - coreset_epsilon - budget.fast_math;
+  return budget;
+}
+
+}  // namespace tkdc

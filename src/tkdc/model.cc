@@ -14,6 +14,8 @@ std::shared_ptr<TkdcModel> BuildTkdcModelSkeleton(
   TKDC_CHECK(bandwidths.size() == data.dims());
   auto model = std::make_shared<TkdcModel>();
   model->config = config;
+  model->budget = config.ResolveBudget();
+  model->coreset.original_size = data.size();
   model->kernel =
       std::make_unique<const Kernel>(config.kernel, std::move(bandwidths));
   if (prebuilt_index != nullptr) {

@@ -6,8 +6,10 @@
 
 #include "data/dataset.h"
 #include "index/spatial_index.h"
+#include "kde/coreset.h"
 #include "kde/kernel.h"
 #include "tkdc/config.h"
+#include "tkdc/error_budget.h"
 #include "tkdc/grid_cache.h"
 #include "tkdc/threshold.h"
 
@@ -26,6 +28,13 @@ struct TkdcModel {
   /// this copy, so pruning-rule toggles (and the index backend) are frozen
   /// into the artifact.
   TkdcConfig config;
+  /// The resolved error-budget decomposition of config.epsilon. Frozen at
+  /// build time so every consumer (bounds, engines, serve stats) reads the
+  /// same certified shares instead of re-deriving them from raw doubles.
+  ErrorBudget budget;
+  /// Compression metadata: whether the training set behind `tree` is an
+  /// epsilon-coreset, and how much error the compression spent.
+  CoresetInfo coreset;
   std::unique_ptr<const Kernel> kernel;
   std::unique_ptr<const SpatialIndex> tree;
   /// Null when the grid is disabled or the dimensionality exceeds its cap.

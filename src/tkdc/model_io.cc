@@ -146,6 +146,7 @@ void WriteConfig(Writer& w, const TkdcConfig& config) {
   w.U64(config.seed);
   w.U32(static_cast<uint32_t>(config.index_backend));
   w.U8(config.fast_math_leaf ? 1 : 0);
+  w.F64(config.coreset_epsilon);  // Version 6.
 }
 
 bool ReadConfig(Reader& r, uint32_t version, TkdcConfig* config) {
@@ -166,6 +167,8 @@ bool ReadConfig(Reader& r, uint32_t version, TkdcConfig* config) {
   if (version >= 3 && !r.U32(&index_backend)) return false;
   uint8_t fast_math_leaf = 0;
   if (version >= 4 && !r.U8(&fast_math_leaf)) return false;
+  config->coreset_epsilon = 0.0;  // Pre-v6 files never compressed.
+  if (version >= 6 && !r.F64(&config->coreset_epsilon)) return false;
   if (kernel > 3 || bandwidth_rule > 1 || split_rule > 2 || axis_rule > 1 ||
       index_backend > 1 || leaf_size == 0) {
     return false;
@@ -184,7 +187,11 @@ bool ReadConfig(Reader& r, uint32_t version, TkdcConfig* config) {
   config->r0 = r0;
   config->s0 = s0;
   config->seed = seed;
-  return true;
+  // Full range validation (rates, growth factors, and the error-budget
+  // decomposition — a negative or over-epsilon coreset share must fail the
+  // load, not abort in a CHECK downstream). Every legitimately saved model
+  // passes: training validated the same config.
+  return config->Validate().ok();
 }
 
 bool ValidRate(double p) { return p > 0.0 && p < 1.0; }
@@ -510,6 +517,20 @@ void WriteTkdcSection(Writer& w, const TkdcClassifier& c,
   }
   w.DoubleVec(training_data.values());
   WriteIndexSection(w, c.tree());
+  // Version-6 trailer: the resolved error-budget table and the coreset
+  // metadata. The budget is derived state (the reader re-resolves it from
+  // the config and demands exact agreement), stored so the breakdown is
+  // inspectable without executing any tkdc code.
+  const ErrorBudget& budget = c.error_budget();
+  w.F64(budget.total);
+  w.F64(budget.traversal);
+  w.F64(budget.coreset);
+  w.F64(budget.fast_math);
+  const CoresetInfo& coreset = c.coreset_info();
+  w.U8(coreset.enabled ? 1 : 0);
+  w.U64(coreset.original_size);
+  w.F64(coreset.achieved_error);
+  w.U32(coreset.halvings);
 }
 
 std::unique_ptr<TkdcClassifier> ReadTkdcSection(Reader& r, uint32_t version,
@@ -568,11 +589,56 @@ std::unique_ptr<TkdcClassifier> ReadTkdcSection(Reader& r, uint32_t version,
       return nullptr;
     }
   }
+  CoresetInfo coreset;
+  if (version >= 6) {
+    ErrorBudget budget;
+    uint8_t enabled = 0;
+    uint32_t halvings = 0;
+    if (!r.F64(&budget.total) || !r.F64(&budget.traversal) ||
+        !r.F64(&budget.coreset) || !r.F64(&budget.fast_math) ||
+        !r.U8(&enabled) || !r.U64(&coreset.original_size) ||
+        !r.F64(&coreset.achieved_error) || !r.U32(&halvings)) {
+      *error = path + ": truncated budget/coreset trailer";
+      return nullptr;
+    }
+    coreset.enabled = enabled != 0;
+    coreset.halvings = halvings;
+    // The shares are derived from the config, so the table must agree with
+    // the config's own resolution bit-for-bit; any checksum-fixed edit of
+    // a share (negative, non-summing, reshuffled) fails here. ReadConfig
+    // already validated the config, so ResolveBudget cannot CHECK-fail.
+    const ErrorBudget resolved = config.ResolveBudget();
+    if (!budget.Validate().ok() || budget.total != resolved.total ||
+        budget.traversal != resolved.traversal ||
+        budget.coreset != resolved.coreset ||
+        budget.fast_math != resolved.fast_math) {
+      *error = path + ": error-budget table does not match the config";
+      return nullptr;
+    }
+    if (coreset.enabled) {
+      // The serialized training data IS the coreset: a compressed model
+      // must claim an original set at least as large, with a finite spent
+      // error and at least one halving behind the size reduction.
+      if (coreset.original_size < n ||
+          !std::isfinite(coreset.achieved_error) ||
+          coreset.achieved_error < 0.0 || coreset.halvings == 0) {
+        *error = path + ": corrupt coreset metadata";
+        return nullptr;
+      }
+    } else if (coreset.original_size != n || coreset.achieved_error != 0.0 ||
+               coreset.halvings != 0) {
+      *error = path + ": corrupt coreset metadata";
+      return nullptr;
+    }
+  } else {
+    coreset.original_size = n;
+  }
   std::unique_ptr<TkdcClassifier> classifier =
       nocut ? std::make_unique<NocutClassifier>(config)
             : std::make_unique<TkdcClassifier>(config);
   classifier->Restore(data, bandwidths, threshold_lower, threshold_upper,
-                      threshold, std::move(densities), std::move(index));
+                      threshold, std::move(densities), std::move(index),
+                      coreset);
   return classifier;
 }
 
@@ -988,11 +1054,20 @@ bool SaveModel(const std::string& path, const DensityClassifier& classifier,
     case kTagTkdc:
     case kTagNocut: {
       const auto& c = dynamic_cast<const TkdcClassifier&>(classifier);
-      if (c.tree().size() != training_data.size()) {
+      // A compressed model serializes its coreset, not the original rows
+      // the caller trained with: the index, grid, and SoA rebuild all
+      // derive from the coreset, and the original set is gone by design.
+      Dataset coreset(training_data.dims());
+      const Dataset* rows = &training_data;
+      if (c.coreset_info().enabled && training_data.size() != c.tree().size()) {
+        TKDC_CHECK(c.ExportTrainingData(&coreset));
+        rows = &coreset;
+      }
+      if (c.tree().size() != rows->size()) {
         *error = "training_data does not match the classifier's index";
         return false;
       }
-      WriteTkdcSection(w, c, training_data, include_densities);
+      WriteTkdcSection(w, c, *rows, include_densities);
       break;
     }
     case kTagSimple: {

@@ -91,7 +91,16 @@ ModelKind ProbeModelKind(const std::string& path, std::string* error);
 /// Version 5 adds the multi-class container tag (7); single-class
 /// sections are unchanged, so a version-5 single-class file is readable
 /// by any version-4-era section logic and all older files still load.
-inline constexpr uint32_t kModelFormatVersion = 5;
+/// Version 6 adds the coreset_epsilon config field and, to the tkdc/nocut
+/// sections (including those nested in a multi-class container), a trailer
+/// holding the resolved error-budget table and the coreset metadata
+/// (enabled flag, original training-set size, achieved error, halvings).
+/// The serialized training data of a compressed model IS the coreset, so
+/// every older structure (index, grid, SoA rebuild) loads unchanged; the
+/// budget table is validated against the config's own resolution, making a
+/// checksum-fixed corruption of any share a clean load error. v1-v5 files
+/// still load (coreset_epsilon = 0, uncompressed metadata).
+inline constexpr uint32_t kModelFormatVersion = 6;
 
 }  // namespace tkdc
 

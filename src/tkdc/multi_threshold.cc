@@ -13,6 +13,7 @@ MultiThresholdClassifier::MultiThresholdClassifier(TkdcConfig config,
                                                    std::vector<double> levels)
     : config_(std::move(config)), levels_(std::move(levels)) {
   config_.CheckValid();
+  eps_traversal_ = config_.ResolveBudget().traversal;
   TKDC_CHECK_MSG(!levels_.empty(), "need at least one level");
   for (size_t i = 0; i < levels_.size(); ++i) {
     TKDC_CHECK_MSG(levels_[i] > 0.0 && levels_[i] < 1.0,
@@ -64,9 +65,10 @@ void MultiThresholdClassifier::Train(const Dataset& data) {
     grid_ = std::make_unique<GridCache>(data, *kernel_);
   }
 
-  // One training-density pass under the widened band serves every level.
-  const double tolerance = config_.epsilon * lo;
-  const double grid_cut = hi * (1.0 + config_.epsilon);
+  // One training-density pass under the widened band serves every level;
+  // the pass spends the budget's traversal share, like every traversal.
+  const double tolerance = eps_traversal_ * lo;
+  const double grid_cut = hi * (1.0 + eps_traversal_);
   std::vector<double> densities;
   densities.reserve(data.size());
   for (size_t i = 0; i < data.size(); ++i) {
@@ -118,7 +120,7 @@ size_t MultiThresholdClassifier::BandImpl(std::span<const double> x,
     const double t_lo = thresholds_[band_lo];
     const double t_hi = thresholds_[band_hi - 1];
     const DensityBounds bounds = evaluator_.BoundDensity(
-        ctx_, x, t_lo + shift, t_hi + shift, config_.epsilon * t_hi);
+        ctx_, x, t_lo + shift, t_hi + shift, eps_traversal_ * t_hi);
     // Every pass's bounds contain the true density, so the true band lies
     // in the intersection of the ranges; clamping keeps narrowing
     // monotone even though a later (more aggressively pruned) pass can

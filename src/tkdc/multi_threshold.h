@@ -65,6 +65,8 @@ class MultiThresholdClassifier {
   size_t BandImpl(std::span<const double> x, double shift);
 
   TkdcConfig config_;
+  /// Traversal share of the resolved error budget; frozen at construction.
+  double eps_traversal_ = 0.0;
   std::vector<double> levels_;
   std::unique_ptr<Kernel> kernel_;
   std::unique_ptr<const SpatialIndex> tree_;

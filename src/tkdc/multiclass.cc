@@ -183,6 +183,9 @@ void MultiClassClassifier::InstallParts(
   parts_ = std::move(parts);
   labels_ = std::move(labels);
   priors_ = std::move(priors);
+  // Freeze the error budget once: the cross-class loop reads its traversal
+  // share every query, and per-query resolution would be pure overhead.
+  budget_ = config_.ResolveBudget();
   evaluators_.clear();
   evaluators_.reserve(parts_.size());
   for (const auto& part : parts_) {
@@ -241,7 +244,7 @@ uint32_t MultiClassClassifier::ClassifyImpl(
     drained[c] = 0;
   }
   size_t alive_count = k;
-  const double eps = config_.epsilon;
+  const double eps = budget_.traversal;
   uint32_t rounds = 0;
   uint32_t winner = 0;
   McDecision decision = McDecision::kNone;
@@ -319,14 +322,14 @@ uint32_t MultiClassClassifier::ClassifyImpl(
       break;
     }
 
-    // Refinement round. The epsilon budget is split across the m survivors:
-    // a class whose posterior width is already below its eps/m share of the
-    // leader's lower bound yields its turn — once every survivor meets its
-    // share, sum(widths) <= eps * best_lo and the convergence rule above is
-    // guaranteed to fire, so the split can never stall the loop.
+    // Refinement round. The traversal share is split across the m
+    // survivors: a class whose posterior width is already below its eps/m
+    // share of the leader's lower bound yields its turn — once every
+    // survivor meets its share, sum(widths) <= eps * best_lo and the
+    // convergence rule above is guaranteed to fire, so the split can never
+    // stall the loop.
     ++rounds;
-    const double share =
-        best_lo * eps / static_cast<double>(alive_count);
+    const double share = budget_.SurvivorShare(best_lo, alive_count);
     auto refine = [&](size_t c) {
       bounds[c] = evaluators_[c].RefinePointBounds(*ctx.class_contexts[c], x,
                                                    bounds[c], kRoundBudget);

@@ -256,6 +256,9 @@ class MultiClassClassifier {
   }
 
   TkdcConfig config_;
+  /// Resolved error budget, frozen by InstallParts (the cross-class loop
+  /// reads the traversal share on every query).
+  ErrorBudget budget_;
   std::vector<std::unique_ptr<TkdcClassifier>> parts_;
   std::vector<std::string> labels_;
   std::vector<double> priors_;

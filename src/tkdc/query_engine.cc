@@ -42,7 +42,7 @@ Classification TkdcQueryEngine::Classify(TreeQueryContext& ctx,
   }
   const DensityBounds bounds =
       training ? evaluator_.BoundDensity(ctx, x, cut, cut,
-                                         m.config.epsilon * m.threshold)
+                                         m.budget.traversal * m.threshold)
                : evaluator_.BoundDensity(ctx, x, cut, cut);
   return bounds.Midpoint() > cut ? Classification::kHigh
                                  : Classification::kLow;
@@ -101,7 +101,7 @@ Classification TkdcQueryEngine::ClassifyOverlay(TreeQueryContext& ctx,
   // the base path's guarantee for both fresh and training points.
   const DensityBounds bounds = evaluator_.BoundDensityAffine(
       ctx, x, fold.scale, fold.offset, cut, cut,
-      m.config.epsilon * m.threshold);
+      m.budget.traversal * m.threshold);
   return bounds.Midpoint() > cut ? Classification::kHigh
                                  : Classification::kLow;
 }
@@ -115,7 +115,7 @@ double TkdcQueryEngine::EstimateDensityOverlay(TreeQueryContext& ctx,
   const OverlayContribution fold = FoldOverlay(ctx, m, x, overlay);
   return evaluator_
       .BoundDensityAffine(ctx, x, fold.scale, fold.offset, m.threshold,
-                          m.threshold, m.config.epsilon * m.threshold)
+                          m.threshold, m.budget.traversal * m.threshold)
       .Midpoint();
 }
 

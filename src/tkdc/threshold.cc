@@ -32,6 +32,9 @@ ThresholdBootstrapResult ThresholdEstimator::Bootstrap(
   TKDC_CHECK(n >= 2);
   TKDC_CHECK(full_tree.size() == n);
   Rng rng(config_->seed * 0x2545f4914f6cdd1dULL + 1);
+  // The bootstrap's traversals spend the traversal share of the error
+  // budget, matching the evaluator's pruning band.
+  const double eps_traversal = config_->ResolveBudget().traversal;
 
   ThresholdBootstrapResult result;
   double t_lo = 0.0;
@@ -77,7 +80,7 @@ ThresholdBootstrapResult ThresholdEstimator::Bootstrap(
     // t_lo/t_hi live in self-corrected space; the traversal bounds raw
     // densities, so shift by the subsample's self-contribution and keep
     // the tolerance at eps * t_lo in corrected units.
-    const double tolerance = config_->epsilon * t_lo;
+    const double tolerance = eps_traversal * t_lo;
     for (size_t row : query_rows) {
       const DensityBounds bounds = evaluator.BoundDensity(
           ctx, train->Row(row), t_lo + self_contribution,
@@ -175,7 +178,7 @@ void OnlineThresholdEstimator::Observe(double density) {
 }
 
 OnlineThresholdEstimator::Band OnlineThresholdEstimator::Estimate(
-    double staleness_fraction) const {
+    double staleness_fraction, double extra_relative_band) const {
   std::vector<double> sorted;
   Band band;
   {
@@ -202,11 +205,15 @@ OnlineThresholdEstimator::Band OnlineThresholdEstimator::Estimate(
   band.lower = sorted[static_cast<size_t>(ci.lower) - 1];
   band.upper = sorted[static_cast<size_t>(ci.upper) - 1];
 
-  // The rank CI covers reservoir sampling error only; drift contributed by
-  // the un-rebuilt overlay is unmodeled, so widen by its fraction.
-  if (staleness_fraction > 0.0) {
-    band.lower *= std::max(0.0, 1.0 - staleness_fraction);
-    band.upper *= 1.0 + staleness_fraction;
+  // The rank CI covers reservoir sampling error only. Two unmodeled error
+  // sources widen it multiplicatively: drift contributed by the un-rebuilt
+  // overlay (staleness), and — for compressed models — the coreset share
+  // of the error budget, since the reservoir holds compressed densities.
+  const double widen =
+      std::max(0.0, staleness_fraction) + std::max(0.0, extra_relative_band);
+  if (widen > 0.0) {
+    band.lower *= std::max(0.0, 1.0 - widen);
+    band.upper *= 1.0 + widen;
   }
   return band;
 }

@@ -101,9 +101,13 @@ class OnlineThresholdEstimator {
   void Observe(double density);
 
   /// Current estimate; `staleness_fraction` (overlay size / n_eff) widens
-  /// the band beyond the binomial rank CI. Returns a zero Band when the
-  /// reservoir is empty.
-  Band Estimate(double staleness_fraction = 0.0) const;
+  /// the band beyond the binomial rank CI, and `extra_relative_band` widens
+  /// it by an additional multiplicative fraction — the serving path passes
+  /// the model's coreset share (tkdc/error_budget.h) so the online band
+  /// also covers the compression's density deviation. Returns a zero Band
+  /// when the reservoir is empty.
+  Band Estimate(double staleness_fraction = 0.0,
+                double extra_relative_band = 0.0) const;
 
   size_t capacity() const { return capacity_; }
 

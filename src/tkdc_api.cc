@@ -148,11 +148,19 @@ std::string DescribeMultiClass(const MultiClassClassifier& classifier) {
     out << "  index backend:   " << IndexBackendName(*backend) << "\n";
   }
   out << "  p:               " << classifier.config().p << "\n"
-      << "  epsilon:         " << classifier.config().epsilon << "\n";
+      << "  epsilon:         " << classifier.config().epsilon << "\n"
+      << "  error budget:    "
+      << classifier.config().ResolveBudget().Summary() << "\n";
   for (size_t c = 0; c < classifier.num_classes(); ++c) {
+    const TkdcClassifier& part = classifier.class_part(c);
+    const CoresetInfo& coreset = part.coreset_info();
     out << "  class " << classifier.class_labels()[c] << ": prior "
-        << classifier.priors()[c] << ", "
-        << classifier.class_part(c).training_size() << " training points\n";
+        << classifier.priors()[c] << ", " << part.training_size()
+        << " training points";
+    if (coreset.enabled) {
+      out << " (coreset of " << coreset.original_size << ")";
+    }
+    out << "\n";
   }
   return out.str();
 }
@@ -215,10 +223,22 @@ std::string Describe(const DensityClassifier& classifier) {
   if (const auto* tkdc_classifier =
           dynamic_cast<const TkdcClassifier*>(&classifier)) {
     const TkdcConfig& config = tkdc_classifier->config();
-    out << "  training points: " << tkdc_classifier->tree().size() << "\n"
+    const CoresetInfo& coreset = tkdc_classifier->coreset_info();
+    const size_t points = tkdc_classifier->tree().size();
+    out << "  training points: " << points << "\n"
         << "  p:               " << config.p << "\n"
         << "  epsilon:         " << config.epsilon << "\n"
-        << "  threshold bound: [" << tkdc_classifier->threshold_lower() << ", "
+        << "  error budget:    " << tkdc_classifier->error_budget().Summary()
+        << "\n";
+    if (coreset.enabled) {
+      out << "  coreset:         " << points << " of " << coreset.original_size
+          << " points (" << coreset.CompressionRatio(points) << "x, "
+          << coreset.halvings << " halvings, est err "
+          << coreset.achieved_error << ")\n";
+    } else {
+      out << "  coreset:         disabled (full training set)\n";
+    }
+    out << "  threshold bound: [" << tkdc_classifier->threshold_lower() << ", "
         << tkdc_classifier->threshold_upper() << "]\n"
         << "  optimizations:   " << config.OptimizationSummary() << "\n"
         << "  cached Dx:       "

@@ -1,0 +1,161 @@
+#include "tkdc/error_budget.h"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "tkdc/classifier.h"
+#include "tkdc/config.h"
+#include "tkdc_api.h"
+
+namespace tkdc {
+namespace {
+
+TEST(BudgetTest, ResolvesTheRawEpsilonWhenNothingElseSpends) {
+  // The bit-identity guarantee of the refactor: with compression disabled
+  // and exact leaf math, the traversal share IS the config epsilon — not
+  // merely close to it.
+  for (const double epsilon : {1e-6, 1e-4, 0.01, 0.1, 0.6, 2.0}) {
+    const auto budget = ResolveErrorBudget(epsilon, 0.0, false);
+    ASSERT_TRUE(budget.ok()) << budget.message();
+    EXPECT_EQ(budget.value().total, epsilon);
+    EXPECT_EQ(budget.value().traversal, epsilon);
+    EXPECT_EQ(budget.value().coreset, 0.0);
+    EXPECT_EQ(budget.value().fast_math, 0.0);
+  }
+}
+
+TEST(BudgetTest, SharesSumToTheConfiguredEpsilon) {
+  for (const double epsilon : {1e-4, 0.01, 0.1, 0.8}) {
+    for (const double coreset_fraction : {0.0, 0.25, 0.5, 0.75}) {
+      for (const bool fast_math : {false, true}) {
+        const double coreset = epsilon * coreset_fraction;
+        const auto budget = ResolveErrorBudget(epsilon, coreset, fast_math);
+        ASSERT_TRUE(budget.ok()) << budget.message();
+        const ErrorBudget& b = budget.value();
+        EXPECT_EQ(b.total, epsilon);
+        EXPECT_EQ(b.coreset, coreset);
+        EXPECT_GT(b.traversal, 0.0);
+        const double sum = b.traversal + b.coreset + b.fast_math;
+        if (fast_math) {
+          // Adding the 1e-12 carve-out back can land one ulp off the
+          // total; Validate()'s round-off tolerance is the contract.
+          EXPECT_NEAR(sum, epsilon, 1e-12 * epsilon);
+        } else {
+          // Without the carve-out the traversal share is one Sterbenz-safe
+          // subtraction, so the sum reconstructs the total exactly.
+          EXPECT_EQ(sum, epsilon);
+        }
+        EXPECT_EQ(b.fast_math == 0.0, !fast_math);
+        EXPECT_TRUE(b.Validate().ok());
+      }
+    }
+  }
+}
+
+TEST(BudgetTest, RejectsSharesTheTraversalCannotSurvive) {
+  EXPECT_FALSE(ResolveErrorBudget(0.01, -0.001, false).ok());
+  EXPECT_FALSE(ResolveErrorBudget(0.01, 0.01, false).ok());   // == epsilon.
+  EXPECT_FALSE(ResolveErrorBudget(0.01, 0.02, false).ok());   // > epsilon.
+  EXPECT_FALSE(
+      ResolveErrorBudget(0.01, std::nan(""), false).ok());
+  EXPECT_FALSE(ResolveErrorBudget(
+                   0.01, std::numeric_limits<double>::infinity(), false)
+                   .ok());
+}
+
+TEST(BudgetTest, ConfigValidationAppliesTheSameRules) {
+  TkdcConfig config;
+  config.epsilon = 0.01;
+  config.coreset_epsilon = 0.005;
+  EXPECT_TRUE(config.Validate().ok());
+  config.coreset_epsilon = 0.01;
+  EXPECT_FALSE(config.Validate().ok());
+  config.coreset_epsilon = -0.5;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(BudgetTest, ValidateRejectsHandCorruptedTables) {
+  ErrorBudget good;
+  good.total = 0.01;
+  good.traversal = 0.0075;
+  good.coreset = 0.0025;
+  ASSERT_TRUE(good.Validate().ok());
+
+  ErrorBudget negative = good;
+  negative.coreset = -0.0025;
+  EXPECT_FALSE(negative.Validate().ok());
+
+  ErrorBudget non_summing = good;
+  non_summing.total = 0.02;
+  EXPECT_FALSE(non_summing.Validate().ok());
+
+  ErrorBudget zero_traversal = good;
+  zero_traversal.traversal = 0.0;
+  zero_traversal.coreset = 0.01;
+  EXPECT_FALSE(zero_traversal.Validate().ok());
+}
+
+TEST(BudgetTest, SurvivorShareScalesWithTraversalAndAlive) {
+  ErrorBudget budget;
+  budget.total = 0.01;
+  budget.traversal = 0.008;
+  budget.coreset = 0.002;
+  EXPECT_DOUBLE_EQ(budget.SurvivorShare(2.0, 4), 2.0 * 0.008 / 4.0);
+  EXPECT_DOUBLE_EQ(budget.SurvivorShare(1.0, 1), 0.008);
+}
+
+/// The conservation property of the ISSUE: for every algorithm and thread
+/// count, training never invents or loses tolerance — the shares of the
+/// model's resolved budget sum to the configured epsilon exactly, and the
+/// trained tkdc-family classifiers carry the identical table the config
+/// resolves on its own.
+TEST(BudgetConservationTest, SharesSumAcrossAlgorithmsAndThreadCounts) {
+  Rng rng(11);
+  const Dataset data = SampleStandardGaussian(600, 2, rng);
+  constexpr double kEpsilon = 0.05;
+  constexpr double kCoresetEpsilon = 0.01;
+
+  for (const std::string& algorithm : api::KnownAlgorithms()) {
+    for (const int threads : {1, 2, 4}) {
+      api::TrainOptions options;
+      options.algorithm = algorithm;
+      options.config.p = 0.05;
+      options.config.seed = 9;
+      options.config.epsilon = kEpsilon;
+      options.config.coreset_epsilon = kCoresetEpsilon;
+      options.config.num_threads = threads;
+      auto trained = api::Train(data, options);
+      ASSERT_TRUE(trained.ok())
+          << algorithm << " x" << threads << ": " << trained.message();
+
+      auto recovered = api::RecoverTrainOptions(*trained.value());
+      ASSERT_TRUE(recovered.ok()) << recovered.message();
+      const ErrorBudget budget = recovered.value().config.ResolveBudget();
+      EXPECT_TRUE(budget.Validate().ok()) << algorithm << " x" << threads;
+      EXPECT_EQ(budget.traversal + budget.coreset + budget.fast_math,
+                budget.total)
+          << algorithm << " x" << threads;
+
+      // The tkdc family carries the resolved table in the model itself;
+      // it must be the same decomposition regardless of thread count.
+      if (const auto* classifier = dynamic_cast<const TkdcClassifier*>(
+              trained.value().get())) {
+        const ErrorBudget& carried = classifier->error_budget();
+        EXPECT_EQ(carried.total, kEpsilon);
+        EXPECT_EQ(carried.coreset, kCoresetEpsilon);
+        EXPECT_EQ(carried.traversal + carried.coreset + carried.fast_math,
+                  kEpsilon)
+            << algorithm << " x" << threads;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tkdc

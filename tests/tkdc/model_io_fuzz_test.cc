@@ -13,8 +13,10 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -168,9 +170,11 @@ TEST_P(ModelIoFuzzTest, TruncationAtEveryRegionIsRejected) {
 // Version-4 descriptor corruption with checksum fixup: the FNV-1a trailer
 // catches blind flips, so this variant recomputes it after altering each
 // SoA descriptor field — the loader must then fall to the semantic check
-// (descriptor vs rebuilt layout), not accept the file. Tree-backed
-// sections end with the index section, so the descriptor is the 24 bytes
-// before the 8-byte checksum.
+// (descriptor vs rebuilt layout), not accept the file. rkde/knn sections
+// end with the index section, so their descriptor is the 24 bytes before
+// the 8-byte checksum; since version 6 the tkdc/nocut sections append a
+// budget/coreset trailer (4 doubles + u8 + u64 + double + u32 = 53 bytes)
+// after the descriptor.
 TEST_P(ModelIoFuzzTest, CorruptedSoaDescriptorWithFixedChecksumIsRejected) {
   const std::string name = GetParam();
   if (name == "simple" || name == "binned") {
@@ -178,12 +182,17 @@ TEST_P(ModelIoFuzzTest, CorruptedSoaDescriptorWithFixedChecksumIsRejected) {
   }
   const std::string path = TempPath("soa.tkdc");
   const std::string pristine = SaveTrainedModel(path);
-  ASSERT_GT(pristine.size(), 40u);
+  ASSERT_GT(pristine.size(), 96u);
+  const size_t budget_trailer =
+      (name == "tkdc" || name == "nocut")
+          ? 4 * sizeof(double) + 1 + sizeof(uint64_t) + sizeof(double) +
+                sizeof(uint32_t)
+          : 0;
   const std::string bad_path = TempPath("soa_bad.tkdc");
   for (int field = 0; field < 3; ++field) {
     std::string corrupted = pristine;
-    const size_t offset =
-        corrupted.size() - 8 - 24 + static_cast<size_t>(field) * 8;
+    const size_t offset = corrupted.size() - 8 - budget_trailer - 24 +
+                          static_cast<size_t>(field) * 8;
     uint64_t value = 0;
     std::memcpy(&value, corrupted.data() + offset, sizeof(value));
     value += 1;  // Off-by-one: the subtlest layout mismatch.
@@ -201,6 +210,155 @@ TEST_P(ModelIoFuzzTest, CorruptedSoaDescriptorWithFixedChecksumIsRejected) {
         << "descriptor field " << field << " accepted";
     EXPECT_NE(error.find("SoA"), std::string::npos)
         << "field " << field << ": " << error;
+  }
+}
+
+// --- Version-6 budget/coreset trailer (tkdc/nocut sections only) ----------
+//
+// Layout after the SoA descriptor: 4 doubles (total, traversal, coreset,
+// fast_math), u8 enabled, u64 original_size, double achieved_error, u32
+// halvings — 53 bytes directly before the 8-byte checksum. The budget is
+// derived state: the loader re-resolves it from the config and demands
+// bit-for-bit agreement, so checksum-fixed edits must die on the semantic
+// check.
+
+constexpr size_t kBudgetTrailerBytes =
+    4 * sizeof(double) + 1 + sizeof(uint64_t) + sizeof(double) +
+    sizeof(uint32_t);
+
+void FixChecksum(std::string* bytes) {
+  uint64_t checksum = 0xcbf29ce484222325ULL;
+  for (size_t i = 8; i < bytes->size() - 8; ++i) {
+    checksum ^= static_cast<unsigned char>((*bytes)[i]);
+    checksum *= 0x100000001b3ULL;
+  }
+  std::memcpy(bytes->data() + bytes->size() - 8, &checksum, sizeof(checksum));
+}
+
+TEST_P(ModelIoFuzzTest, BudgetTableCorruptionWithFixedChecksumIsRejected) {
+  const std::string name = GetParam();
+  if (name != "tkdc" && name != "nocut") {
+    GTEST_SKIP() << name << " sections carry no budget trailer";
+  }
+  const std::string path = TempPath("budget.tkdc");
+  const std::string pristine = SaveTrainedModel(path);
+  ASSERT_GT(pristine.size(), 8 + kBudgetTrailerBytes + 8);
+  const size_t trailer = pristine.size() - 8 - kBudgetTrailerBytes;
+  const std::string bad_path = TempPath("budget_bad.tkdc");
+
+  // Each share in turn: shifted by an exactly-representable amount (a
+  // negative coreset share, an inflated traversal, a non-summing total, a
+  // conjured fast-math carve-out). All must fail the table-vs-config match.
+  const std::vector<std::pair<size_t, double>> edits{
+      {0, 0.125},    // total: no longer the config epsilon.
+      {8, 0.125},    // traversal: shares no longer sum.
+      {16, -0.25},   // coreset: negative share.
+      {24, 0.25},    // fast_math: carve-out the config never enabled.
+  };
+  for (const auto& [field_offset, value] : edits) {
+    std::string corrupted = pristine;
+    double share = 0.0;
+    std::memcpy(&share, corrupted.data() + trailer + field_offset,
+                sizeof(share));
+    share += value;
+    std::memcpy(corrupted.data() + trailer + field_offset, &share,
+                sizeof(share));
+    FixChecksum(&corrupted);
+    WriteBytes(bad_path, corrupted);
+    std::string error;
+    EXPECT_EQ(LoadAnyModel(bad_path, &error), nullptr)
+        << "budget field at +" << field_offset << " accepted";
+    EXPECT_NE(error.find("error-budget table"), std::string::npos)
+        << "field +" << field_offset << ": " << error;
+  }
+}
+
+TEST_P(ModelIoFuzzTest, CoresetMetadataCorruptionWithFixedChecksumIsRejected) {
+  const std::string name = GetParam();
+  if (name != "tkdc" && name != "nocut") {
+    GTEST_SKIP() << name << " sections carry no coreset trailer";
+  }
+  const std::string path = TempPath("coreset.tkdc");
+  const std::string pristine = SaveTrainedModel(path);
+  const size_t trailer = pristine.size() - 8 - kBudgetTrailerBytes;
+  const size_t enabled_at = trailer + 32;
+  const size_t original_size_at = trailer + 33;
+  const size_t achieved_at = trailer + 41;
+  const size_t halvings_at = trailer + 49;
+  const std::string bad_path = TempPath("coreset_bad.tkdc");
+
+  const auto expect_rejected = [&](std::string corrupted,
+                                   const std::string& what) {
+    FixChecksum(&corrupted);
+    WriteBytes(bad_path, corrupted);
+    std::string error;
+    EXPECT_EQ(LoadAnyModel(bad_path, &error), nullptr)
+        << what << " accepted";
+    EXPECT_NE(error.find("corrupt coreset metadata"), std::string::npos)
+        << what << ": " << error;
+  };
+
+  // Claiming compression without any halvings behind it.
+  {
+    std::string corrupted = pristine;
+    corrupted[enabled_at] = 1;
+    expect_rejected(corrupted, "enabled with zero halvings");
+  }
+  // A coreset larger than the set it claims to compress (original < n).
+  {
+    std::string corrupted = pristine;
+    corrupted[enabled_at] = 1;
+    const uint64_t original = kTrainN - 1;
+    const uint32_t halvings = 1;
+    std::memcpy(corrupted.data() + original_size_at, &original,
+                sizeof(original));
+    std::memcpy(corrupted.data() + halvings_at, &halvings, sizeof(halvings));
+    expect_rejected(corrupted, "coreset larger than its original set");
+  }
+  // A non-finite spent error.
+  {
+    std::string corrupted = pristine;
+    corrupted[enabled_at] = 1;
+    const uint64_t original = kTrainN * 2;
+    const uint32_t halvings = 1;
+    const double achieved = std::numeric_limits<double>::quiet_NaN();
+    std::memcpy(corrupted.data() + original_size_at, &original,
+                sizeof(original));
+    std::memcpy(corrupted.data() + halvings_at, &halvings, sizeof(halvings));
+    std::memcpy(corrupted.data() + achieved_at, &achieved, sizeof(achieved));
+    expect_rejected(corrupted, "NaN achieved error");
+  }
+  // An uncompressed model whose original_size disagrees with its points.
+  {
+    std::string corrupted = pristine;
+    const uint64_t original = kTrainN + 1;
+    std::memcpy(corrupted.data() + original_size_at, &original,
+                sizeof(original));
+    expect_rejected(corrupted, "uncompressed original_size mismatch");
+  }
+
+  // Differential guard: a *consistent* compressed claim (original twice
+  // the stored points, one halving, finite error) must still load — the
+  // rejections above are semantic, not a blanket refusal of enabled=1.
+  {
+    std::string corrupted = pristine;
+    corrupted[enabled_at] = 1;
+    const uint64_t original = kTrainN * 2;
+    const uint32_t halvings = 1;
+    const double achieved = 0.125;
+    std::memcpy(corrupted.data() + original_size_at, &original,
+                sizeof(original));
+    std::memcpy(corrupted.data() + halvings_at, &halvings, sizeof(halvings));
+    std::memcpy(corrupted.data() + achieved_at, &achieved, sizeof(achieved));
+    FixChecksum(&corrupted);
+    WriteBytes(bad_path, corrupted);
+    std::string error;
+    std::unique_ptr<DensityClassifier> loaded = LoadAnyModel(bad_path, &error);
+    ASSERT_NE(loaded, nullptr) << error;
+    const auto* tkdc_loaded = dynamic_cast<const TkdcClassifier*>(loaded.get());
+    ASSERT_NE(tkdc_loaded, nullptr);
+    EXPECT_TRUE(tkdc_loaded->coreset_info().enabled);
+    EXPECT_EQ(tkdc_loaded->coreset_info().original_size, kTrainN * 2);
   }
 }
 

@@ -33,26 +33,30 @@ uint64_t Fnv1a(const std::string& bytes) {
 }
 
 // Rebuilds the pre-version-3 flavor of a serialized tkdc section by
-// removing everything versions 3 and 4 added: the index_backend config
-// field (4 bytes) plus the version-4 fast_math_leaf byte at the end of
-// the fixed-size config prefix, and the trailing spatial-index section,
-// whose byte length follows from the tree shape (k-d geometry: one
-// DoubleVec of 2 * dims doubles per node, then the version-4 SoA
-// descriptor of three uint64s).
+// removing everything versions 3+ added: the index_backend config field
+// (4 bytes), the version-4 fast_math_leaf byte, and the version-6
+// coreset_epsilon double at the end of the fixed-size config prefix, plus
+// the trailing spatial-index section — whose byte length follows from the
+// tree shape (k-d geometry: one DoubleVec of 2 * dims doubles per node,
+// then the version-4 SoA descriptor of three uint64s) — and the version-6
+// budget/coreset trailer (four doubles, flag byte, uint64, double,
+// uint32).
 std::string StripIndexAdditions(const std::string& section,
                                 const SpatialIndex& tree) {
   constexpr size_t kIndexBackendOffset = 115;
   const size_t per_node = 2 * sizeof(uint64_t) + 2 * sizeof(uint32_t) + 1;
   const size_t geometry =
       sizeof(uint64_t) + 2 * tree.dims() * tree.num_nodes() * sizeof(double);
+  const size_t budget_trailer = 4 * sizeof(double) + 1 + sizeof(uint64_t) +
+                                sizeof(double) + sizeof(uint32_t);
   const size_t index_bytes = 1 + sizeof(uint64_t) +
                              tree.size() * sizeof(uint64_t) +
                              tree.num_nodes() * per_node + geometry +
-                             3 * sizeof(uint64_t);
+                             3 * sizeof(uint64_t) + budget_trailer;
   std::string stripped =
       section.substr(0, kIndexBackendOffset) +
       section.substr(kIndexBackendOffset + sizeof(uint32_t) +
-                     sizeof(uint8_t));
+                     sizeof(uint8_t) + sizeof(double));
   return stripped.substr(0, stripped.size() - index_bytes);
 }
 
@@ -513,11 +517,16 @@ TEST_F(ModelIoTest, LoadRejectsCorruptSoaDescriptor) {
   std::string contents((std::istreambuf_iterator<char>(in)),
                        std::istreambuf_iterator<char>());
   in.close();
-  // The tkdc section ends with the index section, whose last 24 bytes are
-  // the descriptor, so it sits immediately before the 8-byte trailing
+  // The tkdc section ends with the index section (whose last 24 bytes are
+  // the SoA descriptor) followed by the version-6 budget/coreset trailer
+  // (4 doubles + u8 + u64 + double + u32 = 53 bytes), then the 8-byte
   // checksum.
-  ASSERT_GT(contents.size(), 32u);
-  const size_t lane_width_offset = contents.size() - 8 - 24;
+  constexpr size_t kBudgetTrailerBytes =
+      4 * sizeof(double) + 1 + sizeof(uint64_t) + sizeof(double) +
+      sizeof(uint32_t);
+  ASSERT_GT(contents.size(), 32u + kBudgetTrailerBytes);
+  const size_t lane_width_offset =
+      contents.size() - 8 - kBudgetTrailerBytes - 24;
   uint64_t lane_width = 0;
   std::memcpy(&lane_width, contents.data() + lane_width_offset,
               sizeof(lane_width));
