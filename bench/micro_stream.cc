@@ -189,7 +189,7 @@ SweepPoint RunOne(const Args& args, double fraction, const Dataset& base,
     auto fresh = MakeStreamingModel(rebuilt.take(), merged,
                                     /*overlay_capacity=*/1024);
     fresh->generation = model->generation + 1;
-    if (!batcher.PublishRebuild(fresh, snap.inserted, snap.tombstones)) {
+    if (!batcher.PublishRebuild(fresh, /*model_id=*/"", snap.inserted, snap.tombstones)) {
       std::fprintf(stderr, "rebuild publication failed\n");
       std::exit(1);
     }

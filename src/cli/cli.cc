@@ -151,9 +151,10 @@ int CmdTrainMultiClass(const ParsedArgs& parsed, const TkdcConfig& config,
         << classifier->priors()[c] << ")";
   }
   out << "\n";
-  const Status saved =
-      api::SaveMultiClassModel(*parsed.Value("--model"), *classifier,
-                               !parsed.Flag("--no-densities"));
+  api::SaveOptions save_options;
+  save_options.include_densities = !parsed.Flag("--no-densities");
+  const Status saved = api::SaveMultiClassModel(*parsed.Value("--model"),
+                                                *classifier, save_options);
   if (!saved.ok()) {
     err << saved.message() << "\n";
     return 1;
@@ -260,9 +261,10 @@ int CmdTrain(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
   out << "trained in " << timer.ElapsedSeconds()
       << "s; threshold t(p=" << config.p << ") = " << classifier->threshold()
       << "\n";
-  const Status saved =
-      api::SaveModel(*parsed.Value("--model"), *classifier, table->data,
-                     !parsed.Flag("--no-densities"));
+  api::SaveOptions save_options;
+  save_options.include_densities = !parsed.Flag("--no-densities");
+  const Status saved = api::SaveModel(*parsed.Value("--model"), *classifier,
+                                      table->data, save_options);
   if (!saved.ok()) {
     err << saved.message() << "\n";
     return 1;
@@ -281,12 +283,13 @@ int CmdClassifyMultiClass(const ParsedArgs& parsed,
     err << "--training/--density do not apply to multi-class models\n";
     return 2;
   }
-  auto loaded = api::LoadMultiClassModel(*parsed.Value("--model"));
+  auto loaded = api::LoadAny(*parsed.Value("--model"));
   if (!loaded.ok()) {
     err << loaded.message() << "\n";
     return 1;
   }
-  std::unique_ptr<MultiClassClassifier> classifier = loaded.take();
+  std::unique_ptr<MultiClassClassifier> classifier =
+      loaded.value().TakeMulti();
   MetricsRegistry registry;
   const auto metrics_out = parsed.Value("--metrics-out");
   if (metrics_out.has_value()) classifier->AttachMetrics(&registry);
@@ -376,12 +379,13 @@ int CmdClassify(const ParsedArgs& parsed, std::ostream& out,
   }
   // One load serves every query file: the model is an immutable artifact,
   // so classifying never retrains or mutates it.
-  auto loaded = api::LoadModel(*parsed.Value("--model"));
+  auto loaded = api::LoadAny(*parsed.Value("--model"));
   if (!loaded.ok()) {
     err << loaded.message() << "\n";
     return 1;
   }
-  std::unique_ptr<DensityClassifier> classifier = loaded.take();
+  std::unique_ptr<DensityClassifier> classifier =
+      loaded.value().TakeSingle();
   std::string error;
   const bool training = parsed.Flag("--training");
   const bool with_density = parsed.Flag("--density");
@@ -458,29 +462,16 @@ int CmdClassify(const ParsedArgs& parsed, std::ostream& out,
 
 int CmdInfo(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
   if (!RequireValues(parsed, {"--model"}, err)) return 2;
-  const auto kind = api::ProbeModel(*parsed.Value("--model"));
-  if (!kind.ok()) {
-    err << kind.message() << "\n";
-    return 1;
-  }
-  if (kind.value() == ModelKind::kMultiClass) {
-    auto mc = api::LoadMultiClassModel(*parsed.Value("--model"));
-    if (!mc.ok()) {
-      err << mc.message() << "\n";
-      return 1;
-    }
-    out << "tkdc-mc model: " << *parsed.Value("--model") << "\n"
-        << api::DescribeMultiClass(*mc.value());
-    return 0;
-  }
-  auto loaded = api::LoadModel(*parsed.Value("--model"));
+  // One kind-agnostic load: the handle knows its algorithm name and how
+  // to describe itself, whichever kind the file holds.
+  auto loaded = api::LoadAny(*parsed.Value("--model"));
   if (!loaded.ok()) {
     err << loaded.message() << "\n";
     return 1;
   }
-  out << loaded.value()->name() << " model: " << *parsed.Value("--model")
+  out << loaded.value().algorithm() << " model: " << *parsed.Value("--model")
       << "\n"
-      << api::Describe(*loaded.value());
+      << loaded.value().Describe();
   return 0;
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/macros.h"
 #include "data/dataset.h"
+#include "serve/registry.h"
 
 namespace tkdc::serve {
 namespace {
@@ -150,12 +151,19 @@ void MicroBatcher::SwapModel(std::shared_ptr<ServingModel> model) {
   if (shard_ != nullptr) shard_->Inc(reloads_id_);
 }
 
-void MicroBatcher::SetRebuildRequestCallback(std::function<void()> callback) {
+void MicroBatcher::SetRegistry(ModelRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  model_registry_ = registry;
+}
+
+void MicroBatcher::SetRebuildRequestCallback(
+    std::function<void(const std::string&)> callback) {
   std::lock_guard<std::mutex> lock(mutex_);
   rebuild_request_cb_ = std::move(callback);
 }
 
 bool MicroBatcher::PublishRebuild(std::shared_ptr<ServingModel> model,
+                                  const std::string& model_id,
                                   size_t consumed_inserted,
                                   size_t consumed_tombstones) {
   TKDC_CHECK(model != nullptr && model->classifier != nullptr &&
@@ -167,8 +175,9 @@ bool MicroBatcher::PublishRebuild(std::shared_ptr<ServingModel> model,
   TKDC_CHECK_MSG(!pending_rebuild_.has_value(),
                  "concurrent PublishRebuild calls");
   const uint64_t ticket = ++rebuild_tickets_;
-  pending_rebuild_ = RebuildPublication{std::move(model), consumed_inserted,
-                                        consumed_tombstones, ticket};
+  pending_rebuild_ = RebuildPublication{std::move(model), model_id,
+                                        consumed_inserted, consumed_tombstones,
+                                        ticket};
   wake_cv_.notify_all();
   install_cv_.wait(lock, [this, ticket] {
     return stopping_ || installed_ticket_ >= ticket;
@@ -204,7 +213,14 @@ void MicroBatcher::Loop() {
       // overlay is quiescent and its unconsumed suffix can migrate.
       RebuildPublication publication = std::move(*pending_rebuild_);
       pending_rebuild_.reset();
-      const std::shared_ptr<ServingModel> old_model = model_;
+      // The generation being replaced: the default model for scope-less
+      // rebuilds, the registry's resident slot for scoped ones.
+      std::shared_ptr<ServingModel> old_model;
+      if (publication.model_id.empty()) {
+        old_model = model_;
+      } else if (model_registry_ != nullptr) {
+        old_model = model_registry_->Resident(publication.model_id);
+      }
       lock.unlock();
       InstallRebuild(std::move(publication), old_model);
       lock.lock();
@@ -213,6 +229,19 @@ void MicroBatcher::Loop() {
     if (queue_.empty()) {
       if (stopping_) return;  // Drained.
       continue;
+    }
+    // Pacing: space dispatches at least batch_pace_us apart. Drains skip
+    // it (capacity throttling is pointless once shutdown has begun), and a
+    // rebuild publication still interrupts the sleep.
+    if (options_.batch_pace_us > 0 && !stopping_) {
+      const auto next_allowed =
+          last_dispatch_ + std::chrono::microseconds(options_.batch_pace_us);
+      if (Clock::now() < next_allowed) {
+        wake_cv_.wait_until(lock, next_allowed, [this] {
+          return stopping_ || pending_rebuild_.has_value();
+        });
+        if (stopping_ || pending_rebuild_.has_value()) continue;
+      }
     }
     // Hold the batch open for the window unless it fills first. During a
     // drain (stopping_) the window is skipped: latency no longer matters,
@@ -232,8 +261,9 @@ void MicroBatcher::Loop() {
       queue_.pop_front();
     }
     const std::shared_ptr<ServingModel> model = model_;  // RCU snapshot.
+    last_dispatch_ = Clock::now();
     lock.unlock();
-    ExecuteBatch(batch, *model);
+    ExecuteBatch(batch, model);
     lock.lock();
     AbsorbShardLocked();
   }
@@ -331,17 +361,115 @@ void MicroBatcher::InstallRebuild(
     }
   }
   std::lock_guard<std::mutex> lock(mutex_);
-  model_ = std::move(publication.model);
+  if (publication.model_id.empty()) {
+    model_ = std::move(publication.model);
+  } else if (model_registry_ != nullptr) {
+    const Status status = model_registry_->Publish(publication.model_id,
+                                                   std::move(publication.model));
+    if (!status.ok()) {
+      // The slot was UNLOADed while the rebuild trained; the fresh
+      // generation has no home and is simply dropped.
+      std::fprintf(stderr, "rebuild install for @%s dropped: %s\n",
+                   publication.model_id.c_str(), status.message().c_str());
+    }
+  }
   installed_ticket_ = publication.ticket;
   if (shard_ != nullptr) shard_->Inc(rebuilds_id_);
   install_cv_.notify_all();
 }
 
-void MicroBatcher::ExecuteBatch(std::vector<Pending>& batch,
-                                ServingModel& model) {
+void MicroBatcher::ExecuteBatch(
+    std::vector<Pending>& batch,
+    const std::shared_ptr<ServingModel>& default_model) {
+  const Clock::time_point drained_at = Clock::now();
+
+  // Group by model scope in arrival order; "@default" is the scope-less
+  // slot. Group count is bounded by batch size, so linear lookup is fine.
+  std::vector<std::pair<std::string, std::vector<Pending*>>> groups;
+  for (Pending& pending : batch) {
+    const std::string& raw = pending.request.model_id;
+    const std::string scope = raw == kDefaultModelId ? std::string() : raw;
+    std::vector<Pending*>* group = nullptr;
+    for (auto& [id, members] : groups) {
+      if (id == scope) {
+        group = &members;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.emplace_back(scope, std::vector<Pending*>());
+      group = &groups.back().second;
+    }
+    group->push_back(&pending);
+  }
+
+  size_t executed = 0;
+  size_t stale_queries = 0;
+  std::vector<std::string> rebuild_ids;
+  for (auto& [scope, group] : groups) {
+    std::shared_ptr<ServingModel> resolved;
+    if (scope.empty()) {
+      resolved = default_model;
+    } else if (model_registry_ == nullptr) {
+      for (Pending* pending : group) {
+        pending->done(Response::Error(
+            pending->request.id,
+            "no model registry (start the server with --model-dir)"));
+      }
+      continue;
+    } else {
+      // Resolve at drain time: a cold slot lazy-loads once per batch, and
+      // a bad scope errors its own group without touching the others.
+      auto acquired = model_registry_->Acquire(scope, group.size());
+      if (!acquired.ok()) {
+        for (Pending* pending : group) {
+          pending->done(Response::Error(pending->request.id,
+                                        acquired.status().message()));
+        }
+        continue;
+      }
+      resolved = acquired.take();
+    }
+    executed += ExecuteGroup(group, *resolved, scope, drained_at, rebuild_ids,
+                             &stale_queries);
+  }
+
+  std::function<void(const std::string&)> rebuild_cb;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (executed != 0) {
+      totals_.completed += executed;
+      ++totals_.batches;
+      if (shard_ != nullptr) {
+        shard_->Inc(completed_id_, executed);
+        shard_->Inc(batches_id_);
+        if (stale_queries > 0) shard_->Inc(stale_queries_id_, stale_queries);
+        shard_->Observe(batch_size_id_, static_cast<double>(executed));
+        for (const Pending& pending : batch) {
+          const auto wait =
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  drained_at - pending.enqueued_at);
+          shard_->Observe(queue_wait_us_id_,
+                          static_cast<double>(wait.count()));
+        }
+      }
+    }
+    if (!rebuild_ids.empty()) rebuild_cb = rebuild_request_cb_;
+  }
+  // Fired outside the lock; the callback just flags the rebuild worker.
+  if (rebuild_cb) {
+    for (const std::string& id : rebuild_ids) rebuild_cb(id);
+  }
+}
+
+size_t MicroBatcher::ExecuteGroup(std::vector<Pending*>& group,
+                                  ServingModel& model,
+                                  const std::string& scope,
+                                  Clock::time_point drained_at,
+                                  std::vector<std::string>& rebuild_ids,
+                                  size_t* group_stale_queries) {
   const bool multiclass = model.multiclass();
   const size_t dims = model.dims();
-  const Clock::time_point drained_at = Clock::now();
 
   // Partition: expire deadlines and reject dimension mismatches first so
   // the batch datasets hold only executable rows. Verbs aimed at the other
@@ -353,7 +481,8 @@ void MicroBatcher::ExecuteBatch(std::vector<Pending>& batch,
   std::vector<Pending*> classify, classify_training, estimate, classify_mc;
   size_t executed = 0;
   bool rebuild_wanted = false;
-  for (Pending& pending : batch) {
+  for (Pending* pending_ptr : group) {
+    Pending& pending = *pending_ptr;
     if (drained_at > pending.deadline) {
       {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -475,27 +604,9 @@ void MicroBatcher::ExecuteBatch(std::vector<Pending>& batch,
   model.FlushMetrics();  // Query-path shard → registry (no-op if
                          // detached).
 
-  std::function<void()> rebuild_cb;
-  if (executed != 0) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    totals_.completed += executed;
-    ++totals_.batches;
-    if (rebuild_wanted) rebuild_cb = rebuild_request_cb_;
-    if (shard_ != nullptr) {
-      shard_->Inc(completed_id_, executed);
-      shard_->Inc(batches_id_);
-      if (stale_queries > 0) shard_->Inc(stale_queries_id_, stale_queries);
-      shard_->Observe(batch_size_id_, static_cast<double>(executed));
-      for (const Pending& pending : batch) {
-        const auto wait =
-            std::chrono::duration_cast<std::chrono::microseconds>(
-                drained_at - pending.enqueued_at);
-        shard_->Observe(queue_wait_us_id_, static_cast<double>(wait.count()));
-      }
-    }
-  }
-  // Fired outside the lock; the callback just flags the rebuild worker.
-  if (rebuild_cb) rebuild_cb();
+  *group_stale_queries += stale_queries;
+  if (rebuild_wanted) rebuild_ids.push_back(scope);
+  return executed;
 }
 
 }  // namespace tkdc::serve

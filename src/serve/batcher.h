@@ -98,6 +98,13 @@ struct BatcherOptions {
   /// How long the dispatcher holds an open batch waiting for more arrivals
   /// once at least one request is queued. 0 = dispatch immediately.
   uint64_t batch_window_us = 200;
+  /// Minimum time between batch dispatches (0 = none): a per-worker
+  /// capacity throttle. Where the window bounds how long a request waits
+  /// for company, the pace bounds how often the engine runs at all,
+  /// capping a worker at ~max_batch/pace requests per second and keeping
+  /// CPU headroom for the other workers sharing the host — the QoS knob a
+  /// fleet deployment sizes worker count against. Drains ignore it.
+  uint64_t batch_pace_us = 0;
   /// Admission bound: requests beyond this many queued are shed with
   /// OVERLOADED instead of growing latency without bound.
   size_t queue_depth = 1024;
@@ -123,6 +130,8 @@ inline constexpr char kStaleQueries[] = "serve.stale_queries";
 inline constexpr char kRebuilds[] = "serve.model_rebuilds";
 }  // namespace metric_names
 
+class ModelRegistry;  // serve/registry.h; it includes this header.
+
 /// Dynamic micro-batcher: coalesces concurrently arriving classify /
 /// estimate requests into batch calls against the current model.
 ///
@@ -140,6 +149,13 @@ inline constexpr char kRebuilds[] = "serve.model_rebuilds";
 ///
 /// Stop() drains: no new admissions, every queued request still executes,
 /// then the dispatcher joins — the graceful-SIGTERM contract.
+///
+/// Multi-model serving: each drained batch is grouped by Request.model_id.
+/// The scope-less group runs against the default model snapshot; scoped
+/// groups resolve through the attached ModelRegistry at drain time (so a
+/// cold slot lazy-loads at most once per batch, not per request). Scoped
+/// requests without a registry, or naming unknown slots, are answered ERR
+/// individually — a bad scope never poisons the rest of the batch.
 class MicroBatcher {
  public:
   using Completion = std::function<void(const Response&)>;
@@ -174,23 +190,33 @@ class MicroBatcher {
   /// against the new one. Thread-safe.
   void SwapModel(std::shared_ptr<ServingModel> model);
 
-  /// Publishes a *rebuilt* streaming generation. Unlike SwapModel, the
-  /// install happens on the dispatcher thread between batches: the
-  /// dispatcher migrates every overlay row the rebuild did NOT consume
-  /// (inserted rows >= consumed_inserted, tombstones >= consumed_tombstones
-  /// in the old overlay) into the new model's fresh overlay, so mutations
-  /// that raced the rebuild survive the swap and zero requests are
-  /// dropped or answered against missing state. Blocks until the install
-  /// completes (or the batcher is stopping — returns false then).
+  /// Attaches the model registry scoped requests resolve through (null =
+  /// scoped requests answered ERR). Borrowed; must outlive the batcher.
+  /// Call before Start().
+  void SetRegistry(ModelRegistry* registry);
+
+  /// Publishes a *rebuilt* streaming generation for `model_id` ("" = the
+  /// default model). Unlike SwapModel, the install happens on the
+  /// dispatcher thread between batches: the dispatcher migrates every
+  /// overlay row the rebuild did NOT consume (inserted rows >=
+  /// consumed_inserted, tombstones >= consumed_tombstones in the old
+  /// overlay) into the new model's fresh overlay, so mutations that raced
+  /// the rebuild survive the swap and zero requests are dropped or
+  /// answered against missing state. Scoped installs publish into the
+  /// registry slot instead of the default generation. Blocks until the
+  /// install completes (or the batcher is stopping — returns false then).
   /// Thread-safe; callers serialize rebuilds among themselves.
   bool PublishRebuild(std::shared_ptr<ServingModel> model,
-                      size_t consumed_inserted, size_t consumed_tombstones);
+                      const std::string& model_id, size_t consumed_inserted,
+                      size_t consumed_tombstones);
 
-  /// Asks the server to rebuild: invoked (without the queue lock, on the
-  /// dispatcher thread) when a streaming model's overlay reaches its
-  /// rebuild trigger or rejects a mutation for want of capacity. The
-  /// callback must not block; it flags a worker and returns.
-  void SetRebuildRequestCallback(std::function<void()> callback);
+  /// Asks the server to rebuild the named model ("" = default): invoked
+  /// (without the queue lock, on the dispatcher thread) when a streaming
+  /// model's overlay reaches its rebuild trigger or rejects a mutation
+  /// for want of capacity. The callback must not block; it flags a worker
+  /// and returns.
+  void SetRebuildRequestCallback(
+      std::function<void(const std::string&)> callback);
 
   /// Current model generation (for control-plane peeks, e.g. RELOAD
   /// resolving the default path).
@@ -220,13 +246,23 @@ class MicroBatcher {
 
   struct RebuildPublication {
     std::shared_ptr<ServingModel> model;
+    std::string model_id;  // "" = the default model.
     size_t consumed_inserted = 0;
     size_t consumed_tombstones = 0;
     uint64_t ticket = 0;
   };
 
   void Loop();
-  void ExecuteBatch(std::vector<Pending>& batch, ServingModel& model);
+  /// Groups `batch` by model scope, resolves each group's model, and runs
+  /// the groups. `default_model` is the drain-time snapshot.
+  void ExecuteBatch(std::vector<Pending>& batch,
+                    const std::shared_ptr<ServingModel>& default_model);
+  /// Runs one model's share of a batch. Returns the executed count and
+  /// appends scopes wanting a rebuild to `rebuild_ids`.
+  size_t ExecuteGroup(std::vector<Pending*>& group, ServingModel& model,
+                      const std::string& scope, Clock::time_point drained_at,
+                      std::vector<std::string>& rebuild_ids,
+                      size_t* stale_queries);
   /// Applies one INSERT/DELETE to `model` and answers it. Dispatcher
   /// thread; mutation-quiescence is upheld because no queries run
   /// concurrently with this.
@@ -241,6 +277,8 @@ class MicroBatcher {
 
   const BatcherOptions options_;
   MetricsRegistry* const registry_;
+  /// Scoped-request resolver; null = single-model serving.
+  ModelRegistry* model_registry_ = nullptr;
 
   mutable std::mutex mutex_;
   std::condition_variable wake_cv_;
@@ -252,7 +290,9 @@ class MicroBatcher {
   std::optional<RebuildPublication> pending_rebuild_;
   uint64_t rebuild_tickets_ = 0;
   uint64_t installed_ticket_ = 0;
-  std::function<void()> rebuild_request_cb_;
+  std::function<void(const std::string&)> rebuild_request_cb_;
+  /// End of the last dispatch; start of the pacing interval.
+  Clock::time_point last_dispatch_ = Clock::time_point::min();
   bool stopping_ = false;
   bool started_ = false;
   Snapshot totals_;

@@ -10,6 +10,15 @@ constexpr const char kUsage[] =
     "usage: tkdc_serve --model M.tkdc [--port N | --pipe]\n"
     "  --model PATH            trained model file (required); also the\n"
     "                          target of SIGHUP / flagless RELOAD\n"
+    "  --model-dir DIR         directory of additional \"<id>.tkdc\" model\n"
+    "                          slots, addressed per request as @<id>;\n"
+    "                          MODELS / LOAD / UNLOAD manage them at\n"
+    "                          runtime\n"
+    "  --max-resident BYTES    resident-set byte budget for --model-dir\n"
+    "                          models; least-recently-used slots are\n"
+    "                          evicted past it (default 0 = unbounded)\n"
+    "  --preload-models        load every --model-dir slot at startup\n"
+    "                          instead of on first use\n"
     "  --port N                TCP listen port on 127.0.0.1 (default 0 =\n"
     "                          ephemeral, announced on stdout);\n"
     "                          length-prefixed framing\n"
@@ -18,6 +27,9 @@ constexpr const char kUsage[] =
     "  --threads N             batch-engine worker threads (0 = hardware\n"
     "                          concurrency, 1 = serial; labels identical)\n"
     "  --batch-window-us U     micro-batch coalescing window (default 200)\n"
+    "  --batch-pace-us U       minimum spacing between batch dispatches:\n"
+    "                          caps the worker at ~max-batch/pace requests\n"
+    "                          per second (default 0 = unpaced)\n"
     "  --max-batch N           max requests per batch (default 64)\n"
     "  --queue-depth N         admission bound; excess requests get\n"
     "                          OVERLOADED (default 1024)\n"
@@ -63,6 +75,10 @@ Result<ServeFlags> ParseServeFlags(const std::vector<std::string>& args) {
       flags.pipe = true;
       continue;
     }
+    if (arg == "--preload-models") {
+      flags.options.preload_models = true;
+      continue;
+    }
     if (arg == "--help") return Errorf() << "help requested";
     const auto take_value = [&](std::string* value) -> Status {
       if (i + 1 >= args.size()) {
@@ -78,6 +94,17 @@ Result<ServeFlags> ParseServeFlags(const std::vector<std::string>& args) {
       if (status = take_value(&flags.options.model_path); !status.ok()) {
         return status;
       }
+    } else if (arg == "--model-dir") {
+      if (status = take_value(&flags.options.model_dir); !status.ok()) {
+        return status;
+      }
+    } else if (arg == "--max-resident") {
+      if (status = take_value(&value); !status.ok()) return status;
+      if (status = ParseSize(arg, value, uint64_t{1} << 62, &number);
+          !status.ok()) {
+        return status;
+      }
+      flags.options.max_resident_bytes = static_cast<size_t>(number);
     } else if (arg == "--metrics-out") {
       if (status = take_value(&flags.options.metrics_out); !status.ok()) {
         return status;
@@ -101,6 +128,12 @@ Result<ServeFlags> ParseServeFlags(const std::vector<std::string>& args) {
         return status;
       }
       flags.options.batcher.batch_window_us = number;
+    } else if (arg == "--batch-pace-us") {
+      if (status = take_value(&value); !status.ok()) return status;
+      if (status = ParseSize(arg, value, 10'000'000, &number); !status.ok()) {
+        return status;
+      }
+      flags.options.batcher.batch_pace_us = number;
     } else if (arg == "--max-batch") {
       if (status = take_value(&value); !status.ok()) return status;
       if (status = ParseSize(arg, value, 1u << 20, &number); !status.ok()) {

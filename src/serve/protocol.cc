@@ -114,6 +114,20 @@ Result<Request> ParseRequest(std::string_view payload) {
     return Errorf() << "bad request id \"" << tokens[0] << "\"";
   }
   const std::string_view verb = tokens[1];
+  // Optional `@<model_id>` scope right after the verb (mandatory for
+  // LOAD/UNLOAD, handled below). Coordinates, paths, and timeouts never
+  // start with '@', so the prefix is unambiguous.
+  size_t arg = 2;
+  if (tokens.size() > 2 && tokens[2].front() == '@' && verb != "MODELS") {
+    const std::string_view id = tokens[2].substr(1);
+    if (!IsValidModelId(id)) {
+      return Errorf() << "bad model id \"" << tokens[2]
+                      << "\" (want @ then 1-64 chars of [A-Za-z0-9_.-])";
+    }
+    request.model_id = std::string(id);
+    arg = 3;
+  }
+  const size_t args = tokens.size() - arg;
   const bool takes_point = verb == "CLASSIFY" || verb == "CLASSIFY_TRAINING" ||
                            verb == "CLASSIFY_MC" || verb == "ESTIMATE" ||
                            verb == "INSERT" || verb == "DELETE";
@@ -124,15 +138,16 @@ Result<Request> ParseRequest(std::string_view payload) {
                    : verb == "ESTIMATE"          ? RequestVerb::kEstimateDensity
                    : verb == "INSERT"            ? RequestVerb::kInsert
                                                  : RequestVerb::kDelete;
-    if (tokens.size() < 3 || tokens.size() > 4) {
-      return Errorf() << verb << " takes <v1,v2,...> [timeout_ms]";
+    if (args < 1 || args > 2) {
+      return Errorf() << verb << " takes [@model] <v1,v2,...> [timeout_ms]";
     }
-    if (const Status status = ParsePoint(tokens[2], &request.point);
+    if (const Status status = ParsePoint(tokens[arg], &request.point);
         !status.ok()) {
       return status;
     }
-    if (tokens.size() == 4) {
-      if (const Status status = ParseTimeout(tokens[3], &request.timeout_ms);
+    if (args == 2) {
+      if (const Status status =
+              ParseTimeout(tokens[arg + 1], &request.timeout_ms);
           !status.ok()) {
         return status;
       }
@@ -140,21 +155,44 @@ Result<Request> ParseRequest(std::string_view payload) {
     return request;
   }
   if (verb == "STATS" || verb == "PING" || verb == "FLUSH") {
-    if (tokens.size() != 2) return Errorf() << verb << " takes no arguments";
+    if (args != 0) {
+      return Errorf() << verb << " takes no arguments beyond [@model]";
+    }
     request.verb = verb == "STATS"  ? RequestVerb::kStats
                    : verb == "PING" ? RequestVerb::kPing
                                     : RequestVerb::kFlush;
     return request;
   }
   if (verb == "RELOAD") {
-    if (tokens.size() > 3) return Errorf() << "RELOAD takes [path]";
+    if (args > 1) return Errorf() << "RELOAD takes [@model] [path]";
     request.verb = RequestVerb::kReload;
-    if (tokens.size() == 3) request.path = std::string(tokens[2]);
+    if (args == 1) request.path = std::string(tokens[arg]);
+    return request;
+  }
+  if (verb == "MODELS") {
+    if (tokens.size() != 2) return Errorf() << "MODELS takes no arguments";
+    request.verb = RequestVerb::kModels;
+    return request;
+  }
+  if (verb == "LOAD") {
+    if (request.model_id.empty() || args != 1) {
+      return Errorf() << "LOAD takes @model <path>";
+    }
+    request.verb = RequestVerb::kLoad;
+    request.path = std::string(tokens[arg]);
+    return request;
+  }
+  if (verb == "UNLOAD") {
+    if (request.model_id.empty() || args != 0) {
+      return Errorf() << "UNLOAD takes @model";
+    }
+    request.verb = RequestVerb::kUnload;
     return request;
   }
   return Errorf() << "unknown verb \"" << verb
                   << "\" (known: CLASSIFY CLASSIFY_TRAINING CLASSIFY_MC "
-                     "ESTIMATE INSERT DELETE FLUSH STATS RELOAD PING)";
+                     "ESTIMATE INSERT DELETE FLUSH STATS RELOAD PING "
+                     "MODELS LOAD UNLOAD)";
 }
 
 uint64_t BestEffortRequestId(std::string_view payload) {
@@ -163,6 +201,24 @@ uint64_t BestEffortRequestId(std::string_view payload) {
   uint64_t id = 0;
   if (!tokens.empty() && ParseUint64(tokens[0], &id)) return id;
   return 0;
+}
+
+bool IsValidModelId(std::string_view id) {
+  if (id.empty() || id.size() > 64) return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string BestEffortModelScope(std::string_view payload) {
+  if (!payload.empty() && payload.back() == '\r') payload.remove_suffix(1);
+  const std::vector<std::string_view> tokens = SplitTokens(payload);
+  if (tokens.size() < 3 || tokens[2].front() != '@') return "";
+  const std::string_view id = tokens[2].substr(1);
+  return IsValidModelId(id) ? std::string(id) : "";
 }
 
 std::string RenderResponse(const Response& response) {
@@ -287,7 +343,11 @@ FrameWriter::~FrameWriter() {
 }
 
 void FrameWriter::Write(const Response& response) {
-  const std::string frame = EncodeFrame(RenderResponse(response), framing_);
+  WriteRaw(RenderResponse(response));
+}
+
+void FrameWriter::WriteRaw(std::string_view payload) {
+  const std::string frame = EncodeFrame(payload, framing_);
   std::lock_guard<std::mutex> lock(mutex_);
   if (broken_) return;
   size_t written = 0;

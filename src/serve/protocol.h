@@ -26,20 +26,32 @@ namespace tkdc::serve {
 ///     embedded newlines flattened to spaces to keep one-frame-per-line.
 ///
 /// Request payload grammar (text in both framings):
-///   <id> CLASSIFY <v1,v2,...> [timeout_ms]
-///   <id> CLASSIFY_TRAINING <v1,v2,...> [timeout_ms]
-///   <id> CLASSIFY_MC <v1,v2,...> [timeout_ms]
-///   <id> ESTIMATE <v1,v2,...> [timeout_ms]
-///   <id> INSERT <v1,v2,...> [timeout_ms]
-///   <id> DELETE <v1,v2,...> [timeout_ms]
-///   <id> FLUSH
-///   <id> STATS
-///   <id> RELOAD [path]
+///   <id> CLASSIFY [@model] <v1,v2,...> [timeout_ms]
+///   <id> CLASSIFY_TRAINING [@model] <v1,v2,...> [timeout_ms]
+///   <id> CLASSIFY_MC [@model] <v1,v2,...> [timeout_ms]
+///   <id> ESTIMATE [@model] <v1,v2,...> [timeout_ms]
+///   <id> INSERT [@model] <v1,v2,...> [timeout_ms]
+///   <id> DELETE [@model] <v1,v2,...> [timeout_ms]
+///   <id> FLUSH [@model]
+///   <id> STATS [@model]
+///   <id> RELOAD [@model] [path]
 ///   <id> PING
+///   <id> MODELS
+///   <id> LOAD @model <path>
+///   <id> UNLOAD @model
 /// `id` is a client-chosen uint64 echoed in the response, so responses may
 /// be matched out of order (the micro-batcher completes requests by batch,
 /// not arrival order). `timeout_ms` overrides the server's default
 /// per-request deadline (0 = no deadline).
+///
+/// Model scope: a server holds many models in its registry, each addressed
+/// by a `@<model_id>` token right after the verb (e.g.
+/// `7 CLASSIFY @users-eu 1.2,3.4`). Scope-less requests route to the
+/// default model (`--model`), keeping every pre-fleet client unchanged;
+/// `@default` names it explicitly. Ids are 1-64 chars of [A-Za-z0-9_.-]
+/// (see IsValidModelId). MODELS lists every registered slot; LOAD
+/// registers + loads a new slot from a model file; UNLOAD drops one
+/// (in-flight requests keep the evicted generation alive, RCU-style).
 ///
 /// Streaming verbs: INSERT adds a training point to the serving model's
 /// delta overlay, DELETE tombstones an existing point (matched by exact
@@ -73,6 +85,9 @@ enum class RequestVerb {
   kStats,
   kReload,
   kPing,
+  kModels,
+  kLoad,
+  kUnload,
 };
 
 struct Request {
@@ -80,8 +95,11 @@ struct Request {
   RequestVerb verb = RequestVerb::kPing;
   /// Query point; classify/estimate verbs only.
   std::vector<double> point;
-  /// Model path override; RELOAD only (empty = reload the serving path).
+  /// Model path override; RELOAD (empty = reload the slot's path) and
+  /// LOAD (required) only.
   std::string path;
+  /// Target model id (`@<id>` scope); empty = the default model.
+  std::string model_id;
   /// Per-request deadline override in ms; -1 = server default, 0 = none.
   int64_t timeout_ms = -1;
 };
@@ -114,6 +132,17 @@ Result<Request> ParseRequest(std::string_view payload);
 /// client match "unknown verb"-style errors to the request that caused
 /// them instead of receiving an unattributable id-0 error.
 uint64_t BestEffortRequestId(std::string_view payload);
+
+/// Whether `id` is a legal model id: 1-64 chars of [A-Za-z0-9_.-]. The
+/// alphabet is closed under filenames and the wire grammar (no spaces, no
+/// '@'), so a model-dir stem is always addressable and vice versa.
+bool IsValidModelId(std::string_view id);
+
+/// Best-effort model scope of a request payload: the `@`-token after the
+/// verb, or "" when absent or malformed. Routers key the consistent-hash
+/// ring on this without validating the rest of the request — the owning
+/// worker is the single source of protocol errors.
+std::string BestEffortModelScope(std::string_view payload);
 
 /// Renders a response payload (without framing).
 std::string RenderResponse(const Response& response);
@@ -168,6 +197,12 @@ class FrameWriter {
 
   /// Serializes, frames, and writes `response`. Thread-safe.
   void Write(const Response& response);
+
+  /// Frames and writes an already-rendered payload verbatim. The fleet
+  /// router forwards request/response payloads through this so the bytes
+  /// between client and worker survive the hop unmodified (only the
+  /// leading id token is rewritten). Thread-safe.
+  void WriteRaw(std::string_view payload);
 
   bool broken() const;
 

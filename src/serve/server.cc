@@ -51,42 +51,56 @@ Result<std::unique_ptr<Server>> Server::Create(ServerOptions options) {
   // SIGPIPE; failed writes are handled per-connection (FrameWriter).
   std::signal(SIGPIPE, SIG_IGN);
   std::unique_ptr<Server> server(new Server(std::move(options)));
+  Server* raw = server.get();
   auto model = server->LoadServingModel(server->options_.model_path);
   if (!model.ok()) return model.status();
-  const bool streaming = model.value()->streaming;
+  // Named slots resolve through the same loader as the default model, so
+  // a registry generation gets identical threading/metrics/streaming
+  // setup. Registered metrics appear append-only, which the late
+  // registration contract permits mid-serving.
+  RegistryOptions registry_options;
+  registry_options.max_resident_bytes = server->options_.max_resident_bytes;
+  registry_options.preload = server->options_.preload_models;
+  server->model_registry_ = std::make_unique<ModelRegistry>(
+      registry_options,
+      [raw](const std::string& path)
+          -> Result<std::shared_ptr<ServingModel>> {
+        return raw->LoadServingModel(path);
+      },
+      &server->registry_);
+  if (!server->options_.model_dir.empty()) {
+    const Status scan =
+        server->model_registry_->ScanModelDir(server->options_.model_dir);
+    if (!scan.ok()) return scan;
+  }
   // Order matters: the model attachment above registered the query-path
   // metric schema; the batcher registers the serve schema and then sizes
   // its shard, so every registration must precede it.
   server->batcher_ = std::make_unique<MicroBatcher>(
       server->options_.batcher, model.take(), &server->registry_);
-  if (streaming) {
-    Server* raw = server.get();
-    server->batcher_->SetRebuildRequestCallback(
-        [raw] { raw->RequestRebuild(); });
-    server->rebuild_worker_ = std::thread([raw] { raw->RebuildWorker(); });
-  }
+  server->batcher_->SetRegistry(server->model_registry_.get());
+  // The rebuild worker always runs: even when the default model is
+  // static, LOAD can register streaming slots at any time.
+  server->batcher_->SetRebuildRequestCallback(
+      [raw](const std::string& id) { raw->RequestRebuild(id); });
+  server->rebuild_worker_ = std::thread([raw] { raw->RebuildWorker(); });
   server->batcher_->Start();
   return server;
 }
 
 Result<std::shared_ptr<ServingModel>> Server::LoadServingModel(
     const std::string& path) {
-  auto kind = api::ProbeModel(path);
-  if (!kind.ok()) return kind.status();
+  auto loaded = api::LoadAny(path);
+  if (!loaded.ok()) return loaded.status();
+  api::ModelHandle handle = loaded.take();
+  handle.SetNumThreads(options_.num_threads);
+  handle.AttachMetrics(&registry_);
   auto model = std::make_shared<ServingModel>();
   model->source_path = path;
-  if (kind.value() == ModelKind::kMultiClass) {
-    auto loaded = api::LoadMultiClassModel(path);
-    if (!loaded.ok()) return loaded.status();
-    model->mc_classifier = loaded.take();
-    model->mc_classifier->SetNumThreads(options_.num_threads);
-    model->mc_classifier->AttachMetrics(&registry_);
+  if (handle.kind() == ModelKind::kMultiClass) {
+    model->mc_classifier = handle.TakeMulti();
   } else {
-    auto loaded = api::LoadModel(path);
-    if (!loaded.ok()) return loaded.status();
-    model->classifier = loaded.take();
-    model->classifier->SetNumThreads(options_.num_threads);
-    model->classifier->AttachMetrics(&registry_);
+    model->classifier = handle.TakeSingle();
   }
   model->generation =
       generation_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -171,11 +185,41 @@ Status Server::Reload(const std::string& path) {
   return Status::Ok();
 }
 
-Result<uint64_t> Server::RebuildNow() {
+Status Server::ReloadScoped(const std::string& id, const std::string& path) {
+  std::lock_guard<std::mutex> lock(reload_mutex_);
+  std::string effective = path;
+  if (effective.empty()) {
+    for (const ModelRegistry::Entry& entry : model_registry_->List()) {
+      if (entry.id == id) {
+        effective = entry.path;
+        break;
+      }
+    }
+    if (effective.empty()) {
+      return Errorf() << "unknown model \"" << id << "\"";
+    }
+  }
+  auto model = LoadServingModel(effective);
+  if (!model.ok()) return model.status();
+  return model_registry_->Publish(id, model.take());
+}
+
+Result<uint64_t> Server::RebuildNow(const std::string& model_id) {
   // Same lock as Reload: publications are serialized, so at most one
   // PublishRebuild is pending at any time (the batcher checks this).
   std::lock_guard<std::mutex> lock(reload_mutex_);
-  const std::shared_ptr<ServingModel> old_model = batcher_->model();
+  std::shared_ptr<ServingModel> old_model;
+  if (model_id.empty()) {
+    old_model = batcher_->model();
+  } else {
+    // Resident slots only: a rebuild folds live overlay state, which a
+    // non-resident (or unknown) slot does not have.
+    old_model = model_registry_->Resident(model_id);
+    if (old_model == nullptr) {
+      return Errorf() << "model \"" << model_id
+                      << "\" is not resident; nothing to flush";
+    }
+  }
   if (!old_model->streaming) {
     return Errorf() << "model is not streaming-capable; nothing to flush";
   }
@@ -238,18 +282,21 @@ Result<uint64_t> Server::RebuildNow() {
   // model, re-tightening the band the staleness widening had loosened.
   SetUpStreaming(*fresh, old_model->estimator);
   const uint64_t new_base = fresh->classifier->training_size();
-  if (!batcher_->PublishRebuild(std::move(fresh), snap.inserted,
+  if (!batcher_->PublishRebuild(std::move(fresh), model_id, snap.inserted,
                                 snap.tombstones)) {
     return Errorf() << "server stopping; rebuild not installed";
   }
   return new_base;
 }
 
-void Server::RequestRebuild() {
+void Server::RequestRebuild(const std::string& model_id) {
   {
     std::lock_guard<std::mutex> lock(rebuild_mutex_);
-    if (rebuild_requested_ || rebuild_worker_exit_) return;
-    rebuild_requested_ = true;
+    if (rebuild_worker_exit_) return;
+    for (const std::string& pending : rebuild_requested_ids_) {
+      if (pending == model_id) return;  // Already queued.
+    }
+    rebuild_requested_ids_.push_back(model_id);
   }
   rebuild_cv_.notify_one();
 }
@@ -258,16 +305,19 @@ void Server::RebuildWorker() {
   std::unique_lock<std::mutex> lock(rebuild_mutex_);
   while (true) {
     rebuild_cv_.wait(lock, [this] {
-      return rebuild_worker_exit_ || rebuild_requested_;
+      return rebuild_worker_exit_ || !rebuild_requested_ids_.empty();
     });
     if (rebuild_worker_exit_) return;
-    rebuild_requested_ = false;
+    const std::string model_id = rebuild_requested_ids_.front();
+    rebuild_requested_ids_.erase(rebuild_requested_ids_.begin());
     lock.unlock();
-    const Result<uint64_t> result = RebuildNow();
+    const Result<uint64_t> result = RebuildNow(model_id);
     if (!result.ok()) {
       // Keep serving base + overlay; an operator-visible note, never an
       // abort. The next trigger retries.
-      std::fprintf(stderr, "background rebuild failed: %s\n",
+      std::fprintf(stderr, "background rebuild%s%s failed: %s\n",
+                   model_id.empty() ? "" : " for @",
+                   model_id.empty() ? "" : model_id.c_str(),
                    result.status().message().c_str());
     }
     lock.lock();
@@ -287,8 +337,90 @@ void Server::PollReloadFlag() {
   }
 }
 
+void Server::WriteModelJson(std::ostream& json,
+                            const ServingModel& model) const {
+  const DeltaOverlay::Snapshot overlay =
+      model.overlay != nullptr ? model.overlay->snapshot()
+                               : DeltaOverlay::Snapshot{};
+  const size_t base_n = model.base_points();
+  json << "{\"generation\":" << model.generation
+       << ",\"algorithm\":\"" << model.algorithm() << "\""
+       << ",\"base_points\":" << base_n
+       << ",\"streaming\":" << (model.streaming ? "true" : "false")
+       << ",\"overlay_inserted\":" << overlay.inserted
+       << ",\"overlay_tombstones\":" << overlay.tombstones
+       << ",\"last_rebuild_unix_ms\":" << model.last_rebuild_ms;
+  const auto budget_json = [&json](const ErrorBudget& budget,
+                                   const CoresetInfo& coreset,
+                                   uint64_t points) {
+    json << ",\"error_budget\":{\"total\":" << budget.total
+         << ",\"traversal\":" << budget.traversal
+         << ",\"coreset\":" << budget.coreset
+         << ",\"fast_math\":" << budget.fast_math << "}"
+         << ",\"coreset\":{\"enabled\":"
+         << (coreset.enabled ? "true" : "false")
+         << ",\"points\":" << points
+         << ",\"original_points\":" << coreset.original_size
+         << ",\"compression_ratio\":" << coreset.CompressionRatio(points)
+         << ",\"achieved_error\":" << coreset.achieved_error
+         << ",\"halvings\":" << coreset.halvings << "}";
+  };
+  double coreset_band = 0.0;
+  if (model.classifier != nullptr) {
+    json << ",\"trained_threshold\":" << model.classifier->threshold();
+    if (const auto* tkdc_classifier = dynamic_cast<const TkdcClassifier*>(
+            model.classifier.get())) {
+      const CoresetInfo& coreset = tkdc_classifier->coreset_info();
+      budget_json(tkdc_classifier->error_budget(), coreset,
+                  tkdc_classifier->training_size());
+      if (coreset.enabled) {
+        coreset_band = tkdc_classifier->error_budget().coreset;
+      }
+    }
+  } else {
+    const MultiClassClassifier& mc = *model.mc_classifier;
+    json << ",\"classes\":" << mc.num_classes();
+    // Aggregate across classes: summed point counts, and compression
+    // counts as engaged if any class compressed.
+    CoresetInfo merged;
+    uint64_t points = 0;
+    for (size_t c = 0; c < mc.num_classes(); ++c) {
+      const CoresetInfo& part = mc.class_part(c).coreset_info();
+      merged.enabled = merged.enabled || part.enabled;
+      merged.original_size += part.original_size;
+      merged.achieved_error =
+          std::max(merged.achieved_error, part.achieved_error);
+      merged.halvings = std::max(merged.halvings, part.halvings);
+      points += mc.class_part(c).training_size();
+    }
+    budget_json(mc.config().ResolveBudget(), merged, points);
+  }
+  if (model.estimator != nullptr) {
+    const double n_eff = static_cast<double>(base_n) +
+                         static_cast<double>(overlay.inserted) -
+                         static_cast<double>(overlay.tombstones);
+    const double staleness =
+        n_eff > 0.0 ? static_cast<double>(overlay.size()) / n_eff : 0.0;
+    // A compressed model's densities (and so the reservoir feeding the
+    // online estimator) deviate from the exact KDE by up to the coreset
+    // share; widen the published band by it so the interval still
+    // covers the exact-KDE threshold.
+    const OnlineThresholdEstimator::Band band =
+        model.estimator->Estimate(staleness, coreset_band);
+    json << ",\"online_threshold\":" << band.threshold
+         << ",\"online_threshold_lower\":" << band.lower
+         << ",\"online_threshold_upper\":" << band.upper
+         << ",\"online_threshold_sample\":" << band.sample_size
+         << ",\"observed_inserts\":" << band.observed;
+  }
+  json << "}";
+}
+
 void Server::Dispatch(Request request,
                       const std::shared_ptr<FrameWriter>& writer) {
+  // "@default" means the batcher's own model everywhere.
+  const std::string scope =
+      request.model_id == kDefaultModelId ? "" : request.model_id;
   switch (request.verb) {
     case RequestVerb::kPing:
       writer->Write(Response::Ok(request.id, "PONG"));
@@ -297,91 +429,83 @@ void Server::Dispatch(Request request,
       // snapshot() folds pending serve counters into the registry first,
       // so the JSON is current as of this request.
       batcher_->snapshot();
-      const std::shared_ptr<ServingModel> model = batcher_->model();
-      const DeltaOverlay::Snapshot overlay =
-          model->overlay != nullptr ? model->overlay->snapshot()
-                                    : DeltaOverlay::Snapshot{};
-      const size_t base_n = model->base_points();
       std::ostringstream json;
       json << std::setprecision(17);
-      json << "{\"model\":{\"generation\":" << model->generation
-           << ",\"algorithm\":\"" << model->algorithm() << "\""
-           << ",\"base_points\":" << base_n
-           << ",\"streaming\":" << (model->streaming ? "true" : "false")
-           << ",\"overlay_inserted\":" << overlay.inserted
-           << ",\"overlay_tombstones\":" << overlay.tombstones
-           << ",\"last_rebuild_unix_ms\":" << model->last_rebuild_ms;
-      const auto budget_json = [&json](const ErrorBudget& budget,
-                                       const CoresetInfo& coreset,
-                                       uint64_t points) {
-        json << ",\"error_budget\":{\"total\":" << budget.total
-             << ",\"traversal\":" << budget.traversal
-             << ",\"coreset\":" << budget.coreset
-             << ",\"fast_math\":" << budget.fast_math << "}"
-             << ",\"coreset\":{\"enabled\":"
-             << (coreset.enabled ? "true" : "false")
-             << ",\"points\":" << points
-             << ",\"original_points\":" << coreset.original_size
-             << ",\"compression_ratio\":" << coreset.CompressionRatio(points)
-             << ",\"achieved_error\":" << coreset.achieved_error
-             << ",\"halvings\":" << coreset.halvings << "}";
-      };
-      double coreset_band = 0.0;
-      if (model->classifier != nullptr) {
-        json << ",\"trained_threshold\":" << model->classifier->threshold();
-        if (const auto* tkdc_classifier = dynamic_cast<const TkdcClassifier*>(
-                model->classifier.get())) {
-          const CoresetInfo& coreset = tkdc_classifier->coreset_info();
-          budget_json(tkdc_classifier->error_budget(), coreset,
-                      tkdc_classifier->training_size());
-          if (coreset.enabled) {
-            coreset_band = tkdc_classifier->error_budget().coreset;
-          }
+      if (!scope.empty()) {
+        const std::shared_ptr<ServingModel> model =
+            model_registry_->Resident(scope);
+        if (model == nullptr) {
+          writer->Write(Response::Error(
+              request.id, "model \"" + scope +
+                              "\" is not resident (unknown, unloaded, or "
+                              "evicted)"));
+          return;
         }
+        json << "{\"model_id\":\"" << scope << "\",\"model\":";
+        WriteModelJson(json, *model);
       } else {
-        const MultiClassClassifier& mc = *model->mc_classifier;
-        json << ",\"classes\":" << mc.num_classes();
-        // Aggregate across classes: summed point counts, and compression
-        // counts as engaged if any class compressed.
-        CoresetInfo merged;
-        uint64_t points = 0;
-        for (size_t c = 0; c < mc.num_classes(); ++c) {
-          const CoresetInfo& part = mc.class_part(c).coreset_info();
-          merged.enabled = merged.enabled || part.enabled;
-          merged.original_size += part.original_size;
-          merged.achieved_error =
-              std::max(merged.achieved_error, part.achieved_error);
-          merged.halvings = std::max(merged.halvings, part.halvings);
-          points += mc.class_part(c).training_size();
+        const std::shared_ptr<ServingModel> model = batcher_->model();
+        // The flat block keeps its PR-9 shape for scope-less clients; the
+        // "models" map nests one block per resident model.
+        json << "{\"model\":";
+        WriteModelJson(json, *model);
+        json << ",\"models\":{\"" << kDefaultModelId << "\":";
+        WriteModelJson(json, *model);
+        for (const std::string& id : model_registry_->ResidentIds()) {
+          const std::shared_ptr<ServingModel> resident =
+              model_registry_->Resident(id);
+          if (resident == nullptr) continue;  // Evicted since listing.
+          json << ",\"" << id << "\":";
+          WriteModelJson(json, *resident);
         }
-        budget_json(mc.config().ResolveBudget(), merged, points);
+        json << "}";
       }
-      if (model->estimator != nullptr) {
-        const double n_eff = static_cast<double>(base_n) +
-                             static_cast<double>(overlay.inserted) -
-                             static_cast<double>(overlay.tombstones);
-        const double staleness =
-            n_eff > 0.0 ? static_cast<double>(overlay.size()) / n_eff : 0.0;
-        // A compressed model's densities (and so the reservoir feeding the
-        // online estimator) deviate from the exact KDE by up to the coreset
-        // share; widen the published band by it so the interval still
-        // covers the exact-KDE threshold.
-        const OnlineThresholdEstimator::Band band =
-            model->estimator->Estimate(staleness, coreset_band);
-        json << ",\"online_threshold\":" << band.threshold
-             << ",\"online_threshold_lower\":" << band.lower
-             << ",\"online_threshold_upper\":" << band.upper
-             << ",\"online_threshold_sample\":" << band.sample_size
-             << ",\"observed_inserts\":" << band.observed;
-      }
-      json << "},\"metrics\":";
+      json << ",\"metrics\":";
       registry_.WriteJson(json);
       json << "}";
       writer->Write(Response::Ok(request.id, json.str()));
       return;
     }
+    case RequestVerb::kModels: {
+      const std::shared_ptr<ServingModel> model = batcher_->model();
+      std::ostringstream json;
+      json << "{\"models\":[{\"id\":\"" << kDefaultModelId << "\",\"path\":\""
+           << model->source_path
+           << "\",\"resident\":true,\"generation\":" << model->generation
+           << ",\"approx_bytes\":" << ApproxModelBytes(*model) << "}";
+      for (const ModelRegistry::Entry& entry : model_registry_->List()) {
+        json << ",{\"id\":\"" << entry.id << "\",\"path\":\"" << entry.path
+             << "\",\"resident\":" << (entry.resident ? "true" : "false")
+             << ",\"generation\":" << entry.generation
+             << ",\"approx_bytes\":" << entry.approx_bytes << "}";
+      }
+      json << "],\"registry_resident_bytes\":"
+           << model_registry_->resident_bytes()
+           << ",\"max_resident_bytes\":" << options_.max_resident_bytes
+           << "}";
+      writer->Write(Response::Ok(request.id, json.str()));
+      return;
+    }
+    case RequestVerb::kLoad: {
+      const Status status =
+          model_registry_->Load(request.model_id, request.path);
+      writer->Write(status.ok()
+                        ? Response::Ok(request.id, "LOADED " + request.model_id)
+                        : Response::Error(request.id, status.message()));
+      return;
+    }
+    case RequestVerb::kUnload: {
+      const Status status = model_registry_->Unload(request.model_id);
+      writer->Write(
+          status.ok()
+              ? Response::Ok(request.id, "UNLOADED " + request.model_id)
+              : Response::Error(request.id, status.message()));
+      return;
+    }
     case RequestVerb::kReload: {
-      const Status status = Reload(request.path);
+      const Status status = scope.empty()
+                                ? Reload(request.path)
+                                : ReloadScoped(scope, request.path);
       writer->Write(status.ok()
                         ? Response::Ok(request.id, "RELOADED")
                         : Response::Error(request.id, status.message()));
@@ -391,7 +515,7 @@ void Server::Dispatch(Request request,
       // Control plane, but potentially slow (a full retrain): runs on this
       // connection thread, serialized with RELOAD. The data plane keeps
       // batching against base + overlay until the swap installs.
-      const Result<uint64_t> result = RebuildNow();
+      const Result<uint64_t> result = RebuildNow(scope);
       writer->Write(result.ok()
                         ? Response::Ok(request.id,
                                        "REBUILT " +

@@ -14,12 +14,23 @@
 #include "common/status.h"
 #include "serve/batcher.h"
 #include "serve/protocol.h"
+#include "serve/registry.h"
 
 namespace tkdc::serve {
 
 struct ServerOptions {
   /// Trained model file served at startup and by flagless RELOAD/SIGHUP.
   std::string model_path;
+  /// Directory of additional "<id>.tkdc" model slots, addressed per
+  /// request as @<id>. Empty = no startup scan; LOAD can still register
+  /// slots at runtime.
+  std::string model_dir;
+  /// Resident-set byte budget for registry models (0 = unbounded); LRU
+  /// slots are evicted past it. The default model is exempt.
+  size_t max_resident_bytes = 0;
+  /// Load every scanned model-dir slot at startup instead of on first
+  /// use.
+  bool preload_models = false;
   /// Micro-batcher knobs (window, max batch, queue depth, default
   /// timeout).
   BatcherOptions batcher;
@@ -90,12 +101,18 @@ class Server {
   /// truth) and starts a fresh streaming generation.
   Status Reload(const std::string& path);
 
-  /// Synchronously retrains the base model on base ∪ overlay and
-  /// publishes it through the dispatcher (zero requests dropped; overlay
-  /// mutations racing the retrain migrate into the new generation).
-  /// Returns the new base point count. The FLUSH verb and the background
-  /// rebuild worker both land here; calls serialize internally.
-  Result<uint64_t> RebuildNow();
+  /// Scoped RELOAD: loads `path` (empty = the slot's registered path) and
+  /// publishes it into the registry slot `id`. Like default RELOAD, a
+  /// path override does not change what the slot reloads from next time.
+  Status ReloadScoped(const std::string& id, const std::string& path);
+
+  /// Synchronously retrains `model_id`'s base model ("" = the default
+  /// model) on base ∪ overlay and publishes it through the dispatcher
+  /// (zero requests dropped; overlay mutations racing the retrain migrate
+  /// into the new generation). Returns the new base point count. The
+  /// FLUSH verb and the background rebuild worker both land here; calls
+  /// serialize internally. Scoped rebuilds target resident slots only.
+  Result<uint64_t> RebuildNow(const std::string& model_id = std::string());
 
   /// Drains the batcher and, when configured, writes --metrics-out.
   /// Idempotent; the Run loops call it on exit.
@@ -103,6 +120,7 @@ class Server {
 
   MicroBatcher& batcher() { return *batcher_; }
   MetricsRegistry& registry() { return registry_; }
+  ModelRegistry& model_registry() { return *model_registry_; }
 
  private:
   explicit Server(ServerOptions options);
@@ -119,10 +137,15 @@ class Server {
   void SetUpStreaming(ServingModel& model,
                       std::shared_ptr<OnlineThresholdEstimator> estimator);
 
-  /// Non-blocking rebuild request from the dispatcher; flags the worker.
-  void RequestRebuild();
+  /// Non-blocking rebuild request from the dispatcher; flags the worker
+  /// with the scope to rebuild ("" = the default model).
+  void RequestRebuild(const std::string& model_id);
   /// Background rebuild worker loop.
   void RebuildWorker();
+
+  /// Writes one model's STATS object ("{...}") — generation, algorithm,
+  /// overlay counts, thresholds — to `json`.
+  void WriteModelJson(std::ostream& json, const ServingModel& model) const;
 
   /// Serves one connection until EOF/terminate; does not drain the
   /// batcher (responses for still-queued requests are written later by
@@ -142,6 +165,9 @@ class Server {
 
   ServerOptions options_;
   MetricsRegistry registry_;
+  /// Named model slots (@<id> scopes); constructed before the batcher so
+  /// SetRegistry can hand it over. The default model is not in it.
+  std::unique_ptr<ModelRegistry> model_registry_;
   std::unique_ptr<MicroBatcher> batcher_;
   /// Serializes model publications: RELOAD, SIGHUP, FLUSH, and the
   /// background rebuild all load/train one at a time.
@@ -152,7 +178,8 @@ class Server {
   // Rebuild worker state.
   std::mutex rebuild_mutex_;
   std::condition_variable rebuild_cv_;
-  bool rebuild_requested_ = false;
+  /// Scopes with a rebuild pending ("" = the default model), deduped.
+  std::vector<std::string> rebuild_requested_ids_;
   bool rebuild_worker_exit_ = false;
   std::thread rebuild_worker_;
 

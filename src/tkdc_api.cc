@@ -100,6 +100,12 @@ Status SaveModel(const std::string& path, const DensityClassifier& classifier,
   return Status::Ok();
 }
 
+Status SaveModel(const std::string& path, const DensityClassifier& classifier,
+                 const Dataset& training_data, const SaveOptions& options) {
+  return SaveModel(path, classifier, training_data,
+                   options.include_densities);
+}
+
 Result<std::unique_ptr<MultiClassClassifier>> TrainMultiClass(
     const Dataset& data, const std::vector<std::string>& row_labels,
     const TkdcConfig& config, std::vector<double> priors) {
@@ -122,6 +128,12 @@ Status SaveMultiClassModel(const std::string& path,
     return Status::Error(error);
   }
   return Status::Ok();
+}
+
+Status SaveMultiClassModel(const std::string& path,
+                           const MultiClassClassifier& classifier,
+                           const SaveOptions& options) {
+  return SaveMultiClassModel(path, classifier, options.include_densities);
 }
 
 Result<std::unique_ptr<MultiClassClassifier>> LoadMultiClassModel(
@@ -163,6 +175,60 @@ std::string DescribeMultiClass(const MultiClassClassifier& classifier) {
     out << "\n";
   }
   return out.str();
+}
+
+size_t ModelHandle::dims() const {
+  if (single_ != nullptr) return single_->dims();
+  if (multi_ != nullptr) return multi_->dims();
+  return 0;
+}
+
+std::string ModelHandle::algorithm() const {
+  if (single_ != nullptr) return single_->name();
+  if (multi_ != nullptr) return "tkdc-mc";
+  return "";
+}
+
+std::string ModelHandle::Describe() const {
+  if (single_ != nullptr) return api::Describe(*single_);
+  if (multi_ != nullptr) return DescribeMultiClass(*multi_);
+  return "";
+}
+
+Status ModelHandle::SaveTo(const std::string& path,
+                           const SaveOptions& options) const {
+  if (multi_ != nullptr) return SaveMultiClassModel(path, *multi_, options);
+  if (single_ == nullptr) return Errorf() << "empty model handle";
+  Dataset data(single_->dims());
+  if (!single_->ExportTrainingData(&data)) {
+    return Errorf() << single_->name()
+                    << " models cannot re-export training rows; save with "
+                       "SaveModel and the original dataset";
+  }
+  return SaveModel(path, *single_, data, options);
+}
+
+void ModelHandle::SetNumThreads(size_t num_threads) {
+  if (single_ != nullptr) single_->SetNumThreads(num_threads);
+  if (multi_ != nullptr) multi_->SetNumThreads(num_threads);
+}
+
+void ModelHandle::AttachMetrics(MetricsRegistry* registry) {
+  if (single_ != nullptr) single_->AttachMetrics(registry);
+  if (multi_ != nullptr) multi_->AttachMetrics(registry);
+}
+
+Result<ModelHandle> LoadAny(const std::string& path) {
+  auto kind = ProbeModel(path);
+  if (!kind.ok()) return kind.status();
+  if (kind.value() == ModelKind::kMultiClass) {
+    auto loaded = LoadMultiClassModel(path);
+    if (!loaded.ok()) return loaded.status();
+    return ModelHandle(loaded.take());
+  }
+  auto loaded = LoadModel(path);
+  if (!loaded.ok()) return loaded.status();
+  return ModelHandle(loaded.take());
 }
 
 Result<TrainOptions> RecoverTrainOptions(const DensityClassifier& classifier) {

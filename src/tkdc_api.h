@@ -62,16 +62,26 @@ Result<std::unique_ptr<DensityClassifier>> NewClassifier(
 Result<std::unique_ptr<DensityClassifier>> Train(const Dataset& data,
                                                  const TrainOptions& options);
 
-/// Loads any model saved by SaveModel, dispatching on the stored
-/// algorithm tag. The result is fully trained.
-Result<std::unique_ptr<DensityClassifier>> LoadModel(const std::string& path);
+/// Persistence knobs, named at the call site instead of trailing bools.
+struct SaveOptions {
+  /// Keep the cached training-density vector (tkdc / nocut models only —
+  /// larger file, faster ClassifyTraining).
+  bool include_densities = true;
+};
 
 /// Persists a trained classifier (any algorithm) to `path`.
-/// `training_data` must be the dataset it was trained on;
-/// `include_densities` keeps the cached training-density vector (tkdc /
-/// nocut models only — larger file, faster ClassifyTraining).
+/// `training_data` must be the dataset it was trained on.
+Status SaveModel(const std::string& path, const DensityClassifier& classifier,
+                 const Dataset& training_data, const SaveOptions& options);
+
+/// Deprecated positional-bool form; prefer the SaveOptions overload.
 Status SaveModel(const std::string& path, const DensityClassifier& classifier,
                  const Dataset& training_data, bool include_densities = true);
+
+/// Loads a single-class model saved by SaveModel, dispatching on the
+/// stored algorithm tag. The result is fully trained. Deprecated entry
+/// point: prefer LoadAny, which also handles multi-class files.
+Result<std::unique_ptr<DensityClassifier>> LoadModel(const std::string& path);
 
 /// Human-readable description of a trained model (the `tkdc_cli info`
 /// body): algorithm, dimensions, threshold, and per-algorithm extras.
@@ -106,10 +116,16 @@ Result<std::unique_ptr<MultiClassClassifier>> TrainMultiClass(
 /// K per-class tkdc sections plus the label/prior table).
 Status SaveMultiClassModel(const std::string& path,
                            const MultiClassClassifier& classifier,
+                           const SaveOptions& options);
+
+/// Deprecated positional-bool form; prefer the SaveOptions overload.
+Status SaveMultiClassModel(const std::string& path,
+                           const MultiClassClassifier& classifier,
                            bool include_densities = true);
 
 /// Loads a multi-class container saved by SaveMultiClassModel. Errors on
-/// single-class files (use LoadModel) and on any corruption.
+/// single-class files (use LoadAny) and on any corruption. Deprecated
+/// entry point: prefer LoadAny, which dispatches on the file kind.
 Result<std::unique_ptr<MultiClassClassifier>> LoadMultiClassModel(
     const std::string& path);
 
@@ -117,6 +133,71 @@ Result<std::unique_ptr<MultiClassClassifier>> LoadMultiClassModel(
 /// file header alone, so callers can dispatch to the right loader without
 /// parsing (and without triggering the wrong loader's error).
 Result<ModelKind> ProbeModel(const std::string& path);
+
+// --- Kind-agnostic model handles ----------------------------------------
+
+/// A loaded model of either kind behind one kind-agnostic surface.
+///
+/// Exactly one of single()/multi() is non-null. Callers that can serve
+/// both kinds keep the handle and branch on kind(); callers built for one
+/// kind Take*() the owning pointer out (the handle goes empty) and use
+/// the concrete facade.
+class ModelHandle {
+ public:
+  ModelHandle() = default;
+  explicit ModelHandle(std::unique_ptr<DensityClassifier> single)
+      : single_(std::move(single)) {}
+  explicit ModelHandle(std::unique_ptr<MultiClassClassifier> multi)
+      : multi_(std::move(multi)) {}
+
+  ModelHandle(ModelHandle&&) = default;
+  ModelHandle& operator=(ModelHandle&&) = default;
+
+  /// kSingleClass, kMultiClass, or kInvalid for an empty handle.
+  ModelKind kind() const {
+    if (single_ != nullptr) return ModelKind::kSingleClass;
+    if (multi_ != nullptr) return ModelKind::kMultiClass;
+    return ModelKind::kInvalid;
+  }
+  bool valid() const { return kind() != ModelKind::kInvalid; }
+
+  DensityClassifier* single() { return single_.get(); }
+  const DensityClassifier* single() const { return single_.get(); }
+  MultiClassClassifier* multi() { return multi_.get(); }
+  const MultiClassClassifier* multi() const { return multi_.get(); }
+
+  /// Transfer ownership out (the handle goes empty). Null when the handle
+  /// holds the other kind.
+  std::unique_ptr<DensityClassifier> TakeSingle() {
+    return std::move(single_);
+  }
+  std::unique_ptr<MultiClassClassifier> TakeMulti() {
+    return std::move(multi_);
+  }
+
+  /// Query dimensionality of whichever kind is held.
+  size_t dims() const;
+  /// Wire name of the held algorithm ("tkdc", ..., or "tkdc-mc").
+  std::string algorithm() const;
+  /// Human-readable description (the `tkdc_cli info` body) of either kind.
+  std::string Describe() const;
+  /// Persists the held model to `path`. Single-class models re-export
+  /// their training rows; errors for engines that cannot (binned) — save
+  /// those with SaveModel and the original dataset.
+  Status SaveTo(const std::string& path, const SaveOptions& options) const;
+  /// Threading/metrics pass-throughs to whichever kind is held.
+  void SetNumThreads(size_t num_threads);
+  void AttachMetrics(MetricsRegistry* registry);
+
+ private:
+  std::unique_ptr<DensityClassifier> single_;
+  std::unique_ptr<MultiClassClassifier> multi_;
+};
+
+/// Loads any model file — single- or multi-class — dispatching on the
+/// header probe. The one entry point callers need; LoadModel /
+/// LoadMultiClassModel remain as deprecated kind-specific wrappers.
+Result<ModelHandle> LoadAny(const std::string& path);
 
 /// Human-readable description of a trained multi-class model (the
 /// `tkdc_cli info` body for tag-7 files).

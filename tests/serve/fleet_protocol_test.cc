@@ -1,0 +1,121 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve/protocol.h"
+
+namespace tkdc::serve {
+namespace {
+
+TEST(FleetProtocolTest, ModelIdValidation) {
+  EXPECT_TRUE(IsValidModelId("a"));
+  EXPECT_TRUE(IsValidModelId("users-eu"));
+  EXPECT_TRUE(IsValidModelId("users_us.v2"));
+  EXPECT_TRUE(IsValidModelId("default"));
+  EXPECT_TRUE(IsValidModelId(std::string(64, 'x')));
+
+  EXPECT_FALSE(IsValidModelId(""));
+  EXPECT_FALSE(IsValidModelId(std::string(65, 'x')));
+  EXPECT_FALSE(IsValidModelId("has space"));
+  EXPECT_FALSE(IsValidModelId("at@sign"));
+  EXPECT_FALSE(IsValidModelId("slash/y"));
+  EXPECT_FALSE(IsValidModelId("newline\n"));
+}
+
+TEST(FleetProtocolTest, ScopedVerbsCarryTheModelId) {
+  auto classify = ParseRequest("7 CLASSIFY @users-eu 1.2,3.4");
+  ASSERT_TRUE(classify.ok()) << classify.message();
+  EXPECT_EQ(classify.value().id, 7u);
+  EXPECT_EQ(classify.value().verb, RequestVerb::kClassify);
+  EXPECT_EQ(classify.value().model_id, "users-eu");
+  ASSERT_EQ(classify.value().point.size(), 2u);
+  EXPECT_DOUBLE_EQ(classify.value().point[0], 1.2);
+
+  auto estimate = ParseRequest("8 ESTIMATE @m 0.5,0.5 250");
+  ASSERT_TRUE(estimate.ok()) << estimate.message();
+  EXPECT_EQ(estimate.value().model_id, "m");
+  EXPECT_EQ(estimate.value().timeout_ms, 250);
+
+  auto stats = ParseRequest("9 STATS @m");
+  ASSERT_TRUE(stats.ok()) << stats.message();
+  EXPECT_EQ(stats.value().verb, RequestVerb::kStats);
+  EXPECT_EQ(stats.value().model_id, "m");
+
+  auto flush = ParseRequest("10 FLUSH @m");
+  ASSERT_TRUE(flush.ok()) << flush.message();
+  EXPECT_EQ(flush.value().model_id, "m");
+
+  auto reload = ParseRequest("11 RELOAD @m /tmp/new.tkdc");
+  ASSERT_TRUE(reload.ok()) << reload.message();
+  EXPECT_EQ(reload.value().model_id, "m");
+  EXPECT_EQ(reload.value().path, "/tmp/new.tkdc");
+
+  // @default is the explicit spelling of the scope-less route.
+  auto dflt = ParseRequest("12 CLASSIFY @default 1,2");
+  ASSERT_TRUE(dflt.ok()) << dflt.message();
+  EXPECT_EQ(dflt.value().model_id, "default");
+}
+
+TEST(FleetProtocolTest, ScopelessRequestsParseExactlyAsBefore) {
+  auto classify = ParseRequest("1 CLASSIFY 0.1,0.2");
+  ASSERT_TRUE(classify.ok()) << classify.message();
+  EXPECT_TRUE(classify.value().model_id.empty());
+
+  auto insert = ParseRequest("2 INSERT 0.1,0.2 100");
+  ASSERT_TRUE(insert.ok()) << insert.message();
+  EXPECT_TRUE(insert.value().model_id.empty());
+  EXPECT_EQ(insert.value().timeout_ms, 100);
+
+  auto ping = ParseRequest("3 PING");
+  ASSERT_TRUE(ping.ok());
+  EXPECT_TRUE(ping.value().model_id.empty());
+}
+
+TEST(FleetProtocolTest, MalformedScopesAreRejectedNotMisrouted) {
+  EXPECT_FALSE(ParseRequest("1 CLASSIFY @ 1,2").ok());
+  EXPECT_FALSE(ParseRequest("2 CLASSIFY @bad!id 1,2").ok());
+  EXPECT_FALSE(
+      ParseRequest("3 CLASSIFY @" + std::string(65, 'x') + " 1,2").ok());
+  // A scope where the point should be leaves the verb short an argument.
+  EXPECT_FALSE(ParseRequest("4 CLASSIFY @m").ok());
+  // The scope slot is uniform across verbs: even PING tolerates one.
+  auto ping = ParseRequest("5 PING @m");
+  ASSERT_TRUE(ping.ok()) << ping.message();
+  EXPECT_EQ(ping.value().model_id, "m");
+}
+
+TEST(FleetProtocolTest, AdminVerbsParse) {
+  auto models = ParseRequest("1 MODELS");
+  ASSERT_TRUE(models.ok()) << models.message();
+  EXPECT_EQ(models.value().verb, RequestVerb::kModels);
+
+  auto load = ParseRequest("2 LOAD @users-eu /models/users-eu.tkdc");
+  ASSERT_TRUE(load.ok()) << load.message();
+  EXPECT_EQ(load.value().verb, RequestVerb::kLoad);
+  EXPECT_EQ(load.value().model_id, "users-eu");
+  EXPECT_EQ(load.value().path, "/models/users-eu.tkdc");
+
+  auto unload = ParseRequest("3 UNLOAD @users-eu");
+  ASSERT_TRUE(unload.ok()) << unload.message();
+  EXPECT_EQ(unload.value().verb, RequestVerb::kUnload);
+  EXPECT_EQ(unload.value().model_id, "users-eu");
+
+  // LOAD needs both the scope and the path; UNLOAD exactly the scope.
+  EXPECT_FALSE(ParseRequest("4 LOAD @users-eu").ok());
+  EXPECT_FALSE(ParseRequest("5 LOAD /models/x.tkdc").ok());
+  EXPECT_FALSE(ParseRequest("6 UNLOAD").ok());
+}
+
+TEST(FleetProtocolTest, BestEffortModelScopeForRouting) {
+  EXPECT_EQ(BestEffortModelScope("7 CLASSIFY @users-eu 1.2,3.4"), "users-eu");
+  EXPECT_EQ(BestEffortModelScope("9 STATS @m"), "m");
+  EXPECT_EQ(BestEffortModelScope("1 CLASSIFY 1.2,3.4"), "");
+  EXPECT_EQ(BestEffortModelScope("3 PING"), "");
+  // Malformed ids yield "" — the owning worker reports the error.
+  EXPECT_EQ(BestEffortModelScope("2 CLASSIFY @bad!id 1,2"), "");
+  EXPECT_EQ(BestEffortModelScope("garbage"), "");
+  EXPECT_EQ(BestEffortModelScope(""), "");
+}
+
+}  // namespace
+}  // namespace tkdc::serve

@@ -1,0 +1,420 @@
+#include "serve/router.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/protocol.h"
+
+namespace tkdc::serve {
+namespace {
+
+using std::chrono::milliseconds;
+
+const std::function<bool()> kNeverStop = [] { return false; };
+
+TEST(RouterTest, HashRingRoutesDeterministically) {
+  HashRing ring(64);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.Pick("anything").has_value());
+
+  ring.Add(0, "127.0.0.1:7001");
+  ring.Add(1, "127.0.0.1:7002");
+  EXPECT_EQ(ring.size(), 128u);
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "model-" + std::to_string(i);
+    ASSERT_TRUE(ring.Pick(key).has_value());
+    EXPECT_EQ(ring.Pick(key), ring.Pick(key)) << key;
+  }
+}
+
+TEST(RouterTest, HashRingRemovalOnlyMovesTheRemovedWorkersKeys) {
+  constexpr size_t kWorkers = 4;
+  HashRing ring(64);
+  for (size_t w = 0; w < kWorkers; ++w) {
+    ring.Add(w, "127.0.0.1:" + std::to_string(9000 + w));
+  }
+
+  std::map<std::string, size_t> before;
+  for (int i = 0; i < 400; ++i) {
+    const std::string key = "model-" + std::to_string(i);
+    before[key] = ring.Pick(key).value();
+  }
+
+  ring.Remove(2);
+  EXPECT_EQ(ring.size(), 64u * (kWorkers - 1));
+  for (const auto& [key, owner] : before) {
+    const size_t now = ring.Pick(key).value();
+    if (owner != 2) {
+      EXPECT_EQ(now, owner) << key << " moved although its worker survived";
+    } else {
+      EXPECT_NE(now, 2u) << key;
+    }
+  }
+
+  // Re-adding with the same seed restores the original placement exactly:
+  // a recovered worker owns its old arcs again.
+  ring.Add(2, "127.0.0.1:9002");
+  for (const auto& [key, owner] : before) {
+    EXPECT_EQ(ring.Pick(key).value(), owner) << key;
+  }
+}
+
+/// A scriptable stand-in worker: accepts length-prefixed connections and
+/// answers every request "<rid> OK <tag>" (tag = the worker's port), so
+/// tests can see which worker served a key. Health probes (id 0) are
+/// ponged even in `silent` mode, where data requests go unanswered.
+class FakeWorker {
+ public:
+  explicit FakeWorker(bool silent = false) : silent_(silent) {
+    listener_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(listener_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(
+        ::bind(listener_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+        0);
+    EXPECT_EQ(::listen(listener_, 8), 0);
+    socklen_t len = sizeof(addr);
+    ::getsockname(listener_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    acceptor_ = std::thread([this] { AcceptLoop(); });
+  }
+
+  ~FakeWorker() { Kill(); }
+
+  uint16_t port() const { return port_; }
+  std::string address() const { return "127.0.0.1:" + std::to_string(port_); }
+  int requests_seen() const { return requests_seen_.load(); }
+
+  /// Stops accepting and severs every live connection (a worker crash).
+  void Kill() {
+    if (stop_.exchange(true)) return;
+    ::shutdown(listener_, SHUT_RDWR);
+    acceptor_.join();
+    ::close(listener_);
+    for (std::thread& session : sessions_) session.join();
+  }
+
+ private:
+  void AcceptLoop() {
+    while (!stop_.load()) {
+      struct pollfd pfd;
+      pfd.fd = listener_;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      if (::poll(&pfd, 1, 20) <= 0) continue;
+      const int conn = ::accept(listener_, nullptr, nullptr);
+      if (conn < 0) continue;
+      sessions_.emplace_back([this, conn] { Session(conn); });
+    }
+  }
+
+  void Session(int conn) {
+    FrameReader reader(conn, Framing::kLengthPrefixed);
+    FrameWriter writer(conn, Framing::kLengthPrefixed, /*owns_fd=*/true);
+    while (true) {
+      auto frame = reader.Next([this] { return stop_.load(); });
+      if (!frame.ok() || !frame.value().has_value()) return;
+      const std::string& payload = *frame.value();
+      const size_t space = payload.find(' ');
+      const std::string rid = payload.substr(0, space);
+      if (rid == "0") {
+        writer.WriteRaw("0 OK PONG");
+        continue;
+      }
+      requests_seen_.fetch_add(1);
+      if (silent_) continue;  // Swallow: the request stays outstanding.
+      writer.WriteRaw(rid + " OK W" + std::to_string(port_));
+    }
+  }
+
+  bool silent_;
+  int listener_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> requests_seen_{0};
+  std::thread acceptor_;
+  std::vector<std::thread> sessions_;
+};
+
+/// Drives a pipe-mode router exactly as a shell would: line frames down
+/// one pipe, responses up another.
+class RouterPipeClient {
+ public:
+  explicit RouterPipeClient(RouterOptions options) {
+    EXPECT_EQ(pipe(to_router_), 0);
+    EXPECT_EQ(pipe(from_router_), 0);
+    auto created = Router::Create(std::move(options));
+    EXPECT_TRUE(created.ok()) << created.message();
+    router_ = created.take();
+    runner_ = std::thread([this] {
+      exit_code_ = router_->RunPipe(to_router_[0], from_router_[1]);
+      close(from_router_[1]);
+      close(to_router_[0]);
+    });
+  }
+
+  ~RouterPipeClient() {
+    if (runner_.joinable()) Finish();
+    if (from_router_[0] >= 0) close(from_router_[0]);
+  }
+
+  void Send(const std::string& line) {
+    const std::string framed = line + "\n";
+    ASSERT_EQ(write(to_router_[1], framed.data(), framed.size()),
+              static_cast<ssize_t>(framed.size()));
+  }
+
+  std::string ReadResponse() {
+    auto next = reader().Next(kNeverStop);
+    EXPECT_TRUE(next.ok()) << next.message();
+    EXPECT_TRUE(next.value().has_value());
+    return next.value().value_or("");
+  }
+
+  int Finish() {
+    if (to_router_[1] >= 0) {
+      close(to_router_[1]);
+      to_router_[1] = -1;
+    }
+    runner_.join();
+    return exit_code_;
+  }
+
+  Router& router() { return *router_; }
+
+ private:
+  FrameReader& reader() {
+    if (reader_ == nullptr) {
+      reader_ = std::make_unique<FrameReader>(from_router_[0], Framing::kLine);
+    }
+    return *reader_;
+  }
+
+  int to_router_[2] = {-1, -1};
+  int from_router_[2] = {-1, -1};
+  std::unique_ptr<Router> router_;
+  std::unique_ptr<FrameReader> reader_;
+  std::thread runner_;
+  int exit_code_ = -1;
+};
+
+TEST(RouterTest, CreateRequiresALiveWorker) {
+  RouterOptions options;
+  auto none = Router::Create(options);
+  EXPECT_FALSE(none.ok());
+
+  options.workers = {"127.0.0.1:1"};  // Nothing listens there.
+  auto dead = Router::Create(std::move(options));
+  EXPECT_FALSE(dead.ok());
+}
+
+TEST(RouterTest, RoutesByScopeConsistentlyAndRewritesIdsBack) {
+  FakeWorker first;
+  FakeWorker second;
+  RouterOptions options;
+  options.workers = {first.address(), second.address()};
+  RouterPipeClient client(std::move(options));
+
+  // The same scope lands on the same worker every time; the client sees
+  // its own ids back regardless of the router's internal numbering. 64
+  // scopes (plus the scope-less default) make "both workers serve" a
+  // statistical certainty rather than placement luck.
+  std::vector<std::string> scopes = {""};
+  for (int i = 0; i < 64; ++i) scopes.push_back("m" + std::to_string(i));
+  std::map<std::string, std::string> owner;
+  uint64_t id = 100;
+  for (int round = 0; round < 3; ++round) {
+    for (const std::string& scope : scopes) {
+      const std::string at = scope.empty() ? "" : "@" + scope + " ";
+      client.Send(std::to_string(++id) + " CLASSIFY " + at + "1,2");
+      const std::string response = client.ReadResponse();
+      ASSERT_EQ(response.find(std::to_string(id) + " OK W"), 0u) << response;
+      const std::string tag = response.substr(response.rfind(' ') + 1);
+      if (round == 0) {
+        owner[scope] = tag;
+      } else {
+        EXPECT_EQ(owner[scope], tag) << "scope \"" << scope << "\" moved";
+      }
+    }
+  }
+  // Sanity: with 65 keys over 64 vnodes x 2 workers, both workers serve.
+  EXPECT_GT(first.requests_seen(), 0);
+  EXPECT_GT(second.requests_seen(), 0);
+  EXPECT_EQ(client.Finish(), 0);
+}
+
+TEST(RouterTest, UnparseableLeadingIdIsAnsweredLocally) {
+  FakeWorker worker;
+  RouterOptions options;
+  options.workers = {worker.address()};
+  RouterPipeClient client(std::move(options));
+  client.Send("garbage CLASSIFY 1,2");
+  const std::string response = client.ReadResponse();
+  EXPECT_EQ(response.find("0 ERR"), 0u) << response;
+  EXPECT_EQ(worker.requests_seen(), 0);
+  EXPECT_EQ(client.Finish(), 0);
+}
+
+TEST(RouterTest, WorkerDeathFailsOverToTheSurvivor) {
+  auto victim = std::make_unique<FakeWorker>();
+  FakeWorker survivor;
+  RouterOptions options;
+  options.workers = {victim->address(), survivor.address()};
+  options.probe_interval_ms = 50;
+  RouterPipeClient client(std::move(options));
+
+  // Find a scope the victim owns.
+  std::string victim_scope;
+  uint64_t id = 0;
+  for (int i = 0; i < 200 && victim_scope.empty(); ++i) {
+    const std::string scope = "m" + std::to_string(i);
+    client.Send(std::to_string(++id) + " CLASSIFY @" + scope + " 1,2");
+    const std::string response = client.ReadResponse();
+    if (response.find("W" + std::to_string(victim->port())) !=
+        std::string::npos) {
+      victim_scope = scope;
+    }
+  }
+  ASSERT_FALSE(victim_scope.empty()) << "victim owned no scope in 200 tries";
+
+  victim->Kill();
+
+  // Until the router notices (EOF on the link), requests may come back
+  // ERR "worker ... lost" — the retry contract. Eventually the ring
+  // reroutes the scope to the survivor.
+  std::string response;
+  bool recovered = false;
+  for (int attempt = 0; attempt < 100 && !recovered; ++attempt) {
+    client.Send(std::to_string(++id) + " CLASSIFY @" + victim_scope + " 1,2");
+    response = client.ReadResponse();
+    recovered = response == std::to_string(id) + " OK W" +
+                                std::to_string(survivor.port());
+    if (!recovered) {
+      ASSERT_NE(response.find("ERR"), std::string::npos) << response;
+      std::this_thread::sleep_for(milliseconds(10));
+    }
+  }
+  EXPECT_TRUE(recovered) << "scope never failed over: " << response;
+  EXPECT_EQ(client.router().live_workers(), 1u);
+  EXPECT_EQ(client.Finish(), 0);
+}
+
+/// Captures the "listening on 127.0.0.1:<port>" announcement, which
+/// RunTcp flushes from its own thread, via a promise set on sync().
+class AnnounceStream : public std::ostream {
+ public:
+  AnnounceStream() : std::ostream(&buf_), buf_(this) {}
+
+  uint16_t AwaitPort() {
+    const std::string text = port_future_.get();
+    const size_t colon = text.rfind(':');
+    EXPECT_NE(colon, std::string::npos) << text;
+    return static_cast<uint16_t>(std::stoi(text.substr(colon + 1)));
+  }
+
+ private:
+  class Buf : public std::stringbuf {
+   public:
+    explicit Buf(AnnounceStream* owner) : owner_(owner) {}
+    int sync() override {
+      if (!owner_->port_set_) {
+        owner_->port_set_ = true;
+        owner_->port_promise_.set_value(str());
+      }
+      return 0;
+    }
+
+   private:
+    AnnounceStream* owner_;
+  };
+
+  Buf buf_;
+  bool port_set_ = false;
+  std::promise<std::string> port_promise_;
+  std::future<std::string> port_future_ = port_promise_.get_future();
+};
+
+TEST(RouterTest, OutstandingCapShedsWithOverloaded) {
+  FakeWorker worker(/*silent=*/true);
+  RouterOptions options;
+  options.workers = {worker.address()};
+  options.max_outstanding = 2;
+  std::atomic<bool> terminate{false};
+  options.terminate = &terminate;
+  auto created = Router::Create(std::move(options));
+  ASSERT_TRUE(created.ok()) << created.message();
+  Router& router = *created.value();
+
+  AnnounceStream announce;
+  int exit_code = -1;
+  std::thread runner([&] { exit_code = router.RunTcp(0, announce); });
+  const uint16_t port = announce.AwaitPort();
+  ASSERT_GT(port, 0);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const auto send = [&](const std::string& payload) {
+    const std::string frame = EncodeFrame(payload, Framing::kLengthPrefixed);
+    ASSERT_EQ(write(fd, frame.data(), frame.size()),
+              static_cast<ssize_t>(frame.size()));
+  };
+  FrameReader reader(fd, Framing::kLengthPrefixed);
+
+  send("1 CLASSIFY 1,2");
+  send("2 CLASSIFY 1,2");
+  // Both in flight against a worker that never answers; the third trips
+  // the cap at the router, before the worker sees it.
+  for (int i = 0; i < 100 && worker.requests_seen() < 2; ++i) {
+    std::this_thread::sleep_for(milliseconds(10));
+  }
+  ASSERT_EQ(worker.requests_seen(), 2);
+  send("3 CLASSIFY 1,2");
+  auto shed = reader.Next(kNeverStop);
+  ASSERT_TRUE(shed.ok() && shed.value().has_value());
+  EXPECT_EQ(*shed.value(), "3 OVERLOADED");
+
+  // Shutdown answers the two stranded requests with ERR instead of
+  // leaving the client hanging.
+  terminate.store(true);
+  std::map<uint64_t, std::string> rest;
+  for (int i = 0; i < 2; ++i) {
+    auto next = reader.Next(kNeverStop);
+    ASSERT_TRUE(next.ok() && next.value().has_value());
+    const std::string& line = *next.value();
+    rest[std::stoull(line.substr(0, line.find(' ')))] =
+        line.substr(line.find(' ') + 1);
+  }
+  EXPECT_EQ(rest.at(1).find("ERR"), 0u) << rest.at(1);
+  EXPECT_EQ(rest.at(2).find("ERR"), 0u) << rest.at(2);
+  ::close(fd);
+  runner.join();
+  EXPECT_EQ(exit_code, 0);
+}
+
+}  // namespace
+}  // namespace tkdc::serve

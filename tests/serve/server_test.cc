@@ -192,9 +192,11 @@ TEST_F(ServeServerTest, PipeModeAnswersEveryRequestAndDrainsCleanly) {
 }
 
 TEST_F(ServeServerTest, PipeLabelsMatchSerialClassify) {
-  // Serial reference.
-  auto reference = api::LoadModel(ModelPath());
-  ASSERT_TRUE(reference.ok()) << reference.message();
+  // Serial reference, through the kind-agnostic handle API.
+  auto loaded = api::LoadAny(ModelPath());
+  ASSERT_TRUE(loaded.ok()) << loaded.message();
+  ASSERT_EQ(loaded.value().kind(), ModelKind::kSingleClass);
+  const auto reference_model = loaded.value().TakeSingle();
   Rng rng(29);
   const Dataset queries = SampleStandardGaussian(50, 2, rng);
 
@@ -212,7 +214,7 @@ TEST_F(ServeServerTest, PipeLabelsMatchSerialClassify) {
   ASSERT_EQ(responses.size(), queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
     const bool high =
-        reference.value()->Classify(queries.Row(i)) == Classification::kHigh;
+        reference_model->Classify(queries.Row(i)) == Classification::kHigh;
     EXPECT_EQ(responses.at(i + 1), high ? "OK HIGH" : "OK LOW") << i;
   }
 }

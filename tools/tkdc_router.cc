@@ -1,0 +1,64 @@
+// tkdc_router: fleet front door for a set of tkdc_serve workers. Speaks
+// the ordinary serve protocol to clients (TCP length-prefixed frames, or
+// --pipe line frames) and consistent-hashes each request's @<model_id>
+// scope across the workers, rewriting only the leading request-id token
+// in transit. Failed workers are removed from the ring (their in-flight
+// requests answered ERR so clients retry) and redialed in the
+// background. Run with --help for flags.
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/router.h"
+
+namespace {
+
+std::atomic<bool> g_terminate{false};
+
+void HandleSigterm(int) { g_terminate.store(true); }
+
+// Handlers without SA_RESTART so blocking poll/read return EINTR and the
+// router loops notice the flag promptly.
+void InstallHandler(int signo, void (*handler)(int)) {
+  struct sigaction action = {};
+  action.sa_handler = handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(signo, &action, nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+
+  auto flags = tkdc::serve::ParseRouterFlags(args);
+  if (!flags.ok()) {
+    const bool help = flags.message() == "help requested";
+    (help ? std::cout : std::cerr)
+        << (help ? "" : flags.message() + "\n") << tkdc::serve::RouterUsage();
+    return help ? 0 : 2;
+  }
+
+  InstallHandler(SIGTERM, HandleSigterm);
+  InstallHandler(SIGINT, HandleSigterm);
+  flags.value().options.terminate = &g_terminate;
+
+  auto router = tkdc::serve::Router::Create(flags.value().options);
+  if (!router.ok()) {
+    std::cerr << router.message() << "\n";
+    return 1;
+  }
+  if (flags.value().pipe) {
+    std::fprintf(stderr, "routing %zu workers on stdin/stdout (line framing)\n",
+                 flags.value().options.workers.size());
+    return router.value()->RunPipe(/*in_fd=*/0, /*out_fd=*/1);
+  }
+  return router.value()->RunTcp(flags.value().port, std::cout);
+}
